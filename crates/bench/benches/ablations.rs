@@ -1,0 +1,122 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! deferred overlap, the DMA engine, MAD fusion and tile size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgpu_bench::setup::{best_config, sgemm_period, sum_period, Protocol, SumMode};
+use mgpu_gpgpu::RenderStrategy;
+use mgpu_tbdr::{Bandwidth, Platform};
+
+fn bench(c: &mut Criterion) {
+    let protocol = Protocol::default();
+    let small = Protocol {
+        n: 256,
+        warmup: 5,
+        iters: 20,
+    };
+
+    // Ablation 1: deferred-pipeline overlap off — quantifies how much of
+    // the no-swap win is pipelining vs skipping the vsync wait.
+    {
+        let vc = Platform::videocore_iv();
+        let no_overlap = vc
+            .to_builder()
+            .deferred(false)
+            .name("VC no-deferred")
+            .build();
+        let cfg = best_config(RenderStrategy::Texture);
+        let with_t = sum_period(&vc, &cfg, SumMode::default(), &protocol).expect("period");
+        let without_t =
+            sum_period(&no_overlap, &cfg, SumMode::default(), &protocol).expect("period");
+        println!(
+            "ablation deferred-overlap (VC sum noswap): with {} without {} ({:.2}x from overlap)",
+            with_t,
+            without_t,
+            without_t.as_secs_f64() / with_t.as_secs_f64()
+        );
+    }
+
+    // Ablation 2: VideoCore without its DMA engine — the single mechanism
+    // behind the platform divergence in Fig. 4a/4b/5b.
+    {
+        let vc = Platform::videocore_iv();
+        let no_dma = vc
+            .to_builder()
+            .blocking_copy(Bandwidth::mebi_per_sec(1.31))
+            .name("VC no-DMA")
+            .build();
+        let cfg = best_config(RenderStrategy::Framebuffer);
+        let with_t = sum_period(&vc, &cfg, SumMode::default(), &protocol).expect("period");
+        let without_t = sum_period(&no_dma, &cfg, SumMode::default(), &protocol).expect("period");
+        println!(
+            "ablation dma (VC sum FB): with {} without {} ({:.1}x from DMA)",
+            with_t,
+            without_t,
+            without_t.as_secs_f64() / with_t.as_secs_f64()
+        );
+    }
+
+    // Ablation 3: MAD fusion off — kernel-code optimisation contribution.
+    {
+        let sgx = Platform::sgx_545();
+        let cfg = best_config(RenderStrategy::Texture);
+        let fused = sum_period(&sgx, &cfg, SumMode::default(), &protocol).expect("period");
+        let plain = sum_period(
+            &sgx,
+            &cfg.without_mad_fusion(),
+            SumMode::default(),
+            &protocol,
+        )
+        .expect("period");
+        println!(
+            "ablation mad-fusion (SGX sum): fused {} plain {} ({:+.1}% from fusion)",
+            fused,
+            plain,
+            (plain.as_secs_f64() / fused.as_secs_f64() - 1.0) * 100.0
+        );
+    }
+
+    // Ablation 4: tile-size sweep on the sgemm copy path.
+    {
+        let cfg = best_config(RenderStrategy::Framebuffer);
+        for tile in [16u32, 32, 64] {
+            let p = Platform::sgx_545()
+                .to_builder()
+                .tile_size(tile, tile)
+                .name(&format!("SGX {tile}x{tile}"))
+                .build();
+            let t = sgemm_period(
+                &p,
+                &cfg,
+                16,
+                &Protocol {
+                    n: protocol.n,
+                    ..Protocol::sgemm()
+                },
+            )
+            .expect("period");
+            println!("ablation tile-size (sgemm FB, {tile}x{tile} tiles): {t}");
+        }
+    }
+
+    // Criterion group: host-side cost of the ablated simulations.
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let vc = Platform::videocore_iv();
+    let no_overlap = vc
+        .to_builder()
+        .deferred(false)
+        .name("VC-no-deferred")
+        .build();
+    group.bench_function("deferred_on", |b| {
+        let cfg = best_config(RenderStrategy::Texture);
+        b.iter(|| sum_period(&vc, &cfg, SumMode::default(), &small).expect("period"));
+    });
+    group.bench_function("deferred_off", |b| {
+        let cfg = best_config(RenderStrategy::Texture);
+        b.iter(|| sum_period(&no_overlap, &cfg, SumMode::default(), &small).expect("period"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

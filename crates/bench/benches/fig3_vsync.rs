@@ -1,0 +1,57 @@
+//! Criterion bench around the Fig. 3 experiment (effect of vsync).
+//!
+//! Prints the regenerated figure once, then benchmarks the simulation
+//! itself (host time to simulate the steady-state protocol).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgpu_bench::experiments::fig3;
+use mgpu_bench::setup::{sum_period, Protocol, SumMode};
+use mgpu_gpgpu::OptConfig;
+use mgpu_tbdr::Platform;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the figure (paper-vs-measured) once per bench run.
+    let protocol = Protocol::default();
+    for p in Platform::paper_pair() {
+        let r = fig3::run(&p, &protocol).expect("fig3");
+        println!(
+            "fig3 {}: sum {:.2}/{:.2}/{:.2} sgemm {:.2}/{:.2}/{:.2} \
+             (paper: sum SGX 1.00/3.47/3.85 VC 9.22/16.11/16.28; \
+             sgemm SGX 1.00/1.00/1.13 VC 1.24/1.24/1.48)",
+            r.platform,
+            r.sum.interval0,
+            r.sum.no_swap,
+            r.sum.no_swap_fp24,
+            r.sgemm.interval0,
+            r.sgemm.no_swap,
+            r.sgemm.no_swap_fp24
+        );
+    }
+
+    let mut group = c.benchmark_group("fig3_vsync");
+    group.sample_size(10);
+    let small = Protocol {
+        n: 256,
+        warmup: 5,
+        iters: 20,
+    };
+    for p in Platform::paper_pair() {
+        for (name, cfg) in [
+            ("baseline", OptConfig::baseline()),
+            ("interval0", OptConfig::baseline().with_swap_interval_0()),
+            ("noswap", OptConfig::baseline().without_swap()),
+            (
+                "noswap_fp24",
+                OptConfig::baseline().without_swap().with_fp24(),
+            ),
+        ] {
+            group.bench_function(format!("{}/{name}", p.name), |b| {
+                b.iter(|| sum_period(&p, &cfg, SumMode::default(), &small).expect("sum period"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench around the Fig. 4a experiment (FB vs texture rendering).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgpu_bench::experiments::fig4a;
+use mgpu_bench::setup::{best_config, sum_period, Protocol, SumMode};
+use mgpu_gpgpu::RenderStrategy;
+use mgpu_tbdr::Platform;
+
+fn bench(c: &mut Criterion) {
+    let protocol = Protocol::default();
+    for p in Platform::paper_pair() {
+        let r = fig4a::run(&p, &protocol).expect("fig4a");
+        println!(
+            "fig4a {}: sum tex-advantage {:.1}x (paper SGX ~2237x / VC ~10x), \
+             dep-sum {:.3}x, sgemm {:.3}x (FB wins when <1)",
+            r.platform,
+            r.sum.texture_advantage(),
+            r.sum_dependent.texture_advantage(),
+            r.sgemm.texture_advantage()
+        );
+    }
+
+    let mut group = c.benchmark_group("fig4a_rendering");
+    group.sample_size(10);
+    let small = Protocol {
+        n: 256,
+        warmup: 5,
+        iters: 20,
+    };
+    for p in Platform::paper_pair() {
+        for target in [RenderStrategy::Texture, RenderStrategy::Framebuffer] {
+            group.bench_function(format!("{}/sum/{target:?}", p.name), |b| {
+                b.iter(|| {
+                    sum_period(&p, &best_config(target), SumMode::default(), &small)
+                        .expect("sum period")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench around the Fig. 4b experiment (blocking in sgemm).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgpu_bench::experiments::fig4b;
+use mgpu_bench::setup::{best_config, sgemm_period, Protocol};
+use mgpu_gpgpu::RenderStrategy;
+use mgpu_tbdr::Platform;
+
+fn bench(c: &mut Criterion) {
+    let protocol = Protocol::default();
+    for p in Platform::paper_pair() {
+        let r = fig4b::run(&p, &protocol).expect("fig4b");
+        let summary: Vec<String> = r
+            .points
+            .iter()
+            .map(|pt| {
+                format!(
+                    "b{}={:.2}",
+                    pt.block,
+                    pt.framebuffer.as_secs_f64() / pt.texture.as_secs_f64()
+                )
+            })
+            .collect();
+        println!(
+            "fig4b {}: FB/tex {} ; block32: {}",
+            r.platform,
+            summary.join(" "),
+            r.block32_error
+        );
+    }
+
+    let mut group = c.benchmark_group("fig4b_blocking");
+    group.sample_size(10);
+    let small = Protocol {
+        n: 256,
+        warmup: 2,
+        iters: 4,
+    };
+    for p in Platform::paper_pair() {
+        for block in [1u32, 4, 16] {
+            group.bench_function(format!("{}/sgemm_b{block}", p.name), |b| {
+                b.iter(|| {
+                    sgemm_period(&p, &best_config(RenderStrategy::Texture), block, &small)
+                        .expect("sgemm period")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

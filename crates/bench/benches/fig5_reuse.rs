@@ -1,0 +1,46 @@
+//! Criterion bench around the Fig. 5a/5b experiments (texture reuse).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgpu_bench::experiments::fig5;
+use mgpu_bench::setup::{best_config, sum_period, Protocol, SumMode};
+use mgpu_gpgpu::RenderStrategy;
+use mgpu_tbdr::Platform;
+
+fn bench(c: &mut Criterion) {
+    let protocol = Protocol::default();
+    for p in Platform::paper_pair() {
+        let r = fig5::run(&p, &protocol).expect("fig5");
+        println!(
+            "fig5 {}: 5a tex sum {:.3} sgemm {:.3} | 5b fb sum {:.3} sgemm {:.3} \
+             (paper: VC sum ~1.15, SGX sgemm-fb ~0.70)",
+            r.platform, r.sum_texture, r.sgemm_texture, r.sum_framebuffer, r.sgemm_framebuffer
+        );
+    }
+
+    let mut group = c.benchmark_group("fig5_reuse");
+    group.sample_size(10);
+    let small = Protocol {
+        n: 256,
+        warmup: 5,
+        iters: 20,
+    };
+    let mode = SumMode {
+        dependent: false,
+        reupload: true,
+    };
+    for p in Platform::paper_pair() {
+        for (name, reuse) in [("fresh", false), ("reuse", true)] {
+            let mut cfg = best_config(RenderStrategy::Texture);
+            if reuse {
+                cfg = cfg.with_texture_reuse();
+            }
+            group.bench_function(format!("{}/sum_upload_{name}", p.name), |b| {
+                b.iter(|| sum_period(&p, &cfg, mode, &small).expect("sum period"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

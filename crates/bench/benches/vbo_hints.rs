@@ -1,0 +1,44 @@
+//! Criterion bench around the VBO memory-hint sweep (§V-B text).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgpu_bench::experiments::vbo;
+use mgpu_bench::setup::{sum_period, Protocol, SumMode};
+use mgpu_gles::BufferUsage;
+use mgpu_gpgpu::OptConfig;
+use mgpu_tbdr::Platform;
+
+fn bench(c: &mut Criterion) {
+    let protocol = Protocol::default();
+    for p in Platform::paper_pair() {
+        let r = vbo::run(&p, &protocol).expect("vbo");
+        println!(
+            "vbo {}: static {:+.2}% dynamic {:+.2}% stream {:+.2}% (paper: up to ~1.5%)",
+            r.platform,
+            (r.static_draw - 1.0) * 100.0,
+            (r.dynamic_draw - 1.0) * 100.0,
+            (r.stream_draw - 1.0) * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("vbo_hints");
+    group.sample_size(10);
+    let small = Protocol {
+        n: 256,
+        warmup: 5,
+        iters: 20,
+    };
+    let base = OptConfig::baseline().with_swap_interval_0();
+    for p in Platform::paper_pair() {
+        group.bench_function(format!("{}/client_arrays", p.name), |b| {
+            b.iter(|| sum_period(&p, &base, SumMode::default(), &small).expect("period"));
+        });
+        group.bench_function(format!("{}/vbo_static", p.name), |b| {
+            let cfg = base.with_vbo(BufferUsage::StaticDraw);
+            b.iter(|| sum_period(&p, &cfg, SumMode::default(), &small).expect("period"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Calibration overview: prints every experiment's measured values next to
+//! the paper's reported numbers, so platform-constant tuning is one
+//! `cargo run -p mgpu-bench --bin calibrate --release` away.
+
+use mgpu_bench::experiments::{fig3, fig4a, fig4b, fig5, vbo};
+use mgpu_bench::setup::Protocol;
+use mgpu_tbdr::Platform;
+
+fn main() {
+    let protocol = Protocol::default();
+    println!("== Fig 3: vsync (speedup over baseline) ==");
+    println!("paper: SGX sum 1.00/3.47/3.85  VC sum 9.22/16.11/16.28");
+    println!("paper: SGX gem 1.00/1.00/1.13  VC gem 1.24/1.24/1.48");
+    for p in Platform::paper_pair() {
+        let r = fig3::run(&p, &protocol).expect("fig3");
+        println!(
+            "{:18} sum {:5.2}/{:5.2}/{:5.2}   sgemm {:4.2}/{:4.2}/{:4.2}",
+            r.platform,
+            r.sum.interval0,
+            r.sum.no_swap,
+            r.sum.no_swap_fp24,
+            r.sgemm.interval0,
+            r.sgemm.no_swap,
+            r.sgemm.no_swap_fp24
+        );
+    }
+
+    println!("\n== Fig 4a: FB vs texture (texture advantage; >1 = texture wins) ==");
+    println!("paper: SGX sum ~2237x, VC sum ~10x; sgemm FB wins both; dep-sum: SGX tex, VC FB");
+    for p in Platform::paper_pair() {
+        let r = fig4a::run(&p, &protocol).expect("fig4a");
+        println!(
+            "{:18} sum {:9.1}x  dep-sum {:7.3}x  sgemm {:7.3}x   (tex {} fb {} | dep tex {} fb {} | gem tex {} fb {})",
+            r.platform,
+            r.sum.texture_advantage(),
+            r.sum_dependent.texture_advantage(),
+            r.sgemm.texture_advantage(),
+            r.sum.texture,
+            r.sum.framebuffer,
+            r.sum_dependent.texture,
+            r.sum_dependent.framebuffer,
+            r.sgemm.texture,
+            r.sgemm.framebuffer,
+        );
+    }
+
+    println!("\n== Fig 4b: sgemm blocking (time per multiply; FB/tex ratio <1 = FB wins) ==");
+    println!(
+        "paper: SGX FB >> tex at 1-2, overlap from >=4; VC FB always wins; time falls with block"
+    );
+    for p in Platform::paper_pair() {
+        let r = fig4b::run(&p, &protocol).expect("fig4b");
+        print!("{:18}", r.platform);
+        for pt in &r.points {
+            print!(
+                "  b{}: tex {} fb {} ({:.2})",
+                pt.block,
+                pt.texture,
+                pt.framebuffer,
+                pt.framebuffer.as_secs_f64() / pt.texture.as_secs_f64()
+            );
+        }
+        println!();
+        println!("    block32: {}", r.block32_error);
+    }
+
+    println!("\n== Fig 5: texture reuse speedup (reuse vs fresh) ==");
+    println!("paper 5a (tex): VC sum ~1.15, SGX sum ~0.93-0.98; 5b (FB): ~1.0, SGX sgemm ~0.70");
+    for p in Platform::paper_pair() {
+        let r = fig5::run(&p, &protocol).expect("fig5");
+        println!(
+            "{:18} tex: sum {:5.3} sgemm {:5.3}   fb: sum {:5.3} sgemm {:5.3}",
+            r.platform, r.sum_texture, r.sgemm_texture, r.sum_framebuffer, r.sgemm_framebuffer
+        );
+    }
+
+    println!("\n== VBO hints (speedup over client arrays; paper: up to ~1.5%) ==");
+    for p in Platform::paper_pair() {
+        let r = vbo::run(&p, &protocol).expect("vbo");
+        println!(
+            "{:18} static {:6.4} dynamic {:6.4} stream {:6.4}",
+            r.platform, r.static_draw, r.dynamic_draw, r.stream_draw
+        );
+    }
+}

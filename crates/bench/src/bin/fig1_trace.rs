@@ -1,0 +1,69 @@
+//! Regenerates the paper's Fig. 1 as a trace: the memory-movement
+//! operations in the life of one GPGPU kernel invocation on a tiled GPU,
+//! shown for both render-target strategies on both platforms.
+
+use mgpu_gles::Gl;
+use mgpu_gpgpu::{OptConfig, Sum};
+use mgpu_tbdr::{annotate_frame, Platform};
+use mgpu_workloads::random_matrix;
+
+fn trace(platform: &Platform, cfg: &OptConfig, label: &str) {
+    let n = 256u32;
+    let a = random_matrix(n as usize, 1, 0.0, 1.0);
+    let b = random_matrix(n as usize, 2, 0.0, 1.0);
+    let mut gl = Gl::new(platform.clone(), n, n);
+    gl.set_functional(false);
+    let mut sum = Sum::builder(n)
+        .reupload(true)
+        .build(&mut gl, cfg, a.data(), b.data())
+        .expect("sum builds");
+    // Warm the pipeline, then record one kernel invocation.
+    sum.run(&mut gl, 2).expect("warmup");
+    gl.set_frame_recording(true);
+    sum.step(&mut gl).expect("step");
+    gl.finish();
+
+    println!("--- {} / {label} ---", platform.name);
+    for (work, timing) in gl.recorded_frames() {
+        if work.fragment.fragments == 0 {
+            continue; // sync-only frames move no memory
+        }
+        println!(
+            "kernel `{}` (cpu {} -> retire {}):",
+            work.label, timing.cpu_start, timing.retire
+        );
+        for event in annotate_frame(work, timing) {
+            println!(
+                "  {:<45} {:>9} bytes  at {:>10}  {}",
+                event.op.to_string(),
+                event.bytes,
+                event.at.to_string(),
+                if event.fresh_alloc {
+                    "(fresh storage)"
+                } else {
+                    "(reused storage)"
+                }
+            );
+        }
+    }
+    println!();
+}
+
+fn main() {
+    println!("Fig. 1 — memory-movement operations per kernel invocation");
+    println!("(steps 1-6 as numbered in the paper's figure)\n");
+    for platform in Platform::paper_pair() {
+        trace(
+            &platform,
+            &OptConfig::baseline().without_swap(),
+            "texture rendering (expects steps 2 and 5)",
+        );
+        trace(
+            &platform,
+            &OptConfig::baseline()
+                .with_swap_interval_0()
+                .with_framebuffer_rendering(),
+            "framebuffer rendering (expects steps 2, 3 and 4)",
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates the paper's Fig. 3 (effect of vsync for `sum` and `sgemm`).
+
+use mgpu_bench::experiments::fig3;
+use mgpu_bench::setup::Protocol;
+use mgpu_bench::table;
+use mgpu_tbdr::Platform;
+
+fn main() {
+    let protocol = Protocol::default();
+    println!("Fig. 3 — effect of vsync (speedup over OpenGL ES 2 best-practice baseline)");
+    println!("paper:  SGX sum 1.00/3.47/3.85   VideoCore sum 9.22/16.11/16.28");
+    println!("paper:  SGX sgemm 1.00/1.00/1.13 VideoCore sgemm 1.24/1.24/1.48\n");
+
+    let mut rows = Vec::new();
+    for platform in Platform::paper_pair() {
+        let r = fig3::run(&platform, &protocol).expect("fig3 experiment");
+        rows.push(vec![
+            format!("{} sum", r.platform),
+            table::speedup_cell(r.sum.interval0),
+            table::speedup_cell(r.sum.no_swap),
+            table::speedup_cell(r.sum.no_swap_fp24),
+        ]);
+        rows.push(vec![
+            format!("{} sgemm", r.platform),
+            table::speedup_cell(r.sgemm.interval0),
+            table::speedup_cell(r.sgemm.no_swap),
+            table::speedup_cell(r.sgemm.no_swap_fp24),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &[
+                "benchmark",
+                "eglSwapInterval(0)",
+                "no eglSwapBuffers",
+                "no swap + fp24"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,39 @@
+//! Regenerates the paper's Fig. 4a (framebuffer vs texture rendering).
+
+use mgpu_bench::experiments::fig4a;
+use mgpu_bench::setup::Protocol;
+use mgpu_bench::table;
+use mgpu_tbdr::Platform;
+
+fn main() {
+    let protocol = Protocol::default();
+    println!("Fig. 4a — FB vs texture rendering (optimised versions)");
+    println!("paper: SGX sum: texture ~2237x faster; VideoCore sum: ~1 order of magnitude;");
+    println!("       sgemm: FB wins on both; dependent sum: texture on SGX, FB on VideoCore\n");
+
+    let mut rows = Vec::new();
+    for platform in Platform::paper_pair() {
+        let r = fig4a::run(&platform, &protocol).expect("fig4a experiment");
+        for (bench, pair) in [
+            ("sum", &r.sum),
+            ("sum+deps", &r.sum_dependent),
+            ("sgemm b16", &r.sgemm),
+        ] {
+            let adv = pair.texture_advantage();
+            rows.push(vec![
+                format!("{} {}", r.platform, bench),
+                pair.texture.to_string(),
+                pair.framebuffer.to_string(),
+                if adv >= 1.0 {
+                    format!("texture {adv:.3}x")
+                } else {
+                    format!("framebuffer {:.3}x", 1.0 / adv)
+                },
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        table::render(&["benchmark", "texture", "framebuffer", "winner"], &rows)
+    );
+}

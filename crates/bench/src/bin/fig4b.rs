@@ -1,0 +1,39 @@
+//! Regenerates the paper's Fig. 4b (blocking in sgemm).
+
+use mgpu_bench::experiments::fig4b;
+use mgpu_bench::setup::Protocol;
+use mgpu_bench::table;
+use mgpu_tbdr::Platform;
+
+fn main() {
+    let protocol = Protocol::default();
+    println!("Fig. 4b — blocking in sgemm (time per 1024x1024 multiplication)");
+    println!("paper: performance increases with block size on both platforms;");
+    println!("       SGX FB catches texture once the kernel outlasts the copy (block >= 4-8);");
+    println!("       VideoCore FB always ahead (DMA); block 32 fails shader compilation\n");
+
+    for platform in Platform::paper_pair() {
+        let r = fig4b::run(&platform, &protocol).expect("fig4b experiment");
+        let rows: Vec<Vec<String>> = r
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("block {}", p.block),
+                    p.texture.to_string(),
+                    p.framebuffer.to_string(),
+                    format!(
+                        "{:.2}",
+                        p.framebuffer.as_secs_f64() / p.texture.as_secs_f64()
+                    ),
+                ]
+            })
+            .collect();
+        println!("{}:", r.platform);
+        println!(
+            "{}",
+            table::render(&["block size", "texture", "framebuffer", "FB/tex"], &rows)
+        );
+        println!("block 32: {}\n", r.block32_error);
+    }
+}

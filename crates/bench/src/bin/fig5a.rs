@@ -1,0 +1,27 @@
+//! Regenerates the paper's Fig. 5a (texture reuse, texture rendering).
+
+use mgpu_bench::experiments::fig5;
+use mgpu_bench::setup::Protocol;
+use mgpu_bench::table;
+use mgpu_tbdr::Platform;
+
+fn main() {
+    let protocol = Protocol::default();
+    println!("Fig. 5a — texture-memory reuse speedup under texture rendering (block 16)");
+    println!("paper: beneficial mainly for input textures — VideoCore sum ~+15%;");
+    println!("       on the SGX reuse causes a small 2-7% degradation\n");
+
+    let mut rows = Vec::new();
+    for platform in Platform::paper_pair() {
+        let r = fig5::run(&platform, &protocol).expect("fig5 experiment");
+        rows.push(vec![
+            r.platform.clone(),
+            table::speedup_cell(r.sum_texture),
+            table::speedup_cell(r.sgemm_texture),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(&["platform", "sum (streaming inputs)", "sgemm b16"], &rows)
+    );
+}

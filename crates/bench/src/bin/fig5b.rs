@@ -1,0 +1,27 @@
+//! Regenerates the paper's Fig. 5b (texture reuse, framebuffer rendering).
+
+use mgpu_bench::experiments::fig5;
+use mgpu_bench::setup::Protocol;
+use mgpu_bench::table;
+use mgpu_tbdr::Platform;
+
+fn main() {
+    let protocol = Protocol::default();
+    println!("Fig. 5b — texture-memory reuse speedup under framebuffer rendering (block 16)");
+    println!("paper: no improvement on either platform; SGX sgemm drops to ~0.70");
+    println!("       (copy-destination false sharing without DMA assistance)\n");
+
+    let mut rows = Vec::new();
+    for platform in Platform::paper_pair() {
+        let r = fig5::run(&platform, &protocol).expect("fig5 experiment");
+        rows.push(vec![
+            r.platform.clone(),
+            table::speedup_cell(r.sum_framebuffer),
+            table::speedup_cell(r.sgemm_framebuffer),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(&["platform", "sum", "sgemm b16"], &rows)
+    );
+}

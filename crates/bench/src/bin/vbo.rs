@@ -1,0 +1,32 @@
+//! Regenerates the VBO memory-hint sweep the paper describes in §V-B text
+//! ("the plot is omitted for space limitations").
+
+use mgpu_bench::experiments::vbo;
+use mgpu_bench::setup::Protocol;
+use mgpu_bench::table;
+use mgpu_tbdr::Platform;
+
+fn main() {
+    let protocol = Protocol::default();
+    println!("VBO memory hints — sum speedup over client-side vertex arrays");
+    println!("paper: \"VBO improve sum performance in both platforms up to 1.5%");
+    println!("        depending on the memory hint provided\"\n");
+
+    let mut rows = Vec::new();
+    for platform in Platform::paper_pair() {
+        let r = vbo::run(&platform, &protocol).expect("vbo experiment");
+        rows.push(vec![
+            r.platform.clone(),
+            format!("{:+.2}%", (r.static_draw - 1.0) * 100.0),
+            format!("{:+.2}%", (r.dynamic_draw - 1.0) * 100.0),
+            format!("{:+.2}%", (r.stream_draw - 1.0) * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &["platform", "STATIC_DRAW", "DYNAMIC_DRAW", "STREAM_DRAW"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,82 @@
+//! Fig. 3 — effect of vsync for `sum` and `sgemm`.
+//!
+//! Speedups of three incremental synchronisation optimisations over the
+//! baseline (texture rendering, `eglSwapBuffers` at the platform's default
+//! interval): `eglSwapInterval(0)`, no `eglSwapBuffers`, and additionally
+//! the fp24 kernel.
+//!
+//! Paper reference values: SGX sum 1.00 / 3.47 / 3.85; VideoCore sum
+//! 9.22 / 16.11 / 16.28; SGX sgemm 1.00 / 1.00 / 1.13; VideoCore sgemm
+//! 1.24 / 1.24 / 1.48.
+
+use mgpu_gpgpu::{speedup, GpgpuError, OptConfig};
+use mgpu_tbdr::Platform;
+
+use crate::setup::{sgemm_period, sum_period, Protocol, SumMode};
+
+/// The sgemm block size the paper's Fig. 3 uses (its optimised kernel).
+pub const BLOCK: u32 = 16;
+
+/// Speedups of the three configurations over baseline, for one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig3Row {
+    /// `eglSwapInterval(0)` speedup.
+    pub interval0: f64,
+    /// No `eglSwapBuffers` speedup.
+    pub no_swap: f64,
+    /// No `eglSwapBuffers` + fp24 kernel speedup.
+    pub no_swap_fp24: f64,
+}
+
+/// Fig. 3 for one platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Platform {
+    /// Platform name.
+    pub platform: String,
+    /// `sum` speedups.
+    pub sum: Fig3Row,
+    /// `sgemm` speedups.
+    pub sgemm: Fig3Row,
+}
+
+/// Runs the Fig. 3 experiment on one platform.
+///
+/// # Errors
+///
+/// Propagates operator failures.
+pub fn run(platform: &Platform, protocol: &Protocol) -> Result<Fig3Platform, GpgpuError> {
+    let configs = [
+        OptConfig::baseline(),
+        OptConfig::baseline().with_swap_interval_0(),
+        OptConfig::baseline().without_swap(),
+        OptConfig::baseline().without_swap().with_fp24(),
+    ];
+
+    let mode = SumMode::default();
+    let mut sum_t = Vec::new();
+    for cfg in &configs {
+        sum_t.push(sum_period(platform, cfg, mode, protocol)?);
+    }
+    let sgemm_protocol = Protocol {
+        n: protocol.n,
+        ..Protocol::sgemm()
+    };
+    let mut sgemm_t = Vec::new();
+    for cfg in &configs {
+        sgemm_t.push(sgemm_period(platform, cfg, BLOCK, &sgemm_protocol)?);
+    }
+
+    Ok(Fig3Platform {
+        platform: platform.name.clone(),
+        sum: Fig3Row {
+            interval0: speedup(sum_t[0], sum_t[1]),
+            no_swap: speedup(sum_t[0], sum_t[2]),
+            no_swap_fp24: speedup(sum_t[0], sum_t[3]),
+        },
+        sgemm: Fig3Row {
+            interval0: speedup(sgemm_t[0], sgemm_t[1]),
+            no_swap: speedup(sgemm_t[0], sgemm_t[2]),
+            no_swap_fp24: speedup(sgemm_t[0], sgemm_t[3]),
+        },
+    })
+}

@@ -1,0 +1,88 @@
+//! Fig. 4a — framebuffer vs texture rendering.
+//!
+//! Compares the two render-target strategies for the optimised versions of
+//! `sum` (independent and with artificial inter-pass dependencies) and
+//! `sgemm` (block 16).
+//!
+//! Paper reference shapes: independent `sum` favours texture rendering by
+//! ~3 orders of magnitude on the SGX (1/0.000447 ≈ 2237×) and ~1 order on
+//! VideoCore; multi-pass `sgemm` favours the framebuffer on both
+//! platforms; dependent `sum` favours texture on the SGX but the
+//! framebuffer (DMA) on VideoCore.
+
+use mgpu_gpgpu::{GpgpuError, OptConfig};
+use mgpu_tbdr::{Platform, SimTime};
+
+use crate::setup::{best_config, sgemm_period, sum_period, Protocol, SumMode};
+
+/// The sgemm block size used (the paper's optimised kernel).
+pub const BLOCK: u32 = 16;
+
+/// Per-benchmark timings for both targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetPair {
+    /// Render-to-texture period.
+    pub texture: SimTime,
+    /// Framebuffer(+copy) period.
+    pub framebuffer: SimTime,
+}
+
+impl TargetPair {
+    /// How many times faster texture rendering is (>1: texture wins).
+    #[must_use]
+    pub fn texture_advantage(&self) -> f64 {
+        self.framebuffer.as_secs_f64() / self.texture.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Fig. 4a results for one platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4a {
+    /// Platform name.
+    pub platform: String,
+    /// Independent streaming `sum`.
+    pub sum: TargetPair,
+    /// `sum` with artificial dependencies between consecutive kernels.
+    pub sum_dependent: TargetPair,
+    /// Multi-pass `sgemm`, block 16.
+    pub sgemm: TargetPair,
+}
+
+fn pair(run: impl Fn(&OptConfig) -> Result<SimTime, GpgpuError>) -> Result<TargetPair, GpgpuError> {
+    use mgpu_gpgpu::RenderStrategy;
+    Ok(TargetPair {
+        texture: run(&best_config(RenderStrategy::Texture))?,
+        framebuffer: run(&best_config(RenderStrategy::Framebuffer))?,
+    })
+}
+
+/// Runs the Fig. 4a experiment on one platform.
+///
+/// # Errors
+///
+/// Propagates operator failures.
+pub fn run(platform: &Platform, protocol: &Protocol) -> Result<Fig4a, GpgpuError> {
+    let sum = pair(|cfg| sum_period(platform, cfg, SumMode::default(), protocol))?;
+    let sum_dependent = pair(|cfg| {
+        sum_period(
+            platform,
+            cfg,
+            SumMode {
+                dependent: true,
+                reupload: false,
+            },
+            protocol,
+        )
+    })?;
+    let sgemm_protocol = Protocol {
+        n: protocol.n,
+        ..Protocol::sgemm()
+    };
+    let sgemm = pair(|cfg| sgemm_period(platform, cfg, BLOCK, &sgemm_protocol))?;
+    Ok(Fig4a {
+        platform: platform.name.clone(),
+        sum,
+        sum_dependent,
+        sgemm,
+    })
+}

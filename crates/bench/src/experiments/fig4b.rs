@@ -1,0 +1,95 @@
+//! Fig. 4b — blocking in `sgemm`.
+//!
+//! Sweeps the block size over {1, 2, 4, 8, 16} for both render targets on
+//! both platforms, and confirms that block 32 fails shader compilation
+//! (the paper: "higher values lead to crashes and shader compilation
+//! failures").
+//!
+//! Paper reference shapes: performance increases with block size on both
+//! platforms; on the SGX, framebuffer rendering is much slower than
+//! texture rendering for small blocks but overtakes once the kernel
+//! outlasts the copy (block ≥ 4–8); on VideoCore the DMA engine keeps the
+//! framebuffer ahead at every block size.
+
+use mgpu_gpgpu::GpgpuError;
+use mgpu_tbdr::{Platform, SimTime};
+
+use crate::setup::{best_config, sgemm_period, Protocol};
+use mgpu_gpgpu::RenderStrategy;
+
+/// Block sizes the paper sweeps.
+pub const BLOCKS: [u32; 5] = [1, 2, 4, 8, 16];
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockPoint {
+    /// Block size.
+    pub block: u32,
+    /// Texture-rendering time per multiplication.
+    pub texture: SimTime,
+    /// Framebuffer-rendering time per multiplication.
+    pub framebuffer: SimTime,
+}
+
+/// Fig. 4b results for one platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4b {
+    /// Platform name.
+    pub platform: String,
+    /// One point per block size.
+    pub points: Vec<BlockPoint>,
+    /// The driver-style error message block 32 produces.
+    pub block32_error: String,
+}
+
+/// Runs the Fig. 4b experiment on one platform.
+///
+/// # Errors
+///
+/// Propagates operator failures (other than the expected block-32 one).
+pub fn run(platform: &Platform, protocol: &Protocol) -> Result<Fig4b, GpgpuError> {
+    let protocol = Protocol {
+        n: protocol.n,
+        ..Protocol::sgemm()
+    };
+    let mut points = Vec::new();
+    for block in BLOCKS {
+        let texture = sgemm_period(
+            platform,
+            &best_config(RenderStrategy::Texture),
+            block,
+            &protocol,
+        )?;
+        let framebuffer = sgemm_period(
+            platform,
+            &best_config(RenderStrategy::Framebuffer),
+            block,
+            &protocol,
+        )?;
+        points.push(BlockPoint {
+            block,
+            texture,
+            framebuffer,
+        });
+    }
+    // Block 32 must fail with a shader-limit error.
+    let block32_error = match sgemm_period(
+        platform,
+        &best_config(RenderStrategy::Texture),
+        32,
+        &protocol,
+    ) {
+        Err(e) if e.is_shader_limit() => e.to_string(),
+        Err(e) => return Err(e),
+        Ok(_) => {
+            return Err(GpgpuError::Config(
+                "block 32 unexpectedly compiled; platform limits too loose".to_owned(),
+            ))
+        }
+    };
+    Ok(Fig4b {
+        platform: platform.name.clone(),
+        points,
+        block32_error,
+    })
+}

@@ -1,0 +1,101 @@
+//! Fig. 5 — texture-memory reuse under both render targets.
+//!
+//! Compares fresh storage (`tex_image_2d` / `copy_tex_image_2d`) against
+//! in-place reuse (`tex_sub_image_2d` / `copy_tex_sub_image_2d`) at block
+//! size 16, with `sum` in its streaming mode (inputs re-uploaded every
+//! iteration).
+//!
+//! Paper reference shapes (speedup of reuse over fresh): Fig. 5a (texture
+//! rendering) — VideoCore `sum` ≈ +15%, SGX ≈ −2…7%; Fig. 5b (framebuffer
+//! rendering) — no improvement on either platform, and SGX `sgemm` drops
+//! to ≈ 0.70 from copy-destination false sharing.
+
+use mgpu_gpgpu::{speedup, GpgpuError, OptConfig};
+use mgpu_tbdr::Platform;
+
+use crate::setup::{best_config, sgemm_period, sum_period, Protocol, SumMode};
+use mgpu_gpgpu::RenderStrategy;
+
+/// The block size of the paper's Fig. 5 (its caption: block size 16).
+pub const BLOCK: u32 = 16;
+
+/// Speedups of texture reuse over fresh allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5 {
+    /// Platform name.
+    pub platform: String,
+    /// `sum` (streaming re-upload mode), texture rendering.
+    pub sum_texture: f64,
+    /// `sgemm`, texture rendering.
+    pub sgemm_texture: f64,
+    /// `sum` (streaming re-upload mode), framebuffer rendering.
+    pub sum_framebuffer: f64,
+    /// `sgemm`, framebuffer rendering.
+    pub sgemm_framebuffer: f64,
+}
+
+fn reuse_speedup_sum(
+    platform: &Platform,
+    base: OptConfig,
+    reupload: bool,
+    protocol: &Protocol,
+) -> Result<f64, GpgpuError> {
+    let mode = SumMode {
+        dependent: false,
+        reupload,
+    };
+    let fresh = sum_period(platform, &base, mode, protocol)?;
+    let reused = sum_period(platform, &base.with_texture_reuse(), mode, protocol)?;
+    Ok(speedup(fresh, reused))
+}
+
+fn reuse_speedup_sgemm(
+    platform: &Platform,
+    base: OptConfig,
+    protocol: &Protocol,
+) -> Result<f64, GpgpuError> {
+    let fresh = sgemm_period(platform, &base, BLOCK, protocol)?;
+    let reused = sgemm_period(platform, &base.with_texture_reuse(), BLOCK, protocol)?;
+    Ok(speedup(fresh, reused))
+}
+
+/// Runs the Fig. 5a+5b experiment on one platform.
+///
+/// # Errors
+///
+/// Propagates operator failures.
+pub fn run(platform: &Platform, protocol: &Protocol) -> Result<Fig5, GpgpuError> {
+    let sgemm_protocol = Protocol {
+        n: protocol.n,
+        ..Protocol::sgemm()
+    };
+    Ok(Fig5 {
+        platform: platform.name.clone(),
+        // Fig. 5a concerns input-texture reuse: sum streams fresh inputs
+        // every iteration so tex_image_2d vs tex_sub_image_2d matters.
+        sum_texture: reuse_speedup_sum(
+            platform,
+            best_config(RenderStrategy::Texture),
+            true,
+            protocol,
+        )?,
+        sgemm_texture: reuse_speedup_sgemm(
+            platform,
+            best_config(RenderStrategy::Texture),
+            &sgemm_protocol,
+        )?,
+        // Fig. 5b concerns the copy destination: inputs upload once, and
+        // reuse toggles copy_tex_image_2d vs copy_tex_sub_image_2d.
+        sum_framebuffer: reuse_speedup_sum(
+            platform,
+            best_config(RenderStrategy::Framebuffer),
+            false,
+            protocol,
+        )?,
+        sgemm_framebuffer: reuse_speedup_sgemm(
+            platform,
+            best_config(RenderStrategy::Framebuffer),
+            &sgemm_protocol,
+        )?,
+    })
+}

@@ -1,0 +1,7 @@
+//! One module per paper figure.
+
+pub mod fig3;
+pub mod fig4a;
+pub mod fig4b;
+pub mod fig5;
+pub mod vbo;

@@ -1,0 +1,50 @@
+//! §V-B (text) — vertex buffer objects and memory hints.
+//!
+//! The paper: "Vertex Buffer Objects (VBO) improve sum performance in both
+//! platforms up to 1.5% depending on the memory hint provided, however the
+//! plot is omitted for space limitations." This module reconstructs that
+//! omitted plot.
+
+use mgpu_gles::BufferUsage;
+use mgpu_gpgpu::{speedup, GpgpuError};
+use mgpu_tbdr::Platform;
+
+use mgpu_gpgpu::OptConfig;
+
+use crate::setup::{sum_period, Protocol, SumMode};
+
+/// Speedup of each vertex-sourcing choice over client arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VboResult {
+    /// Platform name.
+    pub platform: String,
+    /// VBO with `StaticDraw`.
+    pub static_draw: f64,
+    /// VBO with `DynamicDraw`.
+    pub dynamic_draw: f64,
+    /// VBO with `StreamDraw`.
+    pub stream_draw: f64,
+}
+
+/// Runs the VBO-hint sweep for `sum` on one platform.
+///
+/// # Errors
+///
+/// Propagates operator failures.
+pub fn run(platform: &Platform, protocol: &Protocol) -> Result<VboResult, GpgpuError> {
+    // Measured with drained frames (swap interval 0): per-draw CPU costs
+    // are visible there, matching the small effect the paper reports.
+    let mode = SumMode::default();
+    let base = OptConfig::baseline().with_swap_interval_0();
+    let client = sum_period(platform, &base, mode, protocol)?;
+    let with = |usage: BufferUsage| -> Result<f64, GpgpuError> {
+        let t = sum_period(platform, &base.with_vbo(usage), mode, protocol)?;
+        Ok(speedup(client, t))
+    };
+    Ok(VboResult {
+        platform: platform.name.clone(),
+        static_draw: with(BufferUsage::StaticDraw)?,
+        dynamic_draw: with(BufferUsage::DynamicDraw)?,
+        stream_draw: with(BufferUsage::StreamDraw)?,
+    })
+}

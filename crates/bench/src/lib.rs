@@ -1,0 +1,16 @@
+//! # mgpu-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§V):
+//! one module per figure under [`experiments`], shared measurement
+//! plumbing in [`setup`], and plain-text table rendering in [`table`].
+//!
+//! Binaries (`cargo run -p mgpu-bench --bin figN`) print the paper-style
+//! rows; Criterion benches (`cargo bench -p mgpu-bench`) wrap the same
+//! functions.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod experiments;
+pub mod setup;
+pub mod table;

@@ -1,0 +1,1312 @@
+//! The GL context: an OpenGL ES 2.0 + EGL subset as a safe Rust API.
+//!
+//! A [`Gl`] owns the full driver state — textures, buffers, framebuffer
+//! objects, programs, texture units, the double-buffered window surface —
+//! and two execution engines:
+//!
+//! * a **functional** engine (the [`raster`](crate::raster) module plus the
+//!   shader VM) that computes actual pixel values, and
+//! * a **timing** engine (the [`PipelineSim`](mgpu_tbdr::PipelineSim)) fed
+//!   one [`FrameWork`] per kernel invocation.
+//!
+//! API calls map 1:1 onto the GLES calls the paper discusses
+//! (`tex_image_2d` ↔ `glTexImage2D`, and so on), with GLES error semantics
+//! surfaced as `Result`s. Frame boundaries follow GL's: uploads accumulate
+//! until a draw; a draw opens a frame; `copy_tex_image_2d` attaches to it;
+//! the next draw, `swap_buffers`, `finish` or `flush` closes it.
+
+use std::collections::{HashMap, HashSet};
+
+use mgpu_shader::ir::Shader;
+use mgpu_shader::{compile_with, cost, CompileOptions, Limits, OptOptions, Sampler, UniformValues};
+use mgpu_tbdr::{
+    AllocKind, CopyOut, FragmentProfile, FragmentWork, FrameTiming, FrameWork, PipelineSim,
+    Platform, RenderTarget, ResourceId, SimReport, SimTime, SyncOp, Upload, VertexWork,
+};
+
+use crate::error::GlError;
+use crate::raster::{quantize_rgba8, rasterize_quad, texcoord_corners, VaryingCorners};
+use crate::types::{
+    BufferId, BufferUsage, FramebufferId, ProgramId, TextureFilter, TextureFormat, TextureId,
+    VertexSource,
+};
+
+/// Driver CPU cost of sourcing vertex data from client arrays (per draw):
+/// validation plus copy into the driver's ring buffer, before per-byte cost.
+const CLIENT_ARRAY_BASE: SimTime = SimTime::from_micros(25);
+/// Per-draw consistency cost of a `StreamDraw` VBO.
+const VBO_STREAM_COST: SimTime = SimTime::from_micros(3);
+/// Per-draw consistency cost of a `DynamicDraw` VBO (the driver must check
+/// for CPU writes each draw).
+const VBO_DYNAMIC_COST: SimTime = SimTime::from_micros(7);
+
+#[derive(Debug)]
+struct Texture {
+    storage: ResourceId,
+    width: u32,
+    height: u32,
+    format: TextureFormat,
+    filter: TextureFilter,
+    data: Vec<u8>,
+    allocated: bool,
+    /// Storage allocated and not yet rendered into / copied into.
+    storage_fresh: bool,
+}
+
+#[derive(Debug)]
+struct Buffer {
+    usage: BufferUsage,
+    size: u64,
+    allocated: bool,
+}
+
+#[derive(Debug, Default)]
+struct Framebuffer {
+    color: Option<TextureId>,
+}
+
+#[derive(Debug)]
+struct Program {
+    shader: Shader,
+    uniforms: UniformValues,
+    /// shader sampler unit → GL texture unit (glUniform1i on a sampler).
+    unit_bindings: HashMap<u8, u32>,
+}
+
+/// Identifies a render target for clear/content tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum TargetKey {
+    Surface(u32),
+    Storage(ResourceId),
+}
+
+/// A draw call: a quad covering the render target.
+///
+/// Every `vec2` varying defaults to the standard GPGPU texcoords (fragment
+/// (x, y) reads texel (x, y)); use [`DrawQuad::with_varying`] to override a
+/// varying's corner values.
+#[derive(Debug, Clone, Default)]
+pub struct DrawQuad {
+    overrides: Vec<(String, VaryingCorners)>,
+    /// Where vertex data comes from (client arrays vs a VBO).
+    pub vertex_source: VertexSource,
+    /// Label recorded on the frame for traces.
+    pub label: String,
+}
+
+impl DrawQuad {
+    /// A fullscreen quad with default texcoords on every varying.
+    #[must_use]
+    pub fn fullscreen() -> Self {
+        DrawQuad::default()
+    }
+
+    /// Overrides one varying's corner values
+    /// (corner order: (0,0), (1,0), (0,1), (1,1)).
+    #[must_use]
+    pub fn with_varying(mut self, name: &str, corners: VaryingCorners) -> Self {
+        self.overrides.push((name.to_owned(), corners));
+        self
+    }
+
+    /// Sets the vertex source.
+    #[must_use]
+    pub fn with_vertex_source(mut self, source: VertexSource) -> Self {
+        self.vertex_source = source;
+        self
+    }
+
+    /// Sets the trace label.
+    #[must_use]
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = label.to_owned();
+        self
+    }
+}
+
+/// Filtering view over texture bytes (nearest or bilinear, clamp-to-edge).
+struct TexView<'a> {
+    data: &'a [u8],
+    width: u32,
+    height: u32,
+    channels: usize,
+    filter: TextureFilter,
+}
+
+impl TexView<'_> {
+    fn texel(&self, x: i64, y: i64) -> [f32; 4] {
+        let x = x.clamp(0, i64::from(self.width) - 1);
+        let y = y.clamp(0, i64::from(self.height) - 1);
+        let idx = (y as usize * self.width as usize + x as usize) * self.channels;
+        let mut out = [0.0f32, 0.0, 0.0, 1.0];
+        for (c, o) in out.iter_mut().enumerate().take(self.channels.min(4)) {
+            *o = f32::from(self.data[idx + c]) / 255.0;
+        }
+        out
+    }
+}
+
+impl Sampler for TexView<'_> {
+    fn fetch(&self, u: f32, v: f32) -> [f32; 4] {
+        match self.filter {
+            TextureFilter::Nearest => self.texel(
+                (u * self.width as f32).floor() as i64,
+                (v * self.height as f32).floor() as i64,
+            ),
+            TextureFilter::Linear => {
+                // Sample positions relative to texel centres.
+                let x = u * self.width as f32 - 0.5;
+                let y = v * self.height as f32 - 0.5;
+                let (x0, y0) = (x.floor(), y.floor());
+                let (fx, fy) = (x - x0, y - y0);
+                let (x0, y0) = (x0 as i64, y0 as i64);
+                let t00 = self.texel(x0, y0);
+                let t10 = self.texel(x0 + 1, y0);
+                let t01 = self.texel(x0, y0 + 1);
+                let t11 = self.texel(x0 + 1, y0 + 1);
+                let mut out = [0.0f32; 4];
+                for c in 0..4 {
+                    let top = t00[c] * (1.0 - fx) + t10[c] * fx;
+                    let bottom = t01[c] * (1.0 - fx) + t11[c] * fx;
+                    out[c] = top * (1.0 - fy) + bottom * fy;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// An OpenGL ES 2.0 context bound to a window surface on a simulated
+/// platform.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_gles::{DrawQuad, Gl, TextureFormat};
+/// use mgpu_tbdr::Platform;
+///
+/// # fn main() -> Result<(), mgpu_gles::GlError> {
+/// let mut gl = Gl::new(Platform::videocore_iv(), 64, 64);
+/// let prog = gl.create_program(
+///     "uniform sampler2D u_src;
+///      varying vec2 v_coord;
+///      void main() { gl_FragColor = texture2D(u_src, v_coord); }",
+/// )?;
+/// let src = gl.create_texture();
+/// gl.tex_image_2d(src, 64, 64, TextureFormat::Rgba8, Some(&[128u8; 64 * 64 * 4]))?;
+/// gl.bind_texture(0, Some(src))?;
+/// gl.use_program(Some(prog))?;
+/// gl.clear([0.0; 4])?;
+/// gl.draw_quad(&DrawQuad::fullscreen())?;
+/// gl.swap_buffers()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Gl {
+    platform: Platform,
+    sim: PipelineSim,
+    functional: bool,
+
+    next_handle: u32,
+    resource_counter: u64,
+    textures: HashMap<u32, Texture>,
+    buffers: HashMap<u32, Buffer>,
+    framebuffers: HashMap<u32, Framebuffer>,
+    programs: HashMap<u32, Program>,
+
+    texture_units: Vec<Option<TextureId>>,
+    bound_framebuffer: Option<FramebufferId>,
+    current_program: Option<ProgramId>,
+    swap_interval: u32,
+
+    surface_width: u32,
+    surface_height: u32,
+    surfaces: Vec<Vec<u8>>,
+    back_surface: u32,
+
+    pending: Option<FrameWork>,
+    pending_uploads: Vec<Upload>,
+    pending_cpu_extra: SimTime,
+    cleared_targets: HashSet<TargetKey>,
+    has_content: HashSet<TargetKey>,
+
+    draw_counter: u64,
+    last_timing: Option<FrameTiming>,
+    record_frames: bool,
+    recorded: Vec<(FrameWork, FrameTiming)>,
+}
+
+impl Gl {
+    /// Creates a context with a `width`×`height` double-buffered window
+    /// surface, at the platform's default swap interval.
+    #[must_use]
+    pub fn new(platform: Platform, width: u32, height: u32) -> Self {
+        let surfaces = (0..platform.framebuffer_surfaces.max(1))
+            .map(|_| vec![0u8; width as usize * height as usize * 4])
+            .collect();
+        let swap_interval = platform.default_swap_interval;
+        Gl {
+            sim: PipelineSim::new(platform.clone()),
+            platform,
+            functional: true,
+            next_handle: 1,
+            resource_counter: 1,
+            textures: HashMap::new(),
+            buffers: HashMap::new(),
+            framebuffers: HashMap::new(),
+            programs: HashMap::new(),
+            texture_units: vec![None; 8],
+            bound_framebuffer: None,
+            current_program: None,
+            swap_interval,
+            surface_width: width,
+            surface_height: height,
+            surfaces,
+            back_surface: 0,
+            pending: None,
+            pending_uploads: Vec::new(),
+            pending_cpu_extra: SimTime::ZERO,
+            cleared_targets: HashSet::new(),
+            has_content: HashSet::new(),
+            draw_counter: 0,
+            last_timing: None,
+            record_frames: false,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// The simulated platform.
+    #[must_use]
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Enables or disables functional pixel execution. With it off, only
+    /// the timing model runs — how the benchmark harness simulates the
+    /// paper's 10 000-iteration protocol at full 1024×1024 size cheaply.
+    pub fn set_functional(&mut self, functional: bool) {
+        self.functional = functional;
+    }
+
+    /// Whether functional pixel execution is on.
+    #[must_use]
+    pub fn functional(&self) -> bool {
+        self.functional
+    }
+
+    fn handle(&mut self) -> u32 {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        h
+    }
+
+    fn storage(&mut self) -> ResourceId {
+        ResourceId::next(&mut self.resource_counter)
+    }
+
+    // ---- textures ----------------------------------------------------
+
+    /// Creates a texture object (no storage yet), like `glGenTextures`.
+    pub fn create_texture(&mut self) -> TextureId {
+        let h = self.handle();
+        let storage = self.storage();
+        self.textures.insert(
+            h,
+            Texture {
+                storage,
+                width: 0,
+                height: 0,
+                format: TextureFormat::Rgba8,
+                filter: TextureFilter::Nearest,
+                data: Vec::new(),
+                allocated: false,
+                storage_fresh: false,
+            },
+        );
+        TextureId(h)
+    }
+
+    /// Deletes a texture object.
+    ///
+    /// # Errors
+    ///
+    /// [`GlError::UnknownObject`] if the handle is stale.
+    pub fn delete_texture(&mut self, tex: TextureId) -> Result<(), GlError> {
+        self.textures
+            .remove(&tex.0)
+            .map(|_| ())
+            .ok_or_else(|| GlError::UnknownObject(tex.to_string()))?;
+        for unit in &mut self.texture_units {
+            if *unit == Some(tex) {
+                *unit = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// `glTexImage2D`: (re)allocates texture storage and optionally fills
+    /// it. Fresh storage lets the driver rename, so this never stalls on
+    /// in-flight GPU work — at the price of the allocation cost the paper's
+    /// texture-reuse optimisation removes.
+    ///
+    /// # Errors
+    ///
+    /// [`GlError::InvalidValue`] when `data` has the wrong size;
+    /// [`GlError::UnknownObject`] for stale handles.
+    pub fn tex_image_2d(
+        &mut self,
+        tex: TextureId,
+        width: u32,
+        height: u32,
+        format: TextureFormat,
+        data: Option<&[u8]>,
+    ) -> Result<(), GlError> {
+        let expected = width as usize * height as usize * format.channels();
+        if let Some(d) = data {
+            if d.len() != expected {
+                return Err(GlError::InvalidValue(format!(
+                    "texture data is {} bytes, expected {expected}",
+                    d.len()
+                )));
+            }
+        }
+        let storage = self.storage();
+        let functional = self.functional;
+        let t = self
+            .textures
+            .get_mut(&tex.0)
+            .ok_or_else(|| GlError::UnknownObject(tex.to_string()))?;
+        t.storage = storage;
+        t.width = width;
+        t.height = height;
+        t.format = format;
+        t.allocated = true;
+        t.storage_fresh = true;
+        t.data = if functional {
+            data.map_or_else(|| vec![0u8; expected], <[u8]>::to_vec)
+        } else {
+            Vec::new()
+        };
+        self.pending_uploads.push(Upload {
+            resource: storage,
+            alloc_bytes: expected as u64,
+            copy_bytes: data.map_or(0, |d| d.len() as u64),
+            alloc: AllocKind::Fresh,
+        });
+        Ok(())
+    }
+
+    /// `glTexSubImage2D` over the full image: rewrites existing storage in
+    /// place. No allocation cost, but the CPU may stall until the deferred
+    /// GPU is done with the storage (the paper's Fig. 5a trade-off).
+    ///
+    /// # Errors
+    ///
+    /// [`GlError::InvalidOperation`] when the texture has no storage;
+    /// [`GlError::InvalidValue`] on size mismatch.
+    pub fn tex_sub_image_2d(&mut self, tex: TextureId, data: &[u8]) -> Result<(), GlError> {
+        let functional = self.functional;
+        let t = self
+            .textures
+            .get_mut(&tex.0)
+            .ok_or_else(|| GlError::UnknownObject(tex.to_string()))?;
+        if !t.allocated {
+            return Err(GlError::InvalidOperation(format!(
+                "{tex} has no storage; call tex_image_2d first"
+            )));
+        }
+        let expected = t.width as usize * t.height as usize * t.format.channels();
+        if data.len() != expected {
+            return Err(GlError::InvalidValue(format!(
+                "texture data is {} bytes, expected {expected}",
+                data.len()
+            )));
+        }
+        if functional {
+            t.data.clear();
+            t.data.extend_from_slice(data);
+        }
+        self.pending_uploads
+            .push(Upload::reuse(t.storage, data.len() as u64));
+        Ok(())
+    }
+
+    /// Binds a texture to a texture unit (`glActiveTexture` +
+    /// `glBindTexture` combined).
+    ///
+    /// # Errors
+    ///
+    /// [`GlError::InvalidValue`] for out-of-range units,
+    /// [`GlError::UnknownObject`] for stale handles.
+    pub fn bind_texture(&mut self, unit: u32, tex: Option<TextureId>) -> Result<(), GlError> {
+        let slot = self
+            .texture_units
+            .get_mut(unit as usize)
+            .ok_or_else(|| GlError::InvalidValue(format!("texture unit {unit} out of range")))?;
+        if let Some(t) = tex {
+            if !self.textures.contains_key(&t.0) {
+                return Err(GlError::UnknownObject(t.to_string()));
+            }
+        }
+        *slot = tex;
+        Ok(())
+    }
+
+    /// `glTexParameteri(GL_TEXTURE_MIN/MAG_FILTER)`: sets the sampling
+    /// filter used when this texture is fetched by a kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`GlError::UnknownObject`] for stale handles.
+    pub fn tex_parameter_filter(
+        &mut self,
+        tex: TextureId,
+        filter: TextureFilter,
+    ) -> Result<(), GlError> {
+        self.textures
+            .get_mut(&tex.0)
+            .map(|t| t.filter = filter)
+            .ok_or_else(|| GlError::UnknownObject(tex.to_string()))
+    }
+
+    /// Host-side accessor for a texture's current bytes (a debug/test
+    /// convenience; real GLES has no texture readback, which is why the
+    /// paper's pipeline reads results via the framebuffer).
+    ///
+    /// # Errors
+    ///
+    /// [`GlError::UnknownObject`] for stale handles.
+    pub fn texture_data(&self, tex: TextureId) -> Result<&[u8], GlError> {
+        self.textures
+            .get(&tex.0)
+            .map(|t| t.data.as_slice())
+            .ok_or_else(|| GlError::UnknownObject(tex.to_string()))
+    }
+
+    /// A texture's (width, height, format), if allocated.
+    ///
+    /// # Errors
+    ///
+    /// [`GlError::UnknownObject`] for stale handles.
+    pub fn texture_info(&self, tex: TextureId) -> Result<(u32, u32, TextureFormat), GlError> {
+        self.textures
+            .get(&tex.0)
+            .map(|t| (t.width, t.height, t.format))
+            .ok_or_else(|| GlError::UnknownObject(tex.to_string()))
+    }
+
+    // ---- buffers -------------------------------------------------------
+
+    /// Creates a buffer object (VBO).
+    pub fn create_buffer(&mut self) -> BufferId {
+        let h = self.handle();
+        self.buffers.insert(
+            h,
+            Buffer {
+                usage: BufferUsage::default(),
+                size: 0,
+                allocated: false,
+            },
+        );
+        BufferId(h)
+    }
+
+    /// `glBufferData`: allocates buffer storage with a usage hint and
+    /// uploads `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`GlError::UnknownObject`] for stale handles.
+    pub fn buffer_data(
+        &mut self,
+        buf: BufferId,
+        size: u64,
+        usage: BufferUsage,
+    ) -> Result<(), GlError> {
+        let storage = self.storage();
+        let b = self
+            .buffers
+            .get_mut(&buf.0)
+            .ok_or_else(|| GlError::UnknownObject(buf.to_string()))?;
+        b.usage = usage;
+        b.size = size;
+        b.allocated = true;
+        self.pending_uploads.push(Upload {
+            resource: storage,
+            alloc_bytes: size,
+            copy_bytes: size,
+            alloc: AllocKind::Fresh,
+        });
+        Ok(())
+    }
+
+    // ---- framebuffer objects -------------------------------------------
+
+    /// Creates a framebuffer object.
+    pub fn create_framebuffer(&mut self) -> FramebufferId {
+        let h = self.handle();
+        self.framebuffers.insert(h, Framebuffer::default());
+        FramebufferId(h)
+    }
+
+    /// Binds a framebuffer object (`None` = the window surface).
+    ///
+    /// # Errors
+    ///
+    /// [`GlError::UnknownObject`] for stale handles.
+    pub fn bind_framebuffer(&mut self, fbo: Option<FramebufferId>) -> Result<(), GlError> {
+        if let Some(f) = fbo {
+            if !self.framebuffers.contains_key(&f.0) {
+                return Err(GlError::UnknownObject(f.to_string()));
+            }
+        }
+        self.bound_framebuffer = fbo;
+        Ok(())
+    }
+
+    /// `glFramebufferTexture2D`: attaches a texture as the colour target of
+    /// the bound FBO — the render-to-texture path (step 5 of the paper's
+    /// Fig. 1).
+    ///
+    /// # Errors
+    ///
+    /// [`GlError::InvalidOperation`] when no FBO is bound or the texture has
+    /// no storage.
+    pub fn framebuffer_texture_2d(&mut self, tex: TextureId) -> Result<(), GlError> {
+        let t = self
+            .textures
+            .get(&tex.0)
+            .ok_or_else(|| GlError::UnknownObject(tex.to_string()))?;
+        if !t.allocated {
+            return Err(GlError::InvalidOperation(format!(
+                "{tex} has no storage; allocate before attaching"
+            )));
+        }
+        let fbo = self
+            .bound_framebuffer
+            .ok_or_else(|| GlError::InvalidOperation("no framebuffer object bound".to_owned()))?;
+        self.framebuffers
+            .get_mut(&fbo.0)
+            .expect("bound FBO exists")
+            .color = Some(tex);
+        Ok(())
+    }
+
+    // ---- programs --------------------------------------------------------
+
+    /// Compiles and links a fragment kernel against the platform's shader
+    /// limits (the vertex stage is the fixed passthrough GPGPU quad
+    /// pipeline).
+    ///
+    /// # Errors
+    ///
+    /// [`GlError::CompileFailed`] carrying the driver-style info log; check
+    /// [`GlError::is_shader_limit`] for resource-limit rejections.
+    pub fn create_program(&mut self, fragment_source: &str) -> Result<ProgramId, GlError> {
+        self.create_program_with(fragment_source, &OptOptions::full())
+    }
+
+    /// Like [`Gl::create_program`] with explicit optimiser settings, for
+    /// the kernel-code ablations.
+    ///
+    /// # Errors
+    ///
+    /// See [`Gl::create_program`].
+    pub fn create_program_with(
+        &mut self,
+        fragment_source: &str,
+        opt: &OptOptions,
+    ) -> Result<ProgramId, GlError> {
+        let sl = &self.platform.shader_limits;
+        let options = CompileOptions {
+            opt: *opt,
+            limits: Limits {
+                max_instructions: sl.max_instructions,
+                max_texture_fetches: sl.max_texture_fetches,
+                max_uniform_vectors: sl.max_uniform_vectors,
+                max_varying_vectors: sl.max_varying_vectors,
+            },
+        };
+        let shader = compile_with(fragment_source, &options)?;
+        let h = self.handle();
+        self.programs.insert(
+            h,
+            Program {
+                shader,
+                uniforms: UniformValues::new(),
+                unit_bindings: HashMap::new(),
+            },
+        );
+        Ok(ProgramId(h))
+    }
+
+    /// Selects the program used by subsequent draws.
+    ///
+    /// # Errors
+    ///
+    /// [`GlError::UnknownObject`] for stale handles.
+    pub fn use_program(&mut self, prog: Option<ProgramId>) -> Result<(), GlError> {
+        if let Some(p) = prog {
+            if !self.programs.contains_key(&p.0) {
+                return Err(GlError::UnknownObject(p.to_string()));
+            }
+        }
+        self.current_program = prog;
+        Ok(())
+    }
+
+    /// Sets a scalar float uniform.
+    ///
+    /// # Errors
+    ///
+    /// [`GlError::InvalidValue`] when the program declares no such uniform.
+    pub fn set_uniform_scalar(
+        &mut self,
+        prog: ProgramId,
+        name: &str,
+        value: f32,
+    ) -> Result<(), GlError> {
+        self.set_uniform_vec(prog, name, [value, 0.0, 0.0, 0.0])
+    }
+
+    /// Sets a (possibly vector) uniform; extra components are ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`GlError::InvalidValue`] when the program declares no such uniform.
+    pub fn set_uniform_vec(
+        &mut self,
+        prog: ProgramId,
+        name: &str,
+        value: [f32; 4],
+    ) -> Result<(), GlError> {
+        let p = self
+            .programs
+            .get_mut(&prog.0)
+            .ok_or_else(|| GlError::UnknownObject(prog.to_string()))?;
+        if !p.shader.uniform_slots().any(|s| s.name == name) {
+            return Err(GlError::InvalidValue(format!(
+                "program declares no uniform `{name}`"
+            )));
+        }
+        p.uniforms.set(name, value);
+        Ok(())
+    }
+
+    /// Binds a sampler uniform to a GL texture unit (`glUniform1i`).
+    ///
+    /// # Errors
+    ///
+    /// [`GlError::InvalidValue`] when the program declares no such sampler.
+    pub fn set_sampler(&mut self, prog: ProgramId, name: &str, unit: u32) -> Result<(), GlError> {
+        let p = self
+            .programs
+            .get_mut(&prog.0)
+            .ok_or_else(|| GlError::UnknownObject(prog.to_string()))?;
+        let shader_unit = p.shader.sampler_unit(name).ok_or_else(|| {
+            GlError::InvalidValue(format!("program declares no sampler `{name}`"))
+        })?;
+        p.unit_bindings.insert(shader_unit, unit);
+        Ok(())
+    }
+
+    // ---- target helpers --------------------------------------------------
+
+    fn current_target(&self) -> Result<(TargetKey, u32, u32, TextureFormat), GlError> {
+        match self.bound_framebuffer {
+            None => Ok((
+                TargetKey::Surface(self.back_surface),
+                self.surface_width,
+                self.surface_height,
+                TextureFormat::Rgba8,
+            )),
+            Some(fbo) => {
+                let f = self
+                    .framebuffers
+                    .get(&fbo.0)
+                    .ok_or_else(|| GlError::UnknownObject(fbo.to_string()))?;
+                let tex = f.color.ok_or_else(|| {
+                    GlError::InvalidFramebufferOperation(
+                        "framebuffer has no colour attachment".to_owned(),
+                    )
+                })?;
+                let t = self
+                    .textures
+                    .get(&tex.0)
+                    .ok_or_else(|| GlError::UnknownObject(tex.to_string()))?;
+                Ok((TargetKey::Storage(t.storage), t.width, t.height, t.format))
+            }
+        }
+    }
+
+    fn attachment_texture(&self) -> Option<TextureId> {
+        self.bound_framebuffer
+            .and_then(|fbo| self.framebuffers.get(&fbo.0))
+            .and_then(|f| f.color)
+    }
+
+    // ---- rendering ---------------------------------------------------------
+
+    /// `glClear`: fills the current target and — crucially on a TBDR GPU —
+    /// invalidates its previous contents so the next draw skips the
+    /// expensive tile reload (step 6 of Fig. 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates target-resolution errors.
+    pub fn clear(&mut self, rgba: [f32; 4]) -> Result<(), GlError> {
+        let (key, _, _, format) = self.current_target()?;
+        self.cleared_targets.insert(key);
+        if self.functional {
+            let px = quantize_rgba8(rgba);
+            match key {
+                TargetKey::Surface(s) => {
+                    for chunk in self.surfaces[s as usize].chunks_exact_mut(4) {
+                        chunk.copy_from_slice(&px);
+                    }
+                }
+                TargetKey::Storage(_) => {
+                    if let Some(tex) = self.attachment_texture() {
+                        let t = self.textures.get_mut(&tex.0).expect("attachment exists");
+                        let ch = format.channels();
+                        for chunk in t.data.chunks_exact_mut(ch) {
+                            chunk.copy_from_slice(&px[..ch]);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `EXT_discard_framebuffer`: invalidates the current target's contents
+    /// without touching pixels — same tile-reload saving as [`Gl::clear`]
+    /// at zero fill cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates target-resolution errors.
+    pub fn discard_framebuffer(&mut self) -> Result<(), GlError> {
+        let (key, _, _, _) = self.current_target()?;
+        self.cleared_targets.insert(key);
+        Ok(())
+    }
+
+    /// Draws a quad covering the current render target with the current
+    /// program — one GPGPU kernel invocation.
+    ///
+    /// # Errors
+    ///
+    /// [`GlError::InvalidOperation`] when no program is in use, a sampled
+    /// texture is missing, or a sampled texture is also the render target
+    /// (the OpenGL ES 2 feedback-loop rule that forces the paper's
+    /// double-buffered intermediate textures).
+    pub fn draw_quad(&mut self, quad: &DrawQuad) -> Result<(), GlError> {
+        // Close the previous kernel's frame.
+        self.flush_pending(SyncOp::None);
+
+        let prog_id = self
+            .current_program
+            .ok_or_else(|| GlError::InvalidOperation("no program in use".to_owned()))?;
+        let (target_key, width, height, target_format) = self.current_target()?;
+
+        let program = self
+            .programs
+            .get(&prog_id.0)
+            .ok_or_else(|| GlError::UnknownObject(prog_id.to_string()))?;
+
+        // Resolve sampler units to textures.
+        let mut sampled: Vec<(u8, TextureId)> = Vec::new();
+        for slot in &program.shader.samplers {
+            let gl_unit = program
+                .unit_bindings
+                .get(&slot.unit)
+                .copied()
+                .unwrap_or(u32::from(slot.unit));
+            let tex = self
+                .texture_units
+                .get(gl_unit as usize)
+                .copied()
+                .flatten()
+                .ok_or_else(|| {
+                    GlError::InvalidOperation(format!(
+                        "sampler `{}` reads texture unit {gl_unit}, which has no texture bound",
+                        slot.name
+                    ))
+                })?;
+            let t = self
+                .textures
+                .get(&tex.0)
+                .ok_or_else(|| GlError::UnknownObject(tex.to_string()))?;
+            if !t.allocated {
+                return Err(GlError::InvalidOperation(format!(
+                    "sampler `{}` reads {tex}, which has no storage",
+                    slot.name
+                )));
+            }
+            if TargetKey::Storage(t.storage) == target_key {
+                return Err(GlError::InvalidOperation(format!(
+                    "{tex} is bound both as render target and for sampling \
+                     (feedback loop; OpenGL ES 2 leaves the result undefined)"
+                )));
+            }
+            sampled.push((slot.unit, tex));
+        }
+
+        // Build the fragment cost profile from the kernel and the formats
+        // of the textures it actually samples.
+        let kernel_cost = cost::analyze(&program.shader);
+        let mut profile = FragmentProfile {
+            alu_cycles: kernel_cost.alu_cycles,
+            output_bytes: target_format.bytes_per_texel() as f64,
+            ..FragmentProfile::default()
+        };
+        for fetch in &kernel_cost.fetches {
+            let bytes = sampled
+                .iter()
+                .find(|(unit, _)| *unit == fetch.sampler)
+                .map(|(_, tex)| self.textures[&tex.0].format.bytes_per_texel() as f64)
+                .unwrap_or(4.0);
+            if fetch.dependent {
+                profile.dependent_fetches += 1.0;
+                profile.dependent_fetch_bytes += bytes;
+            } else {
+                profile.streaming_fetches += 1.0;
+                profile.streaming_fetch_bytes += bytes;
+            }
+        }
+
+        // Vertex-source driver costs (the paper's VBO optimisation point).
+        let mut cpu_extra = std::mem::take(&mut self.pending_cpu_extra);
+        let uploads = std::mem::take(&mut self.pending_uploads);
+        let varying_count = program.shader.varying_slots().count() as u64;
+        match quad.vertex_source {
+            VertexSource::ClientArrays => {
+                // The driver copies client vertex data into its ring buffer
+                // on every draw: pure CPU time, no fresh allocation.
+                let bytes = 4 * (8 + varying_count * 8);
+                cpu_extra += CLIENT_ARRAY_BASE + self.platform.cpu_copy_bandwidth.time_for(bytes);
+            }
+            VertexSource::Vbo(buf) => {
+                let b = self
+                    .buffers
+                    .get(&buf.0)
+                    .ok_or_else(|| GlError::UnknownObject(buf.to_string()))?;
+                if !b.allocated {
+                    return Err(GlError::InvalidOperation(format!(
+                        "{buf} has no storage; call buffer_data first"
+                    )));
+                }
+                cpu_extra += match b.usage {
+                    BufferUsage::StaticDraw => SimTime::ZERO,
+                    BufferUsage::StreamDraw => VBO_STREAM_COST,
+                    BufferUsage::DynamicDraw => VBO_DYNAMIC_COST,
+                };
+            }
+        }
+
+        // Functional rasterisation.
+        if self.functional {
+            self.rasterize(prog_id, quad, target_key, width, height, target_format)?;
+        }
+
+        // Record content/clear state.
+        let cleared =
+            self.cleared_targets.remove(&target_key) || !self.has_content.contains(&target_key);
+        self.has_content.insert(target_key);
+
+        let (target, reads) = {
+            let target = match target_key {
+                TargetKey::Surface(s) => RenderTarget::Framebuffer { surface: s },
+                TargetKey::Storage(storage) => {
+                    let tex = self
+                        .attachment_texture()
+                        .expect("storage target has attachment");
+                    let t = self.textures.get_mut(&tex.0).expect("attachment exists");
+                    let fresh = t.storage_fresh;
+                    t.storage_fresh = false;
+                    RenderTarget::Texture { storage, fresh }
+                }
+            };
+            let reads = sampled
+                .iter()
+                .map(|(_, tex)| self.textures[&tex.0].storage)
+                .collect();
+            (target, reads)
+        };
+
+        self.draw_counter += 1;
+        let label = if quad.label.is_empty() {
+            format!("draw#{}", self.draw_counter)
+        } else {
+            quad.label.clone()
+        };
+        self.pending = Some(FrameWork {
+            label,
+            uploads,
+            cpu_extra,
+            vertex: VertexWork { vertices: 4 },
+            fragment: FragmentWork {
+                fragments: u64::from(width) * u64::from(height),
+                width,
+                height,
+                profile,
+                cleared,
+            },
+            target,
+            reads,
+            copy_out: None,
+            sync: SyncOp::None,
+        });
+        Ok(())
+    }
+
+    fn rasterize(
+        &mut self,
+        prog_id: ProgramId,
+        quad: &DrawQuad,
+        target_key: TargetKey,
+        width: u32,
+        height: u32,
+        target_format: TextureFormat,
+    ) -> Result<(), GlError> {
+        let program = &self.programs[&prog_id.0];
+        // Corner sets per varying slot.
+        let mut corners = Vec::new();
+        for slot in program.shader.varying_slots() {
+            let c = quad
+                .overrides
+                .iter()
+                .find(|(n, _)| n == &slot.name)
+                .map(|(_, c)| *c)
+                .unwrap_or_else(texcoord_corners);
+            corners.push(c);
+        }
+        for (name, _) in &quad.overrides {
+            if !program.shader.varying_slots().any(|s| &s.name == name) {
+                return Err(GlError::InvalidValue(format!(
+                    "program declares no varying `{name}`"
+                )));
+            }
+        }
+
+        // Pull the target texture out so sampler views can borrow the rest.
+        let mut taken: Option<(TextureId, Vec<u8>)> = None;
+        if let TargetKey::Storage(_) = target_key {
+            let tex = self.attachment_texture().expect("storage target");
+            let data = std::mem::take(&mut self.textures.get_mut(&tex.0).unwrap().data);
+            taken = Some((tex, data));
+        }
+
+        let ch = target_format.channels();
+        let result = {
+            let textures = &self.textures;
+            let views: Vec<TexView<'_>> = program
+                .shader
+                .samplers
+                .iter()
+                .map(|slot| {
+                    let gl_unit = program
+                        .unit_bindings
+                        .get(&slot.unit)
+                        .copied()
+                        .unwrap_or(u32::from(slot.unit));
+                    let tex = self.texture_units[gl_unit as usize].expect("validated");
+                    let t = &textures[&tex.0];
+                    TexView {
+                        data: &t.data,
+                        width: t.width,
+                        height: t.height,
+                        channels: t.format.channels(),
+                        filter: t.filter,
+                    }
+                })
+                .collect();
+            let sampler_refs: Vec<&dyn Sampler> = views.iter().map(|v| v as &dyn Sampler).collect();
+
+            let out: &mut [u8] = match (&target_key, &mut taken) {
+                (TargetKey::Surface(s), _) => &mut self.surfaces[*s as usize],
+                (TargetKey::Storage(_), Some((_, data))) => data.as_mut_slice(),
+                _ => unreachable!("storage target always taken"),
+            };
+            rasterize_quad(
+                &program.shader,
+                &program.uniforms,
+                &sampler_refs,
+                width,
+                height,
+                &corners,
+                |x, y, rgba| {
+                    let px = quantize_rgba8(rgba);
+                    let idx = (y as usize * width as usize + x as usize) * ch;
+                    out[idx..idx + ch].copy_from_slice(&px[..ch]);
+                },
+            )
+        };
+
+        if let Some((tex, data)) = taken {
+            self.textures.get_mut(&tex.0).unwrap().data = data;
+        }
+        result.map_err(|e| GlError::InvalidOperation(format!("kernel execution failed: {e}")))
+    }
+
+    // ---- copies -----------------------------------------------------------
+
+    /// `glCopyTexImage2D`: copies the current render target into `dst`,
+    /// allocating fresh storage (renameable — no false sharing, but pays
+    /// allocation every call).
+    ///
+    /// # Errors
+    ///
+    /// Propagates target-resolution errors and stale handles.
+    pub fn copy_tex_image_2d(
+        &mut self,
+        dst: TextureId,
+        format: TextureFormat,
+    ) -> Result<(), GlError> {
+        self.copy_to_texture(dst, Some(format))
+    }
+
+    /// `glCopyTexSubImage2D`: copies the current render target into `dst`'s
+    /// *existing* storage — no allocation, but the copy serialises against
+    /// every in-flight use of that storage (the paper's Fig. 5b false
+    /// sharing).
+    ///
+    /// # Errors
+    ///
+    /// [`GlError::InvalidOperation`] when `dst` has no storage or its size
+    /// differs from the render target.
+    pub fn copy_tex_sub_image_2d(&mut self, dst: TextureId) -> Result<(), GlError> {
+        self.copy_to_texture(dst, None)
+    }
+
+    fn copy_to_texture(
+        &mut self,
+        dst: TextureId,
+        fresh_format: Option<TextureFormat>,
+    ) -> Result<(), GlError> {
+        let (target_key, width, height, _) = self.current_target()?;
+
+        // Functional copy of pixels.
+        let src_pixels: Option<Vec<u8>> = if self.functional {
+            Some(match target_key {
+                TargetKey::Surface(s) => self.surfaces[s as usize].clone(),
+                TargetKey::Storage(_) => {
+                    let tex = self.attachment_texture().expect("storage target");
+                    self.textures[&tex.0].data.clone()
+                }
+            })
+        } else {
+            None
+        };
+        let src_format = match target_key {
+            TargetKey::Surface(_) => TextureFormat::Rgba8,
+            TargetKey::Storage(_) => {
+                let tex = self.attachment_texture().expect("storage target");
+                self.textures[&tex.0].format
+            }
+        };
+
+        let (storage, alloc, bytes) = {
+            let functional = self.functional;
+            let new_storage = fresh_format.map(|_| self.storage());
+            let t = self
+                .textures
+                .get_mut(&dst.0)
+                .ok_or_else(|| GlError::UnknownObject(dst.to_string()))?;
+            match fresh_format {
+                Some(format) => {
+                    t.storage = new_storage.expect("fresh storage allocated");
+                    t.width = width;
+                    t.height = height;
+                    t.format = format;
+                    t.allocated = true;
+                    t.storage_fresh = true;
+                }
+                None => {
+                    if !t.allocated {
+                        return Err(GlError::InvalidOperation(format!(
+                            "{dst} has no storage; copy_tex_image_2d first"
+                        )));
+                    }
+                    if (t.width, t.height) != (width, height) {
+                        return Err(GlError::InvalidOperation(format!(
+                            "{dst} is {}x{}, render target is {width}x{height}",
+                            t.width, t.height
+                        )));
+                    }
+                    t.storage_fresh = false;
+                }
+            }
+            if let Some(src) = src_pixels {
+                let dst_ch = t.format.channels();
+                let src_ch = src_format.channels();
+                let n = width as usize * height as usize;
+                let mut data = vec![0u8; n * dst_ch];
+                for i in 0..n {
+                    for c in 0..dst_ch {
+                        data[i * dst_ch + c] = if c < src_ch { src[i * src_ch + c] } else { 255 };
+                    }
+                }
+                t.data = data;
+            } else if functional {
+                // Shouldn't happen (functional implies src_pixels).
+            }
+            let bytes = u64::from(width) * u64::from(height) * t.format.bytes_per_texel();
+            (
+                t.storage,
+                if fresh_format.is_some() {
+                    AllocKind::Fresh
+                } else {
+                    AllocKind::Reuse
+                },
+                bytes,
+            )
+        };
+
+        // Attach to the pending frame; synthesise an empty one if the copy
+        // follows no draw (e.g. copying a cleared buffer).
+        let pending = self.pending.get_or_insert_with(|| FrameWork {
+            label: "copy-only".to_owned(),
+            uploads: Vec::new(),
+            cpu_extra: SimTime::ZERO,
+            vertex: VertexWork::default(),
+            fragment: FragmentWork {
+                fragments: 0,
+                width: 0,
+                height: 0,
+                profile: FragmentProfile::default(),
+                cleared: true,
+            },
+            target: match target_key {
+                TargetKey::Surface(s) => RenderTarget::Framebuffer { surface: s },
+                TargetKey::Storage(st) => RenderTarget::Texture {
+                    storage: st,
+                    fresh: false,
+                },
+            },
+            reads: Vec::new(),
+            copy_out: None,
+            sync: SyncOp::None,
+        });
+        pending.copy_out = Some(CopyOut {
+            dest: storage,
+            bytes,
+            alloc,
+        });
+        Ok(())
+    }
+
+    // ---- synchronisation / EGL ----------------------------------------------
+
+    fn flush_pending(&mut self, sync: SyncOp) {
+        let frame = match self.pending.take() {
+            Some(mut frame) => {
+                frame.sync = sync;
+                frame
+            }
+            None if sync != SyncOp::None => {
+                // A sync with no pending draw still costs the wait.
+                let mut frame = FrameWork::simple(0, 0, FragmentProfile::default());
+                frame.label = "sync-only".to_owned();
+                frame.sync = sync;
+                frame
+            }
+            None => return,
+        };
+        let timing = self.sim.submit(&frame);
+        if self.record_frames {
+            self.recorded.push((frame, timing.clone()));
+        }
+        self.last_timing = Some(timing);
+    }
+
+    /// `eglSwapInterval`: 0 disables the vsync wait while still draining
+    /// the frame (the paper's first optimisation step in Fig. 3).
+    pub fn swap_interval(&mut self, interval: u32) {
+        self.swap_interval = interval;
+    }
+
+    /// `eglSwapBuffers`: submits the frame with a drain (+ vsync wait at
+    /// interval > 0) and flips the double-buffered window surface.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; `Result` is kept for API stability.
+    pub fn swap_buffers(&mut self) -> Result<(), GlError> {
+        self.flush_pending(SyncOp::Swap {
+            interval: self.swap_interval,
+        });
+        self.back_surface = (self.back_surface + 1) % self.surfaces.len() as u32;
+        Ok(())
+    }
+
+    /// `glFinish`: submits pending work and blocks until it retires.
+    pub fn finish(&mut self) {
+        self.flush_pending(SyncOp::Finish);
+    }
+
+    /// `glFlush`: submits pending work without waiting (the paper's
+    /// maximum-launch-rate "no `eglSwapBuffers`" mode).
+    pub fn flush(&mut self) {
+        self.flush_pending(SyncOp::None);
+    }
+
+    /// `glReadPixels` from the current render target; synchronises like the
+    /// real call (full drain) before returning pixels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates target-resolution errors.
+    pub fn read_pixels(&mut self) -> Result<Vec<u8>, GlError> {
+        let (target_key, ..) = self.current_target()?;
+        self.finish();
+        Ok(match target_key {
+            TargetKey::Surface(s) => self.surfaces[s as usize].clone(),
+            TargetKey::Storage(_) => {
+                let tex = self.attachment_texture().expect("storage target");
+                self.textures[&tex.0].data.clone()
+            }
+        })
+    }
+
+    /// Accounts application CPU time (e.g. the GPGPU float↔RGBA8 data
+    /// conversions) against the next submitted frame.
+    pub fn add_cpu_work(&mut self, time: SimTime) {
+        self.pending_cpu_extra += time;
+    }
+
+    /// Starts or stops recording submitted frame descriptions (for memory
+    /// traces; see [`mgpu_tbdr::annotate_frame`]).
+    pub fn set_frame_recording(&mut self, record: bool) {
+        self.record_frames = record;
+    }
+
+    /// Frames recorded since [`Gl::set_frame_recording`] was enabled, with
+    /// their timings.
+    #[must_use]
+    pub fn recorded_frames(&self) -> &[(FrameWork, FrameTiming)] {
+        &self.recorded
+    }
+
+    // ---- timing access ------------------------------------------------------
+
+    /// Timing of the most recently submitted frame.
+    #[must_use]
+    pub fn last_frame_timing(&self) -> Option<&FrameTiming> {
+        self.last_timing.as_ref()
+    }
+
+    /// Snapshot of the simulation report (flushes nothing).
+    #[must_use]
+    pub fn report(&self) -> SimReport {
+        self.sim.report()
+    }
+
+    /// Simulated time elapsed so far.
+    #[must_use]
+    pub fn elapsed(&self) -> SimTime {
+        self.sim.report().total_time
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type of the GL layer.
+//!
+//! The C API latches error codes behind `glGetError`; as an idiomatic Rust
+//! library we return `Result` instead, keeping the original error-category
+//! names so driver-savvy readers recognise the failure classes.
+
+use std::error::Error;
+use std::fmt;
+
+use mgpu_shader::CompileError;
+
+/// Errors produced by GL-layer calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlError {
+    /// `GL_INVALID_VALUE`: a numeric argument is out of range.
+    InvalidValue(String),
+    /// `GL_INVALID_OPERATION`: the call is not allowed in the current state
+    /// (e.g. sampling a texture that is bound as the render target — the
+    /// OpenGL ES 2 feedback-loop rule central to the paper's §III).
+    InvalidOperation(String),
+    /// `GL_INVALID_FRAMEBUFFER_OPERATION`: the framebuffer is incomplete.
+    InvalidFramebufferOperation(String),
+    /// An unknown object handle.
+    UnknownObject(String),
+    /// Shader compilation or linking failed; carries the driver-style info
+    /// log. Resource-limit failures (the paper's Fig. 4b wall) appear here
+    /// with [`CompileError::is_limit_exceeded`] set.
+    CompileFailed(CompileError),
+}
+
+impl GlError {
+    /// Whether this failure is a shader resource-limit rejection.
+    #[must_use]
+    pub fn is_shader_limit(&self) -> bool {
+        matches!(self, GlError::CompileFailed(e) if e.is_limit_exceeded())
+    }
+}
+
+impl fmt::Display for GlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlError::InvalidValue(m) => write!(f, "invalid value: {m}"),
+            GlError::InvalidOperation(m) => write!(f, "invalid operation: {m}"),
+            GlError::InvalidFramebufferOperation(m) => {
+                write!(f, "invalid framebuffer operation: {m}")
+            }
+            GlError::UnknownObject(m) => write!(f, "unknown object: {m}"),
+            GlError::CompileFailed(e) => write!(f, "shader compilation failed: {e}"),
+        }
+    }
+}
+
+impl Error for GlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GlError::CompileFailed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CompileError> for GlError {
+    fn from(e: CompileError) -> Self {
+        GlError::CompileFailed(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_shader::CompileErrorKind;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = GlError::InvalidOperation("texture bound for read and write".into());
+        assert!(e.to_string().starts_with("invalid operation"));
+    }
+
+    #[test]
+    fn shader_limit_detection() {
+        let limit = GlError::CompileFailed(CompileError::new(
+            CompileErrorKind::LimitExceeded,
+            "too many instructions",
+            None,
+        ));
+        assert!(limit.is_shader_limit());
+        let parse = GlError::CompileFailed(CompileError::new(
+            CompileErrorKind::Parse,
+            "bad token",
+            None,
+        ));
+        assert!(!parse.is_shader_limit());
+        assert!(!GlError::InvalidValue("x".into()).is_shader_limit());
+    }
+}

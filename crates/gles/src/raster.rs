@@ -1,0 +1,147 @@
+//! The fragment rasteriser.
+//!
+//! GPGPU-over-GLES draws exactly one primitive shape: an axis-aligned quad
+//! covering the render target, with varyings interpolated across it. This
+//! module rasterises that shape functionally (running the compiled kernel
+//! per fragment); arbitrary triangle meshes are out of scope for the
+//! reproduction and rejected by the context layer.
+
+use mgpu_shader::ir::Shader;
+use mgpu_shader::{ExecError, Executor, Sampler, UniformValues};
+
+/// Corner values for one varying, in the order: (0,0), (1,0), (0,1), (1,1)
+/// of the unit quad (v increasing downward in texture space).
+pub type VaryingCorners = [[f32; 4]; 4];
+
+/// The standard GPGPU texcoord quad: each fragment receives its own
+/// normalised coordinate, so texel (x, y) maps 1:1 onto fragment (x, y).
+#[must_use]
+pub fn texcoord_corners() -> VaryingCorners {
+    [
+        [0.0, 0.0, 0.0, 0.0],
+        [1.0, 0.0, 0.0, 0.0],
+        [0.0, 1.0, 0.0, 0.0],
+        [1.0, 1.0, 0.0, 0.0],
+    ]
+}
+
+/// Bilinearly interpolates corner values at `(u, v)`.
+#[must_use]
+pub fn interpolate(corners: &VaryingCorners, u: f32, v: f32) -> [f32; 4] {
+    let mut out = [0.0f32; 4];
+    for c in 0..4 {
+        let top = corners[0][c] * (1.0 - u) + corners[1][c] * u;
+        let bottom = corners[2][c] * (1.0 - u) + corners[3][c] * u;
+        out[c] = top * (1.0 - v) + bottom * v;
+    }
+    out
+}
+
+/// Runs `shader` over a `width`×`height` grid, calling `write` for every
+/// fragment with its raw (unclamped) output colour.
+///
+/// `corners` supplies one corner set per varying slot, in shader declaration
+/// order.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] if uniforms or samplers are missing, or the corner
+/// count does not match the shader's varyings.
+pub fn rasterize_quad(
+    shader: &Shader,
+    uniforms: &UniformValues,
+    samplers: &[&dyn Sampler],
+    width: u32,
+    height: u32,
+    corners: &[VaryingCorners],
+    mut write: impl FnMut(u32, u32, [f32; 4]),
+) -> Result<(), ExecError> {
+    let n_varyings = shader.varying_slots().count();
+    if corners.len() != n_varyings {
+        return Err(ExecError::new(format!(
+            "shader has {n_varyings} varyings, {} corner sets provided",
+            corners.len()
+        )));
+    }
+    let mut exec = Executor::new(shader, uniforms)?;
+    let mut varying_values = vec![[0.0f32; 4]; n_varyings];
+    for y in 0..height {
+        let v = (y as f32 + 0.5) / height as f32;
+        for x in 0..width {
+            let u = (x as f32 + 0.5) / width as f32;
+            for (slot, c) in corners.iter().enumerate() {
+                varying_values[slot] = interpolate(c, u, v);
+            }
+            let rgba = exec.run(&varying_values, samplers)?;
+            write(x, y, rgba);
+        }
+    }
+    Ok(())
+}
+
+/// Converts a raw fragment colour to RGBA8 exactly as the fixed-function
+/// output stage does: clamp to [0, 1], scale by 255, round to nearest.
+#[must_use]
+pub fn quantize_rgba8(rgba: [f32; 4]) -> [u8; 4] {
+    let q = |x: f32| (x.clamp(0.0, 1.0) * 255.0 + 0.5).floor() as u8;
+    [q(rgba[0]), q(rgba[1]), q(rgba[2]), q(rgba[3])]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_shader::compile;
+
+    #[test]
+    fn interpolation_hits_corners_and_centre() {
+        let c = texcoord_corners();
+        assert_eq!(interpolate(&c, 0.0, 0.0)[..2], [0.0, 0.0]);
+        assert_eq!(interpolate(&c, 1.0, 1.0)[..2], [1.0, 1.0]);
+        assert_eq!(interpolate(&c, 0.5, 0.5)[..2], [0.5, 0.5]);
+    }
+
+    #[test]
+    fn rasterizes_identity_coordinate_kernel() {
+        let sh = compile(
+            "varying vec2 v;\n\
+             void main() { gl_FragColor = vec4(v, 0.0, 1.0); }",
+        )
+        .unwrap();
+        let mut got = [[0.0f32; 4]; 4];
+        rasterize_quad(
+            &sh,
+            &UniformValues::new(),
+            &[],
+            2,
+            2,
+            &[texcoord_corners()],
+            |x, y, c| got[(y * 2 + x) as usize] = c,
+        )
+        .unwrap();
+        // Fragment centres of a 2x2 grid are at 0.25/0.75.
+        assert_eq!(got[0][..2], [0.25, 0.25]);
+        assert_eq!(got[1][..2], [0.75, 0.25]);
+        assert_eq!(got[2][..2], [0.25, 0.75]);
+        assert_eq!(got[3][..2], [0.75, 0.75]);
+    }
+
+    #[test]
+    fn corner_count_mismatch_errors() {
+        let sh = compile(
+            "varying vec2 v;\n\
+             void main() { gl_FragColor = vec4(v, 0.0, 1.0); }",
+        )
+        .unwrap();
+        let r = rasterize_quad(&sh, &UniformValues::new(), &[], 1, 1, &[], |_, _, _| {});
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn quantization_clamps_and_rounds() {
+        assert_eq!(quantize_rgba8([0.0, 1.0, -0.5, 2.0]), [0, 255, 0, 255]);
+        assert_eq!(quantize_rgba8([0.5, 0.25, 0.75, 1.0]), [128, 64, 191, 255]);
+        // 1/255 quantum round-trips exactly.
+        let x = 37.0 / 255.0;
+        assert_eq!(quantize_rgba8([x, x, x, x]), [37, 37, 37, 37]);
+    }
+}

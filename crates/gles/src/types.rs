@@ -1,0 +1,128 @@
+//! Object handles and enums of the GL layer.
+
+use std::fmt;
+
+/// Handle to a texture object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TextureId(pub(crate) u32);
+
+/// Handle to a buffer object (VBO).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(pub(crate) u32);
+
+/// Handle to a framebuffer object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FramebufferId(pub(crate) u32);
+
+/// Handle to a linked program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProgramId(pub(crate) u32);
+
+macro_rules! display_handle {
+    ($t:ty, $name:literal) => {
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($name, "#{}"), self.0)
+            }
+        }
+    };
+}
+display_handle!(TextureId, "texture");
+display_handle!(BufferId, "buffer");
+display_handle!(FramebufferId, "framebuffer");
+display_handle!(ProgramId, "program");
+
+/// Texel storage formats.
+///
+/// `Rgb8` is the 3-byte format the paper's fp24 optimisation uses to cut
+/// texture bandwidth by 25%.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TextureFormat {
+    /// 4 bytes per texel.
+    #[default]
+    Rgba8,
+    /// 3 bytes per texel (the paper's 24-bit I/O restriction).
+    Rgb8,
+}
+
+impl TextureFormat {
+    /// Bytes per texel.
+    #[must_use]
+    pub const fn bytes_per_texel(self) -> u64 {
+        match self {
+            TextureFormat::Rgba8 => 4,
+            TextureFormat::Rgb8 => 3,
+        }
+    }
+
+    /// Number of stored channels.
+    #[must_use]
+    pub const fn channels(self) -> usize {
+        self.bytes_per_texel() as usize
+    }
+}
+
+/// Texture magnification/minification filter (`glTexParameteri`).
+///
+/// GPGPU kernels use [`TextureFilter::Nearest`] (exact texel values);
+/// image workloads may use [`TextureFilter::Linear`] for free bilinear
+/// interpolation in the texture unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TextureFilter {
+    /// Nearest texel (the GPGPU configuration).
+    #[default]
+    Nearest,
+    /// Bilinear interpolation of the four surrounding texels.
+    Linear,
+}
+
+/// `glBufferData` usage hints. The paper reports VBO gains of up to 1.5%
+/// "depending on the memory hint provided".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BufferUsage {
+    /// Written once, drawn many times: the driver can drop all consistency
+    /// bookkeeping.
+    StaticDraw,
+    /// Rewritten every few frames.
+    #[default]
+    DynamicDraw,
+    /// Rewritten every frame.
+    StreamDraw,
+}
+
+/// Where a draw call sources its vertex data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VertexSource {
+    /// Client-side arrays: the driver copies vertex data to GPU memory on
+    /// every draw (step 1 of the paper's Fig. 1 — the cost VBOs avoid).
+    #[default]
+    ClientArrays,
+    /// A bound vertex buffer object, uploaded once via `buffer_data`.
+    Vbo(BufferId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_sizes() {
+        assert_eq!(TextureFormat::Rgba8.bytes_per_texel(), 4);
+        assert_eq!(TextureFormat::Rgb8.bytes_per_texel(), 3);
+        assert_eq!(TextureFormat::Rgb8.channels(), 3);
+    }
+
+    #[test]
+    fn handles_display() {
+        assert_eq!(TextureId(3).to_string(), "texture#3");
+        assert_eq!(BufferId(1).to_string(), "buffer#1");
+        assert_eq!(FramebufferId(7).to_string(), "framebuffer#7");
+        assert_eq!(ProgramId(2).to_string(), "program#2");
+    }
+
+    #[test]
+    fn defaults_match_gles_habits() {
+        assert_eq!(TextureFormat::default(), TextureFormat::Rgba8);
+        assert_eq!(VertexSource::default(), VertexSource::ClientArrays);
+    }
+}

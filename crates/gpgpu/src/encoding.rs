@@ -1,0 +1,362 @@
+//! The float ↔ RGBA8 texture encoding of Trompouki & Kosmidis (DATE 2016),
+//! which the DATE 2017 paper builds on.
+//!
+//! OpenGL ES 2 exposes no float textures or float render targets, so GPGPU
+//! data makes the round trip CPU float → normalised bytes → shader floats →
+//! packed bytes → CPU float:
+//!
+//! * **CPU encode** ([`Encoding::encode`]): map a value from its declared
+//!   range onto `[0, 1)` and split it over a texel's channels,
+//!   most-significant byte first (radix 255, matching the in-shader `dot`
+//!   reconstruction).
+//! * **Shader decode** (`reconstr_in` in the paper's Fig. 2): a single
+//!   `dot(texel, weights)` — one hardware instruction on embedded ISAs.
+//! * **Shader encode** (`encode_out`): the classic `fract`-cascade pack,
+//!   relying on the fixed-function RGBA8 quantiser to round each channel.
+//! * **CPU decode** ([`Encoding::decode`]): radix-255 reconstruction.
+//!
+//! As the paper notes, the achievable precision is 24–32 bits: the fourth
+//! byte's contribution sits at the edge of f32 arithmetic. The
+//! [`Encoding::Fp24`] variant stores only three bytes — 25% less texture
+//! bandwidth (the paper's fp24 optimisation) at ~16 useful bits.
+
+use mgpu_gles::TextureFormat;
+
+/// How many bytes of precision an encoding uses per value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Encoding {
+    /// Four bytes (RGBA8): 24–32-bit effective precision.
+    #[default]
+    Fp32,
+    /// Three bytes (RGB8): the paper's 24-bit mode — 25% less bandwidth,
+    /// `mul24`-friendly arithmetic.
+    Fp24,
+}
+
+impl Encoding {
+    /// The texture format carrying this encoding.
+    #[must_use]
+    pub fn texture_format(self) -> TextureFormat {
+        match self {
+            Encoding::Fp32 => TextureFormat::Rgba8,
+            Encoding::Fp24 => TextureFormat::Rgb8,
+        }
+    }
+
+    /// Bytes per encoded value.
+    #[must_use]
+    pub fn bytes_per_value(self) -> usize {
+        self.texture_format().channels()
+    }
+
+    /// Worst-case absolute reconstruction error for values spanning
+    /// `range` (CPU round trip; the shader adds f32 noise on top).
+    #[must_use]
+    pub fn quantum(self, range: f32) -> f32 {
+        match self {
+            Encoding::Fp32 => range / (255.0f32.powi(4)),
+            Encoding::Fp24 => range / (255.0f32.powi(3)),
+        }
+    }
+}
+
+/// A linear mapping from application values onto the encodable `[0, 1)`
+/// interval: `t = (v - lo) / (hi - lo)`.
+///
+/// Kernels bake the inverse mapping into their source, so every texture
+/// carries its range with it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Range {
+    /// Smallest representable value.
+    pub lo: f32,
+    /// One past the largest representable value.
+    pub hi: f32,
+}
+
+impl Range {
+    /// The unit range `[0, 1)`.
+    #[must_use]
+    pub const fn unit() -> Self {
+        Range { lo: 0.0, hi: 1.0 }
+    }
+
+    /// A range from `lo` to `hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo` or either bound is non-finite.
+    #[must_use]
+    pub fn new(lo: f32, hi: f32) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && hi > lo,
+            "bad range [{lo}, {hi})"
+        );
+        Range { lo, hi }
+    }
+
+    /// The span `hi - lo`.
+    #[must_use]
+    pub fn span(&self) -> f32 {
+        self.hi - self.lo
+    }
+
+    /// Maps a value into `[0, 1)`, clamping out-of-range inputs (like the
+    /// GPU's output clamp).
+    #[must_use]
+    pub fn normalize(&self, v: f32) -> f32 {
+        ((v - self.lo) / self.span()).clamp(0.0, ONE_MINUS_EPS)
+    }
+
+    /// Maps a normalised value back.
+    #[must_use]
+    pub fn denormalize(&self, t: f32) -> f32 {
+        t * self.span() + self.lo
+    }
+}
+
+/// Largest f32 strictly below 1.0 — the top of the encodable interval.
+const ONE_MINUS_EPS: f32 = 1.0 - f32::EPSILON / 2.0;
+
+/// Encodes one normalised value `t ∈ [0, 1)` into radix-255 bytes,
+/// most significant first.
+fn encode_bytes(t: f32, out: &mut [u8]) {
+    let mut r = f64::from(t.clamp(0.0, ONE_MINUS_EPS));
+    for b in out.iter_mut() {
+        r *= 255.0;
+        let digit = r.floor().min(255.0);
+        *b = digit as u8;
+        r -= digit;
+    }
+}
+
+/// Decodes radix-255 bytes back to a normalised value.
+fn decode_bytes(bytes: &[u8]) -> f32 {
+    let mut t = 0.0f64;
+    let mut w = 1.0f64;
+    for &b in bytes {
+        w /= 255.0;
+        t += f64::from(b) * w;
+    }
+    t as f32
+}
+
+impl Encoding {
+    /// Encodes a slice of values into texel bytes for a texture of this
+    /// encoding's format.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mgpu_gpgpu::{Encoding, Range};
+    ///
+    /// let range = Range::new(0.0, 4.0);
+    /// let bytes = Encoding::Fp32.encode(&[0.0, 1.5, 3.999], &range);
+    /// let back = Encoding::Fp32.decode(&bytes, &range);
+    /// assert!((back[1] - 1.5).abs() < 1e-6);
+    /// ```
+    #[must_use]
+    pub fn encode(&self, values: &[f32], range: &Range) -> Vec<u8> {
+        let n = self.bytes_per_value();
+        let mut out = vec![0u8; values.len() * n];
+        for (v, chunk) in values.iter().zip(out.chunks_exact_mut(n)) {
+            encode_bytes(range.normalize(*v), chunk);
+        }
+        out
+    }
+
+    /// Decodes texel bytes produced by [`Encoding::encode`] or by a kernel's
+    /// `encode_out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a multiple of the encoding width.
+    #[must_use]
+    pub fn decode(&self, bytes: &[u8], range: &Range) -> Vec<f32> {
+        let n = self.bytes_per_value();
+        assert_eq!(
+            bytes.len() % n,
+            0,
+            "byte slice not a whole number of texels"
+        );
+        bytes
+            .chunks_exact(n)
+            .map(|c| range.denormalize(decode_bytes(c)))
+            .collect()
+    }
+
+    /// The kernel-language source of the reconstruction function
+    /// (`reconstr_in` in the paper): unpack a sampled texel to a normalised
+    /// float with a single `dot`.
+    #[must_use]
+    pub fn decode_fn_source(&self) -> String {
+        match self {
+            Encoding::Fp32 => "float unpack(vec4 c) {\n    return dot(c, vec4(1.0, 0.00392156862745098, 0.0000153787004998078, 0.0000000603086314193));\n}\n".to_owned(),
+            Encoding::Fp24 => "float unpack(vec4 c) {\n    return dot(c.xyz, vec3(1.0, 0.00392156862745098, 0.0000153787004998078));\n}\n".to_owned(),
+        }
+    }
+
+    /// The kernel-language source of the output packing function
+    /// (`encode_out` in the paper): the `fract` cascade, leaving the final
+    /// byte rounding to the RGBA8 output stage.
+    #[must_use]
+    pub fn encode_fn_source(&self) -> String {
+        match self {
+            Encoding::Fp32 => "vec4 pack(float t) {\n    float s = clamp(t, 0.0, 0.9999999);\n    vec4 enc = fract(s * vec4(1.0, 255.0, 65025.0, 16581375.0));\n    enc = enc - vec4(enc.y, enc.z, enc.w, 0.0) * 0.00392156862745098;\n    return enc;\n}\n".to_owned(),
+            Encoding::Fp24 => "vec4 pack(float t) {\n    float s = clamp(t, 0.0, 0.9999999);\n    vec3 enc3 = fract(s * vec3(1.0, 255.0, 65025.0));\n    enc3 = enc3 - vec3(enc3.y, enc3.z, 0.0) * 0.00392156862745098;\n    return vec4(enc3, 1.0);\n}\n".to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_round_trip_is_tight() {
+        let range = Range::new(-2.0, 2.0);
+        let values = [-2.0, -1.3333, 0.0, 0.5, 1.999, 1.9999999];
+        let enc = Encoding::Fp32;
+        let bytes = enc.encode(&values, &range);
+        let back = enc.decode(&bytes, &range);
+        // f32 normalise/denormalise rounding dominates the radix-255
+        // quantum for Fp32, so tolerate both.
+        let tol = (enc.quantum(range.span()) * 2.0).max(range.span() * f32::EPSILON * 4.0);
+        for (v, b) in values.iter().zip(&back) {
+            assert!((v - b).abs() <= tol, "{v} -> {b}");
+        }
+    }
+
+    #[test]
+    fn fp24_round_trip_is_coarser_but_close() {
+        let range = Range::unit();
+        let enc = Encoding::Fp24;
+        let bytes = enc.encode(&[0.123456], &range);
+        assert_eq!(bytes.len(), 3);
+        let back = enc.decode(&bytes, &range)[0];
+        assert!((back - 0.123456).abs() < enc.quantum(1.0) * 2.0);
+        assert!(enc.quantum(1.0) > Encoding::Fp32.quantum(1.0));
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let range = Range::unit();
+        let bytes = Encoding::Fp32.encode(&[-5.0, 7.0], &range);
+        let back = Encoding::Fp32.decode(&bytes, &range);
+        assert!(back[0].abs() < 1e-6);
+        assert!((back[1] - 1.0).abs() < 1e-4);
+        assert!(back[1] < 1.0);
+    }
+
+    #[test]
+    fn encoding_is_monotone() {
+        let range = Range::unit();
+        let enc = Encoding::Fp32;
+        let mut prev = -1.0f32;
+        for i in 0..1000 {
+            let v = i as f32 / 1000.0;
+            let bytes = enc.encode(&[v], &range);
+            let back = enc.decode(&bytes, &range)[0];
+            assert!(back >= prev, "decode not monotone at {v}");
+            prev = back;
+        }
+    }
+
+    #[test]
+    fn formats_match_encoding() {
+        assert_eq!(Encoding::Fp32.texture_format(), TextureFormat::Rgba8);
+        assert_eq!(Encoding::Fp24.texture_format(), TextureFormat::Rgb8);
+        assert_eq!(Encoding::Fp32.bytes_per_value(), 4);
+        assert_eq!(Encoding::Fp24.bytes_per_value(), 3);
+    }
+
+    #[test]
+    fn range_validation() {
+        let r = Range::new(2.0, 10.0);
+        assert_eq!(r.span(), 8.0);
+        assert_eq!(r.normalize(6.0), 0.5);
+        assert_eq!(r.denormalize(0.5), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn inverted_range_panics() {
+        let _ = Range::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn shader_decode_matches_cpu_encode() {
+        // Compile the unpack function and check it reconstructs what
+        // encode() produced, through the actual shader VM.
+        use mgpu_shader::{compile, Executor, UniformValues};
+
+        let src = format!(
+            "{}varying vec2 v;\nuniform vec4 u_texel;\nvoid main() {{ gl_FragColor = vec4(unpack(u_texel)); }}\n",
+            Encoding::Fp32.decode_fn_source()
+        );
+        let sh = compile(&src).unwrap();
+
+        let range = Range::unit();
+        for &v in &[0.0f32, 0.25, 0.5, 0.123_456_79, 0.999] {
+            let bytes = Encoding::Fp32.encode(&[v], &range);
+            let texel = [
+                f32::from(bytes[0]) / 255.0,
+                f32::from(bytes[1]) / 255.0,
+                f32::from(bytes[2]) / 255.0,
+                f32::from(bytes[3]) / 255.0,
+            ];
+            let mut uniforms = UniformValues::new();
+            uniforms.set("u_texel", texel);
+            let mut ex = Executor::new(&sh, &uniforms).unwrap();
+            let got = ex.run(&[[0.0; 4]], &[]).unwrap()[0];
+            assert!((got - v).abs() < 3e-6, "{v} -> {got}");
+        }
+    }
+
+    #[test]
+    fn shader_pack_round_trips_through_quantizer() {
+        // pack() in the VM + RGBA8 quantisation + CPU decode ≈ identity.
+        use mgpu_gles::raster::quantize_rgba8;
+        use mgpu_shader::{compile, Executor, UniformValues};
+
+        let src = format!(
+            "{}varying vec2 v;\nuniform float u_t;\nvoid main() {{ gl_FragColor = pack(u_t); }}\n",
+            Encoding::Fp32.encode_fn_source()
+        );
+        let sh = compile(&src).unwrap();
+        let range = Range::unit();
+
+        for &t in &[0.0f32, 0.1, 0.5, 0.754321, 0.999999] {
+            let mut uniforms = UniformValues::new();
+            uniforms.set_scalar("u_t", t);
+            let mut ex = Executor::new(&sh, &uniforms).unwrap();
+            let rgba = ex.run(&[[0.0; 4]], &[]).unwrap();
+            let bytes = quantize_rgba8(rgba);
+            let back = Encoding::Fp32.decode(&bytes, &range)[0];
+            assert!((back - t).abs() < 4e-6, "{t} -> {back} ({bytes:?})");
+        }
+    }
+
+    #[test]
+    fn fp24_shader_pack_round_trips() {
+        use mgpu_gles::raster::quantize_rgba8;
+        use mgpu_shader::{compile, Executor, UniformValues};
+
+        let src = format!(
+            "{}varying vec2 v;\nuniform float u_t;\nvoid main() {{ gl_FragColor = pack(u_t); }}\n",
+            Encoding::Fp24.encode_fn_source()
+        );
+        let sh = compile(&src).unwrap();
+        for &t in &[0.0f32, 0.33, 0.66, 0.999] {
+            let mut uniforms = UniformValues::new();
+            uniforms.set_scalar("u_t", t);
+            let mut ex = Executor::new(&sh, &uniforms).unwrap();
+            let rgba = ex.run(&[[0.0; 4]], &[]).unwrap();
+            let bytes = quantize_rgba8(rgba);
+            let back = Encoding::Fp24.decode(&bytes[..3], &Range::unit())[0];
+            assert!(
+                (back - t).abs() < 2.0 * Encoding::Fp24.quantum(1.0),
+                "{t} -> {back}"
+            );
+        }
+    }
+}

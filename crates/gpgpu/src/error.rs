@@ -1,0 +1,63 @@
+//! Error type of the GPGPU layer.
+
+use std::error::Error;
+use std::fmt;
+
+use mgpu_gles::GlError;
+
+/// Errors from building or running a GPGPU operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpgpuError {
+    /// An underlying GL call failed (including shader-limit rejections,
+    /// surfaced when a block size exceeds what the platform can compile —
+    /// the paper's Fig. 4b wall).
+    Gl(GlError),
+    /// The operator was configured inconsistently (sizes, ranges, ...).
+    Config(String),
+}
+
+impl GpgpuError {
+    /// Whether the failure is a shader resource-limit rejection.
+    #[must_use]
+    pub fn is_shader_limit(&self) -> bool {
+        matches!(self, GpgpuError::Gl(e) if e.is_shader_limit())
+    }
+}
+
+impl fmt::Display for GpgpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpgpuError::Gl(e) => write!(f, "{e}"),
+            GpgpuError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl Error for GpgpuError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GpgpuError::Gl(e) => Some(e),
+            GpgpuError::Config(_) => None,
+        }
+    }
+}
+
+impl From<GlError> for GpgpuError {
+    fn from(e: GlError) -> Self {
+        GpgpuError::Gl(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: GpgpuError = GlError::InvalidValue("x".into()).into();
+        assert!(e.to_string().contains("invalid value"));
+        let c = GpgpuError::Config("bad size".into());
+        assert!(c.to_string().contains("bad size"));
+        assert!(!c.is_shader_limit());
+    }
+}

@@ -1,0 +1,461 @@
+//! Kernel source generators.
+//!
+//! GPGPU kernels are generated, not hand-written, because they bake in the
+//! data ranges of their operand textures, the encoding width and — for the
+//! blocked sgemm of the paper's §IV (Fig. 2) — the matrix and block sizes.
+
+use crate::encoding::{Encoding, Range};
+
+/// Formats an f32 so the kernel lexer reparses it exactly.
+fn lit(x: f32) -> String {
+    // `{:?}` produces the shortest representation that round-trips.
+    let s = format!("{x:?}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// `unpack(texture2D(sampler, coord)) * span + lo` — decode to application
+/// values.
+fn decode_expr(sampler: &str, coord: &str, range: &Range) -> String {
+    format!(
+        "unpack(texture2D({sampler}, {coord})) * {} + {}",
+        lit(range.span()),
+        lit(range.lo)
+    )
+}
+
+/// `pack((value - lo) * inv_span)` — encode an application value.
+fn encode_stmt(value_expr: &str, range: &Range) -> String {
+    format!(
+        "gl_FragColor = pack(({value_expr} - {}) * {});",
+        lit(range.lo),
+        lit(1.0 / range.span())
+    )
+}
+
+/// A multiply that honours the encoding: `mul24` in fp24 mode (the paper's
+/// reduced-precision fast multiply), a plain `*` otherwise.
+fn mul(enc: Encoding, a: &str, b: &str) -> String {
+    match enc {
+        Encoding::Fp32 => format!("{a} * {b}"),
+        Encoding::Fp24 => format!("mul24({a}, {b})"),
+    }
+}
+
+/// The streaming-addition kernel (`sum` in the paper): element-wise
+/// `C = A + B` over two encoded textures sharing `range_in`.
+#[must_use]
+pub fn sum_kernel(enc: Encoding, range_in: &Range, range_out: &Range) -> String {
+    sum_kernel_ranges(enc, range_in, range_in, range_out)
+}
+
+/// [`sum_kernel`] with distinct operand ranges — needed when `A` is a
+/// previous result (the dependent-chain mode of the paper's Fig. 4a
+/// experiment) and therefore lives in the output range.
+#[must_use]
+pub fn sum_kernel_ranges(
+    enc: Encoding,
+    range_a: &Range,
+    range_b: &Range,
+    range_out: &Range,
+) -> String {
+    format!(
+        "uniform sampler2D u_a;\n\
+         uniform sampler2D u_b;\n\
+         varying vec2 v_coord;\n\
+         {unpack}{pack}\
+         void main() {{\n\
+         \x20   float a = {a};\n\
+         \x20   float b = {b};\n\
+         \x20   {out}\n\
+         }}\n",
+        unpack = enc.decode_fn_source(),
+        pack = enc.encode_fn_source(),
+        a = decode_expr("u_a", "v_coord", range_a),
+        b = decode_expr("u_b", "v_coord", range_b),
+        out = encode_stmt("(a + b)", range_out),
+    )
+}
+
+/// The saxpy kernel: `Y = alpha * X + Y` with `alpha` as a uniform —
+/// a one-pass kernel whose multiply-add structure exercises MAD fusion.
+///
+/// `X` is decoded with `range_x`; `Y` (the accumulator) and the result use
+/// `range_y`.
+#[must_use]
+pub fn saxpy_kernel(enc: Encoding, range_x: &Range, range_y: &Range) -> String {
+    format!(
+        "uniform sampler2D u_x;\n\
+         uniform sampler2D u_y;\n\
+         uniform float u_alpha;\n\
+         varying vec2 v_coord;\n\
+         {unpack}{pack}\
+         void main() {{\n\
+         \x20   float x = {x};\n\
+         \x20   float y = {y};\n\
+         \x20   float r = {ax} + y;\n\
+         \x20   {out}\n\
+         }}\n",
+        unpack = enc.decode_fn_source(),
+        pack = enc.encode_fn_source(),
+        x = decode_expr("u_x", "v_coord", range_x),
+        y = decode_expr("u_y", "v_coord", range_y),
+        ax = mul(enc, "u_alpha", "x"),
+        out = encode_stmt("r", range_y),
+    )
+}
+
+/// The multi-pass blocked sgemm kernel of the paper's Fig. 2.
+///
+/// Each invocation accumulates a `block`-element chunk of the dot product
+/// for every output element and adds the intermediate values from the
+/// previous pass. `blk_n` (a uniform) selects the chunk:
+/// `blk_n = current_block * block / m`.
+///
+/// `m` is the square matrix dimension; `block` must divide it.
+///
+/// # Panics
+///
+/// Panics if `block` is zero or does not divide `m`.
+#[must_use]
+pub fn sgemm_kernel(
+    enc: Encoding,
+    m: u32,
+    block: u32,
+    range_in: &Range,
+    range_out: &Range,
+) -> String {
+    assert!(
+        block > 0 && m.is_multiple_of(block),
+        "block {block} must divide m {m}"
+    );
+    let half_texel = 0.5 / m as f32;
+    let step = 1.0 / m as f32;
+    let bound = block as f32 / m as f32;
+    format!(
+        "uniform sampler2D u_a;\n\
+         uniform sampler2D u_b;\n\
+         uniform sampler2D u_interm;\n\
+         uniform float blk_n;\n\
+         varying vec2 v_coord0;\n\
+         varying vec2 v_coord1;\n\
+         varying vec2 v_coord2;\n\
+         {unpack}{pack}\
+         void main() {{\n\
+         \x20   float acc = 0.0;\n\
+         \x20   for (float i = {half}; i < {bound}; i += {step}) {{\n\
+         \x20       float A = {a};\n\
+         \x20       float B = {b};\n\
+         \x20       acc += {ab};\n\
+         \x20   }}\n\
+         \x20   float interm = {interm};\n\
+         \x20   {out}\n\
+         }}\n",
+        unpack = enc.decode_fn_source(),
+        pack = enc.encode_fn_source(),
+        half = lit(half_texel),
+        bound = lit(bound),
+        step = lit(step),
+        a = decode_expr("u_a", "vec2(i + blk_n, v_coord0.y)", range_in),
+        b = decode_expr("u_b", "vec2(v_coord1.x, i + blk_n)", range_in),
+        ab = mul(enc, "A", "B"),
+        interm = decode_expr("u_interm", "v_coord2", range_out),
+        out = encode_stmt("(acc + interm)", range_out),
+    )
+}
+
+/// The element-wise (Hadamard) product kernel: `C = A ∘ B`.
+///
+/// With both inputs in `[0, 1)` the products stay in `[0, 1)`, so this
+/// pass composes with the reduction tree without range bookkeeping —
+/// together they compute inner products entirely on the GPU.
+#[must_use]
+pub fn hadamard_kernel(enc: Encoding, range_in: &Range) -> String {
+    format!(
+        "uniform sampler2D u_a;\n\
+         uniform sampler2D u_b;\n\
+         varying vec2 v_coord;\n\
+         {unpack}{pack}\
+         void main() {{\n\
+         \x20   float a = {a};\n\
+         \x20   float b = {b};\n\
+         \x20   gl_FragColor = pack({ab});\n\
+         }}\n",
+        unpack = enc.decode_fn_source(),
+        pack = enc.encode_fn_source(),
+        a = decode_expr("u_a", "v_coord", range_in),
+        b = decode_expr("u_b", "v_coord", range_in),
+        ab = mul(enc, "a", "b"),
+    )
+}
+
+/// The transpose kernel: `C[x][y] = A[y][x]`, moving encoded texels
+/// verbatim (no unpack/pack needed — transposition is pure data
+/// movement). The swapped coordinate is constructed in-shader, so the
+/// fetch is *dependent*: on real hardware a transpose gather is exactly
+/// the strided access that hurts.
+#[must_use]
+pub fn transpose_kernel() -> String {
+    "uniform sampler2D u_src;\n\
+     varying vec2 v_coord;\n\
+     void main() {\n\
+         gl_FragColor = texture2D(u_src, vec2(v_coord.y, v_coord.x));\n\
+     }\n"
+    .to_owned()
+}
+
+/// The 4:1 tree-reduction kernel: each output fragment sums a 2×2 block
+/// of the input texture.
+///
+/// Unlike the other kernels, the value scales are *uniforms*
+/// (`u_scale_in`, `u_scale_out`, `u_half_texel`), so a single program
+/// serves every pass of the reduction even though the value range grows
+/// 4× per pass.
+#[must_use]
+pub fn reduce4_kernel(enc: Encoding) -> String {
+    format!(
+        "uniform sampler2D u_src;\n\
+         uniform float u_scale_in;\n\
+         uniform float u_scale_out;\n\
+         uniform float u_half_texel;\n\
+         varying vec2 v_coord;\n\
+         {unpack}{pack}\
+         void main() {{\n\
+         \x20   float a = unpack(texture2D(u_src, v_coord + vec2(-u_half_texel, -u_half_texel)));\n\
+         \x20   float b = unpack(texture2D(u_src, v_coord + vec2(u_half_texel, -u_half_texel)));\n\
+         \x20   float c = unpack(texture2D(u_src, v_coord + vec2(-u_half_texel, u_half_texel)));\n\
+         \x20   float d = unpack(texture2D(u_src, v_coord + vec2(u_half_texel, u_half_texel)));\n\
+         \x20   float total = {sum_scaled};\n\
+         \x20   gl_FragColor = pack(total * u_scale_out);\n\
+         }}\n",
+        unpack = enc.decode_fn_source(),
+        pack = enc.encode_fn_source(),
+        sum_scaled = mul(enc, "(a + b + c + d)", "u_scale_in"),
+    )
+}
+
+/// One weighted-Jacobi iteration for the 2D Poisson problem
+/// `∇²u = -f`: `u' = (1-ω)·u + ω·(¼·Σ neighbours + ¼·h²·f)`.
+///
+/// Neighbour coordinates are computed in-shader (`u_texel` is one texel),
+/// making them *dependent* fetches — exactly the access pattern that
+/// stresses the platforms differently, like the paper's sgemm. Clamp-to-
+/// edge sampling realises a zero-flux (Neumann) boundary.
+///
+/// `u` and the output use `range_u`; the source term `f` uses `range_f`
+/// and is pre-scaled by `h²` on the CPU.
+#[must_use]
+pub fn jacobi_kernel(enc: Encoding, range_u: &Range, range_f: &Range, omega: f32) -> String {
+    assert!((0.0..=1.0).contains(&omega), "omega must be in [0, 1]");
+    format!(
+        "uniform sampler2D u_u;\n\
+         uniform sampler2D u_f;\n\
+         uniform float u_texel;\n\
+         varying vec2 v_coord;\n\
+         {unpack}{pack}\
+         void main() {{\n\
+         \x20   float n = {north};\n\
+         \x20   float s = {south};\n\
+         \x20   float w = {west};\n\
+         \x20   float e = {east};\n\
+         \x20   float centre = {centre};\n\
+         \x20   float f = {source};\n\
+         \x20   float relaxed = (n + s + w + e + f) * 0.25;\n\
+         \x20   float next = centre * {one_minus_omega} + {relaxed_scaled};\n\
+         \x20   {out}\n\
+         }}\n",
+        unpack = enc.decode_fn_source(),
+        pack = enc.encode_fn_source(),
+        north = decode_expr("u_u", "v_coord + vec2(0.0, -u_texel)", range_u),
+        south = decode_expr("u_u", "v_coord + vec2(0.0, u_texel)", range_u),
+        west = decode_expr("u_u", "v_coord + vec2(-u_texel, 0.0)", range_u),
+        east = decode_expr("u_u", "v_coord + vec2(u_texel, 0.0)", range_u),
+        centre = decode_expr("u_u", "v_coord", range_u),
+        source = decode_expr("u_f", "v_coord", range_f),
+        one_minus_omega = lit(1.0 - omega),
+        relaxed_scaled = mul(enc, "relaxed", &lit(omega)),
+        out = encode_stmt("next", range_u),
+    )
+}
+
+/// A 3×3 image convolution kernel over a plain (unencoded) RGBA8 image —
+/// the computer-vision workload the paper's introduction motivates.
+///
+/// `weights` are baked as constants, row-major; `texel` is `1 / image_size`.
+#[must_use]
+pub fn conv3x3_kernel(weights: &[f32; 9], texel_w: f32, texel_h: f32) -> String {
+    let mut taps = String::new();
+    for (k, w) in weights.iter().enumerate() {
+        let dx = (k % 3) as f32 - 1.0;
+        let dy = (k / 3) as f32 - 1.0;
+        taps.push_str(&format!(
+            "    acc = acc + texture2D(u_img, v_coord + vec2({}, {})).xyz * {};\n",
+            lit(dx * texel_w),
+            lit(dy * texel_h),
+            lit(*w),
+        ));
+    }
+    format!(
+        "uniform sampler2D u_img;\n\
+         varying vec2 v_coord;\n\
+         void main() {{\n\
+         \x20   vec3 acc = vec3(0.0, 0.0, 0.0);\n\
+         {taps}\
+         \x20   gl_FragColor = vec4(clamp(acc, 0.0, 1.0), 1.0);\n\
+         }}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_shader::{compile, cost};
+
+    #[test]
+    fn sum_kernel_compiles_with_streaming_fetches() {
+        let src = sum_kernel(Encoding::Fp32, &Range::unit(), &Range::new(0.0, 2.0));
+        let sh = compile(&src).unwrap();
+        let c = cost::analyze(&sh);
+        assert_eq!(c.streaming_fetches(), 2);
+        assert_eq!(c.dependent_fetches(), 0);
+    }
+
+    #[test]
+    fn sgemm_kernel_fetch_count_scales_with_block() {
+        for block in [1u32, 2, 4, 8, 16] {
+            let src = sgemm_kernel(
+                Encoding::Fp32,
+                64,
+                block,
+                &Range::unit(),
+                &Range::new(0.0, 64.0),
+            );
+            let sh = compile(&src).unwrap();
+            assert_eq!(
+                sh.texture_fetch_count() as u32,
+                2 * block + 1,
+                "block {block}"
+            );
+            let c = cost::analyze(&sh);
+            assert_eq!(c.dependent_fetches() as u32, 2 * block);
+            assert_eq!(c.streaming_fetches(), 1);
+        }
+    }
+
+    #[test]
+    fn fp24_sgemm_uses_mul24() {
+        let src = sgemm_kernel(
+            Encoding::Fp24,
+            64,
+            4,
+            &Range::unit(),
+            &Range::new(0.0, 64.0),
+        );
+        assert!(src.contains("mul24(A, B)"));
+        let sh = compile(&src).unwrap();
+        assert!(sh.instrs.iter().any(|i| i.op == mgpu_shader::ir::Op::Mul24));
+    }
+
+    #[test]
+    fn sgemm_rejects_non_dividing_block() {
+        let r = std::panic::catch_unwind(|| {
+            sgemm_kernel(Encoding::Fp32, 64, 5, &Range::unit(), &Range::unit())
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn saxpy_kernel_compiles_and_fuses_mad() {
+        let src = saxpy_kernel(Encoding::Fp32, &Range::unit(), &Range::new(0.0, 4.0));
+        let sh = compile(&src).unwrap();
+        assert!(sh.instrs.iter().any(|i| i.op == mgpu_shader::ir::Op::Mad));
+    }
+
+    #[test]
+    fn conv_kernel_compiles_with_nine_taps() {
+        let src = conv3x3_kernel(
+            &[
+                0.0625, 0.125, 0.0625, 0.125, 0.25, 0.125, 0.0625, 0.125, 0.0625,
+            ],
+            1.0 / 64.0,
+            1.0 / 64.0,
+        );
+        let sh = compile(&src).unwrap();
+        assert_eq!(sh.texture_fetch_count(), 9);
+    }
+
+    #[test]
+    fn literals_round_trip_through_the_lexer() {
+        for x in [0.0f32, 1.0, -3.5, 0.0009765625, 1.0 / 3.0, 65025.0] {
+            let s = lit(x);
+            let parsed: f32 = s.parse().unwrap();
+            assert_eq!(parsed, x, "{s}");
+        }
+    }
+
+    #[test]
+    fn reduce_kernel_has_four_dependent_fetches() {
+        let src = reduce4_kernel(Encoding::Fp32);
+        let sh = compile(&src).unwrap();
+        assert_eq!(sh.texture_fetch_count(), 4);
+        let c = cost::analyze(&sh);
+        // Offsets are computed from the varying: all dependent.
+        assert_eq!(c.dependent_fetches(), 4);
+    }
+
+    #[test]
+    fn hadamard_kernel_multiplies_pointwise() {
+        use mgpu_shader::{Executor, ImageSampler, UniformValues};
+        let src = hadamard_kernel(Encoding::Fp32, &Range::unit());
+        let sh = compile(&src).unwrap();
+        // 1x1 textures holding encoded 0.5 and 0.25.
+        let enc = Encoding::Fp32;
+        let a = ImageSampler::new(1, 1, enc.encode(&[0.5], &Range::unit()));
+        let b = ImageSampler::new(1, 1, enc.encode(&[0.25], &Range::unit()));
+        let mut e = Executor::new(&sh, &UniformValues::new()).unwrap();
+        let out = e.run(&[[0.5, 0.5, 0.0, 0.0]], &[&a, &b]).unwrap();
+        // Decode the packed output.
+        let bytes = mgpu_gles::raster::quantize_rgba8(out);
+        let got = enc.decode(&bytes, &Range::unit())[0];
+        assert!((got - 0.125).abs() < 1e-5, "{got}");
+    }
+
+    #[test]
+    fn jacobi_kernel_counts_five_stencil_taps_plus_source() {
+        let src = jacobi_kernel(Encoding::Fp32, &Range::unit(), &Range::unit(), 0.8);
+        let sh = compile(&src).unwrap();
+        assert_eq!(sh.texture_fetch_count(), 6);
+        let c = cost::analyze(&sh);
+        // Centre and source sample straight varyings; four neighbours are
+        // computed coordinates.
+        assert_eq!(c.dependent_fetches(), 4);
+        assert_eq!(c.streaming_fetches(), 2);
+    }
+
+    #[test]
+    fn jacobi_kernel_rejects_bad_omega() {
+        let r = std::panic::catch_unwind(|| {
+            jacobi_kernel(Encoding::Fp32, &Range::unit(), &Range::unit(), 1.5)
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn fp24_variants_of_every_kernel_compile() {
+        let rin = Range::unit();
+        let rout = Range::new(0.0, 8.0);
+        for src in [
+            sum_kernel(Encoding::Fp24, &rin, &rout),
+            saxpy_kernel(Encoding::Fp24, &rin, &rout),
+            sgemm_kernel(Encoding::Fp24, 8, 2, &rin, &rout),
+            hadamard_kernel(Encoding::Fp24, &rin),
+            reduce4_kernel(Encoding::Fp24),
+            jacobi_kernel(Encoding::Fp24, &rin, &rin, 1.0),
+        ] {
+            compile(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! # mgpu-gpgpu — general-purpose computation over OpenGL ES 2
+//!
+//! The core library of the mgpu stack: a reproduction of
+//! *"Optimisation Opportunities and Evaluation for GPGPU Applications on
+//! Low-End Mobile GPUs"* (Trompouki & Kosmidis, DATE 2017) and the
+//! float↔RGBA8 texture encoding of their DATE 2016 paper it builds on.
+//!
+//! The crate turns the paper's optimisation checklist into a typed
+//! configuration space ([`OptConfig`]) and provides the two benchmarks the
+//! paper evaluates — streaming [`Sum`] and multi-pass blocked [`Sgemm`]
+//! (§IV, Fig. 2) — plus [`Saxpy`] and [`Convolution3x3`] as further
+//! workloads, all runnable under any configuration point on either
+//! simulated platform.
+//!
+//! ```text
+//! OptConfig::baseline()            OpenGL ES 2 best practices [14][11]
+//!   .with_swap_interval_0()        §II  windowing: eglSwapInterval(0)
+//!   .without_swap()                §II  windowing: no eglSwapBuffers
+//!   .with_framebuffer_rendering()  §II  texture writing: FB + CopyTex*
+//!   .with_texture_reuse()          §II  texture loading: TexSubImage2D
+//!   .with_vbo(usage)               §II  vertex processing: VBO + hint
+//!   .with_fp24()                   §II  kernel code: 3-byte I/O + mul24
+//! ```
+//!
+//! # Examples
+//!
+//! Element-wise addition on a simulated Raspberry Pi, fully optimised:
+//!
+//! ```
+//! use mgpu_gles::Gl;
+//! use mgpu_gpgpu::{runner, OptConfig, Range, Sum};
+//! use mgpu_tbdr::Platform;
+//!
+//! # fn main() -> Result<(), mgpu_gpgpu::GpgpuError> {
+//! let mut gl = Gl::new(Platform::videocore_iv(), 32, 32);
+//! let a: Vec<f32> = (0..1024).map(|i| i as f32 / 1024.0).collect();
+//! let b = vec![0.25f32; 1024];
+//!
+//! let cfg = OptConfig::baseline().with_swap_interval_0().without_swap();
+//! let mut sum = Sum::builder(32).build(&mut gl, &cfg, &a, &b)?;
+//! sum.step(&mut gl)?;
+//! let c = sum.result(&mut gl)?;
+//! assert!((c[512] - (a[512] + 0.25)).abs() < 1e-3);
+//!
+//! // Simulated steady-state kernel rate:
+//! let period = runner::steady_period(&mut gl, 5, 20, |gl| sum.step(gl))?;
+//! assert!(period > mgpu_tbdr::SimTime::ZERO);
+//! # let _ = Range::unit();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod config;
+mod encoding;
+mod error;
+pub mod kernels;
+mod ops;
+pub mod pipeline;
+pub mod runner;
+pub mod tune;
+
+pub use config::{OptConfig, RenderStrategy, SyncStrategy, VertexStrategy};
+pub use encoding::{Encoding, Range};
+pub use error::GpgpuError;
+pub use ops::{
+    Convolution3x3, DotProduct, JacobiBuilder, JacobiSolver, Reduction, Saxpy, Sgemm, Sum,
+    SumBuilder, Transpose,
+};
+pub use pipeline::{Pipeline, PipelineBuilder, Source};
+pub use runner::{speedup, steady_period};
+pub use tune::{tune_sgemm, tune_sum, TunePoint, TuneResult};

@@ -1,0 +1,340 @@
+//! A generic multi-pass GPGPU pipeline — the paper's §III framework as a
+//! library: user-written kernels chained through encoded textures, with
+//! the double-buffered intermediate scheme (and the OpenGL ES 2
+//! no-feedback rule) handled automatically.
+//!
+//! Each pass is a fragment kernel whose samplers bind either to a named
+//! external input texture or to the previous pass's output. The built-in
+//! operators ([`Sum`](crate::Sum), [`Sgemm`](crate::Sgemm), ...) are
+//! hand-tuned instances of this pattern; `Pipeline` opens it to arbitrary
+//! user kernels.
+//!
+//! Kernel sources typically splice in
+//! [`Encoding::decode_fn_source`](crate::Encoding::decode_fn_source) /
+//! [`Encoding::encode_fn_source`](crate::Encoding::encode_fn_source) for
+//! the float↔RGBA8 conversions.
+
+use mgpu_gles::{Gl, ProgramId, TextureId};
+use mgpu_shader::OptOptions;
+
+use crate::config::OptConfig;
+use crate::encoding::Range;
+use crate::error::GpgpuError;
+use crate::ops::{apply_sync_setup, convert_cost, quad_for, vbo_for, OutputChain};
+
+/// What a pass binds to one of its samplers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Source {
+    /// A named external input registered with
+    /// [`PipelineBuilder::input`].
+    Input(String),
+    /// The output of the previous pass (the double-buffered chain).
+    Previous,
+}
+
+/// One pass under construction.
+#[derive(Debug, Clone)]
+struct PassSpec {
+    source: String,
+    bindings: Vec<(String, Source)>,
+    uniforms: Vec<(String, f32)>,
+    label: String,
+}
+
+/// Builder for [`Pipeline`].
+#[derive(Debug, Clone)]
+pub struct PipelineBuilder {
+    n: u32,
+    inputs: Vec<(String, Vec<f32>, Range)>,
+    seed: Option<(Vec<f32>, Range)>,
+    passes: Vec<PassSpec>,
+}
+
+impl PipelineBuilder {
+    /// Registers a named `n`×`n` input with its value range.
+    #[must_use]
+    pub fn input(mut self, name: &str, data: &[f32], range: Range) -> Self {
+        self.inputs.push((name.to_owned(), data.to_vec(), range));
+        self
+    }
+
+    /// Pre-populates the output chain, so the *first* pass of the first
+    /// run may already read [`Source::Previous`] — how the paper's sgemm
+    /// seeds its zeroed intermediate texture.
+    #[must_use]
+    pub fn seed(mut self, data: &[f32], range: Range) -> Self {
+        self.seed = Some((data.to_vec(), range));
+        self
+    }
+
+    /// Appends a pass: `kernel_source` with each sampler bound per
+    /// `bindings` (sampler name → source) and scalar `uniforms` preset.
+    #[must_use]
+    pub fn pass(
+        mut self,
+        kernel_source: &str,
+        bindings: &[(&str, Source)],
+        uniforms: &[(&str, f32)],
+    ) -> Self {
+        self.passes.push(PassSpec {
+            source: kernel_source.to_owned(),
+            bindings: bindings
+                .iter()
+                .map(|(n, s)| ((*n).to_owned(), s.clone()))
+                .collect(),
+            uniforms: uniforms
+                .iter()
+                .map(|(n, v)| ((*n).to_owned(), *v))
+                .collect(),
+            label: format!("pipeline pass {}", self.passes.len()),
+        });
+        self
+    }
+
+    /// Compiles every pass, uploads every input and prepares the chain.
+    ///
+    /// # Errors
+    ///
+    /// [`GpgpuError::Config`] for unknown input names, samplers without a
+    /// binding, size mismatches, or an empty pipeline;
+    /// [`GpgpuError::Gl`] for compilation failures (including shader
+    /// limits).
+    pub fn build(self, gl: &mut Gl, cfg: &OptConfig) -> Result<Pipeline, GpgpuError> {
+        if self.passes.is_empty() {
+            return Err(GpgpuError::Config("pipeline has no passes".to_owned()));
+        }
+        let enc = cfg.encoding;
+        apply_sync_setup(gl, cfg);
+
+        // Upload inputs.
+        let mut inputs: Vec<(String, TextureId)> = Vec::new();
+        for (name, data, range) in &self.inputs {
+            if data.len() != (self.n as usize) * (self.n as usize) {
+                return Err(GpgpuError::Config(format!(
+                    "input `{name}` has {} elements, expected {n}x{n}",
+                    data.len(),
+                    n = self.n
+                )));
+            }
+            let encoded = enc.encode(data, range);
+            gl.add_cpu_work(convert_cost(encoded.len() as u64));
+            let tex = gl.create_texture();
+            gl.tex_image_2d(tex, self.n, self.n, enc.texture_format(), Some(&encoded))?;
+            inputs.push((name.clone(), tex));
+        }
+
+        // Compile passes and resolve bindings.
+        let opt = if cfg.mad_fusion {
+            OptOptions::full()
+        } else {
+            OptOptions::without_mad_fusion()
+        };
+        let mut passes = Vec::new();
+        for spec in &self.passes {
+            let prog = gl.create_program_with(&spec.source, &opt)?;
+            let mut resolved = Vec::new();
+            // Bindings are validated against the kernel's declared samplers
+            // by set_sampler below (unknown names error out).
+            for (unit, (sampler, source)) in spec.bindings.iter().enumerate() {
+                gl.set_sampler(prog, sampler, unit as u32)?;
+                let tex_source = match source {
+                    Source::Previous => None,
+                    Source::Input(name) => Some(
+                        inputs
+                            .iter()
+                            .find(|(n, _)| n == name)
+                            .map(|(_, t)| *t)
+                            .ok_or_else(|| {
+                                GpgpuError::Config(format!(
+                                    "pass binds sampler `{sampler}` to unknown input `{name}`"
+                                ))
+                            })?,
+                    ),
+                };
+                resolved.push(tex_source);
+            }
+            for (name, value) in &spec.uniforms {
+                gl.set_uniform_scalar(prog, name, *value)?;
+            }
+            passes.push(Pass {
+                prog,
+                bindings: resolved,
+                label: spec.label.clone(),
+            });
+        }
+
+        let mut chain = OutputChain::new(gl, self.n, enc.texture_format());
+        let mut seeded = false;
+        if let Some((data, range)) = &self.seed {
+            if data.len() != (self.n as usize) * (self.n as usize) {
+                return Err(GpgpuError::Config(format!(
+                    "seed has {} elements, expected {n}x{n}",
+                    data.len(),
+                    n = self.n
+                )));
+            }
+            let encoded = enc.encode(data, range);
+            gl.add_cpu_work(convert_cost(encoded.len() as u64));
+            chain.seed(gl, &encoded)?;
+            seeded = true;
+        }
+        let vbo = vbo_for(gl, cfg, 4)?;
+        Ok(Pipeline {
+            cfg: *cfg,
+            passes,
+            chain,
+            vbo,
+            seeded,
+            run_count: 0,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct Pass {
+    prog: ProgramId,
+    /// One entry per sampler unit: `Some(tex)` = external input,
+    /// `None` = previous pass's output.
+    bindings: Vec<Option<TextureId>>,
+    label: String,
+}
+
+/// A compiled multi-pass pipeline over `n`×`n` encoded data.
+///
+/// # Examples
+///
+/// A two-pass pipeline — square the input, then average with a second
+/// input — written directly in the kernel language:
+///
+/// ```
+/// use mgpu_gles::Gl;
+/// use mgpu_gpgpu::{Encoding, OptConfig, Pipeline, Range, Source};
+/// use mgpu_tbdr::Platform;
+///
+/// # fn main() -> Result<(), mgpu_gpgpu::GpgpuError> {
+/// let enc = Encoding::Fp32;
+/// let square = format!(
+///     "uniform sampler2D u_x;\nvarying vec2 v_coord;\n{}{}\
+///      void main() {{\n  float x = unpack(texture2D(u_x, v_coord));\n  gl_FragColor = pack(x * x);\n}}\n",
+///     enc.decode_fn_source(), enc.encode_fn_source());
+/// let average = format!(
+///     "uniform sampler2D u_a;\nuniform sampler2D u_b;\nvarying vec2 v_coord;\n{}{}\
+///      void main() {{\n  float a = unpack(texture2D(u_a, v_coord));\n  float b = unpack(texture2D(u_b, v_coord));\n  gl_FragColor = pack((a + b) * 0.5);\n}}\n",
+///     enc.decode_fn_source(), enc.encode_fn_source());
+///
+/// let mut gl = Gl::new(Platform::videocore_iv(), 8, 8);
+/// let x = vec![0.5f32; 64];
+/// let y = vec![0.25f32; 64];
+/// let mut pipeline = Pipeline::builder(8)
+///     .input("x", &x, Range::unit())
+///     .input("y", &y, Range::unit())
+///     .pass(&square, &[("u_x", Source::Input("x".into()))], &[])
+///     .pass(
+///         &average,
+///         &[("u_a", Source::Previous), ("u_b", Source::Input("y".into()))],
+///         &[],
+///     )
+///     .build(&mut gl, &OptConfig::baseline().without_swap())?;
+/// pipeline.run_once(&mut gl)?;
+/// let out = pipeline.output(&mut gl, &Range::unit())?;
+/// assert!((out[0] - 0.25).abs() < 1e-4); // (0.5^2 + 0.25) / 2
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Pipeline {
+    cfg: OptConfig,
+    passes: Vec<Pass>,
+    chain: OutputChain,
+    vbo: Option<mgpu_gles::BufferId>,
+    seeded: bool,
+    run_count: u64,
+}
+
+impl Pipeline {
+    /// Starts building a pipeline over `n`×`n` data.
+    #[must_use]
+    pub fn builder(n: u32) -> PipelineBuilder {
+        PipelineBuilder {
+            n,
+            inputs: Vec::new(),
+            seed: None,
+            passes: Vec::new(),
+        }
+    }
+
+    /// Number of passes.
+    #[must_use]
+    pub fn passes(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Executes every pass once, in order.
+    ///
+    /// # Errors
+    ///
+    /// [`GpgpuError::Config`] if a pass binds [`Source::Previous`] but no
+    /// pass has produced output yet; GL failures otherwise.
+    pub fn run_once(&mut self, gl: &mut Gl) -> Result<(), GpgpuError> {
+        self.run_count += 1;
+        for i in 0..self.passes.len() {
+            let pass = &self.passes[i];
+            for (unit, binding) in pass.bindings.iter().enumerate() {
+                let tex = match binding {
+                    Some(t) => *t,
+                    None => {
+                        if self.run_count == 1 && i == 0 && !self.seeded {
+                            return Err(GpgpuError::Config(
+                                "the first pass of the first run cannot read Previous: seed the pipeline or bind an input"
+                                    .to_owned(),
+                            ));
+                        }
+                        self.chain.latest()
+                    }
+                };
+                gl.bind_texture(unit as u32, Some(tex))?;
+            }
+            gl.use_program(Some(pass.prog))?;
+            let label = format!("{}#{}", pass.label, self.run_count);
+            let quad = quad_for(&self.cfg, self.vbo, &label);
+            let cfg = self.cfg;
+            self.chain.render_pass(gl, &cfg, |gl| gl.draw_quad(&quad))?;
+        }
+        Ok(())
+    }
+
+    /// Updates a scalar uniform of pass `pass_index` (e.g. a per-run block
+    /// offset, like the paper's `blk_n`).
+    ///
+    /// # Errors
+    ///
+    /// [`GpgpuError::Config`] for an out-of-range pass index; GL errors for
+    /// unknown uniform names.
+    pub fn set_uniform(
+        &mut self,
+        gl: &mut Gl,
+        pass_index: usize,
+        name: &str,
+        value: f32,
+    ) -> Result<(), GpgpuError> {
+        let pass = self.passes.get(pass_index).ok_or_else(|| {
+            GpgpuError::Config(format!(
+                "pass index {pass_index} out of range ({} passes)",
+                self.passes.len()
+            ))
+        })?;
+        gl.set_uniform_scalar(pass.prog, name, value)?;
+        Ok(())
+    }
+
+    /// Reads back and decodes the latest output with the given range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GL failures.
+    pub fn output(&mut self, gl: &mut Gl, range: &Range) -> Result<Vec<f32>, GpgpuError> {
+        let bytes = self.chain.read_latest(gl)?;
+        gl.add_cpu_work(convert_cost(bytes.len() as u64));
+        Ok(self.cfg.encoding.decode(&bytes, range))
+    }
+}

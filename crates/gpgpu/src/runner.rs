@@ -1,0 +1,73 @@
+//! Steady-state measurement helpers mirroring the paper's protocol
+//! (benchmark body executed repeatedly, rate reported).
+
+use mgpu_gles::Gl;
+use mgpu_tbdr::SimTime;
+
+use crate::error::GpgpuError;
+
+/// Runs `warmup + measured` iterations of `body` and returns the average
+/// simulated time per iteration over the measured window.
+///
+/// The warm-up fills the deferred pipeline and the driver's storage pools,
+/// so the result is the steady-state period the paper's 10 000-iteration
+/// protocol converges to.
+///
+/// # Errors
+///
+/// Propagates the first error `body` returns.
+///
+/// # Panics
+///
+/// Panics if `measured` is zero.
+pub fn steady_period(
+    gl: &mut Gl,
+    warmup: usize,
+    measured: usize,
+    mut body: impl FnMut(&mut Gl) -> Result<(), GpgpuError>,
+) -> Result<SimTime, GpgpuError> {
+    assert!(measured > 0, "need at least one measured iteration");
+    for _ in 0..warmup {
+        body(gl)?;
+    }
+    let t0 = gl.elapsed();
+    for _ in 0..measured {
+        body(gl)?;
+    }
+    let t1 = gl.elapsed();
+    Ok((t1 - t0) / measured as u64)
+}
+
+/// Speedup of `optimised` over `baseline` (>1 means faster), the metric of
+/// the paper's Figures 3–5.
+#[must_use]
+pub fn speedup(baseline: SimTime, optimised: SimTime) -> f64 {
+    let b = baseline.as_secs_f64();
+    let o = optimised.as_secs_f64();
+    if o <= 0.0 {
+        f64::INFINITY
+    } else {
+        b / o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_ratios() {
+        assert_eq!(
+            speedup(SimTime::from_millis(10), SimTime::from_millis(5)),
+            2.0
+        );
+        assert_eq!(
+            speedup(SimTime::from_millis(5), SimTime::from_millis(10)),
+            0.5
+        );
+        assert_eq!(
+            speedup(SimTime::from_millis(5), SimTime::ZERO),
+            f64::INFINITY
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Tests of the generic multi-pass [`Pipeline`] API.
+
+use mgpu_gles::Gl;
+use mgpu_gpgpu::{Encoding, GpgpuError, OptConfig, Pipeline, Range, Source};
+use mgpu_tbdr::Platform;
+use mgpu_workloads::random_matrix;
+
+fn enc() -> Encoding {
+    Encoding::Fp32
+}
+
+fn scale_kernel(factor: f32) -> String {
+    format!(
+        "uniform sampler2D u_x;\nvarying vec2 v_coord;\n{}{}\
+         void main() {{\n  float x = unpack(texture2D(u_x, v_coord));\n  gl_FragColor = pack(x * {factor:?});\n}}\n",
+        enc().decode_fn_source(),
+        enc().encode_fn_source()
+    )
+}
+
+fn add_uniform_kernel() -> String {
+    format!(
+        "uniform sampler2D u_x;\nuniform float u_bias;\nvarying vec2 v_coord;\n{}{}\
+         void main() {{\n  float x = unpack(texture2D(u_x, v_coord));\n  gl_FragColor = pack(x + u_bias);\n}}\n",
+        enc().decode_fn_source(),
+        enc().encode_fn_source()
+    )
+}
+
+#[test]
+fn chained_passes_compose_functionally() {
+    let n = 8u32;
+    let data = random_matrix(n as usize, 7, 0.0, 0.9);
+    let mut gl = Gl::new(Platform::videocore_iv(), n, n);
+    let mut p = Pipeline::builder(n)
+        .input("x", data.data(), Range::unit())
+        .pass(
+            &scale_kernel(0.5),
+            &[("u_x", Source::Input("x".into()))],
+            &[],
+        )
+        .pass(&scale_kernel(0.5), &[("u_x", Source::Previous)], &[])
+        .pass(&scale_kernel(2.0), &[("u_x", Source::Previous)], &[])
+        .build(&mut gl, &OptConfig::baseline().without_swap())
+        .unwrap();
+    assert_eq!(p.passes(), 3);
+    p.run_once(&mut gl).unwrap();
+    let out = p.output(&mut gl, &Range::unit()).unwrap();
+    for (o, x) in out.iter().zip(data.data()) {
+        assert!((o - x * 0.5).abs() < 1e-4, "{o} vs {}", x * 0.5);
+    }
+}
+
+#[test]
+fn uniforms_update_between_runs() {
+    let n = 4u32;
+    let zeros = vec![0.0f32; 16];
+    let mut gl = Gl::new(Platform::sgx_545(), n, n);
+    let mut p = Pipeline::builder(n)
+        .input("x", &zeros, Range::unit())
+        .pass(
+            &add_uniform_kernel(),
+            &[("u_x", Source::Input("x".into()))],
+            &[("u_bias", 0.25)],
+        )
+        .build(&mut gl, &OptConfig::baseline().without_swap())
+        .unwrap();
+    p.run_once(&mut gl).unwrap();
+    assert!((p.output(&mut gl, &Range::unit()).unwrap()[0] - 0.25).abs() < 1e-4);
+
+    p.set_uniform(&mut gl, 0, "u_bias", 0.75).unwrap();
+    p.run_once(&mut gl).unwrap();
+    assert!((p.output(&mut gl, &Range::unit()).unwrap()[0] - 0.75).abs() < 1e-4);
+
+    // Error paths.
+    assert!(matches!(
+        p.set_uniform(&mut gl, 5, "u_bias", 0.0).unwrap_err(),
+        GpgpuError::Config(_)
+    ));
+    assert!(p.set_uniform(&mut gl, 0, "ghost", 0.0).is_err());
+}
+
+#[test]
+fn iterating_feeds_previous_output_back() {
+    // One pass that halves Previous each run: after k runs from 0.8, the
+    // value is 0.8 * 0.5^(k-1) (first run reads the input).
+    let n = 4u32;
+    let start = vec![0.8f32; 16];
+    let halve_prev = format!(
+        "uniform sampler2D u_x;\nvarying vec2 v_coord;\n{}{}\
+         void main() {{\n  float x = unpack(texture2D(u_x, v_coord));\n  gl_FragColor = pack(x * 0.5);\n}}\n",
+        enc().decode_fn_source(),
+        enc().encode_fn_source()
+    );
+    let mut gl = Gl::new(Platform::videocore_iv(), n, n);
+    // First pass reads the input; on later runs we rebind it to Previous
+    // by building a two-stage trick: use one pass bound to the input for
+    // run 1 semantics is enough here — instead verify chaining *within*
+    // a run using three Previous passes after a seed pass.
+    let mut p = Pipeline::builder(n)
+        .input("x", &start, Range::unit())
+        .pass(&halve_prev, &[("u_x", Source::Input("x".into()))], &[])
+        .pass(&halve_prev, &[("u_x", Source::Previous)], &[])
+        .pass(&halve_prev, &[("u_x", Source::Previous)], &[])
+        .build(&mut gl, &OptConfig::baseline().without_swap())
+        .unwrap();
+    p.run_once(&mut gl).unwrap();
+    let out = p.output(&mut gl, &Range::unit()).unwrap();
+    assert!((out[0] - 0.1).abs() < 1e-4, "{}", out[0]);
+}
+
+#[test]
+fn build_errors_are_descriptive() {
+    let n = 4u32;
+    let data = vec![0.0f32; 16];
+    let mut gl = Gl::new(Platform::sgx_545(), n, n);
+
+    // Empty pipeline.
+    let err = Pipeline::builder(n)
+        .build(&mut gl, &OptConfig::baseline())
+        .unwrap_err();
+    assert!(matches!(err, GpgpuError::Config(_)));
+
+    // Unknown input name.
+    let err = Pipeline::builder(n)
+        .input("x", &data, Range::unit())
+        .pass(
+            &scale_kernel(1.0),
+            &[("u_x", Source::Input("ghost".into()))],
+            &[],
+        )
+        .build(&mut gl, &OptConfig::baseline())
+        .unwrap_err();
+    assert!(err.to_string().contains("ghost"), "{err}");
+
+    // Wrong input size.
+    let err = Pipeline::builder(n)
+        .input("x", &data[..9], Range::unit())
+        .pass(
+            &scale_kernel(1.0),
+            &[("u_x", Source::Input("x".into()))],
+            &[],
+        )
+        .build(&mut gl, &OptConfig::baseline())
+        .unwrap_err();
+    assert!(matches!(err, GpgpuError::Config(_)));
+
+    // First pass reading Previous on the first run.
+    let mut p = Pipeline::builder(n)
+        .input("x", &data, Range::unit())
+        .pass(&scale_kernel(1.0), &[("u_x", Source::Previous)], &[])
+        .build(&mut gl, &OptConfig::baseline())
+        .unwrap();
+    assert!(matches!(
+        p.run_once(&mut gl).unwrap_err(),
+        GpgpuError::Config(_)
+    ));
+}
+
+#[test]
+fn pipeline_respects_shader_limits() {
+    // A pass whose kernel exceeds the platform's fetch limit fails at
+    // build time with a limit error.
+    let n = 4u32;
+    let data = vec![0.0f32; 16];
+    let mut taps = String::new();
+    for i in 0..64 {
+        taps.push_str(&format!(
+            "  acc += texture2D(u_x, vec2({:?}, v_coord.y)).x;\n",
+            i as f32 / 64.0
+        ));
+    }
+    let fat = format!(
+        "uniform sampler2D u_x;\nvarying vec2 v_coord;\nvoid main() {{\n  float acc = 0.0;\n{taps}  gl_FragColor = vec4(acc);\n}}\n"
+    );
+    let mut gl = Gl::new(Platform::sgx_545(), n, n);
+    let err = Pipeline::builder(n)
+        .input("x", &data, Range::unit())
+        .pass(&fat, &[("u_x", Source::Input("x".into()))], &[])
+        .build(&mut gl, &OptConfig::baseline())
+        .unwrap_err();
+    assert!(err.is_shader_limit(), "{err}");
+}
+
+#[test]
+fn pipeline_runs_under_framebuffer_rendering() {
+    let n = 8u32;
+    let data = random_matrix(n as usize, 17, 0.0, 0.9);
+    let cfg = OptConfig::baseline()
+        .with_swap_interval_0()
+        .with_framebuffer_rendering();
+    let mut gl = Gl::new(Platform::videocore_iv(), n, n);
+    let mut p = Pipeline::builder(n)
+        .input("x", data.data(), Range::unit())
+        .pass(
+            &scale_kernel(0.25),
+            &[("u_x", Source::Input("x".into()))],
+            &[],
+        )
+        .pass(&scale_kernel(2.0), &[("u_x", Source::Previous)], &[])
+        .build(&mut gl, &cfg)
+        .unwrap();
+    p.run_once(&mut gl).unwrap();
+    let out = p.output(&mut gl, &Range::unit()).unwrap();
+    for (o, x) in out.iter().zip(data.data()) {
+        assert!((o - x * 0.5).abs() < 1e-4);
+    }
+}
+
+#[test]
+fn pipeline_expresses_the_paper_fig2_sgemm() {
+    // Rebuild the paper's §IV multi-pass sgemm on the *generic* Pipeline
+    // API and check it agrees with the dedicated Sgemm operator.
+    use mgpu_gpgpu::{kernels, Sgemm};
+    use mgpu_workloads::max_abs_error;
+
+    let n = 16u32;
+    let block = 4u32;
+    let a = random_matrix(n as usize, 61, 0.0, 1.0);
+    let b = random_matrix(n as usize, 62, 0.0, 1.0);
+    let range_in = Range::unit();
+    let range_out = Range::new(0.0, n as f32);
+    let cfg = OptConfig::baseline().without_swap();
+
+    // Reference: the dedicated operator.
+    let mut gl_ref = Gl::new(Platform::videocore_iv(), n, n);
+    let mut sgemm = Sgemm::new(&mut gl_ref, &cfg, n, block, a.data(), b.data()).unwrap();
+    sgemm.multiply(&mut gl_ref).unwrap();
+    let want = sgemm.result(&mut gl_ref).unwrap();
+
+    // Generic pipeline: one Fig. 2 pass, run once per block with blk_n
+    // updated in between — the intermediate rides the seeded chain.
+    let src = kernels::sgemm_kernel(enc(), n, block, &range_in, &range_out);
+    let zeros = vec![0.0f32; (n * n) as usize];
+    let mut gl = Gl::new(Platform::videocore_iv(), n, n);
+    let mut p = Pipeline::builder(n)
+        .input("a", a.data(), range_in)
+        .input("b", b.data(), range_in)
+        .seed(&zeros, range_out)
+        .pass(
+            &src,
+            &[
+                ("u_a", Source::Input("a".into())),
+                ("u_b", Source::Input("b".into())),
+                ("u_interm", Source::Previous),
+            ],
+            &[("blk_n", 0.0)],
+        )
+        .build(&mut gl, &cfg)
+        .unwrap();
+    for pass in 0..(n / block) {
+        p.set_uniform(&mut gl, 0, "blk_n", (pass * block) as f32 / n as f32)
+            .unwrap();
+        p.run_once(&mut gl).unwrap();
+    }
+    let got = p.output(&mut gl, &range_out).unwrap();
+    let err = max_abs_error(&got, &want);
+    assert!(err < 1e-4, "pipeline vs dedicated operator: {err}");
+}
+
+#[test]
+fn seeded_pipeline_first_pass_may_read_previous() {
+    let n = 4u32;
+    let seed = vec![0.5f32; 16];
+    let halve = scale_kernel(0.5);
+    let mut gl = Gl::new(Platform::sgx_545(), n, n);
+    let mut p = Pipeline::builder(n)
+        .seed(&seed, Range::unit())
+        .pass(&halve, &[("u_x", Source::Previous)], &[])
+        .build(&mut gl, &OptConfig::baseline().without_swap())
+        .unwrap();
+    p.run_once(&mut gl).unwrap();
+    assert!((p.output(&mut gl, &Range::unit()).unwrap()[0] - 0.25).abs() < 1e-4);
+    // A second run keeps halving.
+    p.run_once(&mut gl).unwrap();
+    assert!((p.output(&mut gl, &Range::unit()).unwrap()[0] - 0.125).abs() < 1e-4);
+}

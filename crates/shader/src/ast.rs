@@ -1,0 +1,381 @@
+//! Abstract syntax tree of the kernel shading language.
+//!
+//! The language is the fragment-shader subset of GLSL ES 1.00 that the
+//! paper's kernels exercise: `float`/`vec2`–`vec4` arithmetic, `uniform` /
+//! `varying` / `const` globals, swizzles, built-in calls, user functions
+//! (inlined during lowering), constant-bounded `for` loops (fully unrolled)
+//! and predicated `if`.
+
+/// Scalar and vector types of the language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// A single float.
+    Float,
+    /// A 2-component float vector.
+    Vec2,
+    /// A 3-component float vector.
+    Vec3,
+    /// A 4-component float vector.
+    Vec4,
+    /// A boolean (result of comparisons; only usable in conditions).
+    Bool,
+    /// A 2D texture sampler (uniform-only).
+    Sampler2d,
+    /// The return type of `main` and procedures.
+    Void,
+}
+
+impl Type {
+    /// Number of float components, or `None` for non-numeric types.
+    #[must_use]
+    pub fn components(self) -> Option<u8> {
+        match self {
+            Type::Float => Some(1),
+            Type::Vec2 => Some(2),
+            Type::Vec3 => Some(3),
+            Type::Vec4 => Some(4),
+            _ => None,
+        }
+    }
+
+    /// The vector type with `n` components.
+    #[must_use]
+    pub fn vector(n: u8) -> Option<Type> {
+        match n {
+            1 => Some(Type::Float),
+            2 => Some(Type::Vec2),
+            3 => Some(Type::Vec3),
+            4 => Some(Type::Vec4),
+            _ => None,
+        }
+    }
+
+    /// Parses a type keyword.
+    #[must_use]
+    pub fn from_keyword(word: &str) -> Option<Type> {
+        Some(match word {
+            "float" => Type::Float,
+            "vec2" => Type::Vec2,
+            "vec3" => Type::Vec3,
+            "vec4" => Type::Vec4,
+            "bool" => Type::Bool,
+            "sampler2D" => Type::Sampler2d,
+            "void" => Type::Void,
+            _ => return None,
+        })
+    }
+
+    /// The GLSL spelling of the type.
+    #[must_use]
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Type::Float => "float",
+            Type::Vec2 => "vec2",
+            Type::Vec3 => "vec3",
+            Type::Vec4 => "vec4",
+            Type::Bool => "bool",
+            Type::Sampler2d => "sampler2D",
+            Type::Void => "void",
+        }
+    }
+}
+
+/// Storage qualifier of a global declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Qualifier {
+    /// Set by the application per draw; constant across fragments.
+    Uniform,
+    /// Interpolated per fragment (fed by the vertex stage).
+    Varying,
+    /// Compile-time constant.
+    Const,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// Whether the operator produces a boolean.
+    #[must_use]
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// Whether the operator takes boolean operands.
+    #[must_use]
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A float literal.
+    Literal(f32),
+    /// `true` / `false`.
+    BoolLiteral(bool),
+    /// A variable reference.
+    Var(String),
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A call to a built-in or user function (or vector constructor).
+    Call {
+        /// Callee name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+        /// Source line of the call.
+        line: u32,
+    },
+    /// A swizzle / component access, e.g. `v.xyz`.
+    Swizzle {
+        /// The swizzled value.
+        base: Box<Expr>,
+        /// Component letters (validated during type checking).
+        fields: String,
+        /// Source line.
+        line: u32,
+    },
+    /// `cond ? a : b`.
+    Ternary {
+        /// The boolean condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then_expr: Box<Expr>,
+        /// Value when false.
+        else_expr: Box<Expr>,
+    },
+}
+
+/// Compound-assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+    /// `/=`
+    Div,
+}
+
+/// An assignment target: a variable with an optional swizzle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LValue {
+    /// Variable name (`gl_FragColor` included).
+    pub name: String,
+    /// Optional component selection on the left-hand side.
+    pub swizzle: Option<String>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A local declaration list, e.g. `float a = 0.0, b;`.
+    Decl {
+        /// Declared type.
+        ty: Type,
+        /// Names with optional initialisers.
+        names: Vec<(String, Option<Expr>)>,
+        /// Source line.
+        line: u32,
+    },
+    /// An assignment.
+    Assign {
+        /// Target.
+        target: LValue,
+        /// Plain or compound assignment.
+        op: AssignOp,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// A `for` loop with a declared counter. Bounds must be compile-time
+    /// constant; the compiler fully unrolls the loop.
+    For {
+        /// Counter type (must be `float`).
+        var_ty: Type,
+        /// Counter name.
+        var: String,
+        /// Initial value expression.
+        init: Expr,
+        /// Continuation condition (compared against the counter).
+        cond: Expr,
+        /// Per-iteration update.
+        update_op: AssignOp,
+        /// Update amount expression.
+        update: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// An `if`/`else`, lowered by predication.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_branch: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `return expr;` — only allowed as the final statement of a non-void
+    /// user function.
+    Return {
+        /// Returned value (absent in `void` functions).
+        value: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// An expression evaluated for effect (a `void` call).
+    ExprStmt {
+        /// The expression.
+        expr: Expr,
+        /// Source line.
+        line: u32,
+    },
+}
+
+/// A global declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Storage qualifier.
+    pub qualifier: Qualifier,
+    /// Declared type.
+    pub ty: Type,
+    /// Name.
+    pub name: String,
+    /// Initialiser (required for `const`).
+    pub init: Option<Expr>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A function definition (user functions are inlined; `main` is the entry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Return type.
+    pub ret: Type,
+    /// Name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(Type, String)>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A parsed shader program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Global declarations in order.
+    pub globals: Vec<GlobalDecl>,
+    /// Function definitions, `main` among them.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    #[must_use]
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_components() {
+        assert_eq!(Type::Float.components(), Some(1));
+        assert_eq!(Type::Vec4.components(), Some(4));
+        assert_eq!(Type::Sampler2d.components(), None);
+        assert_eq!(Type::vector(3), Some(Type::Vec3));
+        assert_eq!(Type::vector(5), None);
+    }
+
+    #[test]
+    fn type_keyword_round_trip() {
+        for t in [
+            Type::Float,
+            Type::Vec2,
+            Type::Vec3,
+            Type::Vec4,
+            Type::Bool,
+            Type::Sampler2d,
+            Type::Void,
+        ] {
+            assert_eq!(Type::from_keyword(t.keyword()), Some(t));
+        }
+        assert_eq!(Type::from_keyword("mat4"), None);
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(!BinOp::Eq.is_logical());
+    }
+}

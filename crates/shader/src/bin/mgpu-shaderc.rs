@@ -1,0 +1,124 @@
+//! `mgpu-shaderc` — offline kernel compiler CLI.
+//!
+//! Compiles a kernel source file with the mgpu shader toolchain and prints
+//! the IR listing, the static cost summary and (optionally) an
+//! implementation-limit verdict.
+//!
+//! ```text
+//! mgpu-shaderc [OPTIONS] <FILE | ->
+//!
+//! OPTIONS:
+//!   --no-opt                 disable the peephole optimiser
+//!   --no-mad                 disable MAD fusion only
+//!   --max-instructions <N>   enforce an instruction limit
+//!   --max-fetches <N>        enforce a texture-fetch limit
+//!   --quiet                  print only the verdict line
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use mgpu_shader::{compile_with, cost, render_error, CompileOptions, Limits, OptOptions};
+
+struct Args {
+    path: Option<String>,
+    opt: OptOptions,
+    limits: Limits,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        path: None,
+        opt: OptOptions::full(),
+        limits: Limits::unlimited(),
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--no-opt" => args.opt = OptOptions::none(),
+            "--no-mad" => args.opt = OptOptions::without_mad_fusion(),
+            "--quiet" => args.quiet = true,
+            "--max-instructions" => {
+                let v = it.next().ok_or("--max-instructions needs a value")?;
+                args.limits.max_instructions =
+                    v.parse().map_err(|_| format!("bad number `{v}`"))?;
+            }
+            "--max-fetches" => {
+                let v = it.next().ok_or("--max-fetches needs a value")?;
+                args.limits.max_texture_fetches =
+                    v.parse().map_err(|_| format!("bad number `{v}`"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: mgpu-shaderc [--no-opt] [--no-mad] \
+                            [--max-instructions N] [--max-fetches N] [--quiet] <FILE | ->"
+                    .to_owned())
+            }
+            other if args.path.is_none() => args.path = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if args.path.is_none() {
+        return Err("no input file (use `-` for stdin)".to_owned());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let path = args.path.expect("validated");
+    let source = if path == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("failed to read stdin");
+            return ExitCode::from(2);
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let options = CompileOptions {
+        opt: args.opt,
+        limits: args.limits,
+    };
+    match compile_with(&source, &options) {
+        Ok(shader) => {
+            let summary = cost::analyze(&shader);
+            if !args.quiet {
+                print!("{shader}");
+                println!();
+            }
+            println!(
+                "ok: {} instructions, {} texture fetches ({} streaming, {} dependent), {:.1} ALU cycles/fragment",
+                shader.instruction_count(),
+                shader.texture_fetch_count(),
+                summary.streaming_fetches(),
+                summary.dependent_fetches(),
+                summary.alu_cycles
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            if e.is_limit_exceeded() {
+                println!("error (implementation limit): {e}");
+            } else {
+                print!("{}", render_error(&source, &e));
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

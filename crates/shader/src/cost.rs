@@ -1,0 +1,216 @@
+//! Static cost analysis of compiled kernels.
+//!
+//! Walks the IR and produces the per-fragment quantities the TBDR timing
+//! model consumes: ALU cycles (post MAD fusion — this is where the paper's
+//! kernel-code optimisations become measurable) and the texture fetches,
+//! classified as *streaming* or *dependent*.
+//!
+//! **Classification rule**: a fetch is *streaming* if and only if its
+//! coordinate register is an unmodified (possibly swizzled or copied)
+//! varying. Any computed coordinate — including the paper's
+//! `vec2(i + blk_n, Coord0.y)` sgemm accesses — is *dependent*: the texture
+//! unit cannot prefetch it from the interpolators, which is what makes such
+//! fetches expensive on the SGX.
+
+use crate::ir::{Op, Reg, Shader};
+
+/// One texture fetch found in the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchCost {
+    /// Texture unit sampled.
+    pub sampler: u8,
+    /// Whether the coordinate is computed in-shader (see module docs).
+    pub dependent: bool,
+}
+
+/// Per-fragment cost summary of a compiled kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelCost {
+    /// Arithmetic cycles per fragment.
+    pub alu_cycles: f64,
+    /// Every texture fetch, in program order.
+    pub fetches: Vec<FetchCost>,
+}
+
+impl KernelCost {
+    /// Number of streaming fetches.
+    #[must_use]
+    pub fn streaming_fetches(&self) -> usize {
+        self.fetches.iter().filter(|f| !f.dependent).count()
+    }
+
+    /// Number of dependent fetches.
+    #[must_use]
+    pub fn dependent_fetches(&self) -> usize {
+        self.fetches.iter().filter(|f| f.dependent).count()
+    }
+}
+
+/// ALU cycle cost of one op on an embedded GPU ISA.
+///
+/// `Const` is free (preloaded), moves and swizzles cost half a cycle
+/// (operand routing), transcendental-ish ops are multi-cycle, and `mul24`
+/// undercuts a full multiply — the basis of the paper's fp24 gain.
+#[must_use]
+pub fn op_cycles(op: &Op) -> f64 {
+    match op {
+        Op::Const(_) => 0.0,
+        Op::Mov | Op::Swizzle(_) | Op::Merge { .. } | Op::Construct => 0.5,
+        Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::Mad
+        | Op::Min
+        | Op::Max
+        | Op::Clamp
+        | Op::Floor
+        | Op::Fract
+        | Op::Abs
+        | Op::Step
+        | Op::Dot
+        | Op::Cmp(_)
+        | Op::And
+        | Op::Or
+        | Op::Not
+        | Op::Select
+        | Op::Neg => 1.0,
+        Op::Mul24 => 0.6,
+        Op::Mix => 2.0,
+        Op::Sign => 1.0,
+        Op::Div | Op::Sqrt | Op::InverseSqrt => 4.0,
+        Op::ModOp => 3.0,
+        Op::Sin | Op::Cos | Op::Exp2 | Op::Log2 => 6.0,
+        Op::Pow => 8.0,
+        // Issue cost only; memory latency is the platform model's business.
+        Op::TexFetch { .. } => 1.0,
+    }
+}
+
+/// Analyses a compiled kernel.
+#[must_use]
+pub fn analyze(shader: &Shader) -> KernelCost {
+    // Coordinate provenance per register.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Provenance {
+        /// An unmodified varying (or swizzle/copy of one).
+        Varying,
+        /// Anything else.
+        Computed,
+    }
+
+    let mut prov = vec![Provenance::Computed; shader.reg_count as usize];
+    for slot in shader.varying_slots() {
+        prov[slot.reg.0 as usize] = Provenance::Varying;
+    }
+
+    let mut alu = 0.0f64;
+    let mut fetches = Vec::new();
+    for instr in &shader.instrs {
+        alu += op_cycles(&instr.op);
+        match instr.op {
+            Op::Mov | Op::Swizzle(_) => {
+                let src: Reg = instr.srcs[0];
+                prov[instr.dst.0 as usize] = prov[src.0 as usize];
+            }
+            Op::TexFetch { sampler } => {
+                let coord = instr.srcs[0];
+                fetches.push(FetchCost {
+                    sampler,
+                    dependent: prov[coord.0 as usize] != Provenance::Varying,
+                });
+            }
+            _ => {}
+        }
+    }
+    KernelCost {
+        alu_cycles: alu,
+        fetches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn direct_varying_fetch_is_streaming() {
+        let sh = compile(
+            "uniform sampler2D t; varying vec2 v;\n\
+             void main() { gl_FragColor = texture2D(t, v); }",
+        )
+        .unwrap();
+        let cost = analyze(&sh);
+        assert_eq!(cost.fetches.len(), 1);
+        assert_eq!(cost.streaming_fetches(), 1);
+        assert_eq!(cost.dependent_fetches(), 0);
+    }
+
+    #[test]
+    fn swizzled_varying_fetch_is_streaming() {
+        let sh = compile(
+            "uniform sampler2D t; varying vec4 v;\n\
+             void main() { gl_FragColor = texture2D(t, v.xy); }",
+        )
+        .unwrap();
+        assert_eq!(analyze(&sh).streaming_fetches(), 1);
+    }
+
+    #[test]
+    fn computed_coordinate_fetch_is_dependent() {
+        // The paper's sgemm access pattern.
+        let sh = compile(
+            "uniform sampler2D t; uniform float blk_n; varying vec2 v;\n\
+             void main() { gl_FragColor = texture2D(t, vec2(0.25 + blk_n, v.y)); }",
+        )
+        .unwrap();
+        let cost = analyze(&sh);
+        assert_eq!(cost.dependent_fetches(), 1);
+        assert_eq!(cost.streaming_fetches(), 0);
+    }
+
+    #[test]
+    fn alu_cycles_grow_with_unrolled_work() {
+        let small = compile(
+            "varying vec2 v;\n\
+             void main() {\n\
+               float a = 0.0;\n\
+               for (float i = 0.0; i < 2.0; i += 1.0) { a += v.x * v.y; }\n\
+               gl_FragColor = vec4(a);\n\
+             }",
+        )
+        .unwrap();
+        let large = compile(
+            "varying vec2 v;\n\
+             void main() {\n\
+               float a = 0.0;\n\
+               for (float i = 0.0; i < 16.0; i += 1.0) { a += v.x * v.y; }\n\
+               gl_FragColor = vec4(a);\n\
+             }",
+        )
+        .unwrap();
+        assert!(analyze(&large).alu_cycles > analyze(&small).alu_cycles);
+    }
+
+    #[test]
+    fn mad_fusion_lowers_alu_cost() {
+        use crate::{compile_with, CompileOptions, OptOptions};
+        let src = "varying vec2 v; uniform float k;\n\
+                   void main() { gl_FragColor = vec4(v.x * v.y + k); }";
+        let fused = compile_with(src, &CompileOptions::default()).unwrap();
+        let plain = compile_with(
+            src,
+            &CompileOptions {
+                opt: OptOptions::without_mad_fusion(),
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(analyze(&fused).alu_cycles < analyze(&plain).alu_cycles);
+    }
+
+    #[test]
+    fn mul24_is_cheaper_than_mul_plus_semantics() {
+        assert!(op_cycles(&Op::Mul24) < op_cycles(&Op::Mul));
+    }
+}

@@ -1,0 +1,178 @@
+//! Compile- and run-time errors of the kernel language.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while compiling a kernel.
+///
+/// The `Display` form is a single lowercase line including the source line
+/// number where one is known, in the style of driver info logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    message: String,
+    line: Option<u32>,
+    kind: CompileErrorKind,
+}
+
+/// Broad classification of compile errors, used by callers that react
+/// differently to resource-limit failures (the paper's Fig. 4b relies on
+/// detecting those).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompileErrorKind {
+    /// Lexical error (bad character, malformed number).
+    Lex,
+    /// Syntax error.
+    Parse,
+    /// Type or name error.
+    Type,
+    /// Loop bounds not compile-time constant, or loop too long to unroll.
+    Loop,
+    /// A platform shader implementation limit was exceeded
+    /// (`max_instructions`, `max_texture_fetches`, ...).
+    LimitExceeded,
+}
+
+impl CompileError {
+    /// Creates an error with a message and optional source line.
+    #[must_use]
+    pub fn new(kind: CompileErrorKind, message: impl Into<String>, line: Option<u32>) -> Self {
+        CompileError {
+            message: message.into(),
+            line,
+            kind,
+        }
+    }
+
+    /// The error classification.
+    #[must_use]
+    pub fn kind(&self) -> CompileErrorKind {
+        self.kind
+    }
+
+    /// Whether this is a resource-limit failure (as opposed to a malformed
+    /// program).
+    #[must_use]
+    pub fn is_limit_exceeded(&self) -> bool {
+        self.kind == CompileErrorKind::LimitExceeded
+    }
+
+    /// The source line, if known.
+    #[must_use]
+    pub fn line(&self) -> Option<u32> {
+        self.line
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(l) => write!(f, "line {l}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+/// Renders a compile error as a driver-style info log with the offending
+/// source line and a marker column, e.g.:
+///
+/// ```text
+/// error: line 3: unknown variable `ghost`
+///   3 |     gl_FragColor = vec4(ghost);
+///     |     ^
+/// ```
+///
+/// Falls back to the plain message when the error carries no line.
+///
+/// # Examples
+///
+/// ```
+/// let src = "void main() {\n    gl_FragColor = vec4(ghost);\n}";
+/// let err = mgpu_shader::compile(src).unwrap_err();
+/// let log = mgpu_shader::render_error(src, &err);
+/// assert!(log.contains("ghost"));
+/// assert!(log.contains("2 |"));
+/// ```
+#[must_use]
+pub fn render_error(source: &str, err: &CompileError) -> String {
+    let mut out = format!("error: {err}\n");
+    if let Some(line) = err.line() {
+        if let Some(text) = source.lines().nth(line as usize - 1) {
+            let number = line.to_string();
+            out.push_str(&format!("  {number} | {text}\n"));
+            let indent = text.len() - text.trim_start().len();
+            out.push_str(&format!(
+                "  {:width$} | {:indent$}^\n",
+                "",
+                "",
+                width = number.len(),
+                indent = indent
+            ));
+        }
+    }
+    out
+}
+
+/// An error produced while executing a compiled kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    message: String,
+}
+
+impl ExecError {
+    /// Creates an execution error.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        ExecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_when_known() {
+        let e = CompileError::new(CompileErrorKind::Parse, "unexpected token", Some(3));
+        assert_eq!(e.to_string(), "line 3: unexpected token");
+        let e2 = CompileError::new(CompileErrorKind::Type, "unknown name", None);
+        assert_eq!(e2.to_string(), "unknown name");
+    }
+
+    #[test]
+    fn render_error_without_line_is_plain() {
+        let e = CompileError::new(CompileErrorKind::Type, "no main", None);
+        assert_eq!(render_error("x", &e), "error: no main\n");
+    }
+
+    #[test]
+    fn render_error_points_at_the_line() {
+        let src = "void main() {\n    float x = ;\n}";
+        let e = CompileError::new(CompileErrorKind::Parse, "unexpected `;`", Some(2));
+        let log = render_error(src, &e);
+        assert!(log.contains("2 |     float x = ;"));
+        assert!(log.contains('^'));
+    }
+
+    #[test]
+    fn limit_classification() {
+        let e = CompileError::new(
+            CompileErrorKind::LimitExceeded,
+            "too many instructions",
+            None,
+        );
+        assert!(e.is_limit_exceeded());
+        assert!(!CompileError::new(CompileErrorKind::Lex, "x", None).is_limit_exceeded());
+    }
+}

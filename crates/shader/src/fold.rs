@@ -1,0 +1,366 @@
+//! Compile-time constant evaluation over the AST.
+//!
+//! Used for `const` globals, loop bounds (which must be compile-time
+//! constant so loops can be fully unrolled, per the GLSL ES 1.00 Appendix A
+//! restrictions the paper's target drivers enforce) and branch pruning.
+
+use crate::ast::{BinOp, Expr, UnaryOp};
+
+/// A compile-time value: a float vector or a boolean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConstVal {
+    /// A float vector with the given component count.
+    Num {
+        /// Component values (unused lanes are zero).
+        v: [f32; 4],
+        /// Active component count, 1–4.
+        width: u8,
+    },
+    /// A boolean.
+    Bool(bool),
+}
+
+impl ConstVal {
+    /// A scalar constant.
+    #[must_use]
+    pub fn scalar(x: f32) -> Self {
+        ConstVal::Num {
+            v: [x, 0.0, 0.0, 0.0],
+            width: 1,
+        }
+    }
+
+    /// The scalar value, if this is a width-1 number.
+    #[must_use]
+    pub fn as_scalar(&self) -> Option<f32> {
+        match *self {
+            ConstVal::Num { v, width: 1 } => Some(v[0]),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            ConstVal::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+fn splat(x: f32) -> [f32; 4] {
+    [x; 4]
+}
+
+fn zip(a: [f32; 4], b: [f32; 4], wa: u8, wb: u8, f: impl Fn(f32, f32) -> f32) -> Option<ConstVal> {
+    let (a, b, w) = match (wa, wb) {
+        (x, y) if x == y => (a, b, x),
+        (1, y) => (splat(a[0]), b, y),
+        (x, 1) => (a, splat(b[0]), x),
+        _ => return None,
+    };
+    let mut out = [0.0f32; 4];
+    for i in 0..w as usize {
+        out[i] = f(a[i], b[i]);
+    }
+    Some(ConstVal::Num { v: out, width: w })
+}
+
+/// Evaluates `expr` to a constant, looking up named constants through
+/// `lookup` (const globals and active loop counters).
+///
+/// Returns `None` when the expression is not compile-time constant. Calls to
+/// a small set of pure built-ins on constant arguments fold too.
+pub fn const_eval(expr: &Expr, lookup: &dyn Fn(&str) -> Option<ConstVal>) -> Option<ConstVal> {
+    match expr {
+        Expr::Literal(x) => Some(ConstVal::scalar(*x)),
+        Expr::BoolLiteral(b) => Some(ConstVal::Bool(*b)),
+        Expr::Var(name) => lookup(name),
+        Expr::Unary { op, expr } => {
+            let v = const_eval(expr, lookup)?;
+            match (op, v) {
+                (UnaryOp::Neg, ConstVal::Num { v, width }) => {
+                    let mut out = v;
+                    for o in &mut out {
+                        *o = -*o;
+                    }
+                    Some(ConstVal::Num { v: out, width })
+                }
+                (UnaryOp::Not, ConstVal::Bool(b)) => Some(ConstVal::Bool(!b)),
+                _ => None,
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let a = const_eval(lhs, lookup)?;
+            let b = const_eval(rhs, lookup)?;
+            match (op, a, b) {
+                (BinOp::And, ConstVal::Bool(x), ConstVal::Bool(y)) => Some(ConstVal::Bool(x && y)),
+                (BinOp::Or, ConstVal::Bool(x), ConstVal::Bool(y)) => Some(ConstVal::Bool(x || y)),
+                (op, ConstVal::Num { v: a, width: wa }, ConstVal::Num { v: b, width: wb }) => {
+                    if op.is_comparison() {
+                        if wa != 1 || wb != 1 {
+                            return None;
+                        }
+                        let (x, y) = (a[0], b[0]);
+                        let r = match op {
+                            BinOp::Lt => x < y,
+                            BinOp::Le => x <= y,
+                            BinOp::Gt => x > y,
+                            BinOp::Ge => x >= y,
+                            BinOp::Eq => x == y,
+                            BinOp::Ne => x != y,
+                            _ => unreachable!(),
+                        };
+                        Some(ConstVal::Bool(r))
+                    } else {
+                        let f: fn(f32, f32) -> f32 = match op {
+                            BinOp::Add => |x, y| x + y,
+                            BinOp::Sub => |x, y| x - y,
+                            BinOp::Mul => |x, y| x * y,
+                            BinOp::Div => |x, y| x / y,
+                            _ => return None,
+                        };
+                        zip(a, b, wa, wb, f)
+                    }
+                }
+                _ => None,
+            }
+        }
+        Expr::Swizzle { base, fields, .. } => {
+            let v = const_eval(base, lookup)?;
+            let ConstVal::Num { v, width } = v else {
+                return None;
+            };
+            let mut out = [0.0f32; 4];
+            for (i, c) in fields.chars().enumerate() {
+                if i >= 4 {
+                    return None;
+                }
+                let idx = component_index(c)?;
+                if idx >= width {
+                    return None;
+                }
+                out[i] = v[idx as usize];
+            }
+            let w = fields.len() as u8;
+            if w == 0 || w > 4 {
+                return None;
+            }
+            Some(ConstVal::Num { v: out, width: w })
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            let c = const_eval(cond, lookup)?.as_bool()?;
+            const_eval(if c { then_expr } else { else_expr }, lookup)
+        }
+        Expr::Call { name, args, .. } => {
+            let vals: Option<Vec<ConstVal>> = args.iter().map(|a| const_eval(a, lookup)).collect();
+            let vals = vals?;
+            fold_builtin(name, &vals)
+        }
+    }
+}
+
+/// Maps a swizzle letter to a component index (xyzw / rgba / stpq).
+#[must_use]
+pub fn component_index(c: char) -> Option<u8> {
+    match c {
+        'x' | 'r' | 's' => Some(0),
+        'y' | 'g' | 't' => Some(1),
+        'z' | 'b' | 'p' => Some(2),
+        'w' | 'a' | 'q' => Some(3),
+        _ => None,
+    }
+}
+
+fn fold_builtin(name: &str, args: &[ConstVal]) -> Option<ConstVal> {
+    let num = |v: &ConstVal| match *v {
+        ConstVal::Num { v, width } => Some((v, width)),
+        ConstVal::Bool(_) => None,
+    };
+    match (name, args.len()) {
+        ("vec2" | "vec3" | "vec4", _) => {
+            let want: u8 = match name {
+                "vec2" => 2,
+                "vec3" => 3,
+                _ => 4,
+            };
+            if args.len() == 1 {
+                let (v, w) = num(&args[0])?;
+                if w == 1 {
+                    return Some(ConstVal::Num {
+                        v: splat(v[0]),
+                        width: want,
+                    });
+                }
+            }
+            let mut out = [0.0f32; 4];
+            let mut n = 0usize;
+            for a in args {
+                let (v, w) = num(a)?;
+                for &c in v.iter().take(w as usize) {
+                    if n >= want as usize {
+                        return None;
+                    }
+                    out[n] = c;
+                    n += 1;
+                }
+            }
+            (n == want as usize).then_some(ConstVal::Num {
+                v: out,
+                width: want,
+            })
+        }
+        (
+            "floor" | "fract" | "abs" | "sqrt" | "sin" | "cos" | "exp2" | "log2" | "inversesqrt"
+            | "sign",
+            1,
+        ) => {
+            let (v, w) = num(&args[0])?;
+            let mut out = v;
+            for o in out.iter_mut().take(w as usize) {
+                *o = match name {
+                    "floor" => o.floor(),
+                    "fract" => *o - o.floor(),
+                    "abs" => o.abs(),
+                    "sin" => o.sin(),
+                    "cos" => o.cos(),
+                    "exp2" => o.exp2(),
+                    "log2" => o.log2(),
+                    "inversesqrt" => 1.0 / o.sqrt(),
+                    "sign" => {
+                        if *o > 0.0 {
+                            1.0
+                        } else if *o < 0.0 {
+                            -1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    _ => o.sqrt(),
+                };
+            }
+            Some(ConstVal::Num { v: out, width: w })
+        }
+        ("min", 2) | ("max", 2) | ("mod", 2) | ("pow", 2) | ("step", 2) => {
+            let (a, wa) = num(&args[0])?;
+            let (b, wb) = num(&args[1])?;
+            let f: fn(f32, f32) -> f32 = match name {
+                "min" => f32::min,
+                "max" => f32::max,
+                "mod" => |x, y| x - y * (x / y).floor(),
+                "pow" => f32::powf,
+                _ => |edge, x| if x < edge { 0.0 } else { 1.0 },
+            };
+            zip(a, b, wa, wb, f)
+        }
+        ("clamp", 3) => {
+            let x = num(&args[0])?;
+            let lo = num(&args[1])?;
+            let hi = num(&args[2])?;
+            let m = zip(x.0, lo.0, x.1, lo.1, f32::max)?;
+            let ConstVal::Num { v, width } = m else {
+                return None;
+            };
+            zip(v, hi.0, width, hi.1, f32::min)
+        }
+        ("dot", 2) => {
+            let (a, wa) = num(&args[0])?;
+            let (b, wb) = num(&args[1])?;
+            if wa != wb {
+                return None;
+            }
+            let s = (0..wa as usize).map(|i| a[i] * b[i]).sum();
+            Some(ConstVal::scalar(s))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn eval(src_expr: &str) -> Option<ConstVal> {
+        // Wrap the expression into a tiny program and pull it back out.
+        let src = format!("void main() {{ float x = {src_expr}; gl_FragColor = vec4(x); }}");
+        let p = parse(&src).unwrap();
+        let crate::ast::Stmt::Decl { names, .. } = &p.functions[0].body[0] else {
+            panic!("expected decl");
+        };
+        const_eval(names[0].1.as_ref().unwrap(), &|_| None)
+    }
+
+    #[test]
+    fn folds_arithmetic() {
+        assert_eq!(eval("1.0 + 2.0 * 3.0").unwrap().as_scalar(), Some(7.0));
+        assert_eq!(eval("-(4.0 / 2.0)").unwrap().as_scalar(), Some(-2.0));
+    }
+
+    #[test]
+    fn folds_the_paper_loop_bound() {
+        // 1.0 / (M / BLOCK_SIZE) with M = 1024, BLOCK_SIZE = 16.
+        let v = eval("1.0 / (1024.0 / 16.0)").unwrap().as_scalar().unwrap();
+        assert!((v - 0.015625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn folds_builtins() {
+        assert_eq!(eval("min(3.0, 2.0)").unwrap().as_scalar(), Some(2.0));
+        assert_eq!(eval("clamp(5.0, 0.0, 1.0)").unwrap().as_scalar(), Some(1.0));
+        assert_eq!(eval("floor(1.7)").unwrap().as_scalar(), Some(1.0));
+        assert_eq!(eval("mod(7.0, 3.0)").unwrap().as_scalar(), Some(1.0));
+        assert_eq!(eval("step(0.5, 0.4)").unwrap().as_scalar(), Some(0.0));
+    }
+
+    #[test]
+    fn folds_vector_constructor_and_swizzle() {
+        let v = eval("vec4(1.0, 2.0, 3.0, 4.0).zy").unwrap();
+        assert_eq!(
+            v,
+            ConstVal::Num {
+                v: [3.0, 2.0, 0.0, 0.0],
+                width: 2
+            }
+        );
+        let d = eval("dot(vec2(1.0, 2.0), vec2(3.0, 4.0))").unwrap();
+        assert_eq!(d.as_scalar(), Some(11.0));
+    }
+
+    #[test]
+    fn folds_comparisons_and_ternary() {
+        assert_eq!(
+            eval("1.0 < 2.0 ? 5.0 : 6.0").unwrap().as_scalar(),
+            Some(5.0)
+        );
+    }
+
+    #[test]
+    fn non_const_vars_do_not_fold() {
+        assert_eq!(eval("y + 1.0"), None);
+    }
+
+    #[test]
+    fn lookup_supplies_named_constants() {
+        let expr = Expr::Binary {
+            op: BinOp::Mul,
+            lhs: Box::new(Expr::Var("k".into())),
+            rhs: Box::new(Expr::Literal(2.0)),
+        };
+        let v = const_eval(&expr, &|n| (n == "k").then(|| ConstVal::scalar(21.0)));
+        assert_eq!(v.unwrap().as_scalar(), Some(42.0));
+    }
+
+    #[test]
+    fn component_letters_cover_all_aliases() {
+        for (c, i) in [('x', 0), ('g', 1), ('p', 2), ('q', 3)] {
+            assert_eq!(component_index(c), Some(i));
+        }
+        assert_eq!(component_index('m'), None);
+    }
+}

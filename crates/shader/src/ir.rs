@@ -1,0 +1,352 @@
+//! The register-based intermediate representation kernels compile to.
+//!
+//! After loop unrolling, function inlining and `if` predication, a kernel is
+//! a straight-line, single-assignment sequence of vector instructions over an
+//! infinite virtual register file — close to what OpenGL ES 2-era shader
+//! compilers fed their schedulers, and exactly what the resource-limit check
+//! and the cost model inspect.
+
+use std::fmt;
+
+/// A virtual register (single-assignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Instruction opcodes.
+///
+/// All arithmetic is component-wise over up-to-4-wide vectors unless noted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Load an immediate vector.
+    Const([f32; 4]),
+    /// Copy.
+    Mov,
+    /// Negate.
+    Neg,
+    /// Add.
+    Add,
+    /// Subtract.
+    Sub,
+    /// Multiply.
+    Mul,
+    /// Fused multiply-add: `dst = src0 * src1 + src2` (one cycle on
+    /// embedded GPU ALUs; produced by the peephole optimiser).
+    Mad,
+    /// 24-bit multiply (`mul24` built-in): cheaper, reduced precision.
+    Mul24,
+    /// Divide.
+    Div,
+    /// Inner product of the two sources (scalar result); maps to a single
+    /// hardware instruction on most embedded ISAs.
+    Dot,
+    /// Component-wise minimum.
+    Min,
+    /// Component-wise maximum.
+    Max,
+    /// `clamp(x, lo, hi)` — single hardware op on most embedded ISAs.
+    Clamp,
+    /// `floor`.
+    Floor,
+    /// `fract`.
+    Fract,
+    /// `abs`.
+    Abs,
+    /// `sqrt`.
+    Sqrt,
+    /// `pow(x, y)`.
+    Pow,
+    /// `mod(x, y)`.
+    ModOp,
+    /// `mix(a, b, t)`.
+    Mix,
+    /// `sin(x)`.
+    Sin,
+    /// `cos(x)`.
+    Cos,
+    /// `exp2(x)`.
+    Exp2,
+    /// `log2(x)`.
+    Log2,
+    /// `inversesqrt(x)`.
+    InverseSqrt,
+    /// `sign(x)`.
+    Sign,
+    /// `step(edge, x)`.
+    Step,
+    /// Comparison producing a 0.0/1.0 scalar mask.
+    Cmp(CmpOp),
+    /// Logical and of two masks.
+    And,
+    /// Logical or of two masks.
+    Or,
+    /// Logical not of a mask.
+    Not,
+    /// `dst = mask != 0 ? src1 : src2` (predicated select; `src0` is the
+    /// scalar mask, broadcast over the result width).
+    Select,
+    /// Reorder/duplicate components of `src0` by the pattern.
+    Swizzle([u8; 4]),
+    /// Write-masked merge for left-hand-side swizzles: for each destination
+    /// component `c`, `select[c] == 0xFF` keeps `src0[c]`, otherwise the
+    /// component `select[c]` of `src1` is taken.
+    Merge {
+        /// Per-component selector (0xFF = keep old).
+        select: [u8; 4],
+    },
+    /// Concatenate the components of the sources into a wider vector
+    /// (vector constructor).
+    Construct,
+    /// Sample texture unit `sampler` at the 2D coordinate in `src0`,
+    /// producing an RGBA vec4 in [0, 1].
+    TexFetch {
+        /// Texture unit index.
+        sampler: u8,
+    },
+}
+
+/// Comparison kinds for [`Op::Cmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instr {
+    /// Destination register.
+    pub dst: Reg,
+    /// Width of the destination in components (1–4).
+    pub width: u8,
+    /// Opcode.
+    pub op: Op,
+    /// Source registers (count depends on the opcode).
+    pub srcs: Vec<Reg>,
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <-{} ", self.dst, self.width)?;
+        match &self.op {
+            Op::Const(v) => write!(f, "const {v:?}")?,
+            Op::Swizzle(p) => {
+                let letters: String = p
+                    .iter()
+                    .take(self.width as usize)
+                    .map(|&i| ['x', 'y', 'z', 'w'][i as usize])
+                    .collect();
+                write!(f, "swz.{letters} {}", self.srcs[0])?;
+            }
+            Op::TexFetch { sampler } => write!(f, "tex{} {}", sampler, self.srcs[0])?,
+            Op::Merge { select } => {
+                write!(
+                    f,
+                    "merge{:?} {}, {}",
+                    select
+                        .map(|x| x as i16)
+                        .map(|x| if x == 0xFF { -1 } else { x }),
+                    self.srcs[0],
+                    self.srcs[1]
+                )?;
+            }
+            Op::Cmp(c) => {
+                write!(f, "cmp.{c:?} ")?;
+                for (i, s) in self.srcs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+            }
+            op => {
+                write!(f, "{} ", format!("{op:?}").to_lowercase())?;
+                for (i, s) in self.srcs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Where a shader input register gets its value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InputKind {
+    /// A `uniform` scalar/vector set by the application.
+    Uniform,
+    /// A `varying` interpolated per fragment.
+    Varying,
+}
+
+/// An input binding of the compiled shader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputSlot {
+    /// Source-level name.
+    pub name: String,
+    /// Uniform or varying.
+    pub kind: InputKind,
+    /// Number of components.
+    pub width: u8,
+    /// The register preloaded with the value.
+    pub reg: Reg,
+}
+
+/// A sampler binding of the compiled shader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SamplerSlot {
+    /// Source-level name of the `sampler2D` uniform.
+    pub name: String,
+    /// Texture unit index used by [`Op::TexFetch`].
+    pub unit: u8,
+}
+
+/// A fully compiled fragment kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shader {
+    /// Straight-line instruction sequence.
+    pub instrs: Vec<Instr>,
+    /// Total virtual registers (inputs included).
+    pub reg_count: u32,
+    /// Uniform and varying input slots.
+    pub inputs: Vec<InputSlot>,
+    /// Sampler slots in declaration order.
+    pub samplers: Vec<SamplerSlot>,
+    /// Register holding the final `gl_FragColor` (always width 4).
+    pub output: Reg,
+}
+
+impl Shader {
+    /// Number of texture fetch instructions.
+    #[must_use]
+    pub fn texture_fetch_count(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| matches!(i.op, Op::TexFetch { .. }))
+            .count()
+    }
+
+    /// Number of instructions (the quantity GLSL implementation limits
+    /// bound).
+    #[must_use]
+    pub fn instruction_count(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// The uniform input slots (excluding samplers).
+    pub fn uniform_slots(&self) -> impl Iterator<Item = &InputSlot> {
+        self.inputs.iter().filter(|s| s.kind == InputKind::Uniform)
+    }
+
+    /// The varying input slots.
+    pub fn varying_slots(&self) -> impl Iterator<Item = &InputSlot> {
+        self.inputs.iter().filter(|s| s.kind == InputKind::Varying)
+    }
+
+    /// Looks up a sampler's unit by name.
+    #[must_use]
+    pub fn sampler_unit(&self, name: &str) -> Option<u8> {
+        self.samplers
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.unit)
+    }
+}
+
+impl fmt::Display for Shader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for slot in &self.inputs {
+            writeln!(
+                f,
+                "; {} {} -> {} (w{})",
+                match slot.kind {
+                    InputKind::Uniform => "uniform",
+                    InputKind::Varying => "varying",
+                },
+                slot.name,
+                slot.reg,
+                slot.width
+            )?;
+        }
+        for s in &self.samplers {
+            writeln!(f, "; sampler {} -> unit {}", s.name, s.unit)?;
+        }
+        for i in &self.instrs {
+            writeln!(f, "{i}")?;
+        }
+        writeln!(f, "; out {}", self.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_display_is_readable() {
+        let i = Instr {
+            dst: Reg(3),
+            width: 4,
+            op: Op::Mad,
+            srcs: vec![Reg(0), Reg(1), Reg(2)],
+        };
+        assert_eq!(i.to_string(), "r3 <-4 mad r0, r1, r2");
+
+        let s = Instr {
+            dst: Reg(5),
+            width: 2,
+            op: Op::Swizzle([1, 0, 0, 0]),
+            srcs: vec![Reg(4)],
+        };
+        assert_eq!(s.to_string(), "r5 <-2 swz.yx r4");
+    }
+
+    #[test]
+    fn shader_counts() {
+        let sh = Shader {
+            instrs: vec![
+                Instr {
+                    dst: Reg(1),
+                    width: 4,
+                    op: Op::TexFetch { sampler: 0 },
+                    srcs: vec![Reg(0)],
+                },
+                Instr {
+                    dst: Reg(2),
+                    width: 4,
+                    op: Op::Mov,
+                    srcs: vec![Reg(1)],
+                },
+            ],
+            reg_count: 3,
+            inputs: vec![],
+            samplers: vec![SamplerSlot {
+                name: "t".into(),
+                unit: 0,
+            }],
+            output: Reg(2),
+        };
+        assert_eq!(sh.texture_fetch_count(), 1);
+        assert_eq!(sh.instruction_count(), 2);
+        assert_eq!(sh.sampler_unit("t"), Some(0));
+        assert_eq!(sh.sampler_unit("nope"), None);
+    }
+}

@@ -1,0 +1,245 @@
+//! Hand-written lexer for the kernel shading language.
+
+use crate::error::{CompileError, CompileErrorKind};
+use crate::token::{Token, TokenKind};
+
+/// Tokenises `source`, stripping `//` and `/* */` comments.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unexpected characters, malformed numbers or
+/// unterminated block comments.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    macro_rules! push {
+        ($kind:expr, $at:expr) => {
+            tokens.push(Token {
+                kind: $kind,
+                offset: $at,
+                line,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::new(
+                            CompileErrorKind::Lex,
+                            "unterminated block comment",
+                            Some(start_line),
+                        ));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' | b'.' if c != b'.' || bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // Exponent part.
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &source[start..i];
+                let value: f32 = text.parse().map_err(|_| {
+                    CompileError::new(
+                        CompileErrorKind::Lex,
+                        format!("malformed number `{text}`"),
+                        Some(line),
+                    )
+                })?;
+                push!(TokenKind::Float(value), start);
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                push!(TokenKind::Ident(source[start..i].to_owned()), start);
+            }
+            _ => {
+                let start = i;
+                let two = |a: u8, b: u8| c == a && bytes.get(i + 1) == Some(&b);
+                let (kind, len) = if two(b'+', b'=') {
+                    (TokenKind::PlusAssign, 2)
+                } else if two(b'-', b'=') {
+                    (TokenKind::MinusAssign, 2)
+                } else if two(b'*', b'=') {
+                    (TokenKind::StarAssign, 2)
+                } else if two(b'/', b'=') {
+                    (TokenKind::SlashAssign, 2)
+                } else if two(b'=', b'=') {
+                    (TokenKind::Eq, 2)
+                } else if two(b'!', b'=') {
+                    (TokenKind::Ne, 2)
+                } else if two(b'<', b'=') {
+                    (TokenKind::Le, 2)
+                } else if two(b'>', b'=') {
+                    (TokenKind::Ge, 2)
+                } else if two(b'&', b'&') {
+                    (TokenKind::AndAnd, 2)
+                } else if two(b'|', b'|') {
+                    (TokenKind::OrOr, 2)
+                } else {
+                    let single = match c {
+                        b'(' => TokenKind::LParen,
+                        b')' => TokenKind::RParen,
+                        b'{' => TokenKind::LBrace,
+                        b'}' => TokenKind::RBrace,
+                        b',' => TokenKind::Comma,
+                        b';' => TokenKind::Semicolon,
+                        b'.' => TokenKind::Dot,
+                        b'+' => TokenKind::Plus,
+                        b'-' => TokenKind::Minus,
+                        b'*' => TokenKind::Star,
+                        b'/' => TokenKind::Slash,
+                        b'=' => TokenKind::Assign,
+                        b'<' => TokenKind::Lt,
+                        b'>' => TokenKind::Gt,
+                        b'!' => TokenKind::Bang,
+                        b'?' => TokenKind::Question,
+                        b':' => TokenKind::Colon,
+                        other => {
+                            return Err(CompileError::new(
+                                CompileErrorKind::Lex,
+                                format!("unexpected character `{}`", other as char),
+                                Some(line),
+                            ))
+                        }
+                    };
+                    (single, 1)
+                };
+                push!(kind, start);
+                i += len;
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: bytes.len(),
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("1.0 .5 3 2e3 1.5e-2"),
+            vec![
+                TokenKind::Float(1.0),
+                TokenKind::Float(0.5),
+                TokenKind::Float(3.0),
+                TokenKind::Float(2000.0),
+                TokenKind::Float(0.015),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn member_access_is_dot_not_number() {
+        assert_eq!(
+            kinds("a.xy"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("xy".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("+= == <= && || != *="),
+            vec![
+                TokenKind::PlusAssign,
+                TokenKind::Eq,
+                TokenKind::Le,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Ne,
+                TokenKind::StarAssign,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strips_comments_and_tracks_lines() {
+        let toks = lex("a // hi\n/* b\nc */ d").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].kind, TokenKind::Ident("d".into()));
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+    }
+}

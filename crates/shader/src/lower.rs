@@ -1,0 +1,1044 @@
+//! Lowering from the AST to straight-line IR.
+//!
+//! This pass does, in one walk: name resolution, type checking, `const`
+//! evaluation, full loop unrolling (bounds must be compile-time constant,
+//! as GLSL ES 1.00 Appendix A requires), user-function inlining, and
+//! `if`/ternary predication (both branches execute, results are selected —
+//! how ES 2-class fragment hardware actually runs divergent code).
+
+use std::collections::HashMap;
+
+use crate::ast::{
+    AssignOp, BinOp, Expr, Function, LValue, Program, Qualifier, Stmt, Type, UnaryOp,
+};
+use crate::error::{CompileError, CompileErrorKind};
+use crate::fold::{component_index, const_eval, ConstVal};
+use crate::ir::{CmpOp, InputKind, InputSlot, Instr, Op, Reg, SamplerSlot, Shader};
+
+/// Maximum number of unrolled loop iterations before compilation fails,
+/// standing in for real drivers running out of instruction store.
+pub const MAX_UNROLL_ITERATIONS: usize = 10_000;
+
+/// Lowers a parsed program to IR.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for type errors, unknown names, non-constant
+/// loop bounds, or misuse of samplers.
+pub fn lower(program: &Program) -> Result<Shader, CompileError> {
+    Lowerer::new(program).run()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Binding {
+    Value { reg: Reg, ty: Type },
+    Const(ConstVal),
+    Sampler(u8),
+}
+
+struct Lowerer<'p> {
+    program: &'p Program,
+    instrs: Vec<Instr>,
+    next_reg: u32,
+    scopes: Vec<HashMap<String, Binding>>,
+    inputs: Vec<InputSlot>,
+    samplers: Vec<SamplerSlot>,
+    call_stack: Vec<String>,
+    line: u32,
+}
+
+impl<'p> Lowerer<'p> {
+    fn new(program: &'p Program) -> Self {
+        Lowerer {
+            program,
+            instrs: Vec::new(),
+            next_reg: 0,
+            scopes: vec![HashMap::new()],
+            inputs: Vec::new(),
+            samplers: Vec::new(),
+            call_stack: Vec::new(),
+            line: 0,
+        }
+    }
+
+    fn err(&self, kind: CompileErrorKind, msg: impl Into<String>) -> CompileError {
+        CompileError::new(kind, msg, Some(self.line).filter(|&l| l > 0))
+    }
+
+    fn type_err(&self, msg: impl Into<String>) -> CompileError {
+        self.err(CompileErrorKind::Type, msg)
+    }
+
+    fn new_reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    fn emit(&mut self, op: Op, width: u8, srcs: Vec<Reg>) -> Reg {
+        let dst = self.new_reg();
+        self.instrs.push(Instr {
+            dst,
+            width,
+            op,
+            srcs,
+        });
+        dst
+    }
+
+    fn emit_const(&mut self, v: [f32; 4], width: u8) -> Reg {
+        self.emit(Op::Const(v), width, Vec::new())
+    }
+
+    fn materialize(&mut self, c: ConstVal) -> (Reg, Type) {
+        match c {
+            ConstVal::Num { v, width } => {
+                let ty = Type::vector(width).expect("const width is 1-4");
+                (self.emit_const(v, width), ty)
+            }
+            ConstVal::Bool(b) => {
+                let r = self.emit_const([if b { 1.0 } else { 0.0 }, 0.0, 0.0, 0.0], 1);
+                (r, Type::Bool)
+            }
+        }
+    }
+
+    // ---- scope helpers ----------------------------------------------
+
+    fn lookup(&self, name: &str) -> Option<&Binding> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn const_lookup(&self, name: &str) -> Option<ConstVal> {
+        match self.lookup(name) {
+            Some(Binding::Const(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    fn declare(&mut self, name: &str, binding: Binding) {
+        self.scopes
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.to_owned(), binding);
+    }
+
+    fn rebind(&mut self, name: &str, binding: Binding) -> Result<(), CompileError> {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = binding;
+                return Ok(());
+            }
+        }
+        Err(CompileError::new(
+            CompileErrorKind::Type,
+            format!("assignment to undeclared variable `{name}`"),
+            Some(self.line).filter(|&l| l > 0),
+        ))
+    }
+
+    // ---- entry -------------------------------------------------------
+
+    fn run(mut self) -> Result<Shader, CompileError> {
+        // Globals.
+        for g in self.program.globals.clone() {
+            self.line = g.line;
+            match g.qualifier {
+                Qualifier::Uniform => {
+                    if g.ty == Type::Sampler2d {
+                        let unit = self.samplers.len() as u8;
+                        self.samplers.push(SamplerSlot {
+                            name: g.name.clone(),
+                            unit,
+                        });
+                        self.declare(&g.name, Binding::Sampler(unit));
+                    } else {
+                        let width = g.ty.components().ok_or_else(|| {
+                            self.type_err(format!("uniform `{}` has non-numeric type", g.name))
+                        })?;
+                        let reg = self.new_reg();
+                        self.inputs.push(InputSlot {
+                            name: g.name.clone(),
+                            kind: InputKind::Uniform,
+                            width,
+                            reg,
+                        });
+                        self.declare(&g.name, Binding::Value { reg, ty: g.ty });
+                    }
+                }
+                Qualifier::Varying => {
+                    let width = g.ty.components().ok_or_else(|| {
+                        self.type_err(format!("varying `{}` has non-numeric type", g.name))
+                    })?;
+                    let reg = self.new_reg();
+                    self.inputs.push(InputSlot {
+                        name: g.name.clone(),
+                        kind: InputKind::Varying,
+                        width,
+                        reg,
+                    });
+                    self.declare(&g.name, Binding::Value { reg, ty: g.ty });
+                }
+                Qualifier::Const => {
+                    let init = g.init.as_ref().expect("parser enforces const init");
+                    let me = &self;
+                    let val = const_eval(init, &|n| me.const_lookup(n)).ok_or_else(|| {
+                        self.err(
+                            CompileErrorKind::Type,
+                            format!("const `{}` initialiser is not constant", g.name),
+                        )
+                    })?;
+                    // Check declared type agrees with the folded width.
+                    if let ConstVal::Num { width, .. } = val {
+                        if g.ty.components() != Some(width) {
+                            return Err(self.type_err(format!(
+                                "const `{}` declared {} but initialiser has {} components",
+                                g.name,
+                                g.ty.keyword(),
+                                width
+                            )));
+                        }
+                    }
+                    self.declare(&g.name, Binding::Const(val));
+                }
+            }
+        }
+
+        // gl_FragColor starts as an unwritten sentinel.
+        let sentinel = self.emit_const([0.0; 4], 4);
+        self.declare(
+            "gl_FragColor",
+            Binding::Value {
+                reg: sentinel,
+                ty: Type::Vec4,
+            },
+        );
+
+        let main = self.program.function("main").expect("parser enforces main");
+        if !main.params.is_empty() {
+            self.line = main.line;
+            return Err(self.type_err("`main` takes no parameters"));
+        }
+        if main.ret != Type::Void {
+            self.line = main.line;
+            return Err(self.type_err("`main` must return void"));
+        }
+        self.lower_block(&main.body, false)?;
+
+        let output = match self.lookup("gl_FragColor") {
+            Some(Binding::Value { reg, .. }) => *reg,
+            _ => unreachable!("gl_FragColor is always bound"),
+        };
+        if output == sentinel {
+            return Err(CompileError::new(
+                CompileErrorKind::Type,
+                "kernel never writes gl_FragColor",
+                None,
+            ));
+        }
+
+        Ok(Shader {
+            instrs: self.instrs,
+            reg_count: self.next_reg,
+            inputs: self.inputs,
+            samplers: self.samplers,
+            output,
+        })
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn lower_block(&mut self, stmts: &[Stmt], in_function: bool) -> Result<(), CompileError> {
+        for (i, stmt) in stmts.iter().enumerate() {
+            if let Stmt::Return { line, .. } = stmt {
+                self.line = *line;
+                if !in_function {
+                    return Err(self.type_err("`return` is only allowed in user functions"));
+                }
+                if i + 1 != stmts.len() {
+                    return Err(self.type_err("`return` must be the last statement"));
+                }
+                // Handled by the inliner; a bare `return;` in a void helper
+                // simply terminates it.
+                return Ok(());
+            }
+            self.lower_stmt(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Decl { ty, names, line } => {
+                self.line = *line;
+                let width = ty
+                    .components()
+                    .ok_or_else(|| self.type_err("locals must have numeric type"))?;
+                for (name, init) in names {
+                    let (reg, ity) = match init {
+                        Some(e) => {
+                            let (r, t) = self.lower_expr(e)?;
+                            self.convert_to(r, t, *ty)?
+                        }
+                        // GLSL leaves uninitialised locals undefined; we
+                        // define them as zero for reproducibility.
+                        None => (self.emit_const([0.0; 4], width), *ty),
+                    };
+                    debug_assert_eq!(ity, *ty);
+                    self.declare(name, Binding::Value { reg, ty: *ty });
+                }
+                Ok(())
+            }
+            Stmt::Assign {
+                target,
+                op,
+                value,
+                line,
+            } => {
+                self.line = *line;
+                self.lower_assign(target, *op, value)
+            }
+            Stmt::For {
+                var_ty,
+                var,
+                init,
+                cond,
+                update_op,
+                update,
+                body,
+                line,
+            } => {
+                self.line = *line;
+                if *var_ty != Type::Float {
+                    return Err(self.type_err("loop counters must be float"));
+                }
+                self.unroll_for(var, init, cond, *update_op, update, body)
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                line,
+            } => {
+                self.line = *line;
+                self.lower_if(cond, then_branch, else_branch)
+            }
+            Stmt::ExprStmt { expr, line } => {
+                self.line = *line;
+                // Evaluated for effect (void helper calls); value discarded.
+                if let Expr::Call { name, .. } = expr {
+                    if let Some(f) = self.program.function(name) {
+                        if f.ret == Type::Void {
+                            let args = match expr {
+                                Expr::Call { args, .. } => args.clone(),
+                                _ => unreachable!(),
+                            };
+                            self.inline_call(f, &args)?;
+                            return Ok(());
+                        }
+                    }
+                }
+                self.lower_expr(expr)?;
+                Ok(())
+            }
+            Stmt::Return { .. } => unreachable!("handled in lower_block"),
+        }
+    }
+
+    fn lower_assign(
+        &mut self,
+        target: &LValue,
+        op: AssignOp,
+        value: &Expr,
+    ) -> Result<(), CompileError> {
+        let (old_reg, old_ty) = match self.lookup(&target.name) {
+            Some(Binding::Value { reg, ty }) => (*reg, *ty),
+            Some(Binding::Const(_)) => {
+                return Err(self.type_err(format!(
+                    "cannot assign to constant `{}` (loop counters and consts are read-only)",
+                    target.name
+                )))
+            }
+            Some(Binding::Sampler(_)) => {
+                return Err(self.type_err(format!("cannot assign to sampler `{}`", target.name)))
+            }
+            None => {
+                return Err(self.type_err(format!(
+                    "assignment to undeclared variable `{}`",
+                    target.name
+                )))
+            }
+        };
+
+        let (val_reg, val_ty) = self.lower_expr(value)?;
+
+        match &target.swizzle {
+            None => {
+                // Whole-variable assignment (with compound operators).
+                let combined = match op {
+                    AssignOp::Set => self.convert_to(val_reg, val_ty, old_ty)?.0,
+                    _ => {
+                        let bop = compound_op(op);
+                        let (r, _t) = self.numeric_binary(bop, old_reg, old_ty, val_reg, val_ty)?;
+                        if _t != old_ty {
+                            return Err(self.type_err(format!(
+                                "compound assignment changes type of `{}`",
+                                target.name
+                            )));
+                        }
+                        r
+                    }
+                };
+                self.rebind(
+                    &target.name,
+                    Binding::Value {
+                        reg: combined,
+                        ty: old_ty,
+                    },
+                )
+            }
+            Some(fields) => {
+                let old_width = old_ty
+                    .components()
+                    .ok_or_else(|| self.type_err("swizzle on non-vector"))?;
+                let idxs = self.swizzle_indices(fields, old_width)?;
+                // Unique component check for LHS swizzles.
+                for (i, a) in idxs.iter().enumerate() {
+                    if idxs[..i].contains(a) {
+                        return Err(self.type_err("duplicate component in assignment swizzle"));
+                    }
+                }
+                let lane_ty = Type::vector(idxs.len() as u8).expect("1-4 components");
+                // Compute the replacement lanes.
+                let new_lanes = match op {
+                    AssignOp::Set => self.convert_to(val_reg, val_ty, lane_ty)?.0,
+                    _ => {
+                        let pattern = pattern_from(&idxs);
+                        let old_lanes =
+                            self.emit(Op::Swizzle(pattern), idxs.len() as u8, vec![old_reg]);
+                        let bop = compound_op(op);
+                        let (r, t) =
+                            self.numeric_binary(bop, old_lanes, lane_ty, val_reg, val_ty)?;
+                        if t != lane_ty {
+                            return Err(self.type_err("compound swizzle assignment width error"));
+                        }
+                        r
+                    }
+                };
+                // Merge back: select[c] = 0xFF keeps old, else index into new.
+                let mut select = [0xFFu8; 4];
+                for (j, &c) in idxs.iter().enumerate() {
+                    select[c as usize] = j as u8;
+                }
+                let merged = self.emit(Op::Merge { select }, old_width, vec![old_reg, new_lanes]);
+                self.rebind(
+                    &target.name,
+                    Binding::Value {
+                        reg: merged,
+                        ty: old_ty,
+                    },
+                )
+            }
+        }
+    }
+
+    fn unroll_for(
+        &mut self,
+        var: &str,
+        init: &Expr,
+        cond: &Expr,
+        update_op: AssignOp,
+        update: &Expr,
+        body: &[Stmt],
+    ) -> Result<(), CompileError> {
+        let me = &self;
+        let mut counter = const_eval(init, &|n| me.const_lookup(n))
+            .and_then(|c| c.as_scalar())
+            .ok_or_else(|| {
+                self.err(
+                    CompileErrorKind::Loop,
+                    "loop initialiser must be a compile-time constant scalar",
+                )
+            })?;
+
+        let mut iterations = 0usize;
+        loop {
+            // Evaluate the condition with the counter bound.
+            let keep_going = {
+                let me = &self;
+                let lookup = |n: &str| {
+                    if n == var {
+                        Some(ConstVal::scalar(counter))
+                    } else {
+                        me.const_lookup(n)
+                    }
+                };
+                const_eval(cond, &lookup).and_then(|c| c.as_bool())
+            }
+            .ok_or_else(|| {
+                self.err(
+                    CompileErrorKind::Loop,
+                    "loop condition must be a compile-time constant comparison",
+                )
+            })?;
+            if !keep_going {
+                break;
+            }
+            iterations += 1;
+            if iterations > MAX_UNROLL_ITERATIONS {
+                return Err(self.err(
+                    CompileErrorKind::Loop,
+                    format!("loop exceeds {MAX_UNROLL_ITERATIONS} unrolled iterations"),
+                ));
+            }
+
+            // Lower the body with the counter visible as a constant.
+            self.scopes.push(HashMap::new());
+            self.declare(var, Binding::Const(ConstVal::scalar(counter)));
+            let result = self.lower_block(body, false);
+            self.scopes.pop();
+            result?;
+
+            // Step the counter.
+            let step = {
+                let me = &self;
+                let lookup = |n: &str| {
+                    if n == var {
+                        Some(ConstVal::scalar(counter))
+                    } else {
+                        me.const_lookup(n)
+                    }
+                };
+                const_eval(update, &lookup).and_then(|c| c.as_scalar())
+            }
+            .ok_or_else(|| {
+                self.err(
+                    CompileErrorKind::Loop,
+                    "loop update must be a compile-time constant expression",
+                )
+            })?;
+            counter = match update_op {
+                AssignOp::Set => step,
+                AssignOp::Add => counter + step,
+                AssignOp::Sub => counter - step,
+                AssignOp::Mul => counter * step,
+                AssignOp::Div => counter / step,
+            };
+            if !counter.is_finite() {
+                return Err(self.err(CompileErrorKind::Loop, "loop counter diverged"));
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_if(
+        &mut self,
+        cond: &Expr,
+        then_branch: &[Stmt],
+        else_branch: &[Stmt],
+    ) -> Result<(), CompileError> {
+        // Prune constant conditions (common after loop unrolling).
+        {
+            let me = &self;
+            if let Some(b) = const_eval(cond, &|n| me.const_lookup(n)).and_then(|c| c.as_bool()) {
+                self.scopes.push(HashMap::new());
+                let r = self.lower_block(if b { then_branch } else { else_branch }, false);
+                self.scopes.pop();
+                return r;
+            }
+        }
+
+        let (mask, cond_ty) = self.lower_expr(cond)?;
+        if cond_ty != Type::Bool {
+            return Err(self.type_err("if condition must be boolean"));
+        }
+
+        let snapshot = self.scopes.clone();
+
+        self.scopes.push(HashMap::new());
+        self.lower_block(then_branch, false)?;
+        self.scopes.pop();
+        let then_state = std::mem::replace(&mut self.scopes, snapshot.clone());
+
+        self.scopes.push(HashMap::new());
+        self.lower_block(else_branch, false)?;
+        self.scopes.pop();
+        let else_state = std::mem::replace(&mut self.scopes, snapshot);
+
+        // Predicated merge of every variable either branch reassigned.
+        for level in 0..self.scopes.len() {
+            let names: Vec<String> = self.scopes[level].keys().cloned().collect();
+            for name in names {
+                let base = self.scopes[level][&name].clone();
+                let t = then_state[level]
+                    .get(&name)
+                    .cloned()
+                    .unwrap_or(base.clone());
+                let e = else_state[level]
+                    .get(&name)
+                    .cloned()
+                    .unwrap_or(base.clone());
+                if t == e {
+                    if t != base {
+                        self.scopes[level].insert(name, t);
+                    }
+                    continue;
+                }
+                let (tr, tt) = self.binding_value(&t)?;
+                let (er, et) = self.binding_value(&e)?;
+                if tt != et {
+                    return Err(
+                        self.type_err(format!("`{name}` has different types in the two branches"))
+                    );
+                }
+                let width = tt.components().unwrap_or(1);
+                let merged = self.emit(Op::Select, width, vec![mask, tr, er]);
+                self.scopes[level].insert(
+                    name,
+                    Binding::Value {
+                        reg: merged,
+                        ty: tt,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn binding_value(&mut self, b: &Binding) -> Result<(Reg, Type), CompileError> {
+        match b {
+            Binding::Value { reg, ty } => Ok((*reg, *ty)),
+            Binding::Const(c) => Ok(self.materialize(*c)),
+            Binding::Sampler(_) => Err(self.type_err("sampler used as value")),
+        }
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    fn lower_expr(&mut self, expr: &Expr) -> Result<(Reg, Type), CompileError> {
+        // Fold first: loop counters and consts vanish here.
+        {
+            let me = &self;
+            if let Some(c) = const_eval(expr, &|n| me.const_lookup(n)) {
+                return Ok(self.materialize(c));
+            }
+        }
+        match expr {
+            Expr::Literal(v) => Ok((self.emit_const([*v, 0.0, 0.0, 0.0], 1), Type::Float)),
+            Expr::BoolLiteral(b) => Ok(self.materialize(ConstVal::Bool(*b))),
+            Expr::Var(name) => match self.lookup(name).cloned() {
+                Some(b) => self.binding_value(&b),
+                None => Err(self.type_err(format!("unknown variable `{name}`"))),
+            },
+            Expr::Unary { op, expr } => {
+                let (r, ty) = self.lower_expr(expr)?;
+                match op {
+                    UnaryOp::Neg => {
+                        let w = ty
+                            .components()
+                            .ok_or_else(|| self.type_err("negation of non-numeric value"))?;
+                        Ok((self.emit(Op::Neg, w, vec![r]), ty))
+                    }
+                    UnaryOp::Not => {
+                        if ty != Type::Bool {
+                            return Err(self.type_err("`!` needs a boolean"));
+                        }
+                        Ok((self.emit(Op::Not, 1, vec![r]), Type::Bool))
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let (lr, lt) = self.lower_expr(lhs)?;
+                let (rr, rt) = self.lower_expr(rhs)?;
+                if op.is_logical() {
+                    if lt != Type::Bool || rt != Type::Bool {
+                        return Err(self.type_err("logical operators need booleans"));
+                    }
+                    let o = if *op == BinOp::And { Op::And } else { Op::Or };
+                    return Ok((self.emit(o, 1, vec![lr, rr]), Type::Bool));
+                }
+                if op.is_comparison() {
+                    if lt != Type::Float || rt != Type::Float {
+                        return Err(self
+                            .type_err("comparisons are scalar-only (GLSL ES: use lessThan ...)"));
+                    }
+                    let cmp = match op {
+                        BinOp::Lt => CmpOp::Lt,
+                        BinOp::Le => CmpOp::Le,
+                        BinOp::Gt => CmpOp::Gt,
+                        BinOp::Ge => CmpOp::Ge,
+                        BinOp::Eq => CmpOp::Eq,
+                        BinOp::Ne => CmpOp::Ne,
+                        _ => unreachable!(),
+                    };
+                    return Ok((self.emit(Op::Cmp(cmp), 1, vec![lr, rr]), Type::Bool));
+                }
+                self.numeric_binary(*op, lr, lt, rr, rt)
+            }
+            Expr::Swizzle { base, fields, line } => {
+                self.line = *line;
+                let (r, ty) = self.lower_expr(base)?;
+                let width = ty
+                    .components()
+                    .ok_or_else(|| self.type_err("swizzle on non-vector value"))?;
+                let idxs = self.swizzle_indices(fields, width)?;
+                let out_ty = Type::vector(idxs.len() as u8).expect("1-4 fields");
+                Ok((
+                    self.emit(Op::Swizzle(pattern_from(&idxs)), idxs.len() as u8, vec![r]),
+                    out_ty,
+                ))
+            }
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                let (c, ct) = self.lower_expr(cond)?;
+                if ct != Type::Bool {
+                    return Err(self.type_err("ternary condition must be boolean"));
+                }
+                let (a, at) = self.lower_expr(then_expr)?;
+                let (b, bt) = self.lower_expr(else_expr)?;
+                if at != bt {
+                    return Err(self.type_err("ternary branches have different types"));
+                }
+                let w = at
+                    .components()
+                    .ok_or_else(|| self.type_err("ternary on non-numeric values"))?;
+                Ok((self.emit(Op::Select, w, vec![c, a, b]), at))
+            }
+            Expr::Call { name, args, line } => {
+                self.line = *line;
+                self.lower_call(name, args)
+            }
+        }
+    }
+
+    fn numeric_binary(
+        &mut self,
+        op: BinOp,
+        lr: Reg,
+        lt: Type,
+        rr: Reg,
+        rt: Type,
+    ) -> Result<(Reg, Type), CompileError> {
+        let lw = lt
+            .components()
+            .ok_or_else(|| self.type_err("arithmetic on non-numeric value"))?;
+        let rw = rt
+            .components()
+            .ok_or_else(|| self.type_err("arithmetic on non-numeric value"))?;
+        let w = if lw == rw {
+            lw
+        } else if lw == 1 {
+            rw
+        } else if rw == 1 {
+            lw
+        } else {
+            return Err(self.type_err(format!("operand widths {lw} and {rw} are incompatible")));
+        };
+        let o = match op {
+            BinOp::Add => Op::Add,
+            BinOp::Sub => Op::Sub,
+            BinOp::Mul => Op::Mul,
+            BinOp::Div => Op::Div,
+            _ => return Err(self.type_err("not an arithmetic operator")),
+        };
+        Ok((
+            self.emit(o, w, vec![lr, rr]),
+            Type::vector(w).expect("1-4 wide"),
+        ))
+    }
+
+    fn swizzle_indices(&self, fields: &str, base_width: u8) -> Result<Vec<u8>, CompileError> {
+        if fields.is_empty() || fields.len() > 4 {
+            return Err(self.type_err(format!("swizzle `.{fields}` has bad length")));
+        }
+        fields
+            .chars()
+            .map(|c| {
+                let idx = component_index(c)
+                    .ok_or_else(|| self.type_err(format!("bad swizzle letter `{c}`")))?;
+                if idx >= base_width {
+                    return Err(self.type_err(format!(
+                        "component `{c}` out of range for width {base_width}"
+                    )));
+                }
+                Ok(idx)
+            })
+            .collect()
+    }
+
+    fn lower_call(&mut self, name: &str, args: &[Expr]) -> Result<(Reg, Type), CompileError> {
+        // Vector constructors.
+        if let Some(want) = match name {
+            "vec2" => Some(2u8),
+            "vec3" => Some(3),
+            "vec4" => Some(4),
+            _ => None,
+        } {
+            return self.lower_constructor(want, args);
+        }
+
+        // texture2D needs its sampler argument resolved by name.
+        if name == "texture2D" {
+            if args.len() != 2 {
+                return Err(self.type_err("texture2D takes (sampler2D, vec2)"));
+            }
+            let unit = match &args[0] {
+                Expr::Var(n) => match self.lookup(n) {
+                    Some(Binding::Sampler(u)) => *u,
+                    _ => return Err(self.type_err(format!("`{n}` is not a sampler2D uniform"))),
+                },
+                _ => return Err(self.type_err("first texture2D argument must be a sampler name")),
+            };
+            let (coord, cty) = self.lower_expr(&args[1])?;
+            if cty != Type::Vec2 {
+                return Err(self.type_err("texture2D coordinate must be vec2"));
+            }
+            return Ok((
+                self.emit(Op::TexFetch { sampler: unit }, 4, vec![coord]),
+                Type::Vec4,
+            ));
+        }
+
+        // User functions inline.
+        if let Some(f) = self.program.function(name) {
+            return self.inline_call(&f.clone(), args);
+        }
+
+        // Remaining built-ins.
+        self.lower_builtin(name, args)
+    }
+
+    fn lower_constructor(&mut self, want: u8, args: &[Expr]) -> Result<(Reg, Type), CompileError> {
+        if args.is_empty() {
+            return Err(self.type_err("constructor needs arguments"));
+        }
+        let mut parts = Vec::new();
+        let mut total = 0u8;
+        for a in args {
+            let (r, t) = self.lower_expr(a)?;
+            let w = t
+                .components()
+                .ok_or_else(|| self.type_err("constructor argument must be numeric"))?;
+            total += w;
+            parts.push((r, w));
+        }
+        let out_ty = Type::vector(want).expect("2-4");
+        if parts.len() == 1 && parts[0].1 == 1 {
+            // Scalar splat.
+            let r = self.emit(Op::Swizzle([0, 0, 0, 0]), want, vec![parts[0].0]);
+            return Ok((r, out_ty));
+        }
+        if total != want {
+            return Err(self.type_err(format!("vec{want} constructor got {total} components")));
+        }
+        let srcs = parts.iter().map(|(r, _)| *r).collect();
+        Ok((self.emit(Op::Construct, want, srcs), out_ty))
+    }
+
+    fn inline_call(&mut self, f: &Function, args: &[Expr]) -> Result<(Reg, Type), CompileError> {
+        if self.call_stack.iter().any(|n| n == &f.name) {
+            return Err(self.type_err(format!("recursive call to `{}`", f.name)));
+        }
+        if self.call_stack.len() >= 16 {
+            return Err(self.type_err("call nesting too deep"));
+        }
+        if args.len() != f.params.len() {
+            return Err(self.type_err(format!(
+                "`{}` takes {} arguments, got {}",
+                f.name,
+                f.params.len(),
+                args.len()
+            )));
+        }
+        // Evaluate arguments in the caller's scope.
+        let mut bound = Vec::new();
+        for ((pty, pname), arg) in f.params.iter().zip(args) {
+            let (r, t) = self.lower_expr(arg)?;
+            let (r, t) = self.convert_to(r, t, *pty)?;
+            bound.push((pname.clone(), Binding::Value { reg: r, ty: t }));
+        }
+
+        self.call_stack.push(f.name.clone());
+        self.scopes.push(HashMap::new());
+        for (n, b) in bound {
+            self.declare(&n, b);
+        }
+        let body_result = self.lower_block(&f.body, true);
+        let ret = match body_result {
+            Ok(()) => match f.body.last() {
+                Some(Stmt::Return {
+                    value: Some(e),
+                    line,
+                }) => {
+                    self.line = *line;
+                    let (r, t) = self.lower_expr(&e.clone())?;
+                    self.convert_to(r, t, f.ret)
+                }
+                _ if f.ret == Type::Void => {
+                    // Void helpers yield a dummy zero scalar.
+                    Ok((self.emit_const([0.0; 4], 1), Type::Void))
+                }
+                _ => Err(self.type_err(format!("`{}` must end with `return <expr>;`", f.name))),
+            },
+            Err(e) => Err(e),
+        };
+        self.scopes.pop();
+        self.call_stack.pop();
+        ret
+    }
+
+    /// Applies the (few) implicit conversions the language allows: scalar →
+    /// vector splat. Anything else must match exactly.
+    fn convert_to(&mut self, r: Reg, from: Type, to: Type) -> Result<(Reg, Type), CompileError> {
+        if from == to || to == Type::Void {
+            return Ok((r, from));
+        }
+        if from == Type::Float {
+            if let Some(w) = to.components() {
+                if w > 1 {
+                    return Ok((self.emit(Op::Swizzle([0, 0, 0, 0]), w, vec![r]), to));
+                }
+            }
+        }
+        Err(self.type_err(format!(
+            "expected {}, found {}",
+            to.keyword(),
+            from.keyword()
+        )))
+    }
+
+    fn lower_builtin(&mut self, name: &str, args: &[Expr]) -> Result<(Reg, Type), CompileError> {
+        let mut vals = Vec::new();
+        for a in args {
+            vals.push(self.lower_expr(a)?);
+        }
+        let arity_err = |me: &Self, n: usize| {
+            me.type_err(format!("`{name}` takes {n} arguments, got {}", vals.len()))
+        };
+
+        let numeric = |me: &Self, i: usize| -> Result<(Reg, Type, u8), CompileError> {
+            let (r, t) = vals[i];
+            let w = t
+                .components()
+                .ok_or_else(|| me.type_err(format!("`{name}` argument must be numeric")))?;
+            Ok((r, t, w))
+        };
+
+        match name {
+            "floor" | "fract" | "abs" | "sqrt" | "sin" | "cos" | "exp2" | "log2"
+            | "inversesqrt" | "sign" => {
+                if vals.len() != 1 {
+                    return Err(arity_err(self, 1));
+                }
+                let (r, t, w) = numeric(self, 0)?;
+                let op = match name {
+                    "floor" => Op::Floor,
+                    "fract" => Op::Fract,
+                    "abs" => Op::Abs,
+                    "sin" => Op::Sin,
+                    "cos" => Op::Cos,
+                    "exp2" => Op::Exp2,
+                    "log2" => Op::Log2,
+                    "inversesqrt" => Op::InverseSqrt,
+                    "sign" => Op::Sign,
+                    _ => Op::Sqrt,
+                };
+                Ok((self.emit(op, w, vec![r]), t))
+            }
+            "min" | "max" | "mod" | "pow" | "step" => {
+                if vals.len() != 2 {
+                    return Err(arity_err(self, 2));
+                }
+                let (ar, _at, aw) = numeric(self, 0)?;
+                let (br, _bt, bw) = numeric(self, 1)?;
+                // `step(edge, x)` takes its width from x; the rest from arg0.
+                let w = if name == "step" {
+                    if aw != 1 && aw != bw {
+                        return Err(self.type_err("step edge width mismatch"));
+                    }
+                    bw
+                } else {
+                    if bw != 1 && bw != aw {
+                        return Err(self.type_err(format!("`{name}` width mismatch")));
+                    }
+                    aw
+                };
+                let op = match name {
+                    "min" => Op::Min,
+                    "max" => Op::Max,
+                    "mod" => Op::ModOp,
+                    "pow" => Op::Pow,
+                    _ => Op::Step,
+                };
+                Ok((
+                    self.emit(op, w, vec![ar, br]),
+                    Type::vector(w).expect("1-4"),
+                ))
+            }
+            "clamp" | "mix" => {
+                if vals.len() != 3 {
+                    return Err(arity_err(self, 3));
+                }
+                let (ar, at, aw) = numeric(self, 0)?;
+                let (br, _bt, bw) = numeric(self, 1)?;
+                let (cr, _ct, cw) = numeric(self, 2)?;
+                let widths_ok = |w: u8| w == 1 || w == aw;
+                if name == "clamp" {
+                    if !widths_ok(bw) || !widths_ok(cw) {
+                        return Err(self.type_err("clamp bounds width mismatch"));
+                    }
+                } else {
+                    if bw != aw || !widths_ok(cw) {
+                        return Err(self.type_err("mix width mismatch"));
+                    }
+                }
+                let op = if name == "clamp" { Op::Clamp } else { Op::Mix };
+                Ok((self.emit(op, aw, vec![ar, br, cr]), at))
+            }
+            "dot" => {
+                if vals.len() != 2 {
+                    return Err(arity_err(self, 2));
+                }
+                let (ar, _at, aw) = numeric(self, 0)?;
+                let (br, _bt, bw) = numeric(self, 1)?;
+                if aw != bw {
+                    return Err(self.type_err("dot arguments must have the same width"));
+                }
+                Ok((self.emit(Op::Dot, 1, vec![ar, br]), Type::Float))
+            }
+            "mul24" => {
+                if vals.len() != 2 {
+                    return Err(arity_err(self, 2));
+                }
+                let (ar, at, _) = numeric(self, 0)?;
+                let (br, bt, _) = numeric(self, 1)?;
+                if at != Type::Float || bt != Type::Float {
+                    return Err(self.type_err("mul24 takes two scalar floats"));
+                }
+                Ok((self.emit(Op::Mul24, 1, vec![ar, br]), Type::Float))
+            }
+            _ => Err(self.type_err(format!("unknown function `{name}`"))),
+        }
+    }
+}
+
+fn compound_op(op: AssignOp) -> BinOp {
+    match op {
+        AssignOp::Add => BinOp::Add,
+        AssignOp::Sub => BinOp::Sub,
+        AssignOp::Mul => BinOp::Mul,
+        AssignOp::Div => BinOp::Div,
+        AssignOp::Set => unreachable!("Set handled separately"),
+    }
+}
+
+fn pattern_from(idxs: &[u8]) -> [u8; 4] {
+    let mut p = [0u8; 4];
+    for (i, &x) in idxs.iter().enumerate() {
+        p[i] = x;
+    }
+    p
+}

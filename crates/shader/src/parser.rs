@@ -1,0 +1,734 @@
+//! Recursive-descent parser for the kernel shading language.
+
+use crate::ast::{
+    AssignOp, BinOp, Expr, Function, GlobalDecl, LValue, Program, Qualifier, Stmt, Type, UnaryOp,
+};
+use crate::error::{CompileError, CompileErrorKind};
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+
+/// Parses a complete shader program.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] with the offending line on any lexical or
+/// syntactic problem.
+///
+/// # Examples
+///
+/// ```
+/// let src = "
+///     uniform sampler2D u_tex;
+///     varying vec2 v_coord;
+///     void main() {
+///         gl_FragColor = texture2D(u_tex, v_coord);
+///     }
+/// ";
+/// let program = mgpu_shader::parse(src).expect("valid program");
+/// assert!(program.function("main").is_some());
+/// ```
+pub fn parse(source: &str) -> Result<Program, CompileError> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(CompileErrorKind::Parse, msg, Some(self.line()))
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), CompileError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kind}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn peek_ident(&self) -> Option<&str> {
+        match self.peek() {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    // ---- grammar ----------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut program = Program::default();
+        loop {
+            match self.peek_ident() {
+                None if self.peek() == &TokenKind::Eof => break,
+                None => return Err(self.err(format!("unexpected `{}`", self.peek()))),
+                Some("precision") => {
+                    // `precision highp float;` — accepted and ignored.
+                    self.bump();
+                    self.ident()?; // precision qualifier
+                    self.ident()?; // type
+                    self.expect(&TokenKind::Semicolon)?;
+                }
+                Some("uniform") | Some("varying") | Some("const") => {
+                    program.globals.push(self.global()?);
+                }
+                Some(_) => {
+                    // A type keyword starts a function definition.
+                    program.functions.push(self.function()?);
+                }
+            }
+        }
+        if program.function("main").is_none() {
+            return Err(CompileError::new(
+                CompileErrorKind::Parse,
+                "program has no `main` function",
+                None,
+            ));
+        }
+        Ok(program)
+    }
+
+    fn global(&mut self) -> Result<GlobalDecl, CompileError> {
+        let line = self.line();
+        let qualifier = match self.ident()?.as_str() {
+            "uniform" => Qualifier::Uniform,
+            "varying" => Qualifier::Varying,
+            "const" => Qualifier::Const,
+            q => return Err(self.err(format!("unknown qualifier `{q}`"))),
+        };
+        let ty = self.type_name()?;
+        let name = self.ident()?;
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        if qualifier == Qualifier::Const && init.is_none() {
+            return Err(self.err(format!("const `{name}` needs an initialiser")));
+        }
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(GlobalDecl {
+            qualifier,
+            ty,
+            name,
+            init,
+            line,
+        })
+    }
+
+    fn type_name(&mut self) -> Result<Type, CompileError> {
+        let line = self.line();
+        let word = self.ident()?;
+        Type::from_keyword(&word).ok_or_else(|| {
+            CompileError::new(
+                CompileErrorKind::Parse,
+                format!("unknown type `{word}`"),
+                Some(line),
+            )
+        })
+    }
+
+    fn function(&mut self) -> Result<Function, CompileError> {
+        let line = self.line();
+        let ret = self.type_name()?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let pty = self.type_name()?;
+                let pname = self.ident()?;
+                params.push((pty, pname));
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(&TokenKind::Comma)?;
+            }
+        }
+        let body = self.block()?;
+        Ok(Function {
+            ret,
+            name,
+            params,
+            body,
+            line,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek() == &TokenKind::Eof {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if self.peek() == &TokenKind::LBrace {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.peek_ident() {
+            Some("for") => self.for_stmt(),
+            Some("if") => self.if_stmt(),
+            Some("return") => {
+                self.bump();
+                let value = if self.peek() == &TokenKind::Semicolon {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Stmt::Return { value, line })
+            }
+            Some(word) if Type::from_keyword(word).is_some() => {
+                let ty = self.type_name()?;
+                let mut names = Vec::new();
+                loop {
+                    let name = self.ident()?;
+                    let init = if self.eat(&TokenKind::Assign) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    names.push((name, init));
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Stmt::Decl { ty, names, line })
+            }
+            _ => {
+                // Assignment or expression statement.
+                let checkpoint = self.pos;
+                if let TokenKind::Ident(name) = self.peek().clone() {
+                    self.bump();
+                    let swizzle = if self.eat(&TokenKind::Dot) {
+                        Some(self.ident()?)
+                    } else {
+                        None
+                    };
+                    if let Some(op) = self.assign_op() {
+                        let value = self.expr()?;
+                        self.expect(&TokenKind::Semicolon)?;
+                        return Ok(Stmt::Assign {
+                            target: LValue { name, swizzle },
+                            op,
+                            value,
+                            line,
+                        });
+                    }
+                    self.pos = checkpoint;
+                }
+                let expr = self.expr()?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Stmt::ExprStmt { expr, line })
+            }
+        }
+    }
+
+    fn assign_op(&mut self) -> Option<AssignOp> {
+        let op = match self.peek() {
+            TokenKind::Assign => AssignOp::Set,
+            TokenKind::PlusAssign => AssignOp::Add,
+            TokenKind::MinusAssign => AssignOp::Sub,
+            TokenKind::StarAssign => AssignOp::Mul,
+            TokenKind::SlashAssign => AssignOp::Div,
+            _ => return None,
+        };
+        self.bump();
+        Some(op)
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        self.bump(); // `for`
+        self.expect(&TokenKind::LParen)?;
+        let var_ty = self.type_name()?;
+        let var = self.ident()?;
+        self.expect(&TokenKind::Assign)?;
+        let init = self.expr()?;
+        self.expect(&TokenKind::Semicolon)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::Semicolon)?;
+        let update_var = self.ident()?;
+        if update_var != var {
+            return Err(self.err(format!(
+                "loop update must modify the counter `{var}`, found `{update_var}`"
+            )));
+        }
+        let update_op = self
+            .assign_op()
+            .ok_or_else(|| self.err("expected assignment in loop update"))?;
+        let update = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let body = self.stmt_or_block()?;
+        Ok(Stmt::For {
+            var_ty,
+            var,
+            init,
+            cond,
+            update_op,
+            update,
+            body,
+            line,
+        })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        self.bump(); // `if`
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let then_branch = self.stmt_or_block()?;
+        let else_branch = if self.peek_ident() == Some("else") {
+            self.bump();
+            if self.peek_ident() == Some("if") {
+                vec![self.if_stmt()?]
+            } else {
+                self.stmt_or_block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            line,
+        })
+    }
+
+    // ---- expressions (precedence climbing) ---------------------------
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, CompileError> {
+        let cond = self.or_expr()?;
+        if self.eat(&TokenKind::Question) {
+            let then_expr = self.expr()?;
+            self.expect(&TokenKind::Colon)?;
+            let else_expr = self.expr()?;
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_expr: Box::new(then_expr),
+                else_expr: Box::new(else_expr),
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.equality()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.equality()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Eq => BinOp::Eq,
+                TokenKind::Ne => BinOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.relational()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn relational(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.additive()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        if self.eat(&TokenKind::Minus) {
+            let expr = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(expr),
+            });
+        }
+        if self.eat(&TokenKind::Bang) {
+            let expr = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(expr),
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut expr = self.primary()?;
+        while self.peek() == &TokenKind::Dot {
+            let line = self.line();
+            self.bump();
+            let fields = self.ident()?;
+            expr = Expr::Swizzle {
+                base: Box::new(expr),
+                fields,
+                line,
+            };
+        }
+        Ok(expr)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::Literal(v))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                match name.as_str() {
+                    "true" => return Ok(Expr::BoolLiteral(true)),
+                    "false" => return Ok(Expr::BoolLiteral(false)),
+                    _ => {}
+                }
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&TokenKind::RParen) {
+                                break;
+                            }
+                            self.expect(&TokenKind::Comma)?;
+                        }
+                    }
+                    Ok(Expr::Call { name, args, line })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.err(format!("unexpected `{other}` in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse("void main() { gl_FragColor = vec4(0.0, 0.0, 0.0, 1.0); }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name, "main");
+    }
+
+    #[test]
+    fn requires_main() {
+        let err = parse("void helper() { }").unwrap_err();
+        assert!(err.to_string().contains("main"));
+    }
+
+    #[test]
+    fn parses_globals_and_precision() {
+        let p = parse(
+            "precision highp float;\n\
+             uniform sampler2D u_t;\n\
+             varying vec2 v_c;\n\
+             const float k = 2.0;\n\
+             void main() { gl_FragColor = vec4(k); }",
+        )
+        .unwrap();
+        assert_eq!(p.globals.len(), 3);
+        assert_eq!(p.globals[0].qualifier, Qualifier::Uniform);
+        assert_eq!(p.globals[2].qualifier, Qualifier::Const);
+    }
+
+    #[test]
+    fn const_requires_initialiser() {
+        assert!(parse("const float k; void main() {}").is_err());
+    }
+
+    #[test]
+    fn parses_for_loop() {
+        let p = parse(
+            "void main() {\n\
+               float acc = 0.0;\n\
+               for (float i = 0.0; i < 4.0; i += 1.0) { acc += i; }\n\
+               gl_FragColor = vec4(acc);\n\
+             }",
+        )
+        .unwrap();
+        let body = &p.functions[0].body;
+        assert!(matches!(body[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn loop_update_must_touch_counter() {
+        let err = parse("void main() { for (float i = 0.0; i < 2.0; j += 1.0) {} }").unwrap_err();
+        assert!(err.to_string().contains("counter"));
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let p = parse(
+            "void main() {\n\
+               float x = 1.0;\n\
+               if (x < 0.5) { x = 0.0; } else if (x < 0.7) { x = 1.0; } else x = 2.0;\n\
+               gl_FragColor = vec4(x);\n\
+             }",
+        )
+        .unwrap();
+        match &p.functions[0].body[1] {
+            Stmt::If { else_branch, .. } => {
+                assert!(matches!(else_branch[0], Stmt::If { .. }));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let p =
+            parse("void main() { float x = 1.0 + 2.0 * 3.0; gl_FragColor = vec4(x); }").unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Decl { names, .. } => match names[0].1.as_ref().unwrap() {
+                Expr::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
+                    assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+                }
+                other => panic!("expected add at top, got {other:?}"),
+            },
+            other => panic!("expected decl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_swizzles_and_compound_assign() {
+        let p = parse(
+            "varying vec2 v;\n\
+             void main() {\n\
+               vec4 c = vec4(v.x, v.y, 0.0, 1.0);\n\
+               c.xy *= 2.0;\n\
+               gl_FragColor = c;\n\
+             }",
+        )
+        .unwrap();
+        match &p.functions[0].body[1] {
+            Stmt::Assign { target, op, .. } => {
+                assert_eq!(target.swizzle.as_deref(), Some("xy"));
+                assert_eq!(*op, AssignOp::Mul);
+            }
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_user_function_with_return() {
+        let p = parse(
+            "float decode(vec4 v) { return v.x * 255.0; }\n\
+             void main() { gl_FragColor = vec4(decode(vec4(1.0))); }",
+        )
+        .unwrap();
+        assert_eq!(p.functions.len(), 2);
+        assert!(matches!(
+            p.functions[0].body[0],
+            Stmt::Return { value: Some(_), .. }
+        ));
+    }
+
+    #[test]
+    fn parses_ternary() {
+        let p = parse("void main() { float x = 1.0 < 2.0 ? 3.0 : 4.0; gl_FragColor = vec4(x); }")
+            .unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Decl { names, .. } => {
+                assert!(matches!(names[0].1, Some(Expr::Ternary { .. })));
+            }
+            other => panic!("expected decl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse("void main() {\n  float x = ;\n}").unwrap_err();
+        assert_eq!(err.line(), Some(2));
+    }
+
+    #[test]
+    fn parses_the_paper_fig2_kernel_shape() {
+        // Structure of the paper's Fig. 2 multi-pass sgemm kernel, with the
+        // reconstruction helpers written out as user functions.
+        let src = "
+            uniform sampler2D text0;
+            uniform sampler2D text1;
+            uniform sampler2D text2;
+            uniform float blk_n;
+            varying vec2 Coord0;
+            varying vec2 Coord1;
+            varying vec2 Coord2;
+
+            float reconstr_in(vec4 t) {
+                return dot(t, vec4(255.0, 0.996, 0.0039, 0.0000152));
+            }
+            vec4 encode_out(float v) {
+                return vec4(v, v, v, 1.0);
+            }
+            void main() {
+                float acc = 0.0;
+                float A = 0.0;
+                float B = 0.0;
+                for (float i = 0.0; i < 0.015625; i += 0.0009765625) {
+                    A = reconstr_in(texture2D(text0, vec2(i + blk_n, Coord0.y)));
+                    B = reconstr_in(texture2D(text1, vec2(Coord1.x, i + blk_n)));
+                    acc += A * B;
+                }
+                float interm = reconstr_in(texture2D(text2, Coord2));
+                gl_FragColor = encode_out(acc + interm);
+            }
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.globals.len(), 7);
+        assert_eq!(p.functions.len(), 3);
+    }
+}

@@ -1,0 +1,315 @@
+//! AST pretty-printer: renders a parsed [`Program`] back to kernel source.
+//!
+//! The printer is exact enough that `parse(print(parse(src)))` yields the
+//! same AST as `parse(src)` — the round-trip property the test suite
+//! enforces — which makes it usable for kernel-source golden tests,
+//! debugging generated kernels, and normalising formatting.
+
+use std::fmt::Write as _;
+
+use crate::ast::{AssignOp, BinOp, Expr, Function, Program, Qualifier, Stmt, UnaryOp};
+
+/// Renders a whole program as formatted kernel source.
+#[must_use]
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for g in &program.globals {
+        let q = match g.qualifier {
+            Qualifier::Uniform => "uniform",
+            Qualifier::Varying => "varying",
+            Qualifier::Const => "const",
+        };
+        let _ = write!(out, "{q} {} {}", g.ty.keyword(), g.name);
+        if let Some(init) = &g.init {
+            let _ = write!(out, " = {}", print_expr(init));
+        }
+        out.push_str(";\n");
+    }
+    if !program.globals.is_empty() {
+        out.push('\n');
+    }
+    for f in &program.functions {
+        print_function(&mut out, f);
+        out.push('\n');
+    }
+    out
+}
+
+fn print_function(out: &mut String, f: &Function) {
+    let _ = write!(out, "{} {}(", f.ret.keyword(), f.name);
+    for (i, (ty, name)) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} {name}", ty.keyword());
+    }
+    out.push_str(") {\n");
+    for s in &f.body {
+        print_stmt(out, s, 1);
+    }
+    out.push_str("}\n");
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
+    match stmt {
+        Stmt::Decl { ty, names, .. } => {
+            indent(out, depth);
+            let _ = write!(out, "{} ", ty.keyword());
+            for (i, (name, init)) in names.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(name);
+                if let Some(e) = init {
+                    let _ = write!(out, " = {}", print_expr(e));
+                }
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Assign {
+            target, op, value, ..
+        } => {
+            indent(out, depth);
+            out.push_str(&target.name);
+            if let Some(sw) = &target.swizzle {
+                let _ = write!(out, ".{sw}");
+            }
+            let _ = writeln!(out, " {} {};", assign_op(*op), print_expr(value));
+        }
+        Stmt::For {
+            var_ty,
+            var,
+            init,
+            cond,
+            update_op,
+            update,
+            body,
+            ..
+        } => {
+            indent(out, depth);
+            let _ = writeln!(
+                out,
+                "for ({} {var} = {}; {}; {var} {} {}) {{",
+                var_ty.keyword(),
+                print_expr(init),
+                print_expr(cond),
+                assign_op(*update_op),
+                print_expr(update)
+            );
+            for s in body {
+                print_stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            indent(out, depth);
+            let _ = writeln!(out, "if ({}) {{", print_expr(cond));
+            for s in then_branch {
+                print_stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            if else_branch.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for s in else_branch {
+                    print_stmt(out, s, depth + 1);
+                }
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::Return { value, .. } => {
+            indent(out, depth);
+            match value {
+                Some(e) => {
+                    let _ = writeln!(out, "return {};", print_expr(e));
+                }
+                None => out.push_str("return;\n"),
+            }
+        }
+        Stmt::ExprStmt { expr, .. } => {
+            indent(out, depth);
+            let _ = writeln!(out, "{};", print_expr(expr));
+        }
+    }
+}
+
+fn assign_op(op: AssignOp) -> &'static str {
+    match op {
+        AssignOp::Set => "=",
+        AssignOp::Add => "+=",
+        AssignOp::Sub => "-=",
+        AssignOp::Mul => "*=",
+        AssignOp::Div => "/=",
+    }
+}
+
+fn bin_op(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+/// Renders one expression. Fully parenthesised, so precedence never needs
+/// reconstructing (and the round trip is trivially faithful).
+#[must_use]
+pub fn print_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Literal(x) => {
+            let s = format!("{x:?}");
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Expr::BoolLiteral(b) => b.to_string(),
+        Expr::Var(name) => name.clone(),
+        Expr::Unary { op, expr } => {
+            let o = match op {
+                UnaryOp::Neg => "-",
+                UnaryOp::Not => "!",
+            };
+            format!("({o}{})", print_expr(expr))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            format!("({} {} {})", print_expr(lhs), bin_op(*op), print_expr(rhs))
+        }
+        Expr::Call { name, args, .. } => {
+            let rendered: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{name}({})", rendered.join(", "))
+        }
+        Expr::Swizzle { base, fields, .. } => format!("{}.{fields}", print_expr(base)),
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => format!(
+            "({} ? {} : {})",
+            print_expr(cond),
+            print_expr(then_expr),
+            print_expr(else_expr)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Strips source-location fields so ASTs compare structurally.
+    fn normalise(p: &Program) -> String {
+        // The printer itself is the canonical form: print both and compare.
+        print_program(p)
+    }
+
+    fn round_trips(src: &str) {
+        let first = parse(src).unwrap();
+        let printed = print_program(&first);
+        let second =
+            parse(&printed).unwrap_or_else(|e| panic!("reprint failed to parse: {e}\n{printed}"));
+        assert_eq!(
+            normalise(&first),
+            normalise(&second),
+            "round trip changed the AST:\n{printed}"
+        );
+    }
+
+    #[test]
+    fn round_trips_the_suite_kernels() {
+        round_trips("void main() { gl_FragColor = vec4(1.0, 0.0, 0.0, 1.0); }");
+        round_trips(
+            "uniform sampler2D t;\nvarying vec2 v;\n\
+             void main() { gl_FragColor = texture2D(t, v); }",
+        );
+        round_trips(
+            "uniform float blk_n;\nuniform sampler2D a;\nvarying vec2 c;\n\
+             float dec(vec4 t) { return dot(t, vec4(1.0, 0.5, 0.25, 0.125)); }\n\
+             void main() {\n\
+               float acc = 0.0;\n\
+               for (float i = 0.0; i < 0.5; i += 0.125) {\n\
+                 acc += dec(texture2D(a, vec2(i + blk_n, c.y)));\n\
+               }\n\
+               if (acc > 1.0) { acc = 1.0; } else { acc *= 0.5; }\n\
+               gl_FragColor = vec4(acc, -acc, acc > 0.5 ? 1.0 : 0.0, 1.0);\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn round_trips_the_generated_kernels() {
+        // The real generated kernel sources must survive the printer too.
+        // (mgpu-gpgpu generates them; here we hand-inline a representative.)
+        round_trips(
+            "uniform sampler2D u_a;\nuniform sampler2D u_b;\nvarying vec2 v_coord;\n\
+             float unpack(vec4 c) { return dot(c, vec4(1.0, 0.00392156862745098, 0.0000153787004998078, 0.0000000603086314193)); }\n\
+             vec4 pack(float t) {\n\
+               float s = clamp(t, 0.0, 0.9999999);\n\
+               vec4 enc = fract(s * vec4(1.0, 255.0, 65025.0, 16581375.0));\n\
+               enc = enc - vec4(enc.y, enc.z, enc.w, 0.0) * 0.00392156862745098;\n\
+               return enc;\n\
+             }\n\
+             void main() {\n\
+               float a = unpack(texture2D(u_a, v_coord)) * 1.0 + 0.0;\n\
+               float b = unpack(texture2D(u_b, v_coord)) * 1.0 + 0.0;\n\
+               gl_FragColor = pack(((a + b) - 0.0) * 0.5);\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn printed_source_compiles_identically() {
+        use crate::{compile, cost};
+        let src = "uniform sampler2D t;\nvarying vec2 v;\n\
+                   void main() {\n\
+                     float acc = 0.0;\n\
+                     for (float i = 0.0; i < 4.0; i += 1.0) {\n\
+                       acc += texture2D(t, vec2(i / 4.0, v.y)).x;\n\
+                     }\n\
+                     gl_FragColor = vec4(acc);\n\
+                   }";
+        let direct = compile(src).unwrap();
+        let printed = print_program(&parse(src).unwrap());
+        let reprinted = compile(&printed).unwrap();
+        assert_eq!(direct.instruction_count(), reprinted.instruction_count());
+        assert_eq!(
+            cost::analyze(&direct).alu_cycles,
+            cost::analyze(&reprinted).alu_cycles
+        );
+    }
+
+    #[test]
+    fn literals_reprint_losslessly() {
+        for x in [0.0f32, 1.5, -3.25, 0.0009765625, 16581375.0, 1.0 / 3.0] {
+            let e = Expr::Literal(x);
+            let s = print_expr(&e);
+            let back: f32 = s.parse().unwrap();
+            assert_eq!(back, x, "{s}");
+        }
+    }
+}

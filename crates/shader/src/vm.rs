@@ -1,0 +1,622 @@
+//! The fragment interpreter: executes compiled IR for one fragment at a
+//! time, exactly as the simulated GPU's fragment unit would.
+
+use std::collections::HashMap;
+
+use crate::error::ExecError;
+use crate::ir::{CmpOp, InputKind, Op, Reg, Shader};
+
+/// Provides texel data for one bound texture unit.
+///
+/// Coordinates are normalised (`[0, 1]`); implementations choose their own
+/// filtering (GPGPU kernels use nearest with texel-centre coordinates).
+pub trait Sampler {
+    /// Samples the texture at `(u, v)`, returning RGBA in `[0, 1]`.
+    fn fetch(&self, u: f32, v: f32) -> [f32; 4];
+}
+
+/// A sampler over an owned RGBA8 image, with nearest filtering and
+/// clamp-to-edge addressing — the GLES2 GPGPU configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageSampler {
+    width: u32,
+    height: u32,
+    /// RGBA8 texels, row-major.
+    data: Vec<u8>,
+}
+
+impl ImageSampler {
+    /// Wraps RGBA8 data of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height * 4`.
+    #[must_use]
+    pub fn new(width: u32, height: u32, data: Vec<u8>) -> Self {
+        assert_eq!(
+            data.len(),
+            width as usize * height as usize * 4,
+            "RGBA8 data size mismatch"
+        );
+        ImageSampler {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Image width in texels.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in texels.
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+}
+
+impl Sampler for ImageSampler {
+    fn fetch(&self, u: f32, v: f32) -> [f32; 4] {
+        let x = ((u * self.width as f32).floor() as i64).clamp(0, i64::from(self.width) - 1);
+        let y = ((v * self.height as f32).floor() as i64).clamp(0, i64::from(self.height) - 1);
+        let idx = (y as usize * self.width as usize + x as usize) * 4;
+        let t = &self.data[idx..idx + 4];
+        [
+            f32::from(t[0]) / 255.0,
+            f32::from(t[1]) / 255.0,
+            f32::from(t[2]) / 255.0,
+            f32::from(t[3]) / 255.0,
+        ]
+    }
+}
+
+/// Truncates a float to ~24-bit total precision (15-bit mantissa), the
+/// semantics of the `mul24` fast multiply.
+#[must_use]
+pub fn truncate_to_24bit(x: f32) -> f32 {
+    f32::from_bits(x.to_bits() & !0xFF)
+}
+
+/// Evaluates a pure (non-texture) op. Sources are broadcast from width 1.
+/// Returns `None` for ops that are not pure (texture fetches) or malformed.
+// Index loops mirror the per-component ISA semantics more clearly than
+// iterator chains here.
+#[allow(clippy::needless_range_loop)]
+pub(crate) fn eval_pure_op(
+    op: &Op,
+    srcs: &[[f32; 4]],
+    src_widths: &[u8],
+    width: u8,
+) -> Option<[f32; 4]> {
+    let read = |i: usize, c: usize| -> f32 {
+        let v = srcs[i];
+        if src_widths[i] == 1 {
+            v[0]
+        } else {
+            v[c]
+        }
+    };
+    let mut out = [0.0f32; 4];
+    let w = width as usize;
+    match op {
+        Op::Const(v) => out = *v,
+        Op::Mov => {
+            for c in 0..w {
+                out[c] = read(0, c);
+            }
+        }
+        Op::Neg => {
+            for c in 0..w {
+                out[c] = -read(0, c);
+            }
+        }
+        Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::Div
+        | Op::Min
+        | Op::Max
+        | Op::ModOp
+        | Op::Pow
+        | Op::Step => {
+            for c in 0..w {
+                let (a, b) = (read(0, c), read(1, c));
+                out[c] = match op {
+                    Op::Add => a + b,
+                    Op::Sub => a - b,
+                    Op::Mul => a * b,
+                    Op::Div => a / b,
+                    Op::Min => a.min(b),
+                    Op::Max => a.max(b),
+                    Op::ModOp => a - b * (a / b).floor(),
+                    Op::Pow => a.powf(b),
+                    Op::Step => {
+                        if b < a {
+                            0.0
+                        } else {
+                            1.0
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+            }
+        }
+        Op::Mad => {
+            for c in 0..w {
+                out[c] = read(0, c) * read(1, c) + read(2, c);
+            }
+        }
+        Op::Mul24 => {
+            out[0] =
+                truncate_to_24bit(truncate_to_24bit(read(0, 0)) * truncate_to_24bit(read(1, 0)));
+        }
+        Op::Dot => {
+            let n = src_widths[0].max(src_widths[1]) as usize;
+            let mut acc = 0.0;
+            for c in 0..n {
+                acc += read(0, c) * read(1, c);
+            }
+            out[0] = acc;
+        }
+        Op::Clamp => {
+            for c in 0..w {
+                out[c] = read(0, c).max(read(1, c)).min(read(2, c));
+            }
+        }
+        Op::Floor => {
+            for c in 0..w {
+                out[c] = read(0, c).floor();
+            }
+        }
+        Op::Fract => {
+            for c in 0..w {
+                let x = read(0, c);
+                out[c] = x - x.floor();
+            }
+        }
+        Op::Abs => {
+            for c in 0..w {
+                out[c] = read(0, c).abs();
+            }
+        }
+        Op::Sqrt => {
+            for c in 0..w {
+                out[c] = read(0, c).sqrt();
+            }
+        }
+        Op::Sin => {
+            for c in 0..w {
+                out[c] = read(0, c).sin();
+            }
+        }
+        Op::Cos => {
+            for c in 0..w {
+                out[c] = read(0, c).cos();
+            }
+        }
+        Op::Exp2 => {
+            for c in 0..w {
+                out[c] = read(0, c).exp2();
+            }
+        }
+        Op::Log2 => {
+            for c in 0..w {
+                out[c] = read(0, c).log2();
+            }
+        }
+        Op::InverseSqrt => {
+            for c in 0..w {
+                out[c] = 1.0 / read(0, c).sqrt();
+            }
+        }
+        Op::Sign => {
+            for c in 0..w {
+                let x = read(0, c);
+                out[c] = if x > 0.0 {
+                    1.0
+                } else if x < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                };
+            }
+        }
+        Op::Mix => {
+            for c in 0..w {
+                let (a, b, t) = (read(0, c), read(1, c), read(2, c));
+                out[c] = a * (1.0 - t) + b * t;
+            }
+        }
+        Op::Cmp(cmp) => {
+            let (a, b) = (srcs[0][0], srcs[1][0]);
+            let r = match cmp {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+            };
+            out[0] = if r { 1.0 } else { 0.0 };
+        }
+        Op::And => {
+            out[0] = if srcs[0][0] != 0.0 && srcs[1][0] != 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        Op::Or => {
+            out[0] = if srcs[0][0] != 0.0 || srcs[1][0] != 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        Op::Not => out[0] = if srcs[0][0] != 0.0 { 0.0 } else { 1.0 },
+        Op::Select => {
+            let take_then = srcs[0][0] != 0.0;
+            for c in 0..w {
+                out[c] = if take_then { read(1, c) } else { read(2, c) };
+            }
+        }
+        Op::Swizzle(pattern) => {
+            for c in 0..w {
+                out[c] = srcs[0][pattern[c] as usize];
+            }
+        }
+        Op::Merge { select } => {
+            for c in 0..w {
+                out[c] = if select[c] == 0xFF {
+                    srcs[0][c]
+                } else {
+                    read(1, select[c] as usize)
+                };
+            }
+        }
+        Op::Construct => {
+            let mut n = 0usize;
+            for (i, &sw) in src_widths.iter().enumerate() {
+                for c in 0..sw as usize {
+                    if n < 4 {
+                        out[n] = srcs[i][c];
+                        n += 1;
+                    }
+                }
+            }
+        }
+        Op::TexFetch { .. } => return None,
+    }
+    Some(out)
+}
+
+/// Computes the width (component count) of every register in a shader.
+#[must_use]
+pub(crate) fn register_widths(shader: &Shader) -> Vec<u8> {
+    let mut widths = vec![4u8; shader.reg_count as usize];
+    for slot in &shader.inputs {
+        widths[slot.reg.0 as usize] = slot.width;
+    }
+    for i in &shader.instrs {
+        widths[i.dst.0 as usize] = i.width;
+    }
+    widths
+}
+
+/// Uniform values bound by name before execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UniformValues {
+    values: HashMap<String, [f32; 4]>,
+}
+
+impl UniformValues {
+    /// An empty binding set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a uniform; extra components are ignored by narrower uniforms.
+    pub fn set(&mut self, name: &str, value: [f32; 4]) -> &mut Self {
+        self.values.insert(name.to_owned(), value);
+        self
+    }
+
+    /// Sets a scalar uniform.
+    pub fn set_scalar(&mut self, name: &str, value: f32) -> &mut Self {
+        self.set(name, [value, 0.0, 0.0, 0.0])
+    }
+
+    /// Looks a uniform up.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<[f32; 4]> {
+        self.values.get(name).copied()
+    }
+}
+
+/// Executes a compiled shader fragment by fragment.
+///
+/// The executor resolves uniforms once; per-fragment varyings are passed to
+/// [`Executor::run`] in the order of [`Shader::varying_slots`].
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_shader::{compile, Executor, UniformValues};
+///
+/// let shader = compile("
+///     uniform float u_gain;
+///     varying vec2 v_coord;
+///     void main() { gl_FragColor = vec4(v_coord * u_gain, 0.0, 1.0); }
+/// ").expect("compiles");
+///
+/// let mut uniforms = UniformValues::new();
+/// uniforms.set_scalar("u_gain", 2.0);
+/// let mut exec = Executor::new(&shader, &uniforms).expect("uniforms bound");
+/// let rgba = exec.run(&[[0.25, 0.5, 0.0, 0.0]], &[]).expect("runs");
+/// assert_eq!(&rgba[..2], &[0.5, 1.0]);
+/// ```
+#[derive(Debug)]
+pub struct Executor<'s> {
+    shader: &'s Shader,
+    widths: Vec<u8>,
+    regs: Vec<[f32; 4]>,
+    varying_regs: Vec<Reg>,
+}
+
+impl<'s> Executor<'s> {
+    /// Prepares an executor, resolving every uniform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if a uniform declared by the shader has no
+    /// value in `uniforms`.
+    pub fn new(shader: &'s Shader, uniforms: &UniformValues) -> Result<Self, ExecError> {
+        let widths = register_widths(shader);
+        let mut regs = vec![[0.0f32; 4]; shader.reg_count as usize];
+        let mut varying_regs = Vec::new();
+        for slot in &shader.inputs {
+            match slot.kind {
+                InputKind::Uniform => {
+                    let v = uniforms.get(&slot.name).ok_or_else(|| {
+                        ExecError::new(format!("uniform `{}` is not set", slot.name))
+                    })?;
+                    regs[slot.reg.0 as usize] = v;
+                }
+                InputKind::Varying => varying_regs.push(slot.reg),
+            }
+        }
+        Ok(Executor {
+            shader,
+            widths,
+            regs,
+            varying_regs,
+        })
+    }
+
+    /// Runs the shader for one fragment.
+    ///
+    /// `varyings` supplies one value per varying slot (shader declaration
+    /// order); `samplers` one implementation per texture unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] when the counts do not match the shader's
+    /// declarations.
+    pub fn run(
+        &mut self,
+        varyings: &[[f32; 4]],
+        samplers: &[&dyn Sampler],
+    ) -> Result<[f32; 4], ExecError> {
+        if varyings.len() != self.varying_regs.len() {
+            return Err(ExecError::new(format!(
+                "shader has {} varyings, {} provided",
+                self.varying_regs.len(),
+                varyings.len()
+            )));
+        }
+        for (reg, value) in self.varying_regs.iter().zip(varyings) {
+            self.regs[reg.0 as usize] = *value;
+        }
+        let mut srcs_buf = [[0.0f32; 4]; 4];
+        let mut widths_buf = [0u8; 4];
+        for instr in &self.shader.instrs {
+            let n = instr.srcs.len().min(4);
+            for (i, s) in instr.srcs.iter().take(4).enumerate() {
+                srcs_buf[i] = self.regs[s.0 as usize];
+                widths_buf[i] = self.widths[s.0 as usize];
+            }
+            let value = match instr.op {
+                Op::TexFetch { sampler } => {
+                    let s = samplers.get(sampler as usize).ok_or_else(|| {
+                        ExecError::new(format!("texture unit {sampler} has no sampler bound"))
+                    })?;
+                    let coord = srcs_buf[0];
+                    s.fetch(coord[0], coord[1])
+                }
+                ref op => eval_pure_op(op, &srcs_buf[..n], &widths_buf[..n], instr.width)
+                    .ok_or_else(|| ExecError::new("malformed instruction"))?,
+            };
+            self.regs[instr.dst.0 as usize] = value;
+        }
+        Ok(self.regs[self.shader.output.0 as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn runs_arithmetic_kernel() {
+        let sh = compile(
+            "varying vec2 v;\n\
+             void main() { gl_FragColor = vec4(v.x + v.y, v.x * v.y, v.x - v.y, 1.0); }",
+        )
+        .unwrap();
+        let mut ex = Executor::new(&sh, &UniformValues::new()).unwrap();
+        let out = ex.run(&[[3.0, 4.0, 0.0, 0.0]], &[]).unwrap();
+        assert_eq!(out, [7.0, 12.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn missing_uniform_is_an_error() {
+        let sh = compile("uniform float u; void main() { gl_FragColor = vec4(u); }").unwrap();
+        assert!(Executor::new(&sh, &UniformValues::new()).is_err());
+    }
+
+    #[test]
+    fn wrong_varying_count_is_an_error() {
+        let sh =
+            compile("varying vec2 v; void main() { gl_FragColor = vec4(v, 0.0, 1.0); }").unwrap();
+        let mut ex = Executor::new(&sh, &UniformValues::new()).unwrap();
+        assert!(ex.run(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn image_sampler_nearest_lookup() {
+        // 2x1 image: left texel red, right texel green.
+        let img = ImageSampler::new(2, 1, vec![255, 0, 0, 255, 0, 255, 0, 255]);
+        assert_eq!(img.fetch(0.25, 0.5), [1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(img.fetch(0.75, 0.5), [0.0, 1.0, 0.0, 1.0]);
+        // Clamp-to-edge outside [0,1].
+        assert_eq!(img.fetch(-1.0, 0.5), [1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(img.fetch(2.0, 0.5), [0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn texture_kernel_samples_bound_unit() {
+        let sh = compile(
+            "uniform sampler2D t;\n\
+             varying vec2 v;\n\
+             void main() { gl_FragColor = texture2D(t, v); }",
+        )
+        .unwrap();
+        let img = ImageSampler::new(2, 1, vec![255, 0, 0, 255, 0, 255, 0, 255]);
+        let mut ex = Executor::new(&sh, &UniformValues::new()).unwrap();
+        let out = ex.run(&[[0.75, 0.5, 0.0, 0.0]], &[&img]).unwrap();
+        assert_eq!(out, [0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn unbound_sampler_is_an_error() {
+        let sh = compile(
+            "uniform sampler2D t; varying vec2 v;\n\
+             void main() { gl_FragColor = texture2D(t, v); }",
+        )
+        .unwrap();
+        let mut ex = Executor::new(&sh, &UniformValues::new()).unwrap();
+        assert!(ex.run(&[[0.0, 0.0, 0.0, 0.0]], &[]).is_err());
+    }
+
+    #[test]
+    fn predicated_if_selects_correct_branch() {
+        let sh = compile(
+            "varying vec2 v;\n\
+             void main() {\n\
+               float x = 0.0;\n\
+               if (v.x < 0.5) { x = 1.0; } else { x = 2.0; }\n\
+               gl_FragColor = vec4(x);\n\
+             }",
+        )
+        .unwrap();
+        let mut ex = Executor::new(&sh, &UniformValues::new()).unwrap();
+        assert_eq!(ex.run(&[[0.2, 0.0, 0.0, 0.0]], &[]).unwrap()[0], 1.0);
+        assert_eq!(ex.run(&[[0.9, 0.0, 0.0, 0.0]], &[]).unwrap()[0], 2.0);
+    }
+
+    #[test]
+    fn unrolled_loop_accumulates() {
+        let sh = compile(
+            "void main() {\n\
+               float acc = 0.0;\n\
+               for (float i = 1.0; i <= 4.0; i += 1.0) { acc += i; }\n\
+               gl_FragColor = vec4(acc);\n\
+             }",
+        )
+        .unwrap();
+        let mut ex = Executor::new(&sh, &UniformValues::new()).unwrap();
+        assert_eq!(ex.run(&[], &[]).unwrap()[0], 10.0);
+    }
+
+    #[test]
+    fn user_function_inlines_and_computes() {
+        let sh = compile(
+            "float square(float x) { return x * x; }\n\
+             varying vec2 v;\n\
+             void main() { gl_FragColor = vec4(square(v.x) + square(v.y)); }",
+        )
+        .unwrap();
+        let mut ex = Executor::new(&sh, &UniformValues::new()).unwrap();
+        assert_eq!(ex.run(&[[3.0, 4.0, 0.0, 0.0]], &[]).unwrap()[0], 25.0);
+    }
+
+    #[test]
+    fn swizzle_write_merges_components() {
+        let sh = compile(
+            "void main() {\n\
+               vec4 c = vec4(1.0, 2.0, 3.0, 4.0);\n\
+               c.yw = vec2(20.0, 40.0);\n\
+               gl_FragColor = c;\n\
+             }",
+        )
+        .unwrap();
+        let mut ex = Executor::new(&sh, &UniformValues::new()).unwrap();
+        assert_eq!(ex.run(&[], &[]).unwrap(), [1.0, 20.0, 3.0, 40.0]);
+    }
+
+    #[test]
+    fn builtins_compute_expected_values() {
+        let sh = compile(
+            "varying vec2 v;\n\
+             void main() {\n\
+               float a = clamp(v.x, 0.0, 1.0);\n\
+               float b = mix(0.0, 10.0, v.y);\n\
+               float c = dot(vec2(v.x, v.y), vec2(1.0, 1.0));\n\
+               gl_FragColor = vec4(a, b, c, mod(v.x, 2.0));\n\
+             }",
+        )
+        .unwrap();
+        let mut ex = Executor::new(&sh, &UniformValues::new()).unwrap();
+        let out = ex.run(&[[3.0, 0.5, 0.0, 0.0]], &[]).unwrap();
+        assert_eq!(out, [1.0, 5.0, 3.5, 1.0]);
+    }
+
+    #[test]
+    fn mul24_loses_low_mantissa_bits() {
+        let sh = compile(
+            "varying vec2 v;\n\
+             void main() { gl_FragColor = vec4(mul24(v.x, v.y)); }",
+        )
+        .unwrap();
+        let mut ex = Executor::new(&sh, &UniformValues::new()).unwrap();
+        let exact = 1.000_001f32 * 1.000_001f32;
+        let got = ex.run(&[[1.000_001, 1.000_001, 0.0, 0.0]], &[]).unwrap()[0];
+        assert_ne!(got, exact);
+        assert!((got - exact).abs() < 1e-4);
+    }
+
+    #[test]
+    fn truncate_preserves_magnitude() {
+        for x in [0.0f32, 1.0, -3.75, 1234.5, 1e-10] {
+            let t = truncate_to_24bit(x);
+            assert!((t - x).abs() <= x.abs() * 1e-4 + f32::EPSILON);
+        }
+    }
+
+    #[test]
+    fn scalar_broadcast_in_vector_ops() {
+        let sh = compile(
+            "varying vec2 v;\n\
+             void main() { gl_FragColor = vec4(v, 1.0, 1.0) * v.x; }",
+        )
+        .unwrap();
+        let mut ex = Executor::new(&sh, &UniformValues::new()).unwrap();
+        let out = ex.run(&[[2.0, 3.0, 0.0, 0.0]], &[]).unwrap();
+        assert_eq!(out, [4.0, 6.0, 2.0, 2.0]);
+    }
+}

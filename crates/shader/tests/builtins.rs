@@ -1,0 +1,69 @@
+//! Behavioural tests of the built-in function library, including the
+//! transcendental extensions.
+
+use mgpu_shader::{compile, Executor, UniformValues};
+
+fn run1(expr: &str, x: f32) -> f32 {
+    let src = format!("varying vec2 v;\nvoid main() {{ gl_FragColor = vec4({expr}); }}\n");
+    let sh = compile(&src).expect("compiles");
+    let mut e = Executor::new(&sh, &UniformValues::new()).expect("binds");
+    e.run(&[[x, 0.0, 0.0, 0.0]], &[]).expect("runs")[0]
+}
+
+#[test]
+fn trigonometry() {
+    assert!((run1("sin(v.x)", 0.0)).abs() < 1e-6);
+    assert!((run1("sin(v.x)", std::f32::consts::FRAC_PI_2) - 1.0).abs() < 1e-6);
+    assert!((run1("cos(v.x)", 0.0) - 1.0).abs() < 1e-6);
+    assert!((run1("sin(v.x) * sin(v.x) + cos(v.x) * cos(v.x)", 1.234) - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn exponentials() {
+    assert_eq!(run1("exp2(v.x)", 3.0), 8.0);
+    assert_eq!(run1("log2(v.x)", 8.0), 3.0);
+    assert!((run1("exp2(log2(v.x))", 5.5) - 5.5).abs() < 1e-5);
+    assert_eq!(run1("inversesqrt(v.x)", 4.0), 0.5);
+}
+
+#[test]
+fn sign_semantics() {
+    assert_eq!(run1("sign(v.x)", 7.0), 1.0);
+    assert_eq!(run1("sign(v.x)", -3.0), -1.0);
+    assert_eq!(run1("sign(v.x)", 0.0), 0.0);
+}
+
+#[test]
+fn vector_forms_apply_componentwise() {
+    let src = "varying vec2 v;\nvoid main() { gl_FragColor = vec4(sign(vec2(v.x, -v.x)), exp2(vec2(1.0, 2.0))); }";
+    let sh = compile(src).unwrap();
+    let mut e = Executor::new(&sh, &UniformValues::new()).unwrap();
+    let out = e.run(&[[5.0, 0.0, 0.0, 0.0]], &[]).unwrap();
+    assert_eq!(out, [1.0, -1.0, 2.0, 4.0]);
+}
+
+#[test]
+fn constant_arguments_fold_at_compile_time() {
+    // sin(0.5) on constants folds away: no Sin op survives.
+    let sh = compile("void main() { gl_FragColor = vec4(sin(0.5)); }").unwrap();
+    assert!(!sh.instrs.iter().any(|i| i.op == mgpu_shader::ir::Op::Sin));
+    let mut e = Executor::new(&sh, &UniformValues::new()).unwrap();
+    let out = e.run(&[], &[]).unwrap()[0];
+    assert!((out - 0.5f32.sin()).abs() < 1e-6);
+}
+
+#[test]
+fn transcendentals_cost_more_than_adds() {
+    use mgpu_shader::cost::op_cycles;
+    use mgpu_shader::ir::Op;
+    assert!(op_cycles(&Op::Sin) > op_cycles(&Op::Add));
+    assert!(op_cycles(&Op::InverseSqrt) > op_cycles(&Op::Add));
+    assert_eq!(op_cycles(&Op::Sin), op_cycles(&Op::Cos));
+}
+
+#[test]
+fn gaussian_weights_computable_in_kernel() {
+    // A realistic use: compute a normal-distribution weight in-shader.
+    let got = run1("exp2(-(v.x * v.x) * 1.4426950408889634)", 1.0);
+    assert!((got - (-1.0f32).exp()).abs() < 1e-5);
+}

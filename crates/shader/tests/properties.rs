@@ -1,0 +1,239 @@
+//! Property tests: the optimiser never changes kernel semantics, and the
+//! constant folder agrees with the interpreter.
+
+use mgpu_shader::{
+    compile_with, truncate_to_24bit, CompileOptions, Executor, OptOptions, UniformValues,
+};
+use proptest::prelude::*;
+
+/// A random arithmetic expression over the varyings `v.x`/`v.y`, a uniform
+/// `k`, and literals, rendered as kernel source.
+#[derive(Debug, Clone)]
+enum Node {
+    X,
+    Y,
+    K,
+    Lit(f32),
+    Add(Box<Node>, Box<Node>),
+    Sub(Box<Node>, Box<Node>),
+    Mul(Box<Node>, Box<Node>),
+    Min(Box<Node>, Box<Node>),
+    Max(Box<Node>, Box<Node>),
+    Clamp(Box<Node>),
+    Neg(Box<Node>),
+}
+
+impl Node {
+    fn render(&self) -> String {
+        match self {
+            Node::X => "v.x".into(),
+            Node::Y => "v.y".into(),
+            Node::K => "k".into(),
+            Node::Lit(v) => format!("{v:.4}"),
+            Node::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            Node::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            Node::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            Node::Min(a, b) => format!("min({}, {})", a.render(), b.render()),
+            Node::Max(a, b) => format!("max({}, {})", a.render(), b.render()),
+            Node::Clamp(a) => format!("clamp({}, 0.0, 1.0)", a.render()),
+            Node::Neg(a) => format!("(-{})", a.render()),
+        }
+    }
+}
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        Just(Node::X),
+        Just(Node::Y),
+        Just(Node::K),
+        (-4.0f32..4.0).prop_map(Node::Lit),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Node::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Node::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Node::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Node::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Node::Max(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Node::Clamp(Box::new(a))),
+            inner.prop_map(|a| Node::Neg(Box::new(a))),
+        ]
+    })
+}
+
+fn kernel_source(expr: &Node) -> String {
+    format!(
+        "uniform float k;\nvarying vec2 v;\nvoid main() {{ gl_FragColor = vec4({}); }}",
+        expr.render()
+    )
+}
+
+fn run_kernel(src: &str, opts: &OptOptions, x: f32, y: f32, k: f32) -> [f32; 4] {
+    let sh = compile_with(
+        src,
+        &CompileOptions {
+            opt: *opts,
+            ..CompileOptions::default()
+        },
+    )
+    .expect("generated kernel compiles");
+    let mut uniforms = UniformValues::new();
+    uniforms.set_scalar("k", k);
+    let mut ex = Executor::new(&sh, &uniforms).expect("binds");
+    ex.run(&[[x, y, 0.0, 0.0]], &[]).expect("runs")
+}
+
+proptest! {
+    /// Full optimisation computes bit-identical results to no optimisation:
+    /// every rewrite (folding, copy propagation, MAD fusion, DCE) preserves
+    /// f32 semantics exactly.
+    #[test]
+    fn optimiser_preserves_semantics(
+        expr in node_strategy(),
+        x in -8.0f32..8.0,
+        y in -8.0f32..8.0,
+        k in -8.0f32..8.0,
+    ) {
+        let src = kernel_source(&expr);
+        let a = run_kernel(&src, &OptOptions::full(), x, y, k);
+        let b = run_kernel(&src, &OptOptions::none(), x, y, k);
+        prop_assert_eq!(a, b, "source:\n{}", src);
+    }
+
+    /// Optimisation never increases the instruction count.
+    #[test]
+    fn optimiser_never_grows_kernels(expr in node_strategy()) {
+        let src = kernel_source(&expr);
+        let opt = compile_with(&src, &CompileOptions::default()).unwrap();
+        let raw = compile_with(
+            &src,
+            &CompileOptions { opt: OptOptions::none(), ..CompileOptions::default() },
+        )
+        .unwrap();
+        prop_assert!(opt.instruction_count() <= raw.instruction_count());
+    }
+
+    /// Loop unrolling agrees with direct accumulation for arbitrary
+    /// constant trip counts.
+    #[test]
+    fn loop_unrolling_matches_closed_form(n in 1u32..64) {
+        let src = format!(
+            "void main() {{\n\
+               float acc = 0.0;\n\
+               for (float i = 1.0; i <= {n}.0; i += 1.0) {{ acc += i; }}\n\
+               gl_FragColor = vec4(acc);\n\
+             }}"
+        );
+        let sh = compile_with(&src, &CompileOptions::default()).unwrap();
+        let mut ex = Executor::new(&sh, &UniformValues::new()).unwrap();
+        let got = ex.run(&[], &[]).unwrap()[0];
+        let want = (n * (n + 1) / 2) as f32;
+        prop_assert_eq!(got, want);
+    }
+
+    /// 24-bit truncation is idempotent and bounded.
+    #[test]
+    fn truncation_idempotent_and_close(x in -1e6f32..1e6) {
+        let t = truncate_to_24bit(x);
+        prop_assert_eq!(truncate_to_24bit(t), t);
+        prop_assert!((t - x).abs() <= x.abs() * 2e-4 + f32::MIN_POSITIVE);
+    }
+
+    /// Predicated `if` matches the reference branch semantics for scalar
+    /// conditions.
+    #[test]
+    fn predication_matches_branching(x in -2.0f32..2.0, t in -2.0f32..2.0) {
+        let src = "
+            varying vec2 v;
+            uniform float k;
+            void main() {
+                float out_v = 0.0;
+                if (v.x < k) { out_v = v.x * 2.0; } else { out_v = v.x - 1.0; }
+                gl_FragColor = vec4(out_v);
+            }
+        ";
+        let got = run_kernel(src, &OptOptions::full(), x, 0.0, t)[0];
+        let want = if x < t { x * 2.0 } else { x - 1.0 };
+        prop_assert_eq!(got, want);
+    }
+}
+
+/// A small statement-level program generator for the pretty-printer
+/// round-trip property.
+fn stmt_source_strategy() -> impl Strategy<Value = String> {
+    // Programs assembled from a fixed set of statement templates over
+    // x/y/acc; every combination must parse, print, and re-parse to the
+    // same canonical form.
+    let stmt = prop_oneof![
+        Just("acc += v.x * 2.0;".to_owned()),
+        Just("acc = clamp(acc, 0.0, 1.0);".to_owned()),
+        Just("vec2 t = vec2(acc, v.y); acc = t.x + t.y;".to_owned()),
+        Just("if (v.x < 0.5) { acc += 1.0; } else { acc -= 1.0; }".to_owned()),
+        Just("for (float i = 0.0; i < 3.0; i += 1.0) { acc += i * v.y; }".to_owned()),
+        Just("acc *= k;".to_owned()),
+        Just("acc = v.x > v.y ? acc : (-acc);".to_owned()),
+    ];
+    prop::collection::vec(stmt, 0..6).prop_map(|stmts| {
+        format!(
+            "uniform float k;\nvarying vec2 v;\nvoid main() {{\nfloat acc = 0.0;\n{}\ngl_FragColor = vec4(acc);\n}}\n",
+            stmts.join("\n")
+        )
+    })
+}
+
+proptest! {
+    /// The pretty printer round-trips arbitrary generated programs, and
+    /// the reprinted source compiles to semantically identical kernels.
+    #[test]
+    fn pretty_printer_round_trips_generated_programs(
+        src in stmt_source_strategy(),
+        x in -2.0f32..2.0,
+        y in -2.0f32..2.0,
+        k in -2.0f32..2.0,
+    ) {
+        use mgpu_shader::pretty::print_program;
+        use mgpu_shader::parse;
+
+        let ast = parse(&src).expect("generated program parses");
+        let printed = print_program(&ast);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reprint failed: {e}\n{printed}"));
+        prop_assert_eq!(print_program(&reparsed), printed.clone());
+
+        // Semantics match between original and reprinted source.
+        let a = run_kernel(&src, &OptOptions::full(), x, y, k);
+        let b = run_kernel(&printed, &OptOptions::full(), x, y, k);
+        prop_assert_eq!(a, b, "printed:\n{}", printed);
+    }
+}
+
+proptest! {
+    /// The compiler never panics on arbitrary input: garbage in, a
+    /// structured `CompileError` out (robustness against malformed kernel
+    /// sources reaching the driver).
+    #[test]
+    fn compiler_never_panics_on_garbage(src in "[ -~\\n]{0,200}") {
+        // Any outcome is fine; panicking is not (proptest catches unwind).
+        let _ = mgpu_shader::compile(&src);
+    }
+
+    /// Token-soup built from the language's own vocabulary also never
+    /// panics — closer to real-world malformed kernels than raw bytes.
+    #[test]
+    fn compiler_never_panics_on_token_soup(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("void"), Just("main"), Just("("), Just(")"), Just("{"),
+                Just("}"), Just(";"), Just("float"), Just("vec4"), Just("="),
+                Just("+"), Just("*"), Just("for"), Just("if"), Just("else"),
+                Just("return"), Just("gl_FragColor"), Just("texture2D"),
+                Just("1.0"), Just("x"), Just(","), Just("."), Just("uniform"),
+                Just("sampler2D"), Just("varying"), Just("<"), Just("+="),
+            ],
+            0..60,
+        ),
+    ) {
+        let src = tokens.join(" ");
+        let _ = mgpu_shader::compile(&src);
+    }
+}

@@ -1,0 +1,205 @@
+//! Export a [`SimReport`] as Chrome trace-event JSON.
+//!
+//! Load the output of [`chrome_trace`] in `chrome://tracing` (or Perfetto)
+//! to see the deferred pipeline visually: one row per functional unit
+//! (CPU, vertex/binning, fragment, copy engine), one slice per frame
+//! stage, with hazards visible as gaps.
+//!
+//! The JSON is emitted by hand (the format is trivial) so the simulator
+//! keeps its tiny dependency footprint.
+
+use std::fmt::Write as _;
+
+use crate::stats::SimReport;
+
+/// Escapes a string for a JSON literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One complete ("X") trace event.
+fn event(out: &mut String, name: &str, tid: u32, start_us: f64, dur_us: f64, first: &mut bool) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "  {{\"name\": \"{}\", \"ph\": \"X\", \"pid\": 1, \"tid\": {tid}, \"ts\": {start_us:.3}, \"dur\": {dur_us:.3}, \"cat\": \"gpu\"}}",
+        escape(name)
+    );
+}
+
+/// Thread ids of the four unit rows.
+const TID_CPU: u32 = 1;
+/// Vertex/binning unit row.
+const TID_VERTEX: u32 = 2;
+/// Fragment unit row.
+const TID_FRAGMENT: u32 = 3;
+/// Copy engine row.
+const TID_COPY: u32 = 4;
+
+/// Renders `report` as a Chrome trace-event JSON document.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_tbdr::{chrome_trace, FragmentProfile, FrameWork, PipelineSim, Platform};
+///
+/// let mut sim = PipelineSim::new(Platform::videocore_iv());
+/// sim.submit(&FrameWork::simple(64, 64, FragmentProfile::default()));
+/// let json = chrome_trace(&sim.finish());
+/// assert!(json.starts_with('{'));
+/// assert!(json.contains("traceEvents"));
+/// ```
+#[must_use]
+pub fn chrome_trace(report: &SimReport) -> String {
+    let mut out = String::from("{\n\"traceEvents\": [\n");
+    let mut first = true;
+    for f in &report.frames {
+        let label = if f.label.is_empty() {
+            format!("frame {}", f.index)
+        } else {
+            f.label.clone()
+        };
+        let us = |t: crate::SimTime| t.as_nanos() as f64 / 1000.0;
+        if f.submit > f.cpu_start {
+            event(
+                &mut out,
+                &format!("{label} [cpu]"),
+                TID_CPU,
+                us(f.cpu_start),
+                us(f.submit) - us(f.cpu_start),
+                &mut first,
+            );
+        }
+        if f.vtx_end > f.vtx_start {
+            event(
+                &mut out,
+                &format!("{label} [vertex+binning]"),
+                TID_VERTEX,
+                us(f.vtx_start),
+                us(f.vtx_end) - us(f.vtx_start),
+                &mut first,
+            );
+        }
+        if f.frag_end > f.frag_start {
+            event(
+                &mut out,
+                &format!("{label} [fragment]"),
+                TID_FRAGMENT,
+                us(f.frag_start),
+                us(f.frag_end) - us(f.frag_start),
+                &mut first,
+            );
+        }
+        if let Some((cs, ce)) = f.copy {
+            event(
+                &mut out,
+                &format!("{label} [copy]"),
+                TID_COPY,
+                us(cs),
+                us(ce) - us(cs),
+                &mut first,
+            );
+        }
+    }
+    out.push_str("\n],\n\"displayTimeUnit\": \"ms\",\n");
+    let _ = write!(
+        out,
+        "\"otherData\": {{\"platform\": \"{}\", \"frames\": {}, \"total_ns\": {}}}\n}}\n",
+        escape(&report.platform_name),
+        report.frames.len(),
+        report.total_time.as_nanos()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use crate::sched::PipelineSim;
+    use crate::work::{AllocKind, CopyOut, FragmentProfile, FrameWork, ResourceId};
+
+    fn sample_report(with_copy: bool) -> SimReport {
+        let mut sim = PipelineSim::new(Platform::videocore_iv());
+        let mut f = FrameWork::simple(
+            128,
+            128,
+            FragmentProfile {
+                alu_cycles: 8.0,
+                output_bytes: 4.0,
+                ..FragmentProfile::default()
+            },
+        );
+        f.label = "pass \"zero\"".to_owned();
+        if with_copy {
+            let mut c = 0;
+            f.copy_out = Some(CopyOut {
+                dest: ResourceId::next(&mut c),
+                bytes: 128 * 128 * 4,
+                alloc: AllocKind::Fresh,
+            });
+        }
+        sim.submit(&f);
+        sim.submit(&f);
+        sim.finish()
+    }
+
+    #[test]
+    fn trace_has_one_slice_per_stage() {
+        let json = chrome_trace(&sample_report(true));
+        assert_eq!(json.matches("[fragment]").count(), 2);
+        assert_eq!(json.matches("[vertex+binning]").count(), 2);
+        assert_eq!(json.matches("[copy]").count(), 2);
+        assert!(json.contains("\"tid\": 3"));
+    }
+
+    #[test]
+    fn copyless_frames_emit_no_copy_slice() {
+        let json = chrome_trace(&sample_report(false));
+        assert_eq!(json.matches("[copy]").count(), 0);
+    }
+
+    #[test]
+    fn labels_are_json_escaped() {
+        let json = chrome_trace(&sample_report(false));
+        assert!(json.contains("pass \\\"zero\\\""));
+    }
+
+    #[test]
+    fn structure_is_balanced_json() {
+        // Not a parser, but cheap sanity: balanced braces/brackets and the
+        // required top-level keys.
+        let json = chrome_trace(&sample_report(true));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"otherData\""));
+        assert!(json.contains("VideoCore IV"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

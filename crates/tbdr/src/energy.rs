@@ -1,0 +1,216 @@
+//! First-order energy estimation over simulated runs.
+//!
+//! Tile-based architectures exist "for bandwidth and power reasons"
+//! (paper §II, citing Antochi's memory-bandwidth analyses), so the
+//! reproduction carries a simple energy model: dynamic energy proportional
+//! to unit busy cycles and to bytes moved over the memory interfaces, plus
+//! static (leakage + idle) power integrated over the run. It is a
+//! first-order model — good for comparing configurations on one platform,
+//! not for absolute joules.
+
+use serde::{Deserialize, Serialize};
+
+use crate::platform::Platform;
+use crate::stats::SimReport;
+
+/// Energy rate constants for a platform.
+///
+/// Defaults are order-of-magnitude figures for 40–65 nm era mobile SoCs:
+/// a few hundred picojoules per core cycle, a few hundred picojoules per
+/// DRAM byte, and a few hundred milliwatts of board static power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Dynamic energy per fragment-core busy cycle, in nanojoules.
+    pub fragment_nj_per_cycle: f64,
+    /// Dynamic energy per vertex/binning-unit busy cycle, in nanojoules.
+    pub vertex_nj_per_cycle: f64,
+    /// Energy per byte moved to/from main memory (uploads, writebacks,
+    /// reloads), in nanojoules.
+    pub dram_nj_per_byte: f64,
+    /// Energy per byte moved by the copy engine, in nanojoules.
+    pub copy_nj_per_byte: f64,
+    /// Static (idle + leakage) power of GPU and memory interface, in
+    /// milliwatts, integrated over total simulated time.
+    pub static_mw: f64,
+}
+
+impl EnergyModel {
+    /// Defaults for the Raspberry Pi class board.
+    #[must_use]
+    pub fn videocore_iv() -> Self {
+        EnergyModel {
+            fragment_nj_per_cycle: 0.15,
+            vertex_nj_per_cycle: 0.10,
+            dram_nj_per_byte: 0.5,
+            copy_nj_per_byte: 0.35,
+            static_mw: 350.0,
+        }
+    }
+
+    /// Defaults for the SGX 545 development platform.
+    #[must_use]
+    pub fn sgx_545() -> Self {
+        EnergyModel {
+            fragment_nj_per_cycle: 0.12,
+            vertex_nj_per_cycle: 0.08,
+            dram_nj_per_byte: 0.6,
+            copy_nj_per_byte: 0.8,
+            static_mw: 300.0,
+        }
+    }
+
+    /// The default model for a named platform preset (falls back to the
+    /// VideoCore figures for custom platforms).
+    #[must_use]
+    pub fn for_platform(platform: &Platform) -> Self {
+        if platform.name.contains("SGX") {
+            EnergyModel::sgx_545()
+        } else {
+            EnergyModel::videocore_iv()
+        }
+    }
+
+    /// Estimates the energy of a simulated run.
+    #[must_use]
+    pub fn estimate(&self, report: &SimReport, platform: &Platform) -> EnergyEstimate {
+        let frag_cycles = report.busy.fragment.as_secs_f64() * platform.fragment_clock.as_hz();
+        let vtx_cycles = report.busy.vertex.as_secs_f64() * platform.vertex_clock.as_hz();
+        let dram_bytes = report.traffic.upload_bytes
+            + report.traffic.writeback_bytes
+            + report.traffic.reload_bytes;
+        // The copy engine reads the source and writes the destination.
+        let copy_bytes = report.traffic.copy_bytes.saturating_mul(2);
+
+        let fragment_mj = frag_cycles * self.fragment_nj_per_cycle * 1e-6;
+        let vertex_mj = vtx_cycles * self.vertex_nj_per_cycle * 1e-6;
+        let dram_mj = dram_bytes as f64 * self.dram_nj_per_byte * 1e-6;
+        let copy_mj = copy_bytes as f64 * self.copy_nj_per_byte * 1e-6;
+        let static_mj = report.total_time.as_secs_f64() * self.static_mw;
+        EnergyEstimate {
+            fragment_mj,
+            vertex_mj,
+            dram_mj,
+            copy_mj,
+            static_mj,
+        }
+    }
+}
+
+/// An energy breakdown, all in millijoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyEstimate {
+    /// Fragment-core dynamic energy.
+    pub fragment_mj: f64,
+    /// Vertex/binning dynamic energy.
+    pub vertex_mj: f64,
+    /// Main-memory traffic energy.
+    pub dram_mj: f64,
+    /// Copy-engine traffic energy.
+    pub copy_mj: f64,
+    /// Static energy over the run's duration.
+    pub static_mj: f64,
+}
+
+impl EnergyEstimate {
+    /// Total energy in millijoules.
+    #[must_use]
+    pub fn total_mj(&self) -> f64 {
+        self.fragment_mj + self.vertex_mj + self.dram_mj + self.copy_mj + self.static_mj
+    }
+
+    /// Dynamic (non-static) energy in millijoules.
+    #[must_use]
+    pub fn dynamic_mj(&self) -> f64 {
+        self.total_mj() - self.static_mj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::PipelineSim;
+    use crate::work::{AllocKind, CopyOut, FragmentProfile, FrameWork, ResourceId, SyncOp};
+
+    fn profile() -> FragmentProfile {
+        FragmentProfile {
+            alu_cycles: 16.0,
+            streaming_fetches: 2.0,
+            streaming_fetch_bytes: 8.0,
+            output_bytes: 4.0,
+            ..FragmentProfile::default()
+        }
+    }
+
+    fn run(platform: &Platform, frames: usize, copy: bool, sync: SyncOp) -> SimReport {
+        let mut sim = PipelineSim::new(platform.clone());
+        let mut c = 0;
+        for _ in 0..frames {
+            let mut f = FrameWork::simple(256, 256, profile());
+            f.sync = sync;
+            if copy {
+                f.copy_out = Some(CopyOut {
+                    dest: ResourceId::next(&mut c),
+                    bytes: 256 * 256 * 4,
+                    alloc: AllocKind::Fresh,
+                });
+            }
+            sim.submit(&f);
+        }
+        sim.finish()
+    }
+
+    #[test]
+    fn copies_cost_extra_energy() {
+        let p = Platform::videocore_iv();
+        let m = EnergyModel::videocore_iv();
+        let without = m.estimate(&run(&p, 10, false, SyncOp::None), &p);
+        let with = m.estimate(&run(&p, 10, true, SyncOp::None), &p);
+        assert!(with.copy_mj > 0.0);
+        assert_eq!(without.copy_mj, 0.0);
+        assert!(with.total_mj() > without.total_mj());
+    }
+
+    #[test]
+    fn vsync_waiting_burns_static_energy() {
+        let p = Platform::videocore_iv();
+        let m = EnergyModel::videocore_iv();
+        let vsynced = m.estimate(&run(&p, 10, false, SyncOp::Swap { interval: 1 }), &p);
+        let free = m.estimate(&run(&p, 10, false, SyncOp::None), &p);
+        // Same dynamic work...
+        assert!((vsynced.dynamic_mj() - free.dynamic_mj()).abs() < 1e-9);
+        // ...but far more static energy while idling on the vsync grid.
+        assert!(vsynced.static_mj > free.static_mj * 3.0);
+    }
+
+    #[test]
+    fn energy_scales_with_work() {
+        let p = Platform::sgx_545();
+        let m = EnergyModel::sgx_545();
+        let small = m.estimate(&run(&p, 5, false, SyncOp::None), &p);
+        let large = m.estimate(&run(&p, 20, false, SyncOp::None), &p);
+        assert!(large.fragment_mj > small.fragment_mj * 3.0);
+        assert!(large.dram_mj > small.dram_mj * 3.0);
+    }
+
+    #[test]
+    fn for_platform_picks_the_right_defaults() {
+        assert_eq!(
+            EnergyModel::for_platform(&Platform::sgx_545()),
+            EnergyModel::sgx_545()
+        );
+        assert_eq!(
+            EnergyModel::for_platform(&Platform::videocore_iv()),
+            EnergyModel::videocore_iv()
+        );
+    }
+
+    #[test]
+    fn estimate_components_sum_to_total() {
+        let p = Platform::videocore_iv();
+        let m = EnergyModel::videocore_iv();
+        let e = m.estimate(&run(&p, 3, true, SyncOp::Finish), &p);
+        let sum = e.fragment_mj + e.vertex_mj + e.dram_mj + e.copy_mj + e.static_mj;
+        assert!((e.total_mj() - sum).abs() < 1e-12);
+        assert!(e.total_mj() > 0.0);
+    }
+}

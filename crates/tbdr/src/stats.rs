@@ -1,0 +1,284 @@
+//! Timing results and aggregate statistics produced by the scheduler.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// When each stage of one frame ran.
+///
+/// All instants are simulated time; see [`crate::PipelineSim`] for the
+/// scheduling rules that produce them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameTiming {
+    /// Zero-based submission index.
+    pub index: usize,
+    /// The frame's label, copied from [`crate::FrameWork::label`].
+    pub label: String,
+    /// When the CPU began working on this frame.
+    pub cpu_start: SimTime,
+    /// When the CPU finished uploads/conversions and submitted the draw.
+    pub submit: SimTime,
+    /// Vertex/binning stage interval.
+    pub vtx_start: SimTime,
+    /// End of the vertex/binning stage.
+    pub vtx_end: SimTime,
+    /// Fragment stage start (after hazard waits and flushes).
+    pub frag_start: SimTime,
+    /// Fragment stage end (including producer-chasing constraints).
+    pub frag_end: SimTime,
+    /// Copy-engine interval, if the frame had a copy-out.
+    pub copy: Option<(SimTime, SimTime)>,
+    /// When every piece of this frame's GPU work has retired.
+    pub retire: SimTime,
+    /// When the CPU may start the next frame (after sync/vsync waits).
+    pub next_cpu_free: SimTime,
+    /// CPU time lost waiting to reuse storage the GPU still referenced.
+    pub upload_stall: SimTime,
+    /// Whether the frame paid the single-buffered render-to-texture
+    /// dependency flush.
+    pub dependency_flush: bool,
+    /// Time spent waiting for the display tick inside `eglSwapBuffers`.
+    pub vsync_wait: SimTime,
+}
+
+impl FrameTiming {
+    /// Wall-to-wall latency of the frame, CPU start to full retirement.
+    #[must_use]
+    pub fn latency(&self) -> SimTime {
+        self.retire.max(self.next_cpu_free) - self.cpu_start
+    }
+}
+
+/// Byte counters for the memory movements of the paper's Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Traffic {
+    /// CPU→GPU uploads (steps 1–2).
+    pub upload_bytes: u64,
+    /// Tile writeback into the target (steps 3/5).
+    pub writeback_bytes: u64,
+    /// Reload of previous target contents into tiles (step 6).
+    pub reload_bytes: u64,
+    /// Framebuffer→texture copy payload (step 4).
+    pub copy_bytes: u64,
+}
+
+impl Traffic {
+    /// Total bytes moved.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.upload_bytes + self.writeback_bytes + self.reload_bytes + self.copy_bytes
+    }
+}
+
+/// Accumulated busy time per functional unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct UnitBusy {
+    /// CPU (driver + application) busy time.
+    pub cpu: SimTime,
+    /// Vertex/binning unit busy time.
+    pub vertex: SimTime,
+    /// Fragment unit busy time.
+    pub fragment: SimTime,
+    /// Copy engine busy time.
+    pub copy: SimTime,
+}
+
+/// Distribution of inter-frame retirement periods (see
+/// [`SimReport::period_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeriodStats {
+    /// Mean period.
+    pub mean: SimTime,
+    /// Median period.
+    pub p50: SimTime,
+    /// 90th percentile.
+    pub p90: SimTime,
+    /// 99th percentile.
+    pub p99: SimTime,
+    /// Worst observed period.
+    pub max: SimTime,
+}
+
+/// The full result of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Name of the simulated platform.
+    pub platform_name: String,
+    /// Per-frame timings, in submission order.
+    pub frames: Vec<FrameTiming>,
+    /// Aggregate traffic counters.
+    pub traffic: Traffic,
+    /// Aggregate unit busy times.
+    pub busy: UnitBusy,
+    /// Retirement time of the last frame.
+    pub total_time: SimTime,
+}
+
+impl SimReport {
+    /// Average steady-state period between frame retirements, skipping the
+    /// first `warmup` frames.
+    ///
+    /// Returns `None` when fewer than two frames remain after warm-up.
+    #[must_use]
+    pub fn steady_period(&self, warmup: usize) -> Option<SimTime> {
+        let tail = &self.frames[warmup.min(self.frames.len())..];
+        if tail.len() < 2 {
+            return None;
+        }
+        let span = tail[tail.len() - 1].retire - tail[0].retire;
+        Some(span / (tail.len() - 1) as u64)
+    }
+
+    /// Frame throughput in simulated frames per second, after warm-up.
+    #[must_use]
+    pub fn throughput_hz(&self, warmup: usize) -> Option<f64> {
+        self.steady_period(warmup).map(|p| {
+            let s = p.as_secs_f64();
+            if s > 0.0 {
+                1.0 / s
+            } else {
+                f64::INFINITY
+            }
+        })
+    }
+
+    /// Distribution statistics of the inter-retirement periods after
+    /// `warmup` frames: (mean, p50, p90, p99, max).
+    ///
+    /// Useful for spotting vsync beating and hazard-induced jitter that a
+    /// plain average hides. Returns `None` with fewer than two
+    /// post-warm-up frames.
+    #[must_use]
+    pub fn period_stats(&self, warmup: usize) -> Option<PeriodStats> {
+        let tail = &self.frames[warmup.min(self.frames.len())..];
+        if tail.len() < 2 {
+            return None;
+        }
+        let mut gaps: Vec<SimTime> = tail
+            .windows(2)
+            .map(|w| w[1].retire.saturating_sub(w[0].retire))
+            .collect();
+        gaps.sort_unstable();
+        let total: SimTime = gaps.iter().copied().sum();
+        let pick = |q: f64| {
+            let idx = ((gaps.len() - 1) as f64 * q).round() as usize;
+            gaps[idx]
+        };
+        Some(PeriodStats {
+            mean: total / gaps.len() as u64,
+            p50: pick(0.50),
+            p90: pick(0.90),
+            p99: pick(0.99),
+            max: *gaps.last().expect("non-empty"),
+        })
+    }
+
+    /// Utilisation of each unit over the whole run, in `[0, 1]`.
+    #[must_use]
+    pub fn utilisation(&self) -> [(&'static str, f64); 4] {
+        let total = self.total_time.as_secs_f64().max(f64::MIN_POSITIVE);
+        [
+            ("cpu", self.busy.cpu.as_secs_f64() / total),
+            ("vertex", self.busy.vertex.as_secs_f64() / total),
+            ("fragment", self.busy.fragment.as_secs_f64() / total),
+            ("copy", self.busy.copy.as_secs_f64() / total),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(i: usize, retire_ns: u64) -> FrameTiming {
+        FrameTiming {
+            index: i,
+            label: String::new(),
+            cpu_start: SimTime::ZERO,
+            submit: SimTime::ZERO,
+            vtx_start: SimTime::ZERO,
+            vtx_end: SimTime::ZERO,
+            frag_start: SimTime::ZERO,
+            frag_end: SimTime::from_nanos(retire_ns),
+            copy: None,
+            retire: SimTime::from_nanos(retire_ns),
+            next_cpu_free: SimTime::from_nanos(retire_ns),
+            upload_stall: SimTime::ZERO,
+            dependency_flush: false,
+            vsync_wait: SimTime::ZERO,
+        }
+    }
+
+    fn report(retires: &[u64]) -> SimReport {
+        SimReport {
+            platform_name: "test".to_owned(),
+            frames: retires
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| timing(i, r))
+                .collect(),
+            traffic: Traffic::default(),
+            busy: UnitBusy::default(),
+            total_time: SimTime::from_nanos(*retires.last().unwrap_or(&0)),
+        }
+    }
+
+    #[test]
+    fn period_stats_order_and_bounds() {
+        let r = report(&[0, 100, 200, 350, 450, 1000]);
+        let st = r.period_stats(0).unwrap();
+        assert_eq!(st.mean, SimTime::from_nanos(200));
+        assert!(st.p50 <= st.p90 && st.p90 <= st.p99 && st.p99 <= st.max);
+        assert_eq!(st.max, SimTime::from_nanos(550));
+        assert!(r.period_stats(5).is_none());
+    }
+
+    #[test]
+    fn period_stats_uniform_stream_is_flat() {
+        let r = report(&[100, 200, 300, 400, 500]);
+        let st = r.period_stats(0).unwrap();
+        assert_eq!(st.p50, st.max);
+        assert_eq!(st.mean, SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn steady_period_averages_gaps() {
+        let r = report(&[100, 200, 300, 400]);
+        assert_eq!(r.steady_period(0), Some(SimTime::from_nanos(100)));
+        assert_eq!(r.steady_period(2), Some(SimTime::from_nanos(100)));
+    }
+
+    #[test]
+    fn steady_period_needs_two_frames() {
+        let r = report(&[100]);
+        assert_eq!(r.steady_period(0), None);
+        let r2 = report(&[100, 200]);
+        assert_eq!(r2.steady_period(1), None);
+        assert_eq!(r2.steady_period(5), None);
+    }
+
+    #[test]
+    fn throughput_inverts_period() {
+        let r = report(&[0, 1_000_000, 2_000_000]);
+        let hz = r.throughput_hz(0).unwrap();
+        assert!((hz - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn traffic_total_sums_counters() {
+        let t = Traffic {
+            upload_bytes: 1,
+            writeback_bytes: 2,
+            reload_bytes: 3,
+            copy_bytes: 4,
+        };
+        assert_eq!(t.total(), 10);
+    }
+
+    #[test]
+    fn latency_spans_cpu_to_retire() {
+        let mut t = timing(0, 500);
+        t.cpu_start = SimTime::from_nanos(100);
+        assert_eq!(t.latency(), SimTime::from_nanos(400));
+    }
+}

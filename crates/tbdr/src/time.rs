@@ -1,0 +1,423 @@
+//! Simulated-time primitives.
+//!
+//! The simulator measures everything in integer **nanoseconds** of simulated
+//! time, wrapped in the [`SimTime`] newtype so that simulated instants can
+//! never be confused with byte counts, cycle counts or host wall-clock time.
+//!
+//! Durations and instants share the same representation (an offset from the
+//! simulation epoch), mirroring how hardware trace tools report timestamps.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant (or duration) in simulated time, in nanoseconds.
+///
+/// `SimTime` is a thin wrapper over `u64`; arithmetic saturates rather than
+/// wrapping so that pathological configurations degrade gracefully instead of
+/// corrupting schedules.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_tbdr::SimTime;
+///
+/// let start = SimTime::from_micros(10);
+/// let len = SimTime::from_nanos(500);
+/// assert_eq!((start + len).as_nanos(), 10_500);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from whole nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time from whole microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows `u64` nanoseconds.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates a time from whole milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows `u64` nanoseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates a time from seconds expressed as a float.
+    ///
+    /// Negative or non-finite inputs clamp to zero; values beyond the
+    /// representable range clamp to [`SimTime::MAX`].
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs.is_nan() || secs <= 0.0 {
+            return SimTime::ZERO;
+        }
+        let ns = secs * 1e9;
+        if ns >= u64::MAX as f64 {
+            SimTime::MAX
+        } else {
+            SimTime(ns as u64)
+        }
+    }
+
+    /// The raw nanosecond count.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This time expressed in (possibly fractional) microseconds.
+    #[must_use]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// This time expressed in (possibly fractional) milliseconds.
+    #[must_use]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This time expressed in (possibly fractional) seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction: `self - rhs`, or zero if `rhs` is later.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Rounds this instant **up** to the next multiple of `period`.
+    ///
+    /// Used by the vsync model: a frame finishing mid-interval waits for the
+    /// next refresh tick. An instant already on a tick is left unchanged.
+    /// A zero `period` returns `self` unchanged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mgpu_tbdr::SimTime;
+    ///
+    /// let period = SimTime::from_millis(16);
+    /// assert_eq!(
+    ///     SimTime::from_millis(20).round_up_to(period),
+    ///     SimTime::from_millis(32)
+    /// );
+    /// assert_eq!(
+    ///     SimTime::from_millis(16).round_up_to(period),
+    ///     SimTime::from_millis(16)
+    /// );
+    /// ```
+    #[must_use]
+    pub const fn round_up_to(self, period: SimTime) -> SimTime {
+        if period.0 == 0 {
+            return self;
+        }
+        let rem = self.0 % period.0;
+        if rem == 0 {
+            self
+        } else {
+            SimTime(self.0.saturating_add(period.0 - rem))
+        }
+    }
+
+    /// Returns the later of two instants.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the earlier of two instants.
+    #[must_use]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics on division by zero, like integer division.
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+/// A transfer or processing rate in **bytes per second**.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_tbdr::{Bandwidth, SimTime};
+///
+/// let dma = Bandwidth::gibi_per_sec(1.0);
+/// // Moving 1 GiB at 1 GiB/s takes one simulated second.
+/// assert_eq!(dma.time_for(1 << 30), SimTime::from_secs_f64(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Creates a bandwidth from raw bytes per second.
+    ///
+    /// Non-finite or non-positive rates are treated as "infinitely fast"
+    /// (transfers take zero time), which is useful for disabling a cost.
+    #[must_use]
+    pub fn bytes_per_sec(rate: f64) -> Self {
+        Bandwidth(rate)
+    }
+
+    /// Creates a bandwidth from mebibytes (2^20 bytes) per second.
+    #[must_use]
+    pub fn mebi_per_sec(rate: f64) -> Self {
+        Bandwidth(rate * (1u64 << 20) as f64)
+    }
+
+    /// Creates a bandwidth from gibibytes (2^30 bytes) per second.
+    #[must_use]
+    pub fn gibi_per_sec(rate: f64) -> Self {
+        Bandwidth(rate * (1u64 << 30) as f64)
+    }
+
+    /// The raw rate in bytes per second.
+    #[must_use]
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Time needed to move `bytes` at this rate.
+    #[must_use]
+    pub fn time_for(self, bytes: u64) -> SimTime {
+        if !(self.0.is_finite()) || self.0 <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime::from_secs_f64(bytes as f64 / self.0)
+    }
+}
+
+/// A processing clock in hertz, used to convert cycle counts to time.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_tbdr::Clock;
+///
+/// let core = Clock::mhz(250.0);
+/// assert_eq!(core.time_for_cycles(250).as_nanos(), 1_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Clock(f64);
+
+impl Clock {
+    /// Creates a clock from hertz.
+    ///
+    /// Non-finite or non-positive frequencies make all work free, which is
+    /// useful for disabling a cost in ablation studies.
+    #[must_use]
+    pub fn hz(freq: f64) -> Self {
+        Clock(freq)
+    }
+
+    /// Creates a clock from megahertz.
+    #[must_use]
+    pub fn mhz(freq: f64) -> Self {
+        Clock(freq * 1e6)
+    }
+
+    /// The raw frequency in hertz.
+    #[must_use]
+    pub fn as_hz(self) -> f64 {
+        self.0
+    }
+
+    /// Time needed to execute `cycles` cycles at this clock.
+    #[must_use]
+    pub fn time_for_cycles(self, cycles: u64) -> SimTime {
+        self.time_for_cycles_f64(cycles as f64)
+    }
+
+    /// Time needed to execute a fractional number of cycles (cost models
+    /// produce per-fragment averages that are rarely integral).
+    #[must_use]
+    pub fn time_for_cycles_f64(self, cycles: f64) -> SimTime {
+        if !(self.0.is_finite()) || self.0 <= 0.0 || !cycles.is_finite() || cycles <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime::from_secs_f64(cycles / self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_constructors_agree() {
+        assert_eq!(SimTime::from_micros(3), SimTime::from_nanos(3_000));
+        assert_eq!(SimTime::from_millis(2), SimTime::from_nanos(2_000_000));
+        assert_eq!(
+            SimTime::from_secs_f64(1.5),
+            SimTime::from_nanos(1_500_000_000)
+        );
+    }
+
+    #[test]
+    fn simtime_from_secs_clamps_bad_input() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::INFINITY), SimTime::MAX);
+    }
+
+    #[test]
+    fn simtime_arithmetic_saturates() {
+        assert_eq!(SimTime::MAX + SimTime::from_nanos(1), SimTime::MAX);
+        assert_eq!(SimTime::ZERO - SimTime::from_nanos(1), SimTime::ZERO);
+        assert_eq!(
+            SimTime::from_nanos(10) - SimTime::from_nanos(4),
+            SimTime::from_nanos(6)
+        );
+    }
+
+    #[test]
+    fn round_up_to_vsync_grid() {
+        let p = SimTime::from_nanos(100);
+        assert_eq!(
+            SimTime::from_nanos(0).round_up_to(p),
+            SimTime::from_nanos(0)
+        );
+        assert_eq!(
+            SimTime::from_nanos(1).round_up_to(p),
+            SimTime::from_nanos(100)
+        );
+        assert_eq!(
+            SimTime::from_nanos(100).round_up_to(p),
+            SimTime::from_nanos(100)
+        );
+        assert_eq!(
+            SimTime::from_nanos(101).round_up_to(p),
+            SimTime::from_nanos(200)
+        );
+    }
+
+    #[test]
+    fn round_up_to_zero_period_is_identity() {
+        let t = SimTime::from_nanos(1234);
+        assert_eq!(t.round_up_to(SimTime::ZERO), t);
+    }
+
+    #[test]
+    fn bandwidth_time_for() {
+        let bw = Bandwidth::mebi_per_sec(1.0);
+        assert_eq!(bw.time_for(1 << 20), SimTime::from_secs_f64(1.0));
+        assert_eq!(Bandwidth::bytes_per_sec(0.0).time_for(12345), SimTime::ZERO);
+    }
+
+    #[test]
+    fn clock_time_for_cycles() {
+        let c = Clock::mhz(1.0);
+        assert_eq!(c.time_for_cycles(1), SimTime::from_nanos(1_000));
+        assert_eq!(Clock::hz(0.0).time_for_cycles(999), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_picks_reasonable_units() {
+        assert_eq!(SimTime::from_nanos(5).to_string(), "5ns");
+        assert_eq!(SimTime::from_micros(5).to_string(), "5.000us");
+        assert_eq!(SimTime::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(SimTime::from_secs_f64(5.0).to_string(), "5.000s");
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: SimTime = [1u64, 2, 3].iter().map(|&n| SimTime::from_nanos(n)).sum();
+        assert_eq!(total, SimTime::from_nanos(6));
+    }
+}

@@ -1,0 +1,284 @@
+//! Descriptions of per-frame GPU work, as produced by the GL driver layer.
+//!
+//! One [`FrameWork`] corresponds to one kernel invocation in the paper's
+//! terminology: the CPU-side uploads and submission, vertex processing,
+//! fragment shading over the render target, the optional framebuffer→texture
+//! copy (step 4 of the paper's Fig. 1) and the end-of-frame synchronisation.
+//!
+//! The types here are deliberately *dumb data*: the GL layer fills them in
+//! from real API calls and the [`PipelineSim`](crate::PipelineSim) schedules
+//! them. This keeps the timing model testable independently of the GL state
+//! machine.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// An opaque handle identifying a GPU-memory resource (texture storage or
+/// buffer storage) across frames, used for dependency tracking.
+///
+/// Handles compare by identity; the GL layer allocates them via
+/// [`ResourceId::next`] on a per-context counter. Note that *storage*, not
+/// the GL object name, carries identity: re-allocating a texture's storage
+/// (e.g. `tex_image_2d` on an existing texture) yields a fresh `ResourceId`,
+/// which is exactly how driver-side renaming breaks false dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ResourceId(u64);
+
+impl ResourceId {
+    /// Creates a handle from a raw counter value.
+    #[must_use]
+    pub const fn from_raw(raw: u64) -> Self {
+        ResourceId(raw)
+    }
+
+    /// The raw counter value.
+    #[must_use]
+    pub const fn as_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this handle and advances `counter` past it.
+    #[must_use]
+    pub fn next(counter: &mut u64) -> Self {
+        let id = ResourceId(*counter);
+        *counter += 1;
+        id
+    }
+}
+
+/// Whether an upload targets freshly allocated storage or reuses existing
+/// storage in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocKind {
+    /// `glTexImage2D` / `glBufferData`: allocate new storage, then copy.
+    /// The driver may *rename* the storage, so no synchronisation with
+    /// in-flight GPU work is needed.
+    Fresh,
+    /// `glTexSubImage2D` / `glBufferSubData`: copy into existing storage.
+    /// If the GPU may still read that storage, the CPU must wait.
+    Reuse,
+}
+
+/// A CPU→GPU-memory upload performed before the draw (steps 1–2 of Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Upload {
+    /// Destination storage.
+    pub resource: ResourceId,
+    /// Size of the storage being allocated (drives allocation cost on
+    /// [`AllocKind::Fresh`]; ignored for reuse).
+    pub alloc_bytes: u64,
+    /// Bytes actually copied from the CPU (zero for allocate-only calls
+    /// such as `tex_image_2d(..., None)` on a render target).
+    pub copy_bytes: u64,
+    /// Fresh allocation or in-place reuse.
+    pub alloc: AllocKind,
+}
+
+impl Upload {
+    /// An upload that allocates and fills `bytes` of fresh storage.
+    #[must_use]
+    pub fn fresh(resource: ResourceId, bytes: u64) -> Self {
+        Upload {
+            resource,
+            alloc_bytes: bytes,
+            copy_bytes: bytes,
+            alloc: AllocKind::Fresh,
+        }
+    }
+
+    /// An upload that rewrites `bytes` of existing storage in place.
+    #[must_use]
+    pub fn reuse(resource: ResourceId, bytes: u64) -> Self {
+        Upload {
+            resource,
+            alloc_bytes: 0,
+            copy_bytes: bytes,
+            alloc: AllocKind::Reuse,
+        }
+    }
+}
+
+/// Per-fragment cost profile of the bound fragment kernel, as derived by the
+/// shader cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct FragmentProfile {
+    /// Arithmetic cycles per fragment (after MAD fusion etc.).
+    pub alu_cycles: f64,
+    /// Texture fetches per fragment whose coordinates come straight from a
+    /// varying (streaming, prefetch-friendly).
+    pub streaming_fetches: f64,
+    /// Bytes moved by streaming fetches, per fragment.
+    pub streaming_fetch_bytes: f64,
+    /// Texture fetches per fragment whose coordinates are computed in the
+    /// shader (dependent reads, defeat prefetch).
+    pub dependent_fetches: f64,
+    /// Bytes moved by dependent fetches, per fragment.
+    pub dependent_fetch_bytes: f64,
+    /// Bytes written to the render target per fragment.
+    pub output_bytes: f64,
+}
+
+/// The fragment-stage workload of one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FragmentWork {
+    /// Number of fragments shaded (render-target coverage).
+    pub fragments: u64,
+    /// Render-target width in pixels (for tile coverage).
+    pub width: u32,
+    /// Render-target height in pixels.
+    pub height: u32,
+    /// Per-fragment cost profile.
+    pub profile: FragmentProfile,
+    /// Whether the frame began by clearing/invalidating the target, skipping
+    /// the expensive reload of previous contents (step 6 of Fig. 1).
+    pub cleared: bool,
+}
+
+/// The vertex-stage workload of one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct VertexWork {
+    /// Number of vertices processed.
+    pub vertices: u64,
+}
+
+/// Where the frame's fragments are written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RenderTarget {
+    /// The window framebuffer; `surface` selects the double-buffer surface.
+    Framebuffer {
+        /// Surface index in `0..platform.framebuffer_surfaces`.
+        surface: u32,
+    },
+    /// An off-screen texture bound through a framebuffer object
+    /// (render-to-texture; step 5 of Fig. 1). Single-buffered.
+    Texture {
+        /// Destination texture storage.
+        storage: ResourceId,
+        /// Whether the storage was freshly allocated this frame (the driver
+        /// may rename it) or reuses storage earlier frames touched.
+        fresh: bool,
+    },
+}
+
+/// A framebuffer→texture copy executed after rendering (step 4 of Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CopyOut {
+    /// Destination texture storage.
+    pub dest: ResourceId,
+    /// Bytes copied.
+    pub bytes: u64,
+    /// `Fresh` for `copy_tex_image_2d` (new storage each time, renameable),
+    /// `Reuse` for `copy_tex_sub_image_2d` (in-place, false-sharing risk).
+    pub alloc: AllocKind,
+}
+
+/// End-of-frame synchronisation requested by the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SyncOp {
+    /// No synchronisation: the CPU immediately continues submitting
+    /// (maximum kernel-launch rate; the paper's "no `eglSwapBuffers`").
+    #[default]
+    None,
+    /// Wait for all of this frame's GPU work to finish (`glFinish`, or
+    /// `eglSwapBuffers` with swap interval 0).
+    Finish,
+    /// `eglSwapBuffers` with the given swap interval: wait for the frame to
+    /// finish, then for the next display tick of `interval × refresh`.
+    Swap {
+        /// Swap interval; 0 behaves like [`SyncOp::Finish`].
+        interval: u32,
+    },
+}
+
+/// Everything one frame (kernel invocation) asks of the GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameWork {
+    /// Optional label for traces (e.g. `"sgemm pass 3"`).
+    pub label: String,
+    /// CPU uploads performed before the draw.
+    pub uploads: Vec<Upload>,
+    /// Extra CPU time spent by the application this frame (e.g. the
+    /// float↔RGBA8 data conversions of the GPGPU encoding).
+    pub cpu_extra: SimTime,
+    /// Vertex-stage workload.
+    pub vertex: VertexWork,
+    /// Fragment-stage workload.
+    pub fragment: FragmentWork,
+    /// Render target.
+    pub target: RenderTarget,
+    /// Texture storages sampled by the fragment kernel.
+    pub reads: Vec<ResourceId>,
+    /// Optional post-render framebuffer→texture copy.
+    pub copy_out: Option<CopyOut>,
+    /// End-of-frame synchronisation.
+    pub sync: SyncOp,
+}
+
+impl FrameWork {
+    /// A minimal frame rendering `width`×`height` fragments with the given
+    /// profile to the first framebuffer surface; useful as a test fixture.
+    #[must_use]
+    pub fn simple(width: u32, height: u32, profile: FragmentProfile) -> Self {
+        FrameWork {
+            label: String::new(),
+            uploads: Vec::new(),
+            cpu_extra: SimTime::ZERO,
+            vertex: VertexWork { vertices: 4 },
+            fragment: FragmentWork {
+                fragments: u64::from(width) * u64::from(height),
+                width,
+                height,
+                profile,
+                cleared: true,
+            },
+            target: RenderTarget::Framebuffer { surface: 0 },
+            reads: Vec::new(),
+            copy_out: None,
+            sync: SyncOp::None,
+        }
+    }
+
+    /// Total bytes uploaded by the CPU this frame.
+    #[must_use]
+    pub fn upload_bytes(&self) -> u64 {
+        self.uploads.iter().map(|u| u.copy_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_id_counter_advances() {
+        let mut c = 0;
+        let a = ResourceId::next(&mut c);
+        let b = ResourceId::next(&mut c);
+        assert_ne!(a, b);
+        assert_eq!(b.as_raw(), 1);
+        assert_eq!(c, 2);
+    }
+
+    #[test]
+    fn simple_frame_covers_target() {
+        let f = FrameWork::simple(64, 32, FragmentProfile::default());
+        assert_eq!(f.fragment.fragments, 64 * 32);
+        assert_eq!(f.sync, SyncOp::None);
+        assert_eq!(f.upload_bytes(), 0);
+    }
+
+    #[test]
+    fn upload_bytes_sums() {
+        let mut f = FrameWork::simple(4, 4, FragmentProfile::default());
+        let mut c = 0;
+        f.uploads.push(Upload::fresh(ResourceId::next(&mut c), 100));
+        f.uploads.push(Upload::reuse(ResourceId::next(&mut c), 23));
+        assert_eq!(f.upload_bytes(), 123);
+    }
+
+    #[test]
+    fn sync_default_is_none() {
+        assert_eq!(SyncOp::default(), SyncOp::None);
+    }
+}

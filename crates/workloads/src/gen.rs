@@ -1,0 +1,139 @@
+//! Deterministic input generation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A square row-major f32 matrix.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_workloads::Matrix;
+///
+/// let m = Matrix::filled(4, 1.5);
+/// assert_eq!(m.get(3, 3), 1.5);
+/// assert_eq!(m.data().len(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n * n`.
+    #[must_use]
+    pub fn from_data(n: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), n * n, "matrix data size mismatch");
+        Matrix { n, data }
+    }
+
+    /// Creates an `n`×`n` matrix filled with `value`.
+    #[must_use]
+    pub fn filled(n: usize, value: f32) -> Self {
+        Matrix {
+            n,
+            data: vec![value; n * n],
+        }
+    }
+
+    /// The dimension.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// The row-major data.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Element at (row, col).
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        self.data[row * self.n + col]
+    }
+
+    /// Mutable element at (row, col).
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, v: f32) {
+        self.data[row * self.n + col] = v;
+    }
+}
+
+/// Generates a seeded random `n`×`n` matrix with values in `[lo, hi)` —
+/// the paper's random matrix inputs, reproducibly.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_workloads::random_matrix;
+///
+/// let a = random_matrix(16, 42, 0.0, 1.0);
+/// let b = random_matrix(16, 42, 0.0, 1.0);
+/// assert_eq!(a, b); // same seed, same matrix
+/// assert!(a.data().iter().all(|&v| (0.0..1.0).contains(&v)));
+/// ```
+#[must_use]
+pub fn random_matrix(n: usize, seed: u64, lo: f32, hi: f32) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data = (0..n * n).map(|_| rng.gen_range(lo..hi)).collect();
+    Matrix { n, data }
+}
+
+/// Generates a seeded random RGBA8 image.
+#[must_use]
+pub fn random_image_rgba8(width: u32, height: u32, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..width as usize * height as usize * 4)
+        .map(|_| rng.gen())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(random_matrix(8, 1, 0.0, 1.0), random_matrix(8, 2, 0.0, 1.0));
+    }
+
+    #[test]
+    fn range_is_respected() {
+        let m = random_matrix(32, 7, -2.0, 3.0);
+        assert!(m.data().iter().all(|&v| (-2.0..3.0).contains(&v)));
+    }
+
+    #[test]
+    fn image_is_deterministic() {
+        assert_eq!(random_image_rgba8(4, 4, 9), random_image_rgba8(4, 4, 9));
+        assert_eq!(random_image_rgba8(4, 4, 9).len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_data_validates() {
+        let _ = Matrix::from_data(3, vec![0.0; 8]);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut m = Matrix::filled(3, 0.0);
+        m.set(1, 2, 7.0);
+        assert_eq!(m.get(1, 2), 7.0);
+        assert_eq!(m.get(2, 1), 0.0);
+    }
+}

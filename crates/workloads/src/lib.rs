@@ -1,0 +1,19 @@
+//! # mgpu-workloads — inputs, CPU references and error metrics
+//!
+//! Deterministic workload generators (seeded random matrices like the
+//! paper's "random 1024×1024 matrix inputs"), plain-Rust reference
+//! implementations of every operator in the suite, and the error metrics
+//! used to validate the quantised GPU results against them.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod gen;
+pub mod metrics;
+pub mod reference;
+
+pub use gen::{random_image_rgba8, random_matrix, Matrix};
+pub use metrics::{max_abs_error, rms_error, ErrorStats};
+pub use reference::{
+    conv3x3_ref, jacobi_step_ref, saxpy_ref, sgemm_blocked_ref, sgemm_ref, sum_ref,
+};

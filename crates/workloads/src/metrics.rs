@@ -1,0 +1,89 @@
+//! Error metrics for validating quantised GPU results.
+
+/// Summary statistics of the element-wise error between two slices.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorStats {
+    /// Maximum absolute error.
+    pub max_abs: f32,
+    /// Root-mean-square error.
+    pub rms: f32,
+    /// Index of the worst element.
+    pub argmax: usize,
+}
+
+impl ErrorStats {
+    /// Computes the error of `got` against `want`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or are zero.
+    #[must_use]
+    pub fn between(got: &[f32], want: &[f32]) -> Self {
+        assert_eq!(got.len(), want.len(), "length mismatch");
+        assert!(!got.is_empty(), "empty slices");
+        let mut max_abs = 0.0f32;
+        let mut argmax = 0usize;
+        let mut sq = 0.0f64;
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            let e = (g - w).abs();
+            if e > max_abs {
+                max_abs = e;
+                argmax = i;
+            }
+            sq += f64::from(e) * f64::from(e);
+        }
+        ErrorStats {
+            max_abs,
+            rms: (sq / got.len() as f64).sqrt() as f32,
+            argmax,
+        }
+    }
+}
+
+/// Maximum absolute element-wise error.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are zero.
+#[must_use]
+pub fn max_abs_error(got: &[f32], want: &[f32]) -> f32 {
+    ErrorStats::between(got, want).max_abs
+}
+
+/// Root-mean-square element-wise error.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are zero.
+#[must_use]
+pub fn rms_error(got: &[f32], want: &[f32]) -> f32 {
+    ErrorStats::between(got, want).rms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_identify_worst_element() {
+        let got = [1.0f32, 2.5, 3.0];
+        let want = [1.0f32, 2.0, 3.1];
+        let s = ErrorStats::between(&got, &want);
+        assert_eq!(s.max_abs, 0.5);
+        assert_eq!(s.argmax, 1);
+        assert!(s.rms > 0.0 && s.rms < 0.5);
+    }
+
+    #[test]
+    fn identical_slices_have_zero_error() {
+        let v = [0.5f32; 10];
+        assert_eq!(max_abs_error(&v, &v), 0.0);
+        assert_eq!(rms_error(&v, &v), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = max_abs_error(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,215 @@
+//! CPU reference implementations of every operator in the suite.
+
+use crate::gen::Matrix;
+
+/// Element-wise `A + B`.
+///
+/// # Panics
+///
+/// Panics if sizes differ.
+#[must_use]
+pub fn sum_ref(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.size(), b.size(), "size mismatch");
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x + y).collect();
+    Matrix::from_data(a.size(), data)
+}
+
+/// `alpha * X + Y`.
+///
+/// # Panics
+///
+/// Panics if sizes differ.
+#[must_use]
+pub fn saxpy_ref(alpha: f32, x: &Matrix, y: &Matrix) -> Matrix {
+    assert_eq!(x.size(), y.size(), "size mismatch");
+    let data = x
+        .data()
+        .iter()
+        .zip(y.data())
+        .map(|(xv, yv)| alpha * xv + yv)
+        .collect();
+    Matrix::from_data(x.size(), data)
+}
+
+/// Naive `A × B`.
+///
+/// # Panics
+///
+/// Panics if sizes differ.
+#[must_use]
+pub fn sgemm_ref(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.size(), b.size(), "size mismatch");
+    let n = a.size();
+    let mut c = Matrix::filled(n, 0.0);
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a.get(i, k);
+            for j in 0..n {
+                c.set(i, j, c.get(i, j) + aik * b.get(k, j));
+            }
+        }
+    }
+    c
+}
+
+/// Blocked `A × B` accumulating in `n / block` chunk passes — the exact
+/// summation order of the paper's multi-pass GPU kernel, so GPU-vs-CPU
+/// differences isolate the encoding error from floating-point reassociation.
+///
+/// # Panics
+///
+/// Panics if sizes differ or `block` does not divide the size.
+#[must_use]
+pub fn sgemm_blocked_ref(a: &Matrix, b: &Matrix, block: usize) -> Matrix {
+    assert_eq!(a.size(), b.size(), "size mismatch");
+    let n = a.size();
+    assert!(block > 0 && n.is_multiple_of(block), "block must divide n");
+    let mut c = Matrix::filled(n, 0.0);
+    for pass in 0..(n / block) {
+        let k0 = pass * block;
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for k in k0..k0 + block {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                c.set(i, j, acc + c.get(i, j));
+            }
+        }
+    }
+    c
+}
+
+/// One weighted-Jacobi iteration for `∇²u = -f` with clamp-to-edge
+/// (zero-flux) boundaries, matching the GPU kernel's sampling:
+/// `u' = (1-ω)·u + ω·(¼·Σ neighbours + ¼·f)` where `f` is pre-scaled
+/// by `h²`.
+///
+/// # Panics
+///
+/// Panics if sizes differ.
+#[must_use]
+pub fn jacobi_step_ref(u: &Matrix, f: &Matrix, omega: f32) -> Matrix {
+    assert_eq!(u.size(), f.size(), "size mismatch");
+    let n = u.size() as i64;
+    let mut out = Matrix::filled(u.size(), 0.0);
+    for i in 0..n {
+        for j in 0..n {
+            let at = |r: i64, c: i64| u.get(r.clamp(0, n - 1) as usize, c.clamp(0, n - 1) as usize);
+            let relaxed = (at(i - 1, j)
+                + at(i + 1, j)
+                + at(i, j - 1)
+                + at(i, j + 1)
+                + f.get(i as usize, j as usize))
+                * 0.25;
+            out.set(
+                i as usize,
+                j as usize,
+                u.get(i as usize, j as usize) * (1.0 - omega) + relaxed * omega,
+            );
+        }
+    }
+    out
+}
+
+/// 3×3 convolution over an RGBA8 image with clamp-to-edge addressing,
+/// matching the GPU kernel's sampling; the alpha channel is forced opaque.
+///
+/// # Panics
+///
+/// Panics if `image.len() != width * height * 4`.
+#[must_use]
+pub fn conv3x3_ref(image: &[u8], width: u32, height: u32, weights: &[f32; 9]) -> Vec<u8> {
+    assert_eq!(
+        image.len(),
+        width as usize * height as usize * 4,
+        "image size mismatch"
+    );
+    let w = width as i64;
+    let h = height as i64;
+    let mut out = vec![0u8; image.len()];
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = [0.0f32; 3];
+            for (k, wt) in weights.iter().enumerate() {
+                let dx = (k % 3) as i64 - 1;
+                let dy = (k / 3) as i64 - 1;
+                let sx = (x + dx).clamp(0, w - 1) as usize;
+                let sy = (y + dy).clamp(0, h - 1) as usize;
+                let idx = (sy * w as usize + sx) * 4;
+                for c in 0..3 {
+                    acc[c] += f32::from(image[idx + c]) / 255.0 * wt;
+                }
+            }
+            let o = (y as usize * w as usize + x as usize) * 4;
+            for c in 0..3 {
+                out[o + c] = (acc[c].clamp(0.0, 1.0) * 255.0 + 0.5).floor() as u8;
+            }
+            out[o + 3] = 255;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_matrix;
+
+    #[test]
+    fn sum_adds() {
+        let a = Matrix::filled(2, 1.0);
+        let b = Matrix::filled(2, 2.5);
+        assert_eq!(sum_ref(&a, &b).get(1, 1), 3.5);
+    }
+
+    #[test]
+    fn saxpy_scales_and_adds() {
+        let x = Matrix::filled(2, 2.0);
+        let y = Matrix::filled(2, 1.0);
+        assert_eq!(saxpy_ref(0.5, &x, &y).get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn sgemm_identity() {
+        let n = 4;
+        let mut eye = Matrix::filled(n, 0.0);
+        for i in 0..n {
+            eye.set(i, i, 1.0);
+        }
+        let a = random_matrix(n, 3, 0.0, 1.0);
+        let c = sgemm_ref(&a, &eye);
+        for i in 0..n {
+            for j in 0..n {
+                assert!((c.get(i, j) - a.get(i, j)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        let a = random_matrix(8, 1, 0.0, 1.0);
+        let b = random_matrix(8, 2, 0.0, 1.0);
+        let naive = sgemm_ref(&a, &b);
+        for block in [1usize, 2, 4, 8] {
+            let blocked = sgemm_blocked_ref(&a, &b, block);
+            for (x, y) in naive.data().iter().zip(blocked.data()) {
+                assert!((x - y).abs() < 1e-4, "block {block}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv_identity_kernel_is_identity_rgb() {
+        let img: Vec<u8> = (0..4 * 4 * 4).map(|i| (i * 7 % 256) as u8).collect();
+        let mut id = [0.0f32; 9];
+        id[4] = 1.0;
+        let out = conv3x3_ref(&img, 4, 4, &id);
+        for px in 0..16 {
+            for c in 0..3 {
+                assert_eq!(out[px * 4 + c], img[px * 4 + c]);
+            }
+            assert_eq!(out[px * 4 + 3], 255);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Autotune the optimisation configuration for both benchmarks on both
+//! simulated boards — automating the paper's manual incremental
+//! exploration.
+//!
+//! ```sh
+//! cargo run --release --example autotune
+//! ```
+
+use mgpu::gpgpu::tune::{tune_sgemm, tune_sum};
+use mgpu::workloads::random_matrix;
+use mgpu::Platform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 1024u32;
+    let a = random_matrix(n as usize, 2017, 0.0, 1.0);
+    let b = random_matrix(n as usize, 2016, 0.0, 1.0);
+
+    for platform in Platform::paper_pair() {
+        println!("=== {} ===", platform.name);
+
+        let sum = tune_sum(&platform, n, a.data(), b.data(), 5, 20)?;
+        println!("sum ({} configurations):", sum.ranked.len());
+        for p in sum.ranked.iter().take(4) {
+            println!("  {:26} {:>12}", p.name, p.period.to_string());
+        }
+        println!(
+            "  -> best `{}`, {:.1}x over the vsync'd baseline",
+            sum.best().name,
+            sum.speedup_over("swap+tex").unwrap_or(f64::NAN)
+        );
+
+        let sgemm = tune_sgemm(
+            &platform,
+            n,
+            a.data(),
+            b.data(),
+            &[1, 2, 4, 8, 16, 32],
+            1,
+            3,
+        )?;
+        println!(
+            "sgemm ({} configurations; block 32 skipped by shader limits):",
+            sgemm.ranked.len()
+        );
+        for p in sgemm.ranked.iter().take(4) {
+            println!("  {:26} {:>12}", p.name, p.period.to_string());
+        }
+        println!(
+            "  -> best `{}` (block {})\n",
+            sgemm.best().name,
+            sgemm.best().block
+        );
+    }
+    Ok(())
+}

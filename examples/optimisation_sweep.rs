@@ -1,0 +1,66 @@
+//! Walk the paper's incremental optimisation ladder for the `sum` kernel
+//! on both simulated boards, printing the speedup after each step — a
+//! miniature of Figs. 3 and 4.
+//!
+//! ```sh
+//! cargo run --release --example optimisation_sweep
+//! ```
+
+use mgpu::gles::BufferUsage;
+use mgpu::gpgpu::{steady_period, Sum};
+use mgpu::workloads::random_matrix;
+use mgpu::{Gl, OptConfig, Platform, SimTime};
+
+fn measure(platform: &Platform, cfg: &OptConfig, n: u32) -> SimTime {
+    let a = random_matrix(n as usize, 5, 0.0, 1.0);
+    let b = random_matrix(n as usize, 6, 0.0, 1.0);
+    let mut gl = Gl::new(platform.clone(), n, n);
+    gl.set_functional(false); // timing-only: full size stays cheap
+    let mut sum = Sum::builder(n)
+        .build(&mut gl, cfg, a.data(), b.data())
+        .expect("sum builds");
+    steady_period(&mut gl, 10, 50, |gl| sum.step(gl)).expect("steady period")
+}
+
+fn main() {
+    let n = 1024u32;
+    let ladder: [(&str, OptConfig); 5] = [
+        ("baseline (ES2 best practices)", OptConfig::baseline()),
+        (
+            "+ eglSwapInterval(0)",
+            OptConfig::baseline().with_swap_interval_0(),
+        ),
+        ("+ no eglSwapBuffers", OptConfig::baseline().without_swap()),
+        (
+            "+ VBO (static hint)",
+            OptConfig::baseline()
+                .without_swap()
+                .with_vbo(BufferUsage::StaticDraw),
+        ),
+        (
+            "+ fp24 kernel",
+            OptConfig::baseline()
+                .without_swap()
+                .with_vbo(BufferUsage::StaticDraw)
+                .with_fp24(),
+        ),
+    ];
+
+    for platform in Platform::paper_pair() {
+        println!(
+            "{} — sum {n}x{n}, simulated steady-state per kernel:",
+            platform.name
+        );
+        let baseline = measure(&platform, &ladder[0].1, n);
+        for (name, cfg) in &ladder {
+            let t = measure(&platform, cfg, n);
+            println!(
+                "  {:32} {:>12}   {:>7.2}x",
+                name,
+                t.to_string(),
+                baseline.as_secs_f64() / t.as_secs_f64()
+            );
+        }
+        println!();
+    }
+}

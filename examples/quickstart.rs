@@ -1,0 +1,53 @@
+//! Quickstart: run a saxpy kernel (`Y = alpha*X + Y`) on a simulated
+//! Raspberry Pi GPU through the OpenGL ES 2 GPGPU pipeline, and compare
+//! against the CPU.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mgpu::gpgpu::Saxpy;
+use mgpu::workloads::{max_abs_error, random_matrix, saxpy_ref};
+use mgpu::{Gl, OptConfig, Platform, Range};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 64x64 problem on a simulated VideoCore IV (Raspberry Pi).
+    let n = 64u32;
+    let alpha = 0.5f32;
+    let x = random_matrix(n as usize, 1, 0.0, 1.0);
+    let y = random_matrix(n as usize, 2, 0.0, 1.0);
+
+    // The GL context is a full software OpenGL ES 2 stack: state machine,
+    // shader compiler, rasteriser, and a TBDR timing model.
+    let mut gl = Gl::new(Platform::videocore_iv(), n, n);
+
+    // Optimised configuration: no eglSwapBuffers (max kernel-launch rate).
+    let cfg = OptConfig::baseline().without_swap();
+    let mut op = Saxpy::new(
+        &mut gl,
+        &cfg,
+        n,
+        alpha,
+        x.data(),
+        y.data(),
+        Range::unit(),        // X values live in [0, 1)
+        Range::new(0.0, 4.0), // Y / results live in [0, 4)
+    )?;
+
+    op.step(&mut gl)?;
+    let gpu = op.result(&mut gl)?;
+
+    let cpu = saxpy_ref(alpha, &x, &y);
+    let err = max_abs_error(&gpu, cpu.data());
+    println!("saxpy on {}:", gl.platform().name);
+    println!("  elements        : {}", gpu.len());
+    println!("  max |gpu - cpu| : {err:.2e}  (RGBA8 encoding quantisation)");
+    println!("  simulated time  : {}", gl.elapsed());
+
+    assert!(
+        err < 1e-4,
+        "GPU result should match CPU within quantisation"
+    );
+    println!("OK");
+    Ok(())
+}

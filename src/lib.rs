@@ -1,0 +1,49 @@
+//! # mgpu — GPGPU over OpenGL ES 2 on simulated low-end mobile GPUs
+//!
+//! Umbrella crate of the mgpu workspace, a production-quality Rust
+//! reproduction of *"Optimisation Opportunities and Evaluation for GPGPU
+//! Applications on Low-End Mobile GPUs"* (Trompouki & Kosmidis, DATE
+//! 2017). It re-exports the whole stack:
+//!
+//! * [`tbdr`] — the tile-based deferred-rendering GPU timing simulator
+//!   with the VideoCore IV and PowerVR SGX 545 platform models;
+//! * [`shader`] — the GLSL-ES-like fragment-kernel compiler, optimiser,
+//!   cost model and interpreter;
+//! * [`gles`] — the software OpenGL ES 2.0 + EGL driver;
+//! * [`gpgpu`] — the paper's contribution: the float↔RGBA8 encoding, the
+//!   optimisation-configuration space and the benchmark operators;
+//! * [`workloads`] — input generators, CPU references and error metrics.
+//!
+//! The most commonly used items are re-exported at the crate root.
+//!
+//! # Examples
+//!
+//! ```
+//! use mgpu::{Gl, OptConfig, Platform, Sum};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut gl = Gl::new(Platform::videocore_iv(), 16, 16);
+//! let a = vec![0.25f32; 256];
+//! let b = vec![0.5f32; 256];
+//! let mut sum = Sum::builder(16).build(&mut gl, &OptConfig::baseline(), &a, &b)?;
+//! sum.step(&mut gl)?;
+//! assert!((sum.result(&mut gl)?[0] - 0.75).abs() < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub use mgpu_gles as gles;
+pub use mgpu_gpgpu as gpgpu;
+pub use mgpu_shader as shader;
+pub use mgpu_tbdr as tbdr;
+pub use mgpu_workloads as workloads;
+
+pub use mgpu_gles::{DrawQuad, Gl, GlError, TextureFormat};
+pub use mgpu_gpgpu::{
+    Convolution3x3, Encoding, GpgpuError, OptConfig, Range, RenderStrategy, Saxpy, Sgemm, Sum,
+    SyncStrategy,
+};
+pub use mgpu_tbdr::{Platform, SimTime};

@@ -1,0 +1,90 @@
+//! Integration coverage of the beyond-the-paper extensions through the
+//! umbrella crate's re-exports: energy accounting, trace export, the
+//! autotuner and the generic pipeline working together.
+
+use mgpu::gpgpu::tune::tune_sum;
+use mgpu::gpgpu::{Pipeline, Source};
+use mgpu::tbdr::{chrome_trace, EnergyModel};
+use mgpu::workloads::random_matrix;
+use mgpu::{Encoding, Gl, OptConfig, Platform, Range, SyncStrategy};
+
+#[test]
+fn energy_falls_along_the_optimisation_ladder() {
+    // The paper's speedups double as energy savings: less vsync idling
+    // (static power) for the same dynamic work.
+    let n = 256u32;
+    let a = random_matrix(n as usize, 1, 0.0, 1.0);
+    let b = random_matrix(n as usize, 2, 0.0, 1.0);
+    let platform = Platform::videocore_iv();
+    let model = EnergyModel::for_platform(&platform);
+    let measure = |cfg: &OptConfig| {
+        let mut gl = Gl::new(platform.clone(), n, n);
+        gl.set_functional(false);
+        let mut sum = mgpu::Sum::builder(n)
+            .build(&mut gl, cfg, a.data(), b.data())
+            .unwrap();
+        sum.run(&mut gl, 30).unwrap();
+        gl.finish();
+        model.estimate(&gl.report(), &platform).total_mj()
+    };
+    let baseline = measure(&OptConfig::baseline());
+    let optimised = measure(&OptConfig::baseline().without_swap().with_fp24());
+    assert!(
+        optimised < baseline / 2.0,
+        "ladder should at least halve energy: {baseline:.2} -> {optimised:.2} mJ"
+    );
+}
+
+#[test]
+fn chrome_trace_of_a_real_pipeline_is_well_formed() {
+    let n = 16u32;
+    let x = vec![0.5f32; 256];
+    let enc = Encoding::Fp32;
+    let halve = format!(
+        "uniform sampler2D u_x;\nvarying vec2 v_coord;\n{}{}\
+         void main() {{\n  float v = unpack(texture2D(u_x, v_coord));\n  gl_FragColor = pack(v * 0.5);\n}}\n",
+        enc.decode_fn_source(),
+        enc.encode_fn_source()
+    );
+    let mut gl = Gl::new(Platform::sgx_545(), n, n);
+    let mut p = Pipeline::builder(n)
+        .input("x", &x, Range::unit())
+        .pass(&halve, &[("u_x", Source::Input("x".into()))], &[])
+        .pass(&halve, &[("u_x", Source::Previous)], &[])
+        .build(&mut gl, &OptConfig::baseline().without_swap())
+        .unwrap();
+    p.run_once(&mut gl).unwrap();
+    gl.finish();
+    let json = chrome_trace(&gl.report());
+    assert!(json.contains("traceEvents"));
+    assert!(json.contains("[fragment]"));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    // Two pipeline passes -> at least two fragment slices.
+    assert!(json.matches("[fragment]").count() >= 2);
+}
+
+#[test]
+fn tuner_and_manual_exploration_agree() {
+    // The autotuner's winner must match the config the paper-claims tests
+    // assert directly.
+    let n = 256u32;
+    let a = random_matrix(n as usize, 3, 0.0, 1.0);
+    let b = random_matrix(n as usize, 4, 0.0, 1.0);
+    let r = tune_sum(&Platform::sgx_545(), n, a.data(), b.data(), 5, 20).unwrap();
+    assert_eq!(r.best().config.sync, SyncStrategy::NoSwap);
+    assert_eq!(
+        r.best().config.target,
+        mgpu::RenderStrategy::Texture,
+        "SGX must never pick the copy path"
+    );
+}
+
+#[test]
+fn umbrella_reexports_cover_the_public_surface() {
+    // Spot-check that the umbrella crate exposes each layer.
+    let _ = mgpu::Platform::paper_pair();
+    let _ = mgpu::shader::compile("void main() { gl_FragColor = vec4(1.0); }").unwrap();
+    let _ = mgpu::Encoding::Fp24.texture_format();
+    let _ = mgpu::SimTime::from_millis(1);
+    let _ = mgpu::gles::TextureFilter::Linear;
+}

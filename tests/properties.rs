@@ -1,0 +1,156 @@
+//! Property-based tests across the whole stack.
+
+use mgpu::gpgpu::{Sgemm, Sum};
+use mgpu::workloads::{max_abs_error, sgemm_blocked_ref, sum_ref, Matrix};
+use mgpu::{Encoding, Gl, OptConfig, Platform, Range};
+use proptest::prelude::*;
+
+/// Strategy over small square matrices with values in [0, 1).
+fn matrix_strategy(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(0.0f32..1.0, n * n).prop_map(move |v| Matrix::from_data(n, v))
+}
+
+/// Strategy over meaningful optimisation-config points.
+fn config_strategy() -> impl Strategy<Value = OptConfig> {
+    (
+        0u8..3,
+        prop::bool::ANY,
+        prop::bool::ANY,
+        prop::bool::ANY,
+        prop::bool::ANY,
+    )
+        .prop_map(|(sync, fb, reuse, fp24, invalidate)| {
+            let mut cfg = OptConfig::baseline();
+            cfg = match sync {
+                0 => cfg,
+                1 => cfg.with_swap_interval_0(),
+                _ => cfg.without_swap(),
+            };
+            if fb {
+                cfg = cfg.with_framebuffer_rendering();
+            }
+            if reuse {
+                cfg = cfg.with_texture_reuse();
+            }
+            if fp24 {
+                cfg = cfg.with_fp24();
+            }
+            if !invalidate {
+                cfg = cfg.without_invalidate();
+            }
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The GPU sum equals the CPU sum within quantisation error for any
+    /// inputs and any configuration point on either platform.
+    #[test]
+    fn sum_is_correct_for_any_config(
+        a in matrix_strategy(8),
+        b in matrix_strategy(8),
+        cfg in config_strategy(),
+        vc in prop::bool::ANY,
+    ) {
+        let platform = if vc { Platform::videocore_iv() } else { Platform::sgx_545() };
+        let mut gl = Gl::new(platform, 8, 8);
+        let mut sum = Sum::builder(8)
+            .build(&mut gl, &cfg, a.data(), b.data())
+            .expect("sum builds");
+        sum.step(&mut gl).expect("step");
+        let got = sum.result(&mut gl).expect("result");
+        let want = sum_ref(&a, &b);
+        let tol = match cfg.encoding {
+            Encoding::Fp32 => 1e-5,
+            Encoding::Fp24 => 2.0 * 2.0 / (255.0f32 * 255.0 * 255.0) + 1e-5,
+        };
+        prop_assert!(
+            max_abs_error(&got, want.data()) <= tol,
+            "cfg {cfg:?}"
+        );
+    }
+
+    /// Blocked GPU sgemm equals the blocked CPU reference for any legal
+    /// block size.
+    #[test]
+    fn sgemm_is_correct_for_any_block(
+        a in matrix_strategy(16),
+        b in matrix_strategy(16),
+        block_sel in 0usize..5,
+    ) {
+        let block = [1u32, 2, 4, 8, 16][block_sel];
+        let mut gl = Gl::new(Platform::videocore_iv(), 16, 16);
+        let mut sgemm = Sgemm::new(
+            &mut gl,
+            &OptConfig::baseline().without_swap(),
+            16,
+            block,
+            a.data(),
+            b.data(),
+        )
+        .expect("sgemm builds");
+        sgemm.multiply(&mut gl).expect("multiply");
+        let got = sgemm.result(&mut gl).expect("result");
+        let want = sgemm_blocked_ref(&a, &b, block as usize);
+        // Output range [0, 16): quantisation accumulates once per pass.
+        let passes = 16.0 / block as f32;
+        prop_assert!(
+            max_abs_error(&got, want.data()) <= 16.0 * 3e-6 * (passes + 1.0) + 1e-4
+        );
+    }
+
+    /// Encode → GL upload → identity kernel → readback → decode is the
+    /// identity within one quantum, for any values and either encoding.
+    #[test]
+    fn encoding_round_trips_through_the_gpu(
+        values in prop::collection::vec(0.0f32..1.0, 16),
+        fp24 in prop::bool::ANY,
+    ) {
+        let enc = if fp24 { Encoding::Fp24 } else { Encoding::Fp32 };
+        let range = Range::unit();
+        // Identity kernel: out = a + 0.
+        let zeros = vec![0.0f32; 16];
+        let cfg = if fp24 {
+            OptConfig::baseline().with_fp24()
+        } else {
+            OptConfig::baseline()
+        };
+        let mut gl = Gl::new(Platform::sgx_545(), 4, 4);
+        let mut sum = Sum::builder(4)
+            .range_out(Range::unit())
+            .build(&mut gl, &cfg, &values, &zeros)
+            .expect("builds");
+        sum.step(&mut gl).expect("step");
+        let got = sum.result(&mut gl).expect("result");
+        let tol = enc.quantum(range.span()) * 3.0 + 2e-6;
+        for (v, g) in values.iter().zip(&got) {
+            // The output range is [0,1) so 1.0-adjacent values clamp a hair.
+            let v = v.min(0.99999);
+            prop_assert!((v - g).abs() <= tol, "{v} -> {g} ({enc:?})");
+        }
+    }
+
+    /// Simulated time per iteration is strictly positive and additive:
+    /// 2N iterations never take less than N iterations.
+    #[test]
+    fn simulated_time_is_additive(iters in 1usize..12) {
+        let a = vec![0.5f32; 64];
+        let b = vec![0.25f32; 64];
+        let run = |k: usize| {
+            let mut gl = Gl::new(Platform::videocore_iv(), 8, 8);
+            gl.set_functional(false);
+            let mut sum = Sum::builder(8)
+                .build(&mut gl, &OptConfig::baseline().without_swap(), &a, &b)
+                .expect("builds");
+            sum.run(&mut gl, k).expect("runs");
+            gl.finish();
+            gl.elapsed()
+        };
+        let t1 = run(iters);
+        let t2 = run(iters * 2);
+        prop_assert!(t2 >= t1);
+        prop_assert!(t1 > mgpu::SimTime::ZERO);
+    }
+}
