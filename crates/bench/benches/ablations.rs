@@ -1,7 +1,7 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
 //! deferred overlap, the DMA engine, MAD fusion and tile size.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mgpu_bench::harness::Criterion;
 use mgpu_bench::setup::{best_config, sgemm_period, sum_period, Protocol, SumMode};
 use mgpu_gpgpu::RenderStrategy;
 use mgpu_tbdr::{Bandwidth, Platform};
@@ -118,5 +118,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Criterion::default());
+}

@@ -1,10 +1,10 @@
-//! Criterion bench around the Fig. 3 experiment (effect of vsync).
+//! Bench target around the Fig. 3 experiment (effect of vsync).
 //!
 //! Prints the regenerated figure once, then benchmarks the simulation
 //! itself (host time to simulate the steady-state protocol).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mgpu_bench::experiments::fig3;
+use mgpu_bench::harness::Criterion;
 use mgpu_bench::setup::{sum_period, Protocol, SumMode};
 use mgpu_gpgpu::OptConfig;
 use mgpu_tbdr::Platform;
@@ -53,5 +53,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Criterion::default());
+}

@@ -1,7 +1,7 @@
-//! Criterion bench around the Fig. 4b experiment (blocking in sgemm).
+//! Bench target around the Fig. 4b experiment (blocking in sgemm).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mgpu_bench::experiments::fig4b;
+use mgpu_bench::harness::Criterion;
 use mgpu_bench::setup::{best_config, sgemm_period, Protocol};
 use mgpu_gpgpu::RenderStrategy;
 use mgpu_tbdr::Platform;
@@ -49,5 +49,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Criterion::default());
+}

@@ -1,7 +1,7 @@
-//! Criterion bench around the Fig. 5a/5b experiments (texture reuse).
+//! Bench target around the Fig. 5a/5b experiments (texture reuse).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mgpu_bench::experiments::fig5;
+use mgpu_bench::harness::Criterion;
 use mgpu_bench::setup::{best_config, sum_period, Protocol, SumMode};
 use mgpu_gpgpu::RenderStrategy;
 use mgpu_tbdr::Platform;
@@ -42,5 +42,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Criterion::default());
+}

@@ -1,7 +1,7 @@
-//! Criterion bench around the VBO memory-hint sweep (§V-B text).
+//! Bench target around the VBO memory-hint sweep (§V-B text).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mgpu_bench::experiments::vbo;
+use mgpu_bench::harness::Criterion;
 use mgpu_bench::setup::{sum_period, Protocol, SumMode};
 use mgpu_gles::BufferUsage;
 use mgpu_gpgpu::OptConfig;
@@ -40,5 +40,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Criterion::default());
+}

@@ -1,0 +1,93 @@
+//! Wall-clock harness for the parallel functional fragment engine:
+//! serial vs N-thread execution of blocked sgemm (block 16), with a
+//! byte-identity check and a simulated-time invariance check on every
+//! measurement.
+//!
+//! Usage: `par_speedup [n] [threads ...]` — defaults to a 256×256
+//! problem at 2, 4 and 8 threads (the acceptance configuration is
+//! `par_speedup 1024 8`, worthwhile only on a machine with ≥ 8 cores;
+//! this container may have fewer — the harness prints the machine's
+//! parallelism so the numbers can be judged in context).
+
+use std::time::Instant;
+
+use mgpu_gles::{ExecConfig, Gl};
+use mgpu_gpgpu::{OptConfig, Sgemm};
+use mgpu_tbdr::{Platform, SimTime};
+
+struct Measurement {
+    wall: f64,
+    result_bits: Vec<u32>,
+    sim: SimTime,
+}
+
+fn run(n: u32, block: u32, threads: usize, a: &[f32], b: &[f32]) -> Measurement {
+    let mut gl = Gl::new(Platform::videocore_iv(), n, n);
+    gl.set_exec_config(ExecConfig::with_threads(threads));
+    let cfg = OptConfig::baseline().with_swap_interval_0();
+    let mut sgemm = Sgemm::new(&mut gl, &cfg, n, block, a, b).expect("sgemm builds");
+    let start = Instant::now();
+    sgemm.multiply(&mut gl).expect("multiply");
+    let wall = start.elapsed().as_secs_f64();
+    let result_bits = sgemm
+        .result(&mut gl)
+        .expect("result")
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    gl.finish();
+    Measurement {
+        wall,
+        result_bits,
+        sim: gl.elapsed(),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(256);
+    let thread_list: Vec<usize> = {
+        let rest: Vec<usize> = args.filter_map(|s| s.parse().ok()).collect();
+        if rest.is_empty() {
+            vec![2, 4, 8]
+        } else {
+            rest
+        }
+    };
+    let block = 16;
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+
+    println!(
+        "sgemm block {block}, {n}x{n}, single multiply (batch of {} passes)",
+        n / block
+    );
+    println!("host parallelism: {cores} core(s)\n");
+
+    let len = (n * n) as usize;
+    let a: Vec<f32> = (0..len).map(|i| (i % 97) as f32 / 97.0).collect();
+    let b: Vec<f32> = (0..len).map(|i| (i % 89) as f32 / 89.0).collect();
+
+    let serial = run(n, block, 1, &a, &b);
+    println!(
+        "serial: {:8.3} ms (simulated {:?})",
+        serial.wall * 1e3,
+        serial.sim
+    );
+
+    for threads in thread_list {
+        let par = run(n, block, threads, &a, &b);
+        assert_eq!(
+            par.result_bits, serial.result_bits,
+            "{threads}-thread output diverged from serial"
+        );
+        assert_eq!(
+            par.sim, serial.sim,
+            "{threads}-thread run changed simulated time"
+        );
+        println!(
+            "{threads:>2} threads: {:8.3} ms  speedup {:.2}x  (outputs byte-identical, simulated time unchanged)",
+            par.wall * 1e3,
+            serial.wall / par.wall
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! A minimal wall-clock benchmark harness with a criterion-shaped API.
+//!
+//! The workspace builds hermetically (no registry access), so the bench
+//! targets cannot link the real `criterion` crate. This module provides
+//! the narrow subset they use — `benchmark_group` / `sample_size` /
+//! `bench_function` / `Bencher::iter` — timed with [`std::time::Instant`]
+//! and reported as a one-line summary per benchmark.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Entry point object handed to each bench target's `bench` function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times one benchmark and prints mean / min / max per iteration.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        // One untimed warm-up pass, then the timed samples.
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let n = b.samples.len().max(1) as u32;
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / n;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        let max = b.samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "  {}/{id}: mean {mean:?} min {min:?} max {max:?} ({n} samples)",
+            self.name
+        );
+    }
+
+    /// Ends the group (parity with criterion's API; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` once, recording its wall-clock duration as one sample.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed());
+    }
+}

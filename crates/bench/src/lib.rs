@@ -5,12 +5,13 @@
 //! plumbing in [`setup`], and plain-text table rendering in [`table`].
 //!
 //! Binaries (`cargo run -p mgpu-bench --bin figN`) print the paper-style
-//! rows; Criterion benches (`cargo bench -p mgpu-bench`) wrap the same
-//! functions.
+//! rows; the bench targets (`cargo bench -p mgpu-bench`) wrap the same
+//! functions in the in-tree [`harness`].
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod experiments;
+pub mod harness;
 pub mod setup;
 pub mod table;

@@ -25,7 +25,11 @@ use mgpu_tbdr::{
 };
 
 use crate::error::GlError;
-use crate::raster::{quantize_rgba8, rasterize_quad, texcoord_corners, VaryingCorners};
+use crate::exec::ExecConfig;
+use crate::raster::{
+    panic_message, quantize_rgba8, rasterize_quad_into, texcoord_corners, RasterTarget,
+    VaryingCorners,
+};
 use crate::types::{
     BufferId, BufferUsage, FramebufferId, ProgramId, TextureFilter, TextureFormat, TextureId,
     VertexSource,
@@ -207,6 +211,7 @@ pub struct Gl {
     platform: Platform,
     sim: PipelineSim,
     functional: bool,
+    exec: ExecConfig,
 
     next_handle: u32,
     resource_counter: u64,
@@ -250,6 +255,7 @@ impl Gl {
             sim: PipelineSim::new(platform.clone()),
             platform,
             functional: true,
+            exec: ExecConfig::from_env(),
             next_handle: 1,
             resource_counter: 1,
             textures: HashMap::new(),
@@ -287,6 +293,19 @@ impl Gl {
     /// paper's 10 000-iteration protocol at full 1024×1024 size cheaply.
     pub fn set_functional(&mut self, functional: bool) {
         self.functional = functional;
+    }
+
+    /// Sets how the functional fragment engine executes on the host
+    /// (thread count). Purely a wall-clock knob: outputs and simulated
+    /// timing are identical for every setting.
+    pub fn set_exec_config(&mut self, exec: ExecConfig) {
+        self.exec = exec;
+    }
+
+    /// The current host-execution configuration.
+    #[must_use]
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec
     }
 
     /// Whether functional pixel execution is on.
@@ -1000,6 +1019,7 @@ impl Gl {
         }
 
         let ch = target_format.channels();
+        let exec = self.exec;
         let result = {
             let textures = &self.textures;
             let views: Vec<TexView<'_>> = program
@@ -1030,25 +1050,38 @@ impl Gl {
                 (TargetKey::Storage(_), Some((_, data))) => data.as_mut_slice(),
                 _ => unreachable!("storage target always taken"),
             };
-            rasterize_quad(
-                &program.shader,
-                &program.uniforms,
-                &sampler_refs,
-                width,
-                height,
-                &corners,
-                |x, y, rgba| {
-                    let px = quantize_rgba8(rgba);
-                    let idx = (y as usize * width as usize + x as usize) * ch;
-                    out[idx..idx + ch].copy_from_slice(&px[..ch]);
-                },
-            )
+            // Contain any kernel panic here so the `taken` texture data is
+            // restored below no matter what: a failed draw must leave the
+            // context valid and report a `GlError`, never unwind.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                rasterize_quad_into(
+                    &program.shader,
+                    &program.uniforms,
+                    &sampler_refs,
+                    &corners,
+                    RasterTarget {
+                        width,
+                        height,
+                        channels: ch,
+                        data: out,
+                    },
+                    &exec,
+                )
+            }))
         };
 
         if let Some((tex, data)) = taken {
             self.textures.get_mut(&tex.0).unwrap().data = data;
         }
-        result.map_err(|e| GlError::InvalidOperation(format!("kernel execution failed: {e}")))
+        match result {
+            Ok(r) => {
+                r.map_err(|e| GlError::InvalidOperation(format!("kernel execution failed: {e}")))
+            }
+            Err(p) => Err(GlError::InvalidOperation(format!(
+                "kernel execution panicked: {}",
+                panic_message(&*p)
+            ))),
+        }
     }
 
     // ---- copies -----------------------------------------------------------

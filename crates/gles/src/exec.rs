@@ -1,0 +1,114 @@
+//! Execution configuration for the functional fragment engine.
+//!
+//! The timing simulation in [`mgpu_tbdr`] models the *GPU's* parallelism
+//! and is always single-threaded and bit-exact. This module only controls
+//! how many **host** threads the functional rasteriser uses to compute
+//! fragment colours. Because every fragment of a GPGPU quad is a pure
+//! function of its coordinates, the parallel schedule cannot change any
+//! output byte — it only changes wall-clock time.
+//!
+//! The thread count comes from, in priority order:
+//!
+//! 1. an explicit [`Gl::set_exec_config`](crate::Gl::set_exec_config) call,
+//! 2. the `MGPU_THREADS` environment variable (a positive integer;
+//!    anything unparsable falls back to the default),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! `MGPU_THREADS=1` (or [`ExecConfig::serial`]) selects the original
+//! serial path exactly.
+
+use std::num::NonZeroUsize;
+
+/// Environment variable overriding the functional thread count.
+pub const THREADS_ENV: &str = "MGPU_THREADS";
+
+/// Fixed row-chunk granularity of the parallel rasteriser.
+///
+/// The framebuffer is partitioned into chunks of this many rows; chunks
+/// are assigned to workers round-robin by index, so the partition — and
+/// therefore every byte each worker writes — depends only on the target
+/// size, never on scheduling.
+pub const CHUNK_ROWS: u32 = 16;
+
+/// How the functional fragment engine executes kernels on the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExecConfig {
+    threads: usize,
+}
+
+impl ExecConfig {
+    /// The original single-threaded execution path.
+    #[must_use]
+    pub const fn serial() -> Self {
+        ExecConfig { threads: 1 }
+    }
+
+    /// Executes fragments on `threads` worker threads (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        ExecConfig {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Reads `MGPU_THREADS`, falling back to the machine's available
+    /// parallelism when unset or unparsable.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => ExecConfig::with_threads(n),
+            _ => ExecConfig::with_threads(
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1),
+            ),
+        }
+    }
+
+    /// The configured worker-thread count (≥ 1).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this configuration takes the serial path.
+    #[must_use]
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+}
+
+impl Default for ExecConfig {
+    /// The environment-driven configuration ([`ExecConfig::from_env`]).
+    fn default() -> Self {
+        ExecConfig::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_is_one_thread() {
+        assert_eq!(ExecConfig::serial().threads(), 1);
+        assert!(ExecConfig::serial().is_serial());
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(ExecConfig::with_threads(0).threads(), 1);
+        assert_eq!(ExecConfig::with_threads(8).threads(), 8);
+        assert!(!ExecConfig::with_threads(8).is_serial());
+    }
+
+    #[test]
+    fn from_env_is_at_least_one() {
+        // Whatever the environment says, the result is a usable config.
+        assert!(ExecConfig::from_env().threads() >= 1);
+        assert!(ExecConfig::default().threads() >= 1);
+    }
+}

@@ -49,11 +49,13 @@
 
 mod context;
 mod error;
+pub mod exec;
 pub mod raster;
 mod types;
 
 pub use context::{DrawQuad, Gl};
 pub use error::GlError;
+pub use exec::ExecConfig;
 pub use types::{
     BufferId, BufferUsage, FramebufferId, ProgramId, TextureFilter, TextureFormat, TextureId,
     VertexSource,

@@ -5,9 +5,22 @@
 //! module rasterises that shape functionally (running the compiled kernel
 //! per fragment); arbitrary triangle meshes are out of scope for the
 //! reproduction and rejected by the context layer.
+//!
+//! Two entry points exist: the closure-based [`rasterize_quad`] (the
+//! original serial reference) and [`rasterize_quad_into`], which writes
+//! quantised RGBA8 bytes straight into a target buffer and can fan the
+//! work out over a [`std::thread::scope`] worker pool according to an
+//! [`ExecConfig`]. Each fragment is a pure function of its coordinates,
+//! so the parallel schedule is byte-identical to the serial one; the
+//! determinism tests at the workspace root prove it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
 
 use mgpu_shader::ir::Shader;
 use mgpu_shader::{ExecError, Executor, Sampler, UniformValues};
+
+use crate::exec::{ExecConfig, CHUNK_ROWS};
 
 /// Corner values for one varying, in the order: (0,0), (1,0), (0,1), (1,1)
 /// of the unit quad (v increasing downward in texture space).
@@ -56,15 +69,9 @@ pub fn rasterize_quad(
     corners: &[VaryingCorners],
     mut write: impl FnMut(u32, u32, [f32; 4]),
 ) -> Result<(), ExecError> {
-    let n_varyings = shader.varying_slots().count();
-    if corners.len() != n_varyings {
-        return Err(ExecError::new(format!(
-            "shader has {n_varyings} varyings, {} corner sets provided",
-            corners.len()
-        )));
-    }
+    check_corners(shader, corners)?;
     let mut exec = Executor::new(shader, uniforms)?;
-    let mut varying_values = vec![[0.0f32; 4]; n_varyings];
+    let mut varying_values = vec![[0.0f32; 4]; corners.len()];
     for y in 0..height {
         let v = (y as f32 + 0.5) / height as f32;
         for x in 0..width {
@@ -74,6 +81,185 @@ pub fn rasterize_quad(
             }
             let rgba = exec.run(&varying_values, samplers)?;
             write(x, y, rgba);
+        }
+    }
+    Ok(())
+}
+
+/// A writable pixel buffer for [`rasterize_quad_into`].
+#[derive(Debug)]
+pub struct RasterTarget<'a> {
+    /// Target width in pixels.
+    pub width: u32,
+    /// Target height in pixels.
+    pub height: u32,
+    /// Bytes stored per pixel (the first `channels` of the quantised RGBA).
+    pub channels: usize,
+    /// Row-major pixel bytes, at least `width * height * channels` long.
+    pub data: &'a mut [u8],
+}
+
+/// Runs `shader` over the target grid, writing quantised pixels directly
+/// into `target.data` — serially, or on a scoped worker pool when `exec`
+/// asks for more than one thread.
+///
+/// The framebuffer is cut into fixed chunks of [`CHUNK_ROWS`] rows;
+/// chunks are dealt to workers round-robin by index and each worker runs
+/// its own [`Executor`]. No execution state is shared between workers, so
+/// the output is byte-for-byte identical to the serial path. A kernel
+/// failure (or panic) in any chunk surfaces as the error of the
+/// lowest-index failing chunk — the same error the serial path would
+/// report first.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] if uniforms or samplers are missing, the corner
+/// count does not match the shader's varyings, the buffer is too small,
+/// or the kernel fails (or panics) on any fragment.
+pub fn rasterize_quad_into(
+    shader: &Shader,
+    uniforms: &UniformValues,
+    samplers: &[&dyn Sampler],
+    corners: &[VaryingCorners],
+    target: RasterTarget<'_>,
+    exec: &ExecConfig,
+) -> Result<(), ExecError> {
+    check_corners(shader, corners)?;
+    let RasterTarget {
+        width,
+        height,
+        channels,
+        data,
+    } = target;
+    let needed = width as usize * height as usize * channels;
+    if data.len() < needed {
+        return Err(ExecError::new(format!(
+            "target buffer holds {} bytes, {width}x{height}x{channels} needs {needed}",
+            data.len()
+        )));
+    }
+    if needed == 0 {
+        return Ok(());
+    }
+    let data = &mut data[..needed];
+
+    let n_chunks = height.div_ceil(CHUNK_ROWS) as usize;
+    let threads = exec.threads().min(n_chunks);
+    if threads <= 1 {
+        let mut ex = Executor::new(shader, uniforms)?;
+        return run_rows(
+            &mut ex, samplers, corners, width, height, 0, height, channels, data,
+        );
+    }
+
+    // Deal fixed row-chunks to workers round-robin by chunk index. The
+    // assignment depends only on the target size and thread count, and
+    // every chunk's bytes are disjoint, so no synchronisation is needed.
+    let chunk_bytes = CHUNK_ROWS as usize * width as usize * channels;
+    let mut per_worker: Vec<Vec<(usize, &mut [u8])>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, slice) in data.chunks_mut(chunk_bytes).enumerate() {
+        per_worker[i % threads].push((i, slice));
+    }
+
+    let first_err = thread::scope(|s| {
+        let handles: Vec<_> = per_worker
+            .into_iter()
+            .map(|chunks| {
+                s.spawn(move || -> Option<(usize, ExecError)> {
+                    // One shader-VM instance per worker.
+                    let mut ex = match Executor::new(shader, uniforms) {
+                        Ok(ex) => ex,
+                        Err(e) => return Some((chunks.first().map_or(0, |(i, _)| *i), e)),
+                    };
+                    for (i, slice) in chunks {
+                        let y0 = i as u32 * CHUNK_ROWS;
+                        let y1 = (y0 + CHUNK_ROWS).min(height);
+                        // Contain panics per chunk so no unwind crosses the
+                        // scope boundary and poisons the caller.
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            run_rows(
+                                &mut ex, samplers, corners, width, height, y0, y1, channels, slice,
+                            )
+                        }));
+                        match run {
+                            Ok(Ok(())) => {}
+                            Ok(Err(e)) => return Some((i, e)),
+                            Err(p) => {
+                                return Some((
+                                    i,
+                                    ExecError::new(format!(
+                                        "kernel panicked: {}",
+                                        panic_message(&*p)
+                                    )),
+                                ))
+                            }
+                        }
+                    }
+                    None
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("worker panics are caught per chunk"))
+            .min_by_key(|(i, _)| *i)
+    });
+
+    match first_err {
+        None => Ok(()),
+        Some((_, e)) => Err(e),
+    }
+}
+
+/// Extracts a printable message from a caught panic payload.
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+fn check_corners(shader: &Shader, corners: &[VaryingCorners]) -> Result<(), ExecError> {
+    let n_varyings = shader.varying_slots().count();
+    if corners.len() != n_varyings {
+        return Err(ExecError::new(format!(
+            "shader has {n_varyings} varyings, {} corner sets provided",
+            corners.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Executes rows `y0..y1`, quantising into `out` (which covers exactly
+/// those rows). Shared by the serial path and every parallel worker, so
+/// both paths run the same per-fragment code.
+#[allow(clippy::too_many_arguments)]
+fn run_rows(
+    exec: &mut Executor<'_>,
+    samplers: &[&dyn Sampler],
+    corners: &[VaryingCorners],
+    width: u32,
+    height: u32,
+    y0: u32,
+    y1: u32,
+    channels: usize,
+    out: &mut [u8],
+) -> Result<(), ExecError> {
+    let mut varying_values = vec![[0.0f32; 4]; corners.len()];
+    for y in y0..y1 {
+        let v = (y as f32 + 0.5) / height as f32;
+        for x in 0..width {
+            let u = (x as f32 + 0.5) / width as f32;
+            for (slot, c) in corners.iter().enumerate() {
+                varying_values[slot] = interpolate(c, u, v);
+            }
+            let rgba = exec.run(&varying_values, samplers)?;
+            let px = quantize_rgba8(rgba);
+            let idx = ((y - y0) as usize * width as usize + x as usize) * channels;
+            out[idx..idx + channels].copy_from_slice(&px[..channels]);
         }
     }
     Ok(())
@@ -134,6 +320,111 @@ mod tests {
         .unwrap();
         let r = rasterize_quad(&sh, &UniformValues::new(), &[], 1, 1, &[], |_, _, _| {});
         assert!(r.is_err());
+    }
+
+    fn raster_bytes(
+        sh: &Shader,
+        width: u32,
+        height: u32,
+        channels: usize,
+        threads: usize,
+    ) -> Vec<u8> {
+        let mut data = vec![0u8; width as usize * height as usize * channels];
+        rasterize_quad_into(
+            sh,
+            &UniformValues::new(),
+            &[],
+            &[texcoord_corners()],
+            RasterTarget {
+                width,
+                height,
+                channels,
+                data: &mut data,
+            },
+            &ExecConfig::with_threads(threads),
+        )
+        .unwrap();
+        data
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_to_serial() {
+        let sh = compile(
+            "varying vec2 v;\n\
+             void main() { gl_FragColor = vec4(v.x, v.y, v.x * v.y, 1.0); }",
+        )
+        .unwrap();
+        // Odd sizes straddle chunk boundaries; channels 3 exercises the
+        // fp24 layout.
+        for &(w, h) in &[(33u32, 17u32), (64, 64), (5, 97), (1, 1)] {
+            for &ch in &[3usize, 4] {
+                let serial = raster_bytes(&sh, w, h, ch, 1);
+                for threads in [2, 4, 8] {
+                    assert_eq!(
+                        raster_bytes(&sh, w, h, ch, threads),
+                        serial,
+                        "{w}x{h}x{ch} at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A sampler that panics on fetch: worker panics must surface as
+    /// `ExecError`, never as an unwind out of the rasteriser.
+    struct PanicSampler;
+    impl Sampler for PanicSampler {
+        fn fetch(&self, _u: f32, _v: f32) -> [f32; 4] {
+            panic!("sampler exploded")
+        }
+    }
+
+    #[test]
+    fn worker_panic_becomes_an_error() {
+        let sh = compile(
+            "uniform sampler2D t;\nvarying vec2 v;\n\
+             void main() { gl_FragColor = texture2D(t, v); }",
+        )
+        .unwrap();
+        let mut data = vec![0u8; 32 * 32 * 4];
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+        let r = rasterize_quad_into(
+            &sh,
+            &UniformValues::new(),
+            &[&PanicSampler],
+            &[texcoord_corners()],
+            RasterTarget {
+                width: 32,
+                height: 32,
+                channels: 4,
+                data: &mut data,
+            },
+            &ExecConfig::with_threads(4),
+        );
+        std::panic::set_hook(prev);
+        let e = r.unwrap_err();
+        assert!(e.to_string().contains("sampler exploded"), "{e}");
+    }
+
+    #[test]
+    fn undersized_target_buffer_errors() {
+        let sh = compile("void main() { gl_FragColor = vec4(1.0); }").unwrap();
+        let mut data = vec![0u8; 7];
+        let r = rasterize_quad_into(
+            &sh,
+            &UniformValues::new(),
+            &[],
+            &[],
+            RasterTarget {
+                width: 2,
+                height: 2,
+                channels: 4,
+                data: &mut data,
+            },
+            &ExecConfig::serial(),
+        );
+        assert!(r.unwrap_err().to_string().contains("needs 16"));
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Error-path audit of the (parallel) draw path: every failure mode of
+//! `draw_quad` must surface as a `GlError` and leave the context fully
+//! usable — no lost texture data, no poisoned state, no unwinds.
+
+use mgpu_gles::{DrawQuad, ExecConfig, Gl, GlError, TextureFormat};
+use mgpu_tbdr::Platform;
+
+const COPY_PROG: &str = "
+    uniform sampler2D u_src;
+    varying vec2 v_coord;
+    void main() { gl_FragColor = texture2D(u_src, v_coord); }
+";
+
+const COORD_PROG: &str = "
+    varying vec2 v_coord;
+    void main() { gl_FragColor = vec4(v_coord, 0.0, 1.0); }
+";
+
+/// A kernel whose uniform is never set: compilation succeeds, execution
+/// fails on the very first fragment.
+const NEEDS_UNIFORM_PROG: &str = "
+    uniform float u_k;
+    varying vec2 v_coord;
+    void main() { gl_FragColor = vec4(v_coord.x * u_k); }
+";
+
+fn gl_with_threads(threads: usize) -> Gl {
+    let mut gl = Gl::new(Platform::videocore_iv(), 8, 8);
+    gl.set_exec_config(ExecConfig::with_threads(threads));
+    gl
+}
+
+/// After any failed draw, the context must complete a valid draw and
+/// read back correct pixels.
+fn assert_still_usable(gl: &mut Gl) {
+    let prog = gl.create_program(COORD_PROG).unwrap();
+    gl.bind_framebuffer(None).unwrap();
+    gl.use_program(Some(prog)).unwrap();
+    gl.clear([0.0; 4]).unwrap();
+    gl.draw_quad(&DrawQuad::fullscreen()).unwrap();
+    let px = gl.read_pixels().unwrap();
+    // Fragment (0,0) of an 8x8 grid has coords (0.0625, 0.0625) -> 16/255.
+    assert_eq!(px[0], 16);
+    assert_eq!(px[3], 255);
+}
+
+#[test]
+fn feedback_loop_failure_preserves_texture_contents() {
+    for threads in [1, 4] {
+        let mut gl = gl_with_threads(threads);
+        let prog = gl.create_program(COPY_PROG).unwrap();
+        let tex = gl.create_texture();
+        let data: Vec<u8> = (0..8 * 8 * 4).map(|i| (i % 251) as u8).collect();
+        gl.tex_image_2d(tex, 8, 8, TextureFormat::Rgba8, Some(&data))
+            .unwrap();
+        gl.bind_texture(0, Some(tex)).unwrap();
+        let fbo = gl.create_framebuffer();
+        gl.bind_framebuffer(Some(fbo)).unwrap();
+        gl.framebuffer_texture_2d(tex).unwrap();
+        gl.use_program(Some(prog)).unwrap();
+        let err = gl.draw_quad(&DrawQuad::fullscreen()).unwrap_err();
+        assert!(matches!(err, GlError::InvalidOperation(_)), "{err}");
+        // The rejected draw must not have touched the texture.
+        assert_eq!(gl.texture_data(tex).unwrap(), &data[..]);
+        assert_still_usable(&mut gl);
+    }
+}
+
+#[test]
+fn incomplete_framebuffer_is_a_framebuffer_error() {
+    for threads in [1, 4] {
+        let mut gl = gl_with_threads(threads);
+        let prog = gl.create_program(COORD_PROG).unwrap();
+        let fbo = gl.create_framebuffer();
+        gl.bind_framebuffer(Some(fbo)).unwrap();
+        gl.use_program(Some(prog)).unwrap();
+        let err = gl.draw_quad(&DrawQuad::fullscreen()).unwrap_err();
+        assert!(
+            matches!(err, GlError::InvalidFramebufferOperation(_)),
+            "{err}"
+        );
+        assert_still_usable(&mut gl);
+    }
+}
+
+#[test]
+fn kernel_execution_failure_restores_render_target_data() {
+    for threads in [1, 4] {
+        let mut gl = gl_with_threads(threads);
+        let prog = gl.create_program(NEEDS_UNIFORM_PROG).unwrap();
+
+        // Render into a texture that already has recognisable contents.
+        let target = gl.create_texture();
+        let data: Vec<u8> = (0..8 * 8 * 4).map(|i| (i % 97) as u8).collect();
+        gl.tex_image_2d(target, 8, 8, TextureFormat::Rgba8, Some(&data))
+            .unwrap();
+        let fbo = gl.create_framebuffer();
+        gl.bind_framebuffer(Some(fbo)).unwrap();
+        gl.framebuffer_texture_2d(target).unwrap();
+        gl.use_program(Some(prog)).unwrap();
+
+        let err = gl.draw_quad(&DrawQuad::fullscreen()).unwrap_err();
+        assert!(matches!(err, GlError::InvalidOperation(_)), "{err}");
+        assert!(err.to_string().contains("kernel execution"), "{err}");
+        // The taken-out target data must have been put back even though
+        // execution failed partway — the texture is not lost or emptied.
+        assert_eq!(gl.texture_data(target).unwrap().len(), data.len());
+        assert_still_usable(&mut gl);
+    }
+}
+
+#[test]
+fn serial_and_parallel_report_the_same_execution_error() {
+    let errs: Vec<String> = [1, 4]
+        .iter()
+        .map(|&threads| {
+            let mut gl = gl_with_threads(threads);
+            let prog = gl.create_program(NEEDS_UNIFORM_PROG).unwrap();
+            gl.use_program(Some(prog)).unwrap();
+            gl.draw_quad(&DrawQuad::fullscreen())
+                .unwrap_err()
+                .to_string()
+        })
+        .collect();
+    assert_eq!(errs[0], errs[1]);
+}

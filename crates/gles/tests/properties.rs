@@ -4,8 +4,8 @@
 //! state are not.
 
 use mgpu_gles::{BufferUsage, DrawQuad, Gl, TextureFormat, VertexSource};
+use mgpu_prop::{run_cases, Rng};
 use mgpu_tbdr::{Platform, SimTime};
-use proptest::prelude::*;
 
 /// One API call in the generated sequence.
 #[derive(Debug, Clone)]
@@ -59,36 +59,56 @@ enum Call {
     ReadPixels,
 }
 
-fn call_strategy() -> impl Strategy<Value = Call> {
-    prop_oneof![
-        Just(Call::CreateTexture),
-        (0usize..8, 1u8..4, prop::bool::ANY, prop::bool::ANY).prop_map(
-            |(tex, size, rgb, with_data)| Call::TexImage {
-                tex,
-                size,
-                rgb,
-                with_data
-            }
-        ),
-        (0usize..8).prop_map(|tex| Call::TexSubImage { tex }),
-        (0u8..10, 0usize..8).prop_map(|(unit, tex)| Call::BindTexture { unit, tex }),
-        (0usize..8).prop_map(|tex| Call::DeleteTexture { tex }),
-        Just(Call::CreateFramebuffer),
-        prop::option::of(0usize..4).prop_map(|fbo| Call::BindFramebuffer { fbo }),
-        (0usize..8).prop_map(|tex| Call::AttachTexture { tex }),
-        Just(Call::CreateBuffer),
-        (0usize..4, 0u8..3).prop_map(|(buf, usage)| Call::BufferData { buf, usage }),
-        Just(Call::Clear),
-        Just(Call::Discard),
-        prop::option::of(0usize..4).prop_map(|vbo| Call::Draw { vbo }),
-        (0usize..8).prop_map(|tex| Call::CopyTexImage { tex }),
-        (0usize..8).prop_map(|tex| Call::CopyTexSubImage { tex }),
-        Just(Call::SwapBuffers),
-        (0u8..3).prop_map(|interval| Call::SwapInterval { interval }),
-        Just(Call::Finish),
-        Just(Call::Flush),
-        Just(Call::ReadPixels),
-    ]
+fn gen_call(rng: &mut Rng) -> Call {
+    match rng.u32_in(0, 20) {
+        0 => Call::CreateTexture,
+        1 => Call::TexImage {
+            tex: rng.usize_in(0, 8),
+            size: rng.u32_in(1, 4) as u8,
+            rgb: rng.bool(),
+            with_data: rng.bool(),
+        },
+        2 => Call::TexSubImage {
+            tex: rng.usize_in(0, 8),
+        },
+        3 => Call::BindTexture {
+            unit: rng.u32_in(0, 10) as u8,
+            tex: rng.usize_in(0, 8),
+        },
+        4 => Call::DeleteTexture {
+            tex: rng.usize_in(0, 8),
+        },
+        5 => Call::CreateFramebuffer,
+        6 => Call::BindFramebuffer {
+            fbo: rng.bool().then(|| rng.usize_in(0, 4)),
+        },
+        7 => Call::AttachTexture {
+            tex: rng.usize_in(0, 8),
+        },
+        8 => Call::CreateBuffer,
+        9 => Call::BufferData {
+            buf: rng.usize_in(0, 4),
+            usage: rng.u32_in(0, 3) as u8,
+        },
+        10 => Call::Clear,
+        11 => Call::Discard,
+        12 => Call::Draw {
+            vbo: rng.bool().then(|| rng.usize_in(0, 4)),
+        },
+        13 => Call::CopyTexImage {
+            tex: rng.usize_in(0, 8),
+        },
+        14 => Call::CopyTexSubImage {
+            tex: rng.usize_in(0, 8),
+        },
+        15 => Call::SwapBuffers,
+        16 => Call::SwapInterval {
+            interval: rng.u32_in(0, 3) as u8,
+        },
+        17 => Call::Finish,
+        18 => Call::Flush,
+        _ => Call::ReadPixels,
+    }
 }
 
 const PROG: &str = "
@@ -97,15 +117,16 @@ const PROG: &str = "
     void main() { gl_FragColor = texture2D(u_t, v_coord); }
 ";
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_call_sequences_never_corrupt_the_context(
-        calls in prop::collection::vec(call_strategy(), 1..60),
-        vc in prop::bool::ANY,
-    ) {
-        let platform = if vc { Platform::videocore_iv() } else { Platform::sgx_545() };
+#[test]
+fn random_call_sequences_never_corrupt_the_context() {
+    run_cases(48, |rng| {
+        let n_calls = rng.usize_in(1, 60);
+        let calls: Vec<Call> = (0..n_calls).map(|_| gen_call(rng)).collect();
+        let platform = if rng.bool() {
+            Platform::videocore_iv()
+        } else {
+            Platform::sgx_545()
+        };
         let mut gl = Gl::new(platform, 16, 16);
         let prog = gl.create_program(PROG).expect("program compiles");
         gl.use_program(Some(prog)).expect("program binds");
@@ -120,10 +141,19 @@ proptest! {
             // nothing may panic, and simulated time may never go backward.
             match call {
                 Call::CreateTexture => textures.push(gl.create_texture()),
-                Call::TexImage { tex, size, rgb, with_data } => {
+                Call::TexImage {
+                    tex,
+                    size,
+                    rgb,
+                    with_data,
+                } => {
                     if let Some(&t) = textures.get(tex) {
                         let n = 4u32 << size.min(2);
-                        let fmt = if rgb { TextureFormat::Rgb8 } else { TextureFormat::Rgba8 };
+                        let fmt = if rgb {
+                            TextureFormat::Rgb8
+                        } else {
+                            TextureFormat::Rgba8
+                        };
                         let data = vec![7u8; (n * n) as usize * fmt.channels()];
                         let _ = gl.tex_image_2d(t, n, n, fmt, with_data.then_some(&data[..]));
                     }
@@ -160,7 +190,11 @@ proptest! {
                 Call::CreateBuffer => buffers.push(gl.create_buffer()),
                 Call::BufferData { buf, usage } => {
                     if let Some(&b) = buffers.get(buf) {
-                        let usage = [BufferUsage::StaticDraw, BufferUsage::DynamicDraw, BufferUsage::StreamDraw][usage as usize % 3];
+                        let usage = [
+                            BufferUsage::StaticDraw,
+                            BufferUsage::DynamicDraw,
+                            BufferUsage::StreamDraw,
+                        ][usage as usize % 3];
                         let _ = gl.buffer_data(b, 96, usage);
                     }
                 }
@@ -195,25 +229,28 @@ proptest! {
                 Call::Flush => gl.flush(),
                 Call::ReadPixels => {
                     if let Ok(px) = gl.read_pixels() {
-                        prop_assert!(!px.is_empty());
+                        assert!(!px.is_empty());
                     }
                 }
             }
             let now = gl.elapsed();
-            prop_assert!(now >= last_elapsed, "time went backwards");
+            assert!(now >= last_elapsed, "time went backwards");
             last_elapsed = now;
         }
 
         // The context is still usable for a clean draw afterwards.
-        gl.bind_framebuffer(None).expect("window surface always bindable");
+        gl.bind_framebuffer(None)
+            .expect("window surface always bindable");
         let tex = gl.create_texture();
         let data = vec![1u8; 16 * 16 * 4];
-        gl.tex_image_2d(tex, 16, 16, TextureFormat::Rgba8, Some(&data)).expect("upload");
+        gl.tex_image_2d(tex, 16, 16, TextureFormat::Rgba8, Some(&data))
+            .expect("upload");
         gl.bind_texture(0, Some(tex)).expect("bind");
         gl.use_program(Some(prog)).expect("program survives");
         gl.clear([0.0; 4]).expect("clear");
-        gl.draw_quad(&DrawQuad::fullscreen()).expect("draw still works");
+        gl.draw_quad(&DrawQuad::fullscreen())
+            .expect("draw still works");
         let px = gl.read_pixels().expect("read");
-        prop_assert_eq!(px[0], 1);
-    }
+        assert_eq!(px[0], 1);
+    });
 }

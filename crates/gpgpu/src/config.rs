@@ -67,6 +67,11 @@ pub struct OptConfig {
     /// Let the shader compiler fuse multiply-adds (kernel-code
     /// optimisation; off only for ablations).
     pub mad_fusion: bool,
+    /// Host threads for functional fragment execution (`None` keeps the
+    /// context's setting — `MGPU_THREADS` or the machine's parallelism).
+    /// Purely a wall-clock knob: outputs and simulated timing are
+    /// identical for every value.
+    pub threads: Option<usize>,
 }
 
 impl OptConfig {
@@ -83,6 +88,7 @@ impl OptConfig {
             invalidate: true,
             encoding: Encoding::Fp32,
             mad_fusion: true,
+            threads: None,
         }
     }
 
@@ -146,6 +152,14 @@ impl OptConfig {
     #[must_use]
     pub fn without_mad_fusion(mut self) -> Self {
         self.mad_fusion = false;
+        self
+    }
+
+    /// Pins functional execution to `threads` host threads (`1` forces
+    /// the serial path).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 }

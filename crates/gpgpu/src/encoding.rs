@@ -102,9 +102,23 @@ impl Range {
 
     /// Maps a value into `[0, 1)`, clamping out-of-range inputs (like the
     /// GPU's output clamp).
+    ///
+    /// Boundary policy (documented and tested, so every layer of the
+    /// stack agrees):
+    ///
+    /// * values at or above `hi` (including `+∞`) clamp to the largest
+    ///   representable value, one quantum below `hi`;
+    /// * values at or below `lo` (including `-∞`) clamp to `lo`;
+    /// * `NaN` maps to `lo` — the encoding has no payload bits to carry
+    ///   a NaN, and `lo` is the least surprising total ordering choice.
     #[must_use]
     pub fn normalize(&self, v: f32) -> f32 {
-        ((v - self.lo) / self.span()).clamp(0.0, ONE_MINUS_EPS)
+        let t = (v - self.lo) / self.span();
+        if t.is_nan() {
+            0.0
+        } else {
+            t.clamp(0.0, ONE_MINUS_EPS)
+        }
     }
 
     /// Maps a normalised value back.
@@ -245,6 +259,74 @@ mod tests {
         assert!(back[0].abs() < 1e-6);
         assert!((back[1] - 1.0).abs() < 1e-4);
         assert!(back[1] < 1.0);
+    }
+
+    /// Encode → decode stays within one quantum (plus f32
+    /// normalise/denormalise rounding) for *every* in-range value,
+    /// including both endpoints: `lo` itself and the largest
+    /// representable value just below `hi`.
+    #[test]
+    fn round_trip_stays_within_quantum_for_all_in_range_values() {
+        use mgpu_prop::{run_cases, Rng};
+
+        run_cases(512, |rng: &mut Rng| {
+            let lo = rng.f32(-100.0, 100.0);
+            let span = rng.f32(0.1, 200.0);
+            let range = Range::new(lo, lo + span);
+            let enc = if rng.bool() {
+                Encoding::Fp32
+            } else {
+                Encoding::Fp24
+            };
+            // The endpoints, the largest f32 below hi, and random interior
+            // points.
+            let top = f32::from_bits(range.hi.to_bits() - 1);
+            let mut values = vec![range.lo, top, range.denormalize(ONE_MINUS_EPS)];
+            for _ in 0..5 {
+                values.push(rng.f32(range.lo, range.hi));
+            }
+            values.retain(|v| *v >= range.lo && *v < range.hi);
+            let tol = enc.quantum(range.span()) + (lo.abs() + span) * f32::EPSILON * 4.0;
+            let back = enc.decode(&enc.encode(&values, &range), &range);
+            for (v, b) in values.iter().zip(&back) {
+                assert!((v - b).abs() <= tol, "{v} -> {b} in {range:?} ({enc:?})");
+                assert!(
+                    *b >= range.lo - tol && *b < range.hi,
+                    "{b} escapes {range:?}"
+                );
+            }
+            // `lo` round-trips exactly: it normalises to 0, all-zero bytes.
+            assert_eq!(back[0], range.lo);
+        });
+    }
+
+    /// The documented boundary policy: ≥ `hi` clamps to just below `hi`,
+    /// ≤ `lo` (and `NaN`) map to `lo`, and infinities behave like
+    /// out-of-range finite values.
+    #[test]
+    fn non_finite_and_out_of_range_policy() {
+        let range = Range::new(-2.0, 6.0);
+        for enc in [Encoding::Fp32, Encoding::Fp24] {
+            let values = [
+                f32::NAN,
+                f32::NEG_INFINITY,
+                f32::INFINITY,
+                range.hi,
+                range.hi + 1e3,
+                range.lo - 1e3,
+            ];
+            let back = enc.decode(&enc.encode(&values, &range), &range);
+            assert_eq!(back[0], range.lo, "NaN maps to lo ({enc:?})");
+            assert_eq!(back[1], range.lo, "-inf clamps to lo ({enc:?})");
+            assert_eq!(back[5], range.lo, "below-range clamps to lo ({enc:?})");
+            for (i, why) in [(2, "+inf"), (3, "hi"), (4, "above-range")] {
+                assert!(back[i] < range.hi, "{why} must clamp below hi ({enc:?})");
+                assert!(
+                    back[i] > range.hi - 2.0 * enc.quantum(range.span()) - 1e-5,
+                    "{why} clamps to the top of the range ({enc:?})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@ use mgpu_gles::{Gl, ProgramId, TextureFormat, TextureId};
 use crate::config::OptConfig;
 use crate::error::GpgpuError;
 use crate::kernels::conv3x3_kernel;
-use crate::ops::{apply_sync_setup, quad_for, vbo_for, OutputChain};
+use crate::ops::{apply_setup, quad_for, vbo_for, OutputChain};
 
 /// Applies a 3×3 convolution kernel to an RGBA8 image on the GPU.
 ///
@@ -72,7 +72,7 @@ impl Convolution3x3 {
         let src = conv3x3_kernel(weights, 1.0 / width as f32, 1.0 / height as f32);
         let prog = gl.create_program(&src)?;
         gl.set_sampler(prog, "u_img", 0)?;
-        apply_sync_setup(gl, cfg);
+        apply_setup(gl, cfg);
 
         let tex_src = gl.create_texture();
         gl.tex_image_2d(tex_src, width, height, TextureFormat::Rgba8, Some(image))?;

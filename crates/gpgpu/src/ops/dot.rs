@@ -13,9 +13,7 @@ use crate::config::OptConfig;
 use crate::encoding::Range;
 use crate::error::GpgpuError;
 use crate::kernels::hadamard_kernel;
-use crate::ops::{
-    apply_sync_setup, check_size, convert_cost, end_pass, quad_for, vbo_for, Reduction,
-};
+use crate::ops::{apply_setup, check_size, convert_cost, end_pass, quad_for, vbo_for, Reduction};
 
 /// Computes `dot(X, Y) = Σ xᵢ·yᵢ` over `n`×`n` encoded matrices on the
 /// GPU.
@@ -80,7 +78,7 @@ impl DotProduct {
         let prog = gl.create_program_with(&src, &opt)?;
         gl.set_sampler(prog, "u_a", 0)?;
         gl.set_sampler(prog, "u_b", 1)?;
-        apply_sync_setup(gl, cfg);
+        apply_setup(gl, cfg);
 
         let ex = enc.encode(x, &Range::unit());
         let ey = enc.encode(y, &Range::unit());

@@ -14,7 +14,7 @@ use crate::config::OptConfig;
 use crate::encoding::Range;
 use crate::error::GpgpuError;
 use crate::kernels::jacobi_kernel;
-use crate::ops::{apply_sync_setup, check_size, convert_cost, quad_for, vbo_for, OutputChain};
+use crate::ops::{apply_setup, check_size, convert_cost, quad_for, vbo_for, OutputChain};
 
 /// Solves `∇²u = -f` on an `n`×`n` grid with zero-flux boundaries by
 /// weighted-Jacobi iteration.
@@ -119,7 +119,7 @@ impl JacobiBuilder {
         gl.set_sampler(prog, "u_u", 0)?;
         gl.set_sampler(prog, "u_f", 1)?;
         gl.set_uniform_scalar(prog, "u_texel", 1.0 / self.n as f32)?;
-        apply_sync_setup(gl, cfg);
+        apply_setup(gl, cfg);
 
         let encoded_u = enc.encode(u0, &self.range_u);
         let encoded_f = enc.encode(f, &self.range_f);

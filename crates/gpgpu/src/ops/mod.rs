@@ -47,8 +47,9 @@ pub(crate) fn convert_cost(bytes: u64) -> SimTime {
     SimTime::from_secs_f64(bytes as f64 / CONVERT_BANDWIDTH_BYTES_PER_SEC)
 }
 
-/// Applies the configured swap interval once at operator setup.
-pub(crate) fn apply_sync_setup(gl: &mut Gl, cfg: &OptConfig) {
+/// Applies the configured swap interval and host-execution threading once
+/// at operator setup.
+pub(crate) fn apply_setup(gl: &mut Gl, cfg: &OptConfig) {
     match cfg.sync {
         SyncStrategy::SwapDefault => {
             let d = gl.platform().default_swap_interval;
@@ -56,6 +57,9 @@ pub(crate) fn apply_sync_setup(gl: &mut Gl, cfg: &OptConfig) {
         }
         SyncStrategy::SwapInterval0 => gl.swap_interval(0),
         SyncStrategy::NoSwap => {}
+    }
+    if let Some(threads) = cfg.threads {
+        gl.set_exec_config(mgpu_gles::ExecConfig::with_threads(threads));
     }
 }
 

@@ -14,7 +14,7 @@ use crate::config::{OptConfig, RenderStrategy};
 use crate::encoding::Range;
 use crate::error::GpgpuError;
 use crate::kernels::reduce4_kernel;
-use crate::ops::{apply_sync_setup, check_size, convert_cost, end_pass, quad_for, vbo_for};
+use crate::ops::{apply_setup, check_size, convert_cost, end_pass, quad_for, vbo_for};
 
 /// Sums all elements of an `n`×`n` matrix on the GPU in `log2(n)` passes.
 ///
@@ -109,7 +109,7 @@ impl Reduction {
         };
         let prog = gl.create_program_with(&src, &opt)?;
         gl.set_sampler(prog, "u_src", 0)?;
-        apply_sync_setup(gl, cfg);
+        apply_setup(gl, cfg);
 
         let mut levels = vec![input];
         let mut size = n / 2;

@@ -7,7 +7,7 @@ use crate::config::OptConfig;
 use crate::encoding::Range;
 use crate::error::GpgpuError;
 use crate::kernels::saxpy_kernel;
-use crate::ops::{apply_sync_setup, check_size, convert_cost, quad_for, vbo_for, OutputChain};
+use crate::ops::{apply_setup, check_size, convert_cost, quad_for, vbo_for, OutputChain};
 
 /// `Y ← alpha·X + Y` over `n`×`n` encoded matrices. Iterating chains `Y`
 /// through the double-buffered output like the paper's multi-pass scheme.
@@ -77,7 +77,7 @@ impl Saxpy {
         gl.set_sampler(prog, "u_y", 1)?;
         gl.set_uniform_scalar(prog, "u_alpha", alpha)?;
 
-        apply_sync_setup(gl, cfg);
+        apply_setup(gl, cfg);
 
         let encoded_x = enc.encode(x, &range_in);
         let encoded_y = enc.encode(y, &range_out);

@@ -8,7 +8,7 @@ use crate::config::OptConfig;
 use crate::encoding::Range;
 use crate::error::GpgpuError;
 use crate::kernels::sgemm_kernel;
-use crate::ops::{apply_sync_setup, check_size, convert_cost, quad_for, vbo_for, OutputChain};
+use crate::ops::{apply_setup, check_size, convert_cost, quad_for, vbo_for, OutputChain};
 
 /// Blocked single-precision matrix multiply `C = A × B` over `n`×`n`
 /// encoded matrices, computed in `n / block` passes of `block`-element
@@ -115,7 +115,7 @@ impl Sgemm {
         gl.set_sampler(prog, "u_b", 1)?;
         gl.set_sampler(prog, "u_interm", 2)?;
 
-        apply_sync_setup(gl, cfg);
+        apply_setup(gl, cfg);
 
         let encoded_a = enc.encode(a, &range_in);
         let encoded_b = enc.encode(b, &range_in);

@@ -7,7 +7,7 @@ use crate::config::OptConfig;
 use crate::encoding::Range;
 use crate::error::GpgpuError;
 use crate::kernels::sum_kernel_ranges;
-use crate::ops::{apply_sync_setup, check_size, convert_cost, quad_for, vbo_for, OutputChain};
+use crate::ops::{apply_setup, check_size, convert_cost, quad_for, vbo_for, OutputChain};
 
 /// Streaming addition `C = A + B` over `n`×`n` encoded matrices — the
 /// paper's low-arithmetic-intensity benchmark.
@@ -131,7 +131,7 @@ impl SumBuilder {
         gl.set_sampler(prog, "u_a", 0)?;
         gl.set_sampler(prog, "u_b", 1)?;
 
-        apply_sync_setup(gl, cfg);
+        apply_setup(gl, cfg);
 
         let encoded_a = enc.encode(a, &a_range);
         let encoded_b = enc.encode(b, &self.range_in);

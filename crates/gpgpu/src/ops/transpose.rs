@@ -7,7 +7,7 @@ use crate::config::OptConfig;
 use crate::encoding::Range;
 use crate::error::GpgpuError;
 use crate::kernels::transpose_kernel;
-use crate::ops::{apply_sync_setup, check_size, convert_cost, quad_for, vbo_for, OutputChain};
+use crate::ops::{apply_setup, check_size, convert_cost, quad_for, vbo_for, OutputChain};
 
 /// Transposes an `n`×`n` encoded matrix on the GPU in one pass.
 ///
@@ -58,7 +58,7 @@ impl Transpose {
         let enc = cfg.encoding;
         let prog = gl.create_program(&transpose_kernel())?;
         gl.set_sampler(prog, "u_src", 0)?;
-        apply_sync_setup(gl, cfg);
+        apply_setup(gl, cfg);
 
         let encoded = enc.encode(data, &Range::unit());
         gl.add_cpu_work(convert_cost(encoded.len() as u64));

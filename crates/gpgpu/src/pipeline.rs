@@ -20,7 +20,7 @@ use mgpu_shader::OptOptions;
 use crate::config::OptConfig;
 use crate::encoding::Range;
 use crate::error::GpgpuError;
-use crate::ops::{apply_sync_setup, convert_cost, quad_for, vbo_for, OutputChain};
+use crate::ops::{apply_setup, convert_cost, quad_for, vbo_for, OutputChain};
 
 /// What a pass binds to one of its samplers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,7 +104,7 @@ impl PipelineBuilder {
             return Err(GpgpuError::Config("pipeline has no passes".to_owned()));
         }
         let enc = cfg.encoding;
-        apply_sync_setup(gl, cfg);
+        apply_setup(gl, cfg);
 
         // Upload inputs.
         let mut inputs: Vec<(String, TextureId)> = Vec::new();

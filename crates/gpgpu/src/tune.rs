@@ -8,7 +8,9 @@
 //! and return the ranking — so a downstream user gets the platform's best
 //! configuration without knowing the micro-architecture.
 
-use mgpu_gles::{BufferUsage, Gl};
+use std::thread;
+
+use mgpu_gles::{BufferUsage, ExecConfig, Gl};
 use mgpu_tbdr::{Platform, SimTime};
 
 use crate::config::{OptConfig, RenderStrategy, SyncStrategy};
@@ -94,7 +96,62 @@ fn streaming_candidates() -> Vec<(String, OptConfig)> {
     out
 }
 
-/// Tunes the `sum` kernel on `platform` over `n`×`n` inputs.
+/// Measures independent candidates, possibly on a scoped worker pool, and
+/// merges the results **by candidate index** — so the outcome (points,
+/// their order before ranking, and which error surfaces first) is
+/// identical for every thread count. `f` returns `Ok(None)` to skip a
+/// point.
+fn measure_candidates<C, F>(
+    candidates: Vec<C>,
+    threads: usize,
+    f: F,
+) -> Result<Vec<TunePoint>, GpgpuError>
+where
+    C: Send,
+    F: Fn(C) -> Result<Option<TunePoint>, GpgpuError> + Sync,
+{
+    let n = candidates.len();
+    let mut slots: Vec<Option<Result<Option<TunePoint>, GpgpuError>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        for (slot, c) in slots.iter_mut().zip(candidates) {
+            *slot = Some(f(c));
+        }
+    } else {
+        // Each candidate builds its own timing-only `Gl`, so candidates
+        // are fully independent; deal them to workers round-robin along
+        // with the result slot they must fill.
+        type Slot<'a> = &'a mut Option<Result<Option<TunePoint>, GpgpuError>>;
+        let mut per_worker: Vec<Vec<(C, Slot<'_>)>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, (c, slot)) in candidates.into_iter().zip(slots.iter_mut()).enumerate() {
+            per_worker[i % threads].push((c, slot));
+        }
+        thread::scope(|s| {
+            for work in per_worker {
+                let f = &f;
+                s.spawn(move || {
+                    for (c, slot) in work {
+                        *slot = Some(f(c));
+                    }
+                });
+            }
+        });
+    }
+    let mut points = Vec::new();
+    for slot in slots {
+        match slot.expect("every candidate is measured") {
+            Ok(Some(p)) => points.push(p),
+            Ok(None) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(points)
+}
+
+/// Tunes the `sum` kernel on `platform` over `n`×`n` inputs, evaluating
+/// candidates concurrently per the `MGPU_THREADS` policy
+/// ([`ExecConfig::from_env`]).
 ///
 /// `a` and `b` must each have `n * n` elements.
 ///
@@ -109,19 +166,45 @@ pub fn tune_sum(
     warmup: usize,
     iters: usize,
 ) -> Result<TuneResult, GpgpuError> {
-    let mut points = Vec::new();
-    for (name, cfg) in streaming_candidates() {
+    tune_sum_with_threads(
+        platform,
+        n,
+        a,
+        b,
+        warmup,
+        iters,
+        ExecConfig::from_env().threads(),
+    )
+}
+
+/// [`tune_sum`] with an explicit worker-thread count. The result is
+/// identical for every `threads` value.
+///
+/// # Errors
+///
+/// Propagates operator failures.
+#[allow(clippy::too_many_arguments)]
+pub fn tune_sum_with_threads(
+    platform: &Platform,
+    n: u32,
+    a: &[f32],
+    b: &[f32],
+    warmup: usize,
+    iters: usize,
+    threads: usize,
+) -> Result<TuneResult, GpgpuError> {
+    let points = measure_candidates(streaming_candidates(), threads, |(name, cfg)| {
         let mut gl = Gl::new(platform.clone(), n, n);
         gl.set_functional(false);
         let mut sum = Sum::builder(n).build(&mut gl, &cfg, a, b)?;
         let period = steady_period(&mut gl, warmup, iters, |gl| sum.step(gl))?;
-        points.push(TunePoint {
+        Ok(Some(TunePoint {
             name,
             config: cfg,
             block: 1,
             period,
-        });
-    }
+        }))
+    })?;
     Ok(TuneResult::from_points(points))
 }
 
@@ -142,7 +225,36 @@ pub fn tune_sgemm(
     warmup: usize,
     iters: usize,
 ) -> Result<TuneResult, GpgpuError> {
-    let mut points = Vec::new();
+    tune_sgemm_with_threads(
+        platform,
+        n,
+        a,
+        b,
+        blocks,
+        warmup,
+        iters,
+        ExecConfig::from_env().threads(),
+    )
+}
+
+/// [`tune_sgemm`] with an explicit worker-thread count. The result is
+/// identical for every `threads` value.
+///
+/// # Errors
+///
+/// Propagates operator failures other than shader-limit rejections.
+#[allow(clippy::too_many_arguments)]
+pub fn tune_sgemm_with_threads(
+    platform: &Platform,
+    n: u32,
+    a: &[f32],
+    b: &[f32],
+    blocks: &[u32],
+    warmup: usize,
+    iters: usize,
+    threads: usize,
+) -> Result<TuneResult, GpgpuError> {
+    let mut candidates = Vec::new();
     for &block in blocks {
         if block == 0 || !n.is_multiple_of(block) {
             continue;
@@ -151,24 +263,27 @@ pub fn tune_sgemm(
             ("tex", RenderStrategy::Texture),
             ("fb", RenderStrategy::Framebuffer),
         ] {
-            let mut cfg = OptConfig::baseline().with_swap_interval_0();
-            cfg.target = target;
-            let mut gl = Gl::new(platform.clone(), n, n);
-            gl.set_functional(false);
-            let mut sgemm = match Sgemm::new(&mut gl, &cfg, n, block, a, b) {
-                Ok(s) => s,
-                Err(e) if e.is_shader_limit() => continue,
-                Err(e) => return Err(e),
-            };
-            let period = steady_period(&mut gl, warmup, iters, |gl| sgemm.multiply(gl))?;
-            points.push(TunePoint {
-                name: format!("b{block}+{target_name}"),
-                config: cfg,
-                block,
-                period,
-            });
+            candidates.push((block, target_name, target));
         }
     }
+    let points = measure_candidates(candidates, threads, |(block, target_name, target)| {
+        let mut cfg = OptConfig::baseline().with_swap_interval_0();
+        cfg.target = target;
+        let mut gl = Gl::new(platform.clone(), n, n);
+        gl.set_functional(false);
+        let mut sgemm = match Sgemm::new(&mut gl, &cfg, n, block, a, b) {
+            Ok(s) => s,
+            Err(e) if e.is_shader_limit() => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let period = steady_period(&mut gl, warmup, iters, |gl| sgemm.multiply(gl))?;
+        Ok(Some(TunePoint {
+            name: format!("b{block}+{target_name}"),
+            config: cfg,
+            block,
+            period,
+        }))
+    })?;
     Ok(TuneResult::from_points(points))
 }
 
@@ -239,6 +354,27 @@ mod tests {
         assert_eq!(r.best().block, 16);
         // On VideoCore the framebuffer target wins (DMA).
         assert_eq!(r.best().config.target, RenderStrategy::Framebuffer);
+    }
+
+    #[test]
+    fn tuning_is_thread_count_invariant() {
+        let (a, b) = inputs(64);
+        let p = Platform::videocore_iv();
+        let sum_serial = tune_sum_with_threads(&p, 64, &a, &b, 2, 8, 1).unwrap();
+        let sgemm_serial =
+            tune_sgemm_with_threads(&p, 64, &a, &b, &[1, 4, 16, 32], 1, 3, 1).unwrap();
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                tune_sum_with_threads(&p, 64, &a, &b, 2, 8, threads).unwrap(),
+                sum_serial,
+                "sum at {threads} threads"
+            );
+            assert_eq!(
+                tune_sgemm_with_threads(&p, 64, &a, &b, &[1, 4, 16, 32], 1, 3, threads).unwrap(),
+                sgemm_serial,
+                "sgemm at {threads} threads"
+            );
+        }
     }
 
     #[test]

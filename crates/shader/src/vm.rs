@@ -10,7 +10,11 @@ use crate::ir::{CmpOp, InputKind, Op, Reg, Shader};
 ///
 /// Coordinates are normalised (`[0, 1]`); implementations choose their own
 /// filtering (GPGPU kernels use nearest with texel-centre coordinates).
-pub trait Sampler {
+///
+/// `Sync` is a supertrait so the parallel fragment engine can share one
+/// sampler across its worker threads; samplers are read-only views by
+/// construction.
+pub trait Sampler: Sync {
     /// Samples the texture at `(u, v)`, returning RGBA in `[0, 1]`.
     fn fetch(&self, u: f32, v: f32) -> [f32; 4];
 }

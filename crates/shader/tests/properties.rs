@@ -1,10 +1,14 @@
 //! Property tests: the optimiser never changes kernel semantics, and the
 //! constant folder agrees with the interpreter.
+//!
+//! Cases are generated with the deterministic `mgpu-prop` runner (the
+//! hermetic replacement for proptest), so every run explores the same
+//! inputs.
 
+use mgpu_prop::{run_cases, Rng};
 use mgpu_shader::{
     compile_with, truncate_to_24bit, CompileOptions, Executor, OptOptions, UniformValues,
 };
-use proptest::prelude::*;
 
 /// A random arithmetic expression over the varyings `v.x`/`v.y`, a uniform
 /// `k`, and literals, rendered as kernel source.
@@ -41,24 +45,28 @@ impl Node {
     }
 }
 
-fn node_strategy() -> impl Strategy<Value = Node> {
-    let leaf = prop_oneof![
-        Just(Node::X),
-        Just(Node::Y),
-        Just(Node::K),
-        (-4.0f32..4.0).prop_map(Node::Lit),
-    ];
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Node::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Node::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Node::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Node::Min(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Node::Max(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| Node::Clamp(Box::new(a))),
-            inner.prop_map(|a| Node::Neg(Box::new(a))),
-        ]
-    })
+/// Generates a random expression tree of at most `depth` levels.
+fn gen_node(rng: &mut Rng, depth: u32) -> Node {
+    let leaf_only = depth == 0;
+    let choice = if leaf_only {
+        rng.u32_in(0, 4)
+    } else {
+        rng.u32_in(0, 11)
+    };
+    let sub = |rng: &mut Rng| Box::new(gen_node(rng, depth - 1));
+    match choice {
+        0 => Node::X,
+        1 => Node::Y,
+        2 => Node::K,
+        3 => Node::Lit(rng.f32(-4.0, 4.0)),
+        4 => Node::Add(sub(rng), sub(rng)),
+        5 => Node::Sub(sub(rng), sub(rng)),
+        6 => Node::Mul(sub(rng), sub(rng)),
+        7 => Node::Min(sub(rng), sub(rng)),
+        8 => Node::Max(sub(rng), sub(rng)),
+        9 => Node::Clamp(sub(rng)),
+        _ => Node::Neg(sub(rng)),
+    }
 }
 
 fn kernel_source(expr: &Node) -> String {
@@ -83,40 +91,48 @@ fn run_kernel(src: &str, opts: &OptOptions, x: f32, y: f32, k: f32) -> [f32; 4] 
     ex.run(&[[x, y, 0.0, 0.0]], &[]).expect("runs")
 }
 
-proptest! {
-    /// Full optimisation computes bit-identical results to no optimisation:
-    /// every rewrite (folding, copy propagation, MAD fusion, DCE) preserves
-    /// f32 semantics exactly.
-    #[test]
-    fn optimiser_preserves_semantics(
-        expr in node_strategy(),
-        x in -8.0f32..8.0,
-        y in -8.0f32..8.0,
-        k in -8.0f32..8.0,
-    ) {
+/// Full optimisation computes bit-identical results to no optimisation:
+/// every rewrite (folding, copy propagation, MAD fusion, DCE) preserves
+/// f32 semantics exactly.
+#[test]
+fn optimiser_preserves_semantics() {
+    run_cases(256, |rng| {
+        let expr = gen_node(rng, 4);
+        let x = rng.f32(-8.0, 8.0);
+        let y = rng.f32(-8.0, 8.0);
+        let k = rng.f32(-8.0, 8.0);
         let src = kernel_source(&expr);
         let a = run_kernel(&src, &OptOptions::full(), x, y, k);
         let b = run_kernel(&src, &OptOptions::none(), x, y, k);
-        prop_assert_eq!(a, b, "source:\n{}", src);
-    }
+        assert_eq!(a, b, "source:\n{src}");
+    });
+}
 
-    /// Optimisation never increases the instruction count.
-    #[test]
-    fn optimiser_never_grows_kernels(expr in node_strategy()) {
+/// Optimisation never increases the instruction count.
+#[test]
+fn optimiser_never_grows_kernels() {
+    run_cases(256, |rng| {
+        let expr = gen_node(rng, 4);
         let src = kernel_source(&expr);
         let opt = compile_with(&src, &CompileOptions::default()).unwrap();
         let raw = compile_with(
             &src,
-            &CompileOptions { opt: OptOptions::none(), ..CompileOptions::default() },
+            &CompileOptions {
+                opt: OptOptions::none(),
+                ..CompileOptions::default()
+            },
         )
         .unwrap();
-        prop_assert!(opt.instruction_count() <= raw.instruction_count());
-    }
+        assert!(opt.instruction_count() <= raw.instruction_count());
+    });
+}
 
-    /// Loop unrolling agrees with direct accumulation for arbitrary
-    /// constant trip counts.
-    #[test]
-    fn loop_unrolling_matches_closed_form(n in 1u32..64) {
+/// Loop unrolling agrees with direct accumulation for arbitrary constant
+/// trip counts.
+#[test]
+fn loop_unrolling_matches_closed_form() {
+    run_cases(64, |rng| {
+        let n = rng.u32_in(1, 64);
         let src = format!(
             "void main() {{\n\
                float acc = 0.0;\n\
@@ -128,21 +144,28 @@ proptest! {
         let mut ex = Executor::new(&sh, &UniformValues::new()).unwrap();
         let got = ex.run(&[], &[]).unwrap()[0];
         let want = (n * (n + 1) / 2) as f32;
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    /// 24-bit truncation is idempotent and bounded.
-    #[test]
-    fn truncation_idempotent_and_close(x in -1e6f32..1e6) {
+/// 24-bit truncation is idempotent and bounded.
+#[test]
+fn truncation_idempotent_and_close() {
+    run_cases(4096, |rng| {
+        let x = rng.f32(-1e6, 1e6);
         let t = truncate_to_24bit(x);
-        prop_assert_eq!(truncate_to_24bit(t), t);
-        prop_assert!((t - x).abs() <= x.abs() * 2e-4 + f32::MIN_POSITIVE);
-    }
+        assert_eq!(truncate_to_24bit(t), t);
+        assert!((t - x).abs() <= x.abs() * 2e-4 + f32::MIN_POSITIVE);
+    });
+}
 
-    /// Predicated `if` matches the reference branch semantics for scalar
-    /// conditions.
-    #[test]
-    fn predication_matches_branching(x in -2.0f32..2.0, t in -2.0f32..2.0) {
+/// Predicated `if` matches the reference branch semantics for scalar
+/// conditions.
+#[test]
+fn predication_matches_branching() {
+    run_cases(256, |rng| {
+        let x = rng.f32(-2.0, 2.0);
+        let t = rng.f32(-2.0, 2.0);
         let src = "
             varying vec2 v;
             uniform float k;
@@ -154,86 +177,117 @@ proptest! {
         ";
         let got = run_kernel(src, &OptOptions::full(), x, 0.0, t)[0];
         let want = if x < t { x * 2.0 } else { x - 1.0 };
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
 }
 
 /// A small statement-level program generator for the pretty-printer
-/// round-trip property.
-fn stmt_source_strategy() -> impl Strategy<Value = String> {
-    // Programs assembled from a fixed set of statement templates over
-    // x/y/acc; every combination must parse, print, and re-parse to the
-    // same canonical form.
-    let stmt = prop_oneof![
-        Just("acc += v.x * 2.0;".to_owned()),
-        Just("acc = clamp(acc, 0.0, 1.0);".to_owned()),
-        Just("vec2 t = vec2(acc, v.y); acc = t.x + t.y;".to_owned()),
-        Just("if (v.x < 0.5) { acc += 1.0; } else { acc -= 1.0; }".to_owned()),
-        Just("for (float i = 0.0; i < 3.0; i += 1.0) { acc += i * v.y; }".to_owned()),
-        Just("acc *= k;".to_owned()),
-        Just("acc = v.x > v.y ? acc : (-acc);".to_owned()),
+/// round-trip property: programs assembled from a fixed set of statement
+/// templates over x/y/acc; every combination must parse, print, and
+/// re-parse to the same canonical form.
+fn gen_stmt_source(rng: &mut Rng) -> String {
+    const STMTS: [&str; 7] = [
+        "acc += v.x * 2.0;",
+        "acc = clamp(acc, 0.0, 1.0);",
+        "vec2 t = vec2(acc, v.y); acc = t.x + t.y;",
+        "if (v.x < 0.5) { acc += 1.0; } else { acc -= 1.0; }",
+        "for (float i = 0.0; i < 3.0; i += 1.0) { acc += i * v.y; }",
+        "acc *= k;",
+        "acc = v.x > v.y ? acc : (-acc);",
     ];
-    prop::collection::vec(stmt, 0..6).prop_map(|stmts| {
-        format!(
-            "uniform float k;\nvarying vec2 v;\nvoid main() {{\nfloat acc = 0.0;\n{}\ngl_FragColor = vec4(acc);\n}}\n",
-            stmts.join("\n")
-        )
-    })
+    let n = rng.usize_in(0, 6);
+    let stmts: Vec<&str> = (0..n).map(|_| *rng.pick(&STMTS)).collect();
+    format!(
+        "uniform float k;\nvarying vec2 v;\nvoid main() {{\nfloat acc = 0.0;\n{}\ngl_FragColor = vec4(acc);\n}}\n",
+        stmts.join("\n")
+    )
 }
 
-proptest! {
-    /// The pretty printer round-trips arbitrary generated programs, and
-    /// the reprinted source compiles to semantically identical kernels.
-    #[test]
-    fn pretty_printer_round_trips_generated_programs(
-        src in stmt_source_strategy(),
-        x in -2.0f32..2.0,
-        y in -2.0f32..2.0,
-        k in -2.0f32..2.0,
-    ) {
-        use mgpu_shader::pretty::print_program;
+/// The pretty printer round-trips arbitrary generated programs, and the
+/// reprinted source compiles to semantically identical kernels.
+#[test]
+fn pretty_printer_round_trips_generated_programs() {
+    run_cases(256, |rng| {
         use mgpu_shader::parse;
+        use mgpu_shader::pretty::print_program;
+
+        let src = gen_stmt_source(rng);
+        let x = rng.f32(-2.0, 2.0);
+        let y = rng.f32(-2.0, 2.0);
+        let k = rng.f32(-2.0, 2.0);
 
         let ast = parse(&src).expect("generated program parses");
         let printed = print_program(&ast);
-        let reparsed = parse(&printed)
-            .unwrap_or_else(|e| panic!("reprint failed: {e}\n{printed}"));
-        prop_assert_eq!(print_program(&reparsed), printed.clone());
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("reprint failed: {e}\n{printed}"));
+        assert_eq!(print_program(&reparsed), printed);
 
         // Semantics match between original and reprinted source.
         let a = run_kernel(&src, &OptOptions::full(), x, y, k);
         let b = run_kernel(&printed, &OptOptions::full(), x, y, k);
-        prop_assert_eq!(a, b, "printed:\n{}", printed);
-    }
+        assert_eq!(a, b, "printed:\n{printed}");
+    });
 }
 
-proptest! {
-    /// The compiler never panics on arbitrary input: garbage in, a
-    /// structured `CompileError` out (robustness against malformed kernel
-    /// sources reaching the driver).
-    #[test]
-    fn compiler_never_panics_on_garbage(src in "[ -~\\n]{0,200}") {
-        // Any outcome is fine; panicking is not (proptest catches unwind).
+/// The compiler never panics on arbitrary input: garbage in, a structured
+/// `CompileError` out (robustness against malformed kernel sources
+/// reaching the driver).
+#[test]
+fn compiler_never_panics_on_garbage() {
+    run_cases(512, |rng| {
+        let len = rng.usize_in(0, 200);
+        let src: String = (0..len)
+            .map(|_| {
+                // Printable ASCII plus newline, as proptest's "[ -~\n]".
+                let c = rng.u32_in(0, 96);
+                if c == 95 {
+                    '\n'
+                } else {
+                    char::from(b' ' + c as u8)
+                }
+            })
+            .collect();
         let _ = mgpu_shader::compile(&src);
-    }
+    });
+}
 
-    /// Token-soup built from the language's own vocabulary also never
-    /// panics — closer to real-world malformed kernels than raw bytes.
-    #[test]
-    fn compiler_never_panics_on_token_soup(
-        tokens in prop::collection::vec(
-            prop_oneof![
-                Just("void"), Just("main"), Just("("), Just(")"), Just("{"),
-                Just("}"), Just(";"), Just("float"), Just("vec4"), Just("="),
-                Just("+"), Just("*"), Just("for"), Just("if"), Just("else"),
-                Just("return"), Just("gl_FragColor"), Just("texture2D"),
-                Just("1.0"), Just("x"), Just(","), Just("."), Just("uniform"),
-                Just("sampler2D"), Just("varying"), Just("<"), Just("+="),
-            ],
-            0..60,
-        ),
-    ) {
-        let src = tokens.join(" ");
+/// Token-soup built from the language's own vocabulary also never panics —
+/// closer to real-world malformed kernels than raw bytes.
+#[test]
+fn compiler_never_panics_on_token_soup() {
+    const TOKENS: [&str; 26] = [
+        "void",
+        "main",
+        "(",
+        ")",
+        "{",
+        "}",
+        ";",
+        "float",
+        "vec4",
+        "=",
+        "+",
+        "*",
+        "for",
+        "if",
+        "else",
+        "return",
+        "gl_FragColor",
+        "texture2D",
+        "1.0",
+        "x",
+        ",",
+        ".",
+        "uniform",
+        "sampler2D",
+        "varying",
+        "<",
+    ];
+    run_cases(512, |rng| {
+        let n = rng.usize_in(0, 60);
+        let src = (0..n)
+            .map(|_| *rng.pick(&TOKENS))
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = mgpu_shader::compile(&src);
-    }
+    });
 }

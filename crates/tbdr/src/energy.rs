@@ -8,8 +8,6 @@
 //! first-order model — good for comparing configurations on one platform,
 //! not for absolute joules.
 
-use serde::{Deserialize, Serialize};
-
 use crate::platform::Platform;
 use crate::stats::SimReport;
 
@@ -18,7 +16,7 @@ use crate::stats::SimReport;
 /// Defaults are order-of-magnitude figures for 40–65 nm era mobile SoCs:
 /// a few hundred picojoules per core cycle, a few hundred picojoules per
 /// DRAM byte, and a few hundred milliwatts of board static power.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Dynamic energy per fragment-core busy cycle, in nanojoules.
     pub fragment_nj_per_cycle: f64,
@@ -97,7 +95,7 @@ impl EnergyModel {
 }
 
 /// An energy breakdown, all in millijoules.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyEstimate {
     /// Fragment-core dynamic energy.
     pub fragment_mj: f64,

@@ -18,15 +18,13 @@
 //! All constants are plain public-API knobs so that ablation benches can
 //! switch individual mechanisms on and off.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::{Bandwidth, Clock, SimTime};
 
 /// GLSL implementation limits advertised by a platform's shader compiler.
 ///
 /// Exceeding either limit makes shader compilation fail, which is what bounds
 /// the usable block size in the paper's Fig. 4b.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShaderLimits {
     /// Maximum number of IR instructions in a compiled fragment kernel.
     pub max_instructions: u32,
@@ -53,7 +51,7 @@ impl ShaderLimits {
 
 /// How the platform executes `glCopyTexImage2D`-style framebuffer→texture
 /// copies (step 4 of the paper's Fig. 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CopyEngine {
     /// A hardware DMA engine: copies run asynchronously on their own unit,
     /// ordered with GPU work by hardware queues, so reusing the destination
@@ -107,7 +105,7 @@ impl CopyEngine {
 /// assert_eq!(sgx.tile_width, 16);
 /// assert!(!sgx.copy_engine.is_dma());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Platform {
     /// Human-readable platform name, e.g. `"VideoCore IV"`.
     pub name: String,

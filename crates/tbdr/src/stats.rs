@@ -1,14 +1,12 @@
 //! Timing results and aggregate statistics produced by the scheduler.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimTime;
 
 /// When each stage of one frame ran.
 ///
 /// All instants are simulated time; see [`crate::PipelineSim`] for the
 /// scheduling rules that produce them.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrameTiming {
     /// Zero-based submission index.
     pub index: usize,
@@ -50,7 +48,7 @@ impl FrameTiming {
 }
 
 /// Byte counters for the memory movements of the paper's Fig. 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Traffic {
     /// CPU→GPU uploads (steps 1–2).
     pub upload_bytes: u64,
@@ -71,7 +69,7 @@ impl Traffic {
 }
 
 /// Accumulated busy time per functional unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct UnitBusy {
     /// CPU (driver + application) busy time.
     pub cpu: SimTime,
@@ -85,7 +83,7 @@ pub struct UnitBusy {
 
 /// Distribution of inter-frame retirement periods (see
 /// [`SimReport::period_stats`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PeriodStats {
     /// Mean period.
     pub mean: SimTime,
@@ -100,7 +98,7 @@ pub struct PeriodStats {
 }
 
 /// The full result of a simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Name of the simulated platform.
     pub platform_name: String,

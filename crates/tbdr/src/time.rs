@@ -11,8 +11,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An instant (or duration) in simulated time, in nanoseconds.
 ///
 /// `SimTime` is a thin wrapper over `u64`; arithmetic saturates rather than
@@ -28,9 +26,7 @@ use serde::{Deserialize, Serialize};
 /// let len = SimTime::from_nanos(500);
 /// assert_eq!((start + len).as_nanos(), 10_500);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -242,7 +238,7 @@ impl fmt::Display for SimTime {
 /// // Moving 1 GiB at 1 GiB/s takes one simulated second.
 /// assert_eq!(dma.time_for(1 << 30), SimTime::from_secs_f64(1.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Bandwidth(f64);
 
 impl Bandwidth {
@@ -293,7 +289,7 @@ impl Bandwidth {
 /// let core = Clock::mhz(250.0);
 /// assert_eq!(core.time_for_cycles(250).as_nanos(), 1_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Clock(f64);
 
 impl Clock {

@@ -7,14 +7,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::stats::FrameTiming;
 use crate::time::SimTime;
 use crate::work::{AllocKind, FrameWork, RenderTarget};
 
 /// The six memory-movement operations of the paper's Fig. 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemOp {
     /// Step 1: vertex data copied into GPU-managed memory.
     VertexUpload,
@@ -61,7 +59,7 @@ impl fmt::Display for MemOp {
 }
 
 /// One annotated memory movement of a scheduled frame.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Which Fig. 1 operation this is.
     pub op: MemOp,

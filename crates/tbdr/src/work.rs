@@ -10,8 +10,6 @@
 //! them. This keeps the timing model testable independently of the GL state
 //! machine.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimTime;
 
 /// An opaque handle identifying a GPU-memory resource (texture storage or
@@ -22,7 +20,7 @@ use crate::time::SimTime;
 /// the GL object name, carries identity: re-allocating a texture's storage
 /// (e.g. `tex_image_2d` on an existing texture) yields a fresh `ResourceId`,
 /// which is exactly how driver-side renaming breaks false dependencies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ResourceId(u64);
 
 impl ResourceId {
@@ -49,7 +47,7 @@ impl ResourceId {
 
 /// Whether an upload targets freshly allocated storage or reuses existing
 /// storage in place.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocKind {
     /// `glTexImage2D` / `glBufferData`: allocate new storage, then copy.
     /// The driver may *rename* the storage, so no synchronisation with
@@ -61,7 +59,7 @@ pub enum AllocKind {
 }
 
 /// A CPU→GPU-memory upload performed before the draw (steps 1–2 of Fig. 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Upload {
     /// Destination storage.
     pub resource: ResourceId,
@@ -101,7 +99,7 @@ impl Upload {
 
 /// Per-fragment cost profile of the bound fragment kernel, as derived by the
 /// shader cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FragmentProfile {
     /// Arithmetic cycles per fragment (after MAD fusion etc.).
     pub alu_cycles: f64,
@@ -120,7 +118,7 @@ pub struct FragmentProfile {
 }
 
 /// The fragment-stage workload of one frame.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FragmentWork {
     /// Number of fragments shaded (render-target coverage).
     pub fragments: u64,
@@ -136,14 +134,14 @@ pub struct FragmentWork {
 }
 
 /// The vertex-stage workload of one frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct VertexWork {
     /// Number of vertices processed.
     pub vertices: u64,
 }
 
 /// Where the frame's fragments are written.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RenderTarget {
     /// The window framebuffer; `surface` selects the double-buffer surface.
     Framebuffer {
@@ -162,7 +160,7 @@ pub enum RenderTarget {
 }
 
 /// A framebuffer→texture copy executed after rendering (step 4 of Fig. 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CopyOut {
     /// Destination texture storage.
     pub dest: ResourceId,
@@ -174,7 +172,7 @@ pub struct CopyOut {
 }
 
 /// End-of-frame synchronisation requested by the application.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SyncOp {
     /// No synchronisation: the CPU immediately continues submitting
     /// (maximum kernel-launch rate; the paper's "no `eglSwapBuffers`").
@@ -192,7 +190,7 @@ pub enum SyncOp {
 }
 
 /// Everything one frame (kernel invocation) asks of the GPU.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrameWork {
     /// Optional label for traces (e.g. `"sgemm pass 3"`).
     pub label: String,

@@ -1,7 +1,6 @@
 //! Deterministic input generation.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mgpu_prop::Rng;
 
 /// A square row-major f32 matrix.
 ///
@@ -88,17 +87,17 @@ impl Matrix {
 /// ```
 #[must_use]
 pub fn random_matrix(n: usize, seed: u64, lo: f32, hi: f32) -> Matrix {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let data = (0..n * n).map(|_| rng.gen_range(lo..hi)).collect();
+    let mut rng = Rng::new(seed);
+    let data = (0..n * n).map(|_| rng.f32(lo, hi)).collect();
     Matrix { n, data }
 }
 
 /// Generates a seeded random RGBA8 image.
 #[must_use]
 pub fn random_image_rgba8(width: u32, height: u32, seed: u64) -> Vec<u8> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     (0..width as usize * height as usize * 4)
-        .map(|_| rng.gen())
+        .map(|_| rng.u8())
         .collect()
 }
 

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/api-5028a7b597e61d3e.d: crates/gles/tests/api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapi-5028a7b597e61d3e.rmeta: crates/gles/tests/api.rs Cargo.toml
+
+crates/gles/tests/api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

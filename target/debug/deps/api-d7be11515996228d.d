@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api-d7be11515996228d.d: crates/gles/tests/api.rs
+
+/root/repo/target/debug/deps/api-d7be11515996228d: crates/gles/tests/api.rs
+
+crates/gles/tests/api.rs:

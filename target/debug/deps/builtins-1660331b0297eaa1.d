@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/builtins-1660331b0297eaa1.d: crates/shader/tests/builtins.rs
+
+/root/repo/target/debug/deps/builtins-1660331b0297eaa1: crates/shader/tests/builtins.rs
+
+crates/shader/tests/builtins.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/builtins-dab3ee573b0ffb0a.d: crates/shader/tests/builtins.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbuiltins-dab3ee573b0ffb0a.rmeta: crates/shader/tests/builtins.rs Cargo.toml
+
+crates/shader/tests/builtins.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-aa281d993812b232.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-aa281d993812b232: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/correctness-6737c52f27ab2d65.d: crates/gpgpu/tests/correctness.rs
+
+/root/repo/target/debug/deps/correctness-6737c52f27ab2d65: crates/gpgpu/tests/correctness.rs
+
+crates/gpgpu/tests/correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/correctness-ae2b4e4341e75aaf.d: crates/gpgpu/tests/correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorrectness-ae2b4e4341e75aaf.rmeta: crates/gpgpu/tests/correctness.rs Cargo.toml
+
+crates/gpgpu/tests/correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-64f6cb571ee14ef3.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-64f6cb571ee14ef3: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/energy-132cc14bec72935f.d: crates/bench/src/bin/energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenergy-132cc14bec72935f.rmeta: crates/bench/src/bin/energy.rs Cargo.toml
+
+crates/bench/src/bin/energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/energy-7ac646c886b9c002.d: crates/bench/src/bin/energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenergy-7ac646c886b9c002.rmeta: crates/bench/src/bin/energy.rs Cargo.toml
+
+crates/bench/src/bin/energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/energy-9c1f8cc21c6af1e3.d: crates/bench/src/bin/energy.rs
+
+/root/repo/target/debug/deps/energy-9c1f8cc21c6af1e3: crates/bench/src/bin/energy.rs
+
+crates/bench/src/bin/energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/error_paths-5dc35ea8980b0175.d: crates/gles/tests/error_paths.rs
+
+/root/repo/target/debug/deps/error_paths-5dc35ea8980b0175: crates/gles/tests/error_paths.rs
+
+crates/gles/tests/error_paths.rs:

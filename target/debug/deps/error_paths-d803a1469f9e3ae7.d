@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/error_paths-d803a1469f9e3ae7.d: crates/gles/tests/error_paths.rs Cargo.toml
+
+/root/repo/target/debug/deps/liberror_paths-d803a1469f9e3ae7.rmeta: crates/gles/tests/error_paths.rs Cargo.toml
+
+crates/gles/tests/error_paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-2050c6de82f9ad6f.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-2050c6de82f9ad6f: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_trace-b6c35d554cc7dfa3.d: crates/bench/src/bin/fig1_trace.rs
+
+/root/repo/target/debug/deps/fig1_trace-b6c35d554cc7dfa3: crates/bench/src/bin/fig1_trace.rs
+
+crates/bench/src/bin/fig1_trace.rs:

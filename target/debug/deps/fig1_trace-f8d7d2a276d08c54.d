@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_trace-f8d7d2a276d08c54.d: crates/bench/src/bin/fig1_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_trace-f8d7d2a276d08c54.rmeta: crates/bench/src/bin/fig1_trace.rs Cargo.toml
+
+crates/bench/src/bin/fig1_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

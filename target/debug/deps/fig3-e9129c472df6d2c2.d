@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-e9129c472df6d2c2.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-e9129c472df6d2c2: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

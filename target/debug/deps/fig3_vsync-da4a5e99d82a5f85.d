@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_vsync-da4a5e99d82a5f85.d: crates/bench/benches/fig3_vsync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_vsync-da4a5e99d82a5f85.rmeta: crates/bench/benches/fig3_vsync.rs Cargo.toml
+
+crates/bench/benches/fig3_vsync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4a-79bb315c97fe6d4f.d: crates/bench/src/bin/fig4a.rs
+
+/root/repo/target/debug/deps/fig4a-79bb315c97fe6d4f: crates/bench/src/bin/fig4a.rs
+
+crates/bench/src/bin/fig4a.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4a-948f9537d197a379.d: crates/bench/src/bin/fig4a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4a-948f9537d197a379.rmeta: crates/bench/src/bin/fig4a.rs Cargo.toml
+
+crates/bench/src/bin/fig4a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

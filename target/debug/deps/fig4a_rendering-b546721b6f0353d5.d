@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4a_rendering-b546721b6f0353d5.d: crates/bench/benches/fig4a_rendering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4a_rendering-b546721b6f0353d5.rmeta: crates/bench/benches/fig4a_rendering.rs Cargo.toml
+
+crates/bench/benches/fig4a_rendering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

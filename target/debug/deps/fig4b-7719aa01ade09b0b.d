@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4b-7719aa01ade09b0b.d: crates/bench/src/bin/fig4b.rs
+
+/root/repo/target/debug/deps/fig4b-7719aa01ade09b0b: crates/bench/src/bin/fig4b.rs
+
+crates/bench/src/bin/fig4b.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4b_blocking-a72379efbd27d470.d: crates/bench/benches/fig4b_blocking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4b_blocking-a72379efbd27d470.rmeta: crates/bench/benches/fig4b_blocking.rs Cargo.toml
+
+crates/bench/benches/fig4b_blocking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

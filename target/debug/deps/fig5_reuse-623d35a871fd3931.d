@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_reuse-623d35a871fd3931.d: crates/bench/benches/fig5_reuse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_reuse-623d35a871fd3931.rmeta: crates/bench/benches/fig5_reuse.rs Cargo.toml
+
+crates/bench/benches/fig5_reuse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a-3717da7179ccf420.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/fig5a-3717da7179ccf420: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

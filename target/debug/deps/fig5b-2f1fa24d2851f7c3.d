@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b-2f1fa24d2851f7c3.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-2f1fa24d2851f7c3: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5b-451867275fac7f80.d: crates/bench/src/bin/fig5b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5b-451867275fac7f80.rmeta: crates/bench/src/bin/fig5b.rs Cargo.toml
+
+crates/bench/src/bin/fig5b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

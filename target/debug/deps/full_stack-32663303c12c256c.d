@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-32663303c12c256c.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-32663303c12c256c: tests/full_stack.rs
+
+tests/full_stack.rs:

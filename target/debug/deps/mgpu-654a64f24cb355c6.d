@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mgpu-654a64f24cb355c6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmgpu-654a64f24cb355c6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmgpu-654a64f24cb355c6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mgpu-b8a7254bc6ae754d.d: src/lib.rs
+
+/root/repo/target/debug/deps/mgpu-b8a7254bc6ae754d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mgpu_bench-23c5578eaa392bda.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4a.rs crates/bench/src/experiments/fig4b.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/vbo.rs crates/bench/src/harness.rs crates/bench/src/setup.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmgpu_bench-23c5578eaa392bda.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4a.rs crates/bench/src/experiments/fig4b.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/vbo.rs crates/bench/src/harness.rs crates/bench/src/setup.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/fig3.rs:
+crates/bench/src/experiments/fig4a.rs:
+crates/bench/src/experiments/fig4b.rs:
+crates/bench/src/experiments/fig5.rs:
+crates/bench/src/experiments/vbo.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

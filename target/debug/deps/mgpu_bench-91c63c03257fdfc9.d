@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mgpu_bench-91c63c03257fdfc9.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4a.rs crates/bench/src/experiments/fig4b.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/vbo.rs crates/bench/src/harness.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/mgpu_bench-91c63c03257fdfc9: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4a.rs crates/bench/src/experiments/fig4b.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/vbo.rs crates/bench/src/harness.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/fig3.rs:
+crates/bench/src/experiments/fig4a.rs:
+crates/bench/src/experiments/fig4b.rs:
+crates/bench/src/experiments/fig5.rs:
+crates/bench/src/experiments/vbo.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mgpu_gles-5ab4d56daf0119c7.d: crates/gles/src/lib.rs crates/gles/src/context.rs crates/gles/src/error.rs crates/gles/src/exec.rs crates/gles/src/raster.rs crates/gles/src/types.rs
+
+/root/repo/target/debug/deps/libmgpu_gles-5ab4d56daf0119c7.rlib: crates/gles/src/lib.rs crates/gles/src/context.rs crates/gles/src/error.rs crates/gles/src/exec.rs crates/gles/src/raster.rs crates/gles/src/types.rs
+
+/root/repo/target/debug/deps/libmgpu_gles-5ab4d56daf0119c7.rmeta: crates/gles/src/lib.rs crates/gles/src/context.rs crates/gles/src/error.rs crates/gles/src/exec.rs crates/gles/src/raster.rs crates/gles/src/types.rs
+
+crates/gles/src/lib.rs:
+crates/gles/src/context.rs:
+crates/gles/src/error.rs:
+crates/gles/src/exec.rs:
+crates/gles/src/raster.rs:
+crates/gles/src/types.rs:

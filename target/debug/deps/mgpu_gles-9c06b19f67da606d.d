@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mgpu_gles-9c06b19f67da606d.d: crates/gles/src/lib.rs crates/gles/src/context.rs crates/gles/src/error.rs crates/gles/src/exec.rs crates/gles/src/raster.rs crates/gles/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmgpu_gles-9c06b19f67da606d.rmeta: crates/gles/src/lib.rs crates/gles/src/context.rs crates/gles/src/error.rs crates/gles/src/exec.rs crates/gles/src/raster.rs crates/gles/src/types.rs Cargo.toml
+
+crates/gles/src/lib.rs:
+crates/gles/src/context.rs:
+crates/gles/src/error.rs:
+crates/gles/src/exec.rs:
+crates/gles/src/raster.rs:
+crates/gles/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mgpu_gles-b6756f26580e1225.d: crates/gles/src/lib.rs crates/gles/src/context.rs crates/gles/src/error.rs crates/gles/src/exec.rs crates/gles/src/raster.rs crates/gles/src/types.rs
+
+/root/repo/target/debug/deps/libmgpu_gles-b6756f26580e1225.rlib: crates/gles/src/lib.rs crates/gles/src/context.rs crates/gles/src/error.rs crates/gles/src/exec.rs crates/gles/src/raster.rs crates/gles/src/types.rs
+
+/root/repo/target/debug/deps/libmgpu_gles-b6756f26580e1225.rmeta: crates/gles/src/lib.rs crates/gles/src/context.rs crates/gles/src/error.rs crates/gles/src/exec.rs crates/gles/src/raster.rs crates/gles/src/types.rs
+
+crates/gles/src/lib.rs:
+crates/gles/src/context.rs:
+crates/gles/src/error.rs:
+crates/gles/src/exec.rs:
+crates/gles/src/raster.rs:
+crates/gles/src/types.rs:

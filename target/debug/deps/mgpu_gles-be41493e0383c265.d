@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mgpu_gles-be41493e0383c265.d: crates/gles/src/lib.rs crates/gles/src/context.rs crates/gles/src/error.rs crates/gles/src/exec.rs crates/gles/src/raster.rs crates/gles/src/types.rs
+
+/root/repo/target/debug/deps/mgpu_gles-be41493e0383c265: crates/gles/src/lib.rs crates/gles/src/context.rs crates/gles/src/error.rs crates/gles/src/exec.rs crates/gles/src/raster.rs crates/gles/src/types.rs
+
+crates/gles/src/lib.rs:
+crates/gles/src/context.rs:
+crates/gles/src/error.rs:
+crates/gles/src/exec.rs:
+crates/gles/src/raster.rs:
+crates/gles/src/types.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/mgpu_gpgpu-58b84e95ed52a52b.d: crates/gpgpu/src/lib.rs crates/gpgpu/src/config.rs crates/gpgpu/src/encoding.rs crates/gpgpu/src/error.rs crates/gpgpu/src/kernels.rs crates/gpgpu/src/ops/mod.rs crates/gpgpu/src/ops/conv.rs crates/gpgpu/src/ops/dot.rs crates/gpgpu/src/ops/jacobi.rs crates/gpgpu/src/ops/reduce.rs crates/gpgpu/src/ops/saxpy.rs crates/gpgpu/src/ops/sgemm.rs crates/gpgpu/src/ops/sum.rs crates/gpgpu/src/ops/transpose.rs crates/gpgpu/src/pipeline.rs crates/gpgpu/src/runner.rs crates/gpgpu/src/tune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmgpu_gpgpu-58b84e95ed52a52b.rmeta: crates/gpgpu/src/lib.rs crates/gpgpu/src/config.rs crates/gpgpu/src/encoding.rs crates/gpgpu/src/error.rs crates/gpgpu/src/kernels.rs crates/gpgpu/src/ops/mod.rs crates/gpgpu/src/ops/conv.rs crates/gpgpu/src/ops/dot.rs crates/gpgpu/src/ops/jacobi.rs crates/gpgpu/src/ops/reduce.rs crates/gpgpu/src/ops/saxpy.rs crates/gpgpu/src/ops/sgemm.rs crates/gpgpu/src/ops/sum.rs crates/gpgpu/src/ops/transpose.rs crates/gpgpu/src/pipeline.rs crates/gpgpu/src/runner.rs crates/gpgpu/src/tune.rs Cargo.toml
+
+crates/gpgpu/src/lib.rs:
+crates/gpgpu/src/config.rs:
+crates/gpgpu/src/encoding.rs:
+crates/gpgpu/src/error.rs:
+crates/gpgpu/src/kernels.rs:
+crates/gpgpu/src/ops/mod.rs:
+crates/gpgpu/src/ops/conv.rs:
+crates/gpgpu/src/ops/dot.rs:
+crates/gpgpu/src/ops/jacobi.rs:
+crates/gpgpu/src/ops/reduce.rs:
+crates/gpgpu/src/ops/saxpy.rs:
+crates/gpgpu/src/ops/sgemm.rs:
+crates/gpgpu/src/ops/sum.rs:
+crates/gpgpu/src/ops/transpose.rs:
+crates/gpgpu/src/pipeline.rs:
+crates/gpgpu/src/runner.rs:
+crates/gpgpu/src/tune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/mgpu_gpgpu-eee34a04e21ba572.d: crates/gpgpu/src/lib.rs crates/gpgpu/src/config.rs crates/gpgpu/src/encoding.rs crates/gpgpu/src/error.rs crates/gpgpu/src/kernels.rs crates/gpgpu/src/ops/mod.rs crates/gpgpu/src/ops/conv.rs crates/gpgpu/src/ops/dot.rs crates/gpgpu/src/ops/jacobi.rs crates/gpgpu/src/ops/reduce.rs crates/gpgpu/src/ops/saxpy.rs crates/gpgpu/src/ops/sgemm.rs crates/gpgpu/src/ops/sum.rs crates/gpgpu/src/ops/transpose.rs crates/gpgpu/src/pipeline.rs crates/gpgpu/src/runner.rs crates/gpgpu/src/tune.rs
+
+/root/repo/target/debug/deps/mgpu_gpgpu-eee34a04e21ba572: crates/gpgpu/src/lib.rs crates/gpgpu/src/config.rs crates/gpgpu/src/encoding.rs crates/gpgpu/src/error.rs crates/gpgpu/src/kernels.rs crates/gpgpu/src/ops/mod.rs crates/gpgpu/src/ops/conv.rs crates/gpgpu/src/ops/dot.rs crates/gpgpu/src/ops/jacobi.rs crates/gpgpu/src/ops/reduce.rs crates/gpgpu/src/ops/saxpy.rs crates/gpgpu/src/ops/sgemm.rs crates/gpgpu/src/ops/sum.rs crates/gpgpu/src/ops/transpose.rs crates/gpgpu/src/pipeline.rs crates/gpgpu/src/runner.rs crates/gpgpu/src/tune.rs
+
+crates/gpgpu/src/lib.rs:
+crates/gpgpu/src/config.rs:
+crates/gpgpu/src/encoding.rs:
+crates/gpgpu/src/error.rs:
+crates/gpgpu/src/kernels.rs:
+crates/gpgpu/src/ops/mod.rs:
+crates/gpgpu/src/ops/conv.rs:
+crates/gpgpu/src/ops/dot.rs:
+crates/gpgpu/src/ops/jacobi.rs:
+crates/gpgpu/src/ops/reduce.rs:
+crates/gpgpu/src/ops/saxpy.rs:
+crates/gpgpu/src/ops/sgemm.rs:
+crates/gpgpu/src/ops/sum.rs:
+crates/gpgpu/src/ops/transpose.rs:
+crates/gpgpu/src/pipeline.rs:
+crates/gpgpu/src/runner.rs:
+crates/gpgpu/src/tune.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mgpu_prop-2b022ca7361aff69.d: crates/prop/src/lib.rs
+
+/root/repo/target/debug/deps/libmgpu_prop-2b022ca7361aff69.rlib: crates/prop/src/lib.rs
+
+/root/repo/target/debug/deps/libmgpu_prop-2b022ca7361aff69.rmeta: crates/prop/src/lib.rs
+
+crates/prop/src/lib.rs:

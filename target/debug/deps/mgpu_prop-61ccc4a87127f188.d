@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mgpu_prop-61ccc4a87127f188.d: crates/prop/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmgpu_prop-61ccc4a87127f188.rmeta: crates/prop/src/lib.rs Cargo.toml
+
+crates/prop/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mgpu_prop-b86eae29f02ceebe.d: crates/prop/src/lib.rs
+
+/root/repo/target/debug/deps/mgpu_prop-b86eae29f02ceebe: crates/prop/src/lib.rs
+
+crates/prop/src/lib.rs:

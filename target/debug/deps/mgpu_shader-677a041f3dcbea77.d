@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/mgpu_shader-677a041f3dcbea77.d: crates/shader/src/lib.rs crates/shader/src/ast.rs crates/shader/src/cost.rs crates/shader/src/error.rs crates/shader/src/fold.rs crates/shader/src/lexer.rs crates/shader/src/limits.rs crates/shader/src/lower.rs crates/shader/src/opt.rs crates/shader/src/parser.rs crates/shader/src/pretty.rs crates/shader/src/ir.rs crates/shader/src/token.rs crates/shader/src/vm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmgpu_shader-677a041f3dcbea77.rmeta: crates/shader/src/lib.rs crates/shader/src/ast.rs crates/shader/src/cost.rs crates/shader/src/error.rs crates/shader/src/fold.rs crates/shader/src/lexer.rs crates/shader/src/limits.rs crates/shader/src/lower.rs crates/shader/src/opt.rs crates/shader/src/parser.rs crates/shader/src/pretty.rs crates/shader/src/ir.rs crates/shader/src/token.rs crates/shader/src/vm.rs Cargo.toml
+
+crates/shader/src/lib.rs:
+crates/shader/src/ast.rs:
+crates/shader/src/cost.rs:
+crates/shader/src/error.rs:
+crates/shader/src/fold.rs:
+crates/shader/src/lexer.rs:
+crates/shader/src/limits.rs:
+crates/shader/src/lower.rs:
+crates/shader/src/opt.rs:
+crates/shader/src/parser.rs:
+crates/shader/src/pretty.rs:
+crates/shader/src/ir.rs:
+crates/shader/src/token.rs:
+crates/shader/src/vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mgpu_shader-b83048687fbcde24.d: crates/shader/src/lib.rs crates/shader/src/ast.rs crates/shader/src/cost.rs crates/shader/src/error.rs crates/shader/src/fold.rs crates/shader/src/lexer.rs crates/shader/src/limits.rs crates/shader/src/lower.rs crates/shader/src/opt.rs crates/shader/src/parser.rs crates/shader/src/pretty.rs crates/shader/src/ir.rs crates/shader/src/token.rs crates/shader/src/vm.rs
+
+/root/repo/target/debug/deps/libmgpu_shader-b83048687fbcde24.rlib: crates/shader/src/lib.rs crates/shader/src/ast.rs crates/shader/src/cost.rs crates/shader/src/error.rs crates/shader/src/fold.rs crates/shader/src/lexer.rs crates/shader/src/limits.rs crates/shader/src/lower.rs crates/shader/src/opt.rs crates/shader/src/parser.rs crates/shader/src/pretty.rs crates/shader/src/ir.rs crates/shader/src/token.rs crates/shader/src/vm.rs
+
+/root/repo/target/debug/deps/libmgpu_shader-b83048687fbcde24.rmeta: crates/shader/src/lib.rs crates/shader/src/ast.rs crates/shader/src/cost.rs crates/shader/src/error.rs crates/shader/src/fold.rs crates/shader/src/lexer.rs crates/shader/src/limits.rs crates/shader/src/lower.rs crates/shader/src/opt.rs crates/shader/src/parser.rs crates/shader/src/pretty.rs crates/shader/src/ir.rs crates/shader/src/token.rs crates/shader/src/vm.rs
+
+crates/shader/src/lib.rs:
+crates/shader/src/ast.rs:
+crates/shader/src/cost.rs:
+crates/shader/src/error.rs:
+crates/shader/src/fold.rs:
+crates/shader/src/lexer.rs:
+crates/shader/src/limits.rs:
+crates/shader/src/lower.rs:
+crates/shader/src/opt.rs:
+crates/shader/src/parser.rs:
+crates/shader/src/pretty.rs:
+crates/shader/src/ir.rs:
+crates/shader/src/token.rs:
+crates/shader/src/vm.rs:

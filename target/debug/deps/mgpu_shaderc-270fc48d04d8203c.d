@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mgpu_shaderc-270fc48d04d8203c.d: crates/shader/src/bin/mgpu-shaderc.rs
+
+/root/repo/target/debug/deps/mgpu_shaderc-270fc48d04d8203c: crates/shader/src/bin/mgpu-shaderc.rs
+
+crates/shader/src/bin/mgpu-shaderc.rs:

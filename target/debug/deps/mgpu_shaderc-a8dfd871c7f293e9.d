@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mgpu_shaderc-a8dfd871c7f293e9.d: crates/shader/src/bin/mgpu-shaderc.rs
+
+/root/repo/target/debug/deps/mgpu_shaderc-a8dfd871c7f293e9: crates/shader/src/bin/mgpu-shaderc.rs
+
+crates/shader/src/bin/mgpu-shaderc.rs:

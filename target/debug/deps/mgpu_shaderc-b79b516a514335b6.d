@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mgpu_shaderc-b79b516a514335b6.d: crates/shader/src/bin/mgpu-shaderc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmgpu_shaderc-b79b516a514335b6.rmeta: crates/shader/src/bin/mgpu-shaderc.rs Cargo.toml
+
+crates/shader/src/bin/mgpu-shaderc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mgpu_tbdr-2ca485344e7352c5.d: crates/tbdr/src/lib.rs crates/tbdr/src/chrome.rs crates/tbdr/src/energy.rs crates/tbdr/src/platform.rs crates/tbdr/src/sched.rs crates/tbdr/src/stats.rs crates/tbdr/src/time.rs crates/tbdr/src/trace.rs crates/tbdr/src/work.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmgpu_tbdr-2ca485344e7352c5.rmeta: crates/tbdr/src/lib.rs crates/tbdr/src/chrome.rs crates/tbdr/src/energy.rs crates/tbdr/src/platform.rs crates/tbdr/src/sched.rs crates/tbdr/src/stats.rs crates/tbdr/src/time.rs crates/tbdr/src/trace.rs crates/tbdr/src/work.rs Cargo.toml
+
+crates/tbdr/src/lib.rs:
+crates/tbdr/src/chrome.rs:
+crates/tbdr/src/energy.rs:
+crates/tbdr/src/platform.rs:
+crates/tbdr/src/sched.rs:
+crates/tbdr/src/stats.rs:
+crates/tbdr/src/time.rs:
+crates/tbdr/src/trace.rs:
+crates/tbdr/src/work.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

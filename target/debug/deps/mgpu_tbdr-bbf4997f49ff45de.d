@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mgpu_tbdr-bbf4997f49ff45de.d: crates/tbdr/src/lib.rs crates/tbdr/src/chrome.rs crates/tbdr/src/energy.rs crates/tbdr/src/platform.rs crates/tbdr/src/sched.rs crates/tbdr/src/stats.rs crates/tbdr/src/time.rs crates/tbdr/src/trace.rs crates/tbdr/src/work.rs
+
+/root/repo/target/debug/deps/mgpu_tbdr-bbf4997f49ff45de: crates/tbdr/src/lib.rs crates/tbdr/src/chrome.rs crates/tbdr/src/energy.rs crates/tbdr/src/platform.rs crates/tbdr/src/sched.rs crates/tbdr/src/stats.rs crates/tbdr/src/time.rs crates/tbdr/src/trace.rs crates/tbdr/src/work.rs
+
+crates/tbdr/src/lib.rs:
+crates/tbdr/src/chrome.rs:
+crates/tbdr/src/energy.rs:
+crates/tbdr/src/platform.rs:
+crates/tbdr/src/sched.rs:
+crates/tbdr/src/stats.rs:
+crates/tbdr/src/time.rs:
+crates/tbdr/src/trace.rs:
+crates/tbdr/src/work.rs:

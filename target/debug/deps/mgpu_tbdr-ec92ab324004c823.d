@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mgpu_tbdr-ec92ab324004c823.d: crates/tbdr/src/lib.rs crates/tbdr/src/chrome.rs crates/tbdr/src/energy.rs crates/tbdr/src/platform.rs crates/tbdr/src/sched.rs crates/tbdr/src/stats.rs crates/tbdr/src/time.rs crates/tbdr/src/trace.rs crates/tbdr/src/work.rs
+
+/root/repo/target/debug/deps/libmgpu_tbdr-ec92ab324004c823.rlib: crates/tbdr/src/lib.rs crates/tbdr/src/chrome.rs crates/tbdr/src/energy.rs crates/tbdr/src/platform.rs crates/tbdr/src/sched.rs crates/tbdr/src/stats.rs crates/tbdr/src/time.rs crates/tbdr/src/trace.rs crates/tbdr/src/work.rs
+
+/root/repo/target/debug/deps/libmgpu_tbdr-ec92ab324004c823.rmeta: crates/tbdr/src/lib.rs crates/tbdr/src/chrome.rs crates/tbdr/src/energy.rs crates/tbdr/src/platform.rs crates/tbdr/src/sched.rs crates/tbdr/src/stats.rs crates/tbdr/src/time.rs crates/tbdr/src/trace.rs crates/tbdr/src/work.rs
+
+crates/tbdr/src/lib.rs:
+crates/tbdr/src/chrome.rs:
+crates/tbdr/src/energy.rs:
+crates/tbdr/src/platform.rs:
+crates/tbdr/src/sched.rs:
+crates/tbdr/src/stats.rs:
+crates/tbdr/src/time.rs:
+crates/tbdr/src/trace.rs:
+crates/tbdr/src/work.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mgpu_workloads-0d581b9817ce808f.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/metrics.rs crates/workloads/src/reference.rs
+
+/root/repo/target/debug/deps/mgpu_workloads-0d581b9817ce808f: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/metrics.rs crates/workloads/src/reference.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/metrics.rs:
+crates/workloads/src/reference.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mgpu_workloads-a562e87f7e0b4dc1.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/metrics.rs crates/workloads/src/reference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmgpu_workloads-a562e87f7e0b4dc1.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/metrics.rs crates/workloads/src/reference.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/metrics.rs:
+crates/workloads/src/reference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

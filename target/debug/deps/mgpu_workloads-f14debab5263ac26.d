@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mgpu_workloads-f14debab5263ac26.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/metrics.rs crates/workloads/src/reference.rs
+
+/root/repo/target/debug/deps/libmgpu_workloads-f14debab5263ac26.rlib: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/metrics.rs crates/workloads/src/reference.rs
+
+/root/repo/target/debug/deps/libmgpu_workloads-f14debab5263ac26.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/metrics.rs crates/workloads/src/reference.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/metrics.rs:
+crates/workloads/src/reference.rs:

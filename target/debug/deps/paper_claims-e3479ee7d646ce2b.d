@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-e3479ee7d646ce2b.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-e3479ee7d646ce2b: tests/paper_claims.rs
+
+tests/paper_claims.rs:

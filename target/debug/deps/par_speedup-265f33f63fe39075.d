@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/par_speedup-265f33f63fe39075.d: crates/bench/src/bin/par_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpar_speedup-265f33f63fe39075.rmeta: crates/bench/src/bin/par_speedup.rs Cargo.toml
+
+crates/bench/src/bin/par_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/par_speedup-ea80cd248dd736e1.d: crates/bench/src/bin/par_speedup.rs
+
+/root/repo/target/debug/deps/par_speedup-ea80cd248dd736e1: crates/bench/src/bin/par_speedup.rs
+
+crates/bench/src/bin/par_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-7d5c02c1de80f9a5.d: crates/gpgpu/tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-7d5c02c1de80f9a5.rmeta: crates/gpgpu/tests/pipeline.rs Cargo.toml
+
+crates/gpgpu/tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-f48d028e6f7dbadd.d: crates/gpgpu/tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-f48d028e6f7dbadd: crates/gpgpu/tests/pipeline.rs
+
+crates/gpgpu/tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0224b0371583667a.d: crates/shader/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0224b0371583667a: crates/shader/tests/properties.rs
+
+crates/shader/tests/properties.rs:

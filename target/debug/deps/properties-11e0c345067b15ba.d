@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-11e0c345067b15ba.d: crates/gles/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-11e0c345067b15ba: crates/gles/tests/properties.rs
+
+crates/gles/tests/properties.rs:

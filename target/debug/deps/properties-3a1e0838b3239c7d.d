@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-3a1e0838b3239c7d.d: crates/tbdr/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-3a1e0838b3239c7d.rmeta: crates/tbdr/tests/properties.rs Cargo.toml
+
+crates/tbdr/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-9e05521463fc5fce.d: crates/gles/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-9e05521463fc5fce.rmeta: crates/gles/tests/properties.rs Cargo.toml
+
+crates/gles/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-bc73c4a09c3dad90.d: crates/shader/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-bc73c4a09c3dad90.rmeta: crates/shader/tests/properties.rs Cargo.toml
+
+crates/shader/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d65042d509a4d2cd.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d65042d509a4d2cd: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f33f2e96a4b86966.d: crates/tbdr/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f33f2e96a4b86966: crates/tbdr/tests/properties.rs
+
+crates/tbdr/tests/properties.rs:

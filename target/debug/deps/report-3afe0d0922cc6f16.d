@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-3afe0d0922cc6f16.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-3afe0d0922cc6f16: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler_semantics-07444e68ccd4cf86.d: crates/tbdr/tests/scheduler_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler_semantics-07444e68ccd4cf86.rmeta: crates/tbdr/tests/scheduler_semantics.rs Cargo.toml
+
+crates/tbdr/tests/scheduler_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

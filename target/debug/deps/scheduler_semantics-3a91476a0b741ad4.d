@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler_semantics-3a91476a0b741ad4.d: crates/tbdr/tests/scheduler_semantics.rs
+
+/root/repo/target/debug/deps/scheduler_semantics-3a91476a0b741ad4: crates/tbdr/tests/scheduler_semantics.rs
+
+crates/tbdr/tests/scheduler_semantics.rs:

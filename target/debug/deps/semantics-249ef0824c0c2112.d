@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-249ef0824c0c2112.d: crates/gles/tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-249ef0824c0c2112: crates/gles/tests/semantics.rs
+
+crates/gles/tests/semantics.rs:

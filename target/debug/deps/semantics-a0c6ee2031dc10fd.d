@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semantics-a0c6ee2031dc10fd.d: crates/gles/tests/semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemantics-a0c6ee2031dc10fd.rmeta: crates/gles/tests/semantics.rs Cargo.toml
+
+crates/gles/tests/semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_export-1a2f86a50165148b.d: crates/bench/src/bin/trace_export.rs
+
+/root/repo/target/debug/deps/trace_export-1a2f86a50165148b: crates/bench/src/bin/trace_export.rs
+
+crates/bench/src/bin/trace_export.rs:

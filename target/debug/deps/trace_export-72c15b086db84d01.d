@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_export-72c15b086db84d01.d: crates/bench/src/bin/trace_export.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_export-72c15b086db84d01.rmeta: crates/bench/src/bin/trace_export.rs Cargo.toml
+
+crates/bench/src/bin/trace_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_export-fcc299a9939f6eca.d: crates/bench/src/bin/trace_export.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_export-fcc299a9939f6eca.rmeta: crates/bench/src/bin/trace_export.rs Cargo.toml
+
+crates/bench/src/bin/trace_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vbo-808fe11ea3f754d4.d: crates/bench/src/bin/vbo.rs
+
+/root/repo/target/debug/deps/vbo-808fe11ea3f754d4: crates/bench/src/bin/vbo.rs
+
+crates/bench/src/bin/vbo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vbo-eb069ac8e7fe0202.d: crates/bench/src/bin/vbo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvbo-eb069ac8e7fe0202.rmeta: crates/bench/src/bin/vbo.rs Cargo.toml
+
+crates/bench/src/bin/vbo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vbo_hints-ab471efd22216784.d: crates/bench/benches/vbo_hints.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvbo_hints-ab471efd22216784.rmeta: crates/bench/benches/vbo_hints.rs Cargo.toml
+
+crates/bench/benches/vbo_hints.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotune-1d3c503d9b1e87fe.d: examples/autotune.rs
+
+/root/repo/target/debug/examples/autotune-1d3c503d9b1e87fe: examples/autotune.rs
+
+examples/autotune.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/autotune-b569eb6baa61482d.d: examples/autotune.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautotune-b569eb6baa61482d.rmeta: examples/autotune.rs Cargo.toml
+
+examples/autotune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

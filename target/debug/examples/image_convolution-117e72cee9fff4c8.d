@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/image_convolution-117e72cee9fff4c8.d: examples/image_convolution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimage_convolution-117e72cee9fff4c8.rmeta: examples/image_convolution.rs Cargo.toml
+
+examples/image_convolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

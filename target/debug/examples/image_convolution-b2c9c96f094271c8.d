@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_convolution-b2c9c96f094271c8.d: examples/image_convolution.rs
+
+/root/repo/target/debug/examples/image_convolution-b2c9c96f094271c8: examples/image_convolution.rs
+
+examples/image_convolution.rs:

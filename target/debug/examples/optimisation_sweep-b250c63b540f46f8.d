@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/optimisation_sweep-b250c63b540f46f8.d: examples/optimisation_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboptimisation_sweep-b250c63b540f46f8.rmeta: examples/optimisation_sweep.rs Cargo.toml
+
+examples/optimisation_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

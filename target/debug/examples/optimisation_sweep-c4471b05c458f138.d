@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/optimisation_sweep-c4471b05c458f138.d: examples/optimisation_sweep.rs
+
+/root/repo/target/debug/examples/optimisation_sweep-c4471b05c458f138: examples/optimisation_sweep.rs
+
+examples/optimisation_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_exec-092780430448344d.d: examples/parallel_exec.rs
+
+/root/repo/target/debug/examples/parallel_exec-092780430448344d: examples/parallel_exec.rs
+
+examples/parallel_exec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parallel_exec-7172b420e7454841.d: examples/parallel_exec.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparallel_exec-7172b420e7454841.rmeta: examples/parallel_exec.rs Cargo.toml
+
+examples/parallel_exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

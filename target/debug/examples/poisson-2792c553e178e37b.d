@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/poisson-2792c553e178e37b.d: examples/poisson.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpoisson-2792c553e178e37b.rmeta: examples/poisson.rs Cargo.toml
+
+examples/poisson.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/poisson-826a250915b4359a.d: examples/poisson.rs
+
+/root/repo/target/debug/examples/poisson-826a250915b4359a: examples/poisson.rs
+
+examples/poisson.rs:

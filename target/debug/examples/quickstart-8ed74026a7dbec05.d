@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8ed74026a7dbec05.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8ed74026a7dbec05: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sgemm_blocked-20e5281d8a48f898.d: examples/sgemm_blocked.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsgemm_blocked-20e5281d8a48f898.rmeta: examples/sgemm_blocked.rs Cargo.toml
+
+examples/sgemm_blocked.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

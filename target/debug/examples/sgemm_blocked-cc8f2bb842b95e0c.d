@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sgemm_blocked-cc8f2bb842b95e0c.d: examples/sgemm_blocked.rs
+
+/root/repo/target/debug/examples/sgemm_blocked-cc8f2bb842b95e0c: examples/sgemm_blocked.rs
+
+examples/sgemm_blocked.rs:

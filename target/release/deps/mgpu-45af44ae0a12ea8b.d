@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mgpu-45af44ae0a12ea8b.d: src/lib.rs
+
+/root/repo/target/release/deps/libmgpu-45af44ae0a12ea8b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmgpu-45af44ae0a12ea8b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mgpu_bench-369bee6a1f51a9b4.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4a.rs crates/bench/src/experiments/fig4b.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/vbo.rs crates/bench/src/harness.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libmgpu_bench-369bee6a1f51a9b4.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4a.rs crates/bench/src/experiments/fig4b.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/vbo.rs crates/bench/src/harness.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libmgpu_bench-369bee6a1f51a9b4.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4a.rs crates/bench/src/experiments/fig4b.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/vbo.rs crates/bench/src/harness.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/fig3.rs:
+crates/bench/src/experiments/fig4a.rs:
+crates/bench/src/experiments/fig4b.rs:
+crates/bench/src/experiments/fig5.rs:
+crates/bench/src/experiments/vbo.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/table.rs:

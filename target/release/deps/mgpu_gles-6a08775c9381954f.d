@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mgpu_gles-6a08775c9381954f.d: crates/gles/src/lib.rs crates/gles/src/context.rs crates/gles/src/error.rs crates/gles/src/exec.rs crates/gles/src/raster.rs crates/gles/src/types.rs
+
+/root/repo/target/release/deps/libmgpu_gles-6a08775c9381954f.rlib: crates/gles/src/lib.rs crates/gles/src/context.rs crates/gles/src/error.rs crates/gles/src/exec.rs crates/gles/src/raster.rs crates/gles/src/types.rs
+
+/root/repo/target/release/deps/libmgpu_gles-6a08775c9381954f.rmeta: crates/gles/src/lib.rs crates/gles/src/context.rs crates/gles/src/error.rs crates/gles/src/exec.rs crates/gles/src/raster.rs crates/gles/src/types.rs
+
+crates/gles/src/lib.rs:
+crates/gles/src/context.rs:
+crates/gles/src/error.rs:
+crates/gles/src/exec.rs:
+crates/gles/src/raster.rs:
+crates/gles/src/types.rs:

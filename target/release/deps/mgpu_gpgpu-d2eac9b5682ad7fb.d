@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/mgpu_gpgpu-d2eac9b5682ad7fb.d: crates/gpgpu/src/lib.rs crates/gpgpu/src/config.rs crates/gpgpu/src/encoding.rs crates/gpgpu/src/error.rs crates/gpgpu/src/kernels.rs crates/gpgpu/src/ops/mod.rs crates/gpgpu/src/ops/conv.rs crates/gpgpu/src/ops/dot.rs crates/gpgpu/src/ops/jacobi.rs crates/gpgpu/src/ops/reduce.rs crates/gpgpu/src/ops/saxpy.rs crates/gpgpu/src/ops/sgemm.rs crates/gpgpu/src/ops/sum.rs crates/gpgpu/src/ops/transpose.rs crates/gpgpu/src/pipeline.rs crates/gpgpu/src/runner.rs crates/gpgpu/src/tune.rs
+
+/root/repo/target/release/deps/libmgpu_gpgpu-d2eac9b5682ad7fb.rlib: crates/gpgpu/src/lib.rs crates/gpgpu/src/config.rs crates/gpgpu/src/encoding.rs crates/gpgpu/src/error.rs crates/gpgpu/src/kernels.rs crates/gpgpu/src/ops/mod.rs crates/gpgpu/src/ops/conv.rs crates/gpgpu/src/ops/dot.rs crates/gpgpu/src/ops/jacobi.rs crates/gpgpu/src/ops/reduce.rs crates/gpgpu/src/ops/saxpy.rs crates/gpgpu/src/ops/sgemm.rs crates/gpgpu/src/ops/sum.rs crates/gpgpu/src/ops/transpose.rs crates/gpgpu/src/pipeline.rs crates/gpgpu/src/runner.rs crates/gpgpu/src/tune.rs
+
+/root/repo/target/release/deps/libmgpu_gpgpu-d2eac9b5682ad7fb.rmeta: crates/gpgpu/src/lib.rs crates/gpgpu/src/config.rs crates/gpgpu/src/encoding.rs crates/gpgpu/src/error.rs crates/gpgpu/src/kernels.rs crates/gpgpu/src/ops/mod.rs crates/gpgpu/src/ops/conv.rs crates/gpgpu/src/ops/dot.rs crates/gpgpu/src/ops/jacobi.rs crates/gpgpu/src/ops/reduce.rs crates/gpgpu/src/ops/saxpy.rs crates/gpgpu/src/ops/sgemm.rs crates/gpgpu/src/ops/sum.rs crates/gpgpu/src/ops/transpose.rs crates/gpgpu/src/pipeline.rs crates/gpgpu/src/runner.rs crates/gpgpu/src/tune.rs
+
+crates/gpgpu/src/lib.rs:
+crates/gpgpu/src/config.rs:
+crates/gpgpu/src/encoding.rs:
+crates/gpgpu/src/error.rs:
+crates/gpgpu/src/kernels.rs:
+crates/gpgpu/src/ops/mod.rs:
+crates/gpgpu/src/ops/conv.rs:
+crates/gpgpu/src/ops/dot.rs:
+crates/gpgpu/src/ops/jacobi.rs:
+crates/gpgpu/src/ops/reduce.rs:
+crates/gpgpu/src/ops/saxpy.rs:
+crates/gpgpu/src/ops/sgemm.rs:
+crates/gpgpu/src/ops/sum.rs:
+crates/gpgpu/src/ops/transpose.rs:
+crates/gpgpu/src/pipeline.rs:
+crates/gpgpu/src/runner.rs:
+crates/gpgpu/src/tune.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mgpu_prop-98ab8c6c92807b1b.d: crates/prop/src/lib.rs
+
+/root/repo/target/release/deps/libmgpu_prop-98ab8c6c92807b1b.rlib: crates/prop/src/lib.rs
+
+/root/repo/target/release/deps/libmgpu_prop-98ab8c6c92807b1b.rmeta: crates/prop/src/lib.rs
+
+crates/prop/src/lib.rs:

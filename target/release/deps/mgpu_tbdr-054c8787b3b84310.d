@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mgpu_tbdr-054c8787b3b84310.d: crates/tbdr/src/lib.rs crates/tbdr/src/chrome.rs crates/tbdr/src/energy.rs crates/tbdr/src/platform.rs crates/tbdr/src/sched.rs crates/tbdr/src/stats.rs crates/tbdr/src/time.rs crates/tbdr/src/trace.rs crates/tbdr/src/work.rs
+
+/root/repo/target/release/deps/libmgpu_tbdr-054c8787b3b84310.rlib: crates/tbdr/src/lib.rs crates/tbdr/src/chrome.rs crates/tbdr/src/energy.rs crates/tbdr/src/platform.rs crates/tbdr/src/sched.rs crates/tbdr/src/stats.rs crates/tbdr/src/time.rs crates/tbdr/src/trace.rs crates/tbdr/src/work.rs
+
+/root/repo/target/release/deps/libmgpu_tbdr-054c8787b3b84310.rmeta: crates/tbdr/src/lib.rs crates/tbdr/src/chrome.rs crates/tbdr/src/energy.rs crates/tbdr/src/platform.rs crates/tbdr/src/sched.rs crates/tbdr/src/stats.rs crates/tbdr/src/time.rs crates/tbdr/src/trace.rs crates/tbdr/src/work.rs
+
+crates/tbdr/src/lib.rs:
+crates/tbdr/src/chrome.rs:
+crates/tbdr/src/energy.rs:
+crates/tbdr/src/platform.rs:
+crates/tbdr/src/sched.rs:
+crates/tbdr/src/stats.rs:
+crates/tbdr/src/time.rs:
+crates/tbdr/src/trace.rs:
+crates/tbdr/src/work.rs:

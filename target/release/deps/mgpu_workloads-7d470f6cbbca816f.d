@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mgpu_workloads-7d470f6cbbca816f.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/metrics.rs crates/workloads/src/reference.rs
+
+/root/repo/target/release/deps/libmgpu_workloads-7d470f6cbbca816f.rlib: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/metrics.rs crates/workloads/src/reference.rs
+
+/root/repo/target/release/deps/libmgpu_workloads-7d470f6cbbca816f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/metrics.rs crates/workloads/src/reference.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/metrics.rs:
+crates/workloads/src/reference.rs:

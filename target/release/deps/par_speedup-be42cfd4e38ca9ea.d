@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/par_speedup-be42cfd4e38ca9ea.d: crates/bench/src/bin/par_speedup.rs
+
+/root/repo/target/release/deps/par_speedup-be42cfd4e38ca9ea: crates/bench/src/bin/par_speedup.rs
+
+crates/bench/src/bin/par_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/parallel_exec-5b8fadede173f972.d: examples/parallel_exec.rs
+
+/root/repo/target/release/examples/parallel_exec-5b8fadede173f972: examples/parallel_exec.rs
+
+examples/parallel_exec.rs:

@@ -1,0 +1,122 @@
+//! Golden determinism tests for the parallel fragment engine.
+//!
+//! The tentpole guarantee: host-side threading is *purely* a wall-clock
+//! knob. For `sum` and blocked `sgemm` (block 16) on both platforms,
+//! running at 2, 4 and 8 threads must produce output buffers
+//! byte-for-byte identical to the serial path, and the simulated-time
+//! report must not change by a single tick.
+
+use mgpu::gpgpu::{Sgemm, Sum};
+use mgpu::tbdr::SimReport;
+use mgpu::{ExecConfig, Gl, OptConfig, Platform};
+
+/// Everything observable from one run: raw target bytes, the decoded
+/// result's exact bit patterns, and the full simulation report.
+#[derive(Debug, PartialEq)]
+struct Golden {
+    pixels: Vec<u8>,
+    result_bits: Vec<u32>,
+    report: SimReport,
+}
+
+fn inputs(n: u32) -> (Vec<f32>, Vec<f32>) {
+    let len = (n * n) as usize;
+    let a = (0..len).map(|i| (i % 97) as f32 / 97.0).collect();
+    let b = (0..len).map(|i| (i % 89) as f32 / 89.0).collect();
+    (a, b)
+}
+
+fn run_sum(platform: &Platform, threads: usize) -> Golden {
+    let n = 32;
+    let (a, b) = inputs(n);
+    let mut gl = Gl::new(platform.clone(), n, n);
+    gl.set_exec_config(ExecConfig::with_threads(threads));
+    let cfg = OptConfig::baseline().without_swap();
+    let mut sum = Sum::builder(n)
+        .build(&mut gl, &cfg, &a, &b)
+        .expect("builds");
+    sum.step(&mut gl).expect("steps");
+    let pixels = gl.read_pixels().expect("reads");
+    let result_bits = sum
+        .result(&mut gl)
+        .expect("results")
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    gl.finish();
+    Golden {
+        pixels,
+        result_bits,
+        report: gl.report(),
+    }
+}
+
+fn run_sgemm(platform: &Platform, threads: usize) -> Golden {
+    let n = 32;
+    let (a, b) = inputs(n);
+    let mut gl = Gl::new(platform.clone(), n, n);
+    gl.set_exec_config(ExecConfig::with_threads(threads));
+    let cfg = OptConfig::baseline().with_swap_interval_0();
+    let mut sgemm = Sgemm::new(&mut gl, &cfg, n, 16, &a, &b).expect("builds");
+    sgemm.multiply(&mut gl).expect("multiplies");
+    let pixels = gl.read_pixels().expect("reads");
+    let result_bits = sgemm
+        .result(&mut gl)
+        .expect("results")
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    gl.finish();
+    Golden {
+        pixels,
+        result_bits,
+        report: gl.report(),
+    }
+}
+
+#[test]
+fn sum_is_byte_identical_across_thread_counts() {
+    for platform in [Platform::videocore_iv(), Platform::sgx_545()] {
+        let serial = run_sum(&platform, 1);
+        assert!(!serial.pixels.is_empty());
+        for threads in [2, 4, 8] {
+            let parallel = run_sum(&platform, threads);
+            assert_eq!(
+                parallel, serial,
+                "sum diverged at {threads} threads on {}",
+                platform.name
+            );
+        }
+    }
+}
+
+#[test]
+fn sgemm_block_16_is_byte_identical_across_thread_counts() {
+    for platform in [Platform::videocore_iv(), Platform::sgx_545()] {
+        let serial = run_sgemm(&platform, 1);
+        assert!(!serial.pixels.is_empty());
+        for threads in [2, 4, 8] {
+            let parallel = run_sgemm(&platform, threads);
+            assert_eq!(
+                parallel, serial,
+                "sgemm diverged at {threads} threads on {}",
+                platform.name
+            );
+        }
+    }
+}
+
+/// The `OptConfig::with_threads` knob routes through operator setup to
+/// the context, and `MGPU_THREADS`-style explicit configs round-trip.
+#[test]
+fn thread_knob_reaches_the_context() {
+    let n = 16;
+    let (a, b) = inputs(n);
+    let mut gl = Gl::new(Platform::videocore_iv(), n, n);
+    assert!(gl.exec_config().threads() >= 1);
+    let cfg = OptConfig::baseline().without_swap().with_threads(3);
+    let _sum = Sum::builder(n)
+        .build(&mut gl, &cfg, &a, &b)
+        .expect("builds");
+    assert_eq!(gl.exec_config(), ExecConfig::with_threads(3));
+}

@@ -3,58 +3,49 @@
 use mgpu::gpgpu::{Sgemm, Sum};
 use mgpu::workloads::{max_abs_error, sgemm_blocked_ref, sum_ref, Matrix};
 use mgpu::{Encoding, Gl, OptConfig, Platform, Range};
-use proptest::prelude::*;
+use mgpu_prop::{run_cases, Rng};
 
-/// Strategy over small square matrices with values in [0, 1).
-fn matrix_strategy(n: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(0.0f32..1.0, n * n).prop_map(move |v| Matrix::from_data(n, v))
+/// A small square matrix with values in [0, 1).
+fn gen_matrix(rng: &mut Rng, n: usize) -> Matrix {
+    Matrix::from_data(n, (0..n * n).map(|_| rng.f32(0.0, 1.0)).collect())
 }
 
-/// Strategy over meaningful optimisation-config points.
-fn config_strategy() -> impl Strategy<Value = OptConfig> {
-    (
-        0u8..3,
-        prop::bool::ANY,
-        prop::bool::ANY,
-        prop::bool::ANY,
-        prop::bool::ANY,
-    )
-        .prop_map(|(sync, fb, reuse, fp24, invalidate)| {
-            let mut cfg = OptConfig::baseline();
-            cfg = match sync {
-                0 => cfg,
-                1 => cfg.with_swap_interval_0(),
-                _ => cfg.without_swap(),
-            };
-            if fb {
-                cfg = cfg.with_framebuffer_rendering();
-            }
-            if reuse {
-                cfg = cfg.with_texture_reuse();
-            }
-            if fp24 {
-                cfg = cfg.with_fp24();
-            }
-            if !invalidate {
-                cfg = cfg.without_invalidate();
-            }
-            cfg
-        })
+/// A meaningful optimisation-config point.
+fn gen_config(rng: &mut Rng) -> OptConfig {
+    let mut cfg = OptConfig::baseline();
+    cfg = match rng.u32_in(0, 3) {
+        0 => cfg,
+        1 => cfg.with_swap_interval_0(),
+        _ => cfg.without_swap(),
+    };
+    if rng.bool() {
+        cfg = cfg.with_framebuffer_rendering();
+    }
+    if rng.bool() {
+        cfg = cfg.with_texture_reuse();
+    }
+    if rng.bool() {
+        cfg = cfg.with_fp24();
+    }
+    if rng.bool() {
+        cfg = cfg.without_invalidate();
+    }
+    cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The GPU sum equals the CPU sum within quantisation error for any
-    /// inputs and any configuration point on either platform.
-    #[test]
-    fn sum_is_correct_for_any_config(
-        a in matrix_strategy(8),
-        b in matrix_strategy(8),
-        cfg in config_strategy(),
-        vc in prop::bool::ANY,
-    ) {
-        let platform = if vc { Platform::videocore_iv() } else { Platform::sgx_545() };
+/// The GPU sum equals the CPU sum within quantisation error for any inputs
+/// and any configuration point on either platform.
+#[test]
+fn sum_is_correct_for_any_config() {
+    run_cases(24, |rng| {
+        let a = gen_matrix(rng, 8);
+        let b = gen_matrix(rng, 8);
+        let cfg = gen_config(rng);
+        let platform = if rng.bool() {
+            Platform::videocore_iv()
+        } else {
+            Platform::sgx_545()
+        };
         let mut gl = Gl::new(platform, 8, 8);
         let mut sum = Sum::builder(8)
             .build(&mut gl, &cfg, a.data(), b.data())
@@ -66,21 +57,18 @@ proptest! {
             Encoding::Fp32 => 1e-5,
             Encoding::Fp24 => 2.0 * 2.0 / (255.0f32 * 255.0 * 255.0) + 1e-5,
         };
-        prop_assert!(
-            max_abs_error(&got, want.data()) <= tol,
-            "cfg {cfg:?}"
-        );
-    }
+        assert!(max_abs_error(&got, want.data()) <= tol, "cfg {cfg:?}");
+    });
+}
 
-    /// Blocked GPU sgemm equals the blocked CPU reference for any legal
-    /// block size.
-    #[test]
-    fn sgemm_is_correct_for_any_block(
-        a in matrix_strategy(16),
-        b in matrix_strategy(16),
-        block_sel in 0usize..5,
-    ) {
-        let block = [1u32, 2, 4, 8, 16][block_sel];
+/// Blocked GPU sgemm equals the blocked CPU reference for any legal block
+/// size.
+#[test]
+fn sgemm_is_correct_for_any_block() {
+    run_cases(24, |rng| {
+        let a = gen_matrix(rng, 16);
+        let b = gen_matrix(rng, 16);
+        let block = *rng.pick(&[1u32, 2, 4, 8, 16]);
         let mut gl = Gl::new(Platform::videocore_iv(), 16, 16);
         let mut sgemm = Sgemm::new(
             &mut gl,
@@ -96,18 +84,17 @@ proptest! {
         let want = sgemm_blocked_ref(&a, &b, block as usize);
         // Output range [0, 16): quantisation accumulates once per pass.
         let passes = 16.0 / block as f32;
-        prop_assert!(
-            max_abs_error(&got, want.data()) <= 16.0 * 3e-6 * (passes + 1.0) + 1e-4
-        );
-    }
+        assert!(max_abs_error(&got, want.data()) <= 16.0 * 3e-6 * (passes + 1.0) + 1e-4);
+    });
+}
 
-    /// Encode → GL upload → identity kernel → readback → decode is the
-    /// identity within one quantum, for any values and either encoding.
-    #[test]
-    fn encoding_round_trips_through_the_gpu(
-        values in prop::collection::vec(0.0f32..1.0, 16),
-        fp24 in prop::bool::ANY,
-    ) {
+/// Encode → GL upload → identity kernel → readback → decode is the
+/// identity within one quantum, for any values and either encoding.
+#[test]
+fn encoding_round_trips_through_the_gpu() {
+    run_cases(24, |rng| {
+        let values: Vec<f32> = (0..16).map(|_| rng.f32(0.0, 1.0)).collect();
+        let fp24 = rng.bool();
         let enc = if fp24 { Encoding::Fp24 } else { Encoding::Fp32 };
         let range = Range::unit();
         // Identity kernel: out = a + 0.
@@ -128,14 +115,17 @@ proptest! {
         for (v, g) in values.iter().zip(&got) {
             // The output range is [0,1) so 1.0-adjacent values clamp a hair.
             let v = v.min(0.99999);
-            prop_assert!((v - g).abs() <= tol, "{v} -> {g} ({enc:?})");
+            assert!((v - g).abs() <= tol, "{v} -> {g} ({enc:?})");
         }
-    }
+    });
+}
 
-    /// Simulated time per iteration is strictly positive and additive:
-    /// 2N iterations never take less than N iterations.
-    #[test]
-    fn simulated_time_is_additive(iters in 1usize..12) {
+/// Simulated time per iteration is strictly positive and additive: 2N
+/// iterations never take less than N iterations.
+#[test]
+fn simulated_time_is_additive() {
+    run_cases(11, |rng| {
+        let iters = rng.usize_in(1, 12);
         let a = vec![0.5f32; 64];
         let b = vec![0.25f32; 64];
         let run = |k: usize| {
@@ -150,7 +140,7 @@ proptest! {
         };
         let t1 = run(iters);
         let t2 = run(iters * 2);
-        prop_assert!(t2 >= t1);
-        prop_assert!(t1 > mgpu::SimTime::ZERO);
-    }
+        assert!(t2 >= t1);
+        assert!(t1 > mgpu::SimTime::ZERO);
+    });
 }
