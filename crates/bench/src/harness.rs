@@ -4,10 +4,110 @@
 //! targets cannot link the real `criterion` crate. This module provides
 //! the narrow subset they use — `benchmark_group` / `sample_size` /
 //! `bench_function` / `Bencher::iter` — timed with [`std::time::Instant`]
-//! and reported as a one-line summary per benchmark.
+//! and reported two ways per benchmark:
+//!
+//! * a human one-liner with mean / median / p95 / min / max;
+//! * a machine-readable `BENCH {...}` JSON line (see [`emit_bench_json`])
+//!   so the perf trajectory can be scraped and tracked across commits.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+/// Summary statistics over one benchmark's timed samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Arithmetic mean per iteration.
+    pub mean: Duration,
+    /// Median (50th percentile) per iteration.
+    pub median: Duration,
+    /// 95th percentile per iteration (nearest-rank).
+    pub p95: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+impl Stats {
+    /// Computes summary statistics; an empty sample set yields all zeros.
+    #[must_use]
+    pub fn from_samples(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            return Stats {
+                mean: Duration::ZERO,
+                median: Duration::ZERO,
+                p95: Duration::ZERO,
+                min: Duration::ZERO,
+                max: Duration::ZERO,
+                samples: 0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let total: Duration = sorted.iter().sum();
+        // Nearest-rank percentiles: ceil(p * n) - 1, clamped into range.
+        let rank = |p: f64| -> Duration {
+            let r = ((p * n as f64).ceil() as usize).clamp(1, n);
+            sorted[r - 1]
+        };
+        Stats {
+            mean: total / n as u32,
+            median: rank(0.50),
+            p95: rank(0.95),
+            min: sorted[0],
+            max: sorted[n - 1],
+            samples: n,
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats one machine-readable benchmark record: a single line starting
+/// with `BENCH ` followed by a JSON object with nanosecond statistics.
+/// Durations beyond ~584 years saturate at `u64::MAX` nanoseconds.
+#[must_use]
+pub fn bench_json_line(group: &str, id: &str, stats: &Stats) -> String {
+    let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+    format!(
+        "BENCH {{\"group\":\"{}\",\"id\":\"{}\",\"samples\":{},\"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+        json_escape(group),
+        json_escape(id),
+        stats.samples,
+        ns(stats.mean),
+        ns(stats.median),
+        ns(stats.p95),
+        ns(stats.min),
+        ns(stats.max),
+    )
+}
+
+/// Prints the human summary line and the `BENCH {...}` JSON line for one
+/// benchmark. Bench bins that do their own timing loops (rather than going
+/// through [`Criterion`]) call this directly so all output stays scrapable
+/// by the same tooling.
+pub fn emit_bench_json(group: &str, id: &str, stats: &Stats) {
+    println!(
+        "  {group}/{id}: mean {:?} median {:?} p95 {:?} min {:?} max {:?} ({} samples)",
+        stats.mean, stats.median, stats.p95, stats.min, stats.max, stats.samples
+    );
+    println!("{}", bench_json_line(group, id, stats));
+}
 
 /// Entry point object handed to each bench target's `bench` function.
 #[derive(Debug, Default)]
@@ -38,7 +138,8 @@ impl BenchmarkGroup {
         self
     }
 
-    /// Times one benchmark and prints mean / min / max per iteration.
+    /// Times one benchmark, printing the summary statistics and the
+    /// machine-readable `BENCH {...}` line.
     pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
         let id = id.into();
         let mut b = Bencher {
@@ -50,15 +151,8 @@ impl BenchmarkGroup {
         for _ in 0..self.sample_size {
             f(&mut b);
         }
-        let n = b.samples.len().max(1) as u32;
-        let total: Duration = b.samples.iter().sum();
-        let mean = total / n;
-        let min = b.samples.iter().min().copied().unwrap_or_default();
-        let max = b.samples.iter().max().copied().unwrap_or_default();
-        println!(
-            "  {}/{id}: mean {mean:?} min {min:?} max {max:?} ({n} samples)",
-            self.name
-        );
+        let stats = Stats::from_samples(&b.samples);
+        emit_bench_json(&self.name, &id, &stats);
     }
 
     /// Ends the group (parity with criterion's API; nothing to flush).
@@ -77,5 +171,51 @@ impl Bencher {
         let start = Instant::now();
         black_box(f());
         self.samples.push(start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_samples() {
+        let ms = Duration::from_millis;
+        let samples: Vec<Duration> = (1..=10).map(ms).collect();
+        let s = Stats::from_samples(&samples);
+        assert_eq!(s.samples, 10);
+        assert_eq!(s.min, ms(1));
+        assert_eq!(s.max, ms(10));
+        assert_eq!(s.median, ms(5)); // nearest-rank: ceil(0.5 * 10) = 5
+        assert_eq!(s.p95, ms(10)); // ceil(0.95 * 10) = 10
+        assert_eq!(s.mean, Duration::from_micros(5500));
+    }
+
+    #[test]
+    fn stats_of_empty_and_single() {
+        let s = Stats::from_samples(&[]);
+        assert_eq!(s.samples, 0);
+        assert_eq!(s.mean, Duration::ZERO);
+        let one = Stats::from_samples(&[Duration::from_nanos(42)]);
+        assert_eq!(one.median, Duration::from_nanos(42));
+        assert_eq!(one.p95, Duration::from_nanos(42));
+    }
+
+    #[test]
+    fn bench_line_is_valid_shape() {
+        let s = Stats::from_samples(&[Duration::from_nanos(100), Duration::from_nanos(200)]);
+        let line = bench_json_line("g", "sum/n=64", &s);
+        assert!(line.starts_with("BENCH {\"group\":\"g\""));
+        assert!(line.contains("\"id\":\"sum/n=64\""));
+        assert!(line.contains("\"samples\":2"));
+        assert!(line.contains("\"min_ns\":100"));
+        assert!(line.contains("\"max_ns\":200"));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 }

@@ -138,25 +138,33 @@ struct TexView<'a> {
 }
 
 impl TexView<'_> {
+    #[inline]
     fn texel(&self, x: i64, y: i64) -> [f32; 4] {
         let x = x.clamp(0, i64::from(self.width) - 1);
         let y = y.clamp(0, i64::from(self.height) - 1);
         let idx = (y as usize * self.width as usize + x as usize) * self.channels;
         let mut out = [0.0f32, 0.0, 0.0, 1.0];
         for (c, o) in out.iter_mut().enumerate().take(self.channels.min(4)) {
-            *o = f32::from(self.data[idx + c]) / 255.0;
+            *o = mgpu_shader::u8_to_unorm(self.data[idx + c]);
         }
         out
+    }
+
+    /// Nearest lookup with pre-converted dimension factors (the values of
+    /// `self.width as f32`/`self.height as f32`), hoisted by the batch
+    /// path so the conversions happen once per batch, not once per lane.
+    #[inline]
+    fn fetch_nearest_scaled(&self, u: f32, v: f32, wf: f32, hf: f32) -> [f32; 4] {
+        self.texel((u * wf).floor() as i64, (v * hf).floor() as i64)
     }
 }
 
 impl Sampler for TexView<'_> {
     fn fetch(&self, u: f32, v: f32) -> [f32; 4] {
         match self.filter {
-            TextureFilter::Nearest => self.texel(
-                (u * self.width as f32).floor() as i64,
-                (v * self.height as f32).floor() as i64,
-            ),
+            TextureFilter::Nearest => {
+                self.fetch_nearest_scaled(u, v, self.width as f32, self.height as f32)
+            }
             TextureFilter::Linear => {
                 // Sample positions relative to texel centres.
                 let x = u * self.width as f32 - 0.5;
@@ -175,6 +183,25 @@ impl Sampler for TexView<'_> {
                     out[c] = top * (1.0 - fy) + bottom * fy;
                 }
                 out
+            }
+        }
+    }
+
+    fn fetch_batch(&self, us: &[f32], vs: &[f32], out: &mut [[f32; 4]]) {
+        match self.filter {
+            TextureFilter::Nearest => {
+                // The GPGPU hot path: statically dispatched nearest
+                // lookups with the texel-scale factors hoisted out of the
+                // lane loop.
+                let (wf, hf) = (self.width as f32, self.height as f32);
+                for ((o, u), v) in out.iter_mut().zip(us).zip(vs) {
+                    *o = self.fetch_nearest_scaled(*u, *v, wf, hf);
+                }
+            }
+            TextureFilter::Linear => {
+                for ((o, u), v) in out.iter_mut().zip(us).zip(vs) {
+                    *o = self.fetch(*u, *v);
+                }
             }
         }
     }

@@ -22,6 +22,40 @@ use std::num::NonZeroUsize;
 /// Environment variable overriding the functional thread count.
 pub const THREADS_ENV: &str = "MGPU_THREADS";
 
+/// Environment variable selecting the fragment engine (`scalar` or
+/// `batched`; anything else falls back to the default, batched).
+pub const ENGINE_ENV: &str = "MGPU_ENGINE";
+
+/// Which functional fragment interpreter computes fragment colours.
+///
+/// Both engines are bit-exact with each other — the scalar engine is the
+/// reference semantics, the batched engine a lane-parallel reformulation
+/// of the same f32 expressions — so this knob only changes wall-clock
+/// time, never an output byte. The determinism tests at the workspace
+/// root hold the two engines against each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// The original per-fragment scalar interpreter, uniforms resolved at
+    /// bind time but no shader specialisation: the reference path.
+    Scalar,
+    /// The lane-batched SoA interpreter with bind-time uniform
+    /// specialisation: the throughput path, and the default.
+    #[default]
+    Batched,
+}
+
+impl Engine {
+    /// Reads `MGPU_ENGINE`, falling back to [`Engine::Batched`] when unset
+    /// or unrecognised.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(ENGINE_ENV) {
+            Ok(s) if s.trim().eq_ignore_ascii_case("scalar") => Engine::Scalar,
+            _ => Engine::Batched,
+        }
+    }
+}
+
 /// Fixed row-chunk granularity of the parallel rasteriser.
 ///
 /// The framebuffer is partitioned into chunks of this many rows; chunks
@@ -34,25 +68,31 @@ pub const CHUNK_ROWS: u32 = 16;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExecConfig {
     threads: usize,
+    engine: Engine,
 }
 
 impl ExecConfig {
-    /// The original single-threaded execution path.
+    /// The original single-threaded scalar execution path.
     #[must_use]
     pub const fn serial() -> Self {
-        ExecConfig { threads: 1 }
+        ExecConfig {
+            threads: 1,
+            engine: Engine::Scalar,
+        }
     }
 
-    /// Executes fragments on `threads` worker threads (clamped to ≥ 1).
+    /// Executes fragments on `threads` worker threads (clamped to ≥ 1),
+    /// with the environment-selected engine.
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
         ExecConfig {
             threads: threads.max(1),
+            engine: Engine::from_env(),
         }
     }
 
-    /// Reads `MGPU_THREADS`, falling back to the machine's available
-    /// parallelism when unset or unparsable.
+    /// Reads `MGPU_THREADS` and `MGPU_ENGINE`, falling back to the
+    /// machine's available parallelism and the batched engine.
     #[must_use]
     pub fn from_env() -> Self {
         match std::env::var(THREADS_ENV)
@@ -68,10 +108,30 @@ impl ExecConfig {
         }
     }
 
+    /// This configuration with the thread count replaced (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_thread_count(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// This configuration with the fragment engine replaced.
+    #[must_use]
+    pub const fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// The configured worker-thread count (≥ 1).
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured fragment engine.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Whether this configuration takes the serial path.
@@ -110,5 +170,20 @@ mod tests {
         // Whatever the environment says, the result is a usable config.
         assert!(ExecConfig::from_env().threads() >= 1);
         assert!(ExecConfig::default().threads() >= 1);
+    }
+
+    #[test]
+    fn serial_uses_the_scalar_reference_engine() {
+        assert_eq!(ExecConfig::serial().engine(), Engine::Scalar);
+    }
+
+    #[test]
+    fn engine_builder_round_trips() {
+        let cfg = ExecConfig::with_threads(4).with_engine(Engine::Scalar);
+        assert_eq!(cfg.engine(), Engine::Scalar);
+        assert_eq!(cfg.threads(), 4);
+        let cfg = cfg.with_engine(Engine::Batched).with_thread_count(2);
+        assert_eq!(cfg.engine(), Engine::Batched);
+        assert_eq!(cfg.threads(), 2);
     }
 }

@@ -55,7 +55,7 @@ mod types;
 
 pub use context::{DrawQuad, Gl};
 pub use error::GlError;
-pub use exec::ExecConfig;
+pub use exec::{Engine, ExecConfig};
 pub use types::{
     BufferId, BufferUsage, FramebufferId, ProgramId, TextureFilter, TextureFormat, TextureId,
     VertexSource,

@@ -7,20 +7,30 @@
 //! reproduction and rejected by the context layer.
 //!
 //! Two entry points exist: the closure-based [`rasterize_quad`] (the
-//! original serial reference) and [`rasterize_quad_into`], which writes
-//! quantised RGBA8 bytes straight into a target buffer and can fan the
-//! work out over a [`std::thread::scope`] worker pool according to an
-//! [`ExecConfig`]. Each fragment is a pure function of its coordinates,
-//! so the parallel schedule is byte-identical to the serial one; the
-//! determinism tests at the workspace root prove it.
+//! serial scalar reference) and [`rasterize_quad_into`], which writes
+//! quantised RGBA8 bytes straight into a target buffer, can fan the work
+//! out over a [`std::thread::scope`] worker pool, and can execute on
+//! either tier of the fragment engine according to an [`ExecConfig`]:
+//!
+//! * [`Engine::Scalar`] — the original per-fragment [`Executor`] over the
+//!   unmodified shader;
+//! * [`Engine::Batched`] — the shader is first specialised against the
+//!   bound uniforms ([`mgpu_shader::specialize`]), then executed in
+//!   [`LANES`]-wide batches by the SoA [`BatchExecutor`].
+//!
+//! Both tiers share one interpolation scheme: a per-column table of the
+//! horizontal lerps (which depend only on `x`), finished per fragment with
+//! the vertical lerp — the exact f32 expressions of [`interpolate`], just
+//! hoisted, so every engine/thread-count combination is byte-for-byte
+//! identical. The determinism tests at the workspace root prove it.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
 
 use mgpu_shader::ir::Shader;
-use mgpu_shader::{ExecError, Executor, Sampler, UniformValues};
+use mgpu_shader::{specialize, BatchExecutor, ExecError, Executor, Sampler, UniformValues, LANES};
 
-use crate::exec::{ExecConfig, CHUNK_ROWS};
+use crate::exec::{Engine, ExecConfig, CHUNK_ROWS};
 
 /// Corner values for one varying, in the order: (0,0), (1,0), (0,1), (1,1)
 /// of the unit quad (v increasing downward in texture space).
@@ -50,8 +60,148 @@ pub fn interpolate(corners: &VaryingCorners, u: f32, v: f32) -> [f32; 4] {
     out
 }
 
+/// Column-hoisted varying interpolation for a fixed-width grid.
+///
+/// [`interpolate`] splits into a horizontal lerp (dependent only on `u`,
+/// i.e. on the column) and a vertical lerp (dependent only on `v`). The
+/// table precomputes the horizontal `top`/`bottom` pair for every
+/// (varying, column) once per draw; [`ColumnTable::value`] finishes with
+/// `top * (1 - v) + bottom * v` — the same f32 expression `interpolate`
+/// evaluates, so hoisting is bitwise invisible.
+struct ColumnTable {
+    slots: usize,
+    width: usize,
+    /// `(top, bottom)` horizontal lerps, indexed `slot * width + x`.
+    cols: Vec<([f32; 4], [f32; 4])>,
+}
+
+impl ColumnTable {
+    fn new(corners: &[VaryingCorners], width: u32) -> Self {
+        let width = width as usize;
+        let mut cols = Vec::with_capacity(corners.len() * width);
+        for corner in corners {
+            for x in 0..width {
+                let u = (x as f32 + 0.5) / width as f32;
+                let (mut top, mut bottom) = ([0.0f32; 4], [0.0f32; 4]);
+                for c in 0..4 {
+                    top[c] = corner[0][c] * (1.0 - u) + corner[1][c] * u;
+                    bottom[c] = corner[2][c] * (1.0 - u) + corner[3][c] * u;
+                }
+                cols.push((top, bottom));
+            }
+        }
+        ColumnTable {
+            slots: corners.len(),
+            width,
+            cols,
+        }
+    }
+
+    /// The interpolated value of varying `slot` at column `x`, row
+    /// position `v` — bit-identical to [`interpolate`] at the column's
+    /// `u`.
+    #[inline]
+    fn value(&self, slot: usize, x: usize, v: f32) -> [f32; 4] {
+        let (top, bottom) = &self.cols[slot * self.width + x];
+        let mut out = [0.0f32; 4];
+        for c in 0..4 {
+            out[c] = top[c] * (1.0 - v) + bottom[c] * v;
+        }
+        out
+    }
+}
+
+/// Per-worker execution state for one tier of the fragment engine.
+enum FragEngine<'s> {
+    /// Per-fragment scalar interpretation.
+    Scalar(Executor<'s>),
+    /// Lane-batched SoA interpretation (boxed: the register planes are
+    /// large and the scratch buffers live alongside them).
+    Batched(Box<BatchState<'s>>),
+}
+
+/// The batched tier plus its reusable staging buffers.
+struct BatchState<'s> {
+    exec: BatchExecutor<'s>,
+    /// Slot-major varying staging, stride [`LANES`].
+    varyings: Vec<[f32; 4]>,
+    /// Per-lane output colours of the current batch.
+    colors: [[f32; 4]; LANES],
+}
+
+impl<'s> FragEngine<'s> {
+    fn new(
+        shader: &'s Shader,
+        uniforms: &UniformValues,
+        engine: Engine,
+        slots: usize,
+    ) -> Result<Self, ExecError> {
+        Ok(match engine {
+            Engine::Scalar => FragEngine::Scalar(Executor::new(shader, uniforms)?),
+            Engine::Batched => FragEngine::Batched(Box::new(BatchState {
+                exec: BatchExecutor::new(shader, uniforms)?,
+                varyings: vec![[0.0f32; 4]; slots * LANES],
+                colors: [[0.0f32; 4]; LANES],
+            })),
+        })
+    }
+}
+
+/// Runs the engine over rows `y0..y1` of the grid, calling `emit` for
+/// every fragment with its raw output colour, in row-major fragment order.
+/// Shared by every entry point and worker, so all paths interpolate and
+/// execute through the same code.
+fn drive_fragments(
+    engine: &mut FragEngine<'_>,
+    samplers: &[&dyn Sampler],
+    table: &ColumnTable,
+    height: u32,
+    y0: u32,
+    y1: u32,
+    mut emit: impl FnMut(u32, u32, [f32; 4]),
+) -> Result<(), ExecError> {
+    let width = table.width as u32;
+    match engine {
+        FragEngine::Scalar(ex) => {
+            let mut varying_values = vec![[0.0f32; 4]; table.slots];
+            for y in y0..y1 {
+                let v = (y as f32 + 0.5) / height as f32;
+                for x in 0..width {
+                    for (slot, val) in varying_values.iter_mut().enumerate() {
+                        *val = table.value(slot, x as usize, v);
+                    }
+                    emit(x, y, ex.run(&varying_values, samplers)?);
+                }
+            }
+        }
+        FragEngine::Batched(st) => {
+            for y in y0..y1 {
+                let v = (y as f32 + 0.5) / height as f32;
+                let mut x0 = 0u32;
+                while x0 < width {
+                    let n = (width - x0).min(LANES as u32) as usize;
+                    for slot in 0..table.slots {
+                        for l in 0..n {
+                            st.varyings[slot * LANES + l] = table.value(slot, x0 as usize + l, v);
+                        }
+                    }
+                    st.exec.run(&st.varyings, n, samplers, &mut st.colors)?;
+                    for (l, &color) in st.colors[..n].iter().enumerate() {
+                        emit(x0 + l as u32, y, color);
+                    }
+                    x0 += n as u32;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Runs `shader` over a `width`×`height` grid, calling `write` for every
 /// fragment with its raw (unclamped) output colour.
+///
+/// This is the serial scalar reference path: the unmodified shader on the
+/// per-fragment [`Executor`], one fragment at a time.
 ///
 /// `corners` supplies one corner set per varying slot, in shader declaration
 /// order.
@@ -67,23 +217,12 @@ pub fn rasterize_quad(
     width: u32,
     height: u32,
     corners: &[VaryingCorners],
-    mut write: impl FnMut(u32, u32, [f32; 4]),
+    write: impl FnMut(u32, u32, [f32; 4]),
 ) -> Result<(), ExecError> {
     check_corners(shader, corners)?;
-    let mut exec = Executor::new(shader, uniforms)?;
-    let mut varying_values = vec![[0.0f32; 4]; corners.len()];
-    for y in 0..height {
-        let v = (y as f32 + 0.5) / height as f32;
-        for x in 0..width {
-            let u = (x as f32 + 0.5) / width as f32;
-            for (slot, c) in corners.iter().enumerate() {
-                varying_values[slot] = interpolate(c, u, v);
-            }
-            let rgba = exec.run(&varying_values, samplers)?;
-            write(x, y, rgba);
-        }
-    }
-    Ok(())
+    let table = ColumnTable::new(corners, width);
+    let mut engine = FragEngine::new(shader, uniforms, Engine::Scalar, corners.len())?;
+    drive_fragments(&mut engine, samplers, &table, height, 0, height, write)
 }
 
 /// A writable pixel buffer for [`rasterize_quad_into`].
@@ -101,12 +240,14 @@ pub struct RasterTarget<'a> {
 
 /// Runs `shader` over the target grid, writing quantised pixels directly
 /// into `target.data` — serially, or on a scoped worker pool when `exec`
-/// asks for more than one thread.
+/// asks for more than one thread, on the fragment-engine tier `exec`
+/// selects. With [`Engine::Batched`] the shader is first specialised
+/// against the bound uniforms, once per draw.
 ///
 /// The framebuffer is cut into fixed chunks of [`CHUNK_ROWS`] rows;
 /// chunks are dealt to workers round-robin by index and each worker runs
-/// its own [`Executor`]. No execution state is shared between workers, so
-/// the output is byte-for-byte identical to the serial path. A kernel
+/// its own engine instance. No execution state is shared between workers,
+/// so the output is byte-for-byte identical to the serial path. A kernel
 /// failure (or panic) in any chunk surfaces as the error of the
 /// lowest-index failing chunk — the same error the serial path would
 /// report first.
@@ -143,12 +284,35 @@ pub fn rasterize_quad_into(
     }
     let data = &mut data[..needed];
 
+    // Bind-time specialisation: fold the bound uniforms into the shader
+    // as constants, once per draw. Only the batched tier uses it — the
+    // scalar tier stays the pristine reference path. Timing is computed
+    // by the caller from the original shader, so this can never perturb
+    // the simulated cost.
+    let engine_kind = exec.engine();
+    let specialized;
+    let shader = match engine_kind {
+        Engine::Scalar => shader,
+        Engine::Batched => {
+            specialized = specialize(shader, uniforms)?;
+            &specialized
+        }
+    };
+    let table = ColumnTable::new(corners, width);
+
     let n_chunks = height.div_ceil(CHUNK_ROWS) as usize;
     let threads = exec.threads().min(n_chunks);
     if threads <= 1 {
-        let mut ex = Executor::new(shader, uniforms)?;
+        let mut engine = FragEngine::new(shader, uniforms, engine_kind, corners.len())?;
         return run_rows(
-            &mut ex, samplers, corners, width, height, 0, height, channels, data,
+            &mut engine,
+            samplers,
+            &table,
+            height,
+            0,
+            height,
+            channels,
+            data,
         );
     }
 
@@ -161,16 +325,18 @@ pub fn rasterize_quad_into(
         per_worker[i % threads].push((i, slice));
     }
 
+    let table = &table;
     let first_err = thread::scope(|s| {
         let handles: Vec<_> = per_worker
             .into_iter()
             .map(|chunks| {
                 s.spawn(move || -> Option<(usize, ExecError)> {
-                    // One shader-VM instance per worker.
-                    let mut ex = match Executor::new(shader, uniforms) {
-                        Ok(ex) => ex,
-                        Err(e) => return Some((chunks.first().map_or(0, |(i, _)| *i), e)),
-                    };
+                    // One engine instance per worker.
+                    let mut engine =
+                        match FragEngine::new(shader, uniforms, engine_kind, corners.len()) {
+                            Ok(engine) => engine,
+                            Err(e) => return Some((chunks.first().map_or(0, |(i, _)| *i), e)),
+                        };
                     for (i, slice) in chunks {
                         let y0 = i as u32 * CHUNK_ROWS;
                         let y1 = (y0 + CHUNK_ROWS).min(height);
@@ -178,7 +344,14 @@ pub fn rasterize_quad_into(
                         // scope boundary and poisons the caller.
                         let run = catch_unwind(AssertUnwindSafe(|| {
                             run_rows(
-                                &mut ex, samplers, corners, width, height, y0, y1, channels, slice,
+                                &mut engine,
+                                samplers,
+                                table,
+                                height,
+                                y0,
+                                y1,
+                                channels,
+                                slice,
                             )
                         }));
                         match run {
@@ -238,31 +411,21 @@ fn check_corners(shader: &Shader, corners: &[VaryingCorners]) -> Result<(), Exec
 /// both paths run the same per-fragment code.
 #[allow(clippy::too_many_arguments)]
 fn run_rows(
-    exec: &mut Executor<'_>,
+    engine: &mut FragEngine<'_>,
     samplers: &[&dyn Sampler],
-    corners: &[VaryingCorners],
-    width: u32,
+    table: &ColumnTable,
     height: u32,
     y0: u32,
     y1: u32,
     channels: usize,
     out: &mut [u8],
 ) -> Result<(), ExecError> {
-    let mut varying_values = vec![[0.0f32; 4]; corners.len()];
-    for y in y0..y1 {
-        let v = (y as f32 + 0.5) / height as f32;
-        for x in 0..width {
-            let u = (x as f32 + 0.5) / width as f32;
-            for (slot, c) in corners.iter().enumerate() {
-                varying_values[slot] = interpolate(c, u, v);
-            }
-            let rgba = exec.run(&varying_values, samplers)?;
-            let px = quantize_rgba8(rgba);
-            let idx = ((y - y0) as usize * width as usize + x as usize) * channels;
-            out[idx..idx + channels].copy_from_slice(&px[..channels]);
-        }
-    }
-    Ok(())
+    let width = table.width;
+    drive_fragments(engine, samplers, table, height, y0, y1, |x, y, rgba| {
+        let px = quantize_rgba8(rgba);
+        let idx = ((y - y0) as usize * width + x as usize) * channels;
+        out[idx..idx + channels].copy_from_slice(&px[..channels]);
+    })
 }
 
 /// Converts a raw fragment colour to RGBA8 exactly as the fixed-function
@@ -284,6 +447,30 @@ mod tests {
         assert_eq!(interpolate(&c, 0.0, 0.0)[..2], [0.0, 0.0]);
         assert_eq!(interpolate(&c, 1.0, 1.0)[..2], [1.0, 1.0]);
         assert_eq!(interpolate(&c, 0.5, 0.5)[..2], [0.5, 0.5]);
+    }
+
+    #[test]
+    fn column_table_matches_interpolate_bitwise() {
+        // Awkward corner values, including negatives and non-dyadic
+        // fractions, at an odd width: the hoisted lerps must equal the
+        // direct bilinear expression bit for bit.
+        let corners = [
+            [0.3, -1.7, 255.0, 0.1],
+            [2.9, 0.33, -4.0, 7.7],
+            [-0.6, 12.1, 3.3, 0.9],
+            [1.1, -8.8, 0.77, 5.5],
+        ];
+        let width = 37u32;
+        let table = ColumnTable::new(&[corners], width);
+        for y in 0..23u32 {
+            let v = (y as f32 + 0.5) / 23.0;
+            for x in 0..width {
+                let u = (x as f32 + 0.5) / width as f32;
+                let want = interpolate(&corners, u, v);
+                let got = table.value(0, x as usize, v);
+                assert_eq!(got.map(f32::to_bits), want.map(f32::to_bits));
+            }
+        }
     }
 
     #[test]
@@ -327,7 +514,7 @@ mod tests {
         width: u32,
         height: u32,
         channels: usize,
-        threads: usize,
+        exec: &ExecConfig,
     ) -> Vec<u8> {
         let mut data = vec![0u8; width as usize * height as usize * channels];
         rasterize_quad_into(
@@ -341,7 +528,7 @@ mod tests {
                 channels,
                 data: &mut data,
             },
-            &ExecConfig::with_threads(threads),
+            exec,
         )
         .unwrap();
         data
@@ -358,14 +545,40 @@ mod tests {
         // fp24 layout.
         for &(w, h) in &[(33u32, 17u32), (64, 64), (5, 97), (1, 1)] {
             for &ch in &[3usize, 4] {
-                let serial = raster_bytes(&sh, w, h, ch, 1);
+                let serial = raster_bytes(&sh, w, h, ch, &ExecConfig::serial());
                 for threads in [2, 4, 8] {
                     assert_eq!(
-                        raster_bytes(&sh, w, h, ch, threads),
+                        raster_bytes(&sh, w, h, ch, &ExecConfig::with_threads(threads)),
                         serial,
                         "{w}x{h}x{ch} at {threads} threads"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_engine_is_byte_identical_to_scalar() {
+        let sh = compile(
+            "varying vec2 v;\n\
+             void main() {\n\
+               float a = v.x * 3.7 + v.y;\n\
+               if (a < 1.0) { a = sqrt(a + 1.0); } else { a = a * 0.25; }\n\
+               gl_FragColor = vec4(a, fract(a * 9.0), v.y, 1.0);\n\
+             }",
+        )
+        .unwrap();
+        // Widths around the lane count exercise full, partial and
+        // multi-batch rows.
+        for &(w, h) in &[(1u32, 5u32), (63, 9), (64, 3), (65, 7), (200, 11)] {
+            let scalar = raster_bytes(&sh, w, h, 4, &ExecConfig::serial());
+            for threads in [1usize, 4] {
+                let cfg = ExecConfig::with_threads(threads).with_engine(Engine::Batched);
+                assert_eq!(
+                    raster_bytes(&sh, w, h, 4, &cfg),
+                    scalar,
+                    "{w}x{h} batched at {threads} threads"
+                );
             }
         }
     }

@@ -7,7 +7,7 @@
 //! starting point — an implementation following OpenGL ES 2 best practices
 //! [14][11] — and each builder method applies one optimisation.
 
-use mgpu_gles::BufferUsage;
+use mgpu_gles::{BufferUsage, Engine};
 
 use crate::encoding::Encoding;
 
@@ -72,6 +72,10 @@ pub struct OptConfig {
     /// Purely a wall-clock knob: outputs and simulated timing are
     /// identical for every value.
     pub threads: Option<usize>,
+    /// Fragment-engine tier for functional execution (`None` keeps the
+    /// context's setting — `MGPU_ENGINE` or the batched default). Like
+    /// `threads`, purely a wall-clock knob: both engines are bit-exact.
+    pub engine: Option<Engine>,
 }
 
 impl OptConfig {
@@ -89,6 +93,7 @@ impl OptConfig {
             encoding: Encoding::Fp32,
             mad_fusion: true,
             threads: None,
+            engine: None,
         }
     }
 
@@ -160,6 +165,13 @@ impl OptConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Pins functional execution to the given fragment-engine tier.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = Some(engine);
         self
     }
 }

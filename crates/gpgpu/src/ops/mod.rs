@@ -58,8 +58,17 @@ pub(crate) fn apply_setup(gl: &mut Gl, cfg: &OptConfig) {
         SyncStrategy::SwapInterval0 => gl.swap_interval(0),
         SyncStrategy::NoSwap => {}
     }
-    if let Some(threads) = cfg.threads {
-        gl.set_exec_config(mgpu_gles::ExecConfig::with_threads(threads));
+    if cfg.threads.is_some() || cfg.engine.is_some() {
+        // Compose onto the context's current configuration so pinning one
+        // knob never clobbers the other.
+        let mut exec = gl.exec_config();
+        if let Some(threads) = cfg.threads {
+            exec = exec.with_thread_count(threads);
+        }
+        if let Some(engine) = cfg.engine {
+            exec = exec.with_engine(engine);
+        }
+        gl.set_exec_config(exec);
     }
 }
 

@@ -1,0 +1,598 @@
+//! Lane-batched (SoA) execution of compiled shaders.
+//!
+//! [`BatchExecutor`] is the throughput tier of the two-tier execution
+//! engine: it runs one IR instruction across a batch of up to [`LANES`]
+//! fragments before advancing to the next instruction, with every virtual
+//! register stored as four `[f32; LANES]` component planes. That layout
+//! amortises the per-instruction enum dispatch that dominates the scalar
+//! [`Executor`](crate::Executor) and turns the per-component loops into
+//! straight-line array walks the compiler can autovectorise.
+//!
+//! The contract is strict bit-identity: for every lane, every instruction
+//! evaluates exactly the f32 expression `eval_pure_op` evaluates for a
+//! single fragment — same broadcast rules, same accumulation order, same
+//! `mul24` truncation — so a batch of N fragments produces byte-for-byte
+//! the outputs of N scalar runs. The one IEEE 754 carve-out is NaN
+//! *payloads*: when two different NaN bit patterns meet in one operation
+//! the propagated payload is unspecified and codegen may commute the
+//! operands, so the two tiers can surface different (equally valid) NaN
+//! payloads. NaN-ness itself is deterministic, and the rasteriser's
+//! quantisation maps every NaN to the same byte, so pipeline output stays
+//! byte-identical. The property tests in `tests/batch.rs` check all of
+//! this across random shaders, NaN/±inf inputs and partial batches.
+
+use crate::error::ExecError;
+use crate::ir::{CmpOp, InputKind, Op, Reg, Shader};
+use crate::vm::{register_widths, truncate_to_24bit, Sampler, UniformValues};
+
+/// Number of fragments evaluated per batch.
+pub const LANES: usize = 64;
+
+/// One component plane: the same register component across all lanes.
+type Plane = [f32; LANES];
+
+/// One virtual register: four component planes.
+type RegPlanes = [Plane; 4];
+
+/// Executes a compiled shader for batches of fragments in SoA form.
+///
+/// Varyings are supplied slot-major with a stride of [`LANES`]: the value
+/// of varying slot `s` for lane `l` lives at `varyings[s * LANES + l]`.
+/// Unused tail lanes of a partial batch may hold anything; they are
+/// evaluated but never read back.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_shader::{compile, BatchExecutor, Executor, UniformValues, LANES};
+///
+/// let shader = compile("
+///     varying vec2 v_coord;
+///     void main() { gl_FragColor = vec4(v_coord, 0.0, 1.0); }
+/// ").expect("compiles");
+/// let uniforms = UniformValues::new();
+///
+/// let mut varyings = vec![[0.0f32; 4]; LANES];
+/// varyings[0] = [0.25, 0.5, 0.0, 0.0];
+/// varyings[1] = [0.75, 0.1, 0.0, 0.0];
+/// let mut out = [[0.0f32; 4]; 2];
+/// let mut batch = BatchExecutor::new(&shader, &uniforms).expect("binds");
+/// batch.run(&varyings, 2, &[], &mut out).expect("runs");
+///
+/// let mut scalar = Executor::new(&shader, &uniforms).expect("binds");
+/// assert_eq!(out[0], scalar.run(&[varyings[0]], &[]).expect("runs"));
+/// assert_eq!(out[1], scalar.run(&[varyings[1]], &[]).expect("runs"));
+/// ```
+pub struct BatchExecutor<'s> {
+    shader: &'s Shader,
+    widths: Vec<u8>,
+    regs: Vec<RegPlanes>,
+    varying_regs: Vec<Reg>,
+}
+
+impl<'s> BatchExecutor<'s> {
+    /// Prepares a batch executor, resolving every uniform (broadcast to
+    /// all lanes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if a uniform declared by the shader has no
+    /// value in `uniforms`.
+    pub fn new(shader: &'s Shader, uniforms: &UniformValues) -> Result<Self, ExecError> {
+        let widths = register_widths(shader);
+        let mut regs = vec![[[0.0f32; LANES]; 4]; shader.reg_count as usize];
+        let mut varying_regs = Vec::new();
+        for slot in &shader.inputs {
+            match slot.kind {
+                InputKind::Uniform => {
+                    let v = uniforms.get(&slot.name).ok_or_else(|| {
+                        ExecError::new(format!("uniform `{}` is not set", slot.name))
+                    })?;
+                    let planes = &mut regs[slot.reg.0 as usize];
+                    for c in 0..4 {
+                        planes[c] = [v[c]; LANES];
+                    }
+                }
+                InputKind::Varying => varying_regs.push(slot.reg),
+            }
+        }
+        Ok(BatchExecutor {
+            shader,
+            widths,
+            regs,
+            varying_regs,
+        })
+    }
+
+    /// Runs the shader for a batch of `n` fragments (`1..=LANES`).
+    ///
+    /// `varyings` is slot-major with stride [`LANES`] (see the type-level
+    /// docs); `samplers` supplies one implementation per texture unit;
+    /// lane `l`'s output colour is written to `out[l]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] when `n` is out of range, the buffers are too
+    /// small for the shader's varying count, or a texture unit referenced
+    /// by the shader has no sampler bound.
+    pub fn run(
+        &mut self,
+        varyings: &[[f32; 4]],
+        n: usize,
+        samplers: &[&dyn Sampler],
+        out: &mut [[f32; 4]],
+    ) -> Result<(), ExecError> {
+        if n == 0 || n > LANES {
+            return Err(ExecError::new(format!(
+                "batch size {n} outside 1..={LANES}"
+            )));
+        }
+        if varyings.len() < self.varying_regs.len() * LANES {
+            return Err(ExecError::new(format!(
+                "shader has {} varyings, {} lane-strided values provided",
+                self.varying_regs.len(),
+                varyings.len()
+            )));
+        }
+        if out.len() < n {
+            return Err(ExecError::new(format!(
+                "output buffer holds {} lanes, batch has {n}",
+                out.len()
+            )));
+        }
+        for (slot, reg) in self.varying_regs.iter().enumerate() {
+            let values = &varyings[slot * LANES..(slot + 1) * LANES];
+            let planes = &mut self.regs[reg.0 as usize];
+            for (l, v) in values[..n].iter().enumerate() {
+                for c in 0..4 {
+                    planes[c][l] = v[c];
+                }
+            }
+        }
+        let mut fetched = [[0.0f32; 4]; LANES];
+        for instr in &self.shader.instrs {
+            // Zeroed like the scalar evaluator's result: components the op
+            // leaves unwritten must read back as 0.0.
+            let mut scratch: RegPlanes = [[0.0; LANES]; 4];
+            match instr.op {
+                Op::TexFetch { sampler } => {
+                    let s = samplers.get(sampler as usize).ok_or_else(|| {
+                        ExecError::new(format!("texture unit {sampler} has no sampler bound"))
+                    })?;
+                    let coord = &self.regs[instr.srcs[0].0 as usize];
+                    s.fetch_batch(&coord[0][..n], &coord[1][..n], &mut fetched[..n]);
+                    for (l, t) in fetched[..n].iter().enumerate() {
+                        for c in 0..4 {
+                            scratch[c][l] = t[c];
+                        }
+                    }
+                }
+                ref op => eval_op_lanes(
+                    op,
+                    &self.regs,
+                    &self.widths,
+                    &instr.srcs,
+                    instr.width,
+                    n,
+                    &mut scratch,
+                ),
+            }
+            self.regs[instr.dst.0 as usize] = scratch;
+        }
+        let planes = &self.regs[self.shader.output.0 as usize];
+        for (l, o) in out[..n].iter_mut().enumerate() {
+            for c in 0..4 {
+                o[c] = planes[c][l];
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates one pure op across `n` lanes into `out` (pre-zeroed by the
+/// caller, mirroring the scalar evaluator's zero-initialised result).
+///
+/// Every arm computes, per lane, exactly the f32 expression the scalar
+/// `eval_pure_op` computes — bit-identity depends on it, so the arms are
+/// kept in the same order and written with the same operations.
+// Index loops mirror the per-component ISA semantics more clearly than
+// iterator chains here, and keep the lane loops autovectorisable.
+#[allow(clippy::needless_range_loop)]
+fn eval_op_lanes(
+    op: &Op,
+    regs: &[RegPlanes],
+    widths: &[u8],
+    srcs: &[Reg],
+    width: u8,
+    n: usize,
+    out: &mut RegPlanes,
+) {
+    // Broadcast read: a width-1 source supplies its component 0 plane for
+    // every requested component, matching the scalar evaluator's `read`.
+    let plane = |i: usize, c: usize| -> &Plane {
+        let r = srcs[i].0 as usize;
+        let pc = if widths[r] == 1 { 0 } else { c };
+        &regs[r][pc]
+    };
+    // Raw read: component `c` of source `i` with no broadcast, matching
+    // the scalar evaluator's direct `srcs[i][c]` accesses.
+    let raw = |i: usize, c: usize| -> &Plane { &regs[srcs[i].0 as usize][c] };
+    let w = width as usize;
+    match op {
+        Op::Const(v) => {
+            for c in 0..4 {
+                out[c][..n].fill(v[c]);
+            }
+        }
+        Op::Mov => {
+            for c in 0..w {
+                out[c][..n].copy_from_slice(&plane(0, c)[..n]);
+            }
+        }
+        Op::Neg => {
+            for c in 0..w {
+                let a = plane(0, c);
+                for l in 0..n {
+                    out[c][l] = -a[l];
+                }
+            }
+        }
+        Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::Div
+        | Op::Min
+        | Op::Max
+        | Op::ModOp
+        | Op::Pow
+        | Op::Step => {
+            for c in 0..w {
+                let (a, b) = (plane(0, c), plane(1, c));
+                let o = &mut out[c];
+                match op {
+                    Op::Add => {
+                        for l in 0..n {
+                            o[l] = a[l] + b[l];
+                        }
+                    }
+                    Op::Sub => {
+                        for l in 0..n {
+                            o[l] = a[l] - b[l];
+                        }
+                    }
+                    Op::Mul => {
+                        for l in 0..n {
+                            o[l] = a[l] * b[l];
+                        }
+                    }
+                    Op::Div => {
+                        for l in 0..n {
+                            o[l] = a[l] / b[l];
+                        }
+                    }
+                    Op::Min => {
+                        for l in 0..n {
+                            o[l] = a[l].min(b[l]);
+                        }
+                    }
+                    Op::Max => {
+                        for l in 0..n {
+                            o[l] = a[l].max(b[l]);
+                        }
+                    }
+                    Op::ModOp => {
+                        for l in 0..n {
+                            o[l] = a[l] - b[l] * (a[l] / b[l]).floor();
+                        }
+                    }
+                    Op::Pow => {
+                        for l in 0..n {
+                            o[l] = a[l].powf(b[l]);
+                        }
+                    }
+                    Op::Step => {
+                        for l in 0..n {
+                            o[l] = if b[l] < a[l] { 0.0 } else { 1.0 };
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+        Op::Mad => {
+            for c in 0..w {
+                let (a, b, acc) = (plane(0, c), plane(1, c), plane(2, c));
+                for l in 0..n {
+                    out[c][l] = a[l] * b[l] + acc[l];
+                }
+            }
+        }
+        Op::Mul24 => {
+            let (a, b) = (plane(0, 0), plane(1, 0));
+            for l in 0..n {
+                out[0][l] = truncate_to_24bit(truncate_to_24bit(a[l]) * truncate_to_24bit(b[l]));
+            }
+        }
+        Op::Dot => {
+            let (r0, r1) = (srcs[0].0 as usize, srcs[1].0 as usize);
+            let nc = widths[r0].max(widths[r1]) as usize;
+            // `out[0]` starts at 0.0; accumulating component-major keeps
+            // each lane's addition order identical to the scalar loop.
+            for c in 0..nc {
+                let (a, b) = (plane(0, c), plane(1, c));
+                for l in 0..n {
+                    out[0][l] += a[l] * b[l];
+                }
+            }
+        }
+        Op::Clamp => {
+            for c in 0..w {
+                let (x, lo, hi) = (plane(0, c), plane(1, c), plane(2, c));
+                for l in 0..n {
+                    out[c][l] = x[l].max(lo[l]).min(hi[l]);
+                }
+            }
+        }
+        Op::Floor => {
+            for c in 0..w {
+                let a = plane(0, c);
+                for l in 0..n {
+                    out[c][l] = a[l].floor();
+                }
+            }
+        }
+        Op::Fract => {
+            for c in 0..w {
+                let a = plane(0, c);
+                for l in 0..n {
+                    out[c][l] = a[l] - a[l].floor();
+                }
+            }
+        }
+        Op::Abs => {
+            for c in 0..w {
+                let a = plane(0, c);
+                for l in 0..n {
+                    out[c][l] = a[l].abs();
+                }
+            }
+        }
+        Op::Sqrt => {
+            for c in 0..w {
+                let a = plane(0, c);
+                for l in 0..n {
+                    out[c][l] = a[l].sqrt();
+                }
+            }
+        }
+        Op::Sin => {
+            for c in 0..w {
+                let a = plane(0, c);
+                for l in 0..n {
+                    out[c][l] = a[l].sin();
+                }
+            }
+        }
+        Op::Cos => {
+            for c in 0..w {
+                let a = plane(0, c);
+                for l in 0..n {
+                    out[c][l] = a[l].cos();
+                }
+            }
+        }
+        Op::Exp2 => {
+            for c in 0..w {
+                let a = plane(0, c);
+                for l in 0..n {
+                    out[c][l] = a[l].exp2();
+                }
+            }
+        }
+        Op::Log2 => {
+            for c in 0..w {
+                let a = plane(0, c);
+                for l in 0..n {
+                    out[c][l] = a[l].log2();
+                }
+            }
+        }
+        Op::InverseSqrt => {
+            for c in 0..w {
+                let a = plane(0, c);
+                for l in 0..n {
+                    out[c][l] = 1.0 / a[l].sqrt();
+                }
+            }
+        }
+        Op::Sign => {
+            for c in 0..w {
+                let a = plane(0, c);
+                for l in 0..n {
+                    out[c][l] = if a[l] > 0.0 {
+                        1.0
+                    } else if a[l] < 0.0 {
+                        -1.0
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+        Op::Mix => {
+            for c in 0..w {
+                let (a, b, t) = (plane(0, c), plane(1, c), plane(2, c));
+                for l in 0..n {
+                    out[c][l] = a[l] * (1.0 - t[l]) + b[l] * t[l];
+                }
+            }
+        }
+        Op::Cmp(cmp) => {
+            let (a, b) = (raw(0, 0), raw(1, 0));
+            for l in 0..n {
+                let r = match cmp {
+                    CmpOp::Lt => a[l] < b[l],
+                    CmpOp::Le => a[l] <= b[l],
+                    CmpOp::Gt => a[l] > b[l],
+                    CmpOp::Ge => a[l] >= b[l],
+                    CmpOp::Eq => a[l] == b[l],
+                    CmpOp::Ne => a[l] != b[l],
+                };
+                out[0][l] = if r { 1.0 } else { 0.0 };
+            }
+        }
+        Op::And => {
+            let (a, b) = (raw(0, 0), raw(1, 0));
+            for l in 0..n {
+                out[0][l] = if a[l] != 0.0 && b[l] != 0.0 { 1.0 } else { 0.0 };
+            }
+        }
+        Op::Or => {
+            let (a, b) = (raw(0, 0), raw(1, 0));
+            for l in 0..n {
+                out[0][l] = if a[l] != 0.0 || b[l] != 0.0 { 1.0 } else { 0.0 };
+            }
+        }
+        Op::Not => {
+            let a = raw(0, 0);
+            for l in 0..n {
+                out[0][l] = if a[l] != 0.0 { 0.0 } else { 1.0 };
+            }
+        }
+        Op::Select => {
+            let mask = raw(0, 0);
+            for c in 0..w {
+                let (t, e) = (plane(1, c), plane(2, c));
+                for l in 0..n {
+                    out[c][l] = if mask[l] != 0.0 { t[l] } else { e[l] };
+                }
+            }
+        }
+        Op::Swizzle(pattern) => {
+            for c in 0..w {
+                out[c][..n].copy_from_slice(&raw(0, pattern[c] as usize)[..n]);
+            }
+        }
+        Op::Merge { select } => {
+            for c in 0..w {
+                let src = if select[c] == 0xFF {
+                    raw(0, c)
+                } else {
+                    plane(1, select[c] as usize)
+                };
+                out[c][..n].copy_from_slice(&src[..n]);
+            }
+        }
+        Op::Construct => {
+            let mut k = 0usize;
+            for i in 0..srcs.len() {
+                let sw = widths[srcs[i].0 as usize] as usize;
+                for c in 0..sw {
+                    if k < 4 {
+                        out[k][..n].copy_from_slice(&raw(i, c)[..n]);
+                        k += 1;
+                    }
+                }
+            }
+        }
+        // Handled by the caller; keeping the arm makes the match total.
+        Op::TexFetch { .. } => unreachable!("texture fetches are dispatched by the batch loop"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::ImageSampler;
+    use crate::{compile, Executor};
+
+    fn check(source: &str, uniforms: &UniformValues, cases: &[[f32; 4]]) {
+        let sh = compile(source).unwrap();
+        let mut scalar = Executor::new(&sh, uniforms).unwrap();
+        let mut batch = BatchExecutor::new(&sh, uniforms).unwrap();
+        let img_data: Vec<u8> = (0..4 * 4 * 4).map(|i| (i * 53 % 256) as u8).collect();
+        let img = ImageSampler::new(4, 4, img_data);
+        let samplers: [&dyn Sampler; 1] = [&img];
+
+        let n = cases.len();
+        assert!(n <= LANES);
+        let mut varyings = vec![[0.0f32; 4]; LANES];
+        varyings[..n].copy_from_slice(cases);
+        let mut out = vec![[0.0f32; 4]; n];
+        batch.run(&varyings, n, &samplers, &mut out).unwrap();
+        for (v, got) in cases.iter().zip(&out) {
+            let want = scalar.run(&[*v], &samplers).unwrap();
+            assert_eq!(got.map(f32::to_bits), want.map(f32::to_bits));
+        }
+    }
+
+    #[test]
+    fn arithmetic_matches_scalar() {
+        check(
+            "varying vec2 v;\n\
+             void main() { gl_FragColor = vec4(v.x + v.y, v.x * v.y, v.x - v.y, v.x / v.y); }",
+            &UniformValues::new(),
+            &[
+                [3.0, 4.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0, 0.0],
+                [f32::NAN, 1.0, 0.0, 0.0],
+                [f32::INFINITY, -2.5, 0.0, 0.0],
+            ],
+        );
+    }
+
+    #[test]
+    fn texture_and_select_match_scalar() {
+        let mut uniforms = UniformValues::new();
+        uniforms.set_scalar("u_cut", 0.5);
+        check(
+            "uniform sampler2D t;\n\
+             uniform float u_cut;\n\
+             varying vec2 v;\n\
+             void main() {\n\
+               vec4 c = texture2D(t, v);\n\
+               if (c.x < u_cut) { c = c * 2.0; } else { c = c - vec4(0.25); }\n\
+               gl_FragColor = c;\n\
+             }",
+            &uniforms,
+            &[
+                [0.1, 0.1, 0.0, 0.0],
+                [0.9, 0.9, 0.0, 0.0],
+                [0.4, 0.6, 0.0, 0.0],
+            ],
+        );
+    }
+
+    #[test]
+    fn batch_size_validation() {
+        let sh = compile("void main() { gl_FragColor = vec4(1.0); }").unwrap();
+        let mut batch = BatchExecutor::new(&sh, &UniformValues::new()).unwrap();
+        let mut out = [[0.0f32; 4]; 1];
+        assert!(batch.run(&[], 0, &[], &mut out).is_err());
+        assert!(batch.run(&[], LANES + 1, &[], &mut out).is_err());
+        assert!(batch.run(&[], 2, &[], &mut out).is_err()); // out too small
+        assert!(batch.run(&[], 1, &[], &mut out).is_ok());
+    }
+
+    #[test]
+    fn missing_varyings_are_an_error() {
+        let sh =
+            compile("varying vec2 v; void main() { gl_FragColor = vec4(v, 0.0, 1.0); }").unwrap();
+        let mut batch = BatchExecutor::new(&sh, &UniformValues::new()).unwrap();
+        let mut out = [[0.0f32; 4]; 1];
+        assert!(batch.run(&[], 1, &[], &mut out).is_err());
+    }
+
+    #[test]
+    fn unbound_sampler_is_an_error() {
+        let sh = compile(
+            "uniform sampler2D t; varying vec2 v;\n\
+             void main() { gl_FragColor = texture2D(t, v); }",
+        )
+        .unwrap();
+        let mut batch = BatchExecutor::new(&sh, &UniformValues::new()).unwrap();
+        let varyings = vec![[0.0f32; 4]; LANES];
+        let mut out = [[0.0f32; 4]; 1];
+        assert!(batch.run(&varyings, 1, &[], &mut out).is_err());
+    }
+}

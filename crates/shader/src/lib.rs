@@ -45,6 +45,7 @@
 #![warn(clippy::all)]
 
 pub mod ast;
+mod batch;
 pub mod cost;
 mod error;
 mod fold;
@@ -59,13 +60,14 @@ pub mod ir;
 mod token;
 mod vm;
 
+pub use batch::{BatchExecutor, LANES};
 pub use error::{render_error, CompileError, CompileErrorKind, ExecError};
 pub use fold::{const_eval, ConstVal};
 pub use limits::{check_limits, Limits};
 pub use lower::{lower, MAX_UNROLL_ITERATIONS};
-pub use opt::{optimize, OptOptions};
+pub use opt::{optimize, specialize, OptOptions};
 pub use parser::parse;
-pub use vm::{truncate_to_24bit, Executor, ImageSampler, Sampler, UniformValues};
+pub use vm::{truncate_to_24bit, u8_to_unorm, Executor, ImageSampler, Sampler, UniformValues};
 
 use ir::Shader;
 

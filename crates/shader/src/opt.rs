@@ -9,8 +9,9 @@
 
 use std::collections::HashMap;
 
-use crate::ir::{Op, Reg, Shader};
-use crate::vm::{eval_pure_op, register_widths};
+use crate::error::ExecError;
+use crate::ir::{InputKind, Instr, Op, Reg, Shader};
+use crate::vm::{eval_pure_op, register_widths, UniformValues};
 
 /// Which optimisation passes run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +96,88 @@ pub fn optimize(shader: &mut Shader, options: &OptOptions) {
             break;
         }
     }
+}
+
+/// Bind-time specialisation: folds concrete uniform values into `shader`
+/// as constants and re-optimises, producing a slimmer per-draw shader.
+///
+/// Each uniform register is seeded with an `Op::Const` of its bound value,
+/// then the full optimisation pipeline (constant folding, copy propagation,
+/// CSE, DCE) runs together with [`prune_const_selects`], which resolves
+/// `Select`s whose condition became a known constant. All passes preserve
+/// bitwise f32 semantics — folding evaluates through the same
+/// `eval_pure_op` the interpreter uses — so the specialised shader's output
+/// is byte-identical to running the original with the same uniforms.
+///
+/// The returned shader keeps its input declarations, so executors built
+/// from it still accept (and ignore) the same `UniformValues`.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] if a uniform declared by the shader has no value
+/// in `uniforms` — the same condition `Executor::new` reports.
+pub fn specialize(shader: &Shader, uniforms: &UniformValues) -> Result<Shader, ExecError> {
+    let mut out = shader.clone();
+    let mut prelude = Vec::new();
+    for slot in &out.inputs {
+        if slot.kind == InputKind::Uniform {
+            let v = uniforms
+                .get(&slot.name)
+                .ok_or_else(|| ExecError::new(format!("uniform `{}` is not set", slot.name)))?;
+            prelude.push(Instr {
+                dst: slot.reg,
+                width: slot.width,
+                op: Op::Const(v),
+                srcs: Vec::new(),
+            });
+        }
+    }
+    out.instrs.splice(0..0, prelude);
+    let options = OptOptions::full();
+    optimize(&mut out, &options);
+    // Select pruning exposes new folding opportunities (the surviving
+    // branch may now be all-constant), so interleave to a fixpoint.
+    while prune_const_selects(&mut out) {
+        optimize(&mut out, &options);
+    }
+    Ok(out)
+}
+
+/// Rewrites `Select`s whose condition register is a known constant into a
+/// `Mov` of the taken branch. The scalar VM reads the condition's raw
+/// component 0 and broadcasts either branch through the usual width rules,
+/// exactly what the replacement `Mov` does — bitwise equivalence holds for
+/// every lane.
+fn prune_const_selects(shader: &mut Shader) -> bool {
+    let widths = register_widths(shader);
+    let mut consts: HashMap<Reg, [f32; 4]> = HashMap::new();
+    let mut changed = false;
+    for instr in &mut shader.instrs {
+        if let Op::Const(v) = instr.op {
+            consts.insert(instr.dst, v);
+            continue;
+        }
+        if matches!(instr.op, Op::Select) {
+            if let Some(mask) = consts.get(&instr.srcs[0]) {
+                let taken = if mask[0] != 0.0 {
+                    instr.srcs[1]
+                } else {
+                    instr.srcs[2]
+                };
+                // A wider-than-dst source would later be aliased through
+                // copy propagation without the narrowing re-read; skip the
+                // (never lowered in practice) mismatch instead of risking
+                // a semantic change.
+                let src_w = widths[taken.0 as usize];
+                if src_w == instr.width || src_w == 1 {
+                    instr.op = Op::Mov;
+                    instr.srcs = vec![taken];
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
 }
 
 fn fold_constants(shader: &mut Shader) -> bool {
@@ -380,6 +463,44 @@ mod tests {
         let snapshot = once.clone();
         optimize(&mut once, &OptOptions::full());
         assert_eq!(once, snapshot);
+    }
+
+    #[test]
+    fn specialisation_folds_uniforms_and_preserves_bits() {
+        let src = "
+            uniform float k;
+            uniform float cut;
+            varying vec2 v;
+            void main() {
+                float x = v.x * k + k * 2.0;
+                if (k < cut) { x = x + 1.0; } else { x = x * 0.5; }
+                gl_FragColor = vec4(x, k, v.y, 1.0);
+            }
+        ";
+        let sh = build(src, &OptOptions::full());
+        let mut uniforms = UniformValues::new();
+        uniforms.set_scalar("k", 3.0);
+        uniforms.set_scalar("cut", 2.0);
+        let spec = specialize(&sh, &uniforms).unwrap();
+        // The branch on two now-constant uniforms must be resolved away.
+        assert!(!spec.instrs.iter().any(|i| matches!(i.op, Op::Select)));
+        assert!(spec.instruction_count() < sh.instruction_count());
+        let mut orig = Executor::new(&sh, &uniforms).unwrap();
+        let mut fast = Executor::new(&spec, &uniforms).unwrap();
+        for v in [[0.3f32, -1.5, 0.0, 0.0], [f32::NAN, 7.0, 0.0, 0.0]] {
+            let a = orig.run(&[v], &[]).unwrap();
+            let b = fast.run(&[v], &[]).unwrap();
+            assert_eq!(a.map(f32::to_bits), b.map(f32::to_bits));
+        }
+    }
+
+    #[test]
+    fn specialisation_requires_all_uniforms() {
+        let sh = build(
+            "uniform float k; void main() { gl_FragColor = vec4(k); }",
+            &OptOptions::full(),
+        );
+        assert!(specialize(&sh, &UniformValues::new()).is_err());
     }
 
     #[test]

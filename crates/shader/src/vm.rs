@@ -6,6 +6,27 @@ use std::collections::HashMap;
 use crate::error::ExecError;
 use crate::ir::{CmpOp, InputKind, Op, Reg, Shader};
 
+/// Precomputed u8 → `[0, 1]` float table: entry `i` holds exactly
+/// `f32::from(i) / 255.0`, so lookups are bit-identical to the inline
+/// division they replace.
+const U8_TO_UNORM: [f32; 256] = {
+    let mut t = [0.0f32; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = i as f32 / 255.0;
+        i += 1;
+    }
+    t
+};
+
+/// Converts an 8-bit channel value to its normalised `[0, 1]` float,
+/// via the precomputed table (bit-identical to `f32::from(x) / 255.0`).
+#[must_use]
+#[inline]
+pub fn u8_to_unorm(x: u8) -> f32 {
+    U8_TO_UNORM[x as usize]
+}
+
 /// Provides texel data for one bound texture unit.
 ///
 /// Coordinates are normalised (`[0, 1]`); implementations choose their own
@@ -17,6 +38,17 @@ use crate::ir::{CmpOp, InputKind, Op, Reg, Shader};
 pub trait Sampler: Sync {
     /// Samples the texture at `(u, v)`, returning RGBA in `[0, 1]`.
     fn fetch(&self, u: f32, v: f32) -> [f32; 4];
+
+    /// Samples a batch of coordinates: lane `l` fetches `(us[l], vs[l])`
+    /// into `out[l]`. Each lane must produce exactly what [`Sampler::fetch`]
+    /// would; the default implementation guarantees that by delegating.
+    /// Implementations override this to pay virtual dispatch once per batch
+    /// instead of once per fragment and to hoist per-texture factors.
+    fn fetch_batch(&self, us: &[f32], vs: &[f32], out: &mut [[f32; 4]]) {
+        for ((o, u), v) in out.iter_mut().zip(us).zip(vs) {
+            *o = self.fetch(*u, *v);
+        }
+    }
 }
 
 /// A sampler over an owned RGBA8 image, with nearest filtering and
@@ -62,18 +94,36 @@ impl ImageSampler {
     }
 }
 
-impl Sampler for ImageSampler {
-    fn fetch(&self, u: f32, v: f32) -> [f32; 4] {
-        let x = ((u * self.width as f32).floor() as i64).clamp(0, i64::from(self.width) - 1);
-        let y = ((v * self.height as f32).floor() as i64).clamp(0, i64::from(self.height) - 1);
+impl ImageSampler {
+    /// Nearest-lookup with the texel-scale factors passed in, so batch
+    /// fetches convert the dimensions once instead of once per lane.
+    /// `wf`/`hf` must equal `self.width as f32`/`self.height as f32`.
+    #[inline]
+    fn fetch_scaled(&self, u: f32, v: f32, wf: f32, hf: f32) -> [f32; 4] {
+        let x = ((u * wf).floor() as i64).clamp(0, i64::from(self.width) - 1);
+        let y = ((v * hf).floor() as i64).clamp(0, i64::from(self.height) - 1);
         let idx = (y as usize * self.width as usize + x as usize) * 4;
         let t = &self.data[idx..idx + 4];
         [
-            f32::from(t[0]) / 255.0,
-            f32::from(t[1]) / 255.0,
-            f32::from(t[2]) / 255.0,
-            f32::from(t[3]) / 255.0,
+            u8_to_unorm(t[0]),
+            u8_to_unorm(t[1]),
+            u8_to_unorm(t[2]),
+            u8_to_unorm(t[3]),
         ]
+    }
+}
+
+impl Sampler for ImageSampler {
+    #[inline]
+    fn fetch(&self, u: f32, v: f32) -> [f32; 4] {
+        self.fetch_scaled(u, v, self.width as f32, self.height as f32)
+    }
+
+    fn fetch_batch(&self, us: &[f32], vs: &[f32], out: &mut [[f32; 4]]) {
+        let (wf, hf) = (self.width as f32, self.height as f32);
+        for ((o, u), v) in out.iter_mut().zip(us).zip(vs) {
+            *o = self.fetch_scaled(*u, *v, wf, hf);
+        }
     }
 }
 
@@ -479,6 +529,26 @@ mod tests {
             compile("varying vec2 v; void main() { gl_FragColor = vec4(v, 0.0, 1.0); }").unwrap();
         let mut ex = Executor::new(&sh, &UniformValues::new()).unwrap();
         assert!(ex.run(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn unorm_lut_matches_division() {
+        for i in 0..=255u8 {
+            assert_eq!(u8_to_unorm(i).to_bits(), (f32::from(i) / 255.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn image_sampler_batch_matches_scalar_fetch() {
+        let data: Vec<u8> = (0..3 * 2 * 4).map(|i| (i * 37 % 256) as u8).collect();
+        let img = ImageSampler::new(3, 2, data);
+        let us = [-0.5, 0.1, 0.5, 0.9, 1.5, f32::NAN];
+        let vs = [0.2, 0.8, -1.0, 2.0, 0.5, 0.5];
+        let mut out = [[0.0f32; 4]; 6];
+        img.fetch_batch(&us, &vs, &mut out);
+        for ((&u, &v), got) in us.iter().zip(&vs).zip(&out) {
+            assert_eq!(got.map(f32::to_bits), img.fetch(u, v).map(f32::to_bits));
+        }
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub use mgpu_shader as shader;
 pub use mgpu_tbdr as tbdr;
 pub use mgpu_workloads as workloads;
 
-pub use mgpu_gles::{DrawQuad, ExecConfig, Gl, GlError, TextureFormat};
+pub use mgpu_gles::{DrawQuad, Engine, ExecConfig, Gl, GlError, TextureFormat};
 pub use mgpu_gpgpu::{
     Convolution3x3, Encoding, GpgpuError, OptConfig, Range, RenderStrategy, Saxpy, Sgemm, Sum,
     SyncStrategy,

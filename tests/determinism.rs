@@ -1,14 +1,16 @@
 //! Golden determinism tests for the parallel fragment engine.
 //!
-//! The tentpole guarantee: host-side threading is *purely* a wall-clock
-//! knob. For `sum` and blocked `sgemm` (block 16) on both platforms,
-//! running at 2, 4 and 8 threads must produce output buffers
-//! byte-for-byte identical to the serial path, and the simulated-time
-//! report must not change by a single tick.
+//! The tentpole guarantee: host-side threading and the fragment-engine
+//! tier are *purely* wall-clock knobs. For `sum` and blocked `sgemm`
+//! (block 16) on both platforms, running at 2, 4 and 8 threads — and on
+//! either the scalar reference engine or the lane-batched SoA engine —
+//! must produce output buffers byte-for-byte identical to the serial
+//! scalar path, and the simulated-time report must not change by a
+//! single tick.
 
 use mgpu::gpgpu::{Sgemm, Sum};
 use mgpu::tbdr::SimReport;
-use mgpu::{ExecConfig, Gl, OptConfig, Platform};
+use mgpu::{Engine, ExecConfig, Gl, OptConfig, Platform};
 
 /// Everything observable from one run: raw target bytes, the decoded
 /// result's exact bit patterns, and the full simulation report.
@@ -26,11 +28,11 @@ fn inputs(n: u32) -> (Vec<f32>, Vec<f32>) {
     (a, b)
 }
 
-fn run_sum(platform: &Platform, threads: usize) -> Golden {
+fn run_sum(platform: &Platform, exec: ExecConfig) -> Golden {
     let n = 32;
     let (a, b) = inputs(n);
     let mut gl = Gl::new(platform.clone(), n, n);
-    gl.set_exec_config(ExecConfig::with_threads(threads));
+    gl.set_exec_config(exec);
     let cfg = OptConfig::baseline().without_swap();
     let mut sum = Sum::builder(n)
         .build(&mut gl, &cfg, &a, &b)
@@ -51,11 +53,11 @@ fn run_sum(platform: &Platform, threads: usize) -> Golden {
     }
 }
 
-fn run_sgemm(platform: &Platform, threads: usize) -> Golden {
+fn run_sgemm(platform: &Platform, exec: ExecConfig) -> Golden {
     let n = 32;
     let (a, b) = inputs(n);
     let mut gl = Gl::new(platform.clone(), n, n);
-    gl.set_exec_config(ExecConfig::with_threads(threads));
+    gl.set_exec_config(exec);
     let cfg = OptConfig::baseline().with_swap_interval_0();
     let mut sgemm = Sgemm::new(&mut gl, &cfg, n, 16, &a, &b).expect("builds");
     sgemm.multiply(&mut gl).expect("multiplies");
@@ -77,10 +79,10 @@ fn run_sgemm(platform: &Platform, threads: usize) -> Golden {
 #[test]
 fn sum_is_byte_identical_across_thread_counts() {
     for platform in [Platform::videocore_iv(), Platform::sgx_545()] {
-        let serial = run_sum(&platform, 1);
+        let serial = run_sum(&platform, ExecConfig::with_threads(1));
         assert!(!serial.pixels.is_empty());
         for threads in [2, 4, 8] {
-            let parallel = run_sum(&platform, threads);
+            let parallel = run_sum(&platform, ExecConfig::with_threads(threads));
             assert_eq!(
                 parallel, serial,
                 "sum diverged at {threads} threads on {}",
@@ -93,15 +95,44 @@ fn sum_is_byte_identical_across_thread_counts() {
 #[test]
 fn sgemm_block_16_is_byte_identical_across_thread_counts() {
     for platform in [Platform::videocore_iv(), Platform::sgx_545()] {
-        let serial = run_sgemm(&platform, 1);
+        let serial = run_sgemm(&platform, ExecConfig::with_threads(1));
         assert!(!serial.pixels.is_empty());
         for threads in [2, 4, 8] {
-            let parallel = run_sgemm(&platform, threads);
+            let parallel = run_sgemm(&platform, ExecConfig::with_threads(threads));
             assert_eq!(
                 parallel, serial,
                 "sgemm diverged at {threads} threads on {}",
                 platform.name
             );
+        }
+    }
+}
+
+/// The batched SoA engine reproduces the serial scalar reference exactly —
+/// pixels, result bits and the simulated-time report — at 1 and 4 threads
+/// on both platforms, for both kernels. Together with the thread tests
+/// this pins the full engine × threads matrix to one golden output.
+#[test]
+fn engines_are_byte_identical_across_thread_counts() {
+    for platform in [Platform::videocore_iv(), Platform::sgx_545()] {
+        let golden_sum = run_sum(&platform, ExecConfig::serial());
+        let golden_sgemm = run_sgemm(&platform, ExecConfig::serial());
+        for threads in [1, 4] {
+            for engine in [Engine::Scalar, Engine::Batched] {
+                let exec = ExecConfig::with_threads(threads).with_engine(engine);
+                assert_eq!(
+                    run_sum(&platform, exec),
+                    golden_sum,
+                    "sum diverged with {engine:?} at {threads} threads on {}",
+                    platform.name
+                );
+                assert_eq!(
+                    run_sgemm(&platform, exec),
+                    golden_sgemm,
+                    "sgemm diverged with {engine:?} at {threads} threads on {}",
+                    platform.name
+                );
+            }
         }
     }
 }
