@@ -26,8 +26,9 @@ use mgpu_tbdr::{
 
 use crate::error::GlError;
 use crate::exec::ExecConfig;
+use crate::fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSite};
 use crate::raster::{
-    panic_message, quantize_rgba8, rasterize_quad_into, texcoord_corners, RasterTarget,
+    panic_message, quantize_rgba8, rasterize_quad_rows_into, texcoord_corners, RasterTarget,
     VaryingCorners,
 };
 use crate::types::{
@@ -43,6 +44,10 @@ const VBO_STREAM_COST: SimTime = SimTime::from_micros(3);
 /// Per-draw consistency cost of a `DynamicDraw` VBO (the driver must check
 /// for CPU writes each draw).
 const VBO_DYNAMIC_COST: SimTime = SimTime::from_micros(7);
+/// CPU cost of recreating a lost EGL context (eglCreateContext +
+/// eglMakeCurrent + driver state rebuild), charged to the first frame
+/// submitted after [`Gl::recreate`].
+const CONTEXT_RECREATE_COST: SimTime = SimTime::from_millis(2);
 
 #[derive(Debug)]
 struct Texture {
@@ -92,6 +97,8 @@ enum TargetKey {
 #[derive(Debug, Clone, Default)]
 pub struct DrawQuad {
     overrides: Vec<(String, VaryingCorners)>,
+    /// Shade only rows `y0..y1` of the target (a row-band sub-draw).
+    rows: Option<(u32, u32)>,
     /// Where vertex data comes from (client arrays vs a VBO).
     pub vertex_source: VertexSource,
     /// Label recorded on the frame for traces.
@@ -125,6 +132,24 @@ impl DrawQuad {
     pub fn with_label(mut self, label: &str) -> Self {
         self.label = label.to_owned();
         self
+    }
+
+    /// Restricts the draw to target rows `y0..y1` — a row-band sub-draw.
+    ///
+    /// Fragment positions stay global, so a full-target draw split into
+    /// bands produces bytes identical to the unsplit draw while each
+    /// sub-draw's simulated GPU time covers only its band (how a resilient
+    /// runner ducks under a per-draw watchdog budget).
+    #[must_use]
+    pub fn with_row_band(mut self, y0: u32, y1: u32) -> Self {
+        self.rows = Some((y0, y1));
+        self
+    }
+
+    /// The row band this draw covers, if restricted.
+    #[must_use]
+    pub fn row_band(&self) -> Option<(u32, u32)> {
+        self.rows
     }
 }
 
@@ -267,6 +292,14 @@ pub struct Gl {
     last_timing: Option<FrameTiming>,
     record_frames: bool,
     recorded: Vec<(FrameWork, FrameTiming)>,
+
+    /// Deterministic fault injection, if installed (`MGPU_FAULTS` or
+    /// [`Gl::install_faults`]). `None` means every hook is a no-op and the
+    /// context behaves bit-identically to a fault-free build.
+    injector: Option<FaultInjector>,
+    /// Set by an injected context loss; every call fails with
+    /// [`GlError::ContextLost`] until [`Gl::recreate`].
+    context_lost: bool,
 }
 
 impl Gl {
@@ -306,6 +339,14 @@ impl Gl {
             last_timing: None,
             record_frames: false,
             recorded: Vec::new(),
+            injector: match FaultPlan::from_env() {
+                Ok(plan) => plan.map(FaultInjector::new),
+                Err(e) => {
+                    eprintln!("mgpu-gles: ignoring invalid MGPU_FAULTS: {e}");
+                    None
+                }
+            },
+            context_lost: false,
         }
     }
 
@@ -339,6 +380,104 @@ impl Gl {
     #[must_use]
     pub fn functional(&self) -> bool {
         self.functional
+    }
+
+    // ---- fault injection & context lifecycle --------------------------
+
+    /// Installs a fault plan on this context, replacing any previous one
+    /// (its trail and counters restart from zero).
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.injector = Some(FaultInjector::new(plan));
+    }
+
+    /// Removes the fault plan; subsequent calls behave fault-free.
+    pub fn clear_faults(&mut self) {
+        self.injector = None;
+    }
+
+    /// The installed fault injector, if any.
+    #[must_use]
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Every fault injected on this context so far, in order (empty when
+    /// no plan is installed). Survives [`Gl::recreate`].
+    #[must_use]
+    pub fn fault_trail(&self) -> &[FaultEvent] {
+        self.injector.as_ref().map_or(&[], FaultInjector::trail)
+    }
+
+    /// Whether the context is currently lost (all calls fail with
+    /// [`GlError::ContextLost`] until [`Gl::recreate`]).
+    #[must_use]
+    pub fn context_lost(&self) -> bool {
+        self.context_lost
+    }
+
+    /// Recreates a lost context, as an application would via
+    /// `eglCreateContext` + `eglMakeCurrent` after `EGL_CONTEXT_LOST`.
+    ///
+    /// Every GL object (textures, buffers, FBOs, programs) is gone and
+    /// must be recreated by the application; the window surface is
+    /// re-cleared and the swap interval reset to the platform default.
+    /// The simulated timeline, the fault injector (trail and operation
+    /// counters) and the frame recorder carry over, and the recreation's
+    /// CPU cost is charged to the next submitted frame. Safe to call on a
+    /// live context (same semantics: a full teardown).
+    pub fn recreate(&mut self) {
+        self.textures.clear();
+        self.buffers.clear();
+        self.framebuffers.clear();
+        self.programs.clear();
+        self.texture_units = vec![None; 8];
+        self.bound_framebuffer = None;
+        self.current_program = None;
+        self.swap_interval = self.platform.default_swap_interval;
+        for s in &mut self.surfaces {
+            s.iter_mut().for_each(|b| *b = 0);
+        }
+        self.back_surface = 0;
+        self.pending = None;
+        self.pending_uploads.clear();
+        self.pending_cpu_extra = CONTEXT_RECREATE_COST;
+        self.cleared_targets.clear();
+        self.has_content.clear();
+        self.context_lost = false;
+    }
+
+    /// Marks the context lost: pending (unsubmitted) work dies with it.
+    fn lose_context(&mut self) {
+        self.context_lost = true;
+        self.pending = None;
+        self.pending_uploads.clear();
+        self.pending_cpu_extra = SimTime::ZERO;
+    }
+
+    /// Fails with [`GlError::ContextLost`] while the context is lost.
+    fn ensure_live(&self) -> Result<(), GlError> {
+        if self.context_lost {
+            Err(GlError::ContextLost)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Counts one upload attempt and fails it with
+    /// [`GlError::OutOfMemory`] if the plan says so. A no-op without an
+    /// injector. Runs before any state mutation, so a failed upload
+    /// leaves the context exactly as it was.
+    fn inject_upload_fault(&mut self, what: &str) -> Result<(), GlError> {
+        if let Some(inj) = self.injector.as_mut() {
+            let i = inj.next_upload();
+            if inj.oom_at(i) {
+                inj.record(FaultKind::Oom, FaultSite::Upload, i);
+                return Err(GlError::OutOfMemory(format!(
+                    "{what} allocation failed (injected at upload #{i})"
+                )));
+            }
+        }
+        Ok(())
     }
 
     fn handle(&mut self) -> u32 {
@@ -379,6 +518,7 @@ impl Gl {
     ///
     /// [`GlError::UnknownObject`] if the handle is stale.
     pub fn delete_texture(&mut self, tex: TextureId) -> Result<(), GlError> {
+        self.ensure_live()?;
         self.textures
             .remove(&tex.0)
             .map(|_| ())
@@ -408,6 +548,8 @@ impl Gl {
         format: TextureFormat,
         data: Option<&[u8]>,
     ) -> Result<(), GlError> {
+        self.ensure_live()?;
+        self.inject_upload_fault("texture storage")?;
         let expected = width as usize * height as usize * format.channels();
         if let Some(d) = data {
             if d.len() != expected {
@@ -452,6 +594,8 @@ impl Gl {
     /// [`GlError::InvalidOperation`] when the texture has no storage;
     /// [`GlError::InvalidValue`] on size mismatch.
     pub fn tex_sub_image_2d(&mut self, tex: TextureId, data: &[u8]) -> Result<(), GlError> {
+        self.ensure_live()?;
+        self.inject_upload_fault("texture upload staging")?;
         let functional = self.functional;
         let t = self
             .textures
@@ -486,6 +630,7 @@ impl Gl {
     /// [`GlError::InvalidValue`] for out-of-range units,
     /// [`GlError::UnknownObject`] for stale handles.
     pub fn bind_texture(&mut self, unit: u32, tex: Option<TextureId>) -> Result<(), GlError> {
+        self.ensure_live()?;
         let slot = self
             .texture_units
             .get_mut(unit as usize)
@@ -510,6 +655,7 @@ impl Gl {
         tex: TextureId,
         filter: TextureFilter,
     ) -> Result<(), GlError> {
+        self.ensure_live()?;
         self.textures
             .get_mut(&tex.0)
             .map(|t| t.filter = filter)
@@ -524,6 +670,7 @@ impl Gl {
     ///
     /// [`GlError::UnknownObject`] for stale handles.
     pub fn texture_data(&self, tex: TextureId) -> Result<&[u8], GlError> {
+        self.ensure_live()?;
         self.textures
             .get(&tex.0)
             .map(|t| t.data.as_slice())
@@ -536,6 +683,7 @@ impl Gl {
     ///
     /// [`GlError::UnknownObject`] for stale handles.
     pub fn texture_info(&self, tex: TextureId) -> Result<(u32, u32, TextureFormat), GlError> {
+        self.ensure_live()?;
         self.textures
             .get(&tex.0)
             .map(|t| (t.width, t.height, t.format))
@@ -570,6 +718,8 @@ impl Gl {
         size: u64,
         usage: BufferUsage,
     ) -> Result<(), GlError> {
+        self.ensure_live()?;
+        self.inject_upload_fault("buffer storage")?;
         let storage = self.storage();
         let b = self
             .buffers
@@ -602,6 +752,7 @@ impl Gl {
     ///
     /// [`GlError::UnknownObject`] for stale handles.
     pub fn bind_framebuffer(&mut self, fbo: Option<FramebufferId>) -> Result<(), GlError> {
+        self.ensure_live()?;
         if let Some(f) = fbo {
             if !self.framebuffers.contains_key(&f.0) {
                 return Err(GlError::UnknownObject(f.to_string()));
@@ -620,6 +771,7 @@ impl Gl {
     /// [`GlError::InvalidOperation`] when no FBO is bound or the texture has
     /// no storage.
     pub fn framebuffer_texture_2d(&mut self, tex: TextureId) -> Result<(), GlError> {
+        self.ensure_live()?;
         let t = self
             .textures
             .get(&tex.0)
@@ -634,7 +786,7 @@ impl Gl {
             .ok_or_else(|| GlError::InvalidOperation("no framebuffer object bound".to_owned()))?;
         self.framebuffers
             .get_mut(&fbo.0)
-            .expect("bound FBO exists")
+            .ok_or_else(|| GlError::Internal(format!("bound {fbo} missing from FBO table")))?
             .color = Some(tex);
         Ok(())
     }
@@ -664,6 +816,17 @@ impl Gl {
         fragment_source: &str,
         opt: &OptOptions,
     ) -> Result<ProgramId, GlError> {
+        self.ensure_live()?;
+        if let Some(inj) = self.injector.as_mut() {
+            let i = inj.next_compile();
+            if inj.compile_fail_at(i) {
+                inj.record(FaultKind::CompileFail, FaultSite::Compile, i);
+                return Err(GlError::OutOfMemory(format!(
+                    "shader compiler scratch allocation failed \
+                     (injected transient failure at compile #{i})"
+                )));
+            }
+        }
         let sl = &self.platform.shader_limits;
         let options = CompileOptions {
             opt: *opt,
@@ -693,6 +856,7 @@ impl Gl {
     ///
     /// [`GlError::UnknownObject`] for stale handles.
     pub fn use_program(&mut self, prog: Option<ProgramId>) -> Result<(), GlError> {
+        self.ensure_live()?;
         if let Some(p) = prog {
             if !self.programs.contains_key(&p.0) {
                 return Err(GlError::UnknownObject(p.to_string()));
@@ -727,6 +891,7 @@ impl Gl {
         name: &str,
         value: [f32; 4],
     ) -> Result<(), GlError> {
+        self.ensure_live()?;
         let p = self
             .programs
             .get_mut(&prog.0)
@@ -746,6 +911,7 @@ impl Gl {
     ///
     /// [`GlError::InvalidValue`] when the program declares no such sampler.
     pub fn set_sampler(&mut self, prog: ProgramId, name: &str, unit: u32) -> Result<(), GlError> {
+        self.ensure_live()?;
         let p = self
             .programs
             .get_mut(&prog.0)
@@ -802,6 +968,7 @@ impl Gl {
     ///
     /// Propagates target-resolution errors.
     pub fn clear(&mut self, rgba: [f32; 4]) -> Result<(), GlError> {
+        self.ensure_live()?;
         let (key, _, _, format) = self.current_target()?;
         self.cleared_targets.insert(key);
         if self.functional {
@@ -813,8 +980,10 @@ impl Gl {
                     }
                 }
                 TargetKey::Storage(_) => {
-                    if let Some(tex) = self.attachment_texture() {
-                        let t = self.textures.get_mut(&tex.0).expect("attachment exists");
+                    if let Some(t) = self
+                        .attachment_texture()
+                        .and_then(|tex| self.textures.get_mut(&tex.0))
+                    {
                         let ch = format.channels();
                         for chunk in t.data.chunks_exact_mut(ch) {
                             chunk.copy_from_slice(&px[..ch]);
@@ -834,6 +1003,7 @@ impl Gl {
     ///
     /// Propagates target-resolution errors.
     pub fn discard_framebuffer(&mut self) -> Result<(), GlError> {
+        self.ensure_live()?;
         let (key, _, _, _) = self.current_target()?;
         self.cleared_targets.insert(key);
         Ok(())
@@ -849,6 +1019,20 @@ impl Gl {
     /// (the OpenGL ES 2 feedback-loop rule that forces the paper's
     /// double-buffered intermediate textures).
     pub fn draw_quad(&mut self, quad: &DrawQuad) -> Result<(), GlError> {
+        self.ensure_live()?;
+
+        // Fault injection: a context loss scheduled for this draw kills the
+        // context before any work is queued — the pending frame dies with it.
+        let mut draw_idx = 0u64;
+        if let Some(inj) = self.injector.as_mut() {
+            draw_idx = inj.next_draw();
+            if inj.ctx_loss_at(draw_idx) {
+                inj.record(FaultKind::ContextLoss, FaultSite::Draw, draw_idx);
+                self.lose_context();
+                return Err(GlError::ContextLost);
+            }
+        }
+
         // Close the previous kernel's frame.
         self.flush_pending(SyncOp::None);
 
@@ -856,6 +1040,15 @@ impl Gl {
             .current_program
             .ok_or_else(|| GlError::InvalidOperation("no program in use".to_owned()))?;
         let (target_key, width, height, target_format) = self.current_target()?;
+
+        // Resolve the row band (full target when none was requested).
+        let (y0, y1) = quad.row_band().unwrap_or((0, height));
+        if y0 >= y1 || y1 > height {
+            return Err(GlError::InvalidValue(format!(
+                "row band {y0}..{y1} invalid for render target height {height}"
+            )));
+        }
+        let band_h = y1 - y0;
 
         let program = self
             .programs
@@ -923,16 +1116,16 @@ impl Gl {
             }
         }
 
-        // Vertex-source driver costs (the paper's VBO optimisation point).
-        let mut cpu_extra = std::mem::take(&mut self.pending_cpu_extra);
-        let uploads = std::mem::take(&mut self.pending_uploads);
+        // Vertex-source driver costs (the paper's VBO optimisation point),
+        // validated and priced before any pending state is consumed so a
+        // rejected draw can be retried with its queued uploads intact.
         let varying_count = program.shader.varying_slots().count() as u64;
-        match quad.vertex_source {
+        let vertex_cpu = match quad.vertex_source {
             VertexSource::ClientArrays => {
                 // The driver copies client vertex data into its ring buffer
                 // on every draw: pure CPU time, no fresh allocation.
                 let bytes = 4 * (8 + varying_count * 8);
-                cpu_extra += CLIENT_ARRAY_BASE + self.platform.cpu_copy_bandwidth.time_for(bytes);
+                CLIENT_ARRAY_BASE + self.platform.cpu_copy_bandwidth.time_for(bytes)
             }
             VertexSource::Vbo(buf) => {
                 let b = self
@@ -944,18 +1137,116 @@ impl Gl {
                         "{buf} has no storage; call buffer_data first"
                     )));
                 }
-                cpu_extra += match b.usage {
+                match b.usage {
                     BufferUsage::StaticDraw => SimTime::ZERO,
                     BufferUsage::StreamDraw => VBO_STREAM_COST,
                     BufferUsage::DynamicDraw => VBO_DYNAMIC_COST,
-                };
+                }
+            }
+        };
+
+        // Watchdog: estimate the draw's GPU occupancy in isolation and
+        // reject it before execution when it exceeds the budget. The peek
+        // at clear/freshness state must not mutate it — the caller may
+        // legally retry the same draw split into row bands.
+        if let Some(budget) = self
+            .injector
+            .as_ref()
+            .and_then(FaultInjector::watchdog_budget)
+        {
+            let cleared_peek = self.cleared_targets.contains(&target_key)
+                || !self.has_content.contains(&target_key);
+            let probe_target = match target_key {
+                TargetKey::Surface(s) => RenderTarget::Framebuffer { surface: s },
+                TargetKey::Storage(storage) => {
+                    let fresh = self
+                        .attachment_texture()
+                        .and_then(|tex| self.textures.get(&tex.0))
+                        .is_some_and(|t| t.storage_fresh);
+                    RenderTarget::Texture { storage, fresh }
+                }
+            };
+            let probe = FrameWork {
+                label: String::new(),
+                uploads: Vec::new(),
+                cpu_extra: SimTime::ZERO,
+                vertex: VertexWork { vertices: 4 },
+                fragment: FragmentWork {
+                    fragments: u64::from(width) * u64::from(band_h),
+                    width,
+                    height: band_h,
+                    profile,
+                    cleared: cleared_peek,
+                },
+                target: probe_target,
+                reads: Vec::new(),
+                copy_out: None,
+                sync: SyncOp::None,
+            };
+            let estimated = self.sim.draw_cost(&probe);
+            if estimated > budget {
+                if let Some(inj) = self.injector.as_mut() {
+                    inj.record(FaultKind::Watchdog, FaultSite::Draw, draw_idx);
+                }
+                return Err(GlError::WatchdogTimeout { estimated, budget });
             }
         }
 
-        // Functional rasterisation.
+        // Functional rasterisation of the selected band.
         if self.functional {
-            self.rasterize(prog_id, quad, target_key, width, height, target_format)?;
+            self.rasterize(
+                prog_id,
+                quad,
+                target_key,
+                width,
+                height,
+                target_format,
+                y0,
+                y1,
+            )?;
         }
+
+        // Fault injection: flip seeded bits in the freshly written target —
+        // a model of transient memory corruption. Functional contents only;
+        // the timing model is unaffected.
+        let target_len = match target_key {
+            TargetKey::Surface(s) => self.surfaces[s as usize].len(),
+            TargetKey::Storage(_) => self
+                .attachment_texture()
+                .and_then(|tex| self.textures.get(&tex.0))
+                .map_or(0, |t| t.data.len()),
+        };
+        if target_len > 0 {
+            let flips = self
+                .injector
+                .as_mut()
+                .and_then(|inj| inj.corruption_at(draw_idx, target_len));
+            if let Some(flips) = flips {
+                if let Some(inj) = self.injector.as_mut() {
+                    inj.record(FaultKind::Corruption, FaultSite::Draw, draw_idx);
+                }
+                let data: &mut [u8] = match target_key {
+                    TargetKey::Surface(s) => &mut self.surfaces[s as usize],
+                    TargetKey::Storage(_) => match self
+                        .attachment_texture()
+                        .and_then(|tex| self.textures.get_mut(&tex.0))
+                    {
+                        Some(t) => &mut t.data,
+                        None => &mut [],
+                    },
+                };
+                for (offset, mask) in flips {
+                    if let Some(byte) = data.get_mut(offset) {
+                        *byte ^= mask;
+                    }
+                }
+            }
+        }
+
+        // The draw is committed: consume pending CPU work and uploads.
+        let mut cpu_extra = std::mem::take(&mut self.pending_cpu_extra);
+        let uploads = std::mem::take(&mut self.pending_uploads);
+        cpu_extra += vertex_cpu;
 
         // Record content/clear state.
         let cleared =
@@ -966,10 +1257,12 @@ impl Gl {
             let target = match target_key {
                 TargetKey::Surface(s) => RenderTarget::Framebuffer { surface: s },
                 TargetKey::Storage(storage) => {
-                    let tex = self
-                        .attachment_texture()
-                        .expect("storage target has attachment");
-                    let t = self.textures.get_mut(&tex.0).expect("attachment exists");
+                    let tex = self.attachment_texture().ok_or_else(|| {
+                        GlError::Internal("storage target lost its attachment".to_owned())
+                    })?;
+                    let t = self.textures.get_mut(&tex.0).ok_or_else(|| {
+                        GlError::Internal(format!("attachment {tex} missing from texture table"))
+                    })?;
                     let fresh = t.storage_fresh;
                     t.storage_fresh = false;
                     RenderTarget::Texture { storage, fresh }
@@ -983,20 +1276,23 @@ impl Gl {
         };
 
         self.draw_counter += 1;
-        let label = if quad.label.is_empty() {
+        let mut label = if quad.label.is_empty() {
             format!("draw#{}", self.draw_counter)
         } else {
             quad.label.clone()
         };
+        if band_h != height {
+            label = format!("{label}[rows {y0}..{y1}]");
+        }
         self.pending = Some(FrameWork {
             label,
             uploads,
             cpu_extra,
             vertex: VertexWork { vertices: 4 },
             fragment: FragmentWork {
-                fragments: u64::from(width) * u64::from(height),
+                fragments: u64::from(width) * u64::from(band_h),
                 width,
-                height,
+                height: band_h,
                 profile,
                 cleared,
             },
@@ -1008,6 +1304,7 @@ impl Gl {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn rasterize(
         &mut self,
         prog_id: ProgramId,
@@ -1016,8 +1313,13 @@ impl Gl {
         width: u32,
         height: u32,
         target_format: TextureFormat,
+        y0: u32,
+        y1: u32,
     ) -> Result<(), GlError> {
-        let program = &self.programs[&prog_id.0];
+        let program = self
+            .programs
+            .get(&prog_id.0)
+            .ok_or_else(|| GlError::UnknownObject(prog_id.to_string()))?;
         // Corner sets per varying slot.
         let mut corners = Vec::new();
         for slot in program.shader.varying_slots() {
@@ -1037,78 +1339,116 @@ impl Gl {
             }
         }
 
+        // Resolve sampler textures up front (validation happened in
+        // `draw_quad`; a miss here is a driver bug surfaced as a typed
+        // error) so every early return below happens before the target's
+        // data is taken out of the texture table.
+        let mut sampler_texs: Vec<TextureId> = Vec::with_capacity(program.shader.samplers.len());
+        for slot in &program.shader.samplers {
+            let gl_unit = program
+                .unit_bindings
+                .get(&slot.unit)
+                .copied()
+                .unwrap_or(u32::from(slot.unit));
+            let tex = self
+                .texture_units
+                .get(gl_unit as usize)
+                .copied()
+                .flatten()
+                .ok_or_else(|| {
+                    GlError::Internal(format!("texture unit {gl_unit} unbound after validation"))
+                })?;
+            if !self.textures.contains_key(&tex.0) {
+                return Err(GlError::Internal(format!(
+                    "{tex} vanished between validation and rasterisation"
+                )));
+            }
+            sampler_texs.push(tex);
+        }
+
         // Pull the target texture out so sampler views can borrow the rest.
         let mut taken: Option<(TextureId, Vec<u8>)> = None;
         if let TargetKey::Storage(_) = target_key {
-            let tex = self.attachment_texture().expect("storage target");
-            let data = std::mem::take(&mut self.textures.get_mut(&tex.0).unwrap().data);
+            let tex = self.attachment_texture().ok_or_else(|| {
+                GlError::Internal("storage target lost its attachment".to_owned())
+            })?;
+            let slot = self.textures.get_mut(&tex.0).ok_or_else(|| {
+                GlError::Internal(format!("attachment {tex} missing from texture table"))
+            })?;
+            let data = std::mem::take(&mut slot.data);
             taken = Some((tex, data));
         }
 
         let ch = target_format.channels();
         let exec = self.exec;
-        let result = {
+        let outcome: Result<(), GlError> = {
             let textures = &self.textures;
-            let views: Vec<TexView<'_>> = program
-                .shader
-                .samplers
-                .iter()
-                .map(|slot| {
-                    let gl_unit = program
-                        .unit_bindings
-                        .get(&slot.unit)
-                        .copied()
-                        .unwrap_or(u32::from(slot.unit));
-                    let tex = self.texture_units[gl_unit as usize].expect("validated");
-                    let t = &textures[&tex.0];
-                    TexView {
+            let surfaces = &mut self.surfaces;
+            let taken = &mut taken;
+            // No `?` inside this closure escapes past the restore below:
+            // a failed draw must leave the context valid and report a
+            // `GlError`, never unwind or drop texture contents.
+            (|| {
+                let mut views: Vec<TexView<'_>> = Vec::with_capacity(sampler_texs.len());
+                for tex in &sampler_texs {
+                    let t = textures.get(&tex.0).ok_or_else(|| {
+                        GlError::Internal(format!("{tex} vanished during rasterisation"))
+                    })?;
+                    views.push(TexView {
                         data: &t.data,
                         width: t.width,
                         height: t.height,
                         channels: t.format.channels(),
                         filter: t.filter,
-                    }
-                })
-                .collect();
-            let sampler_refs: Vec<&dyn Sampler> = views.iter().map(|v| v as &dyn Sampler).collect();
+                    });
+                }
+                let sampler_refs: Vec<&dyn Sampler> =
+                    views.iter().map(|v| v as &dyn Sampler).collect();
 
-            let out: &mut [u8] = match (&target_key, &mut taken) {
-                (TargetKey::Surface(s), _) => &mut self.surfaces[*s as usize],
-                (TargetKey::Storage(_), Some((_, data))) => data.as_mut_slice(),
-                _ => unreachable!("storage target always taken"),
-            };
-            // Contain any kernel panic here so the `taken` texture data is
-            // restored below no matter what: a failed draw must leave the
-            // context valid and report a `GlError`, never unwind.
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                rasterize_quad_into(
-                    &program.shader,
-                    &program.uniforms,
-                    &sampler_refs,
-                    &corners,
-                    RasterTarget {
-                        width,
-                        height,
-                        channels: ch,
-                        data: out,
-                    },
-                    &exec,
-                )
-            }))
+                let out: &mut [u8] = match (&target_key, taken) {
+                    (TargetKey::Surface(s), _) => &mut surfaces[*s as usize],
+                    (TargetKey::Storage(_), Some((_, data))) => data.as_mut_slice(),
+                    (TargetKey::Storage(_), None) => {
+                        return Err(GlError::Internal(
+                            "storage target data was not staged for rasterisation".to_owned(),
+                        ));
+                    }
+                };
+                let raster = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    rasterize_quad_rows_into(
+                        &program.shader,
+                        &program.uniforms,
+                        &sampler_refs,
+                        &corners,
+                        RasterTarget {
+                            width,
+                            height,
+                            channels: ch,
+                            data: out,
+                        },
+                        y0,
+                        y1,
+                        &exec,
+                    )
+                }));
+                match raster {
+                    Ok(r) => r.map_err(|e| {
+                        GlError::InvalidOperation(format!("kernel execution failed: {e}"))
+                    }),
+                    Err(p) => Err(GlError::InvalidOperation(format!(
+                        "kernel execution panicked: {}",
+                        panic_message(&*p)
+                    ))),
+                }
+            })()
         };
 
         if let Some((tex, data)) = taken {
-            self.textures.get_mut(&tex.0).unwrap().data = data;
-        }
-        match result {
-            Ok(r) => {
-                r.map_err(|e| GlError::InvalidOperation(format!("kernel execution failed: {e}")))
+            if let Some(slot) = self.textures.get_mut(&tex.0) {
+                slot.data = data;
             }
-            Err(p) => Err(GlError::InvalidOperation(format!(
-                "kernel execution panicked: {}",
-                panic_message(&*p)
-            ))),
         }
+        outcome
     }
 
     // ---- copies -----------------------------------------------------------
@@ -1146,14 +1486,22 @@ impl Gl {
         dst: TextureId,
         fresh_format: Option<TextureFormat>,
     ) -> Result<(), GlError> {
+        self.ensure_live()?;
+        if fresh_format.is_some() {
+            self.inject_upload_fault("copy destination storage")?;
+        }
         let (target_key, width, height, _) = self.current_target()?;
+        let attachment = |gl: &Self| {
+            gl.attachment_texture()
+                .ok_or_else(|| GlError::Internal("storage target lost its attachment".to_owned()))
+        };
 
         // Functional copy of pixels.
         let src_pixels: Option<Vec<u8>> = if self.functional {
             Some(match target_key {
                 TargetKey::Surface(s) => self.surfaces[s as usize].clone(),
                 TargetKey::Storage(_) => {
-                    let tex = self.attachment_texture().expect("storage target");
+                    let tex = attachment(self)?;
                     self.textures[&tex.0].data.clone()
                 }
             })
@@ -1163,7 +1511,7 @@ impl Gl {
         let src_format = match target_key {
             TargetKey::Surface(_) => TextureFormat::Rgba8,
             TargetKey::Storage(_) => {
-                let tex = self.attachment_texture().expect("storage target");
+                let tex = attachment(self)?;
                 self.textures[&tex.0].format
             }
         };
@@ -1175,16 +1523,21 @@ impl Gl {
                 .textures
                 .get_mut(&dst.0)
                 .ok_or_else(|| GlError::UnknownObject(dst.to_string()))?;
-            match fresh_format {
-                Some(format) => {
-                    t.storage = new_storage.expect("fresh storage allocated");
+            match (fresh_format, new_storage) {
+                (Some(format), Some(storage)) => {
+                    t.storage = storage;
                     t.width = width;
                     t.height = height;
                     t.format = format;
                     t.allocated = true;
                     t.storage_fresh = true;
                 }
-                None => {
+                (Some(_), None) => {
+                    return Err(GlError::Internal(
+                        "fresh storage was not allocated for copy destination".to_owned(),
+                    ));
+                }
+                (None, _) => {
                     if !t.allocated {
                         return Err(GlError::InvalidOperation(format!(
                             "{dst} has no storage; copy_tex_image_2d first"
@@ -1261,6 +1614,10 @@ impl Gl {
     // ---- synchronisation / EGL ----------------------------------------------
 
     fn flush_pending(&mut self, sync: SyncOp) {
+        if self.context_lost {
+            // A dead context has no pipeline to drain; the work died with it.
+            return;
+        }
         let frame = match self.pending.take() {
             Some(mut frame) => {
                 frame.sync = sync;
@@ -1295,6 +1652,7 @@ impl Gl {
     ///
     /// Currently infallible; `Result` is kept for API stability.
     pub fn swap_buffers(&mut self) -> Result<(), GlError> {
+        self.ensure_live()?;
         self.flush_pending(SyncOp::Swap {
             interval: self.swap_interval,
         });
@@ -1320,15 +1678,38 @@ impl Gl {
     ///
     /// Propagates target-resolution errors.
     pub fn read_pixels(&mut self) -> Result<Vec<u8>, GlError> {
+        self.ensure_live()?;
+        if let Some(inj) = self.injector.as_mut() {
+            let _ = inj.next_readback();
+        }
         let (target_key, ..) = self.current_target()?;
         self.finish();
         Ok(match target_key {
             TargetKey::Surface(s) => self.surfaces[s as usize].clone(),
             TargetKey::Storage(_) => {
-                let tex = self.attachment_texture().expect("storage target");
+                let tex = self.attachment_texture().ok_or_else(|| {
+                    GlError::Internal("storage target lost its attachment".to_owned())
+                })?;
                 self.textures[&tex.0].data.clone()
             }
         })
+    }
+
+    /// Reads back a texture's contents — the GPGPU result-download path.
+    /// Synchronises the pipeline first (`glFinish` semantics) so the bytes
+    /// reflect every submitted draw.
+    ///
+    /// # Errors
+    ///
+    /// [`GlError::ContextLost`] on a dead context, [`GlError::UnknownObject`]
+    /// for a stale handle.
+    pub fn read_texture(&mut self, tex: TextureId) -> Result<Vec<u8>, GlError> {
+        self.ensure_live()?;
+        if let Some(inj) = self.injector.as_mut() {
+            let _ = inj.next_readback();
+        }
+        self.finish();
+        Ok(self.texture_data(tex)?.to_vec())
     }
 
     /// Accounts application CPU time (e.g. the GPGPU float↔RGBA8 data

@@ -8,6 +8,7 @@ use std::error::Error;
 use std::fmt;
 
 use mgpu_shader::CompileError;
+use mgpu_tbdr::SimTime;
 
 /// Errors produced by GL-layer calls.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +27,27 @@ pub enum GlError {
     /// log. Resource-limit failures (the paper's Fig. 4b wall) appear here
     /// with [`CompileError::is_limit_exceeded`] set.
     CompileFailed(CompileError),
+    /// `EGL_CONTEXT_LOST`: the context died (compositor churn, power
+    /// event, injected fault). Every GL object it owned is gone; all calls
+    /// keep failing with this error until [`Gl::recreate`](crate::Gl::recreate).
+    ContextLost,
+    /// `GL_OUT_OF_MEMORY`: an allocation (texture storage, buffer data, or
+    /// a transient driver resource such as shader-compiler scratch) failed.
+    /// Transient by nature — retrying may succeed.
+    OutOfMemory(String),
+    /// The driver's per-draw watchdog killed the draw before execution:
+    /// its estimated GPU time exceeded the configured budget. Splitting
+    /// the draw into smaller pieces may get under the budget.
+    WatchdogTimeout {
+        /// Estimated GPU occupancy of the rejected draw.
+        estimated: SimTime,
+        /// The watchdog budget it exceeded.
+        budget: SimTime,
+    },
+    /// A driver invariant was violated — a bug in this library surfacing
+    /// as a typed error instead of a panic on the draw/upload/readback
+    /// paths.
+    Internal(String),
 }
 
 impl GlError {
@@ -33,6 +55,25 @@ impl GlError {
     #[must_use]
     pub fn is_shader_limit(&self) -> bool {
         matches!(self, GlError::CompileFailed(e) if e.is_limit_exceeded())
+    }
+
+    /// Whether this is a context loss (recoverable only via
+    /// [`Gl::recreate`](crate::Gl::recreate) plus object re-creation).
+    #[must_use]
+    pub fn is_context_loss(&self) -> bool {
+        matches!(self, GlError::ContextLost)
+    }
+
+    /// Whether retrying the same call (possibly after backoff or
+    /// splitting the work) may succeed: out-of-memory and watchdog kills.
+    /// Context loss is *not* transient — the context must be recreated
+    /// first.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            GlError::OutOfMemory(_) | GlError::WatchdogTimeout { .. }
+        )
     }
 }
 
@@ -46,6 +87,13 @@ impl fmt::Display for GlError {
             }
             GlError::UnknownObject(m) => write!(f, "unknown object: {m}"),
             GlError::CompileFailed(e) => write!(f, "shader compilation failed: {e}"),
+            GlError::ContextLost => write!(f, "context lost: recreate the context"),
+            GlError::OutOfMemory(m) => write!(f, "out of memory: {m}"),
+            GlError::WatchdogTimeout { estimated, budget } => write!(
+                f,
+                "watchdog timeout: draw estimated at {estimated} exceeds budget {budget}"
+            ),
+            GlError::Internal(m) => write!(f, "internal driver error: {m}"),
         }
     }
 }

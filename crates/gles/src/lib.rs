@@ -46,16 +46,20 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
 
 mod context;
 mod error;
 pub mod exec;
+pub mod fault;
 pub mod raster;
 mod types;
 
 pub use context::{DrawQuad, Gl};
 pub use error::GlError;
 pub use exec::{Engine, ExecConfig};
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSite};
 pub use types::{
     BufferId, BufferUsage, FramebufferId, ProgramId, TextureFilter, TextureFormat, TextureId,
     VertexSource,

@@ -265,6 +265,33 @@ pub fn rasterize_quad_into(
     target: RasterTarget<'_>,
     exec: &ExecConfig,
 ) -> Result<(), ExecError> {
+    let full = target.height;
+    rasterize_quad_rows_into(shader, uniforms, samplers, corners, target, 0, full, exec)
+}
+
+/// Like [`rasterize_quad_into`], but shades only rows `y0..y1` of the
+/// target, leaving every other row's bytes untouched. Fragment positions
+/// stay global — row `y` of a band draw is bit-identical to row `y` of a
+/// full draw — so a draw split into bands reassembles the exact full-draw
+/// image. This is the primitive behind watchdog-driven draw splitting: a
+/// pass whose estimated GPU time busts the per-draw budget is re-issued as
+/// several row-band sub-draws.
+///
+/// # Errors
+///
+/// As [`rasterize_quad_into`], plus an [`ExecError`] when `y0..y1` is not
+/// a sub-range of `0..target.height`.
+#[allow(clippy::too_many_arguments)]
+pub fn rasterize_quad_rows_into(
+    shader: &Shader,
+    uniforms: &UniformValues,
+    samplers: &[&dyn Sampler],
+    corners: &[VaryingCorners],
+    target: RasterTarget<'_>,
+    y0: u32,
+    y1: u32,
+    exec: &ExecConfig,
+) -> Result<(), ExecError> {
     check_corners(shader, corners)?;
     let RasterTarget {
         width,
@@ -272,6 +299,11 @@ pub fn rasterize_quad_into(
         channels,
         data,
     } = target;
+    if y0 > y1 || y1 > height {
+        return Err(ExecError::new(format!(
+            "row band {y0}..{y1} outside target height {height}"
+        )));
+    }
     let needed = width as usize * height as usize * channels;
     if data.len() < needed {
         return Err(ExecError::new(format!(
@@ -279,10 +311,12 @@ pub fn rasterize_quad_into(
             data.len()
         )));
     }
-    if needed == 0 {
+    if needed == 0 || y0 == y1 {
         return Ok(());
     }
-    let data = &mut data[..needed];
+    let row_bytes = width as usize * channels;
+    let data = &mut data[y0 as usize * row_bytes..y1 as usize * row_bytes];
+    let band_rows = y1 - y0;
 
     // Bind-time specialisation: fold the bound uniforms into the shader
     // as constants, once per draw. Only the batched tier uses it — the
@@ -300,7 +334,7 @@ pub fn rasterize_quad_into(
     };
     let table = ColumnTable::new(corners, width);
 
-    let n_chunks = height.div_ceil(CHUNK_ROWS) as usize;
+    let n_chunks = band_rows.div_ceil(CHUNK_ROWS) as usize;
     let threads = exec.threads().min(n_chunks);
     if threads <= 1 {
         let mut engine = FragEngine::new(shader, uniforms, engine_kind, corners.len())?;
@@ -309,8 +343,8 @@ pub fn rasterize_quad_into(
             samplers,
             &table,
             height,
-            0,
-            height,
+            y0,
+            y1,
             channels,
             data,
         );
@@ -338,8 +372,10 @@ pub fn rasterize_quad_into(
                             Err(e) => return Some((chunks.first().map_or(0, |(i, _)| *i), e)),
                         };
                     for (i, slice) in chunks {
-                        let y0 = i as u32 * CHUNK_ROWS;
-                        let y1 = (y0 + CHUNK_ROWS).min(height);
+                        // Chunk indices are band-relative; rows stay global
+                        // so band draws are bit-identical to full draws.
+                        let cy0 = y0 + i as u32 * CHUNK_ROWS;
+                        let cy1 = (cy0 + CHUNK_ROWS).min(y1);
                         // Contain panics per chunk so no unwind crosses the
                         // scope boundary and poisons the caller.
                         let run = catch_unwind(AssertUnwindSafe(|| {
@@ -348,8 +384,8 @@ pub fn rasterize_quad_into(
                                 samplers,
                                 table,
                                 height,
-                                y0,
-                                y1,
+                                cy0,
+                                cy1,
                                 channels,
                                 slice,
                             )
@@ -374,7 +410,16 @@ pub fn rasterize_quad_into(
             .collect();
         handles
             .into_iter()
-            .filter_map(|h| h.join().expect("worker panics are caught per chunk"))
+            .filter_map(|h| match h.join() {
+                // Worker panics are caught per chunk; a join failure means
+                // the unwinding machinery itself broke — surface it as the
+                // lowest-priority error rather than panicking the caller.
+                Ok(result) => result,
+                Err(p) => Some((
+                    usize::MAX,
+                    ExecError::new(format!("worker thread panicked: {}", panic_message(&*p))),
+                )),
+            })
             .min_by_key(|(i, _)| *i)
     });
 
@@ -581,6 +626,66 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn band_draws_reassemble_the_full_image() {
+        let sh = compile(
+            "varying vec2 v;\n\
+             void main() { gl_FragColor = vec4(v.x, v.y, v.x * v.y, 1.0); }",
+        )
+        .unwrap();
+        for &(w, h) in &[(31u32, 23u32), (64, 64)] {
+            let full = raster_bytes(&sh, w, h, 4, &ExecConfig::with_threads(3));
+            for bands in [2u32, 3, 7] {
+                let mut data = vec![0u8; w as usize * h as usize * 4];
+                let rows_per = h.div_ceil(bands);
+                let mut y0 = 0;
+                while y0 < h {
+                    let y1 = (y0 + rows_per).min(h);
+                    rasterize_quad_rows_into(
+                        &sh,
+                        &UniformValues::new(),
+                        &[],
+                        &[texcoord_corners()],
+                        RasterTarget {
+                            width: w,
+                            height: h,
+                            channels: 4,
+                            data: &mut data,
+                        },
+                        y0,
+                        y1,
+                        &ExecConfig::with_threads(2),
+                    )
+                    .unwrap();
+                    y0 = y1;
+                }
+                assert_eq!(data, full, "{w}x{h} in {bands} bands");
+            }
+        }
+    }
+
+    #[test]
+    fn band_outside_target_errors() {
+        let sh = compile("void main() { gl_FragColor = vec4(1.0); }").unwrap();
+        let mut data = vec![0u8; 4 * 4 * 4];
+        let r = rasterize_quad_rows_into(
+            &sh,
+            &UniformValues::new(),
+            &[],
+            &[],
+            RasterTarget {
+                width: 4,
+                height: 4,
+                channels: 4,
+                data: &mut data,
+            },
+            2,
+            9,
+            &ExecConfig::serial(),
+        );
+        assert!(r.unwrap_err().to_string().contains("row band"));
     }
 
     /// A sampler that panics on fetch: worker panics must surface as

@@ -1,0 +1,286 @@
+//! Integration tests of deterministic fault injection at the GL layer:
+//! context loss, allocation failure, transient compile failure, watchdog
+//! kills, storage corruption — and the no-plan no-op guarantee.
+
+use mgpu_gles::{DrawQuad, FaultKind, FaultPlan, FaultSite, Gl, GlError, TextureFormat};
+use mgpu_tbdr::{Platform, SimTime};
+
+const COPY_PROG: &str = "
+    uniform sampler2D u_src;
+    varying vec2 v_coord;
+    void main() { gl_FragColor = texture2D(u_src, v_coord); }
+";
+
+fn gl() -> Gl {
+    Gl::new(Platform::videocore_iv(), 8, 8)
+}
+
+/// Sets up a copy kernel reading `src` and returns `(gl, src)`.
+fn copy_setup(mut gl: Gl) -> (Gl, mgpu_gles::TextureId) {
+    let prog = gl.create_program(COPY_PROG).unwrap();
+    let src = gl.create_texture();
+    let data: Vec<u8> = (0..8 * 8 * 4).map(|i| (i % 251) as u8).collect();
+    gl.tex_image_2d(src, 8, 8, TextureFormat::Rgba8, Some(&data))
+        .unwrap();
+    gl.bind_texture(0, Some(src)).unwrap();
+    gl.use_program(Some(prog)).unwrap();
+    (gl, src)
+}
+
+#[test]
+fn context_loss_fires_at_scheduled_draw_and_poisons_calls() {
+    let (mut gl, _src) = copy_setup(gl());
+    gl.install_faults(FaultPlan::seeded(1).ctx_loss_at_draw(1));
+
+    gl.clear([0.0; 4]).unwrap();
+    gl.draw_quad(&DrawQuad::fullscreen()).unwrap(); // draw #0 fine
+    let err = gl.draw_quad(&DrawQuad::fullscreen()).unwrap_err();
+    assert!(matches!(err, GlError::ContextLost), "{err}");
+    assert!(gl.context_lost());
+
+    // Every subsequent call fails until recreate, including readback.
+    assert!(matches!(gl.read_pixels(), Err(GlError::ContextLost)));
+    assert!(matches!(gl.clear([0.0; 4]), Err(GlError::ContextLost)));
+
+    // The trail names the event precisely.
+    let trail = gl.fault_trail();
+    assert_eq!(trail.len(), 1);
+    assert_eq!(trail[0].kind, FaultKind::ContextLoss);
+    assert_eq!(trail[0].site, FaultSite::Draw);
+    assert_eq!(trail[0].index, 1);
+}
+
+#[test]
+fn recreate_restores_service_but_objects_are_gone() {
+    let (mut gl, src) = copy_setup(gl());
+    gl.install_faults(FaultPlan::seeded(1).ctx_loss_at_draw(0));
+    let err = gl.draw_quad(&DrawQuad::fullscreen()).unwrap_err();
+    assert!(matches!(err, GlError::ContextLost));
+
+    gl.recreate();
+    assert!(!gl.context_lost());
+    // Old objects died with the context.
+    assert!(gl.texture_data(src).is_err());
+    // A rebuilt scene works: draw #1 is not scheduled for loss.
+    let (mut gl, _src) = copy_setup(gl);
+    gl.clear([0.0; 4]).unwrap();
+    gl.draw_quad(&DrawQuad::fullscreen()).unwrap();
+    gl.read_pixels().unwrap();
+}
+
+#[test]
+fn recreate_charges_simulated_time() {
+    // Identical scenes; the only difference is one context recreation.
+    // Its cost is billed to the next submitted frame, so the recreated
+    // run must finish strictly later.
+    let run = |recreate: bool| {
+        let mut gl = gl();
+        if recreate {
+            gl.recreate();
+        }
+        let (mut gl, _src) = copy_setup(gl);
+        gl.clear([0.0; 4]).unwrap();
+        gl.draw_quad(&DrawQuad::fullscreen()).unwrap();
+        gl.finish();
+        gl.elapsed()
+    };
+    assert!(run(true) > run(false));
+}
+
+#[test]
+fn oom_fails_the_scheduled_upload_only() {
+    let mut gl = gl();
+    gl.install_faults(FaultPlan::seeded(2).oom_at_upload(1));
+    let t0 = gl.create_texture();
+    let t1 = gl.create_texture();
+    let data = vec![0u8; 8 * 8 * 4];
+    gl.tex_image_2d(t0, 8, 8, TextureFormat::Rgba8, Some(&data))
+        .unwrap();
+    let err = gl
+        .tex_image_2d(t1, 8, 8, TextureFormat::Rgba8, Some(&data))
+        .unwrap_err();
+    assert!(matches!(err, GlError::OutOfMemory(_)), "{err}");
+    assert!(err.is_transient());
+    // The context survives an OOM; retrying the upload (attempt #2) works.
+    gl.tex_image_2d(t1, 8, 8, TextureFormat::Rgba8, Some(&data))
+        .unwrap();
+}
+
+#[test]
+fn transient_compile_failure_succeeds_on_retry() {
+    let mut gl = gl();
+    gl.install_faults(FaultPlan::seeded(3).compile_fail_at(0));
+    let err = gl.create_program(COPY_PROG).unwrap_err();
+    assert!(matches!(err, GlError::OutOfMemory(_)), "{err}");
+    // Same source, next attempt: fine.
+    gl.create_program(COPY_PROG).unwrap();
+}
+
+/// An ALU-heavy kernel: per-fragment cost dominates the fixed per-draw
+/// cost, so row-band splitting meaningfully lowers the estimate (a cheap
+/// copy kernel's later bands pay a tile-reload that eats the saving).
+const HEAVY_PROG: &str = "
+    uniform sampler2D u_src;
+    varying vec2 v_coord;
+    void main() {
+        vec4 t = texture2D(u_src, v_coord);
+        vec4 acc = vec4(0.0);
+        for (float i = 0.0; i < 32.0; i += 1.0) { acc = acc * 0.5 + t * 0.25; }
+        gl_FragColor = clamp(acc, 0.0, 1.0);
+    }
+";
+
+fn heavy_setup() -> Gl {
+    let mut gl = gl();
+    let prog = gl.create_program(HEAVY_PROG).unwrap();
+    let src = gl.create_texture();
+    let data: Vec<u8> = (0..8 * 8 * 4).map(|i| (i % 251) as u8).collect();
+    gl.tex_image_2d(src, 8, 8, TextureFormat::Rgba8, Some(&data))
+        .unwrap();
+    gl.bind_texture(0, Some(src)).unwrap();
+    gl.use_program(Some(prog)).unwrap();
+    gl
+}
+
+#[test]
+fn watchdog_kills_expensive_draws_and_row_bands_slip_under() {
+    // Probe the simulator's own estimates with an impossible budget: the
+    // watchdog error reports what each draw shape would cost. The worst
+    // band is a late one, which pays a tile reload instead of a clear.
+    let estimate_with = |pre_draw: bool, quad: &DrawQuad| -> SimTime {
+        let mut gl = heavy_setup();
+        gl.clear([0.0; 4]).unwrap();
+        if pre_draw {
+            gl.draw_quad(&DrawQuad::fullscreen().with_row_band(0, 4))
+                .unwrap();
+        }
+        gl.install_faults(FaultPlan::seeded(4).watchdog_budget(SimTime::from_nanos(1)));
+        match gl.draw_quad(quad).unwrap_err() {
+            GlError::WatchdogTimeout { estimated, .. } => estimated,
+            other => panic!("expected watchdog timeout, got {other}"),
+        }
+    };
+    let full = estimate_with(false, &DrawQuad::fullscreen());
+    let worst_band = estimate_with(true, &DrawQuad::fullscreen().with_row_band(4, 8));
+    assert!(
+        worst_band < full,
+        "band estimate {worst_band:?} must undercut full draw {full:?}"
+    );
+    // Budget strictly between: the full draw is killed, every band fits.
+    let budget = SimTime::from_nanos((worst_band.as_nanos() + full.as_nanos()) / 2);
+
+    let mut gl = heavy_setup();
+    gl.install_faults(FaultPlan::seeded(4).watchdog_budget(budget));
+    gl.clear([0.0; 4]).unwrap();
+    let err = gl.draw_quad(&DrawQuad::fullscreen()).unwrap_err();
+    match err {
+        GlError::WatchdogTimeout {
+            estimated,
+            budget: b,
+        } => {
+            assert!(estimated > b);
+            assert_eq!(b, budget);
+        }
+        other => panic!("expected watchdog timeout, got {other}"),
+    }
+    assert!(err.is_transient());
+    // The same work split into row bands fits the per-draw budget.
+    for (y0, y1) in [(0u32, 4u32), (4, 8)] {
+        gl.draw_quad(&DrawQuad::fullscreen().with_row_band(y0, y1))
+            .unwrap();
+    }
+    let out = gl.read_pixels().unwrap();
+    assert_eq!(out.len(), 8 * 8 * 4);
+}
+
+#[test]
+fn banded_draws_reassemble_the_full_draw_bytes() {
+    let (mut gl_full, _src) = copy_setup(gl());
+    gl_full.clear([0.0; 4]).unwrap();
+    gl_full.draw_quad(&DrawQuad::fullscreen()).unwrap();
+    let want = gl_full.read_pixels().unwrap();
+
+    let (mut gl_bands, _src) = copy_setup(gl());
+    gl_bands.clear([0.0; 4]).unwrap();
+    for (y0, y1) in [(0u32, 3u32), (3, 4), (4, 8)] {
+        gl_bands
+            .draw_quad(&DrawQuad::fullscreen().with_row_band(y0, y1))
+            .unwrap();
+    }
+    assert_eq!(gl_bands.read_pixels().unwrap(), want);
+}
+
+#[test]
+fn corruption_flips_bits_silently_and_deterministically() {
+    let run = |plan: Option<FaultPlan>| {
+        let (mut gl, _src) = copy_setup(gl());
+        if let Some(p) = plan {
+            gl.install_faults(p);
+        }
+        gl.clear([0.0; 4]).unwrap();
+        gl.draw_quad(&DrawQuad::fullscreen()).unwrap();
+        gl.read_pixels().unwrap()
+    };
+    let clean = run(None);
+    let plan = FaultPlan::seeded(5).corrupt_at_draw(0);
+    let dirty_a = run(Some(plan.clone()));
+    let dirty_b = run(Some(plan));
+    // Silent: the draw succeeded, bytes differ.
+    assert_ne!(clean, dirty_a);
+    // Deterministic: same plan, same flips.
+    assert_eq!(dirty_a, dirty_b);
+    // Bounded: at most 8 single-bit flips.
+    let diffs = clean.iter().zip(&dirty_a).filter(|(c, d)| c != d).count();
+    assert!((1..=8).contains(&diffs), "{diffs} bytes differ");
+}
+
+#[test]
+fn same_seed_same_trail_across_probabilistic_runs() {
+    let run = || {
+        let (mut gl, _src) = copy_setup(gl());
+        gl.install_faults(FaultPlan::seeded(77).p_corrupt(0.5));
+        gl.clear([0.0; 4]).unwrap();
+        for _ in 0..8 {
+            gl.draw_quad(&DrawQuad::fullscreen()).unwrap();
+        }
+        gl.fault_trail().to_vec()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+    assert!(!a.is_empty(), "p=0.5 over 8 draws should fire");
+}
+
+#[test]
+fn no_plan_means_no_timing_or_byte_change() {
+    let run = |with_empty_plan: bool| {
+        let (mut gl, _src) = copy_setup(gl());
+        if with_empty_plan {
+            gl.install_faults(FaultPlan::seeded(123));
+        }
+        gl.clear([0.0; 4]).unwrap();
+        gl.draw_quad(&DrawQuad::fullscreen()).unwrap();
+        let bytes = gl.read_pixels().unwrap();
+        gl.finish();
+        (bytes, gl.elapsed())
+    };
+    let (bytes_none, t_none) = run(false);
+    let (bytes_empty, t_empty) = run(true);
+    assert_eq!(bytes_none, bytes_empty);
+    assert_eq!(t_none, t_empty, "an empty plan must not perturb timing");
+}
+
+#[test]
+fn env_spec_installs_plan_on_context_creation() {
+    // Env vars are process-global; this test owns MGPU_FAULTS, and no
+    // other test in this binary reads it at context creation.
+    std::env::set_var("MGPU_FAULTS", "seed=9,ctx@0");
+    let mut gl = Gl::new(Platform::videocore_iv(), 8, 8);
+    std::env::remove_var("MGPU_FAULTS");
+    assert!(gl.fault_injector().is_some());
+    let prog = gl.create_program(COPY_PROG).unwrap();
+    gl.use_program(Some(prog)).unwrap();
+    gl.clear([0.0; 4]).unwrap();
+    let err = gl.draw_quad(&DrawQuad::fullscreen()).unwrap_err();
+    assert!(matches!(err, GlError::ContextLost));
+}

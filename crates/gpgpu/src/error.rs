@@ -5,6 +5,8 @@ use std::fmt;
 
 use mgpu_gles::GlError;
 
+use crate::resilient::ExhaustedError;
+
 /// Errors from building or running a GPGPU operator.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GpgpuError {
@@ -14,6 +16,13 @@ pub enum GpgpuError {
     Gl(GlError),
     /// The operator was configured inconsistently (sizes, ranges, ...).
     Config(String),
+    /// Result corruption was detected by checksum verification
+    /// (see [`ResilienceConfig::verify_checksums`](crate::ResilienceConfig)).
+    Corrupted(String),
+    /// The resilient runner gave up: retries, degradation rungs and
+    /// context recreations were exhausted. Carries the full fault trail
+    /// and recovery history.
+    Exhausted(Box<ExhaustedError>),
 }
 
 impl GpgpuError {
@@ -22,6 +31,18 @@ impl GpgpuError {
     pub fn is_shader_limit(&self) -> bool {
         matches!(self, GpgpuError::Gl(e) if e.is_shader_limit())
     }
+
+    /// Whether retrying (after backoff, context recreation or work
+    /// splitting) may succeed: transient GL failures, context loss and
+    /// detected corruption.
+    #[must_use]
+    pub fn is_recoverable(&self) -> bool {
+        match self {
+            GpgpuError::Gl(e) => e.is_transient() || e.is_context_loss(),
+            GpgpuError::Corrupted(_) => true,
+            GpgpuError::Config(_) | GpgpuError::Exhausted(_) => false,
+        }
+    }
 }
 
 impl fmt::Display for GpgpuError {
@@ -29,6 +50,8 @@ impl fmt::Display for GpgpuError {
         match self {
             GpgpuError::Gl(e) => write!(f, "{e}"),
             GpgpuError::Config(m) => write!(f, "configuration error: {m}"),
+            GpgpuError::Corrupted(m) => write!(f, "result corruption detected: {m}"),
+            GpgpuError::Exhausted(e) => write!(f, "{e}"),
         }
     }
 }
@@ -37,7 +60,8 @@ impl Error for GpgpuError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             GpgpuError::Gl(e) => Some(e),
-            GpgpuError::Config(_) => None,
+            GpgpuError::Exhausted(e) => Some(&*e.last_error),
+            GpgpuError::Config(_) | GpgpuError::Corrupted(_) => None,
         }
     }
 }

@@ -52,6 +52,8 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
 
 mod config;
 mod encoding;
@@ -59,6 +61,7 @@ mod error;
 pub mod kernels;
 mod ops;
 pub mod pipeline;
+pub mod resilient;
 pub mod runner;
 pub mod tune;
 
@@ -70,5 +73,9 @@ pub use ops::{
     SumBuilder, Transpose,
 };
 pub use pipeline::{Pipeline, PipelineBuilder, Source};
+pub use resilient::{
+    crc32, ExhaustedError, PipelineJob, RecoverableJob, RecoveryEvent, ResilienceConfig,
+    ResilientRunner, RetryPolicy, SgemmJob, StageId, SumJob,
+};
 pub use runner::{speedup, steady_period};
 pub use tune::{tune_sgemm, tune_sum, TunePoint, TuneResult};

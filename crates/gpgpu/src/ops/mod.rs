@@ -94,6 +94,30 @@ pub(crate) fn quad_for(cfg: &OptConfig, vbo: Option<mgpu_gles::BufferId>, label:
     }
 }
 
+/// Issues `quad` as `bands` row-band sub-draws over a target of `height`
+/// rows (one plain draw when `bands <= 1`) — the watchdog degradation rung.
+/// Band sub-draws are bit-identical to the full draw because fragment
+/// coordinates are derived from the global row index.
+pub(crate) fn draw_banded(
+    gl: &mut Gl,
+    quad: &DrawQuad,
+    bands: u32,
+    height: u32,
+) -> Result<(), GlError> {
+    if bands <= 1 || height == 0 {
+        return gl.draw_quad(quad);
+    }
+    let bands = bands.min(height);
+    let rows = height.div_ceil(bands);
+    let mut y0 = 0u32;
+    while y0 < height {
+        let y1 = (y0 + rows).min(height);
+        gl.draw_quad(&quad.clone().with_row_band(y0, y1))?;
+        y0 = y1;
+    }
+    Ok(())
+}
+
 /// Creates the VBO for the configured vertex strategy, if any.
 pub(crate) fn vbo_for(
     gl: &mut Gl,
@@ -196,10 +220,10 @@ impl OutputChain {
         Ok(())
     }
 
-    /// Reads back and returns the latest result's bytes (synchronising).
+    /// Reads back and returns the latest result's bytes (synchronising,
+    /// counted as a readback by the fault injector).
     pub(crate) fn read_latest(&self, gl: &mut Gl) -> Result<Vec<u8>, GlError> {
-        gl.finish();
-        Ok(gl.texture_data(self.latest())?.to_vec())
+        gl.read_texture(self.latest())
     }
 }
 

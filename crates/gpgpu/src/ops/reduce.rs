@@ -190,7 +190,10 @@ impl Reduction {
         }
 
         gl.finish();
-        let last = *self.levels.last().expect("at least two levels");
+        let last = *self
+            .levels
+            .last()
+            .ok_or_else(|| GpgpuError::Config("reduction has no levels".to_owned()))?;
         let bytes = gl.texture_data(last)?.to_vec();
         gl.add_cpu_work(convert_cost(bytes.len() as u64));
         let total_range = Range::new(0.0, 4.0f32.powi(self.passes() as i32));

@@ -8,7 +8,9 @@ use crate::config::OptConfig;
 use crate::encoding::Range;
 use crate::error::GpgpuError;
 use crate::kernels::sgemm_kernel;
-use crate::ops::{apply_setup, check_size, convert_cost, quad_for, vbo_for, OutputChain};
+use crate::ops::{
+    apply_setup, check_size, convert_cost, draw_banded, quad_for, vbo_for, OutputChain,
+};
 
 /// Blocked single-precision matrix multiply `C = A × B` over `n`×`n`
 /// encoded matrices, computed in `n / block` passes of `block`-element
@@ -158,24 +160,73 @@ impl Sgemm {
     ///
     /// Propagates GL failures.
     pub fn multiply(&mut self, gl: &mut Gl) -> Result<(), GpgpuError> {
-        // Reset the accumulator.
-        self.chain.seed(gl, &self.zero_seed)?;
-        self.multiply_count += 1;
-
+        self.begin_multiply(gl)?;
         for pass in 0..self.passes() {
-            let blk_n = (pass * self.block) as f32 / self.n as f32;
-            gl.set_uniform_scalar(self.prog, "blk_n", blk_n)?;
-            gl.bind_texture(0, Some(self.tex_a))?;
-            gl.bind_texture(1, Some(self.tex_b))?;
-            gl.bind_texture(2, Some(self.chain.latest()))?;
-            gl.use_program(Some(self.prog))?;
-
-            let label = format!("sgemm#{} pass {pass}", self.multiply_count);
-            let quad = quad_for(&self.cfg, self.vbo, &label);
-            self.chain
-                .render_pass(gl, &self.cfg, |gl| gl.draw_quad(&quad))?;
+            self.run_pass(gl, pass, 1)?;
         }
         Ok(())
+    }
+
+    /// Starts one multiplication: resets the double-buffered accumulator
+    /// to the zero seed. Follow with [`Sgemm::run_pass`] for passes
+    /// `0..self.passes()` — [`Sgemm::multiply`] is exactly that sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GL failures.
+    pub fn begin_multiply(&mut self, gl: &mut Gl) -> Result<(), GpgpuError> {
+        self.chain.seed(gl, &self.zero_seed)?;
+        self.multiply_count += 1;
+        Ok(())
+    }
+
+    /// Runs one accumulation pass of the current multiplication, issuing
+    /// the draw as `bands` row-band sub-draws (`bands <= 1` = one full
+    /// draw). Passes may be replayed: each pass reads the chain's latest
+    /// texture and the `blk_n` uniform it sets itself.
+    ///
+    /// # Errors
+    ///
+    /// [`GpgpuError::Config`] for an out-of-range pass; GL failures
+    /// otherwise.
+    pub fn run_pass(&mut self, gl: &mut Gl, pass: u32, bands: u32) -> Result<(), GpgpuError> {
+        if pass >= self.passes() {
+            return Err(GpgpuError::Config(format!(
+                "pass {pass} out of range ({} passes)",
+                self.passes()
+            )));
+        }
+        let blk_n = (pass * self.block) as f32 / self.n as f32;
+        gl.set_uniform_scalar(self.prog, "blk_n", blk_n)?;
+        gl.bind_texture(0, Some(self.tex_a))?;
+        gl.bind_texture(1, Some(self.tex_b))?;
+        gl.bind_texture(2, Some(self.chain.latest()))?;
+        gl.use_program(Some(self.prog))?;
+
+        let label = format!("sgemm#{} pass {pass}", self.multiply_count);
+        let quad = quad_for(&self.cfg, self.vbo, &label);
+        let n = self.n;
+        self.chain
+            .render_pass(gl, &self.cfg, |gl| draw_banded(gl, &quad, bands, n))
+    }
+
+    /// Reads back the latest accumulator's raw encoded bytes (a
+    /// pass-granular checkpoint for the resilient runner).
+    ///
+    /// # Errors
+    ///
+    /// Propagates GL failures.
+    pub fn snapshot_bytes(&mut self, gl: &mut Gl) -> Result<Vec<u8>, GpgpuError> {
+        Ok(self.chain.read_latest(gl)?)
+    }
+
+    /// Uploads previously snapshotted bytes into the latest-result slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GL failures (e.g. a size mismatch).
+    pub fn restore_bytes(&mut self, gl: &mut Gl, bytes: &[u8]) -> Result<(), GpgpuError> {
+        Ok(self.chain.seed(gl, bytes)?)
     }
 
     /// Reads back and decodes the product matrix.

@@ -7,7 +7,9 @@ use crate::config::OptConfig;
 use crate::encoding::Range;
 use crate::error::GpgpuError;
 use crate::kernels::sum_kernel_ranges;
-use crate::ops::{apply_setup, check_size, convert_cost, quad_for, vbo_for, OutputChain};
+use crate::ops::{
+    apply_setup, check_size, convert_cost, draw_banded, quad_for, vbo_for, OutputChain,
+};
 
 /// Streaming addition `C = A + B` over `n`×`n` encoded matrices — the
 /// paper's low-arithmetic-intensity benchmark.
@@ -200,6 +202,17 @@ impl Sum {
     ///
     /// Propagates GL failures.
     pub fn step(&mut self, gl: &mut Gl) -> Result<(), GpgpuError> {
+        self.step_banded(gl, 1)
+    }
+
+    /// Like [`Sum::step`], but issues the draw as `bands` row-band
+    /// sub-draws — the resilient runner's watchdog degradation rung.
+    /// `bands <= 1` is exactly [`Sum::step`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates GL failures.
+    pub fn step_banded(&mut self, gl: &mut Gl, bands: u32) -> Result<(), GpgpuError> {
         if self.reupload {
             gl.add_cpu_work(convert_cost(
                 (self.encoded_a.len() + self.encoded_b.len()) as u64,
@@ -225,8 +238,43 @@ impl Sum {
         self.step_count += 1;
         let label = format!("sum#{}", self.step_count);
         let quad = quad_for(&self.cfg, self.vbo, &label);
+        let n = self.n;
         self.chain
-            .render_pass(gl, &self.cfg, |gl| gl.draw_quad(&quad))
+            .render_pass(gl, &self.cfg, |gl| draw_banded(gl, &quad, bands, n))
+    }
+
+    /// Restores the operator's pre-run state: in dependent mode the chain
+    /// is re-seeded with matrix `A`, otherwise this is a no-op. Used by the
+    /// resilient runner to replay a run from the beginning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GL failures.
+    pub fn reset(&mut self, gl: &mut Gl) -> Result<(), GpgpuError> {
+        if self.dependent {
+            gl.add_cpu_work(convert_cost(self.encoded_a.len() as u64));
+            self.chain.seed(gl, &self.encoded_a)?;
+        }
+        Ok(())
+    }
+
+    /// Reads back the latest result's raw encoded bytes (a pass-granular
+    /// checkpoint for the resilient runner).
+    ///
+    /// # Errors
+    ///
+    /// Propagates GL failures.
+    pub fn snapshot_bytes(&mut self, gl: &mut Gl) -> Result<Vec<u8>, GpgpuError> {
+        Ok(self.chain.read_latest(gl)?)
+    }
+
+    /// Uploads previously snapshotted bytes into the latest-result slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GL failures (e.g. a size mismatch).
+    pub fn restore_bytes(&mut self, gl: &mut Gl, bytes: &[u8]) -> Result<(), GpgpuError> {
+        Ok(self.chain.seed(gl, bytes)?)
     }
 
     /// Runs `iterations` kernel invocations.

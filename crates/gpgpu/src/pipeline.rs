@@ -20,7 +20,7 @@ use mgpu_shader::OptOptions;
 use crate::config::OptConfig;
 use crate::encoding::Range;
 use crate::error::GpgpuError;
-use crate::ops::{apply_setup, convert_cost, quad_for, vbo_for, OutputChain};
+use crate::ops::{apply_setup, convert_cost, draw_banded, quad_for, vbo_for, OutputChain};
 
 /// What a pass binds to one of its samplers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +65,12 @@ impl PipelineBuilder {
     pub fn seed(mut self, data: &[f32], range: Range) -> Self {
         self.seed = Some((data.to_vec(), range));
         self
+    }
+
+    /// Number of passes added so far.
+    #[must_use]
+    pub fn pass_count(&self) -> usize {
+        self.passes.len()
     }
 
     /// Appends a pass: `kernel_source` with each sampler bound per
@@ -164,7 +170,7 @@ impl PipelineBuilder {
         }
 
         let mut chain = OutputChain::new(gl, self.n, enc.texture_format());
-        let mut seeded = false;
+        let mut seed_bytes = None;
         if let Some((data, range)) = &self.seed {
             if data.len() != (self.n as usize) * (self.n as usize) {
                 return Err(GpgpuError::Config(format!(
@@ -176,15 +182,16 @@ impl PipelineBuilder {
             let encoded = enc.encode(data, range);
             gl.add_cpu_work(convert_cost(encoded.len() as u64));
             chain.seed(gl, &encoded)?;
-            seeded = true;
+            seed_bytes = Some(encoded);
         }
         let vbo = vbo_for(gl, cfg, 4)?;
         Ok(Pipeline {
             cfg: *cfg,
+            n: self.n,
             passes,
             chain,
             vbo,
-            seeded,
+            seed_bytes,
             run_count: 0,
         })
     }
@@ -244,10 +251,13 @@ struct Pass {
 #[derive(Debug)]
 pub struct Pipeline {
     cfg: OptConfig,
+    n: u32,
     passes: Vec<Pass>,
     chain: OutputChain,
     vbo: Option<mgpu_gles::BufferId>,
-    seeded: bool,
+    /// Encoded seed data, kept so a replayed run can restore the chain's
+    /// initial contents.
+    seed_bytes: Option<Vec<u8>>,
     run_count: u64,
 }
 
@@ -278,29 +288,89 @@ impl Pipeline {
     pub fn run_once(&mut self, gl: &mut Gl) -> Result<(), GpgpuError> {
         self.run_count += 1;
         for i in 0..self.passes.len() {
-            let pass = &self.passes[i];
-            for (unit, binding) in pass.bindings.iter().enumerate() {
-                let tex = match binding {
-                    Some(t) => *t,
-                    None => {
-                        if self.run_count == 1 && i == 0 && !self.seeded {
-                            return Err(GpgpuError::Config(
-                                "the first pass of the first run cannot read Previous: seed the pipeline or bind an input"
-                                    .to_owned(),
-                            ));
-                        }
-                        self.chain.latest()
-                    }
-                };
-                gl.bind_texture(unit as u32, Some(tex))?;
-            }
-            gl.use_program(Some(pass.prog))?;
-            let label = format!("{}#{}", pass.label, self.run_count);
-            let quad = quad_for(&self.cfg, self.vbo, &label);
-            let cfg = self.cfg;
-            self.chain.render_pass(gl, &cfg, |gl| gl.draw_quad(&quad))?;
+            self.run_pass(gl, i, 1)?;
         }
         Ok(())
+    }
+
+    /// Starts a run for pass-by-pass execution via [`Pipeline::run_pass`]:
+    /// bumps the run counter and restores the seed contents (if the
+    /// pipeline was seeded), so a replayed run starts from the same chain
+    /// state as the first.
+    ///
+    /// [`Pipeline::run_once`] does *not* re-seed between runs — iterative
+    /// algorithms rely on the chain carrying over. Use this entry point
+    /// when a run must be independent of earlier (possibly failed) runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GL failures from the seed upload.
+    pub fn begin_run(&mut self, gl: &mut Gl) -> Result<(), GpgpuError> {
+        self.run_count += 1;
+        if let Some(bytes) = &self.seed_bytes {
+            gl.add_cpu_work(convert_cost(bytes.len() as u64));
+            self.chain.seed(gl, bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Executes pass `i` of the current run, issuing the draw as `bands`
+    /// row-band sub-draws (`bands <= 1` = one full draw).
+    ///
+    /// # Errors
+    ///
+    /// [`GpgpuError::Config`] for an out-of-range index, or if the pass
+    /// binds [`Source::Previous`] before any output exists; GL failures
+    /// otherwise.
+    pub fn run_pass(&mut self, gl: &mut Gl, i: usize, bands: u32) -> Result<(), GpgpuError> {
+        let pass = self.passes.get(i).ok_or_else(|| {
+            GpgpuError::Config(format!(
+                "pass index {i} out of range ({} passes)",
+                self.passes.len()
+            ))
+        })?;
+        for (unit, binding) in pass.bindings.iter().enumerate() {
+            let tex = match binding {
+                Some(t) => *t,
+                None => {
+                    if self.run_count <= 1 && i == 0 && self.seed_bytes.is_none() {
+                        return Err(GpgpuError::Config(
+                            "the first pass of the first run cannot read Previous: seed the pipeline or bind an input"
+                                .to_owned(),
+                        ));
+                    }
+                    self.chain.latest()
+                }
+            };
+            gl.bind_texture(unit as u32, Some(tex))?;
+        }
+        gl.use_program(Some(pass.prog))?;
+        let label = format!("{}#{}", pass.label, self.run_count);
+        let quad = quad_for(&self.cfg, self.vbo, &label);
+        let cfg = self.cfg;
+        let n = self.n;
+        self.chain
+            .render_pass(gl, &cfg, |gl| draw_banded(gl, &quad, bands, n))?;
+        Ok(())
+    }
+
+    /// Reads back the latest output's raw encoded bytes (a pass-granular
+    /// checkpoint for the resilient runner).
+    ///
+    /// # Errors
+    ///
+    /// Propagates GL failures.
+    pub fn snapshot_bytes(&mut self, gl: &mut Gl) -> Result<Vec<u8>, GpgpuError> {
+        Ok(self.chain.read_latest(gl)?)
+    }
+
+    /// Uploads previously snapshotted bytes into the latest-result slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GL failures (e.g. a size mismatch).
+    pub fn restore_bytes(&mut self, gl: &mut Gl, bytes: &[u8]) -> Result<(), GpgpuError> {
+        Ok(self.chain.seed(gl, bytes)?)
     }
 
     /// Updates a scalar uniform of pass `pass_index` (e.g. a per-run block

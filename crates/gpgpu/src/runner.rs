@@ -15,18 +15,19 @@ use crate::error::GpgpuError;
 ///
 /// # Errors
 ///
-/// Propagates the first error `body` returns.
-///
-/// # Panics
-///
-/// Panics if `measured` is zero.
+/// [`GpgpuError::Config`] if `measured` is zero; otherwise propagates the
+/// first error `body` returns.
 pub fn steady_period(
     gl: &mut Gl,
     warmup: usize,
     measured: usize,
     mut body: impl FnMut(&mut Gl) -> Result<(), GpgpuError>,
 ) -> Result<SimTime, GpgpuError> {
-    assert!(measured > 0, "need at least one measured iteration");
+    if measured == 0 {
+        return Err(GpgpuError::Config(
+            "steady_period needs at least one measured iteration".to_owned(),
+        ));
+    }
     for _ in 0..warmup {
         body(gl)?;
     }
@@ -40,11 +41,17 @@ pub fn steady_period(
 
 /// Speedup of `optimised` over `baseline` (>1 means faster), the metric of
 /// the paper's Figures 3–5.
+///
+/// Never returns NaN: when both times are non-positive (nothing was
+/// measured on either side) the ratio is defined as `1.0`; when only the
+/// optimised time is non-positive it is `f64::INFINITY`.
 #[must_use]
 pub fn speedup(baseline: SimTime, optimised: SimTime) -> f64 {
     let b = baseline.as_secs_f64();
     let o = optimised.as_secs_f64();
-    if o <= 0.0 {
+    if b <= 0.0 && o <= 0.0 {
+        1.0
+    } else if o <= 0.0 {
         f64::INFINITY
     } else {
         b / o
@@ -69,5 +76,14 @@ mod tests {
             speedup(SimTime::from_millis(5), SimTime::ZERO),
             f64::INFINITY
         );
+        assert_eq!(speedup(SimTime::ZERO, SimTime::ZERO), 1.0);
+    }
+
+    #[test]
+    fn steady_period_rejects_zero_measured() {
+        use mgpu_tbdr::Platform;
+        let mut gl = Gl::new(Platform::videocore_iv(), 4, 4);
+        let err = steady_period(&mut gl, 0, 0, |_| Ok(())).unwrap_err();
+        assert!(matches!(err, GpgpuError::Config(_)));
     }
 }

@@ -47,6 +47,9 @@ impl TuneResult {
     /// tuners in this module).
     #[must_use]
     pub fn best(&self) -> &TunePoint {
+        // Documented invariant: every tuner in this module returns at
+        // least one point or errors out before constructing a TuneResult.
+        #[allow(clippy::expect_used)]
         self.ranked
             .first()
             .expect("tuners measure at least one point")
@@ -140,10 +143,15 @@ where
     }
     let mut points = Vec::new();
     for slot in slots {
-        match slot.expect("every candidate is measured") {
-            Ok(Some(p)) => points.push(p),
-            Ok(None) => {}
-            Err(e) => return Err(e),
+        match slot {
+            Some(Ok(Some(p))) => points.push(p),
+            Some(Ok(None)) => {}
+            Some(Err(e)) => return Err(e),
+            None => {
+                return Err(GpgpuError::Config(
+                    "tuning candidate was never measured (worker vanished)".to_owned(),
+                ))
+            }
         }
     }
     Ok(points)

@@ -43,6 +43,8 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
 
 pub mod ast;
 mod batch;

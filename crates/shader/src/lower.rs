@@ -6,6 +6,12 @@
 //! `if`/ternary predication (both branches execute, results are selected —
 //! how ES 2-class fragment hardware actually runs divergent code).
 
+// The expect/unreachable sites in this pass assert invariants the parser
+// and type checker establish on the same compilation; they are not
+// reachable from malformed user input, which fails earlier with a
+// `CompileError`.
+#![allow(clippy::expect_used)]
+
 use std::collections::HashMap;
 
 use crate::ast::{

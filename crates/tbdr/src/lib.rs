@@ -50,6 +50,8 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
 
 mod chrome;
 mod energy;

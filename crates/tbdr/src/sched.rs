@@ -190,6 +190,21 @@ impl PipelineSim {
         p.copy_setup + p.copy_engine.bandwidth().time_for(bytes.saturating_mul(2))
     }
 
+    /// Estimated GPU occupancy of one draw in isolation: vertex shading and
+    /// binning plus fragment shading of the frame's own work, ignoring
+    /// cross-frame hazards and queueing.
+    ///
+    /// This is the quantity a mobile driver's per-draw watchdog compares
+    /// against its kill budget — a draw is killed for taking too long on the
+    /// GPU, not for waiting behind other work — and is what `mgpu-gles` uses
+    /// to drive the injected watchdog fault.
+    #[must_use]
+    pub fn draw_cost(&self, frame: &FrameWork) -> SimTime {
+        let reused_target = matches!(frame.target, RenderTarget::Texture { fresh: false, .. });
+        self.vertex_time(&frame.vertex, &frame.fragment)
+            + self.fragment_time(&frame.fragment, reused_target)
+    }
+
     /// Schedules one frame and returns its timing.
     pub fn submit(&mut self, frame: &FrameWork) -> FrameTiming {
         let p = self.platform.clone();

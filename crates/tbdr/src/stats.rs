@@ -167,7 +167,7 @@ impl SimReport {
             p50: pick(0.50),
             p90: pick(0.90),
             p99: pick(0.99),
-            max: *gaps.last().expect("non-empty"),
+            max: gaps.last().copied().unwrap_or(SimTime::ZERO),
         })
     }
 

@@ -41,9 +41,13 @@ pub use mgpu_shader as shader;
 pub use mgpu_tbdr as tbdr;
 pub use mgpu_workloads as workloads;
 
-pub use mgpu_gles::{DrawQuad, Engine, ExecConfig, Gl, GlError, TextureFormat};
+pub use mgpu_gles::{
+    DrawQuad, Engine, ExecConfig, FaultEvent, FaultKind, FaultPlan, FaultSite, Gl, GlError,
+    TextureFormat,
+};
 pub use mgpu_gpgpu::{
-    Convolution3x3, Encoding, GpgpuError, OptConfig, Range, RenderStrategy, Saxpy, Sgemm, Sum,
-    SyncStrategy,
+    Convolution3x3, Encoding, GpgpuError, OptConfig, PipelineJob, Range, RecoverableJob,
+    RecoveryEvent, RenderStrategy, ResilienceConfig, ResilientRunner, RetryPolicy, Saxpy, Sgemm,
+    SgemmJob, Sum, SumJob, SyncStrategy,
 };
 pub use mgpu_tbdr::{Platform, SimTime};

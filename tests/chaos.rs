@@ -1,0 +1,212 @@
+//! Chaos property tests: random fault plans against every job type on both
+//! platforms. The invariant under ANY injected fault sequence:
+//!
+//! * the resilient runner either returns bytes **identical** to a
+//!   fault-free run, or a **typed error** carrying the fault trail —
+//!   never a panic, never silent corruption (checksums on);
+//! * the same seed reproduces the same fault trail, the same recovery
+//!   path and the same outcome;
+//! * an installed-but-empty plan perturbs neither bytes nor timing.
+
+use mgpu::gpgpu::{Pipeline, Source};
+use mgpu::{
+    Encoding, FaultPlan, Gl, GpgpuError, OptConfig, PipelineJob, Platform, Range, RecoverableJob,
+    ResilienceConfig, ResilientRunner, RetryPolicy, SgemmJob, SimTime, Sum, SumJob,
+};
+use mgpu_prop::{run_cases, Rng};
+
+const N: u32 = 8;
+
+fn cfg() -> OptConfig {
+    OptConfig::baseline().without_swap()
+}
+
+fn gen_platform(rng: &mut Rng) -> Platform {
+    if rng.bool() {
+        Platform::videocore_iv()
+    } else {
+        Platform::sgx_545()
+    }
+}
+
+fn gen_inputs(rng: &mut Rng) -> (Vec<f32>, Vec<f32>) {
+    let a = (0..N * N).map(|_| rng.f32(0.0, 0.9)).collect();
+    let b = (0..N * N).map(|_| rng.f32(0.0, 0.8)).collect();
+    (a, b)
+}
+
+/// A random plan mixing scheduled and probabilistic faults of every class.
+fn gen_plan(rng: &mut Rng) -> FaultPlan {
+    let mut plan = FaultPlan::seeded(rng.next_u64());
+    for _ in 0..rng.usize_in(0, 3) {
+        plan = plan.ctx_loss_at_draw(rng.u64_in(0, 12));
+    }
+    for _ in 0..rng.usize_in(0, 3) {
+        plan = plan.oom_at_upload(rng.u64_in(0, 8));
+    }
+    for _ in 0..rng.usize_in(0, 2) {
+        plan = plan.corrupt_at_draw(rng.u64_in(0, 12));
+    }
+    if rng.bool() {
+        plan = plan.compile_fail_at(rng.u64_in(0, 2));
+    }
+    if rng.bool() {
+        plan = plan.p_ctx_loss(rng.f64(0.0, 0.15));
+    }
+    if rng.bool() {
+        plan = plan.p_corrupt(rng.f64(0.0, 0.1));
+    }
+    plan
+}
+
+fn scale_kernel(factor: f32) -> String {
+    let enc = Encoding::Fp32;
+    format!(
+        "uniform sampler2D u_x;\nvarying vec2 v_coord;\n{}{}\
+         void main() {{\n  float x = unpack(texture2D(u_x, v_coord));\n  gl_FragColor = pack(x * {factor:?});\n}}\n",
+        enc.decode_fn_source(),
+        enc.encode_fn_source()
+    )
+}
+
+fn gen_job(rng: &mut Rng, a: &[f32], b: &[f32]) -> Box<dyn RecoverableJob> {
+    match rng.u32_in(0, 3) {
+        0 => Box::new(SumJob::new(&cfg(), N, a, b, 3).dependent(rng.bool())),
+        1 => Box::new(SgemmJob::new(&cfg(), N, *rng.pick(&[1, 2, 4]), a, b)),
+        _ => {
+            let builder = Pipeline::builder(N)
+                .input("x", a, Range::unit())
+                .pass(
+                    &scale_kernel(0.5),
+                    &[("u_x", Source::Input("x".into()))],
+                    &[],
+                )
+                .pass(&scale_kernel(0.5), &[("u_x", Source::Previous)], &[])
+                .pass(&scale_kernel(2.0), &[("u_x", Source::Previous)], &[]);
+            Box::new(PipelineJob::new(&cfg(), builder))
+        }
+    }
+}
+
+fn resilience() -> ResilienceConfig {
+    ResilienceConfig {
+        verify_checksums: true,
+        retry: RetryPolicy {
+            max_attempts: 8,
+            ..RetryPolicy::default()
+        },
+        ..ResilienceConfig::default()
+    }
+}
+
+/// Any random fault plan, any job, either platform: the run recovers to
+/// the exact fault-free bytes or fails with a typed error that carries
+/// the fault trail.
+#[test]
+fn chaos_recovers_byte_identical_or_errors_typed() {
+    run_cases(48, |rng| {
+        let platform = gen_platform(rng);
+        let (a, b) = gen_inputs(rng);
+        let plan = gen_plan(rng);
+
+        let mut job = gen_job(rng, &a, &b);
+        let mut clean_gl = Gl::new(platform.clone(), N, N);
+        let want = ResilientRunner::new(resilience())
+            .run(&mut clean_gl, job.as_mut())
+            .expect("fault-free run succeeds");
+
+        let mut gl = Gl::new(platform, N, N);
+        gl.install_faults(plan.clone());
+        let mut runner = ResilientRunner::new(resilience());
+        match runner.run(&mut gl, job.as_mut()) {
+            Ok(bytes) => assert_eq!(bytes, want, "recovered bytes diverged under plan {plan:?}"),
+            Err(GpgpuError::Exhausted(e)) => {
+                assert!(
+                    !e.fault_trail.is_empty(),
+                    "give-up without any injected fault under plan {plan:?}"
+                );
+            }
+            Err(other) => panic!("untyped/unexpected failure {other} under plan {plan:?}"),
+        }
+    });
+}
+
+/// The same seed reproduces the same fault trail, recovery path and
+/// outcome — fault injection is replayable end to end.
+#[test]
+fn chaos_same_seed_same_story() {
+    run_cases(16, |rng| {
+        let platform = gen_platform(rng);
+        let (a, b) = gen_inputs(rng);
+        let plan = gen_plan(rng);
+        let job_pick = rng.next_u64();
+
+        let go = || {
+            let mut case_rng = Rng::new(job_pick);
+            let mut job = gen_job(&mut case_rng, &a, &b);
+            let mut gl = Gl::new(platform.clone(), N, N);
+            gl.install_faults(plan.clone());
+            let mut runner = ResilientRunner::new(resilience());
+            let out = runner.run(&mut gl, job.as_mut());
+            let outcome = match out {
+                Ok(bytes) => Ok(bytes),
+                Err(e) => Err(e.to_string()),
+            };
+            (outcome, runner.events().to_vec(), gl.fault_trail().to_vec())
+        };
+        assert_eq!(go(), go());
+    });
+}
+
+/// An installed-but-empty fault plan is a strict no-op: bytes and
+/// simulated timing are bit-identical to a context with no plan at all.
+#[test]
+fn chaos_empty_plan_is_bitwise_noop() {
+    run_cases(12, |rng| {
+        let platform = gen_platform(rng);
+        let (a, b) = gen_inputs(rng);
+        let seed = rng.next_u64() | 1;
+        let run = |with_plan: bool| {
+            let mut gl = Gl::new(platform.clone(), N, N);
+            if with_plan {
+                gl.install_faults(FaultPlan::seeded(seed));
+            }
+            let mut sum = Sum::builder(N)
+                .build(&mut gl, &cfg(), &a, &b)
+                .expect("builds");
+            sum.run(&mut gl, 3).expect("runs");
+            let bytes = sum.snapshot_bytes(&mut gl).expect("snapshot");
+            gl.finish();
+            (bytes, gl.elapsed())
+        };
+        let (bytes_plan, t_plan) = run(true);
+        let (bytes_none, t_none) = run(false);
+        assert_eq!(bytes_plan, bytes_none);
+        assert_eq!(t_plan, t_none, "empty plan must not perturb SimTime");
+    });
+}
+
+/// Faults surface through the whole stack without ever panicking, even
+/// when the runner is so constrained it must give up quickly.
+#[test]
+fn chaos_never_panics_even_when_give_up_is_fast() {
+    run_cases(24, |rng| {
+        let platform = gen_platform(rng);
+        let (a, b) = gen_inputs(rng);
+        let plan = gen_plan(rng).p_ctx_loss(0.4);
+        let mut job = gen_job(rng, &a, &b);
+        let mut gl = Gl::new(platform, N, N);
+        gl.install_faults(plan);
+        let tight = ResilienceConfig {
+            retry: RetryPolicy {
+                max_attempts: 2,
+                max_context_recreates: 1,
+                base_backoff: SimTime::from_nanos(10),
+            },
+            verify_checksums: rng.bool(),
+            ..ResilienceConfig::default()
+        };
+        // Ok or Err both fine — the property is "no panic, typed error".
+        let _ = ResilientRunner::new(tight).run(&mut gl, job.as_mut());
+    });
+}
