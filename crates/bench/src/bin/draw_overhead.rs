@@ -1,0 +1,188 @@
+//! Per-draw overhead harness: cold scope-spawn dispatch vs the persistent
+//! worker pool vs warm draw-plan caching, on multi-pass blocked sgemm.
+//!
+//! A block-16 sgemm issues `n / 16` draws per multiply, each repeating the
+//! same setup — uniform specialisation, interpolation hoisting, engine
+//! register allocation, thread spawn and join. This harness isolates that
+//! overhead by timing whole multiplies in three dispatcher modes:
+//!
+//! * `cold_scope`   — `MGPU_POOL=off` semantics: per-draw `thread::scope`
+//!   spawning, round-robin chunk dealing, no plan reuse (the pre-pool
+//!   driver);
+//! * `pool_nocache` — persistent pool with work-stealing, plan cache off:
+//!   plans are rebuilt every draw (allocations recycled);
+//! * `warm_cached`  — pool plus the draw-plan cache: after the first
+//!   multiply primes one plan per `blk_n` value, every draw runs warm.
+//!
+//! Every mode's product matrix must be byte-identical and its simulated
+//! [`SimTime`] bitwise unchanged — both are asserted on every run, so the
+//! harness doubles as a determinism check for the dispatcher matrix.
+//!
+//! Overhead scales with *draw count over fragment work*: at small `n` the
+//! per-draw setup dominates and the pooled/cached paths win big; at
+//! `n = 1024` a draw shades a megapixel and fragment arithmetic swamps
+//! setup, so the headline speedup necessarily shrinks. Both regimes are
+//! reported honestly; EXPERIMENTS.md tabulates them.
+//!
+//! Usage: `draw_overhead [n] [threads] [reps]` (defaults 128, 4, 5), or
+//! `draw_overhead --gate` for the CI smoke configuration: asserts that
+//! warm-plan multiplies beat cold scope-spawn multiplies at 4 threads and
+//! that single-thread pooled execution does not regress beyond 25% on the
+//! same workload.
+
+use std::time::{Duration, Instant};
+
+use mgpu_bench::harness::{emit_bench_json, Stats};
+use mgpu_gles::{ExecConfig, Gl};
+use mgpu_gpgpu::{OptConfig, Sgemm};
+use mgpu_tbdr::{Platform, SimTime};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    ColdScope,
+    PoolNoCache,
+    WarmCached,
+}
+
+impl Mode {
+    fn id(self) -> &'static str {
+        match self {
+            Mode::ColdScope => "cold_scope",
+            Mode::PoolNoCache => "pool_nocache",
+            Mode::WarmCached => "warm_cached",
+        }
+    }
+}
+
+struct Measurement {
+    /// First multiply: plans cold in every mode.
+    first: Duration,
+    /// Steady-state multiplies (second onwards).
+    steady: Stats,
+    result_bits: Vec<u32>,
+    sim: SimTime,
+    cache_hits: u64,
+}
+
+fn run_mode(mode: Mode, n: u32, threads: usize, reps: usize, a: &[f32], b: &[f32]) -> Measurement {
+    let block = 16;
+    let mut gl = Gl::new(Platform::videocore_iv(), n, n);
+    gl.set_exec_config(ExecConfig::with_threads(threads).with_pool(mode != Mode::ColdScope));
+    gl.set_plan_cache_enabled(mode == Mode::WarmCached);
+    let cfg = OptConfig::baseline().with_swap_interval_0();
+    let mut sgemm = Sgemm::new(&mut gl, &cfg, n, block, a, b).expect("sgemm builds");
+
+    let start = Instant::now();
+    sgemm.multiply(&mut gl).expect("first multiply");
+    let first = start.elapsed();
+
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        sgemm.multiply(&mut gl).expect("steady multiply");
+        samples.push(start.elapsed());
+    }
+
+    let result_bits = sgemm
+        .result(&mut gl)
+        .expect("result")
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    gl.finish();
+    Measurement {
+        first,
+        steady: Stats::from_samples(&samples),
+        result_bits,
+        sim: gl.elapsed(),
+        cache_hits: gl.plan_cache_stats().hits,
+    }
+}
+
+fn report(group: &str, mode: Mode, m: &Measurement) {
+    emit_bench_json(
+        group,
+        &format!("{}/first", mode.id()),
+        &Stats::from_samples(&[m.first]),
+    );
+    emit_bench_json(group, &format!("{}/steady", mode.id()), &m.steady);
+}
+
+/// Runs the three modes on one (n, threads) point, asserting byte-identity
+/// and simulated-time invariance across the whole dispatcher matrix.
+fn run_point(n: u32, threads: usize, reps: usize, a: &[f32], b: &[f32]) -> [Measurement; 3] {
+    let group = format!("draw_overhead/n={n}/threads={threads}");
+    let cold = run_mode(Mode::ColdScope, n, threads, reps, a, b);
+    report(&group, Mode::ColdScope, &cold);
+    let pooled = run_mode(Mode::PoolNoCache, n, threads, reps, a, b);
+    report(&group, Mode::PoolNoCache, &pooled);
+    let warm = run_mode(Mode::WarmCached, n, threads, reps, a, b);
+    report(&group, Mode::WarmCached, &warm);
+
+    for (m, what) in [(&pooled, "pool_nocache"), (&warm, "warm_cached")] {
+        assert_eq!(
+            m.result_bits, cold.result_bits,
+            "{what} output diverged from cold_scope at n={n} threads={threads}"
+        );
+        assert_eq!(
+            m.sim, cold.sim,
+            "{what} changed simulated time at n={n} threads={threads}"
+        );
+    }
+    assert!(
+        warm.cache_hits > 0,
+        "warm_cached mode recorded no plan-cache hits"
+    );
+    println!(
+        "  steady speedup vs cold_scope: pool_nocache {:.2}x, warm_cached {:.2}x\n",
+        cold.steady.mean.as_secs_f64() / pooled.steady.mean.as_secs_f64().max(1e-12),
+        cold.steady.mean.as_secs_f64() / warm.steady.mean.as_secs_f64().max(1e-12),
+    );
+    [cold, pooled, warm]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let gate = args.iter().any(|a| a == "--gate");
+    let nums: Vec<usize> = args.iter().filter_map(|s| s.parse().ok()).collect();
+    let n = *nums.first().unwrap_or(&128) as u32;
+    let threads = *nums.get(1).unwrap_or(&4);
+    let reps = *nums.get(2).unwrap_or(&5);
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+
+    println!(
+        "sgemm block 16, {n}x{n} ({} draws per multiply), {reps} steady reps",
+        n / 16
+    );
+    println!("host parallelism: {cores} core(s)\n");
+
+    let len = (n * n) as usize;
+    let a: Vec<f32> = (0..len).map(|i| (i % 97) as f32 / 97.0).collect();
+    let b: Vec<f32> = (0..len).map(|i| (i % 89) as f32 / 89.0).collect();
+
+    let [cold, _pooled, warm] = run_point(n, threads, reps, &a, &b);
+
+    // Single-thread sanity: the pooled path must not tax serial users.
+    let [cold1, _pooled1, warm1] = run_point(n, 1, reps, &a, &b);
+
+    if gate {
+        let speedup = cold.steady.mean.as_secs_f64() / warm.steady.mean.as_secs_f64().max(1e-12);
+        assert!(
+            warm.steady.mean < cold.steady.mean,
+            "GATE FAILED: warm-plan multiplies ({:?}) not faster than cold scope-spawn ({:?}) \
+             at n={n} threads={threads}",
+            warm.steady.mean,
+            cold.steady.mean,
+        );
+        let serial_ratio =
+            warm1.steady.mean.as_secs_f64() / cold1.steady.mean.as_secs_f64().max(1e-12);
+        assert!(
+            serial_ratio < 1.25,
+            "GATE FAILED: pooled path regressed single-thread multiplies by {serial_ratio:.2}x"
+        );
+        println!(
+            "GATE OK: warm_cached {speedup:.2}x vs cold_scope at {threads} threads; \
+             threads=1 ratio {serial_ratio:.2}x"
+        );
+    }
+}

@@ -16,6 +16,7 @@
 //! the next draw, `swap_buffers`, `finish` or `flush` closes it.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use mgpu_shader::ir::Shader;
 use mgpu_shader::{compile_with, cost, CompileOptions, Limits, OptOptions, Sampler, UniformValues};
@@ -25,11 +26,13 @@ use mgpu_tbdr::{
 };
 
 use crate::error::GlError;
-use crate::exec::ExecConfig;
+use crate::exec::{plan_cache_default, ExecConfig};
 use crate::fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSite};
+use crate::plan_cache::{corners_hash, PlanCache, PlanCacheStats, PlanKey};
+use crate::pool::WorkerPool;
 use crate::raster::{
-    panic_message, quantize_rgba8, rasterize_quad_rows_into, texcoord_corners, RasterTarget,
-    VaryingCorners,
+    execute_plan, panic_message, quantize_rgba8, rasterize_quad_rows_into, texcoord_corners,
+    DrawPlan, RasterTarget, VaryingCorners,
 };
 use crate::types::{
     BufferId, BufferUsage, FramebufferId, ProgramId, TextureFilter, TextureFormat, TextureId,
@@ -76,7 +79,12 @@ struct Framebuffer {
 
 #[derive(Debug)]
 struct Program {
-    shader: Shader,
+    /// Shared so draw plans can hold the compiled shader without cloning
+    /// it; a relink creates a whole new `Program`, never mutates this.
+    shader: Arc<Shader>,
+    /// [`Shader::stable_hash`] computed once at link, part of every plan
+    /// cache key (catches a handle relinked to different source).
+    shader_hash: u64,
     uniforms: UniformValues,
     /// shader sampler unit → GL texture unit (glUniform1i on a sampler).
     unit_bindings: HashMap<u8, u32>,
@@ -300,6 +308,17 @@ pub struct Gl {
     /// Set by an injected context loss; every call fails with
     /// [`GlError::ContextLost`] until [`Gl::recreate`].
     context_lost: bool,
+
+    /// Persistent rasteriser workers, spawned lazily on the first draw
+    /// that dispatches in parallel with the pool enabled. Deliberately
+    /// survives [`Gl::recreate`]: context loss destroys GPU objects, not
+    /// host threads.
+    pool: Option<WorkerPool>,
+    /// Per-context draw-plan cache (cleared on context loss/recreation).
+    plan_cache: PlanCache,
+    /// When the plan cache is disabled, the last draw's plan is parked
+    /// here so the next build can recycle its allocations.
+    scratch_plan: Option<DrawPlan>,
 }
 
 impl Gl {
@@ -347,6 +366,9 @@ impl Gl {
                 }
             },
             context_lost: false,
+            pool: None,
+            plan_cache: PlanCache::new(plan_cache_default()),
+            scratch_plan: None,
         }
     }
 
@@ -364,9 +386,19 @@ impl Gl {
     }
 
     /// Sets how the functional fragment engine executes on the host
-    /// (thread count). Purely a wall-clock knob: outputs and simulated
-    /// timing are identical for every setting.
+    /// (thread count, engine tier, pooled vs scope-spawn dispatch).
+    /// Purely a wall-clock knob: outputs and simulated timing are
+    /// identical for every setting.
+    ///
+    /// Changing the thread count retires the persistent worker pool; a
+    /// correctly sized one is spawned lazily by the next parallel draw
+    /// (never here — timing-only contexts must not pay for threads they
+    /// will not use). Cached draw plans stay valid: they grow seats on
+    /// demand.
     pub fn set_exec_config(&mut self, exec: ExecConfig) {
+        if exec.threads() != self.exec.threads() {
+            self.pool = None;
+        }
         self.exec = exec;
     }
 
@@ -380,6 +412,24 @@ impl Gl {
     #[must_use]
     pub fn functional(&self) -> bool {
         self.functional
+    }
+
+    /// Enables or disables the per-context draw-plan cache (draw setup —
+    /// uniform specialisation, interpolation hoisting, engine state — is
+    /// then redone every draw). Disabling drops every cached plan. Only
+    /// consulted on the pooled dispatch path; with the pool off the
+    /// legacy per-draw path never caches. Purely a wall-clock knob.
+    pub fn set_plan_cache_enabled(&mut self, enabled: bool) {
+        self.plan_cache.set_enabled(enabled);
+        if enabled {
+            self.scratch_plan = None;
+        }
+    }
+
+    /// Hit/miss/eviction counters of the draw-plan cache.
+    #[must_use]
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
     }
 
     // ---- fault injection & context lifecycle --------------------------
@@ -444,6 +494,11 @@ impl Gl {
         self.cleared_targets.clear();
         self.has_content.clear();
         self.context_lost = false;
+        // Every cached plan references a program object that no longer
+        // exists. The worker pool, by contrast, survives: recovery should
+        // not pay a thread-respawn tax on top of object recreation.
+        self.plan_cache.clear();
+        self.scratch_plan = None;
     }
 
     /// Marks the context lost: pending (unsubmitted) work dies with it.
@@ -452,6 +507,8 @@ impl Gl {
         self.pending = None;
         self.pending_uploads.clear();
         self.pending_cpu_extra = SimTime::ZERO;
+        self.plan_cache.clear();
+        self.scratch_plan = None;
     }
 
     /// Fails with [`GlError::ContextLost`] while the context is lost.
@@ -838,11 +895,13 @@ impl Gl {
             },
         };
         let shader = compile_with(fragment_source, &options)?;
+        let shader_hash = shader.stable_hash();
         let h = self.handle();
         self.programs.insert(
             h,
             Program {
-                shader,
+                shader: Arc::new(shader),
+                shader_hash,
                 uniforms: UniformValues::new(),
                 unit_bindings: HashMap::new(),
             },
@@ -1384,6 +1443,9 @@ impl Gl {
         let outcome: Result<(), GlError> = {
             let textures = &self.textures;
             let surfaces = &mut self.surfaces;
+            let pool = &mut self.pool;
+            let plan_cache = &mut self.plan_cache;
+            let scratch_plan = &mut self.scratch_plan;
             let taken = &mut taken;
             // No `?` inside this closure escapes past the restore below:
             // a failed draw must leave the context valid and report a
@@ -1414,12 +1476,74 @@ impl Gl {
                         ));
                     }
                 };
-                let raster = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    rasterize_quad_rows_into(
+
+                if !exec.pool_enabled() {
+                    // Legacy dispatch: per-draw `thread::scope` spawning
+                    // with round-robin chunk dealing and no plan caching —
+                    // kept code-path-for-code-path as the pre-pool driver.
+                    // `MGPU_POOL=off` (or `with_pool(false)`) pins it.
+                    let raster = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        rasterize_quad_rows_into(
+                            &program.shader,
+                            &program.uniforms,
+                            &sampler_refs,
+                            &corners,
+                            RasterTarget {
+                                width,
+                                height,
+                                channels: ch,
+                                data: out,
+                            },
+                            y0,
+                            y1,
+                            &exec,
+                        )
+                    }));
+                    return match raster {
+                        Ok(r) => r.map_err(|e| {
+                            GlError::InvalidOperation(format!("kernel execution failed: {e}"))
+                        }),
+                        Err(p) => Err(GlError::InvalidOperation(format!(
+                            "kernel execution panicked: {}",
+                            panic_message(&*p)
+                        ))),
+                    };
+                }
+
+                // Pooled dispatch: take (or build) the draw plan, execute
+                // it over the persistent pool with work-stealing chunk
+                // claiming. Sampler views are always fresh — texture
+                // contents are never part of a plan.
+                let key = PlanKey {
+                    program: prog_id.0,
+                    shader_hash: program.shader_hash,
+                    uniform_hash: program.uniforms.stable_hash(),
+                    engine: exec.engine(),
+                    width,
+                    height,
+                    channels: ch,
+                    corners_hash: corners_hash(&corners),
+                };
+                let mut plan = match plan_cache.take(&key) {
+                    Some(plan) => plan,
+                    None => DrawPlan::build(
                         &program.shader,
                         &program.uniforms,
-                        &sampler_refs,
+                        exec.engine(),
                         &corners,
+                        width,
+                        // Populated only while the cache is disabled, so
+                        // recycling can never cannibalise a cached plan.
+                        scratch_plan.take(),
+                    )
+                    .map_err(|e| {
+                        GlError::InvalidOperation(format!("kernel execution failed: {e}"))
+                    })?,
+                };
+                let raster = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    execute_plan(
+                        &mut plan,
+                        &sampler_refs,
                         RasterTarget {
                             width,
                             height,
@@ -1428,13 +1552,24 @@ impl Gl {
                         },
                         y0,
                         y1,
-                        &exec,
+                        exec.threads(),
+                        pool,
                     )
                 }));
                 match raster {
-                    Ok(r) => r.map_err(|e| {
-                        GlError::InvalidOperation(format!("kernel execution failed: {e}"))
-                    }),
+                    // Plans are retained only after a fully successful
+                    // draw; failed or panicked draws drop theirs.
+                    Ok(Ok(())) => {
+                        if plan_cache.enabled() {
+                            plan_cache.insert(key, plan);
+                        } else {
+                            *scratch_plan = Some(plan);
+                        }
+                        Ok(())
+                    }
+                    Ok(Err(e)) => Err(GlError::InvalidOperation(format!(
+                        "kernel execution failed: {e}"
+                    ))),
                     Err(p) => Err(GlError::InvalidOperation(format!(
                         "kernel execution panicked: {}",
                         panic_message(&*p)

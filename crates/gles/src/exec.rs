@@ -16,8 +16,16 @@
 //!
 //! `MGPU_THREADS=1` (or [`ExecConfig::serial`]) selects the original
 //! serial path exactly.
+//!
+//! All environment knobs (`MGPU_ENGINE`, `MGPU_POOL`, `MGPU_PLAN_CACHE`)
+//! are resolved **once per process** and cached: mutating the environment
+//! mid-run can never flip the engine, pool or plan cache between draws.
+//! An explicit builder call ([`ExecConfig::with_engine`],
+//! [`ExecConfig::with_pool`]) is the supported way to change them at run
+//! time.
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
 /// Environment variable overriding the functional thread count.
 pub const THREADS_ENV: &str = "MGPU_THREADS";
@@ -25,6 +33,18 @@ pub const THREADS_ENV: &str = "MGPU_THREADS";
 /// Environment variable selecting the fragment engine (`scalar` or
 /// `batched`; anything else falls back to the default, batched).
 pub const ENGINE_ENV: &str = "MGPU_ENGINE";
+
+/// Environment variable disabling the persistent worker pool
+/// (`off`/`0`/`false`/`no`): the rasteriser then uses the legacy
+/// per-draw `thread::scope` spawn path with round-robin chunk dealing,
+/// and the draw-plan cache is bypassed. The escape hatch for comparing
+/// against (or falling back to) the pre-pool execution path.
+pub const POOL_ENV: &str = "MGPU_POOL";
+
+/// Environment variable disabling the per-context draw-plan cache
+/// (`off`/`0`/`false`/`no`) while keeping the worker pool: every draw
+/// then rebuilds its specialised shader, column table and engine seats.
+pub const PLAN_CACHE_ENV: &str = "MGPU_PLAN_CACHE";
 
 /// Which functional fragment interpreter computes fragment colours.
 ///
@@ -44,24 +64,66 @@ pub enum Engine {
     Batched,
 }
 
-impl Engine {
-    /// Reads `MGPU_ENGINE`, falling back to [`Engine::Batched`] when unset
-    /// or unrecognised.
-    #[must_use]
-    pub fn from_env() -> Self {
-        match std::env::var(ENGINE_ENV) {
+/// Process-wide snapshot of the boolean/engine environment knobs, read
+/// exactly once. `MGPU_THREADS` is intentionally *not* cached — thread
+/// count is a pure wall-clock knob that tests and harnesses legitimately
+/// vary per [`ExecConfig`], and it is always pinned explicitly anyway —
+/// while engine/pool/cache selection must stay constant across a run for
+/// the byte-identity and plan-reuse invariants to be meaningful.
+#[derive(Debug, Clone, Copy)]
+struct EnvDefaults {
+    engine: Engine,
+    pool: bool,
+    plan_cache: bool,
+}
+
+fn env_defaults() -> EnvDefaults {
+    static DEFAULTS: OnceLock<EnvDefaults> = OnceLock::new();
+    *DEFAULTS.get_or_init(|| EnvDefaults {
+        engine: match std::env::var(ENGINE_ENV) {
             Ok(s) if s.trim().eq_ignore_ascii_case("scalar") => Engine::Scalar,
             _ => Engine::Batched,
-        }
+        },
+        pool: switch_enabled(POOL_ENV),
+        plan_cache: switch_enabled(PLAN_CACHE_ENV),
+    })
+}
+
+/// `off`/`0`/`false`/`no` (case-insensitive) disables a boolean knob;
+/// unset or anything else leaves it on.
+fn switch_enabled(var: &str) -> bool {
+    match std::env::var(var) {
+        Ok(s) => !matches!(
+            s.trim().to_ascii_lowercase().as_str(),
+            "off" | "0" | "false" | "no"
+        ),
+        Err(_) => true,
     }
+}
+
+impl Engine {
+    /// The engine selected by `MGPU_ENGINE`, falling back to
+    /// [`Engine::Batched`] when unset or unrecognised. Resolved **once**
+    /// per process and cached thereafter, so a mid-run environment
+    /// mutation can never flip engines between draws.
+    #[must_use]
+    pub fn from_env() -> Self {
+        env_defaults().engine
+    }
+}
+
+/// The process-wide `MGPU_PLAN_CACHE` default (resolved once).
+pub(crate) fn plan_cache_default() -> bool {
+    env_defaults().plan_cache
 }
 
 /// Fixed row-chunk granularity of the parallel rasteriser.
 ///
-/// The framebuffer is partitioned into chunks of this many rows; chunks
-/// are assigned to workers round-robin by index, so the partition — and
-/// therefore every byte each worker writes — depends only on the target
-/// size, never on scheduling.
+/// The framebuffer is partitioned into chunks of this many rows; the
+/// chunk→rows (and therefore chunk→bytes) mapping depends only on the
+/// target size and band, never on scheduling — whether chunks are dealt
+/// round-robin (legacy scope path) or claimed by work-stealing (pool
+/// path), every byte each chunk writes is the same.
 pub const CHUNK_ROWS: u32 = 16;
 
 /// How the functional fragment engine executes kernels on the host.
@@ -69,30 +131,36 @@ pub const CHUNK_ROWS: u32 = 16;
 pub struct ExecConfig {
     threads: usize,
     engine: Engine,
+    pool: bool,
 }
 
 impl ExecConfig {
-    /// The original single-threaded scalar execution path.
+    /// The original single-threaded scalar execution path (worker pool and
+    /// plan cache bypassed).
     #[must_use]
     pub const fn serial() -> Self {
         ExecConfig {
             threads: 1,
             engine: Engine::Scalar,
+            pool: false,
         }
     }
 
     /// Executes fragments on `threads` worker threads (clamped to ≥ 1),
-    /// with the environment-selected engine.
+    /// with the environment-selected engine and pool mode.
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
+        let defaults = env_defaults();
         ExecConfig {
             threads: threads.max(1),
-            engine: Engine::from_env(),
+            engine: defaults.engine,
+            pool: defaults.pool,
         }
     }
 
-    /// Reads `MGPU_THREADS` and `MGPU_ENGINE`, falling back to the
-    /// machine's available parallelism and the batched engine.
+    /// Reads `MGPU_THREADS`, `MGPU_ENGINE` and `MGPU_POOL`, falling back
+    /// to the machine's available parallelism, the batched engine and the
+    /// pooled dispatcher.
     #[must_use]
     pub fn from_env() -> Self {
         match std::env::var(THREADS_ENV)
@@ -122,6 +190,16 @@ impl ExecConfig {
         self
     }
 
+    /// This configuration with the persistent-pool dispatcher switched on
+    /// or off. With it off, draws use the legacy per-draw `thread::scope`
+    /// spawn path with round-robin chunk dealing and no plan caching —
+    /// byte-identical output, pre-pool wall-clock behaviour.
+    #[must_use]
+    pub const fn with_pool(mut self, pool: bool) -> Self {
+        self.pool = pool;
+        self
+    }
+
     /// The configured worker-thread count (≥ 1).
     #[must_use]
     pub fn threads(&self) -> usize {
@@ -132,6 +210,13 @@ impl ExecConfig {
     #[must_use]
     pub fn engine(&self) -> Engine {
         self.engine
+    }
+
+    /// Whether draws dispatch through the persistent worker pool (and may
+    /// use the draw-plan cache) rather than the legacy scope-spawn path.
+    #[must_use]
+    pub fn pool_enabled(&self) -> bool {
+        self.pool
     }
 
     /// Whether this configuration takes the serial path.
@@ -156,6 +241,7 @@ mod tests {
     fn serial_is_one_thread() {
         assert_eq!(ExecConfig::serial().threads(), 1);
         assert!(ExecConfig::serial().is_serial());
+        assert!(!ExecConfig::serial().pool_enabled());
     }
 
     #[test]
@@ -185,5 +271,25 @@ mod tests {
         let cfg = cfg.with_engine(Engine::Batched).with_thread_count(2);
         assert_eq!(cfg.engine(), Engine::Batched);
         assert_eq!(cfg.threads(), 2);
+    }
+
+    #[test]
+    fn pool_builder_round_trips() {
+        let cfg = ExecConfig::with_threads(4).with_pool(false);
+        assert!(!cfg.pool_enabled());
+        assert!(cfg.with_pool(true).pool_enabled());
+        // Toggling the pool leaves the other knobs alone.
+        assert_eq!(cfg.threads(), 4);
+    }
+
+    #[test]
+    fn engine_resolution_is_stable_across_calls() {
+        // The env snapshot is taken once: two configs built at different
+        // times always agree on engine and pool mode.
+        let a = ExecConfig::with_threads(2);
+        let b = ExecConfig::with_threads(7);
+        assert_eq!(a.engine(), b.engine());
+        assert_eq!(a.pool_enabled(), b.pool_enabled());
+        assert_eq!(Engine::from_env(), a.engine());
     }
 }

@@ -53,6 +53,8 @@ mod context;
 mod error;
 pub mod exec;
 pub mod fault;
+mod plan_cache;
+mod pool;
 pub mod raster;
 mod types;
 
@@ -60,6 +62,7 @@ pub use context::{DrawQuad, Gl};
 pub use error::GlError;
 pub use exec::{Engine, ExecConfig};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSite};
+pub use plan_cache::PlanCacheStats;
 pub use types::{
     BufferId, BufferUsage, FramebufferId, ProgramId, TextureFilter, TextureFormat, TextureId,
     VertexSource,

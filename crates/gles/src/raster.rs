@@ -23,14 +23,30 @@
 //! the vertical lerp — the exact f32 expressions of [`interpolate`], just
 //! hoisted, so every engine/thread-count combination is byte-for-byte
 //! identical. The determinism tests at the workspace root prove it.
+//!
+//! On top of the per-draw entry points sits the **planned** path the
+//! context uses when its persistent pool is enabled: a [`DrawPlan`]
+//! captures everything a draw sets up that does not depend on the
+//! framebuffer contents — the (possibly specialised) shader, the column
+//! table, and per-worker engine seats — so repeated draws can skip that
+//! setup, and [`execute_plan`] dispatches it over the context's
+//! [`WorkerPool`] with work-stealing chunk claiming instead of per-draw
+//! thread spawning. Chunk→bytes assignment is index-based and disjoint,
+//! so the stealing schedule is byte-for-byte invisible.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 use mgpu_shader::ir::Shader;
-use mgpu_shader::{specialize, BatchExecutor, ExecError, Executor, Sampler, UniformValues, LANES};
+use mgpu_shader::{
+    specialize, BatchCore, BatchExecutor, ExecCore, ExecError, Executor, Sampler, UniformValues,
+    LANES,
+};
 
 use crate::exec::{Engine, ExecConfig, CHUNK_ROWS};
+use crate::pool::WorkerPool;
 
 /// Corner values for one varying, in the order: (0,0), (1,0), (0,1), (1,1)
 /// of the unit quad (v increasing downward in texture space).
@@ -473,6 +489,397 @@ fn run_rows(
     })
 }
 
+/// One participant's owned engine state in a planned dispatch — the
+/// self-contained counterpart of [`FragEngine`], built on
+/// [`ExecCore`]/[`BatchCore`] so it holds no shader borrow and a
+/// [`DrawPlan`] can cache it across draws.
+enum FragSeat {
+    /// Per-fragment scalar interpretation.
+    Scalar(ExecCore),
+    /// Lane-batched SoA interpretation (boxed: large register planes).
+    Batched(Box<BatchSeat>),
+}
+
+/// The batched tier's core plus its reusable staging buffers.
+struct BatchSeat {
+    core: BatchCore,
+    /// Slot-major varying staging, stride [`LANES`].
+    varyings: Vec<[f32; 4]>,
+    /// Per-lane output colours of the current batch.
+    colors: [[f32; 4]; LANES],
+}
+
+impl FragSeat {
+    fn new(
+        shader: &Shader,
+        uniforms: &UniformValues,
+        engine: Engine,
+        slots: usize,
+    ) -> Result<Self, ExecError> {
+        Ok(match engine {
+            Engine::Scalar => FragSeat::Scalar(ExecCore::new(shader, uniforms)?),
+            Engine::Batched => FragSeat::Batched(Box::new(BatchSeat {
+                core: BatchCore::new(shader, uniforms)?,
+                varyings: vec![[0.0f32; 4]; slots * LANES],
+                colors: [[0.0f32; 4]; LANES],
+            })),
+        })
+    }
+
+    /// Rebinds the seat to a new shader/uniform pair, reusing its
+    /// allocations. The seat's tier must match the plan's engine — the
+    /// caller guarantees it by only recycling seats from a same-engine
+    /// plan.
+    fn rebind(
+        &mut self,
+        shader: &Shader,
+        uniforms: &UniformValues,
+        slots: usize,
+    ) -> Result<(), ExecError> {
+        match self {
+            FragSeat::Scalar(core) => core.rebind(shader, uniforms),
+            FragSeat::Batched(seat) => {
+                seat.varyings.resize(slots * LANES, [0.0f32; 4]);
+                seat.core.rebind(shader, uniforms)
+            }
+        }
+    }
+}
+
+/// Runs a seat over rows `y0..y1`, quantising into `out` (which covers
+/// exactly those rows) — the owned-engine counterpart of [`run_rows`],
+/// interpolating and executing through the same expressions so both
+/// dispatch paths are byte-for-byte identical.
+#[allow(clippy::too_many_arguments)]
+fn run_seat_rows(
+    seat: &mut FragSeat,
+    shader: &Shader,
+    samplers: &[&dyn Sampler],
+    table: &ColumnTable,
+    height: u32,
+    y0: u32,
+    y1: u32,
+    channels: usize,
+    out: &mut [u8],
+) -> Result<(), ExecError> {
+    let width = table.width;
+    let mut emit = |x: u32, y: u32, rgba: [f32; 4]| {
+        let px = quantize_rgba8(rgba);
+        let idx = ((y - y0) as usize * width + x as usize) * channels;
+        out[idx..idx + channels].copy_from_slice(&px[..channels]);
+    };
+    match seat {
+        FragSeat::Scalar(core) => {
+            let mut varying_values = vec![[0.0f32; 4]; table.slots];
+            for y in y0..y1 {
+                let v = (y as f32 + 0.5) / height as f32;
+                for x in 0..width as u32 {
+                    for (slot, val) in varying_values.iter_mut().enumerate() {
+                        *val = table.value(slot, x as usize, v);
+                    }
+                    emit(x, y, core.run(shader, &varying_values, samplers)?);
+                }
+            }
+        }
+        FragSeat::Batched(st) => {
+            let width = width as u32;
+            for y in y0..y1 {
+                let v = (y as f32 + 0.5) / height as f32;
+                let mut x0 = 0u32;
+                while x0 < width {
+                    let n = (width - x0).min(LANES as u32) as usize;
+                    for slot in 0..table.slots {
+                        for l in 0..n {
+                            st.varyings[slot * LANES + l] = table.value(slot, x0 as usize + l, v);
+                        }
+                    }
+                    st.core
+                        .run(shader, &st.varyings, n, samplers, &mut st.colors)?;
+                    for (l, &color) in st.colors[..n].iter().enumerate() {
+                        emit(x0 + l as u32, y, color);
+                    }
+                    x0 += n as u32;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Everything a draw sets up that does not depend on framebuffer or
+/// texture *contents*: the executable shader (specialised against the
+/// bound uniforms on the batched tier), the column-hoisted interpolation
+/// table for the target width, and per-worker engine seats. The context's
+/// plan cache keys these by (program, shader hash, uniform hash, engine,
+/// target geometry, corners), so a cached plan is only ever executed with
+/// exactly the state it was built from; sampler views are *not* part of a
+/// plan — texture contents change between GPGPU passes — and are passed
+/// fresh to every [`execute_plan`] call.
+pub(crate) struct DrawPlan {
+    /// The shader the seats are bound to: the source program's shader on
+    /// the scalar tier, its uniform-specialised clone on the batched tier.
+    shader: Arc<Shader>,
+    engine: Engine,
+    /// Kept so additional seats can be bound lazily when the thread count
+    /// rises after the plan was built.
+    uniforms: UniformValues,
+    /// Varying slot count (= corner-set count).
+    slots: usize,
+    /// Target width the column table was hoisted for.
+    width: u32,
+    table: ColumnTable,
+    seats: Vec<FragSeat>,
+}
+
+impl std::fmt::Debug for DrawPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DrawPlan")
+            .field("engine", &self.engine)
+            .field("width", &self.width)
+            .field("slots", &self.slots)
+            .field("seats", &self.seats.len())
+            .finish()
+    }
+}
+
+impl DrawPlan {
+    /// Builds a plan for drawing `source` with `uniforms` onto a
+    /// `width`-wide target. `recycled` donates a dead plan's allocations
+    /// (seats, register files) when its engine matches — used by the
+    /// cache-disabled path to avoid rebuilding engine state from scratch
+    /// every draw.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if the corner count does not match the
+    /// shader's varyings or a declared uniform has no bound value.
+    pub(crate) fn build(
+        source: &Arc<Shader>,
+        uniforms: &UniformValues,
+        engine: Engine,
+        corners: &[VaryingCorners],
+        width: u32,
+        recycled: Option<DrawPlan>,
+    ) -> Result<DrawPlan, ExecError> {
+        check_corners(source, corners)?;
+        let shader = match engine {
+            Engine::Scalar => Arc::clone(source),
+            Engine::Batched => Arc::new(specialize(source, uniforms)?),
+        };
+        let slots = corners.len();
+        let mut seats = match recycled {
+            Some(old) if old.engine == engine => old.seats,
+            _ => Vec::new(),
+        };
+        for seat in &mut seats {
+            seat.rebind(&shader, uniforms, slots)?;
+        }
+        if seats.is_empty() {
+            seats.push(FragSeat::new(&shader, uniforms, engine, slots)?);
+        }
+        Ok(DrawPlan {
+            shader,
+            engine,
+            uniforms: uniforms.clone(),
+            slots,
+            width,
+            table: ColumnTable::new(corners, width),
+            seats,
+        })
+    }
+
+    fn ensure_seats(&mut self, n: usize) -> Result<(), ExecError> {
+        while self.seats.len() < n {
+            self.seats.push(FragSeat::new(
+                &self.shader,
+                &self.uniforms,
+                self.engine,
+                self.slots,
+            )?);
+        }
+        Ok(())
+    }
+}
+
+/// Takes the value out of a slot, treating a poisoned lock as empty (the
+/// panicking claimant is already reported through the error channel).
+fn take_slot<'a, T: ?Sized>(slot: &Mutex<Option<&'a mut T>>) -> Option<&'a mut T> {
+    match slot.lock() {
+        Ok(mut guard) => guard.take(),
+        Err(_) => None,
+    }
+}
+
+/// Executes a [`DrawPlan`] over rows `y0..y1` of the target, writing
+/// quantised pixels into `target.data` — serially when one thread (or one
+/// chunk) suffices, otherwise over the persistent `pool` with
+/// work-stealing chunk claiming.
+///
+/// The band is cut into fixed chunks of [`CHUNK_ROWS`] rows; participants
+/// claim chunk indices from a shared atomic ticket. Which seat executes a
+/// chunk varies run to run, but chunk index alone determines both the rows
+/// shaded and the bytes written, and no execution state is shared between
+/// seats — so the output is byte-for-byte identical to the serial path
+/// (and to the legacy round-robin dispatch). A kernel failure or panic
+/// surfaces as the error of the lowest-index failing chunk, matching the
+/// legacy path's reporting.
+///
+/// `pool` is spawned lazily on the first dispatch that actually needs
+/// workers, sized one less than `threads` (the caller occupies seat 0).
+///
+/// # Errors
+///
+/// Returns [`ExecError`] if the band or buffer is invalid, the target
+/// width does not match the plan, or the kernel fails (or panics) on any
+/// fragment.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_plan(
+    plan: &mut DrawPlan,
+    samplers: &[&dyn Sampler],
+    target: RasterTarget<'_>,
+    y0: u32,
+    y1: u32,
+    threads: usize,
+    pool: &mut Option<WorkerPool>,
+) -> Result<(), ExecError> {
+    let RasterTarget {
+        width,
+        height,
+        channels,
+        data,
+    } = target;
+    if width != plan.width {
+        return Err(ExecError::new(format!(
+            "draw plan built for width {}, executed at width {width}",
+            plan.width
+        )));
+    }
+    if y0 > y1 || y1 > height {
+        return Err(ExecError::new(format!(
+            "row band {y0}..{y1} outside target height {height}"
+        )));
+    }
+    let needed = width as usize * height as usize * channels;
+    if data.len() < needed {
+        return Err(ExecError::new(format!(
+            "target buffer holds {} bytes, {width}x{height}x{channels} needs {needed}",
+            data.len()
+        )));
+    }
+    if needed == 0 || y0 == y1 {
+        return Ok(());
+    }
+    let row_bytes = width as usize * channels;
+    let data = &mut data[y0 as usize * row_bytes..y1 as usize * row_bytes];
+    let band_rows = y1 - y0;
+
+    let n_chunks = band_rows.div_ceil(CHUNK_ROWS) as usize;
+    let threads = threads.max(1).min(n_chunks);
+    if threads <= 1 {
+        plan.ensure_seats(1)?;
+        let DrawPlan {
+            shader,
+            table,
+            seats,
+            ..
+        } = plan;
+        return run_seat_rows(
+            &mut seats[0],
+            shader,
+            samplers,
+            table,
+            height,
+            y0,
+            y1,
+            channels,
+            data,
+        );
+    }
+
+    plan.ensure_seats(threads)?;
+    let pool = pool.get_or_insert_with(|| WorkerPool::new(threads - 1));
+
+    let chunk_bytes = CHUNK_ROWS as usize * width as usize * channels;
+    let chunk_slots: Vec<Mutex<Option<&mut [u8]>>> = data
+        .chunks_mut(chunk_bytes)
+        .map(|c| Mutex::new(Some(c)))
+        .collect();
+    let DrawPlan {
+        shader,
+        table,
+        seats,
+        ..
+    } = plan;
+    let shader: &Shader = shader;
+    let seat_slots: Vec<Mutex<Option<&mut FragSeat>>> = seats
+        .iter_mut()
+        .take(threads)
+        .map(|s| Mutex::new(Some(s)))
+        .collect();
+    let ticket = AtomicUsize::new(0);
+    let errors: Mutex<Vec<(usize, ExecError)>> = Mutex::new(Vec::new());
+
+    let job = |seat_idx: usize| {
+        let Some(seat) = seat_slots.get(seat_idx).and_then(|s| take_slot(s)) else {
+            return;
+        };
+        let mut first_err: Option<(usize, ExecError)> = None;
+        loop {
+            let i = ticket.fetch_add(1, Ordering::Relaxed);
+            if i >= chunk_slots.len() {
+                break;
+            }
+            let Some(slice) = take_slot(&chunk_slots[i]) else {
+                continue;
+            };
+            // Chunk indices are band-relative; rows stay global so band
+            // draws are bit-identical to full draws.
+            let cy0 = y0 + i as u32 * CHUNK_ROWS;
+            let cy1 = (cy0 + CHUNK_ROWS).min(y1);
+            // Contain panics per chunk so every failure carries its chunk
+            // index and the pool's own panic flag stays a last resort.
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                run_seat_rows(
+                    seat, shader, samplers, table, height, cy0, cy1, channels, slice,
+                )
+            }));
+            match run {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    first_err = Some((i, e));
+                    break;
+                }
+                Err(p) => {
+                    first_err = Some((
+                        i,
+                        ExecError::new(format!("kernel panicked: {}", panic_message(&*p))),
+                    ));
+                    break;
+                }
+            }
+        }
+        if let Some(err) = first_err {
+            match errors.lock() {
+                Ok(mut errs) => errs.push(err),
+                Err(poisoned) => poisoned.into_inner().push(err),
+            }
+        }
+    };
+    let pool_panicked = pool.run(threads, &job);
+
+    let mut errs = match errors.into_inner() {
+        Ok(v) => v,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if pool_panicked && errs.is_empty() {
+        errs.push((usize::MAX, ExecError::new("worker thread panicked")));
+    }
+    match errs.into_iter().min_by_key(|(i, _)| *i) {
+        None => Ok(()),
+        Some((_, e)) => Err(e),
+    }
+}
+
 /// Converts a raw fragment colour to RGBA8 exactly as the fixed-function
 /// output stage does: clamp to [0, 1], scale by 255, round to nearest.
 #[must_use]
@@ -743,6 +1150,221 @@ mod tests {
             &ExecConfig::serial(),
         );
         assert!(r.unwrap_err().to_string().contains("needs 16"));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn planned_bytes(
+        sh: &Shader,
+        uniforms: &UniformValues,
+        w: u32,
+        h: u32,
+        ch: usize,
+        engine: Engine,
+        threads: usize,
+        pool: &mut Option<WorkerPool>,
+        plan: &mut Option<DrawPlan>,
+    ) -> Vec<u8> {
+        let shader = Arc::new(sh.clone());
+        let mut built = DrawPlan::build(
+            &shader,
+            uniforms,
+            engine,
+            &[texcoord_corners()],
+            w,
+            plan.take(),
+        )
+        .unwrap();
+        let mut data = vec![0u8; w as usize * h as usize * ch];
+        execute_plan(
+            &mut built,
+            &[],
+            RasterTarget {
+                width: w,
+                height: h,
+                channels: ch,
+                data: &mut data,
+            },
+            0,
+            h,
+            threads,
+            pool,
+        )
+        .unwrap();
+        *plan = Some(built);
+        data
+    }
+
+    #[test]
+    fn planned_dispatch_is_byte_identical_to_legacy() {
+        let sh = compile(
+            "uniform float scale;\nvarying vec2 v;\n\
+             void main() {\n\
+               float a = v.x * scale + v.y;\n\
+               if (a < 1.0) { a = sqrt(a + 1.0); } else { a = a * 0.25; }\n\
+               gl_FragColor = vec4(a, fract(a * 9.0), v.x * v.y, 1.0);\n\
+             }",
+        )
+        .unwrap();
+        let mut uniforms = UniformValues::new();
+        uniforms.set_scalar("scale", 3.7);
+        // One pool shared across every planned dispatch, as the context
+        // holds it; plans recycled across draws exercise seat rebinding.
+        let mut pool = None;
+        let mut plan = None;
+        for &(w, h) in &[(33u32, 17u32), (64, 64), (5, 97), (1, 1), (65, 40)] {
+            for &ch in &[3usize, 4] {
+                for engine in [Engine::Scalar, Engine::Batched] {
+                    let mut legacy = vec![0u8; w as usize * h as usize * ch];
+                    rasterize_quad_into(
+                        &sh,
+                        &uniforms,
+                        &[],
+                        &[texcoord_corners()],
+                        RasterTarget {
+                            width: w,
+                            height: h,
+                            channels: ch,
+                            data: &mut legacy,
+                        },
+                        &ExecConfig::with_threads(4).with_engine(engine),
+                    )
+                    .unwrap();
+                    for threads in [1usize, 2, 4, 8] {
+                        assert_eq!(
+                            planned_bytes(
+                                &sh, &uniforms, w, h, ch, engine, threads, &mut pool, &mut plan,
+                            ),
+                            legacy,
+                            "{w}x{h}x{ch} {engine:?} planned at {threads} threads"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planned_band_draws_reassemble_the_full_image() {
+        let sh = compile(
+            "varying vec2 v;\n\
+             void main() { gl_FragColor = vec4(v.x, v.y, v.x * v.y, 1.0); }",
+        )
+        .unwrap();
+        let (w, h) = (31u32, 46u32);
+        let mut pool = None;
+        let mut plan = None;
+        let full = planned_bytes(
+            &sh,
+            &UniformValues::new(),
+            w,
+            h,
+            4,
+            Engine::Batched,
+            4,
+            &mut pool,
+            &mut plan,
+        );
+        let shader = Arc::new(sh.clone());
+        let mut band_plan = DrawPlan::build(
+            &shader,
+            &UniformValues::new(),
+            Engine::Batched,
+            &[texcoord_corners()],
+            w,
+            None,
+        )
+        .unwrap();
+        let mut data = vec![0u8; w as usize * h as usize * 4];
+        for (y0, y1) in [(0u32, 19u32), (19, 33), (33, 46)] {
+            execute_plan(
+                &mut band_plan,
+                &[],
+                RasterTarget {
+                    width: w,
+                    height: h,
+                    channels: 4,
+                    data: &mut data,
+                },
+                y0,
+                y1,
+                3,
+                &mut pool,
+            )
+            .unwrap();
+        }
+        assert_eq!(data, full);
+    }
+
+    #[test]
+    fn planned_panic_becomes_an_error_and_pool_survives() {
+        let sh = compile(
+            "uniform sampler2D t;\nvarying vec2 v;\n\
+             void main() { gl_FragColor = texture2D(t, v); }",
+        )
+        .unwrap();
+        let shader = Arc::new(sh.clone());
+        let mut plan = DrawPlan::build(
+            &shader,
+            &UniformValues::new(),
+            Engine::Scalar,
+            &[texcoord_corners()],
+            32,
+            None,
+        )
+        .unwrap();
+        let mut pool = None;
+        let mut data = vec![0u8; 32 * 32 * 4];
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+        let r = execute_plan(
+            &mut plan,
+            &[&PanicSampler],
+            RasterTarget {
+                width: 32,
+                height: 32,
+                channels: 4,
+                data: &mut data,
+            },
+            0,
+            32,
+            4,
+            &mut pool,
+        );
+        std::panic::set_hook(prev);
+        let e = r.unwrap_err();
+        assert!(e.to_string().contains("sampler exploded"), "{e}");
+
+        // The pool and plan both stay usable after a panicked draw.
+        let ok =
+            compile("varying vec2 v; void main() { gl_FragColor = vec4(v, 0.0, 1.0); }").unwrap();
+        let mut plan = None;
+        let bytes = planned_bytes(
+            &ok,
+            &UniformValues::new(),
+            32,
+            32,
+            4,
+            Engine::Scalar,
+            4,
+            &mut pool,
+            &mut plan,
+        );
+        let mut serial = vec![0u8; 32 * 32 * 4];
+        rasterize_quad_into(
+            &ok,
+            &UniformValues::new(),
+            &[],
+            &[texcoord_corners()],
+            RasterTarget {
+                width: 32,
+                height: 32,
+                channels: 4,
+                data: &mut serial,
+            },
+            &ExecConfig::serial(),
+        )
+        .unwrap();
+        assert_eq!(bytes, serial);
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Property suite for the per-context draw-plan cache.
+//!
+//! The cache invalidates *by keying*: every input a plan captures is part
+//! of its key, so mutating any of them (uniforms, program, engine, target
+//! geometry, varying corners) must produce a miss, while draws that only
+//! change non-captured state (texture contents, row bands) must hit and
+//! still render correctly. A scripted mutation sequence is replayed under
+//! cache-on, cache-off and legacy-dispatch configurations and must be
+//! byte-identical throughout, with the simulated-time report unchanged.
+
+use mgpu_gles::raster::texcoord_corners;
+use mgpu_gles::{DrawQuad, Engine, ExecConfig, Gl, TextureFormat};
+use mgpu_tbdr::Platform;
+
+const SCALE_PROG: &str = "
+    uniform float u_k;
+    varying vec2 v_coord;
+    void main() { gl_FragColor = vec4(v_coord.x * u_k, v_coord.y, u_k, 1.0); }
+";
+
+const SAMPLE_PROG: &str = "
+    uniform sampler2D u_t;
+    varying vec2 v_coord;
+    void main() { gl_FragColor = texture2D(u_t, v_coord); }
+";
+
+/// A pooled, plan-cached 8×8 context at 2 threads.
+fn cached_gl() -> Gl {
+    let mut gl = Gl::new(Platform::videocore_iv(), 8, 8);
+    gl.set_exec_config(ExecConfig::with_threads(2).with_pool(true));
+    gl.set_plan_cache_enabled(true);
+    gl
+}
+
+fn draw(gl: &mut Gl) -> Vec<u8> {
+    gl.clear([0.0; 4]).expect("clear");
+    gl.draw_quad(&DrawQuad::fullscreen()).expect("draw");
+    gl.read_pixels().expect("read")
+}
+
+#[test]
+fn repeat_draws_hit_and_uniform_changes_rekey() {
+    let mut gl = cached_gl();
+    let prog = gl.create_program(SCALE_PROG).expect("compiles");
+    gl.use_program(Some(prog)).expect("uses");
+    gl.set_uniform_scalar(prog, "u_k", 1.0).expect("sets");
+
+    let first = draw(&mut gl);
+    let second = draw(&mut gl);
+    let third = draw(&mut gl);
+    assert_eq!(first, second);
+    assert_eq!(first, third);
+    let s = gl.plan_cache_stats();
+    assert_eq!((s.misses, s.hits, s.entries), (1, 2, 1));
+
+    // A uniform change re-keys: miss, new entry alongside the old one.
+    gl.set_uniform_scalar(prog, "u_k", 0.5).expect("sets");
+    let halved = draw(&mut gl);
+    assert_ne!(halved, first);
+    let s = gl.plan_cache_stats();
+    assert_eq!((s.misses, s.hits, s.entries), (2, 2, 2));
+
+    // Restoring the uniform hits the original, still-cached plan.
+    gl.set_uniform_scalar(prog, "u_k", 1.0).expect("sets");
+    assert_eq!(draw(&mut gl), first);
+    let s = gl.plan_cache_stats();
+    assert_eq!((s.misses, s.hits, s.entries), (2, 3, 2));
+}
+
+#[test]
+fn program_identity_and_source_both_key() {
+    let mut gl = cached_gl();
+    let a = gl.create_program(SCALE_PROG).expect("compiles");
+    gl.use_program(Some(a)).expect("uses");
+    gl.set_uniform_scalar(a, "u_k", 1.0).expect("sets");
+    let via_a = draw(&mut gl);
+
+    // A second program linked from the *same source* still misses: plans
+    // are keyed by program handle, and handles are never reused.
+    let twin = gl.create_program(SCALE_PROG).expect("compiles");
+    gl.use_program(Some(twin)).expect("uses");
+    gl.set_uniform_scalar(twin, "u_k", 1.0).expect("sets");
+    assert_eq!(draw(&mut gl), via_a);
+    let s = gl.plan_cache_stats();
+    assert_eq!((s.misses, s.hits), (2, 0));
+
+    // Different source ⇒ different shader hash ⇒ miss, and the draw
+    // reflects the new program immediately.
+    let other = gl
+        .create_program("varying vec2 v_coord;\nvoid main() { gl_FragColor = vec4(1.0); }")
+        .expect("compiles");
+    gl.use_program(Some(other)).expect("uses");
+    let white = draw(&mut gl);
+    assert!(white.iter().all(|&b| b == 255));
+    assert_eq!(gl.plan_cache_stats().misses, 3);
+}
+
+#[test]
+fn engine_target_and_corners_each_rekey() {
+    let mut gl = cached_gl();
+    let prog = gl.create_program(SCALE_PROG).expect("compiles");
+    gl.use_program(Some(prog)).expect("uses");
+    gl.set_uniform_scalar(prog, "u_k", 1.0).expect("sets");
+    let golden = draw(&mut gl);
+
+    // Engine tier is part of the key; output must not change.
+    gl.set_exec_config(
+        ExecConfig::with_threads(2)
+            .with_pool(true)
+            .with_engine(Engine::Scalar),
+    );
+    assert_eq!(draw(&mut gl), golden);
+    gl.set_exec_config(
+        ExecConfig::with_threads(2)
+            .with_pool(true)
+            .with_engine(Engine::Batched),
+    );
+    let after_engines = gl.plan_cache_stats();
+    assert!(after_engines.misses >= 2, "engine change must re-key");
+
+    // Target geometry: rendering into a 4×4 FBO texture re-keys.
+    let tex = gl.create_texture();
+    gl.tex_image_2d(tex, 4, 4, TextureFormat::Rgba8, None)
+        .expect("allocates");
+    let fbo = gl.create_framebuffer();
+    gl.bind_framebuffer(Some(fbo)).expect("binds");
+    gl.framebuffer_texture_2d(tex).expect("attaches");
+    gl.draw_quad(&DrawQuad::fullscreen()).expect("draws");
+    let misses_after_fbo = gl.plan_cache_stats().misses;
+    assert!(
+        misses_after_fbo > after_engines.misses,
+        "target dims must re-key"
+    );
+    gl.bind_framebuffer(None).expect("unbinds");
+
+    // Varying-corner overrides re-key by content hash.
+    let mut corners = texcoord_corners();
+    corners[3][0] = 0.25;
+    gl.clear([0.0; 4]).expect("clears");
+    gl.draw_quad(&DrawQuad::fullscreen().with_varying("v_coord", corners))
+        .expect("draws");
+    assert!(
+        gl.plan_cache_stats().misses > misses_after_fbo,
+        "corners must re-key"
+    );
+}
+
+#[test]
+fn band_draws_reuse_the_fullscreen_plan() {
+    let mut gl = cached_gl();
+    let prog = gl.create_program(SCALE_PROG).expect("compiles");
+    gl.use_program(Some(prog)).expect("uses");
+    gl.set_uniform_scalar(prog, "u_k", 1.0).expect("sets");
+    let full = draw(&mut gl);
+
+    // Plans are band-agnostic: re-rendering the surface as two row bands
+    // hits the cached fullscreen plan and reassembles identical bytes.
+    gl.clear([0.0; 4]).expect("clears");
+    gl.draw_quad(&DrawQuad::fullscreen().with_row_band(0, 3))
+        .expect("draws");
+    gl.draw_quad(&DrawQuad::fullscreen().with_row_band(3, 8))
+        .expect("draws");
+    assert_eq!(gl.read_pixels().expect("reads"), full);
+    let s = gl.plan_cache_stats();
+    assert_eq!((s.misses, s.hits), (1, 2));
+}
+
+#[test]
+fn texture_respec_serves_fresh_texels_from_a_warm_plan() {
+    let mut gl = cached_gl();
+    let prog = gl.create_program(SAMPLE_PROG).expect("compiles");
+    gl.use_program(Some(prog)).expect("uses");
+    gl.set_sampler(prog, "u_t", 0).expect("binds sampler");
+    let tex = gl.create_texture();
+    gl.tex_image_2d(tex, 8, 8, TextureFormat::Rgba8, Some(&[10u8; 8 * 8 * 4]))
+        .expect("uploads");
+    gl.bind_texture(0, Some(tex)).expect("binds");
+
+    let dim = draw(&mut gl);
+    assert!(dim.iter().all(|&b| b == 10));
+
+    // Respecify the texture's contents: plans cache no texel data, so the
+    // warm plan must sample the new bytes.
+    gl.tex_image_2d(tex, 8, 8, TextureFormat::Rgba8, Some(&[200u8; 8 * 8 * 4]))
+        .expect("respecs");
+    let bright = draw(&mut gl);
+    assert!(bright.iter().all(|&b| b == 200));
+    let s = gl.plan_cache_stats();
+    assert_eq!((s.misses, s.hits), (1, 1), "respec must not re-key");
+}
+
+#[test]
+fn recreate_drops_every_plan() {
+    let mut gl = cached_gl();
+    let prog = gl.create_program(SCALE_PROG).expect("compiles");
+    gl.use_program(Some(prog)).expect("uses");
+    gl.set_uniform_scalar(prog, "u_k", 1.0).expect("sets");
+    let before = draw(&mut gl);
+    assert_eq!(gl.plan_cache_stats().entries, 1);
+
+    gl.recreate();
+    assert_eq!(gl.plan_cache_stats().entries, 0, "recreate clears plans");
+
+    // Rebuild the world, as a resilient runner would; the first draw is a
+    // miss (fresh handle, fresh cache) but renders identically.
+    let prog = gl.create_program(SCALE_PROG).expect("recompiles");
+    gl.use_program(Some(prog)).expect("uses");
+    gl.set_uniform_scalar(prog, "u_k", 1.0).expect("sets");
+    assert_eq!(draw(&mut gl), before);
+    assert_eq!(gl.plan_cache_stats().entries, 1);
+}
+
+#[test]
+fn disabling_the_cache_mid_stream_is_transparent() {
+    let mut gl = cached_gl();
+    let prog = gl.create_program(SCALE_PROG).expect("compiles");
+    gl.use_program(Some(prog)).expect("uses");
+    gl.set_uniform_scalar(prog, "u_k", 1.0).expect("sets");
+    let golden = draw(&mut gl);
+
+    gl.set_plan_cache_enabled(false);
+    assert_eq!(gl.plan_cache_stats().entries, 0);
+    assert_eq!(draw(&mut gl), golden);
+
+    gl.set_plan_cache_enabled(true);
+    assert_eq!(draw(&mut gl), golden);
+}
+
+/// Replays one scripted mutation sequence and returns the pixel snapshot
+/// after every draw plus the final simulation report.
+fn run_script(
+    platform: &Platform,
+    engine: Engine,
+    pool: bool,
+    cache: bool,
+) -> (Vec<Vec<u8>>, mgpu_tbdr::SimReport) {
+    let mut gl = Gl::new(platform.clone(), 8, 8);
+    gl.set_exec_config(
+        ExecConfig::with_threads(3)
+            .with_engine(engine)
+            .with_pool(pool),
+    );
+    gl.set_plan_cache_enabled(cache);
+    let mut shots = Vec::new();
+
+    let scale = gl.create_program(SCALE_PROG).expect("compiles");
+    gl.use_program(Some(scale)).expect("uses");
+    gl.set_uniform_scalar(scale, "u_k", 1.0).expect("sets");
+    shots.push(draw(&mut gl));
+    shots.push(draw(&mut gl)); // warm repeat
+    gl.set_uniform_scalar(scale, "u_k", 0.25).expect("sets");
+    shots.push(draw(&mut gl)); // re-keyed
+    gl.set_uniform_scalar(scale, "u_k", 1.0).expect("sets");
+    shots.push(draw(&mut gl)); // warm again
+
+    let sample = gl.create_program(SAMPLE_PROG).expect("compiles");
+    gl.use_program(Some(sample)).expect("uses");
+    gl.set_sampler(sample, "u_t", 0).expect("samplers");
+    let tex = gl.create_texture();
+    let ramp: Vec<u8> = (0..8 * 8 * 4).map(|i| (i % 251) as u8).collect();
+    gl.tex_image_2d(tex, 8, 8, TextureFormat::Rgba8, Some(&ramp))
+        .expect("uploads");
+    gl.bind_texture(0, Some(tex)).expect("binds");
+    shots.push(draw(&mut gl));
+    let inv: Vec<u8> = ramp.iter().map(|&b| 255 - b).collect();
+    gl.tex_image_2d(tex, 8, 8, TextureFormat::Rgba8, Some(&inv))
+        .expect("respecs");
+    shots.push(draw(&mut gl)); // warm plan, fresh texels
+
+    gl.use_program(Some(scale)).expect("uses");
+    gl.clear([0.0; 4]).expect("clears");
+    gl.draw_quad(&DrawQuad::fullscreen().with_row_band(0, 5))
+        .expect("bands");
+    gl.draw_quad(&DrawQuad::fullscreen().with_row_band(5, 8))
+        .expect("bands");
+    shots.push(gl.read_pixels().expect("reads"));
+
+    gl.recreate();
+    let scale = gl.create_program(SCALE_PROG).expect("recompiles");
+    gl.use_program(Some(scale)).expect("uses");
+    gl.set_uniform_scalar(scale, "u_k", 1.0).expect("sets");
+    shots.push(draw(&mut gl));
+
+    gl.finish();
+    (shots, gl.report())
+}
+
+/// The headline property: for every platform × engine, the cached pooled
+/// dispatcher replays the whole mutation script byte-for-byte like the
+/// uncached pooled path *and* the legacy scope-spawn path, with identical
+/// simulated-time reports.
+#[test]
+fn cache_is_invisible_across_the_mutation_script() {
+    for platform in [Platform::videocore_iv(), Platform::sgx_545()] {
+        for engine in [Engine::Scalar, Engine::Batched] {
+            let legacy = run_script(&platform, engine, false, false);
+            let pooled = run_script(&platform, engine, true, false);
+            let cached = run_script(&platform, engine, true, true);
+            assert_eq!(
+                pooled, legacy,
+                "pooled dispatch diverged ({engine:?} on {})",
+                platform.name
+            );
+            assert_eq!(
+                cached, legacy,
+                "plan cache changed output ({engine:?} on {})",
+                platform.name
+            );
+        }
+    }
+}

@@ -76,6 +76,11 @@ pub struct OptConfig {
     /// context's setting — `MGPU_ENGINE` or the batched default). Like
     /// `threads`, purely a wall-clock knob: both engines are bit-exact.
     pub engine: Option<Engine>,
+    /// Pooled dispatch with draw-plan caching vs the legacy per-draw
+    /// `thread::scope` path (`None` keeps the context's setting —
+    /// `MGPU_POOL` or pooled by default). Like `threads`, purely a
+    /// wall-clock knob: both dispatchers are bit-exact.
+    pub pool: Option<bool>,
 }
 
 impl OptConfig {
@@ -94,6 +99,7 @@ impl OptConfig {
             mad_fusion: true,
             threads: None,
             engine: None,
+            pool: None,
         }
     }
 
@@ -172,6 +178,14 @@ impl OptConfig {
     #[must_use]
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = Some(engine);
+        self
+    }
+
+    /// Pins the dispatcher: pooled + plan-cached (`true`) or the legacy
+    /// per-draw scope-spawn path (`false`).
+    #[must_use]
+    pub fn with_pool(mut self, pool: bool) -> Self {
+        self.pool = Some(pool);
         self
     }
 }

@@ -58,15 +58,18 @@ pub(crate) fn apply_setup(gl: &mut Gl, cfg: &OptConfig) {
         SyncStrategy::SwapInterval0 => gl.swap_interval(0),
         SyncStrategy::NoSwap => {}
     }
-    if cfg.threads.is_some() || cfg.engine.is_some() {
+    if cfg.threads.is_some() || cfg.engine.is_some() || cfg.pool.is_some() {
         // Compose onto the context's current configuration so pinning one
-        // knob never clobbers the other.
+        // knob never clobbers the others.
         let mut exec = gl.exec_config();
         if let Some(threads) = cfg.threads {
             exec = exec.with_thread_count(threads);
         }
         if let Some(engine) = cfg.engine {
             exec = exec.with_engine(engine);
+        }
+        if let Some(pool) = cfg.pool {
+            exec = exec.with_pool(pool);
         }
         gl.set_exec_config(exec);
     }

@@ -502,6 +502,10 @@ impl ResilientRunner {
                 if self.recreates >= self.cfg.retry.max_context_recreates {
                     return Recovered::GiveUp(err);
                 }
+                // Recreation drops every GL object and the context's
+                // draw-plan cache with them; the persistent worker pool
+                // survives, so recovered execution re-warms plans without
+                // paying a thread-respawn tax.
                 gl.recreate();
                 self.recreates += 1;
                 self.needs_rebuild = true;

@@ -23,7 +23,7 @@
 
 use crate::error::ExecError;
 use crate::ir::{CmpOp, InputKind, Op, Reg, Shader};
-use crate::vm::{register_widths, truncate_to_24bit, Sampler, UniformValues};
+use crate::vm::{register_widths_into, truncate_to_24bit, Sampler, UniformValues};
 
 /// Number of fragments evaluated per batch.
 pub const LANES: usize = 64;
@@ -65,9 +65,7 @@ type RegPlanes = [Plane; 4];
 /// ```
 pub struct BatchExecutor<'s> {
     shader: &'s Shader,
-    widths: Vec<u8>,
-    regs: Vec<RegPlanes>,
-    varying_regs: Vec<Reg>,
+    core: BatchCore,
 }
 
 impl<'s> BatchExecutor<'s> {
@@ -79,28 +77,9 @@ impl<'s> BatchExecutor<'s> {
     /// Returns [`ExecError`] if a uniform declared by the shader has no
     /// value in `uniforms`.
     pub fn new(shader: &'s Shader, uniforms: &UniformValues) -> Result<Self, ExecError> {
-        let widths = register_widths(shader);
-        let mut regs = vec![[[0.0f32; LANES]; 4]; shader.reg_count as usize];
-        let mut varying_regs = Vec::new();
-        for slot in &shader.inputs {
-            match slot.kind {
-                InputKind::Uniform => {
-                    let v = uniforms.get(&slot.name).ok_or_else(|| {
-                        ExecError::new(format!("uniform `{}` is not set", slot.name))
-                    })?;
-                    let planes = &mut regs[slot.reg.0 as usize];
-                    for c in 0..4 {
-                        planes[c] = [v[c]; LANES];
-                    }
-                }
-                InputKind::Varying => varying_regs.push(slot.reg),
-            }
-        }
         Ok(BatchExecutor {
             shader,
-            widths,
-            regs,
-            varying_regs,
+            core: BatchCore::new(shader, uniforms)?,
         })
     }
 
@@ -122,6 +101,100 @@ impl<'s> BatchExecutor<'s> {
         samplers: &[&dyn Sampler],
         out: &mut [[f32; 4]],
     ) -> Result<(), ExecError> {
+        self.core.run(self.shader, varyings, n, samplers, out)
+    }
+}
+
+/// The shader-independent state of a [`BatchExecutor`]: the SoA register
+/// planes, width table and varying bindings, with uniforms broadcast in.
+///
+/// Like [`ExecCore`](crate::vm::ExecCore) for the scalar tier, a
+/// `BatchCore` does not borrow its shader — the shader is passed to every
+/// [`BatchCore::run`] — so long-lived caches can own the core next to the
+/// (specialised) shader it executes, and [`BatchCore::rebind`] re-targets
+/// the core without reallocating its (large) register planes when the new
+/// shader fits. Lane planes are rewritten before they are read on every
+/// run (single-assignment IR; partial batches only ever read back the
+/// active `n` lanes), so reuse across draws is bitwise invisible.
+pub struct BatchCore {
+    widths: Vec<u8>,
+    regs: Vec<RegPlanes>,
+    varying_regs: Vec<Reg>,
+}
+
+impl BatchCore {
+    /// Prepares a core for `shader`, resolving every uniform (broadcast
+    /// to all lanes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if a uniform declared by the shader has no
+    /// value in `uniforms`.
+    pub fn new(shader: &Shader, uniforms: &UniformValues) -> Result<Self, ExecError> {
+        let mut core = BatchCore {
+            widths: Vec::new(),
+            regs: Vec::new(),
+            varying_regs: Vec::new(),
+        };
+        core.rebind(shader, uniforms)?;
+        Ok(core)
+    }
+
+    /// Re-binds this core to a (possibly different) shader and uniform
+    /// set, reusing the register-plane allocation where it fits. After a
+    /// successful rebind the core is bit-identical in behaviour to a fresh
+    /// [`BatchCore::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if a uniform declared by the shader has no
+    /// value in `uniforms`; the core is left safe to rebind again but must
+    /// not be run.
+    pub fn rebind(&mut self, shader: &Shader, uniforms: &UniformValues) -> Result<(), ExecError> {
+        register_widths_into(shader, &mut self.widths);
+        // Uniform planes below are the only register state `run` reads
+        // before writing, so only those need re-broadcasting; resize
+        // handles a grown register file.
+        self.regs
+            .resize(shader.reg_count as usize, [[0.0f32; LANES]; 4]);
+        self.varying_regs.clear();
+        for slot in &shader.inputs {
+            match slot.kind {
+                InputKind::Uniform => {
+                    let v = uniforms.get(&slot.name).ok_or_else(|| {
+                        ExecError::new(format!("uniform `{}` is not set", slot.name))
+                    })?;
+                    let planes = &mut self.regs[slot.reg.0 as usize];
+                    for c in 0..4 {
+                        planes[c] = [v[c]; LANES];
+                    }
+                }
+                InputKind::Varying => self.varying_regs.push(slot.reg),
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `shader` for a batch of `n` fragments (`1..=LANES`). `shader`
+    /// must be the shader this core was last (re)bound to.
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchExecutor::run`], plus an [`ExecError`] when `shader` is
+    /// not the bound shader (register-count mismatch).
+    pub fn run(
+        &mut self,
+        shader: &Shader,
+        varyings: &[[f32; 4]],
+        n: usize,
+        samplers: &[&dyn Sampler],
+        out: &mut [[f32; 4]],
+    ) -> Result<(), ExecError> {
+        if shader.reg_count as usize != self.regs.len() {
+            return Err(ExecError::new(
+                "batch core run with a shader it was not bound to",
+            ));
+        }
         if n == 0 || n > LANES {
             return Err(ExecError::new(format!(
                 "batch size {n} outside 1..={LANES}"
@@ -150,7 +223,7 @@ impl<'s> BatchExecutor<'s> {
             }
         }
         let mut fetched = [[0.0f32; 4]; LANES];
-        for instr in &self.shader.instrs {
+        for instr in &shader.instrs {
             // Zeroed like the scalar evaluator's result: components the op
             // leaves unwritten must read back as 0.0.
             let mut scratch: RegPlanes = [[0.0; LANES]; 4];
@@ -179,7 +252,7 @@ impl<'s> BatchExecutor<'s> {
             }
             self.regs[instr.dst.0 as usize] = scratch;
         }
-        let planes = &self.regs[self.shader.output.0 as usize];
+        let planes = &self.regs[shader.output.0 as usize];
         for (l, o) in out[..n].iter_mut().enumerate() {
             for c in 0..4 {
                 o[c] = planes[c][l];

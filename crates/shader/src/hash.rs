@@ -1,0 +1,261 @@
+//! Stable structural hashing for shaders and uniform bindings.
+//!
+//! The draw-plan cache in `mgpu-gles` keys cached execution state by the
+//! *content* of a shader and its bound uniforms, so the hashes here must
+//! be stable across processes and runs — [`std::collections::HashMap`]'s
+//! `RandomState` (or anything keyed off addresses or iteration order) is
+//! unusable. Everything is hashed through 64-bit FNV-1a over an explicit,
+//! documented byte encoding:
+//!
+//! * `f32` values hash as their IEEE-754 bit patterns, so `-0.0 != 0.0`
+//!   and every NaN payload is distinguished — bitwise identity is the
+//!   contract of the whole execution stack, and the hash must not be
+//!   coarser than it;
+//! * uniform bindings hash in **name-sorted** order, making the hash
+//!   independent of insertion order and of `HashMap` iteration order.
+//!
+//! These are content hashes for caching, not cryptographic digests;
+//! collisions are astronomically unlikely but tolerable only because the
+//! cache key also carries the program handle and target geometry.
+
+use crate::ir::{InputKind, Op, Shader};
+use crate::vm::UniformValues;
+
+/// 64-bit FNV-1a running hash with explicit write methods.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// A hasher in its initial state.
+    #[must_use]
+    pub const fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian byte order).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u32` (little-endian byte order).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    /// Absorbs an `f32` as its exact bit pattern.
+    pub fn write_f32(&mut self, v: f32) {
+        self.write_u32(v.to_bits());
+    }
+
+    /// Absorbs a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub const fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// Hashes a flat slice of `f32`s by bit pattern (length included).
+#[must_use]
+pub fn hash_f32_bits(values: &[f32]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(values.len() as u64);
+    for &v in values {
+        h.write_f32(v);
+    }
+    h.finish()
+}
+
+/// A small distinct tag per opcode so structurally different instructions
+/// can never hash alike through payload coincidence.
+fn op_tag(op: &Op) -> u8 {
+    match op {
+        Op::Const(_) => 0,
+        Op::Mov => 1,
+        Op::Neg => 2,
+        Op::Add => 3,
+        Op::Sub => 4,
+        Op::Mul => 5,
+        Op::Mad => 6,
+        Op::Mul24 => 7,
+        Op::Div => 8,
+        Op::Dot => 9,
+        Op::Min => 10,
+        Op::Max => 11,
+        Op::Clamp => 12,
+        Op::Floor => 13,
+        Op::Fract => 14,
+        Op::Abs => 15,
+        Op::Sqrt => 16,
+        Op::Pow => 17,
+        Op::ModOp => 18,
+        Op::Mix => 19,
+        Op::Sin => 20,
+        Op::Cos => 21,
+        Op::Exp2 => 22,
+        Op::Log2 => 23,
+        Op::InverseSqrt => 24,
+        Op::Sign => 25,
+        Op::Step => 26,
+        Op::Cmp(_) => 27,
+        Op::And => 28,
+        Op::Or => 29,
+        Op::Not => 30,
+        Op::Select => 31,
+        Op::Swizzle(_) => 32,
+        Op::Merge { .. } => 33,
+        Op::Construct => 34,
+        Op::TexFetch { .. } => 35,
+    }
+}
+
+impl Shader {
+    /// A stable structural hash of the compiled shader: instructions
+    /// (opcodes, immediate bit patterns, operands), input and sampler
+    /// declarations, register count and output register. Equal shaders
+    /// hash equal in every process; any structural difference — down to a
+    /// single immediate bit — changes the hash with overwhelming
+    /// probability.
+    #[must_use]
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u32(self.reg_count);
+        h.write_u32(self.output.0);
+        h.write_u64(self.inputs.len() as u64);
+        for slot in &self.inputs {
+            h.write_str(&slot.name);
+            h.write_u8(match slot.kind {
+                InputKind::Uniform => 0,
+                InputKind::Varying => 1,
+            });
+            h.write_u8(slot.width);
+            h.write_u32(slot.reg.0);
+        }
+        h.write_u64(self.samplers.len() as u64);
+        for s in &self.samplers {
+            h.write_str(&s.name);
+            h.write_u8(s.unit);
+        }
+        h.write_u64(self.instrs.len() as u64);
+        for i in &self.instrs {
+            h.write_u32(i.dst.0);
+            h.write_u8(i.width);
+            h.write_u8(op_tag(&i.op));
+            match &i.op {
+                Op::Const(v) => {
+                    for &c in v {
+                        h.write_f32(c);
+                    }
+                }
+                Op::Cmp(c) => h.write_u8(*c as u8),
+                Op::Swizzle(p) => h.write(p),
+                Op::Merge { select } => h.write(select),
+                Op::TexFetch { sampler } => h.write_u8(*sampler),
+                _ => {}
+            }
+            h.write_u64(i.srcs.len() as u64);
+            for s in &i.srcs {
+                h.write_u32(s.0);
+            }
+        }
+        h.finish()
+    }
+}
+
+impl UniformValues {
+    /// A stable hash of the bound uniform values: name-sorted, values by
+    /// f32 bit pattern. Independent of insertion order; sensitive to every
+    /// bit of every component. The draw-plan cache uses this to detect
+    /// uniform changes between draws.
+    #[must_use]
+    pub fn stable_hash(&self) -> u64 {
+        let mut entries: Vec<(&str, [f32; 4])> = self.entries().collect();
+        entries.sort_by_key(|(name, _)| *name);
+        let mut h = Fnv64::new();
+        h.write_u64(entries.len() as u64);
+        for (name, v) in entries {
+            h.write_str(name);
+            for c in v {
+                h.write_f32(c);
+            }
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn shader_hash_is_stable_and_content_sensitive() {
+        let a =
+            compile("varying vec2 v; void main() { gl_FragColor = vec4(v, 0.0, 1.0); }").unwrap();
+        let a2 =
+            compile("varying vec2 v; void main() { gl_FragColor = vec4(v, 0.0, 1.0); }").unwrap();
+        let b =
+            compile("varying vec2 v; void main() { gl_FragColor = vec4(v, 0.5, 1.0); }").unwrap();
+        assert_eq!(a.stable_hash(), a2.stable_hash());
+        assert_ne!(a.stable_hash(), b.stable_hash());
+    }
+
+    #[test]
+    fn uniform_hash_ignores_insertion_order() {
+        let mut u1 = UniformValues::new();
+        u1.set_scalar("a", 1.0).set_scalar("b", 2.0);
+        let mut u2 = UniformValues::new();
+        u2.set_scalar("b", 2.0).set_scalar("a", 1.0);
+        assert_eq!(u1.stable_hash(), u2.stable_hash());
+    }
+
+    #[test]
+    fn uniform_hash_sees_every_bit() {
+        let mut u1 = UniformValues::new();
+        u1.set_scalar("x", 0.0);
+        let mut u2 = UniformValues::new();
+        u2.set_scalar("x", -0.0);
+        assert_ne!(u1.stable_hash(), u2.stable_hash(), "sign of zero matters");
+        let mut u3 = UniformValues::new();
+        u3.set("x", [0.0, 1.0, 0.0, 0.0]);
+        let mut u4 = UniformValues::new();
+        u4.set("x", [0.0, 0.0, 1.0, 0.0]);
+        assert_ne!(
+            u3.stable_hash(),
+            u4.stable_hash(),
+            "component position matters"
+        );
+    }
+
+    #[test]
+    fn f32_slice_hash_distinguishes_lengths() {
+        assert_ne!(hash_f32_bits(&[0.0]), hash_f32_bits(&[0.0, 0.0]));
+    }
+}

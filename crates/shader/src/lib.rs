@@ -51,6 +51,7 @@ mod batch;
 pub mod cost;
 mod error;
 mod fold;
+pub mod hash;
 mod lexer;
 mod limits;
 mod lower;
@@ -62,14 +63,16 @@ pub mod ir;
 mod token;
 mod vm;
 
-pub use batch::{BatchExecutor, LANES};
+pub use batch::{BatchCore, BatchExecutor, LANES};
 pub use error::{render_error, CompileError, CompileErrorKind, ExecError};
 pub use fold::{const_eval, ConstVal};
 pub use limits::{check_limits, Limits};
 pub use lower::{lower, MAX_UNROLL_ITERATIONS};
 pub use opt::{optimize, specialize, OptOptions};
 pub use parser::parse;
-pub use vm::{truncate_to_24bit, u8_to_unorm, Executor, ImageSampler, Sampler, UniformValues};
+pub use vm::{
+    truncate_to_24bit, u8_to_unorm, ExecCore, Executor, ImageSampler, Sampler, UniformValues,
+};
 
 use ir::Shader;
 

@@ -350,14 +350,22 @@ pub(crate) fn eval_pure_op(
 /// Computes the width (component count) of every register in a shader.
 #[must_use]
 pub(crate) fn register_widths(shader: &Shader) -> Vec<u8> {
-    let mut widths = vec![4u8; shader.reg_count as usize];
+    let mut widths = Vec::new();
+    register_widths_into(shader, &mut widths);
+    widths
+}
+
+/// [`register_widths`] into an existing buffer, reusing its allocation —
+/// the rebind path of the reusable engine cores.
+pub(crate) fn register_widths_into(shader: &Shader, widths: &mut Vec<u8>) {
+    widths.clear();
+    widths.resize(shader.reg_count as usize, 4u8);
     for slot in &shader.inputs {
         widths[slot.reg.0 as usize] = slot.width;
     }
     for i in &shader.instrs {
         widths[i.dst.0 as usize] = i.width;
     }
-    widths
 }
 
 /// Uniform values bound by name before execution.
@@ -389,6 +397,11 @@ impl UniformValues {
     pub fn get(&self, name: &str) -> Option<[f32; 4]> {
         self.values.get(name).copied()
     }
+
+    /// Iterates the bound `(name, value)` pairs in unspecified order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, [f32; 4])> {
+        self.values.iter().map(|(n, v)| (n.as_str(), *v))
+    }
 }
 
 /// Executes a compiled shader fragment by fragment.
@@ -416,9 +429,7 @@ impl UniformValues {
 #[derive(Debug)]
 pub struct Executor<'s> {
     shader: &'s Shader,
-    widths: Vec<u8>,
-    regs: Vec<[f32; 4]>,
-    varying_regs: Vec<Reg>,
+    core: ExecCore,
 }
 
 impl<'s> Executor<'s> {
@@ -429,25 +440,9 @@ impl<'s> Executor<'s> {
     /// Returns [`ExecError`] if a uniform declared by the shader has no
     /// value in `uniforms`.
     pub fn new(shader: &'s Shader, uniforms: &UniformValues) -> Result<Self, ExecError> {
-        let widths = register_widths(shader);
-        let mut regs = vec![[0.0f32; 4]; shader.reg_count as usize];
-        let mut varying_regs = Vec::new();
-        for slot in &shader.inputs {
-            match slot.kind {
-                InputKind::Uniform => {
-                    let v = uniforms.get(&slot.name).ok_or_else(|| {
-                        ExecError::new(format!("uniform `{}` is not set", slot.name))
-                    })?;
-                    regs[slot.reg.0 as usize] = v;
-                }
-                InputKind::Varying => varying_regs.push(slot.reg),
-            }
-        }
         Ok(Executor {
             shader,
-            widths,
-            regs,
-            varying_regs,
+            core: ExecCore::new(shader, uniforms)?,
         })
     }
 
@@ -465,6 +460,94 @@ impl<'s> Executor<'s> {
         varyings: &[[f32; 4]],
         samplers: &[&dyn Sampler],
     ) -> Result<[f32; 4], ExecError> {
+        self.core.run(self.shader, varyings, samplers)
+    }
+}
+
+/// The shader-independent state of a scalar [`Executor`]: register file,
+/// width table and varying bindings, with uniforms resolved in.
+///
+/// Unlike `Executor` it does not borrow the shader — the shader is passed
+/// to every [`ExecCore::run`] call — so a core can be owned by long-lived
+/// caches (the `mgpu-gles` draw-plan cache) alongside the shader it was
+/// bound to, and re-bound to a new shader without reallocating via
+/// [`ExecCore::rebind`]. A core must only ever run the shader (or a
+/// structurally identical clone of the shader) it was last bound to;
+/// `run` rejects a mismatched register count as a cheap guard.
+#[derive(Debug)]
+pub struct ExecCore {
+    widths: Vec<u8>,
+    regs: Vec<[f32; 4]>,
+    varying_regs: Vec<Reg>,
+}
+
+impl ExecCore {
+    /// Prepares a core for `shader`, resolving every uniform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if a uniform declared by the shader has no
+    /// value in `uniforms`.
+    pub fn new(shader: &Shader, uniforms: &UniformValues) -> Result<Self, ExecError> {
+        let mut core = ExecCore {
+            widths: Vec::new(),
+            regs: Vec::new(),
+            varying_regs: Vec::new(),
+        };
+        core.rebind(shader, uniforms)?;
+        Ok(core)
+    }
+
+    /// Re-binds this core to a (possibly different) shader and uniform
+    /// set, reusing the existing allocations where they fit. After a
+    /// successful rebind the core behaves bit-identically to a freshly
+    /// constructed [`ExecCore::new`] — every register is re-derived; no
+    /// stale state can leak, because the IR is single-assignment and every
+    /// instruction output is rewritten before it is read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if a uniform declared by the shader has no
+    /// value in `uniforms`; the core is left safe to rebind again but must
+    /// not be run.
+    pub fn rebind(&mut self, shader: &Shader, uniforms: &UniformValues) -> Result<(), ExecError> {
+        register_widths_into(shader, &mut self.widths);
+        self.regs.clear();
+        self.regs.resize(shader.reg_count as usize, [0.0f32; 4]);
+        self.varying_regs.clear();
+        for slot in &shader.inputs {
+            match slot.kind {
+                InputKind::Uniform => {
+                    let v = uniforms.get(&slot.name).ok_or_else(|| {
+                        ExecError::new(format!("uniform `{}` is not set", slot.name))
+                    })?;
+                    self.regs[slot.reg.0 as usize] = v;
+                }
+                InputKind::Varying => self.varying_regs.push(slot.reg),
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `shader` for one fragment. `shader` must be the shader this
+    /// core was last (re)bound to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] when the varying count does not match the
+    /// shader's declarations, a referenced texture unit has no sampler, or
+    /// `shader` is not the bound shader (register-count mismatch).
+    pub fn run(
+        &mut self,
+        shader: &Shader,
+        varyings: &[[f32; 4]],
+        samplers: &[&dyn Sampler],
+    ) -> Result<[f32; 4], ExecError> {
+        if shader.reg_count as usize != self.regs.len() {
+            return Err(ExecError::new(
+                "executor core run with a shader it was not bound to",
+            ));
+        }
         if varyings.len() != self.varying_regs.len() {
             return Err(ExecError::new(format!(
                 "shader has {} varyings, {} provided",
@@ -477,7 +560,7 @@ impl<'s> Executor<'s> {
         }
         let mut srcs_buf = [[0.0f32; 4]; 4];
         let mut widths_buf = [0u8; 4];
-        for instr in &self.shader.instrs {
+        for instr in &shader.instrs {
             let n = instr.srcs.len().min(4);
             for (i, s) in instr.srcs.iter().take(4).enumerate() {
                 srcs_buf[i] = self.regs[s.0 as usize];
@@ -496,7 +579,7 @@ impl<'s> Executor<'s> {
             };
             self.regs[instr.dst.0 as usize] = value;
         }
-        Ok(self.regs[self.shader.output.0 as usize])
+        Ok(self.regs[shader.output.0 as usize])
     }
 }
 
@@ -515,6 +598,51 @@ mod tests {
         let mut ex = Executor::new(&sh, &UniformValues::new()).unwrap();
         let out = ex.run(&[[3.0, 4.0, 0.0, 0.0]], &[]).unwrap();
         assert_eq!(out, [7.0, 12.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn rebound_core_matches_fresh_core_bitwise() {
+        let sh_a = compile(
+            "uniform float g; varying vec2 v;\n\
+             void main() { gl_FragColor = vec4(v.x * g, v.y + g, sqrt(v.x), 1.0); }",
+        )
+        .unwrap();
+        let sh_b = compile(
+            "varying vec2 v;\n\
+             void main() { gl_FragColor = vec4(fract(v.y * 9.7), v.x, 0.0, 1.0); }",
+        )
+        .unwrap();
+        let mut u = UniformValues::new();
+        u.set_scalar("g", 3.25);
+        let mut core = ExecCore::new(&sh_a, &u).unwrap();
+        // Run A, rebind to B, then back to A: every output must equal a
+        // fresh core's bit for bit.
+        for (sh, uni) in [(&sh_a, &u), (&sh_b, &UniformValues::new()), (&sh_a, &u)] {
+            core.rebind(sh, uni).unwrap();
+            let mut fresh = ExecCore::new(sh, uni).unwrap();
+            for xy in [[0.1f32, 0.9], [0.5, 0.5], [-1.0, 2.0]] {
+                let varying = [[xy[0], xy[1], 0.0, 0.0]];
+                let got = core.run(sh, &varying, &[]).unwrap();
+                let want = fresh.run(sh, &varying, &[]).unwrap();
+                assert_eq!(got.map(f32::to_bits), want.map(f32::to_bits));
+            }
+        }
+    }
+
+    #[test]
+    fn core_rejects_unbound_shader() {
+        let sh_a = compile("void main() { gl_FragColor = vec4(1.0); }").unwrap();
+        let sh_b = compile(
+            "varying vec2 v;\n\
+             void main() { vec4 a = vec4(v, 0.0, 1.0); gl_FragColor = a * a; }",
+        )
+        .unwrap();
+        let mut core = ExecCore::new(&sh_a, &UniformValues::new()).unwrap();
+        assert!(core
+            .run(&sh_b, &[[0.0; 4]], &[])
+            .unwrap_err()
+            .to_string()
+            .contains("not bound"));
     }
 
     #[test]

@@ -137,6 +137,40 @@ fn engines_are_byte_identical_across_thread_counts() {
     }
 }
 
+/// The golden matrix for the persistent-pool dispatcher: pooled
+/// (work-stealing + plan cache) and legacy (per-draw scope-spawn)
+/// execution produce one identical `Golden` across every thread count,
+/// engine tier and platform. This is the PR's headline invariant — the
+/// dispatcher is purely a wall-clock knob.
+#[test]
+fn pooled_dispatch_matches_the_legacy_path_exactly() {
+    for platform in [Platform::videocore_iv(), Platform::sgx_545()] {
+        let golden_sum = run_sum(&platform, ExecConfig::serial());
+        let golden_sgemm = run_sgemm(&platform, ExecConfig::serial());
+        for threads in [1, 2, 4, 8] {
+            for engine in [Engine::Scalar, Engine::Batched] {
+                for pool in [false, true] {
+                    let exec = ExecConfig::with_threads(threads)
+                        .with_engine(engine)
+                        .with_pool(pool);
+                    assert_eq!(
+                        run_sum(&platform, exec),
+                        golden_sum,
+                        "sum diverged (pool={pool}, {engine:?}, {threads} threads) on {}",
+                        platform.name
+                    );
+                    assert_eq!(
+                        run_sgemm(&platform, exec),
+                        golden_sgemm,
+                        "sgemm diverged (pool={pool}, {engine:?}, {threads} threads) on {}",
+                        platform.name
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The `OptConfig::with_threads` knob routes through operator setup to
 /// the context, and `MGPU_THREADS`-style explicit configs round-trip.
 #[test]
