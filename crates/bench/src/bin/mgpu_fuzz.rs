@@ -1,0 +1,248 @@
+//! Differential conformance fuzzer.
+//!
+//! Generates random shader programs and draw scripts from a seed, sweeps
+//! each one across the full execution-configuration lattice on both paper
+//! platforms, and holds every point to the serial scalar baseline — byte
+//! identity on transcripts, equality on simulated-timing reports. Every
+//! fourth case additionally runs under a random recoverable fault plan
+//! and must recover to byte-identical output.
+//!
+//! On divergence the case is shrunk (script steps, AST nodes, then the
+//! execution configuration) and written as a replayable `.case` file; the
+//! process exits non-zero.
+//!
+//! ```text
+//! mgpu-fuzz [--seed N] [--budget N|Ns] [--out DIR]
+//! mgpu-fuzz --dump-corpus DIR --count N [--seed N]
+//! ```
+//!
+//! `--budget 200` runs 200 cases; `--budget 60s` runs for 60 seconds.
+//! `--dump-corpus` writes a golden corpus of verified-clean cases (every
+//! third with a fault plan attached) instead of fuzzing.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use mgpu_conformance::{
+    check_case, check_fault_recovery, format_case, lattice, random_recovery_plan, run_case,
+    shrink_case, shrink_point, CaseFile, ExecPoint,
+};
+use mgpu_gles::FaultPlan;
+use mgpu_prop::shadergen::{gen_case, ConfCase};
+use mgpu_prop::Rng;
+use mgpu_tbdr::Platform;
+
+/// Predicate evaluations granted to the shrinker per divergence.
+const SHRINK_BUDGET: usize = 400;
+
+enum Budget {
+    Cases(u64),
+    Time(Duration),
+}
+
+struct Options {
+    seed: u64,
+    budget: Budget,
+    out: PathBuf,
+    dump_corpus: Option<(PathBuf, u64)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mgpu-fuzz [--seed N] [--budget N|Ns] [--out DIR]\n\
+         \x20      mgpu-fuzz --dump-corpus DIR --count N [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut seed = 1u64;
+    let mut budget = Budget::Cases(200);
+    let mut out = PathBuf::from(".");
+    let mut corpus_dir: Option<PathBuf> = None;
+    let mut count = 12u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--seed" => {
+                seed = value("--seed").parse().unwrap_or_else(|_| usage());
+            }
+            "--budget" => {
+                let text = value("--budget");
+                budget = match text.strip_suffix('s') {
+                    Some(secs) => Budget::Time(Duration::from_secs_f64(
+                        secs.parse().unwrap_or_else(|_| usage()),
+                    )),
+                    None => Budget::Cases(text.parse().unwrap_or_else(|_| usage())),
+                };
+            }
+            "--out" => out = PathBuf::from(value("--out")),
+            "--dump-corpus" => corpus_dir = Some(PathBuf::from(value("--dump-corpus"))),
+            "--count" => count = value("--count").parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    Options {
+        seed,
+        budget,
+        out,
+        dump_corpus: corpus_dir.map(|dir| (dir, count)),
+    }
+}
+
+/// Per-case RNG derived from the run seed; independent of how many cases
+/// ran before it, so any failure is replayable from (seed, index) alone.
+fn rng_for(seed: u64, index: u64) -> Rng {
+    Rng::new(seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+fn write_case(path: &PathBuf, file: &CaseFile) {
+    if let Err(e) = std::fs::write(path, format_case(file)) {
+        eprintln!("failed to write {}: {e}", path.display());
+    } else {
+        println!("  wrote {}", path.display());
+    }
+}
+
+/// Shrinks and records a lattice divergence.
+fn handle_config_divergence(opts: &Options, index: u64, case: &ConfCase, point_text: &str) {
+    let shrunk = shrink_case(
+        case,
+        |candidate| check_case(candidate).is_some(),
+        SHRINK_BUDGET,
+    );
+    let point = ExecPoint::parse(point_text).ok().map(|point| {
+        shrink_point(point, |&candidate| {
+            let platform = Platform::videocore_iv();
+            let base = run_case(&shrunk, &platform, ExecPoint::baseline(), None, false);
+            let got = run_case(&shrunk, &platform, candidate, None, false);
+            base.transcript != got.transcript || base.report != got.report
+        })
+    });
+    let file = CaseFile {
+        case: shrunk,
+        faults: None,
+        recover: false,
+        point,
+    };
+    write_case(
+        &opts.out.join(format!("fuzz-{}-{index}.case", opts.seed)),
+        &file,
+    );
+}
+
+/// Shrinks and records a fault-recovery divergence.
+fn handle_fault_divergence(opts: &Options, index: u64, case: &ConfCase, plan: &FaultPlan) {
+    let shrunk = shrink_case(
+        case,
+        |candidate| check_fault_recovery(candidate, plan).is_some(),
+        SHRINK_BUDGET,
+    );
+    let file = CaseFile {
+        case: shrunk,
+        faults: Some(plan.clone()),
+        recover: true,
+        point: None,
+    };
+    write_case(
+        &opts.out.join(format!("fuzz-{}-{index}.case", opts.seed)),
+        &file,
+    );
+}
+
+fn dump_corpus(opts: &Options, dir: &PathBuf, count: u64) -> i32 {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return 1;
+    }
+    let mut written = 0u64;
+    let mut index = 0u64;
+    while written < count {
+        let mut rng = rng_for(opts.seed, index);
+        index += 1;
+        let case = gen_case(&mut rng);
+        let faults = (written % 3 == 2).then(|| random_recovery_plan(&mut rng));
+        // Only verified-clean cases become goldens.
+        let clean = match &faults {
+            None => check_case(&case).is_none(),
+            Some(plan) => check_fault_recovery(&case, plan).is_none(),
+        };
+        if !clean {
+            eprintln!("skipping divergent candidate {index} (investigate separately)");
+            continue;
+        }
+        let file = CaseFile {
+            case,
+            recover: faults.is_some(),
+            faults,
+            point: None,
+        };
+        write_case(&dir.join(format!("corpus-{written:03}.case")), &file);
+        written += 1;
+    }
+    println!("corpus: {written} cases in {}", dir.display());
+    0
+}
+
+fn main() {
+    let opts = parse_args();
+    if let Some((dir, count)) = &opts.dump_corpus {
+        std::process::exit(dump_corpus(&opts, dir, *count));
+    }
+
+    println!(
+        "mgpu-fuzz: seed {}, lattice of {} points x 2 platforms",
+        opts.seed,
+        lattice().len()
+    );
+    let start = Instant::now();
+    let mut cases = 0u64;
+    let mut fault_checks = 0u64;
+    let mut divergences = 0u64;
+    loop {
+        match opts.budget {
+            Budget::Cases(n) if cases >= n => break,
+            Budget::Time(limit) if start.elapsed() >= limit => break,
+            _ => {}
+        }
+        let mut rng = rng_for(opts.seed, cases);
+        let case = gen_case(&mut rng);
+        if let Some(divergence) = check_case(&case) {
+            divergences += 1;
+            println!("case {cases}: DIVERGENCE {divergence}");
+            handle_config_divergence(&opts, cases, &case, &divergence.point);
+        } else if cases % 4 == 3 {
+            let plan = random_recovery_plan(&mut rng);
+            fault_checks += 1;
+            if let Some(divergence) = check_fault_recovery(&case, &plan) {
+                divergences += 1;
+                println!("case {cases}: FAULT DIVERGENCE {divergence} (plan `{plan}`)");
+                handle_fault_divergence(&opts, cases, &case, &plan);
+            }
+        }
+        cases += 1;
+        if cases.is_multiple_of(50) {
+            println!(
+                "  {cases} cases ({fault_checks} with faults), {divergences} divergences, {:.1}s",
+                start.elapsed().as_secs_f64()
+            );
+        }
+    }
+    println!(
+        "done: {cases} cases ({fault_checks} with faults), {divergences} divergences in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+    if divergences > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,430 @@
+//! The replayable `.case` file format.
+//!
+//! A `.case` file is a line-oriented, diff-friendly serialisation of a
+//! [`ConfCase`] plus the context needed to replay a failure: an optional
+//! [`FaultPlan`] (in its canonical `MGPU_FAULTS` spelling) with the
+//! recovery switch, and an optional [`ExecPoint`] when the divergence is
+//! configuration-specific. Shader text is embedded verbatim between
+//! `shader <<<` and `>>>` lines; interface metadata is *not* stored — it
+//! is re-derived by parsing ([`spec_from_source`]).
+//!
+//! Every float is written as the 8-hex-digit bit pattern of its `f32`
+//! (`3f800000` is `1.0`), because generated cases deliberately contain
+//! NaNs and infinities and a decimal round-trip would corrupt payloads.
+
+use mgpu_gles::FaultPlan;
+use mgpu_prop::shadergen::{ConfCase, Step, TexFormat, TextureSpec};
+
+use crate::lattice::ExecPoint;
+use crate::run::spec_from_source;
+
+/// A case plus its replay context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseFile {
+    /// The case itself.
+    pub case: ConfCase,
+    /// Fault plan to install, if the failure involved faults.
+    pub faults: Option<FaultPlan>,
+    /// Whether the runner's recovery layer was active.
+    pub recover: bool,
+    /// Pinned execution point, when the divergence was found at (or
+    /// shrunk to) a specific configuration.
+    pub point: Option<ExecPoint>,
+}
+
+fn hex_f32(x: f32) -> String {
+    format!("{:08x}", x.to_bits())
+}
+
+fn hex_vec4(v: [f32; 4]) -> String {
+    v.iter().map(|&x| hex_f32(x)).collect::<Vec<_>>().join(" ")
+}
+
+/// Serialises a [`CaseFile`] into the `.case` text format.
+#[must_use]
+pub fn format_case(file: &CaseFile) -> String {
+    let mut out = String::new();
+    out.push_str("mgpu-case v1\n");
+    out.push_str(&format!("size {} {}\n", file.case.width, file.case.height));
+    if let Some(point) = &file.point {
+        out.push_str(&format!("point {point}\n"));
+    }
+    if let Some(plan) = &file.faults {
+        out.push_str(&format!("faults {plan}\n"));
+        out.push_str(&format!(
+            "recover {}\n",
+            if file.recover { "on" } else { "off" }
+        ));
+    }
+    for shader in &file.case.shaders {
+        out.push_str("shader <<<\n");
+        out.push_str(&shader.source);
+        if !shader.source.ends_with('\n') {
+            out.push('\n');
+        }
+        out.push_str(">>>\n");
+    }
+    for tex in &file.case.textures {
+        let fmt = match tex.format {
+            TexFormat::Rgba8 => "rgba8",
+            TexFormat::Rgb8 => "rgb8",
+        };
+        out.push_str(&format!("texture {fmt} {}\n", tex.seed));
+    }
+    for (name, corners) in &file.case.overrides {
+        let words: Vec<String> = corners
+            .iter()
+            .flat_map(|corner| corner.iter().map(|&x| hex_f32(x)))
+            .collect();
+        out.push_str(&format!("override {name} {}\n", words.join(" ")));
+    }
+    for step in &file.case.steps {
+        out.push_str(&format_step(step));
+        out.push('\n');
+    }
+    out
+}
+
+fn format_step(step: &Step) -> String {
+    match step {
+        Step::UseProgram { shader } => format!("step use {shader}"),
+        Step::Relink { shader } => format!("step relink {shader}"),
+        Step::SetUniform {
+            shader,
+            name,
+            value,
+        } => format!("step uniform {shader} {name} {}", hex_vec4(*value)),
+        Step::SetSampler { shader, name, unit } => {
+            format!("step sampler {shader} {name} {unit}")
+        }
+        Step::BindTexture { unit, slot } => format!("step bind {unit} {slot}"),
+        Step::Upload { slot, seed, sub } => {
+            format!("step upload {slot} {seed} {}", u8::from(*sub))
+        }
+        Step::Target { slot: None } => "step target surface".to_owned(),
+        Step::Target { slot: Some(slot) } => format!("step target {slot}"),
+        Step::Clear { rgba } => format!("step clear {}", hex_vec4(*rgba)),
+        Step::Draw { band: None } => "step draw".to_owned(),
+        Step::Draw {
+            band: Some((y0, y1)),
+        } => format!("step draw {y0} {y1}"),
+        Step::CopyOut { slot, sub } => format!("step copy {slot} {}", u8::from(*sub)),
+        Step::ReadPixels => "step readpixels".to_owned(),
+        Step::ReadTexture { slot } => format!("step readtexture {slot}"),
+    }
+}
+
+struct Parser<'a> {
+    words: std::str::SplitWhitespace<'a>,
+    line_no: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn word(&mut self, what: &str) -> Result<&'a str, String> {
+        self.words
+            .next()
+            .ok_or_else(|| format!("line {}: missing {what}", self.line_no))
+    }
+
+    fn num<T: std::str::FromStr>(&mut self, what: &str) -> Result<T, String> {
+        let word = self.word(what)?;
+        word.parse()
+            .map_err(|_| format!("line {}: bad {what} `{word}`", self.line_no))
+    }
+
+    fn f32(&mut self, what: &str) -> Result<f32, String> {
+        let word = self.word(what)?;
+        let bits = u32::from_str_radix(word, 16)
+            .map_err(|_| format!("line {}: bad {what} bits `{word}`", self.line_no))?;
+        if word.len() != 8 {
+            return Err(format!(
+                "line {}: {what} must be 8 hex digits, got `{word}`",
+                self.line_no
+            ));
+        }
+        Ok(f32::from_bits(bits))
+    }
+
+    fn vec4(&mut self, what: &str) -> Result<[f32; 4], String> {
+        Ok([
+            self.f32(what)?,
+            self.f32(what)?,
+            self.f32(what)?,
+            self.f32(what)?,
+        ])
+    }
+
+    fn done(mut self) -> Result<(), String> {
+        match self.words.next() {
+            Some(extra) => Err(format!(
+                "line {}: unexpected trailing `{extra}`",
+                self.line_no
+            )),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Parses the `.case` text format back into a [`CaseFile`], re-deriving
+/// shader interface metadata from the embedded source.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse_case(text: &str) -> Result<CaseFile, String> {
+    let mut lines = text.lines().enumerate();
+    let mut file = CaseFile {
+        case: ConfCase {
+            width: 0,
+            height: 0,
+            shaders: Vec::new(),
+            textures: Vec::new(),
+            overrides: Vec::new(),
+            steps: Vec::new(),
+        },
+        faults: None,
+        recover: false,
+        point: None,
+    };
+    let mut saw_header = false;
+    let mut saw_size = false;
+    while let Some((index, line)) = lines.next() {
+        let line_no = index + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if !saw_header {
+            if trimmed != "mgpu-case v1" {
+                return Err(format!("line {line_no}: expected `mgpu-case v1` header"));
+            }
+            saw_header = true;
+            continue;
+        }
+        let (keyword, rest) = match trimmed.split_once(char::is_whitespace) {
+            Some((k, r)) => (k, r.trim()),
+            None => (trimmed, ""),
+        };
+        let mut p = Parser {
+            words: rest.split_whitespace(),
+            line_no,
+        };
+        match keyword {
+            "size" => {
+                file.case.width = p.num("width")?;
+                file.case.height = p.num("height")?;
+                p.done()?;
+                saw_size = true;
+            }
+            "point" => {
+                file.point =
+                    Some(ExecPoint::parse(rest).map_err(|e| format!("line {line_no}: {e}"))?);
+            }
+            "faults" => {
+                file.faults =
+                    Some(FaultPlan::parse(rest).map_err(|e| format!("line {line_no}: {e}"))?);
+            }
+            "recover" => {
+                file.recover = match rest {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("line {line_no}: bad recover switch `{other}`")),
+                };
+            }
+            "shader" => {
+                if rest != "<<<" {
+                    return Err(format!("line {line_no}: expected `shader <<<`"));
+                }
+                let mut source = String::new();
+                let mut closed = false;
+                for (_, body) in lines.by_ref() {
+                    if body == ">>>" {
+                        closed = true;
+                        break;
+                    }
+                    source.push_str(body);
+                    source.push('\n');
+                }
+                if !closed {
+                    return Err(format!("line {line_no}: unterminated shader block"));
+                }
+                file.case.shaders.push(spec_from_source(&source));
+            }
+            "texture" => {
+                let format = match p.word("texture format")? {
+                    "rgba8" => TexFormat::Rgba8,
+                    "rgb8" => TexFormat::Rgb8,
+                    other => {
+                        return Err(format!("line {line_no}: unknown texture format `{other}`"))
+                    }
+                };
+                let seed = p.num("texture seed")?;
+                p.done()?;
+                file.case.textures.push(TextureSpec { format, seed });
+            }
+            "override" => {
+                let name = p.word("varying name")?.to_owned();
+                let mut corners = [[0.0f32; 4]; 4];
+                for corner in &mut corners {
+                    *corner = p.vec4("override component")?;
+                }
+                p.done()?;
+                file.case.overrides.push((name, corners));
+            }
+            "step" => {
+                let step = parse_step(&mut p)?;
+                p.done()?;
+                file.case.steps.push(step);
+            }
+            other => return Err(format!("line {line_no}: unknown keyword `{other}`")),
+        }
+    }
+    if !saw_header {
+        return Err("empty case file".to_owned());
+    }
+    if !saw_size {
+        return Err("case file has no `size` line".to_owned());
+    }
+    Ok(file)
+}
+
+fn parse_step(p: &mut Parser<'_>) -> Result<Step, String> {
+    let verb = p.word("step verb")?;
+    Ok(match verb {
+        "use" => Step::UseProgram {
+            shader: p.num("shader index")?,
+        },
+        "relink" => Step::Relink {
+            shader: p.num("shader index")?,
+        },
+        "uniform" => Step::SetUniform {
+            shader: p.num("shader index")?,
+            name: p.word("uniform name")?.to_owned(),
+            value: p.vec4("uniform component")?,
+        },
+        "sampler" => Step::SetSampler {
+            shader: p.num("shader index")?,
+            name: p.word("sampler name")?.to_owned(),
+            unit: p.num("texture unit")?,
+        },
+        "bind" => Step::BindTexture {
+            unit: p.num("texture unit")?,
+            slot: p.num("texture slot")?,
+        },
+        "upload" => Step::Upload {
+            slot: p.num("texture slot")?,
+            seed: p.num("texel seed")?,
+            sub: p.num::<u8>("sub flag")? != 0,
+        },
+        "target" => {
+            let word = p.word("target")?;
+            if word == "surface" {
+                Step::Target { slot: None }
+            } else {
+                Step::Target {
+                    slot: Some(
+                        word.parse()
+                            .map_err(|_| format!("line {}: bad target slot `{word}`", p.line_no))?,
+                    ),
+                }
+            }
+        }
+        "clear" => Step::Clear {
+            rgba: p.vec4("clear component")?,
+        },
+        "draw" => match p.words.next() {
+            None => Step::Draw { band: None },
+            Some(word) => {
+                let y0 = word
+                    .parse()
+                    .map_err(|_| format!("line {}: bad band row `{word}`", p.line_no))?;
+                let y1 = p.num("band end row")?;
+                Step::Draw {
+                    band: Some((y0, y1)),
+                }
+            }
+        },
+        "copy" => Step::CopyOut {
+            slot: p.num("texture slot")?,
+            sub: p.num::<u8>("sub flag")? != 0,
+        },
+        "readpixels" => Step::ReadPixels,
+        "readtexture" => Step::ReadTexture {
+            slot: p.num("texture slot")?,
+        },
+        other => return Err(format!("line {}: unknown step `{other}`", p.line_no)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_prop::run_cases;
+    use mgpu_prop::shadergen::gen_case;
+
+    #[test]
+    fn hex_floats_round_trip_nan_payloads() {
+        for x in [0.0f32, -0.0, 1.5, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut p = Parser {
+                words: hex_f32(x).leak().split_whitespace(),
+                line_no: 1,
+            };
+            assert_eq!(p.f32("x").unwrap().to_bits(), x.to_bits());
+        }
+        let nan = f32::from_bits(0x7fc0_1234);
+        let mut p = Parser {
+            words: hex_f32(nan).leak().split_whitespace(),
+            line_no: 1,
+        };
+        assert_eq!(p.f32("x").unwrap().to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn generated_cases_round_trip() {
+        run_cases(48, |rng| {
+            let file = CaseFile {
+                case: gen_case(rng),
+                faults: if rng.bool() {
+                    Some(crate::oracle::random_recovery_plan(rng))
+                } else {
+                    None
+                },
+                recover: rng.bool(),
+                point: if rng.bool() {
+                    Some(*rng.pick(&crate::lattice::lattice()))
+                } else {
+                    None
+                },
+            };
+            // Compare via the canonical text: generated uniform values
+            // deliberately include NaNs, which defeat derived `PartialEq`
+            // even though the bits round-trip exactly.
+            let text = format_case(&file);
+            let parsed = parse_case(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            assert_eq!(format_case(&parsed), text);
+            assert_eq!(parsed.case.shaders, file.case.shaders);
+            assert_eq!(parsed.faults, file.faults);
+            assert_eq!(parsed.point, file.point);
+        });
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_case("").is_err());
+        assert!(parse_case("mgpu-case v1\n").is_err()); // no size
+        assert!(parse_case("mgpu-case v2\nsize 4 4\n").is_err());
+        assert!(parse_case("mgpu-case v1\nsize 4\n").is_err());
+        assert!(parse_case("mgpu-case v1\nsize 4 4\nstep warp 1\n").is_err());
+        assert!(parse_case("mgpu-case v1\nsize 4 4\nstep clear 0 0 0 0\n").is_err());
+        assert!(parse_case("mgpu-case v1\nsize 4 4\nshader <<<\nvoid main() {}\n").is_err());
+        assert!(parse_case("mgpu-case v1\nsize 4 4\ntexture rgba16 1\n").is_err());
+        assert!(parse_case("mgpu-case v1\nsize 4 4 9\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "mgpu-case v1\n\n# a comment\nsize 4 4\nstep readpixels\n";
+        let file = parse_case(text).unwrap();
+        assert_eq!(file.case.steps, vec![Step::ReadPixels]);
+    }
+}

@@ -1519,6 +1519,7 @@ impl Gl {
                     shader_hash: program.shader_hash,
                     uniform_hash: program.uniforms.stable_hash(),
                     engine: exec.engine(),
+                    spec: exec.specialization(),
                     width,
                     height,
                     channels: ch,
@@ -1530,6 +1531,7 @@ impl Gl {
                         &program.shader,
                         &program.uniforms,
                         exec.engine(),
+                        exec.specialization(),
                         &corners,
                         width,
                         // Populated only while the cache is disabled, so

@@ -46,6 +46,14 @@ pub const POOL_ENV: &str = "MGPU_POOL";
 /// then rebuilds its specialised shader, column table and engine seats.
 pub const PLAN_CACHE_ENV: &str = "MGPU_PLAN_CACHE";
 
+/// Environment variable disabling bind-time uniform specialisation
+/// (`off`/`0`/`false`/`no`): the batched engine then interprets the
+/// original shader with uniforms resolved at seat bind time, exactly like
+/// the scalar tier. A pure wall-clock knob — the conformance lattice holds
+/// spec-on and spec-off byte-identical — and the isolation lever when a
+/// divergence needs attributing to specialisation vs the batch engine.
+pub const SPEC_ENV: &str = "MGPU_SPEC";
+
 /// Which functional fragment interpreter computes fragment colours.
 ///
 /// Both engines are bit-exact with each other — the scalar engine is the
@@ -75,6 +83,7 @@ struct EnvDefaults {
     engine: Engine,
     pool: bool,
     plan_cache: bool,
+    spec: bool,
 }
 
 fn env_defaults() -> EnvDefaults {
@@ -86,6 +95,7 @@ fn env_defaults() -> EnvDefaults {
         },
         pool: switch_enabled(POOL_ENV),
         plan_cache: switch_enabled(PLAN_CACHE_ENV),
+        spec: switch_enabled(SPEC_ENV),
     })
 }
 
@@ -132,22 +142,25 @@ pub struct ExecConfig {
     threads: usize,
     engine: Engine,
     pool: bool,
+    spec: bool,
 }
 
 impl ExecConfig {
-    /// The original single-threaded scalar execution path (worker pool and
-    /// plan cache bypassed).
+    /// The original single-threaded scalar execution path (worker pool,
+    /// plan cache and bind-time specialisation bypassed).
     #[must_use]
     pub const fn serial() -> Self {
         ExecConfig {
             threads: 1,
             engine: Engine::Scalar,
             pool: false,
+            spec: false,
         }
     }
 
     /// Executes fragments on `threads` worker threads (clamped to ≥ 1),
-    /// with the environment-selected engine and pool mode.
+    /// with the environment-selected engine, pool and specialisation
+    /// modes.
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
         let defaults = env_defaults();
@@ -155,6 +168,7 @@ impl ExecConfig {
             threads: threads.max(1),
             engine: defaults.engine,
             pool: defaults.pool,
+            spec: defaults.spec,
         }
     }
 
@@ -200,6 +214,19 @@ impl ExecConfig {
         self
     }
 
+    /// This configuration with bind-time uniform specialisation switched
+    /// on or off. Specialisation only applies on the batched tier (the
+    /// scalar tier is always the pristine reference interpreter); with it
+    /// off, the batched engine runs the original shader with uniforms
+    /// resolved at seat bind time. Byte-identical either way — this knob
+    /// exists so the conformance lattice can attribute a divergence to
+    /// specialisation as opposed to lane batching.
+    #[must_use]
+    pub const fn with_specialization(mut self, spec: bool) -> Self {
+        self.spec = spec;
+        self
+    }
+
     /// The configured worker-thread count (≥ 1).
     #[must_use]
     pub fn threads(&self) -> usize {
@@ -217,6 +244,13 @@ impl ExecConfig {
     #[must_use]
     pub fn pool_enabled(&self) -> bool {
         self.pool
+    }
+
+    /// Whether the batched tier specialises shaders against their bound
+    /// uniforms at bind time (always `false` on the scalar tier).
+    #[must_use]
+    pub fn specialization(&self) -> bool {
+        self.spec
     }
 
     /// Whether this configuration takes the serial path.
@@ -280,6 +314,20 @@ mod tests {
         assert!(cfg.with_pool(true).pool_enabled());
         // Toggling the pool leaves the other knobs alone.
         assert_eq!(cfg.threads(), 4);
+    }
+
+    #[test]
+    fn specialization_builder_round_trips() {
+        assert!(!ExecConfig::serial().specialization());
+        let cfg = ExecConfig::with_threads(4).with_specialization(false);
+        assert!(!cfg.specialization());
+        assert!(cfg.with_specialization(true).specialization());
+        // Toggling specialisation leaves the other knobs alone.
+        assert_eq!(cfg.threads(), 4);
+        assert_eq!(
+            cfg.pool_enabled(),
+            ExecConfig::with_threads(4).pool_enabled()
+        );
     }
 
     #[test]

@@ -104,6 +104,58 @@ impl fmt::Display for FaultEvent {
     }
 }
 
+/// A structured parse error for the `MGPU_FAULTS` grammar.
+///
+/// Each variant carries the offending directive token verbatim, so callers
+/// can surface exactly which part of the spec was rejected (and tests can
+/// assert the failure *class*, not just "some error").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpecError {
+    /// The directive matched no known prefix.
+    UnknownDirective(String),
+    /// An `@<n>` or `seed=<n>` operand was not a `u64`.
+    BadInteger(String),
+    /// A `p_*=<f64>` operand was not a float.
+    BadProbability(String),
+    /// A `p_*` value fell outside `[0, 1]`.
+    ProbabilityRange(String),
+    /// A `watchdog=<time>` operand was not a number (with optional
+    /// `ns`/`us`/`ms`/`s` suffix).
+    BadDuration(String),
+    /// A `watchdog=<time>` operand was negative or non-finite.
+    DurationRange(String),
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSpecError::UnknownDirective(tok) => {
+                write!(f, "unknown MGPU_FAULTS directive `{tok}`")
+            }
+            FaultSpecError::BadInteger(tok) => {
+                write!(f, "bad integer in MGPU_FAULTS directive `{tok}`")
+            }
+            FaultSpecError::BadProbability(tok) => {
+                write!(f, "bad probability in MGPU_FAULTS directive `{tok}`")
+            }
+            FaultSpecError::ProbabilityRange(tok) => {
+                write!(f, "probability out of [0,1] in `{tok}`")
+            }
+            FaultSpecError::BadDuration(tok) => {
+                write!(
+                    f,
+                    "bad duration in MGPU_FAULTS directive `{tok}` (use e.g. 800us)"
+                )
+            }
+            FaultSpecError::DurationRange(tok) => {
+                write!(f, "negative or non-finite duration in `{tok}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
 /// A deterministic schedule of faults to inject into one [`Gl`](crate::Gl)
 /// context.
 ///
@@ -239,10 +291,15 @@ impl FaultPlan {
     /// p_corrupt=<f64>   per-draw corruption probability
     /// ```
     ///
+    /// The inverse of [`FaultPlan::parse`]: any plan formats to a spec
+    /// string that parses back to an equal plan (`Display` is canonical —
+    /// watchdog budgets render in nanoseconds, zero seeds and zero
+    /// probabilities are omitted).
+    ///
     /// # Errors
     ///
-    /// Returns a human-readable message naming the offending directive.
-    pub fn parse(spec: &str) -> Result<Self, String> {
+    /// Returns a [`FaultSpecError`] naming the offending directive.
+    pub fn parse(spec: &str) -> Result<Self, FaultSpecError> {
         let mut plan = FaultPlan::default();
         for raw in spec.split(',') {
             let tok = raw.trim();
@@ -268,7 +325,7 @@ impl FaultPlan {
             } else if let Some(v) = tok.strip_prefix("p_corrupt=") {
                 plan.p_corrupt = parse_prob(v, tok)?;
             } else {
-                return Err(format!("unknown MGPU_FAULTS directive `{tok}`"));
+                return Err(FaultSpecError::UnknownDirective(tok.to_owned()));
             }
         }
         Ok(plan)
@@ -281,7 +338,7 @@ impl FaultPlan {
     /// # Errors
     ///
     /// Propagates [`FaultPlan::parse`] errors.
-    pub fn from_env() -> Result<Option<Self>, String> {
+    pub fn from_env() -> Result<Option<Self>, FaultSpecError> {
         match std::env::var("MGPU_FAULTS") {
             Ok(s) if !s.trim().is_empty() => FaultPlan::parse(&s).map(Some),
             _ => Ok(None),
@@ -289,22 +346,65 @@ impl FaultPlan {
     }
 }
 
-fn parse_u64(v: &str, tok: &str) -> Result<u64, String> {
-    v.parse::<u64>()
-        .map_err(|_| format!("bad integer in MGPU_FAULTS directive `{tok}`"))
+impl fmt::Display for FaultPlan {
+    /// Renders the canonical `MGPU_FAULTS` spec for this plan, such that
+    /// `FaultPlan::parse(&plan.to_string())` reproduces `plan` exactly.
+    ///
+    /// Defaults are omitted (`seed=0`, zero probabilities, no watchdog);
+    /// the empty plan renders as the empty string. Watchdog budgets render
+    /// as whole nanoseconds, which survive the f64 duration parser for any
+    /// budget below 2^53 ns (~104 days of simulated time).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if self.seed != 0 {
+            parts.push(format!("seed={}", self.seed));
+        }
+        for i in &self.ctx_loss_draws {
+            parts.push(format!("ctx@{i}"));
+        }
+        for i in &self.oom_uploads {
+            parts.push(format!("oom@{i}"));
+        }
+        for i in &self.compile_fails {
+            parts.push(format!("compile@{i}"));
+        }
+        for i in &self.corrupt_draws {
+            parts.push(format!("corrupt@{i}"));
+        }
+        if let Some(w) = self.watchdog {
+            parts.push(format!("watchdog={}ns", w.as_nanos()));
+        }
+        // `{:?}` prints the shortest decimal that parses back to the same
+        // f64, so probabilities round-trip bit-exactly through the grammar.
+        if self.p_ctx_loss > 0.0 {
+            parts.push(format!("p_ctx={:?}", self.p_ctx_loss));
+        }
+        if self.p_oom > 0.0 {
+            parts.push(format!("p_oom={:?}", self.p_oom));
+        }
+        if self.p_corrupt > 0.0 {
+            parts.push(format!("p_corrupt={:?}", self.p_corrupt));
+        }
+        f.write_str(&parts.join(","))
+    }
 }
 
-fn parse_prob(v: &str, tok: &str) -> Result<f64, String> {
+fn parse_u64(v: &str, tok: &str) -> Result<u64, FaultSpecError> {
+    v.parse::<u64>()
+        .map_err(|_| FaultSpecError::BadInteger(tok.to_owned()))
+}
+
+fn parse_prob(v: &str, tok: &str) -> Result<f64, FaultSpecError> {
     let p: f64 = v
         .parse()
-        .map_err(|_| format!("bad probability in MGPU_FAULTS directive `{tok}`"))?;
+        .map_err(|_| FaultSpecError::BadProbability(tok.to_owned()))?;
     if !(0.0..=1.0).contains(&p) {
-        return Err(format!("probability out of [0,1] in `{tok}`"));
+        return Err(FaultSpecError::ProbabilityRange(tok.to_owned()));
     }
     Ok(p)
 }
 
-fn parse_time(v: &str, tok: &str) -> Result<SimTime, String> {
+fn parse_time(v: &str, tok: &str) -> Result<SimTime, FaultSpecError> {
     let (num, scale_ns) = if let Some(n) = v.strip_suffix("ns") {
         (n, 1.0)
     } else if let Some(n) = v.strip_suffix("us") {
@@ -320,9 +420,9 @@ fn parse_time(v: &str, tok: &str) -> Result<SimTime, String> {
     let x: f64 = num
         .trim()
         .parse()
-        .map_err(|_| format!("bad duration in MGPU_FAULTS directive `{tok}` (use e.g. 800us)"))?;
+        .map_err(|_| FaultSpecError::BadDuration(tok.to_owned()))?;
     if !(x >= 0.0 && x.is_finite()) {
-        return Err(format!("negative or non-finite duration in `{tok}`"));
+        return Err(FaultSpecError::DurationRange(tok.to_owned()));
     }
     Ok(SimTime::from_nanos((x * scale_ns).round() as u64))
 }
@@ -499,13 +599,140 @@ mod tests {
     }
 
     #[test]
-    fn parse_rejects_garbage() {
-        assert!(FaultPlan::parse("ctx@x").is_err());
-        assert!(FaultPlan::parse("frobnicate=1").is_err());
-        assert!(FaultPlan::parse("p_ctx=1.5").is_err());
-        assert!(FaultPlan::parse("watchdog=fast").is_err());
+    fn parse_rejects_garbage_with_typed_errors() {
+        assert_eq!(
+            FaultPlan::parse("ctx@x"),
+            Err(FaultSpecError::BadInteger("ctx@x".into()))
+        );
+        assert_eq!(
+            FaultPlan::parse("seed=-1"),
+            Err(FaultSpecError::BadInteger("seed=-1".into()))
+        );
+        assert_eq!(
+            FaultPlan::parse("frobnicate=1"),
+            Err(FaultSpecError::UnknownDirective("frobnicate=1".into()))
+        );
+        assert_eq!(
+            FaultPlan::parse("p_ctx=maybe"),
+            Err(FaultSpecError::BadProbability("p_ctx=maybe".into()))
+        );
+        assert_eq!(
+            FaultPlan::parse("p_ctx=1.5"),
+            Err(FaultSpecError::ProbabilityRange("p_ctx=1.5".into()))
+        );
+        assert_eq!(
+            FaultPlan::parse("watchdog=fast"),
+            Err(FaultSpecError::BadDuration("watchdog=fast".into()))
+        );
+        assert_eq!(
+            FaultPlan::parse("watchdog=-5us"),
+            Err(FaultSpecError::DurationRange("watchdog=-5us".into()))
+        );
+        // An error anywhere poisons the whole spec, even after valid
+        // directives.
+        assert_eq!(
+            FaultPlan::parse("seed=7,ctx@2,bogus"),
+            Err(FaultSpecError::UnknownDirective("bogus".into()))
+        );
         assert!(FaultPlan::parse("").unwrap().is_empty());
         assert!(FaultPlan::parse(" , ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn display_emits_canonical_spec() {
+        let plan = FaultPlan::seeded(7)
+            .ctx_loss_at_draw(5)
+            .oom_at_upload(3)
+            .compile_fail_at(0)
+            .corrupt_at_draw(9)
+            .watchdog_budget(SimTime::from_micros(800))
+            .p_ctx_loss(0.01);
+        assert_eq!(
+            plan.to_string(),
+            "seed=7,ctx@5,oom@3,compile@0,corrupt@9,watchdog=800000ns,p_ctx=0.01"
+        );
+        assert_eq!(FaultPlan::default().to_string(), "");
+    }
+
+    /// Grammar property: `parse` is a left inverse of `Display` over the
+    /// whole plan space (structured equality, not just string agreement).
+    #[test]
+    fn spec_format_parse_round_trips() {
+        mgpu_prop::run_cases(512, |rng| {
+            let mut plan = FaultPlan::seeded(if rng.bool() { rng.next_u64() } else { 0 });
+            for _ in 0..rng.usize_in(0, 4) {
+                plan = plan.ctx_loss_at_draw(rng.u64_in(0, 1_000));
+            }
+            for _ in 0..rng.usize_in(0, 4) {
+                plan = plan.oom_at_upload(rng.u64_in(0, 1_000));
+            }
+            for _ in 0..rng.usize_in(0, 4) {
+                plan = plan.compile_fail_at(rng.u64_in(0, 1_000));
+            }
+            for _ in 0..rng.usize_in(0, 4) {
+                plan = plan.corrupt_at_draw(rng.u64_in(0, 1_000));
+            }
+            if rng.bool() {
+                // Anything below 2^53 ns survives the f64 duration parser.
+                plan = plan.watchdog_budget(SimTime::from_nanos(rng.u64_in(0, 1 << 53)));
+            }
+            if rng.bool() {
+                plan = plan.p_ctx_loss(rng.f64(0.0, 1.0));
+            }
+            if rng.bool() {
+                plan = plan.p_oom(rng.f64(0.0, 1.0));
+            }
+            if rng.bool() {
+                plan = plan.p_corrupt(rng.f64(0.0, 1.0));
+            }
+            let spec = plan.to_string();
+            let parsed =
+                FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("`{spec}` rejected: {e}"));
+            assert_eq!(parsed, plan, "spec `{spec}` did not round-trip");
+        });
+    }
+
+    /// Grammar property: malformed operands are rejected with the error
+    /// variant matching the directive class, never a panic or silent skip.
+    #[test]
+    fn malformed_operands_map_to_typed_errors() {
+        mgpu_prop::run_cases(256, |rng| {
+            // Letters that can never assemble into a parseable float
+            // ("inf"/"nan") or a known directive name.
+            const JUNK: [char; 8] = ['g', 'h', 'j', 'k', 'q', 'r', 'w', 'z'];
+            let junk: String = (0..rng.usize_in(1, 6)).map(|_| *rng.pick(&JUNK)).collect();
+            let (spec, want) = match rng.u32_in(0, 5) {
+                0 => {
+                    let tok = format!(
+                        "{}@{junk}",
+                        *rng.pick(&["ctx", "oom", "compile", "corrupt"])
+                    );
+                    (tok.clone(), FaultSpecError::BadInteger(tok))
+                }
+                1 => {
+                    let tok = format!("p_ctx={junk}");
+                    (tok.clone(), FaultSpecError::BadProbability(tok))
+                }
+                2 => {
+                    let out = if rng.bool() {
+                        rng.f64(1.0, 100.0) + 1e-9
+                    } else {
+                        -rng.f64(1e-9, 100.0)
+                    };
+                    let tok = format!("p_oom={out:?}");
+                    (tok.clone(), FaultSpecError::ProbabilityRange(tok))
+                }
+                3 => {
+                    let tok = format!("watchdog={junk}ms");
+                    (tok.clone(), FaultSpecError::BadDuration(tok))
+                }
+                _ => {
+                    let tok = format!("{junk}=1");
+                    (tok.clone(), FaultSpecError::UnknownDirective(tok))
+                }
+            };
+            assert_eq!(FaultPlan::parse(&spec), Err(want), "spec `{spec}`");
+        });
     }
 
     #[test]

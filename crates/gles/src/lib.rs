@@ -61,7 +61,7 @@ mod types;
 pub use context::{DrawQuad, Gl};
 pub use error::GlError;
 pub use exec::{Engine, ExecConfig};
-pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSite};
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSite, FaultSpecError};
 pub use plan_cache::PlanCacheStats;
 pub use types::{
     BufferId, BufferUsage, FramebufferId, ProgramId, TextureFilter, TextureFormat, TextureId,

@@ -60,6 +60,10 @@ pub(crate) struct PlanKey {
     pub uniform_hash: u64,
     /// Fragment engine tier the plan's seats were built for.
     pub engine: Engine,
+    /// Whether the plan's shader was specialised against the bound
+    /// uniforms at build time (`MGPU_SPEC`) — a spec-on plan must never be
+    /// served to a spec-off draw, or vice versa.
+    pub spec: bool,
     /// Target geometry the column table was hoisted for.
     pub width: u32,
     /// Target height (plans are band-agnostic but the band validator
@@ -244,6 +248,7 @@ mod tests {
             &shader,
             &UniformValues::new(),
             Engine::Scalar,
+            false,
             &[texcoord_corners()],
             8,
             None,
@@ -257,6 +262,7 @@ mod tests {
             shader_hash: 1,
             uniform_hash,
             engine: Engine::Scalar,
+            spec: false,
             width: 8,
             height: 8,
             channels: 4,

@@ -336,17 +336,19 @@ pub fn rasterize_quad_rows_into(
 
     // Bind-time specialisation: fold the bound uniforms into the shader
     // as constants, once per draw. Only the batched tier uses it — the
-    // scalar tier stays the pristine reference path. Timing is computed
-    // by the caller from the original shader, so this can never perturb
-    // the simulated cost.
+    // scalar tier stays the pristine reference path — and `MGPU_SPEC=off`
+    // (or `ExecConfig::with_specialization(false)`) skips it entirely, in
+    // which case the batch executor resolves uniforms at seat bind time.
+    // Timing is computed by the caller from the original shader, so this
+    // can never perturb the simulated cost.
     let engine_kind = exec.engine();
     let specialized;
     let shader = match engine_kind {
-        Engine::Scalar => shader,
-        Engine::Batched => {
+        Engine::Batched if exec.specialization() => {
             specialized = specialize(shader, uniforms)?;
             &specialized
         }
+        Engine::Scalar | Engine::Batched => shader,
     };
     let table = ColumnTable::new(corners, width);
 
@@ -657,14 +659,15 @@ impl DrawPlan {
         source: &Arc<Shader>,
         uniforms: &UniformValues,
         engine: Engine,
+        spec: bool,
         corners: &[VaryingCorners],
         width: u32,
         recycled: Option<DrawPlan>,
     ) -> Result<DrawPlan, ExecError> {
         check_corners(source, corners)?;
         let shader = match engine {
-            Engine::Scalar => Arc::clone(source),
-            Engine::Batched => Arc::new(specialize(source, uniforms)?),
+            Engine::Batched if spec => Arc::new(specialize(source, uniforms)?),
+            Engine::Scalar | Engine::Batched => Arc::clone(source),
         };
         let slots = corners.len();
         let mut seats = match recycled {
@@ -1169,6 +1172,7 @@ mod tests {
             &shader,
             uniforms,
             engine,
+            engine == Engine::Batched,
             &[texcoord_corners()],
             w,
             plan.take(),
@@ -1269,6 +1273,7 @@ mod tests {
             &shader,
             &UniformValues::new(),
             Engine::Batched,
+            true,
             &[texcoord_corners()],
             w,
             None,
@@ -1307,6 +1312,7 @@ mod tests {
             &shader,
             &UniformValues::new(),
             Engine::Scalar,
+            false,
             &[texcoord_corners()],
             32,
             None,

@@ -226,6 +226,87 @@ fn disabling_the_cache_mid_stream_is_transparent() {
     assert_eq!(draw(&mut gl), golden);
 }
 
+/// Regression-pins the exact counter arithmetic at the FIFO capacity
+/// boundary (cap = 128) under scripted uniform churn. Every number here
+/// is load-bearing: a change to hit accounting, eviction order or the
+/// stale-entry skip (a reinserted plan must be evicted on its *newest*
+/// queue position, not its stale one) shows up as an exact-counter
+/// mismatch, not a flaky threshold.
+#[test]
+fn churn_at_the_capacity_boundary_has_exact_counters() {
+    let mut gl = cached_gl();
+    let prog = gl.create_program(SCALE_PROG).expect("compiles");
+    gl.use_program(Some(prog)).expect("uses");
+    let set_and_draw = |gl: &mut Gl, k: u32| {
+        gl.set_uniform_scalar(prog, "u_k", k as f32).expect("sets");
+        draw(gl);
+    };
+
+    // Fill to exactly the 128-plan capacity: all misses, no eviction.
+    for k in 0..128 {
+        set_and_draw(&mut gl, k);
+    }
+    let s = gl.plan_cache_stats();
+    assert_eq!((s.misses, s.hits, s.evictions, s.entries), (128, 0, 0, 128));
+
+    // A full warm sweep at capacity: all hits, and every hit refreshes
+    // the plan's queue position (take + reinsert).
+    for k in 0..128 {
+        set_and_draw(&mut gl, k);
+    }
+    let s = gl.plan_cache_stats();
+    assert_eq!(
+        (s.misses, s.hits, s.evictions, s.entries),
+        (128, 128, 0, 128)
+    );
+
+    // The 129th distinct key evicts exactly one plan — the least recently
+    // refreshed (key 0), not the stale front-of-queue entries.
+    set_and_draw(&mut gl, 128);
+    let s = gl.plan_cache_stats();
+    assert_eq!(
+        (s.misses, s.hits, s.evictions, s.entries),
+        (129, 128, 1, 128)
+    );
+
+    // Key 0 was the victim: re-drawing it misses and evicts key 1.
+    set_and_draw(&mut gl, 0);
+    let s = gl.plan_cache_stats();
+    assert_eq!(
+        (s.misses, s.hits, s.evictions, s.entries),
+        (130, 128, 2, 128)
+    );
+
+    // Key 2 survived and its hit refreshes it past the next eviction.
+    set_and_draw(&mut gl, 2);
+    let s = gl.plan_cache_stats();
+    assert_eq!(
+        (s.misses, s.hits, s.evictions, s.entries),
+        (130, 129, 2, 128)
+    );
+
+    // Key 1 (evicted above) misses; the victim must be key 3 — key 2's
+    // refresh protected it even though its stale entry sits further
+    // forward in the queue.
+    set_and_draw(&mut gl, 1);
+    let s = gl.plan_cache_stats();
+    assert_eq!(
+        (s.misses, s.hits, s.evictions, s.entries),
+        (131, 129, 3, 128)
+    );
+
+    // Proof of the victim's identity: key 2 still hits, key 3 misses.
+    set_and_draw(&mut gl, 2);
+    let s = gl.plan_cache_stats();
+    assert_eq!((s.misses, s.hits), (131, 130), "key 2 must have survived");
+    set_and_draw(&mut gl, 3);
+    let s = gl.plan_cache_stats();
+    assert_eq!(
+        (s.misses, s.hits, s.evictions, s.entries),
+        (132, 130, 4, 128)
+    );
+}
+
 /// Replays one scripted mutation sequence and returns the pixel snapshot
 /// after every draw plus the final simulation report.
 fn run_script(

@@ -81,6 +81,11 @@ pub struct OptConfig {
     /// `MGPU_POOL` or pooled by default). Like `threads`, purely a
     /// wall-clock knob: both dispatchers are bit-exact.
     pub pool: Option<bool>,
+    /// Bind-time uniform specialisation on the batched tier (`None` keeps
+    /// the context's setting — `MGPU_SPEC` or on by default). Like
+    /// `threads`, purely a wall-clock knob: spec-on and spec-off are
+    /// bit-exact.
+    pub spec: Option<bool>,
 }
 
 impl OptConfig {
@@ -100,6 +105,7 @@ impl OptConfig {
             threads: None,
             engine: None,
             pool: None,
+            spec: None,
         }
     }
 
@@ -186,6 +192,14 @@ impl OptConfig {
     #[must_use]
     pub fn with_pool(mut self, pool: bool) -> Self {
         self.pool = Some(pool);
+        self
+    }
+
+    /// Pins bind-time uniform specialisation on (`true`) or off (`false`)
+    /// for the batched tier.
+    #[must_use]
+    pub fn with_specialization(mut self, spec: bool) -> Self {
+        self.spec = Some(spec);
         self
     }
 }

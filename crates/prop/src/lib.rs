@@ -18,6 +18,8 @@
 //!
 //! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
 
+pub mod shadergen;
+
 /// The SplitMix64 increment (the golden-ratio constant).
 const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
 

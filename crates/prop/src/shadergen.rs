@@ -1,0 +1,881 @@
+//! Seeded random kernel-source and draw-script generation.
+//!
+//! This module is the *case generator* half of the conformance subsystem
+//! (`mgpu-conformance` holds the differential oracle and shrinker). It
+//! stays dependency-free like the rest of this crate: shaders are
+//! generated as **source text** through a width-typed expression grammar
+//! that mirrors the kernel language's type rules, so every generated
+//! program compiles; draw scripts are plain data interpreted by the
+//! conformance runner against the GL context.
+//!
+//! Coverage targets, by construction:
+//!
+//! * the full expression surface — arithmetic with scalar broadcasting,
+//!   comparisons/logical ops in conditions, ternaries, swizzles (repeated
+//!   letters on reads, unique letters on writes), constructors and splats,
+//!   every component-wise builtin, `dot`, `mul24`, `texture2D`, user
+//!   helper functions, constant-bounded `for` loops and `if`/`else`;
+//! * precision qualifiers (emitted and ignored by the parser);
+//! * partial 64-lane batches — surface sizes are deliberately not
+//!   multiples of the batch width;
+//! * NaN/inf **inputs** through uniform values and varying corners
+//!   (never through literals: non-finite literals have no source form);
+//! * draw-script churn — texture uploads (fresh and sub-image), program
+//!   relinks, uniform rebinding, render-target flips, `CopyTex`
+//!   round trips, row-band draws and mid-script readbacks.
+//!
+//! Everything is a pure function of the [`Rng`](crate::Rng) handed in, so
+//! a case is replayable from its seed alone.
+
+use crate::Rng;
+
+/// A generated kernel with the interface metadata the script generator
+/// needs (the conformance runner re-derives the same lists by parsing
+/// `source`, so `.case` files only store the text).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShaderSpec {
+    /// Kernel source text. Always compiles and always writes
+    /// `gl_FragColor`.
+    pub source: String,
+    /// Declared numeric uniforms as `(name, component count)`.
+    pub uniforms: Vec<(String, u8)>,
+    /// Declared `sampler2D` uniforms (each is referenced at least once).
+    pub samplers: Vec<String>,
+    /// Declared varyings as `(name, component count)`.
+    pub varyings: Vec<(String, u8)>,
+}
+
+/// Texture storage format of a generated texture slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TexFormat {
+    /// 4 bytes per texel.
+    Rgba8,
+    /// 3 bytes per texel (the paper's fp24 channel layout).
+    Rgb8,
+}
+
+impl TexFormat {
+    /// Bytes per texel.
+    #[must_use]
+    pub fn channels(self) -> usize {
+        match self {
+            TexFormat::Rgba8 => 4,
+            TexFormat::Rgb8 => 3,
+        }
+    }
+}
+
+/// Initial contents of one texture slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TextureSpec {
+    /// Storage format.
+    pub format: TexFormat,
+    /// Seed for [`texels`]; the slot's initial bytes are
+    /// `texels(seed, w * h * channels)`.
+    pub seed: u64,
+}
+
+/// One step of a draw script. Steps that hit an invalid GL state (a
+/// feedback loop, a missing uniform after an aggressive shrink) produce a
+/// *deterministic* error that becomes part of the case transcript — the
+/// oracle compares transcripts, so error paths are differentially tested
+/// exactly like pixel paths.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// `use_program` on shader `shader`.
+    UseProgram {
+        /// Shader index into [`ConfCase::shaders`].
+        shader: u8,
+    },
+    /// Recreate shader `shader`'s program from source (a fresh handle)
+    /// and re-apply its current uniform/sampler bindings — relink churn.
+    Relink {
+        /// Shader index.
+        shader: u8,
+    },
+    /// Set a (possibly vector) uniform; extra components are ignored.
+    SetUniform {
+        /// Shader index.
+        shader: u8,
+        /// Uniform name.
+        name: String,
+        /// Value (may contain NaN/inf — those are inputs under test).
+        value: [f32; 4],
+    },
+    /// Point a sampler uniform at a texture unit.
+    SetSampler {
+        /// Shader index.
+        shader: u8,
+        /// Sampler name.
+        name: String,
+        /// GL texture unit.
+        unit: u8,
+    },
+    /// Bind texture `slot` to texture unit `unit`.
+    BindTexture {
+        /// GL texture unit.
+        unit: u8,
+        /// Texture slot index into [`ConfCase::textures`].
+        slot: u8,
+    },
+    /// Upload fresh deterministic texels into `slot` (`tex_image_2d`, or
+    /// `tex_sub_image_2d` when `sub` — the paper's reuse optimisation).
+    Upload {
+        /// Texture slot.
+        slot: u8,
+        /// Texel-stream seed for [`texels`].
+        seed: u64,
+        /// Rewrite existing storage instead of allocating fresh.
+        sub: bool,
+    },
+    /// Attach texture `slot` as the render target, or return to the
+    /// window surface (`None`).
+    Target {
+        /// Texture slot, or `None` for the surface.
+        slot: Option<u8>,
+    },
+    /// Clear the current render target.
+    Clear {
+        /// Clear colour.
+        rgba: [f32; 4],
+    },
+    /// Draw a fullscreen quad (or only rows `y0..y1` when `band` is set).
+    Draw {
+        /// Optional row band.
+        band: Option<(u32, u32)>,
+    },
+    /// Copy the current render target into texture `slot`
+    /// (`copy_tex_image_2d`, or `copy_tex_sub_image_2d` when `sub`).
+    CopyOut {
+        /// Destination texture slot.
+        slot: u8,
+        /// Reuse existing storage instead of allocating fresh.
+        sub: bool,
+    },
+    /// `read_pixels` of the current target into the transcript.
+    ReadPixels,
+    /// Read texture `slot`'s bytes into the transcript.
+    ReadTexture {
+        /// Texture slot.
+        slot: u8,
+    },
+}
+
+/// A complete generated conformance case: programs, initial textures,
+/// per-draw varying corner overrides and the draw script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfCase {
+    /// Render-surface (and texture) width.
+    pub width: u32,
+    /// Render-surface (and texture) height.
+    pub height: u32,
+    /// Generated kernels (scripts switch between them).
+    pub shaders: Vec<ShaderSpec>,
+    /// Texture slots; all sized `width` × `height`.
+    pub textures: Vec<TextureSpec>,
+    /// Varying corner overrides applied to every draw, by varying name
+    /// (filtered to the varyings the current program declares). Corner
+    /// order: (0,0), (1,0), (0,1), (1,1).
+    pub overrides: Vec<(String, [[f32; 4]; 4])>,
+    /// The script.
+    pub steps: Vec<Step>,
+}
+
+/// Deterministic texel stream: byte `i` of `texels(seed, n)` depends only
+/// on `seed` and `i`.
+#[must_use]
+pub fn texels(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = Rng::new(seed);
+    (0..len).map(|_| rng.u8()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Expression generation
+// ---------------------------------------------------------------------------
+
+/// Variables visible to the expression generator, as `(name, width)`.
+struct Scope {
+    vars: Vec<(String, u8)>,
+    samplers: Vec<String>,
+    /// `float -> float` helper functions callable from expressions.
+    helpers: Vec<String>,
+}
+
+/// Formats a finite float exactly as the AST pretty-printer does, so
+/// generated sources and reprinted sources agree on literal spelling.
+fn lit_str(v: f32) -> String {
+    let s = format!("{v:?}");
+    if s.contains('.') || s.contains('e') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// A random finite literal, biased toward small magnitudes with
+/// occasional extremes (overflow to inf *at runtime* is part of the
+/// surface under test; non-finite literals are not, as they have no
+/// source spelling).
+fn literal(rng: &mut Rng) -> f32 {
+    match rng.u32_in(0, 10) {
+        0 => *rng.pick(&[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0]),
+        1 => rng.f32(-1.0e3, 1.0e3),
+        2 => rng.f32(-1.0e-3, 1.0e-3),
+        _ => rng.f32(-4.0, 4.0),
+    }
+}
+
+const SWIZZLE_LETTERS: [char; 4] = ['x', 'y', 'z', 'w'];
+
+/// `want` swizzle letters valid for a base of width `base`; letters may
+/// repeat (legal on reads).
+fn read_swizzle(rng: &mut Rng, base: u8, want: u8) -> String {
+    (0..want)
+        .map(|_| SWIZZLE_LETTERS[rng.usize_in(0, base as usize)])
+        .collect()
+}
+
+/// `want` *distinct* swizzle letters valid for width `base` (required on
+/// assignment targets), in random order.
+fn write_swizzle(rng: &mut Rng, base: u8, want: u8) -> String {
+    let mut letters: Vec<char> = SWIZZLE_LETTERS[..base as usize].to_vec();
+    // Partial Fisher-Yates: the first `want` entries end up uniform.
+    for i in 0..want as usize {
+        let j = rng.usize_in(i, letters.len());
+        letters.swap(i, j);
+    }
+    letters[..want as usize].iter().collect()
+}
+
+/// A leaf expression of width `want`.
+fn leaf(rng: &mut Rng, scope: &Scope, want: u8) -> String {
+    let candidates: Vec<&(String, u8)> = scope.vars.iter().filter(|(_, w)| *w == want).collect();
+    match rng.u32_in(0, 4) {
+        // A variable of exactly the right width.
+        0 | 1 if !candidates.is_empty() => candidates[rng.usize_in(0, candidates.len())].0.clone(),
+        // A swizzle of any vector variable.
+        2 if scope.vars.iter().any(|(_, w)| *w >= 2) => {
+            let vecs: Vec<&(String, u8)> = scope.vars.iter().filter(|(_, w)| *w >= 2).collect();
+            let (name, width) = vecs[rng.usize_in(0, vecs.len())];
+            format!("{name}.{}", read_swizzle(rng, *width, want))
+        }
+        // A literal (splatted through a constructor above width 1).
+        _ => {
+            if want == 1 {
+                lit_str(literal(rng))
+            } else {
+                let parts: Vec<String> = (0..want).map(|_| lit_str(literal(rng))).collect();
+                format!("vec{want}({})", parts.join(", "))
+            }
+        }
+    }
+}
+
+/// A boolean condition (scalar comparisons, optionally combined).
+fn condition(rng: &mut Rng, scope: &Scope, fuel: &mut i32, depth: u32) -> String {
+    *fuel -= 1;
+    if depth > 0 && *fuel > 0 && rng.u32_in(0, 4) == 0 {
+        let a = condition(rng, scope, fuel, depth - 1);
+        let b = condition(rng, scope, fuel, depth - 1);
+        let op = if rng.bool() { "&&" } else { "||" };
+        return format!("({a} {op} {b})");
+    }
+    if depth > 0 && *fuel > 0 && rng.u32_in(0, 6) == 0 {
+        return format!("(!{})", condition(rng, scope, fuel, depth - 1));
+    }
+    let cmp = *rng.pick(&["<", "<=", ">", ">=", "==", "!="]);
+    let a = expr(rng, scope, 1, fuel, depth.saturating_sub(1));
+    let b = expr(rng, scope, 1, fuel, depth.saturating_sub(1));
+    format!("({a} {cmp} {b})")
+}
+
+/// A width-typed random expression. Always well-typed under the kernel
+/// language's rules (scalar broadcasting on arithmetic, width-matched
+/// builtins), so the surrounding program always compiles.
+fn expr(rng: &mut Rng, scope: &Scope, want: u8, fuel: &mut i32, depth: u32) -> String {
+    *fuel -= 1;
+    if depth == 0 || *fuel <= 0 {
+        return leaf(rng, scope, want);
+    }
+    let d = depth - 1;
+    match rng.u32_in(0, 20) {
+        // Binary arithmetic; one side may be a broadcast scalar.
+        0..=4 => {
+            let op = *rng.pick(&["+", "-", "*", "/"]);
+            let (lw, rw) = match rng.u32_in(0, 4) {
+                0 if want > 1 => (1, want),
+                1 if want > 1 => (want, 1),
+                _ => (want, want),
+            };
+            format!(
+                "({} {op} {})",
+                expr(rng, scope, lw, fuel, d),
+                expr(rng, scope, rw, fuel, d)
+            )
+        }
+        // Unary negation.
+        5 => format!("(-{})", expr(rng, scope, want, fuel, d)),
+        // Component-wise unary builtin.
+        6..=7 => {
+            let f = *rng.pick(&[
+                "abs",
+                "floor",
+                "fract",
+                "sqrt",
+                "sin",
+                "cos",
+                "exp2",
+                "log2",
+                "inversesqrt",
+                "sign",
+            ]);
+            format!("{f}({})", expr(rng, scope, want, fuel, d))
+        }
+        // Two-argument builtin; the second argument may broadcast.
+        8..=9 => {
+            let f = *rng.pick(&["min", "max", "mod", "pow", "step"]);
+            let bw = if want > 1 && rng.bool() { 1 } else { want };
+            if f == "step" {
+                // step(edge, x): the *edge* is the one that may broadcast.
+                format!(
+                    "step({}, {})",
+                    expr(rng, scope, bw, fuel, d),
+                    expr(rng, scope, want, fuel, d)
+                )
+            } else {
+                format!(
+                    "{f}({}, {})",
+                    expr(rng, scope, want, fuel, d),
+                    expr(rng, scope, bw, fuel, d)
+                )
+            }
+        }
+        // clamp / mix.
+        10 => {
+            let bw = if want > 1 && rng.bool() { 1 } else { want };
+            let cw = if want > 1 && rng.bool() { 1 } else { want };
+            if rng.bool() {
+                format!(
+                    "clamp({}, {}, {})",
+                    expr(rng, scope, want, fuel, d),
+                    expr(rng, scope, bw, fuel, d),
+                    expr(rng, scope, cw, fuel, d)
+                )
+            } else {
+                format!(
+                    "mix({}, {}, {})",
+                    expr(rng, scope, want, fuel, d),
+                    expr(rng, scope, want, fuel, d),
+                    expr(rng, scope, cw, fuel, d)
+                )
+            }
+        }
+        // dot and mul24 produce scalars.
+        11 if want == 1 => {
+            if rng.bool() {
+                let w = rng.u32_in(2, 5) as u8;
+                format!(
+                    "dot({}, {})",
+                    expr(rng, scope, w, fuel, d),
+                    expr(rng, scope, w, fuel, d)
+                )
+            } else {
+                format!(
+                    "mul24({}, {})",
+                    expr(rng, scope, 1, fuel, d),
+                    expr(rng, scope, 1, fuel, d)
+                )
+            }
+        }
+        // Texture fetch (swizzled down to the wanted width).
+        12..=13 if !scope.samplers.is_empty() => {
+            let t = rng.pick(&scope.samplers).clone();
+            let coord = expr(rng, scope, 2, fuel, d);
+            let fetch = format!("texture2D({t}, {coord})");
+            if want == 4 {
+                fetch
+            } else {
+                format!("{fetch}.{}", read_swizzle(rng, 4, want))
+            }
+        }
+        // Constructor from parts (widths summing to `want`), or a splat.
+        14 if want >= 2 => {
+            if rng.bool() {
+                format!("vec{want}({})", expr(rng, scope, 1, fuel, d))
+            } else {
+                let mut parts = Vec::new();
+                let mut left = want;
+                while left > 0 {
+                    let w = rng.u32_in(1, u32::from(left) + 1) as u8;
+                    parts.push(expr(rng, scope, w, fuel, d));
+                    left -= w;
+                }
+                format!("vec{want}({})", parts.join(", "))
+            }
+        }
+        // Ternary select.
+        15 => {
+            let c = condition(rng, scope, fuel, d);
+            format!(
+                "({c} ? {} : {})",
+                expr(rng, scope, want, fuel, d),
+                expr(rng, scope, want, fuel, d)
+            )
+        }
+        // Helper call (scalar-only).
+        16 if want == 1 && !scope.helpers.is_empty() => {
+            let h = rng.pick(&scope.helpers).clone();
+            format!("{h}({})", expr(rng, scope, 1, fuel, d))
+        }
+        _ => leaf(rng, scope, want),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Program generation
+// ---------------------------------------------------------------------------
+
+/// Generates one compilable kernel sampling the full language surface.
+/// Every declared uniform, sampler and varying is referenced by the final
+/// `gl_FragColor` expression, so the interface metadata is never dead.
+#[must_use]
+pub fn gen_shader(rng: &mut Rng) -> ShaderSpec {
+    let mut src = String::new();
+    if rng.u32_in(0, 3) == 0 {
+        let p = *rng.pick(&["lowp", "mediump", "highp"]);
+        src.push_str(&format!("precision {p} float;\n"));
+    }
+
+    let widths = [1u8, 2, 3, 4];
+    let uniforms: Vec<(String, u8)> = (0..rng.usize_in(0, 4))
+        .map(|i| (format!("u{i}"), *rng.pick(&widths)))
+        .collect();
+    let samplers: Vec<String> = (0..rng.usize_in(0, 3)).map(|i| format!("t{i}")).collect();
+    let mut varyings: Vec<(String, u8)> = vec![("v0".to_owned(), 2)];
+    if rng.bool() {
+        varyings.push(("v1".to_owned(), *rng.pick(&[2u8, 4])));
+    }
+
+    for (name, w) in &uniforms {
+        src.push_str(&format!("uniform {} {name};\n", ty_kw(*w)));
+    }
+    for name in &samplers {
+        src.push_str(&format!("uniform sampler2D {name};\n"));
+    }
+    for (name, w) in &varyings {
+        src.push_str(&format!("varying {} {name};\n", ty_kw(*w)));
+    }
+    if rng.u32_in(0, 4) == 0 {
+        let c = literal(rng);
+        src.push_str(&format!("const float k0 = {};\n", lit_str(c)));
+    }
+    let has_const = src.contains("const float k0");
+
+    // Optional scalar helper function.
+    let mut helpers = Vec::new();
+    if rng.u32_in(0, 3) == 0 {
+        let mut fuel = 8i32;
+        let helper_scope = Scope {
+            vars: vec![("p0".to_owned(), 1)],
+            samplers: Vec::new(),
+            helpers: Vec::new(),
+        };
+        let body = expr(rng, &helper_scope, 1, &mut fuel, 2);
+        src.push_str(&format!("float h0(float p0) {{ return {body}; }}\n"));
+        helpers.push("h0".to_owned());
+    }
+
+    src.push_str("void main() {\n");
+
+    // Scope starts with the interface; locals accumulate.
+    let mut scope = Scope {
+        vars: Vec::new(),
+        samplers: samplers.clone(),
+        helpers,
+    };
+    for (n, w) in uniforms.iter().chain(varyings.iter()) {
+        scope.vars.push((n.clone(), *w));
+    }
+    if has_const {
+        scope.vars.push(("k0".to_owned(), 1));
+    }
+
+    let mut fuel = 36i32;
+    let n_locals = rng.usize_in(1, 4);
+    for i in 0..n_locals {
+        let w = *rng.pick(&widths);
+        let init = expr(rng, &scope, w, &mut fuel, 3);
+        src.push_str(&format!("    {} x{i} = {init};\n", ty_kw(w)));
+        scope.vars.push((format!("x{i}"), w));
+    }
+
+    // A few statements over the locals.
+    let locals: Vec<(String, u8)> = (0..n_locals)
+        .map(|i| scope.vars[scope.vars.len() - n_locals + i].clone())
+        .collect();
+    for _ in 0..rng.usize_in(0, 4) {
+        match rng.u32_in(0, 5) {
+            // Compound assignment to a local.
+            0 | 1 => {
+                let (name, w) = rng.pick(&locals).clone();
+                let op = *rng.pick(&["=", "+=", "-=", "*=", "/="]);
+                let value = expr(rng, &scope, w, &mut fuel, 2);
+                src.push_str(&format!("    {name} {op} {value};\n"));
+            }
+            // Swizzled (unique-letter) write to a vector local.
+            2 => {
+                let vecs: Vec<(String, u8)> =
+                    locals.iter().filter(|(_, w)| *w >= 2).cloned().collect();
+                if let Some((name, w)) = vecs.first() {
+                    let want = rng.u32_in(1, u32::from(*w) + 1) as u8;
+                    let sw = write_swizzle(rng, *w, want);
+                    let value = expr(rng, &scope, want, &mut fuel, 2);
+                    src.push_str(&format!("    {name}.{sw} = {value};\n"));
+                }
+            }
+            // if / else over scalar conditions.
+            3 => {
+                let cond = condition(rng, &scope, &mut fuel, 2);
+                let (name, w) = rng.pick(&locals).clone();
+                let tv = expr(rng, &scope, w, &mut fuel, 2);
+                src.push_str(&format!(
+                    "    if ({cond}) {{\n        {name} = {tv};\n    }}"
+                ));
+                if rng.bool() {
+                    let ev = expr(rng, &scope, w, &mut fuel, 2);
+                    src.push_str(&format!(" else {{\n        {name} = {ev};\n    }}\n"));
+                } else {
+                    src.push('\n');
+                }
+            }
+            // Constant-bounded for loop accumulating into a local.
+            _ => {
+                let (name, w) = rng.pick(&locals).clone();
+                let n = rng.u32_in(1, 5);
+                let op = *rng.pick(&["+=", "*="]);
+                // The counter is in scope inside the body.
+                let mut body_scope = Scope {
+                    vars: scope.vars.clone(),
+                    samplers: scope.samplers.clone(),
+                    helpers: scope.helpers.clone(),
+                };
+                body_scope.vars.push(("i0".to_owned(), 1));
+                let value = expr(rng, &body_scope, w, &mut fuel, 2);
+                src.push_str(&format!(
+                    "    for (float i0 = 0.0; i0 < {}; i0 += 1.0) {{\n        {name} {op} {value};\n    }}\n",
+                    lit_str(n as f32)
+                ));
+            }
+        }
+    }
+
+    // gl_FragColor: a generated base, plus one live use of every declared
+    // sampler, uniform and varying so nothing in the interface is dead.
+    let mut color = expr(rng, &scope, 4, &mut fuel, 3);
+    for t in &samplers {
+        let coord = if rng.bool() {
+            "v0".to_owned()
+        } else {
+            let mut f = 4i32;
+            expr(rng, &scope, 2, &mut f, 1)
+        };
+        color = format!("({color} + texture2D({t}, {coord}))");
+    }
+    for (name, w) in uniforms.iter().chain(varyings.iter()) {
+        let term = widen4(name, *w);
+        color = format!("({color} + {term})");
+    }
+    src.push_str(&format!("    gl_FragColor = {color};\n"));
+    src.push_str("}\n");
+
+    ShaderSpec {
+        source: src,
+        uniforms,
+        samplers,
+        varyings,
+    }
+}
+
+fn ty_kw(w: u8) -> &'static str {
+    match w {
+        1 => "float",
+        2 => "vec2",
+        3 => "vec3",
+        _ => "vec4",
+    }
+}
+
+/// An expression widening `name` (width `w`) to vec4.
+fn widen4(name: &str, w: u8) -> String {
+    match w {
+        1 => format!("vec4({name})"),
+        2 => format!("vec4({name}, {name})"),
+        3 => format!("vec4({name}, {name}.x)"),
+        _ => name.to_owned(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Draw-script generation
+// ---------------------------------------------------------------------------
+
+/// Number of texture slots every case provisions.
+pub const TEXTURE_SLOTS: u8 = 4;
+
+/// A uniform value: usually ordinary, sometimes an edge-case input
+/// (signed zero, huge magnitudes, infinities, NaN).
+fn uniform_value(rng: &mut Rng) -> [f32; 4] {
+    let mut v = [0.0f32; 4];
+    for c in &mut v {
+        *c = if rng.u32_in(0, 8) == 0 {
+            *rng.pick(&[
+                0.0f32,
+                -0.0,
+                1.0e30,
+                -1.0e30,
+                1.0e-38,
+                f32::INFINITY,
+                f32::NEG_INFINITY,
+                f32::NAN,
+            ])
+        } else {
+            rng.f32(-4.0, 4.0)
+        };
+    }
+    v
+}
+
+/// Varying corner values: mostly in-range texcoord-like, occasionally
+/// non-finite (NaN/inf interpolation is part of the surface under test).
+fn corner_values(rng: &mut Rng) -> [[f32; 4]; 4] {
+    let mut corners = [[0.0f32; 4]; 4];
+    for corner in &mut corners {
+        for c in corner.iter_mut() {
+            *c = if rng.u32_in(0, 16) == 0 {
+                *rng.pick(&[f32::INFINITY, f32::NEG_INFINITY, f32::NAN, 1.0e20])
+            } else {
+                rng.f32(-2.0, 2.0)
+            };
+        }
+    }
+    corners
+}
+
+/// Generates a full conformance case: 1–2 shaders, provisioned textures,
+/// a valid prologue (every uniform and sampler bound, every texture
+/// uploaded) and a churn body ending in a draw and a readback.
+#[must_use]
+pub fn gen_case(rng: &mut Rng) -> ConfCase {
+    // Deliberately awkward sizes: rarely multiples of the 64-lane batch
+    // width or the 16-row dispatch chunk.
+    let width = rng.u32_in(3, 20);
+    let height = rng.u32_in(2, 17);
+
+    let shaders: Vec<ShaderSpec> = (0..rng.usize_in(1, 3)).map(|_| gen_shader(rng)).collect();
+    let textures: Vec<TextureSpec> = (0..TEXTURE_SLOTS)
+        .map(|_| TextureSpec {
+            format: if rng.u32_in(0, 4) == 0 {
+                TexFormat::Rgb8
+            } else {
+                TexFormat::Rgba8
+            },
+            seed: rng.next_u64(),
+        })
+        .collect();
+
+    // Corner overrides for a subset of the declared varying names.
+    let mut names: Vec<String> = Vec::new();
+    for s in &shaders {
+        for (n, _) in &s.varyings {
+            if !names.contains(n) {
+                names.push(n.clone());
+            }
+        }
+    }
+    let mut overrides: Vec<(String, [[f32; 4]; 4])> = Vec::new();
+    for n in names {
+        if rng.u32_in(0, 3) == 0 {
+            let corners = corner_values(rng);
+            overrides.push((n, corners));
+        }
+    }
+
+    let mut steps = Vec::new();
+
+    // Prologue: provision every texture and fully bind every shader.
+    for slot in 0..TEXTURE_SLOTS {
+        steps.push(Step::Upload {
+            slot,
+            seed: textures[slot as usize].seed,
+            sub: false,
+        });
+    }
+    for (i, spec) in shaders.iter().enumerate() {
+        let shader = i as u8;
+        steps.push(Step::UseProgram { shader });
+        for (name, _) in &spec.uniforms {
+            steps.push(Step::SetUniform {
+                shader,
+                name: name.clone(),
+                value: uniform_value(rng),
+            });
+        }
+        for (unit, name) in spec.samplers.iter().enumerate() {
+            steps.push(Step::BindTexture {
+                unit: unit as u8,
+                slot: unit as u8,
+            });
+            steps.push(Step::SetSampler {
+                shader,
+                name: name.clone(),
+                unit: unit as u8,
+            });
+        }
+    }
+    steps.push(Step::UseProgram { shader: 0 });
+
+    // Churn body.
+    let mut current = 0u8;
+    for _ in 0..rng.usize_in(6, 19) {
+        let step = match rng.u32_in(0, 16) {
+            // Draws dominate; occasionally as row bands.
+            0..=3 => Step::Draw {
+                band: if rng.u32_in(0, 5) == 0 && height >= 2 {
+                    let y0 = rng.u32_in(0, height);
+                    let y1 = rng.u32_in(y0 + 1, height + 1);
+                    Some((y0, y1))
+                } else {
+                    None
+                },
+            },
+            // Uniform churn (the plan cache's hot path).
+            4..=7 => {
+                let shader = rng.u32_in(0, shaders.len() as u32) as u8;
+                let spec = &shaders[shader as usize];
+                if spec.uniforms.is_empty() {
+                    Step::Draw { band: None }
+                } else {
+                    let (name, _) = rng.pick(&spec.uniforms).clone();
+                    Step::SetUniform {
+                        shader,
+                        name,
+                        value: uniform_value(rng),
+                    }
+                }
+            }
+            8 => {
+                current = rng.u32_in(0, shaders.len() as u32) as u8;
+                Step::UseProgram { shader: current }
+            }
+            9 => Step::Relink {
+                shader: rng.u32_in(0, shaders.len() as u32) as u8,
+            },
+            10 => Step::Upload {
+                slot: rng.u32_in(0, u32::from(TEXTURE_SLOTS)) as u8,
+                seed: rng.next_u64(),
+                sub: rng.bool(),
+            },
+            11 => Step::Target {
+                slot: if rng.bool() {
+                    Some(rng.u32_in(0, u32::from(TEXTURE_SLOTS)) as u8)
+                } else {
+                    None
+                },
+            },
+            12 => Step::Clear {
+                rgba: [rng.f32(0.0, 1.0), rng.f32(0.0, 1.0), rng.f32(0.0, 1.0), 1.0],
+            },
+            13 => Step::CopyOut {
+                slot: rng.u32_in(0, u32::from(TEXTURE_SLOTS)) as u8,
+                sub: rng.bool(),
+            },
+            14 => Step::ReadPixels,
+            15 => Step::ReadTexture {
+                slot: rng.u32_in(0, u32::from(TEXTURE_SLOTS)) as u8,
+            },
+            _ => {
+                // Rebind a sampled unit to a different slot.
+                let spec = &shaders[current as usize];
+                if spec.samplers.is_empty() {
+                    Step::Draw { band: None }
+                } else {
+                    Step::BindTexture {
+                        unit: rng.u32_in(0, spec.samplers.len() as u32) as u8,
+                        slot: rng.u32_in(0, u32::from(TEXTURE_SLOTS)) as u8,
+                    }
+                }
+            }
+        };
+        steps.push(step);
+    }
+
+    // Epilogue: every case ends with at least one draw and a readback.
+    steps.push(Step::Draw { band: None });
+    steps.push(Step::ReadPixels);
+
+    ConfCase {
+        width,
+        height,
+        shaders,
+        textures,
+        overrides,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_case(&mut Rng::new(11));
+        let b = gen_case(&mut Rng::new(11));
+        assert_eq!(a, b);
+        let c = gen_case(&mut Rng::new(12));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cases_are_well_formed() {
+        for seed in 0..64 {
+            let case = gen_case(&mut Rng::new(seed));
+            assert!(case.width >= 1 && case.height >= 1);
+            assert!(!case.shaders.is_empty());
+            assert_eq!(case.textures.len(), TEXTURE_SLOTS as usize);
+            assert!(matches!(case.steps.last(), Some(Step::ReadPixels)));
+            assert!(case.steps.iter().any(|s| matches!(s, Step::Draw { .. })));
+            for s in &case.shaders {
+                assert!(s.source.contains("gl_FragColor"));
+                // Every declared sampler is referenced.
+                for t in &s.samplers {
+                    assert!(s.source.contains(&format!("texture2D({t},")));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn texel_streams_are_stable() {
+        assert_eq!(texels(5, 16), texels(5, 16));
+        assert_ne!(texels(5, 16), texels(6, 16));
+        assert_eq!(texels(5, 8), texels(5, 16)[..8].to_vec());
+    }
+
+    #[test]
+    fn swizzles_respect_widths() {
+        let mut rng = Rng::new(3);
+        for _ in 0..500 {
+            let base = rng.u32_in(2, 5) as u8;
+            let want = rng.u32_in(1, u32::from(base) + 1) as u8;
+            let r = read_swizzle(&mut rng, base, 4);
+            assert!(r
+                .chars()
+                .all(|c| SWIZZLE_LETTERS[..base as usize].contains(&c)));
+            let w = write_swizzle(&mut rng, base, want);
+            assert_eq!(w.len(), want as usize);
+            let mut seen = std::collections::HashSet::new();
+            assert!(w.chars().all(|c| seen.insert(c)), "duplicate in `{w}`");
+        }
+    }
+}

@@ -340,6 +340,133 @@ impl Program {
     pub fn function(&self, name: &str) -> Option<&Function> {
         self.functions.iter().find(|f| f.name == name)
     }
+
+    /// A clone with every source-line field zeroed, so two programs can be
+    /// compared *structurally* — the `parse(print(ast)) == ast` round-trip
+    /// property cares about shape and values, not where tokens sat in the
+    /// original text.
+    #[must_use]
+    pub fn without_lines(&self) -> Program {
+        Program {
+            globals: self
+                .globals
+                .iter()
+                .map(|g| GlobalDecl {
+                    qualifier: g.qualifier,
+                    ty: g.ty,
+                    name: g.name.clone(),
+                    init: g.init.as_ref().map(strip_expr),
+                    line: 0,
+                })
+                .collect(),
+            functions: self
+                .functions
+                .iter()
+                .map(|f| Function {
+                    ret: f.ret,
+                    name: f.name.clone(),
+                    params: f.params.clone(),
+                    body: f.body.iter().map(strip_stmt).collect(),
+                    line: 0,
+                })
+                .collect(),
+        }
+    }
+}
+
+fn strip_expr(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Literal(x) => Expr::Literal(*x),
+        Expr::BoolLiteral(b) => Expr::BoolLiteral(*b),
+        Expr::Var(name) => Expr::Var(name.clone()),
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(strip_expr(expr)),
+        },
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(strip_expr(lhs)),
+            rhs: Box::new(strip_expr(rhs)),
+        },
+        Expr::Call { name, args, .. } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(strip_expr).collect(),
+            line: 0,
+        },
+        Expr::Swizzle { base, fields, .. } => Expr::Swizzle {
+            base: Box::new(strip_expr(base)),
+            fields: fields.clone(),
+            line: 0,
+        },
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => Expr::Ternary {
+            cond: Box::new(strip_expr(cond)),
+            then_expr: Box::new(strip_expr(then_expr)),
+            else_expr: Box::new(strip_expr(else_expr)),
+        },
+    }
+}
+
+fn strip_stmt(stmt: &Stmt) -> Stmt {
+    match stmt {
+        Stmt::Decl { ty, names, .. } => Stmt::Decl {
+            ty: *ty,
+            names: names
+                .iter()
+                .map(|(n, e)| (n.clone(), e.as_ref().map(strip_expr)))
+                .collect(),
+            line: 0,
+        },
+        Stmt::Assign {
+            target, op, value, ..
+        } => Stmt::Assign {
+            target: target.clone(),
+            op: *op,
+            value: strip_expr(value),
+            line: 0,
+        },
+        Stmt::For {
+            var_ty,
+            var,
+            init,
+            cond,
+            update_op,
+            update,
+            body,
+            ..
+        } => Stmt::For {
+            var_ty: *var_ty,
+            var: var.clone(),
+            init: strip_expr(init),
+            cond: strip_expr(cond),
+            update_op: *update_op,
+            update: strip_expr(update),
+            body: body.iter().map(strip_stmt).collect(),
+            line: 0,
+        },
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => Stmt::If {
+            cond: strip_expr(cond),
+            then_branch: then_branch.iter().map(strip_stmt).collect(),
+            else_branch: else_branch.iter().map(strip_stmt).collect(),
+            line: 0,
+        },
+        Stmt::Return { value, .. } => Stmt::Return {
+            value: value.as_ref().map(strip_expr),
+            line: 0,
+        },
+        Stmt::ExprStmt { expr, .. } => Stmt::ExprStmt {
+            expr: strip_expr(expr),
+            line: 0,
+        },
+    }
 }
 
 #[cfg(test)]

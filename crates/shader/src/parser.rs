@@ -478,6 +478,15 @@ impl Parser {
     fn unary(&mut self) -> Result<Expr, CompileError> {
         if self.eat(&TokenKind::Minus) {
             let expr = self.unary()?;
+            // Fold negation into the literal: `-2.0` parses as
+            // `Literal(-2.0)`, exactly what the pretty-printer emits for a
+            // negative constant, so `parse ∘ print` is the identity on
+            // literal-bearing ASTs. IEEE negation is exact (a sign-bit
+            // flip) and lowering already constant-folds the `Neg`, so
+            // neither value nor instruction count can change.
+            if let Expr::Literal(v) = expr {
+                return Ok(Expr::Literal(-v));
+            }
             return Ok(Expr::Unary {
                 op: UnaryOp::Neg,
                 expr: Box::new(expr),

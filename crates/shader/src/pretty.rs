@@ -222,20 +222,16 @@ mod tests {
     use super::*;
     use crate::parser::parse;
 
-    /// Strips source-location fields so ASTs compare structurally.
-    fn normalise(p: &Program) -> String {
-        // The printer itself is the canonical form: print both and compare.
-        print_program(p)
-    }
-
     fn round_trips(src: &str) {
         let first = parse(src).unwrap();
         let printed = print_program(&first);
         let second =
             parse(&printed).unwrap_or_else(|e| panic!("reprint failed to parse: {e}\n{printed}"));
+        // Structural equality modulo source lines — strictly stronger than
+        // comparing canonical print forms.
         assert_eq!(
-            normalise(&first),
-            normalise(&second),
+            first.without_lines(),
+            second.without_lines(),
             "round trip changed the AST:\n{printed}"
         );
     }

@@ -228,6 +228,39 @@ fn pretty_printer_round_trips_generated_programs() {
     });
 }
 
+/// The full-surface shader generator (`mgpu_prop::shadergen`) only emits
+/// compilable programs, and `parse(print(ast))` is the *identity* on their
+/// ASTs (modulo source lines) — the invariant the conformance shrinker
+/// rests on: a shrunk AST can be re-rendered to source and re-parsed
+/// without drifting.
+#[test]
+fn generated_shaders_compile_and_round_trip_exactly() {
+    run_cases(384, |rng| {
+        use mgpu_shader::parse;
+        use mgpu_shader::pretty::print_program;
+
+        let spec = mgpu_prop::shadergen::gen_shader(rng);
+        let src = &spec.source;
+        compile_with(src, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("generated shader failed to compile: {e}\n{src}"));
+
+        let ast = parse(src).expect("generated shader parses");
+        let printed = print_program(&ast);
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("reprint failed: {e}\n{printed}"));
+        // Structural AST equality, not just canonical-form agreement.
+        assert_eq!(
+            ast.without_lines(),
+            reparsed.without_lines(),
+            "round trip changed the AST:\n{printed}"
+        );
+        // The reprinted source compiles to the same instruction stream.
+        let direct = compile_with(src, &CompileOptions::default()).expect("compiles");
+        let reprinted =
+            compile_with(&printed, &CompileOptions::default()).expect("reprint compiles");
+        assert_eq!(direct.instruction_count(), reprinted.instruction_count());
+    });
+}
+
 /// The compiler never panics on arbitrary input: garbage in, a structured
 /// `CompileError` out (robustness against malformed kernel sources
 /// reaching the driver).

@@ -15,5 +15,6 @@ pub mod reference;
 pub use gen::{random_image_rgba8, random_matrix, Matrix};
 pub use metrics::{max_abs_error, rms_error, ErrorStats};
 pub use reference::{
-    conv3x3_ref, jacobi_step_ref, saxpy_ref, sgemm_blocked_ref, sgemm_ref, sum_ref,
+    conv3x3_ref, dot_ref, jacobi_step_ref, reduce_sum_ref, saxpy_ref, sgemm_blocked_ref, sgemm_ref,
+    sum_ref, transpose_ref,
 };

@@ -112,6 +112,57 @@ pub fn jacobi_step_ref(u: &Matrix, f: &Matrix, omega: f32) -> Matrix {
     out
 }
 
+/// Matrix transpose: `out[i][j] = m[j][i]`.
+#[must_use]
+pub fn transpose_ref(m: &Matrix) -> Matrix {
+    let n = m.size();
+    let mut out = Matrix::filled(n, 0.0);
+    for i in 0..n {
+        for j in 0..n {
+            out.set(i, j, m.get(j, i));
+        }
+    }
+    out
+}
+
+/// Inner product `Σ xᵢ·yᵢ` accumulated pairwise over power-of-two halves —
+/// the exact summation order of the GPU's log-depth reduction tree, so
+/// GPU-vs-CPU differences isolate encoding error from reassociation.
+///
+/// # Panics
+///
+/// Panics if sizes differ.
+#[must_use]
+pub fn dot_ref(x: &Matrix, y: &Matrix) -> f32 {
+    assert_eq!(x.size(), y.size(), "size mismatch");
+    let products: Vec<f32> = x.data().iter().zip(y.data()).map(|(a, b)| a * b).collect();
+    tree_sum(products)
+}
+
+/// Total `Σ mᵢ` accumulated pairwise over power-of-two halves, matching
+/// the GPU's log-depth reduction tree (each level sums a 2×2 quad, which
+/// pairwise-halving reproduces associatively).
+#[must_use]
+pub fn reduce_sum_ref(m: &Matrix) -> f32 {
+    tree_sum(m.data().to_vec())
+}
+
+/// Pairwise tree summation: repeatedly folds the upper half onto the lower
+/// half until one element remains.
+fn tree_sum(mut v: Vec<f32>) -> f32 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    while v.len() > 1 {
+        let half = v.len().div_ceil(2);
+        for i in half..v.len() {
+            v[i - half] += v[i];
+        }
+        v.truncate(half);
+    }
+    v[0]
+}
+
 /// 3×3 convolution over an RGBA8 image with clamp-to-edge addressing,
 /// matching the GPU kernel's sampling; the alpha channel is forced opaque.
 ///
@@ -197,6 +248,31 @@ mod tests {
                 assert!((x - y).abs() < 1e-4, "block {block}: {x} vs {y}");
             }
         }
+    }
+
+    #[test]
+    fn transpose_ref_involutes() {
+        let m = random_matrix(8, 9, 0.0, 1.0);
+        let t = transpose_ref(&m);
+        assert_eq!(t.get(2, 5), m.get(5, 2));
+        assert_eq!(transpose_ref(&t).data(), m.data());
+    }
+
+    #[test]
+    fn tree_sum_matches_sequential_within_noise() {
+        let m = random_matrix(16, 10, 0.0, 1.0);
+        let seq: f32 = m.data().iter().sum();
+        let tree = reduce_sum_ref(&m);
+        assert!((tree - seq).abs() < 1e-3, "{tree} vs {seq}");
+        assert_eq!(reduce_sum_ref(&Matrix::filled(4, 0.25)), 4.0);
+    }
+
+    #[test]
+    fn dot_ref_is_the_tree_sum_of_products() {
+        let x = random_matrix(4, 11, 0.0, 1.0);
+        let y = random_matrix(4, 12, 0.0, 1.0);
+        let seq: f32 = x.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        assert!((dot_ref(&x, &y) - seq).abs() < 1e-4);
     }
 
     #[test]
