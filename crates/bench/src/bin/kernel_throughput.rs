@@ -1,16 +1,19 @@
-//! Scalar vs batched fragment-engine throughput on the paper's kernels.
+//! Scalar vs batched vs compiled fragment-engine throughput on the
+//! paper's kernels.
 //!
 //! Runs `sum` and blocked `sgemm` (block 16) on both simulated platforms,
-//! on both engine tiers, at 1 thread and at the machine's full
-//! parallelism, asserting on every pairing that the batched engine is
-//! byte-identical to the scalar reference and leaves simulated time
-//! untouched. Wall-clock statistics are printed per configuration as
+//! on all three engine tiers, at 1 thread and at the machine's full
+//! parallelism, asserting on every pairing that the batched and compiled
+//! engines are byte-identical to the scalar reference and leave simulated
+//! time untouched. Wall-clock statistics are printed per configuration as
 //! `BENCH {...}` JSON lines.
 //!
-//! Usage: `kernel_throughput [n] [reps]` — defaults to a 256×256 problem
-//! with 3 timed repetitions. The acceptance configuration is
-//! `kernel_throughput 1024`, where the batched engine's single-thread
-//! sgemm speedup is the headline number.
+//! Usage: `kernel_throughput [n] [reps] [--gate]` — defaults to a 256×256
+//! problem with 3 timed repetitions. The acceptance configuration is
+//! `kernel_throughput 1024`, where the engines' single-thread sgemm
+//! speedups are the headline numbers. `--gate` turns the compiled tier's
+//! advantage into a hard exit: the run fails unless compiled beats the
+//! batched interpreter by ≥ 2x on single-thread sgemm on both platforms.
 
 use std::time::{Duration, Instant};
 
@@ -100,24 +103,41 @@ fn mean_secs(d: Duration) -> f64 {
     d.as_secs_f64()
 }
 
+fn engine_tag(engine: Engine) -> &'static str {
+    match engine {
+        Engine::Scalar => "scalar",
+        Engine::Batched => "batched",
+        Engine::Compiled => "compiled",
+    }
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let n: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(256);
-    let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let mut n: u32 = 256;
+    let mut reps: usize = 3;
+    let mut gate = false;
+    for (i, arg) in std::env::args().skip(1).enumerate() {
+        if arg == "--gate" {
+            gate = true;
+        } else if i == 0 {
+            n = arg.parse().unwrap_or(n);
+        } else {
+            reps = arg.parse().unwrap_or(reps);
+        }
+    }
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     let mut thread_list = vec![1usize];
     if cores > 1 {
         thread_list.push(cores);
     }
 
-    println!("kernel throughput: scalar vs batched engine, {n}x{n}, {reps} rep(s)");
+    println!("kernel throughput: scalar vs batched vs compiled engine, {n}x{n}, {reps} rep(s)");
     println!("host parallelism: {cores} core(s)\n");
 
     let len = (n * n) as usize;
     let a: Vec<f32> = (0..len).map(|i| (i % 97) as f32 / 97.0).collect();
     let b: Vec<f32> = (0..len).map(|i| (i % 89) as f32 / 89.0).collect();
 
-    let mut single_thread_sgemm_speedup = None;
+    let mut gate_ratios: Vec<(String, f64)> = Vec::new();
     for (plat_name, platform) in [
         ("vc4", Platform::videocore_iv()),
         ("sgx", Platform::sgx_545()),
@@ -144,35 +164,68 @@ fn main() {
                     &a,
                     &b,
                 );
-                assert_eq!(
-                    batched.result_bits,
-                    scalar.result_bits,
-                    "batched output diverged from scalar ({plat_name}/{} at {threads} threads)",
-                    workload.name()
+                let compiled = run(
+                    &platform,
+                    workload,
+                    n,
+                    threads,
+                    Engine::Compiled,
+                    reps,
+                    &a,
+                    &b,
                 );
-                assert_eq!(
-                    batched.sim,
-                    scalar.sim,
-                    "batched engine changed simulated time ({plat_name}/{} at {threads} threads)",
-                    workload.name()
-                );
-                let id =
-                    |engine: &str| format!("{plat_name}/{}/t{threads}/{engine}", workload.name());
-                emit_bench_json("kernel_throughput", &id("scalar"), &scalar.stats);
-                emit_bench_json("kernel_throughput", &id("batched"), &batched.stats);
-                let speedup =
+                for (tag, outcome) in [("batched", &batched), ("compiled", &compiled)] {
+                    assert_eq!(
+                        outcome.result_bits,
+                        scalar.result_bits,
+                        "{tag} output diverged from scalar ({plat_name}/{} at {threads} threads)",
+                        workload.name()
+                    );
+                    assert_eq!(
+                        outcome.sim,
+                        scalar.sim,
+                        "{tag} engine changed simulated time ({plat_name}/{} at {threads} threads)",
+                        workload.name()
+                    );
+                }
+                let id = |engine: Engine| {
+                    format!(
+                        "{plat_name}/{}/t{threads}/{}",
+                        workload.name(),
+                        engine_tag(engine)
+                    )
+                };
+                emit_bench_json("kernel_throughput", &id(Engine::Scalar), &scalar.stats);
+                emit_bench_json("kernel_throughput", &id(Engine::Batched), &batched.stats);
+                emit_bench_json("kernel_throughput", &id(Engine::Compiled), &compiled.stats);
+                let batched_speedup =
                     mean_secs(scalar.stats.mean) / mean_secs(batched.stats.mean).max(1e-12);
+                let compiled_speedup =
+                    mean_secs(scalar.stats.mean) / mean_secs(compiled.stats.mean).max(1e-12);
+                let compiled_over_batched =
+                    mean_secs(batched.stats.mean) / mean_secs(compiled.stats.mean).max(1e-12);
                 println!(
-                    "  -> batched speedup {speedup:.2}x (outputs byte-identical, simulated time unchanged)\n"
+                    "  -> batched {batched_speedup:.2}x, compiled {compiled_speedup:.2}x over scalar \
+                     (compiled/batched {compiled_over_batched:.2}x; outputs byte-identical, simulated time unchanged)\n"
                 );
-                if workload == Workload::Sgemm && threads == 1 && plat_name == "vc4" {
-                    single_thread_sgemm_speedup = Some(speedup);
+                if workload == Workload::Sgemm && threads == 1 {
+                    gate_ratios.push((plat_name.to_owned(), compiled_over_batched));
                 }
             }
         }
     }
 
-    if let Some(s) = single_thread_sgemm_speedup {
-        println!("headline: single-thread sgemm batched speedup {s:.2}x");
+    for (plat, ratio) in &gate_ratios {
+        println!("headline: single-thread sgemm compiled/batched {ratio:.2}x on {plat}");
+    }
+    if gate {
+        for (plat, ratio) in &gate_ratios {
+            assert!(
+                *ratio >= 2.0,
+                "GATE FAILED: compiled engine is only {ratio:.2}x over batched \
+                 on single-thread sgemm ({plat}); the bar is 2.00x"
+            );
+        }
+        println!("gate passed: compiled >= 2x over batched on single-thread sgemm, both platforms");
     }
 }

@@ -16,8 +16,8 @@ use mgpu_gles::{Engine, ExecConfig, Gl};
 pub struct ExecPoint {
     /// Fragment engine tier.
     pub engine: Engine,
-    /// Bind-time uniform specialisation (batched tier only; the scalar
-    /// tier ignores it).
+    /// Bind-time uniform specialisation (batched and compiled tiers;
+    /// the scalar tier ignores it).
     pub spec: bool,
     /// Persistent-pool dispatcher (`false` = legacy scope-spawn path when
     /// threaded, plain serial path when `threads == 1`).
@@ -70,6 +70,7 @@ impl ExecPoint {
                     point.engine = match value {
                         "scalar" => Engine::Scalar,
                         "batched" => Engine::Batched,
+                        "compiled" => Engine::Compiled,
                         other => return Err(format!("unknown engine `{other}`")),
                     };
                 }
@@ -106,6 +107,7 @@ impl fmt::Display for ExecPoint {
             match self.engine {
                 Engine::Scalar => "scalar",
                 Engine::Batched => "batched",
+                Engine::Compiled => "compiled",
             },
             onoff(self.spec),
             onoff(self.pool),
@@ -115,9 +117,9 @@ impl fmt::Display for ExecPoint {
     }
 }
 
-/// The full lattice: {scalar, batched+spec, batched−spec} × {serial;
+/// The full lattice: {scalar, batched±spec, compiled±spec} × {serial;
 /// scope-spawn and pool (with the plan cache both on and off) at 2 and 8
-/// threads}. 21 points; index 0 is [`ExecPoint::baseline`].
+/// threads}. 35 points; index 0 is [`ExecPoint::baseline`].
 #[must_use]
 pub fn lattice() -> Vec<ExecPoint> {
     let mut points = Vec::new();
@@ -125,6 +127,8 @@ pub fn lattice() -> Vec<ExecPoint> {
         (Engine::Scalar, false),
         (Engine::Batched, true),
         (Engine::Batched, false),
+        (Engine::Compiled, true),
+        (Engine::Compiled, false),
     ] {
         let base = ExecPoint {
             engine,
@@ -158,9 +162,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn lattice_has_21_points_and_starts_at_baseline() {
+    fn lattice_has_35_points_and_starts_at_baseline() {
         let points = lattice();
-        assert_eq!(points.len(), 21);
+        assert_eq!(points.len(), 35);
         assert_eq!(points[0], ExecPoint::baseline());
         // All distinct.
         for (i, a) in points.iter().enumerate() {

@@ -136,13 +136,20 @@ pub fn check_case(case: &ConfCase) -> Option<Divergence> {
 }
 
 /// The execution points fault recovery is exercised at: the serial scalar
-/// baseline and a pooled, plan-cached batched point — the two ends of the
-/// dispatcher spectrum.
-fn recovery_points() -> [ExecPoint; 2] {
+/// baseline plus pooled, plan-cached batched and compiled points — both
+/// ends of the dispatcher spectrum, on every non-reference engine tier.
+fn recovery_points() -> [ExecPoint; 3] {
     [
         ExecPoint::baseline(),
         ExecPoint {
             engine: Engine::Batched,
+            spec: true,
+            pool: true,
+            plan_cache: true,
+            threads: 2,
+        },
+        ExecPoint {
+            engine: Engine::Compiled,
             spec: true,
             pool: true,
             plan_cache: true,

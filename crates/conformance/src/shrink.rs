@@ -18,6 +18,7 @@
 //! reproduces. [`ast_nodes`] is the size metric reported for shrunk
 //! kernels.
 
+use mgpu_gles::Engine;
 use mgpu_prop::shadergen::{ConfCase, Step};
 use mgpu_shader::ast::{Expr, Program, Stmt};
 use mgpu_shader::pretty::print_program;
@@ -563,6 +564,16 @@ pub fn shrink_point(point: ExecPoint, mut fails: impl FnMut(&ExecPoint) -> bool)
                 spec: false,
                 ..best
             },
+            // One engine tier down: a failure that also reproduces on the
+            // batched interpreter should not be blamed on the compiled
+            // tier's closure lowering.
+            ExecPoint {
+                engine: match best.engine {
+                    Engine::Compiled => Engine::Batched,
+                    other => other,
+                },
+                ..best
+            },
             ExecPoint {
                 spec: false,
                 ..best
@@ -664,7 +675,7 @@ mod tests {
     #[test]
     fn shrink_point_walks_to_the_baseline_when_everything_fails() {
         let worst = ExecPoint {
-            engine: Engine::Batched,
+            engine: Engine::Compiled,
             spec: true,
             pool: true,
             plan_cache: true,
@@ -673,5 +684,20 @@ mod tests {
         assert_eq!(shrink_point(worst, |_| true), ExecPoint::baseline());
         // And stays put when nothing simpler reproduces.
         assert_eq!(shrink_point(worst, |p| *p == worst), worst);
+    }
+
+    #[test]
+    fn shrink_point_steps_compiled_down_to_batched_when_both_fail() {
+        let worst = ExecPoint {
+            engine: Engine::Compiled,
+            spec: false,
+            pool: false,
+            plan_cache: false,
+            threads: 1,
+        };
+        // The failure reproduces on the batched interpreter too, but not
+        // on the scalar reference: the shrinker must settle on batched.
+        let shrunk = shrink_point(worst, |p| p.engine != Engine::Scalar);
+        assert_eq!(shrunk.engine, Engine::Batched);
     }
 }

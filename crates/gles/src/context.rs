@@ -238,6 +238,37 @@ impl Sampler for TexView<'_> {
             }
         }
     }
+
+    fn fetch_row_batch(&self, us: &[f32], v: f32, out: &mut [[f32; 4]]) {
+        match self.filter {
+            TextureFilter::Nearest => {
+                // Row term resolved once: `(y*w + x) == (row + x)` exactly.
+                let (wf, hf) = (self.width as f32, self.height as f32);
+                let y = ((v * hf).floor() as i64).clamp(0, i64::from(self.height) - 1);
+                for (o, u) in out.iter_mut().zip(us) {
+                    *o = self.texel(
+                        ((*u * wf).floor() as i64).clamp(0, i64::from(self.width) - 1),
+                        y,
+                    );
+                }
+            }
+            TextureFilter::Linear => {
+                for (o, u) in out.iter_mut().zip(us) {
+                    *o = self.fetch(*u, v);
+                }
+            }
+        }
+    }
+
+    fn raw_rgba8(&self) -> Option<(&[u8], u32, u32)> {
+        // Only a full-RGBA8 nearest view matches the raw-gather contract
+        // (`u8_to_unorm` over `data[(y*w + x)*4..][..4]`).
+        (self.channels == 4 && self.filter == TextureFilter::Nearest).then_some((
+            self.data,
+            self.width,
+            self.height,
+        ))
+    }
 }
 
 /// An OpenGL ES 2.0 context bound to a window surface on a simulated
@@ -324,17 +355,43 @@ pub struct Gl {
 impl Gl {
     /// Creates a context with a `width`×`height` double-buffered window
     /// surface, at the platform's default swap interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `MGPU_*` environment knob holds an invalid value
+    /// (`MGPU_ENGINE=typo`, `MGPU_THREADS=0`, a malformed `MGPU_FAULTS`
+    /// spec, …). Use [`Gl::try_new`] to surface that as a typed
+    /// [`GlError::InvalidEnv`] instead.
     #[must_use]
     pub fn new(platform: Platform, width: u32, height: u32) -> Self {
+        match Gl::try_new(platform, width, height) {
+            Ok(gl) => gl,
+            Err(e) => panic!("mgpu-gles: {e}"),
+        }
+    }
+
+    /// [`Gl::new`], with environment-knob validation surfaced as a typed
+    /// error: all `MGPU_*` knobs come from the once-per-process snapshot,
+    /// and an invalid value (unknown engine name, zero/non-numeric thread
+    /// count, malformed fault spec) is a [`GlError::InvalidEnv`] here
+    /// instead of a silent fallback to defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GlError::InvalidEnv`] when any `MGPU_*` knob fails to
+    /// parse.
+    pub fn try_new(platform: Platform, width: u32, height: u32) -> Result<Self, GlError> {
+        let exec = ExecConfig::try_from_env()?;
+        let env_faults = crate::exec::env_fault_plan()?;
         let surfaces = (0..platform.framebuffer_surfaces.max(1))
             .map(|_| vec![0u8; width as usize * height as usize * 4])
             .collect();
         let swap_interval = platform.default_swap_interval;
-        Gl {
+        Ok(Gl {
             sim: PipelineSim::new(platform.clone()),
             platform,
             functional: true,
-            exec: ExecConfig::from_env(),
+            exec,
             next_handle: 1,
             resource_counter: 1,
             textures: HashMap::new(),
@@ -358,18 +415,12 @@ impl Gl {
             last_timing: None,
             record_frames: false,
             recorded: Vec::new(),
-            injector: match FaultPlan::from_env() {
-                Ok(plan) => plan.map(FaultInjector::new),
-                Err(e) => {
-                    eprintln!("mgpu-gles: ignoring invalid MGPU_FAULTS: {e}");
-                    None
-                }
-            },
+            injector: env_faults.map(FaultInjector::new),
             context_lost: false,
             pool: None,
             plan_cache: PlanCache::new(plan_cache_default()),
             scratch_plan: None,
-        }
+        })
     }
 
     /// The simulated platform.

@@ -48,6 +48,12 @@ pub enum GlError {
     /// as a typed error instead of a panic on the draw/upload/readback
     /// paths.
     Internal(String),
+    /// An `MGPU_*` environment knob holds an invalid value
+    /// (`MGPU_ENGINE=typo`, `MGPU_THREADS=0`, a malformed `MGPU_FAULTS`
+    /// spec, …). Raised by [`Gl::try_new`](crate::Gl::try_new) at context
+    /// creation — configuration typos fail loudly instead of silently
+    /// running with defaults.
+    InvalidEnv(crate::exec::EnvKnobError),
 }
 
 impl GlError {
@@ -94,6 +100,7 @@ impl fmt::Display for GlError {
                 "watchdog timeout: draw estimated at {estimated} exceeds budget {budget}"
             ),
             GlError::Internal(m) => write!(f, "internal driver error: {m}"),
+            GlError::InvalidEnv(e) => write!(f, "invalid environment: {e}"),
         }
     }
 }
@@ -102,8 +109,15 @@ impl Error for GlError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             GlError::CompileFailed(e) => Some(e),
+            GlError::InvalidEnv(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::exec::EnvKnobError> for GlError {
+    fn from(e: crate::exec::EnvKnobError) -> Self {
+        GlError::InvalidEnv(e)
     }
 }
 

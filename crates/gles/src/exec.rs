@@ -10,29 +10,45 @@
 //! The thread count comes from, in priority order:
 //!
 //! 1. an explicit [`Gl::set_exec_config`](crate::Gl::set_exec_config) call,
-//! 2. the `MGPU_THREADS` environment variable (a positive integer;
-//!    anything unparsable falls back to the default),
+//! 2. the `MGPU_THREADS` environment variable (a positive integer),
 //! 3. [`std::thread::available_parallelism`].
 //!
 //! `MGPU_THREADS=1` (or [`ExecConfig::serial`]) selects the original
 //! serial path exactly.
 //!
-//! All environment knobs (`MGPU_ENGINE`, `MGPU_POOL`, `MGPU_PLAN_CACHE`)
-//! are resolved **once per process** and cached: mutating the environment
-//! mid-run can never flip the engine, pool or plan cache between draws.
-//! An explicit builder call ([`ExecConfig::with_engine`],
+//! **Every** `MGPU_*` knob (`MGPU_ENGINE`, `MGPU_POOL`, `MGPU_PLAN_CACHE`,
+//! `MGPU_SPEC`, `MGPU_THREADS`, `MGPU_FAULTS`) is resolved **once per
+//! process** into a single cached snapshot: mutating the environment
+//! mid-run can never flip the engine, pool, plan cache, thread default or
+//! fault plan between draws or desynchronise two configs built at
+//! different times. An explicit builder call ([`ExecConfig::with_engine`],
 //! [`ExecConfig::with_pool`]) is the supported way to change them at run
 //! time.
+//!
+//! Invalid knob values are **errors**, not silent fallbacks: the snapshot
+//! records a typed [`EnvKnobError`] naming the variable, the offending
+//! value and the grammar it violated, and context creation
+//! ([`Gl::try_new`](crate::Gl::try_new)) surfaces it as
+//! [`GlError::InvalidEnv`](crate::GlError::InvalidEnv).
 
+use crate::fault::FaultPlan;
 use std::num::NonZeroUsize;
 use std::sync::OnceLock;
 
 /// Environment variable overriding the functional thread count.
 pub const THREADS_ENV: &str = "MGPU_THREADS";
 
-/// Environment variable selecting the fragment engine (`scalar` or
-/// `batched`; anything else falls back to the default, batched).
+/// Environment variable selecting the fragment engine (`scalar`,
+/// `batched` or `compiled`; anything else is an [`EnvKnobError`] at
+/// context creation).
 pub const ENGINE_ENV: &str = "MGPU_ENGINE";
+
+/// Environment variable installing a deterministic fault plan on every
+/// context created by the process (see
+/// [`FaultPlan::parse`](crate::FaultPlan::parse) for the grammar).
+/// Resolved once per process like every other knob; a malformed spec is
+/// an [`EnvKnobError`] at context creation.
+pub const FAULTS_ENV: &str = "MGPU_FAULTS";
 
 /// Environment variable disabling the persistent worker pool
 /// (`off`/`0`/`false`/`no`): the rasteriser then uses the legacy
@@ -56,11 +72,13 @@ pub const SPEC_ENV: &str = "MGPU_SPEC";
 
 /// Which functional fragment interpreter computes fragment colours.
 ///
-/// Both engines are bit-exact with each other — the scalar engine is the
-/// reference semantics, the batched engine a lane-parallel reformulation
-/// of the same f32 expressions — so this knob only changes wall-clock
-/// time, never an output byte. The determinism tests at the workspace
-/// root hold the two engines against each other.
+/// All three engines are bit-exact with each other — the scalar engine is
+/// the reference semantics, the batched engine a lane-parallel
+/// reformulation of the same f32 expressions, and the compiled engine a
+/// bind-time lowering of those expressions into fused native closures —
+/// so this knob only changes wall-clock time, never an output byte. The
+/// determinism tests at the workspace root and the conformance lattice
+/// hold the three engines against each other.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Engine {
     /// The original per-fragment scalar interpreter, uniforms resolved at
@@ -70,61 +88,196 @@ pub enum Engine {
     /// specialisation: the throughput path, and the default.
     #[default]
     Batched,
+    /// The straight-line IR lowered at bind time into a chain of fused,
+    /// monomorphised native closures (`mgpu_shader::compile`): no
+    /// per-instruction decode or scratch traffic at all — the fastest
+    /// tier on unrolled GPGPU kernels.
+    Compiled,
 }
 
-/// Process-wide snapshot of the boolean/engine environment knobs, read
-/// exactly once. `MGPU_THREADS` is intentionally *not* cached — thread
-/// count is a pure wall-clock knob that tests and harnesses legitimately
-/// vary per [`ExecConfig`], and it is always pinned explicitly anyway —
-/// while engine/pool/cache selection must stay constant across a run for
-/// the byte-identity and plan-reuse invariants to be meaningful.
-#[derive(Debug, Clone, Copy)]
-struct EnvDefaults {
+/// An invalid `MGPU_*` environment-knob value, recorded in the
+/// process-wide snapshot and surfaced as
+/// [`GlError::InvalidEnv`](crate::GlError::InvalidEnv) at context
+/// creation. Carries the variable, the offending value and the grammar it
+/// violated, so harness typos (`MGPU_ENGINE=typo`, `MGPU_THREADS=0`)
+/// fail loudly instead of silently falling back to defaults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvKnobError {
+    /// The environment variable that failed to parse.
+    pub var: &'static str,
+    /// Its verbatim value.
+    pub value: String,
+    /// What the grammar expected.
+    pub reason: String,
+}
+
+impl EnvKnobError {
+    fn new(var: &'static str, value: &str, reason: impl Into<String>) -> Self {
+        EnvKnobError {
+            var,
+            value: value.to_owned(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for EnvKnobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid {} value `{}`: {}",
+            self.var, self.value, self.reason
+        )
+    }
+}
+
+impl std::error::Error for EnvKnobError {}
+
+/// Process-wide snapshot of **every** `MGPU_*` environment knob, read and
+/// validated exactly once. Engine/pool/cache/spec selection must stay
+/// constant across a run for the byte-identity and plan-reuse invariants
+/// to be meaningful; caching the thread default and fault plan alongside
+/// them means two configs (or contexts) built at different times can
+/// never desynchronise through a mid-process `set_var`.
+#[derive(Debug, Clone)]
+struct EnvKnobs {
     engine: Engine,
     pool: bool,
     plan_cache: bool,
     spec: bool,
+    /// `MGPU_THREADS`, when set (explicit configs still override it).
+    threads: Option<usize>,
+    /// `MGPU_FAULTS`, when set and non-empty.
+    faults: Option<FaultPlan>,
 }
 
-fn env_defaults() -> EnvDefaults {
-    static DEFAULTS: OnceLock<EnvDefaults> = OnceLock::new();
-    *DEFAULTS.get_or_init(|| EnvDefaults {
-        engine: match std::env::var(ENGINE_ENV) {
-            Ok(s) if s.trim().eq_ignore_ascii_case("scalar") => Engine::Scalar,
-            _ => Engine::Batched,
-        },
-        pool: switch_enabled(POOL_ENV),
-        plan_cache: switch_enabled(PLAN_CACHE_ENV),
-        spec: switch_enabled(SPEC_ENV),
-    })
+impl EnvKnobs {
+    /// Resolves the knob snapshot through `get` (the environment in
+    /// production, a table in the grammar property tests).
+    fn resolve(get: impl Fn(&'static str) -> Option<String>) -> Result<EnvKnobs, EnvKnobError> {
+        let engine = match get(ENGINE_ENV) {
+            Some(s) => {
+                parse_engine(&s).ok_or_else(|| EnvKnobError::new(ENGINE_ENV, &s, ENGINE_GRAMMAR))?
+            }
+            None => Engine::default(),
+        };
+        let threads = match get(THREADS_ENV) {
+            Some(s) => Some(
+                parse_thread_count(&s)
+                    .ok_or_else(|| EnvKnobError::new(THREADS_ENV, &s, THREADS_GRAMMAR))?,
+            ),
+            None => None,
+        };
+        let faults = match get(FAULTS_ENV) {
+            Some(s) if !s.trim().is_empty() => Some(
+                FaultPlan::parse(&s)
+                    .map_err(|e| EnvKnobError::new(FAULTS_ENV, &s, e.to_string()))?,
+            ),
+            _ => None,
+        };
+        Ok(EnvKnobs {
+            engine,
+            pool: resolve_switch(&get, POOL_ENV)?,
+            plan_cache: resolve_switch(&get, PLAN_CACHE_ENV)?,
+            spec: resolve_switch(&get, SPEC_ENV)?,
+            threads,
+            faults,
+        })
+    }
 }
 
-/// `off`/`0`/`false`/`no` (case-insensitive) disables a boolean knob;
-/// unset or anything else leaves it on.
-fn switch_enabled(var: &str) -> bool {
-    match std::env::var(var) {
-        Ok(s) => !matches!(
-            s.trim().to_ascii_lowercase().as_str(),
-            "off" | "0" | "false" | "no"
-        ),
-        Err(_) => true,
+const ENGINE_GRAMMAR: &str = "expected `scalar`, `batched` or `compiled`";
+const THREADS_GRAMMAR: &str = "expected a positive integer";
+const SWITCH_GRAMMAR: &str = "expected `on`/`1`/`true`/`yes` or `off`/`0`/`false`/`no`";
+
+/// `scalar`/`batched`/`compiled`, case-insensitive and trimmed.
+fn parse_engine(value: &str) -> Option<Engine> {
+    let v = value.trim();
+    if v.eq_ignore_ascii_case("scalar") {
+        Some(Engine::Scalar)
+    } else if v.eq_ignore_ascii_case("batched") {
+        Some(Engine::Batched)
+    } else if v.eq_ignore_ascii_case("compiled") {
+        Some(Engine::Compiled)
+    } else {
+        None
+    }
+}
+
+/// `on`/`1`/`true`/`yes` or `off`/`0`/`false`/`no`, case-insensitive and
+/// trimmed. Anything else is a grammar error — an `MGPU_POOL=offf` typo
+/// must not silently leave the pool on.
+fn parse_switch(value: &str) -> Option<bool> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "on" | "1" | "true" | "yes" => Some(true),
+        "off" | "0" | "false" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+/// A positive integer, trimmed. Zero is a grammar error (a thread count
+/// of zero is meaningless, and silently clamping it would mask the typo).
+fn parse_thread_count(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+fn resolve_switch(
+    get: &impl Fn(&'static str) -> Option<String>,
+    var: &'static str,
+) -> Result<bool, EnvKnobError> {
+    match get(var) {
+        Some(s) => parse_switch(&s).ok_or_else(|| EnvKnobError::new(var, &s, SWITCH_GRAMMAR)),
+        None => Ok(true),
+    }
+}
+
+/// The once-per-process knob snapshot (or the first validation error).
+fn env_knobs() -> &'static Result<EnvKnobs, EnvKnobError> {
+    static KNOBS: OnceLock<Result<EnvKnobs, EnvKnobError>> = OnceLock::new();
+    KNOBS.get_or_init(|| EnvKnobs::resolve(|var| std::env::var(var).ok()))
+}
+
+/// The snapshot, panicking on an invalid environment — for the infallible
+/// legacy constructors; fallible paths go through
+/// [`ExecConfig::try_from_env`].
+fn env_knobs_or_panic() -> &'static EnvKnobs {
+    match env_knobs() {
+        Ok(knobs) => knobs,
+        Err(e) => panic!("mgpu-gles: {e}"),
     }
 }
 
 impl Engine {
-    /// The engine selected by `MGPU_ENGINE`, falling back to
-    /// [`Engine::Batched`] when unset or unrecognised. Resolved **once**
-    /// per process and cached thereafter, so a mid-run environment
-    /// mutation can never flip engines between draws.
+    /// The engine selected by `MGPU_ENGINE`, defaulting to
+    /// [`Engine::Batched`] when unset. Resolved **once** per process and
+    /// cached thereafter, so a mid-run environment mutation can never
+    /// flip engines between draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `MGPU_ENGINE` (or any other `MGPU_*` knob) holds an
+    /// invalid value; use [`ExecConfig::try_from_env`] /
+    /// [`Gl::try_new`](crate::Gl::try_new) to handle that as a typed
+    /// error instead.
     #[must_use]
     pub fn from_env() -> Self {
-        env_defaults().engine
+        env_knobs_or_panic().engine
     }
 }
 
-/// The process-wide `MGPU_PLAN_CACHE` default (resolved once).
+/// The process-wide `MGPU_PLAN_CACHE` default (resolved once; an invalid
+/// environment reports through context creation, so default to on here).
 pub(crate) fn plan_cache_default() -> bool {
-    env_defaults().plan_cache
+    env_knobs().as_ref().map(|k| k.plan_cache).unwrap_or(true)
+}
+
+/// The process-wide `MGPU_FAULTS` plan (resolved once), or the knob error
+/// context creation should surface.
+pub(crate) fn env_fault_plan() -> Result<Option<FaultPlan>, EnvKnobError> {
+    match env_knobs() {
+        Ok(knobs) => Ok(knobs.faults.clone()),
+        Err(e) => Err(e.clone()),
+    }
 }
 
 /// Fixed row-chunk granularity of the parallel rasteriser.
@@ -161,32 +314,61 @@ impl ExecConfig {
     /// Executes fragments on `threads` worker threads (clamped to ≥ 1),
     /// with the environment-selected engine, pool and specialisation
     /// modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `MGPU_*` knob holds an invalid value (see
+    /// [`ExecConfig::try_from_env`] for the fallible path).
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
-        let defaults = env_defaults();
+        let knobs = env_knobs_or_panic();
         ExecConfig {
             threads: threads.max(1),
-            engine: defaults.engine,
-            pool: defaults.pool,
-            spec: defaults.spec,
+            engine: knobs.engine,
+            pool: knobs.pool,
+            spec: knobs.spec,
         }
     }
 
-    /// Reads `MGPU_THREADS`, `MGPU_ENGINE` and `MGPU_POOL`, falling back
-    /// to the machine's available parallelism, the batched engine and the
-    /// pooled dispatcher.
+    /// The environment-driven configuration: `MGPU_THREADS` (falling back
+    /// to the machine's available parallelism), `MGPU_ENGINE`, `MGPU_POOL`
+    /// and `MGPU_SPEC`, all from the once-per-process snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`EnvKnobError`] recorded in the snapshot when any
+    /// `MGPU_*` knob holds an invalid value.
+    pub fn try_from_env() -> Result<Self, EnvKnobError> {
+        let knobs = match env_knobs() {
+            Ok(knobs) => knobs,
+            Err(e) => return Err(e.clone()),
+        };
+        let threads = knobs.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        Ok(ExecConfig {
+            threads: threads.max(1),
+            engine: knobs.engine,
+            pool: knobs.pool,
+            spec: knobs.spec,
+        })
+    }
+
+    /// [`ExecConfig::try_from_env`] for infallible call sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `MGPU_*` knob holds an invalid value; prefer
+    /// [`ExecConfig::try_from_env`] (or
+    /// [`Gl::try_new`](crate::Gl::try_new)) where the error can be
+    /// handled.
     #[must_use]
     pub fn from_env() -> Self {
-        match std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-        {
-            Some(n) if n >= 1 => ExecConfig::with_threads(n),
-            _ => ExecConfig::with_threads(
-                std::thread::available_parallelism()
-                    .map(NonZeroUsize::get)
-                    .unwrap_or(1),
-            ),
+        match ExecConfig::try_from_env() {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("mgpu-gles: {e}"),
         }
     }
 
@@ -215,10 +397,10 @@ impl ExecConfig {
     }
 
     /// This configuration with bind-time uniform specialisation switched
-    /// on or off. Specialisation only applies on the batched tier (the
-    /// scalar tier is always the pristine reference interpreter); with it
-    /// off, the batched engine runs the original shader with uniforms
-    /// resolved at seat bind time. Byte-identical either way — this knob
+    /// on or off. Specialisation only applies on the batched and compiled
+    /// tiers (the scalar tier is always the pristine reference
+    /// interpreter); with it off, those engines run the original shader
+    /// with uniforms resolved at bind time. Byte-identical either way — this knob
     /// exists so the conformance lattice can attribute a divergence to
     /// specialisation as opposed to lane batching.
     #[must_use]
@@ -328,6 +510,140 @@ mod tests {
             cfg.pool_enabled(),
             ExecConfig::with_threads(4).pool_enabled()
         );
+    }
+
+    /// Resolves a snapshot in which exactly one knob is set.
+    fn resolve_one(var: &'static str, value: &str) -> Result<EnvKnobs, EnvKnobError> {
+        let value = value.to_owned();
+        EnvKnobs::resolve(move |v| (v == var).then(|| value.clone()))
+    }
+
+    /// Every case/whitespace spelling of every valid token parses, for
+    /// every knob — the property the old ad-hoc readers only held for a
+    /// few hard-coded strings.
+    #[test]
+    fn knob_grammar_accepts_every_valid_spelling() {
+        let spellings = |token: &str| -> Vec<String> {
+            vec![
+                token.to_owned(),
+                token.to_uppercase(),
+                format!("{}{}", token[..1].to_uppercase(), token[1..].to_lowercase()),
+                format!("  {token} "),
+                format!("\t{}\n", token.to_uppercase()),
+            ]
+        };
+        for (token, engine) in [
+            ("scalar", Engine::Scalar),
+            ("batched", Engine::Batched),
+            ("compiled", Engine::Compiled),
+        ] {
+            for s in spellings(token) {
+                assert_eq!(parse_engine(&s), Some(engine), "engine `{s}`");
+                let knobs = resolve_one(ENGINE_ENV, &s).unwrap();
+                assert_eq!(knobs.engine, engine);
+            }
+        }
+        for (token, on) in [
+            ("on", true),
+            ("1", true),
+            ("true", true),
+            ("yes", true),
+            ("off", false),
+            ("0", false),
+            ("false", false),
+            ("no", false),
+        ] {
+            for s in spellings(token) {
+                assert_eq!(parse_switch(&s), Some(on), "switch `{s}`");
+                for var in [POOL_ENV, PLAN_CACHE_ENV, SPEC_ENV] {
+                    let knobs = resolve_one(var, &s).unwrap();
+                    let got = match var {
+                        POOL_ENV => knobs.pool,
+                        PLAN_CACHE_ENV => knobs.plan_cache,
+                        _ => knobs.spec,
+                    };
+                    assert_eq!(got, on, "{var}=`{s}`");
+                }
+            }
+        }
+        for n in [1usize, 2, 7, 64, 10_000] {
+            let s = format!(" {n} ");
+            assert_eq!(parse_thread_count(&s), Some(n));
+            assert_eq!(resolve_one(THREADS_ENV, &s).unwrap().threads, Some(n));
+        }
+        let knobs = resolve_one(FAULTS_ENV, "seed=9,ctx@3").unwrap();
+        assert_eq!(knobs.faults, Some(FaultPlan::seeded(9).ctx_loss_at_draw(3)));
+        // Unset and empty both mean "no plan", not an error.
+        assert_eq!(resolve_one(FAULTS_ENV, "  ").unwrap().faults, None);
+        let defaults = EnvKnobs::resolve(|_| None).unwrap();
+        assert_eq!(defaults.engine, Engine::Batched);
+        assert!(defaults.pool && defaults.plan_cache && defaults.spec);
+        assert_eq!(defaults.threads, None);
+        assert_eq!(defaults.faults, None);
+    }
+
+    /// Everything outside the grammar is a typed error naming the
+    /// variable and its verbatim value — never a silent default.
+    #[test]
+    fn knob_grammar_rejects_invalid_values_with_typed_errors() {
+        let engine_bad = ["typo", "vliw", "scalarr", "batched compiled", "2", ""];
+        for v in engine_bad {
+            assert_eq!(parse_engine(v), None, "engine `{v}`");
+            let err = resolve_one(ENGINE_ENV, v).unwrap_err();
+            assert_eq!(err.var, ENGINE_ENV);
+            assert_eq!(err.value, v);
+            assert!(err.to_string().contains(ENGINE_ENV), "{err}");
+        }
+        let switch_bad = ["offf", "enabled", "2", "-1", "o n", ""];
+        for v in switch_bad {
+            assert_eq!(parse_switch(v), None, "switch `{v}`");
+            for var in [POOL_ENV, PLAN_CACHE_ENV, SPEC_ENV] {
+                let err = resolve_one(var, v).unwrap_err();
+                assert_eq!((err.var, err.value.as_str()), (var, v));
+            }
+        }
+        let threads_bad = ["0", "-3", "two", "1.5", "1e3", "", "0x8"];
+        for v in threads_bad {
+            assert_eq!(parse_thread_count(v), None, "threads `{v}`");
+            let err = resolve_one(THREADS_ENV, v).unwrap_err();
+            assert_eq!((err.var, err.value.as_str()), (THREADS_ENV, v));
+        }
+        let err = resolve_one(FAULTS_ENV, "seed=bogus").unwrap_err();
+        assert_eq!(err.var, FAULTS_ENV);
+        assert!(err.reason.contains("seed=bogus"), "{err}");
+        let err = resolve_one(FAULTS_ENV, "frobnicate@1").unwrap_err();
+        assert_eq!(err.var, FAULTS_ENV);
+    }
+
+    /// The first invalid knob wins even when several are set, and valid
+    /// knobs resolve together.
+    #[test]
+    fn snapshot_resolves_all_knobs_together() {
+        let knobs = EnvKnobs::resolve(|var| {
+            let v = match var {
+                ENGINE_ENV => "compiled",
+                THREADS_ENV => "3",
+                POOL_ENV => "on",
+                PLAN_CACHE_ENV => "off",
+                SPEC_ENV => "no",
+                FAULTS_ENV => "seed=4",
+                _ => return None,
+            };
+            Some(v.to_owned())
+        })
+        .unwrap();
+        assert_eq!(knobs.engine, Engine::Compiled);
+        assert_eq!(knobs.threads, Some(3));
+        assert!(knobs.pool && !knobs.plan_cache && !knobs.spec);
+        assert_eq!(knobs.faults, Some(FaultPlan::seeded(4)));
+
+        let err = EnvKnobs::resolve(|var| match var {
+            ENGINE_ENV => Some("compiled".to_owned()),
+            THREADS_ENV => Some("zero".to_owned()),
+            _ => None,
+        })
+        .unwrap_err();
+        assert_eq!(err.var, THREADS_ENV);
     }
 
     #[test]

@@ -333,7 +333,11 @@ impl FaultPlan {
 
     /// Reads the plan from the `MGPU_FAULTS` environment variable.
     ///
-    /// Unset or empty means no plan.
+    /// Unset or empty means no plan. This is a **direct, uncached** read
+    /// for ad-hoc tooling; context creation goes through the
+    /// once-per-process knob snapshot instead (see
+    /// [`Gl::try_new`](crate::Gl::try_new)), so mutating the variable
+    /// after the first context exists cannot change later contexts.
     ///
     /// # Errors
     ///

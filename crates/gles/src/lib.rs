@@ -60,7 +60,7 @@ mod types;
 
 pub use context::{DrawQuad, Gl};
 pub use error::GlError;
-pub use exec::{Engine, ExecConfig};
+pub use exec::{Engine, EnvKnobError, ExecConfig};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSite, FaultSpecError};
 pub use plan_cache::PlanCacheStats;
 pub use types::{

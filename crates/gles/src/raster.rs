@@ -41,8 +41,8 @@ use std::thread;
 
 use mgpu_shader::ir::Shader;
 use mgpu_shader::{
-    specialize, BatchCore, BatchExecutor, ExecCore, ExecError, Executor, Sampler, UniformValues,
-    LANES,
+    specialize, BatchCore, BatchExecutor, CompiledCore, CompiledProgram, ExecCore, ExecError,
+    Executor, Sampler, UniformValues, LANES,
 };
 
 use crate::exec::{Engine, ExecConfig, CHUNK_ROWS};
@@ -134,11 +134,27 @@ enum FragEngine<'s> {
     /// Lane-batched SoA interpretation (boxed: the register planes are
     /// large and the scratch buffers live alongside them).
     Batched(Box<BatchState<'s>>),
+    /// Bind-time lowering to fused native closures (boxed: the plane file
+    /// is large).
+    Compiled(Box<CompiledState>),
 }
 
 /// The batched tier plus its reusable staging buffers.
 struct BatchState<'s> {
     exec: BatchExecutor<'s>,
+    /// Slot-major varying staging, stride [`LANES`].
+    varyings: Vec<[f32; 4]>,
+    /// Per-lane output colours of the current batch.
+    colors: [[f32; 4]; LANES],
+}
+
+/// The compiled tier — its lowered program, plane file and staging
+/// buffers. The legacy (plan-less) dispatch path owns the program per
+/// worker; the planned path shares one build across seats instead (see
+/// [`CompiledSeat`]).
+struct CompiledState {
+    program: CompiledProgram,
+    core: CompiledCore,
     /// Slot-major varying staging, stride [`LANES`].
     varyings: Vec<[f32; 4]>,
     /// Per-lane output colours of the current batch.
@@ -159,6 +175,16 @@ impl<'s> FragEngine<'s> {
                 varyings: vec![[0.0f32; 4]; slots * LANES],
                 colors: [[0.0f32; 4]; LANES],
             })),
+            Engine::Compiled => {
+                let program = CompiledProgram::build(shader, uniforms)?;
+                let core = CompiledCore::new(&program);
+                FragEngine::Compiled(Box::new(CompiledState {
+                    program,
+                    core,
+                    varyings: vec![[0.0f32; 4]; slots * LANES],
+                    colors: [[0.0f32; 4]; LANES],
+                }))
+            }
         })
     }
 }
@@ -203,6 +229,31 @@ fn drive_fragments(
                     }
                     st.exec.run(&st.varyings, n, samplers, &mut st.colors)?;
                     for (l, &color) in st.colors[..n].iter().enumerate() {
+                        emit(x0 + l as u32, y, color);
+                    }
+                    x0 += n as u32;
+                }
+            }
+        }
+        FragEngine::Compiled(st) => {
+            let CompiledState {
+                program,
+                core,
+                varyings,
+                colors,
+            } = &mut **st;
+            for y in y0..y1 {
+                let v = (y as f32 + 0.5) / height as f32;
+                let mut x0 = 0u32;
+                while x0 < width {
+                    let n = (width - x0).min(LANES as u32) as usize;
+                    for slot in 0..table.slots {
+                        for l in 0..n {
+                            varyings[slot * LANES + l] = table.value(slot, x0 as usize + l, v);
+                        }
+                    }
+                    program.run(core, varyings, n, samplers, colors)?;
+                    for (l, &color) in colors[..n].iter().enumerate() {
                         emit(x0 + l as u32, y, color);
                     }
                     x0 += n as u32;
@@ -335,20 +386,21 @@ pub fn rasterize_quad_rows_into(
     let band_rows = y1 - y0;
 
     // Bind-time specialisation: fold the bound uniforms into the shader
-    // as constants, once per draw. Only the batched tier uses it — the
-    // scalar tier stays the pristine reference path — and `MGPU_SPEC=off`
-    // (or `ExecConfig::with_specialization(false)`) skips it entirely, in
-    // which case the batch executor resolves uniforms at seat bind time.
-    // Timing is computed by the caller from the original shader, so this
-    // can never perturb the simulated cost.
+    // as constants, once per draw. Only the batched and compiled tiers
+    // use it — the scalar tier stays the pristine reference path — and
+    // `MGPU_SPEC=off` (or `ExecConfig::with_specialization(false)`) skips
+    // it entirely, in which case uniforms resolve at seat bind time (the
+    // compiled tier folds them into constant planes either way). Timing
+    // is computed by the caller from the original shader, so this can
+    // never perturb the simulated cost.
     let engine_kind = exec.engine();
     let specialized;
     let shader = match engine_kind {
-        Engine::Batched if exec.specialization() => {
+        Engine::Batched | Engine::Compiled if exec.specialization() => {
             specialized = specialize(shader, uniforms)?;
             &specialized
         }
-        Engine::Scalar | Engine::Batched => shader,
+        Engine::Scalar | Engine::Batched | Engine::Compiled => shader,
     };
     let table = ColumnTable::new(corners, width);
 
@@ -500,11 +552,26 @@ enum FragSeat {
     Scalar(ExecCore),
     /// Lane-batched SoA interpretation (boxed: large register planes).
     Batched(Box<BatchSeat>),
+    /// Fused native-closure execution (boxed: large plane file). The
+    /// program is the plan's single shared build — seats only own a plane
+    /// file and staging buffers.
+    Compiled(Box<CompiledSeat>),
 }
 
 /// The batched tier's core plus its reusable staging buffers.
 struct BatchSeat {
     core: BatchCore,
+    /// Slot-major varying staging, stride [`LANES`].
+    varyings: Vec<[f32; 4]>,
+    /// Per-lane output colours of the current batch.
+    colors: [[f32; 4]; LANES],
+}
+
+/// The compiled tier's plane file plus staging, sharing the plan's
+/// lowered program: lowering happens once per plan, not once per seat.
+struct CompiledSeat {
+    program: Arc<CompiledProgram>,
+    core: CompiledCore,
     /// Slot-major varying staging, stride [`LANES`].
     varyings: Vec<[f32; 4]>,
     /// Per-lane output colours of the current batch.
@@ -517,6 +584,7 @@ impl FragSeat {
         uniforms: &UniformValues,
         engine: Engine,
         slots: usize,
+        compiled: Option<&Arc<CompiledProgram>>,
     ) -> Result<Self, ExecError> {
         Ok(match engine {
             Engine::Scalar => FragSeat::Scalar(ExecCore::new(shader, uniforms)?),
@@ -525,24 +593,49 @@ impl FragSeat {
                 varyings: vec![[0.0f32; 4]; slots * LANES],
                 colors: [[0.0f32; 4]; LANES],
             })),
+            Engine::Compiled => {
+                let program = Arc::clone(
+                    compiled
+                        .ok_or_else(|| ExecError::new("compiled plan has no lowered program"))?,
+                );
+                let core = CompiledCore::new(&program);
+                FragSeat::Compiled(Box::new(CompiledSeat {
+                    program,
+                    core,
+                    varyings: vec![[0.0f32; 4]; slots * LANES],
+                    colors: [[0.0f32; 4]; LANES],
+                }))
+            }
         })
     }
 
     /// Rebinds the seat to a new shader/uniform pair, reusing its
     /// allocations. The seat's tier must match the plan's engine — the
     /// caller guarantees it by only recycling seats from a same-engine
-    /// plan.
+    /// plan — and `compiled` must be the plan's lowered program on the
+    /// compiled tier.
     fn rebind(
         &mut self,
         shader: &Shader,
         uniforms: &UniformValues,
         slots: usize,
+        compiled: Option<&Arc<CompiledProgram>>,
     ) -> Result<(), ExecError> {
         match self {
             FragSeat::Scalar(core) => core.rebind(shader, uniforms),
             FragSeat::Batched(seat) => {
                 seat.varyings.resize(slots * LANES, [0.0f32; 4]);
                 seat.core.rebind(shader, uniforms)
+            }
+            FragSeat::Compiled(seat) => {
+                let program = Arc::clone(
+                    compiled
+                        .ok_or_else(|| ExecError::new("compiled plan has no lowered program"))?,
+                );
+                seat.core.rebind(&program);
+                seat.program = program;
+                seat.varyings.resize(slots * LANES, [0.0f32; 4]);
+                Ok(())
             }
         }
     }
@@ -604,6 +697,32 @@ fn run_seat_rows(
                 }
             }
         }
+        FragSeat::Compiled(st) => {
+            let CompiledSeat {
+                program,
+                core,
+                varyings,
+                colors,
+            } = &mut **st;
+            let width = width as u32;
+            for y in y0..y1 {
+                let v = (y as f32 + 0.5) / height as f32;
+                let mut x0 = 0u32;
+                while x0 < width {
+                    let n = (width - x0).min(LANES as u32) as usize;
+                    for slot in 0..table.slots {
+                        for l in 0..n {
+                            varyings[slot * LANES + l] = table.value(slot, x0 as usize + l, v);
+                        }
+                    }
+                    program.run(core, varyings, n, samplers, colors)?;
+                    for (l, &color) in colors[..n].iter().enumerate() {
+                        emit(x0 + l as u32, y, color);
+                    }
+                    x0 += n as u32;
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -619,8 +738,14 @@ fn run_seat_rows(
 /// fresh to every [`execute_plan`] call.
 pub(crate) struct DrawPlan {
     /// The shader the seats are bound to: the source program's shader on
-    /// the scalar tier, its uniform-specialised clone on the batched tier.
+    /// the scalar tier, its uniform-specialised clone on the batched and
+    /// compiled tiers (with specialisation enabled).
     shader: Arc<Shader>,
+    /// The compiled tier's lowered program, built once per plan and
+    /// shared by every seat (`None` on the other tiers). Caching the plan
+    /// therefore caches the lowering — a cache hit pays zero decode *and*
+    /// zero build.
+    compiled: Option<Arc<CompiledProgram>>,
     engine: Engine,
     /// Kept so additional seats can be bound lazily when the thread count
     /// rises after the plan was built.
@@ -666,8 +791,13 @@ impl DrawPlan {
     ) -> Result<DrawPlan, ExecError> {
         check_corners(source, corners)?;
         let shader = match engine {
-            Engine::Batched if spec => Arc::new(specialize(source, uniforms)?),
-            Engine::Scalar | Engine::Batched => Arc::clone(source),
+            Engine::Batched | Engine::Compiled if spec => Arc::new(specialize(source, uniforms)?),
+            Engine::Scalar | Engine::Batched | Engine::Compiled => Arc::clone(source),
+        };
+        // Lower once per plan; every seat shares the build.
+        let compiled = match engine {
+            Engine::Compiled => Some(Arc::new(CompiledProgram::build(&shader, uniforms)?)),
+            Engine::Scalar | Engine::Batched => None,
         };
         let slots = corners.len();
         let mut seats = match recycled {
@@ -675,13 +805,20 @@ impl DrawPlan {
             _ => Vec::new(),
         };
         for seat in &mut seats {
-            seat.rebind(&shader, uniforms, slots)?;
+            seat.rebind(&shader, uniforms, slots, compiled.as_ref())?;
         }
         if seats.is_empty() {
-            seats.push(FragSeat::new(&shader, uniforms, engine, slots)?);
+            seats.push(FragSeat::new(
+                &shader,
+                uniforms,
+                engine,
+                slots,
+                compiled.as_ref(),
+            )?);
         }
         Ok(DrawPlan {
             shader,
+            compiled,
             engine,
             uniforms: uniforms.clone(),
             slots,
@@ -698,6 +835,7 @@ impl DrawPlan {
                 &self.uniforms,
                 self.engine,
                 self.slots,
+                self.compiled.as_ref(),
             )?);
         }
         Ok(())

@@ -1,0 +1,39 @@
+//! `MGPU_ENGINE=compiled` selects the compiled tier at context creation,
+//! and its framebuffer bytes are identical to the scalar reference. Own
+//! binary: the knob snapshot is process-global.
+
+use mgpu_gles::{DrawQuad, Engine, ExecConfig, Gl};
+use mgpu_tbdr::Platform;
+
+const PROG: &str = "
+    uniform vec4 u_scale;
+    varying vec2 v_coord;
+    void main() {
+        vec4 acc = vec4(v_coord, 0.25, 1.0) * u_scale;
+        gl_FragColor = acc + vec4(0.125, 0.0625, 0.03125, 0.0);
+    }
+";
+
+fn draw(gl: &mut Gl) -> Vec<u8> {
+    let prog = gl.create_program(PROG).unwrap();
+    gl.use_program(Some(prog)).unwrap();
+    gl.set_uniform_vec(prog, "u_scale", [0.75, 0.5, 1.5, 1.0])
+        .unwrap();
+    gl.clear([0.0; 4]).unwrap();
+    gl.draw_quad(&DrawQuad::fullscreen()).unwrap();
+    gl.read_pixels().unwrap()
+}
+
+#[test]
+fn compiled_engine_resolves_from_env_and_matches_scalar() {
+    std::env::set_var("MGPU_ENGINE", "compiled");
+    let mut gl = Gl::try_new(Platform::sgx_545(), 16, 16).unwrap();
+    std::env::remove_var("MGPU_ENGINE");
+    assert_eq!(gl.exec_config().engine(), Engine::Compiled);
+    let compiled = draw(&mut gl);
+
+    let mut reference = Gl::new(Platform::sgx_545(), 16, 16);
+    reference.set_exec_config(ExecConfig::serial().with_engine(Engine::Scalar));
+    let scalar = draw(&mut reference);
+    assert_eq!(compiled, scalar, "compiled tier must be byte-identical");
+}

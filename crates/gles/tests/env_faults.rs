@@ -1,0 +1,32 @@
+//! `MGPU_FAULTS` is read exactly once per process, at the first context
+//! creation. This binary holds the single test that exercises that path —
+//! it must be alone here, because the snapshot is process-global and a
+//! sibling test creating a context first would freeze the unset default.
+
+use mgpu_gles::{DrawQuad, Gl, GlError};
+use mgpu_tbdr::Platform;
+
+const COPY_PROG: &str = "
+    varying vec2 v_coord;
+    void main() { gl_FragColor = vec4(v_coord, 0.0, 1.0); }
+";
+
+#[test]
+fn env_spec_installs_plan_on_context_creation() {
+    // Set before the first Gl is created: the process-wide knob snapshot
+    // resolves lazily on first use and never again.
+    std::env::set_var("MGPU_FAULTS", "seed=9,ctx@0");
+    let mut gl = Gl::new(Platform::videocore_iv(), 8, 8);
+    std::env::remove_var("MGPU_FAULTS");
+    assert!(gl.fault_injector().is_some());
+    let prog = gl.create_program(COPY_PROG).unwrap();
+    gl.use_program(Some(prog)).unwrap();
+    gl.clear([0.0; 4]).unwrap();
+    let err = gl.draw_quad(&DrawQuad::fullscreen()).unwrap_err();
+    assert!(matches!(err, GlError::ContextLost));
+
+    // The snapshot is sticky: clearing the variable afterwards does not
+    // resurrect a fault-free context.
+    let gl2 = Gl::new(Platform::videocore_iv(), 8, 8);
+    assert!(gl2.fault_injector().is_some());
+}

@@ -1,0 +1,21 @@
+//! `MGPU_THREADS=0` (and non-numeric values) must fail context creation
+//! with a typed error. Own binary: the knob snapshot is process-global.
+
+use mgpu_gles::{Gl, GlError};
+use mgpu_tbdr::Platform;
+
+#[test]
+fn zero_thread_count_fails_context_creation() {
+    std::env::set_var("MGPU_THREADS", "0");
+    let err = match Gl::try_new(Platform::videocore_iv(), 8, 8) {
+        Err(e) => e,
+        Ok(_) => panic!("MGPU_THREADS=0 must not create a context"),
+    };
+    std::env::remove_var("MGPU_THREADS");
+    let GlError::InvalidEnv(e) = &err else {
+        panic!("expected InvalidEnv, got {err}");
+    };
+    assert_eq!(e.var, "MGPU_THREADS");
+    assert_eq!(e.value, "0");
+    assert!(err.to_string().contains("positive"), "{err}");
+}

@@ -270,17 +270,5 @@ fn no_plan_means_no_timing_or_byte_change() {
     assert_eq!(t_none, t_empty, "an empty plan must not perturb timing");
 }
 
-#[test]
-fn env_spec_installs_plan_on_context_creation() {
-    // Env vars are process-global; this test owns MGPU_FAULTS, and no
-    // other test in this binary reads it at context creation.
-    std::env::set_var("MGPU_FAULTS", "seed=9,ctx@0");
-    let mut gl = Gl::new(Platform::videocore_iv(), 8, 8);
-    std::env::remove_var("MGPU_FAULTS");
-    assert!(gl.fault_injector().is_some());
-    let prog = gl.create_program(COPY_PROG).unwrap();
-    gl.use_program(Some(prog)).unwrap();
-    gl.clear([0.0; 4]).unwrap();
-    let err = gl.draw_quad(&DrawQuad::fullscreen()).unwrap_err();
-    assert!(matches!(err, GlError::ContextLost));
-}
+// The `MGPU_FAULTS` env-var path lives in tests/env_faults.rs: the knob
+// snapshot is resolved once per process, so it needs a binary to itself.

@@ -103,7 +103,9 @@ fn engine_target_and_corners_each_rekey() {
     gl.set_uniform_scalar(prog, "u_k", 1.0).expect("sets");
     let golden = draw(&mut gl);
 
-    // Engine tier is part of the key; output must not change.
+    // Engine tier is part of the key; output must not change. (The
+    // golden draw above ran on the default batched tier, so scalar and
+    // compiled each add a fresh miss.)
     gl.set_exec_config(
         ExecConfig::with_threads(2)
             .with_pool(true)
@@ -113,10 +115,11 @@ fn engine_target_and_corners_each_rekey() {
     gl.set_exec_config(
         ExecConfig::with_threads(2)
             .with_pool(true)
-            .with_engine(Engine::Batched),
+            .with_engine(Engine::Compiled),
     );
+    assert_eq!(draw(&mut gl), golden);
     let after_engines = gl.plan_cache_stats();
-    assert!(after_engines.misses >= 2, "engine change must re-key");
+    assert!(after_engines.misses >= 3, "engine change must re-key");
 
     // Target geometry: rendering into a 4×4 FBO texture re-keys.
     let tex = gl.create_texture();
@@ -373,7 +376,7 @@ fn run_script(
 #[test]
 fn cache_is_invisible_across_the_mutation_script() {
     for platform in [Platform::videocore_iv(), Platform::sgx_545()] {
-        for engine in [Engine::Scalar, Engine::Batched] {
+        for engine in [Engine::Scalar, Engine::Batched, Engine::Compiled] {
             let legacy = run_script(&platform, engine, false, false);
             let pooled = run_script(&platform, engine, true, false);
             let cached = run_script(&platform, engine, true, true);

@@ -1,7 +1,7 @@
 //! Differential coverage for the operators the config-space sweep in
 //! `correctness.rs` exercises on only one engine or platform: every op
-//! runs under scalar and batched fragment execution (with specialisation
-//! on and off) on both paper platforms, and
+//! runs under scalar, batched and compiled fragment execution (with
+//! specialisation on and off) on both paper platforms, and
 //!
 //! 1. all engine variants must agree **bit-exactly** (the engines'
 //!    equivalence contract — any drift is an engine bug, not float noise);
@@ -19,8 +19,9 @@ use mgpu_workloads::{
 };
 
 /// The engine variants every op must agree across: scalar, batched with
-/// bind-time uniform specialisation, and batched resolving uniforms at
-/// seat-bind time.
+/// bind-time uniform specialisation, batched resolving uniforms at
+/// seat-bind time, and the compiled closure-chain tier (with and without
+/// specialisation, which gates most of its fusion rules).
 fn engine_variants() -> Vec<(&'static str, OptConfig)> {
     let base = OptConfig::baseline().without_swap();
     vec![
@@ -32,6 +33,15 @@ fn engine_variants() -> Vec<(&'static str, OptConfig)> {
         (
             "batched-spec",
             base.with_engine(Engine::Batched).with_specialization(false),
+        ),
+        (
+            "compiled+spec",
+            base.with_engine(Engine::Compiled).with_specialization(true),
+        ),
+        (
+            "compiled-spec",
+            base.with_engine(Engine::Compiled)
+                .with_specialization(false),
         ),
     ]
 }

@@ -152,9 +152,12 @@ impl BatchCore {
     /// not be run.
     pub fn rebind(&mut self, shader: &Shader, uniforms: &UniformValues) -> Result<(), ExecError> {
         register_widths_into(shader, &mut self.widths);
-        // Uniform planes below are the only register state `run` reads
-        // before writing, so only those need re-broadcasting; resize
-        // handles a grown register file.
+        // Re-zero every plane, not just grown ones: a shader swap with an
+        // equal `reg_count` would otherwise keep the previous shader's
+        // plane contents, and hand-built IR is allowed to read registers
+        // it never writes (the scalar tier reads 0.0 there). `clear` +
+        // `resize` keeps the allocation, so rebinding stays cheap.
+        self.regs.clear();
         self.regs
             .resize(shader.reg_count as usize, [[0.0f32; LANES]; 4]);
         self.varying_regs.clear();
@@ -654,6 +657,47 @@ mod tests {
         let mut batch = BatchExecutor::new(&sh, &UniformValues::new()).unwrap();
         let mut out = [[0.0f32; 4]; 1];
         assert!(batch.run(&[], 1, &[], &mut out).is_err());
+    }
+
+    #[test]
+    fn rebind_with_equal_reg_count_leaves_no_stale_planes() {
+        use crate::ir::Instr;
+        // Shader A writes register 1; shader B — same reg_count — reads
+        // register 1 without ever writing it. The scalar tier reads 0.0
+        // from its zeroed file, so a rebound batch core must too, not
+        // shader A's leftover plane.
+        let dirty = Shader {
+            instrs: vec![Instr {
+                dst: Reg(1),
+                width: 4,
+                op: Op::Const([7.0; 4]),
+                srcs: vec![],
+            }],
+            reg_count: 3,
+            inputs: vec![],
+            samplers: vec![],
+            output: Reg(1),
+        };
+        let reads_unwritten = Shader {
+            instrs: vec![Instr {
+                dst: Reg(2),
+                width: 4,
+                op: Op::Mov,
+                srcs: vec![Reg(1)],
+            }],
+            reg_count: 3,
+            inputs: vec![],
+            samplers: vec![],
+            output: Reg(2),
+        };
+        let uniforms = UniformValues::new();
+        let mut core = BatchCore::new(&dirty, &uniforms).unwrap();
+        let mut out = [[f32::NAN; 4]; 1];
+        core.run(&dirty, &[], 1, &[], &mut out).unwrap();
+        assert_eq!(out[0], [7.0; 4]);
+        core.rebind(&reads_unwritten, &uniforms).unwrap();
+        core.run(&reads_unwritten, &[], 1, &[], &mut out).unwrap();
+        assert_eq!(out[0], [0.0; 4], "rebind must not leak shader A's planes");
     }
 
     #[test]

@@ -48,6 +48,7 @@
 
 pub mod ast;
 mod batch;
+pub mod compile;
 pub mod cost;
 mod error;
 mod fold;
@@ -64,6 +65,7 @@ mod token;
 mod vm;
 
 pub use batch::{BatchCore, BatchExecutor, LANES};
+pub use compile::{CompiledCore, CompiledProgram};
 pub use error::{render_error, CompileError, CompileErrorKind, ExecError};
 pub use fold::{const_eval, ConstVal};
 pub use limits::{check_limits, Limits};

@@ -49,6 +49,29 @@ pub trait Sampler: Sync {
             *o = self.fetch(*u, *v);
         }
     }
+
+    /// Samples a batch that shares one `v` coordinate: lane `l` fetches
+    /// `(us[l], v)` into `out[l]` — the shape of a row-major fragment
+    /// batch reading along a texture row. Each lane must produce exactly
+    /// what [`Sampler::fetch`] would; the default guarantees that by
+    /// delegating. Implementations override it to resolve the row once
+    /// per batch.
+    fn fetch_row_batch(&self, us: &[f32], v: f32, out: &mut [[f32; 4]]) {
+        for (o, u) in out.iter_mut().zip(us) {
+            *o = self.fetch(*u, v);
+        }
+    }
+
+    /// Exposes the raw RGBA8 texel data as `(bytes, width, height)` when
+    /// this sampler is a plain nearest/clamp image whose [`Sampler::fetch`]
+    /// is exactly `u8_to_unorm` over `bytes[(y*width + x)*4..][..4]` with
+    /// `x = clamp(floor(u*width))`, `y = clamp(floor(v*height))`. Fused
+    /// execution tiers use this to gather texels without the AoS staging
+    /// round trip; returning `None` (the default) keeps them on the
+    /// virtual fetch path.
+    fn raw_rgba8(&self) -> Option<(&[u8], u32, u32)> {
+        None
+    }
 }
 
 /// A sampler over an owned RGBA8 image, with nearest filtering and
@@ -123,6 +146,30 @@ impl Sampler for ImageSampler {
         let (wf, hf) = (self.width as f32, self.height as f32);
         for ((o, u), v) in out.iter_mut().zip(us).zip(vs) {
             *o = self.fetch_scaled(*u, *v, wf, hf);
+        }
+    }
+
+    fn raw_rgba8(&self) -> Option<(&[u8], u32, u32)> {
+        Some((&self.data, self.width, self.height))
+    }
+
+    fn fetch_row_batch(&self, us: &[f32], v: f32, out: &mut [[f32; 4]]) {
+        // Same floor/clamp/index arithmetic as `fetch_scaled`, with the
+        // row term resolved once: `(y*w + x)*4 == (row + x)*4` exactly.
+        let (wf, hf) = (self.width as f32, self.height as f32);
+        let y = ((v * hf).floor() as i64).clamp(0, i64::from(self.height) - 1);
+        let row = y as usize * self.width as usize;
+        let xmax = i64::from(self.width) - 1;
+        for (o, u) in out.iter_mut().zip(us) {
+            let x = ((*u * wf).floor() as i64).clamp(0, xmax);
+            let idx = (row + x as usize) * 4;
+            let t = &self.data[idx..idx + 4];
+            *o = [
+                u8_to_unorm(t[0]),
+                u8_to_unorm(t[1]),
+                u8_to_unorm(t[2]),
+                u8_to_unorm(t[3]),
+            ];
         }
     }
 }

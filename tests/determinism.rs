@@ -3,10 +3,10 @@
 //! The tentpole guarantee: host-side threading and the fragment-engine
 //! tier are *purely* wall-clock knobs. For `sum` and blocked `sgemm`
 //! (block 16) on both platforms, running at 2, 4 and 8 threads — and on
-//! either the scalar reference engine or the lane-batched SoA engine —
-//! must produce output buffers byte-for-byte identical to the serial
-//! scalar path, and the simulated-time report must not change by a
-//! single tick.
+//! the scalar reference engine, the lane-batched SoA engine, or the
+//! compiled closure-chain engine — must produce output buffers
+//! byte-for-byte identical to the serial scalar path, and the
+//! simulated-time report must not change by a single tick.
 
 use mgpu::gpgpu::{Sgemm, Sum};
 use mgpu::tbdr::SimReport;
@@ -118,7 +118,7 @@ fn engines_are_byte_identical_across_thread_counts() {
         let golden_sum = run_sum(&platform, ExecConfig::serial());
         let golden_sgemm = run_sgemm(&platform, ExecConfig::serial());
         for threads in [1, 4] {
-            for engine in [Engine::Scalar, Engine::Batched] {
+            for engine in [Engine::Scalar, Engine::Batched, Engine::Compiled] {
                 let exec = ExecConfig::with_threads(threads).with_engine(engine);
                 assert_eq!(
                     run_sum(&platform, exec),
@@ -148,7 +148,7 @@ fn pooled_dispatch_matches_the_legacy_path_exactly() {
         let golden_sum = run_sum(&platform, ExecConfig::serial());
         let golden_sgemm = run_sgemm(&platform, ExecConfig::serial());
         for threads in [1, 2, 4, 8] {
-            for engine in [Engine::Scalar, Engine::Batched] {
+            for engine in [Engine::Scalar, Engine::Batched, Engine::Compiled] {
                 for pool in [false, true] {
                     let exec = ExecConfig::with_threads(threads)
                         .with_engine(engine)
