@@ -24,6 +24,10 @@ pub struct ExecPoint {
     pub pool: bool,
     /// Per-context draw-plan cache (only reachable through the pool).
     pub plan_cache: bool,
+    /// Tile-signature redundancy elimination (`MGPU_TILE_SKIP`). Changes
+    /// *simulated time* by design, so the oracle only holds reports equal
+    /// within a skip group — transcripts must still match the baseline.
+    pub tile_skip: bool,
     /// Host worker threads.
     pub threads: usize,
 }
@@ -38,6 +42,7 @@ impl ExecPoint {
             spec: false,
             pool: false,
             plan_cache: false,
+            tile_skip: false,
             threads: 1,
         }
     }
@@ -49,7 +54,8 @@ impl ExecPoint {
             .with_thread_count(self.threads)
             .with_engine(self.engine)
             .with_pool(self.pool)
-            .with_specialization(self.spec);
+            .with_specialization(self.spec)
+            .with_tile_skip(self.tile_skip);
         gl.set_exec_config(exec);
         gl.set_plan_cache_enabled(self.plan_cache);
     }
@@ -77,6 +83,7 @@ impl ExecPoint {
                 "spec" => point.spec = parse_switch(value)?,
                 "pool" => point.pool = parse_switch(value)?,
                 "cache" => point.plan_cache = parse_switch(value)?,
+                "skip" => point.tile_skip = parse_switch(value)?,
                 "threads" => {
                     point.threads = value
                         .parse::<usize>()
@@ -103,7 +110,7 @@ impl fmt::Display for ExecPoint {
         let onoff = |b: bool| if b { "on" } else { "off" };
         write!(
             f,
-            "engine={} spec={} pool={} cache={} threads={}",
+            "engine={} spec={} pool={} cache={} skip={} threads={}",
             match self.engine {
                 Engine::Scalar => "scalar",
                 Engine::Batched => "batched",
@@ -112,6 +119,7 @@ impl fmt::Display for ExecPoint {
             onoff(self.spec),
             onoff(self.pool),
             onoff(self.plan_cache),
+            onoff(self.tile_skip),
             self.threads
         )
     }
@@ -119,7 +127,9 @@ impl fmt::Display for ExecPoint {
 
 /// The full lattice: {scalar, batched±spec, compiled±spec} × {serial;
 /// scope-spawn and pool (with the plan cache both on and off) at 2 and 8
-/// threads}. 35 points; index 0 is [`ExecPoint::baseline`].
+/// threads}, plus per engine tier three tile-skip points (serial, and
+/// pool+cache at 2 and 8 threads). 50 points; index 0 is
+/// [`ExecPoint::baseline`].
 #[must_use]
 pub fn lattice() -> Vec<ExecPoint> {
     let mut points = Vec::new();
@@ -135,6 +145,7 @@ pub fn lattice() -> Vec<ExecPoint> {
             spec,
             pool: false,
             plan_cache: false,
+            tile_skip: false,
             threads: 1,
         };
         points.push(base);
@@ -153,6 +164,22 @@ pub fn lattice() -> Vec<ExecPoint> {
                 ..base
             });
         }
+        // Tile-skip axis: the serial path and both pooled thread counts.
+        // Every skip-on point must replay byte-identical transcripts; the
+        // oracle additionally holds their reports equal to each other.
+        points.push(ExecPoint {
+            tile_skip: true,
+            ..base
+        });
+        for threads in [2usize, 8] {
+            points.push(ExecPoint {
+                pool: true,
+                plan_cache: true,
+                tile_skip: true,
+                threads,
+                ..base
+            });
+        }
     }
     points
 }
@@ -162,15 +189,23 @@ mod tests {
     use super::*;
 
     #[test]
-    fn lattice_has_35_points_and_starts_at_baseline() {
+    fn lattice_has_50_points_and_starts_at_baseline() {
         let points = lattice();
-        assert_eq!(points.len(), 35);
+        assert_eq!(points.len(), 50);
         assert_eq!(points[0], ExecPoint::baseline());
         // All distinct.
         for (i, a) in points.iter().enumerate() {
             for b in &points[i + 1..] {
                 assert_ne!(a, b);
             }
+        }
+        // Three skip-on points per engine tier: serial plus pooled at 2
+        // and 8 threads, all with the plan cache following the pool.
+        let skips: Vec<&ExecPoint> = points.iter().filter(|p| p.tile_skip).collect();
+        assert_eq!(skips.len(), 15);
+        for p in &skips {
+            assert_eq!(p.pool, p.plan_cache);
+            assert!(p.pool || p.threads == 1);
         }
     }
 
@@ -186,6 +221,7 @@ mod tests {
     fn parse_rejects_malformed_fields() {
         assert!(ExecPoint::parse("engine=vliw").is_err());
         assert!(ExecPoint::parse("spec=maybe").is_err());
+        assert!(ExecPoint::parse("skip=maybe").is_err());
         assert!(ExecPoint::parse("threads=zero").is_err());
         assert!(ExecPoint::parse("bogus=1").is_err());
         assert!(ExecPoint::parse("nokey").is_err());

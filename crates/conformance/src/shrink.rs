@@ -587,6 +587,10 @@ pub fn shrink_point(point: ExecPoint, mut fails: impl FnMut(&ExecPoint) -> bool)
                 plan_cache: false,
                 ..best
             },
+            ExecPoint {
+                tile_skip: false,
+                ..best
+            },
             ExecPoint { threads: 1, ..best },
         ];
         let mut progress = false;
@@ -679,6 +683,7 @@ mod tests {
             spec: true,
             pool: true,
             plan_cache: true,
+            tile_skip: true,
             threads: 8,
         };
         assert_eq!(shrink_point(worst, |_| true), ExecPoint::baseline());
@@ -693,6 +698,7 @@ mod tests {
             spec: false,
             pool: false,
             plan_cache: false,
+            tile_skip: false,
             threads: 1,
         };
         // The failure reproduces on the batched interpreter too, but not

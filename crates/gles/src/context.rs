@@ -22,7 +22,8 @@ use mgpu_shader::ir::Shader;
 use mgpu_shader::{compile_with, cost, CompileOptions, Limits, OptOptions, Sampler, UniformValues};
 use mgpu_tbdr::{
     AllocKind, CopyOut, FragmentProfile, FragmentWork, FrameTiming, FrameWork, PipelineSim,
-    Platform, RenderTarget, ResourceId, SimReport, SimTime, SyncOp, Upload, VertexWork,
+    Platform, RenderTarget, ResourceId, SimReport, SimTime, SkipWork, SyncOp, TileRect, Upload,
+    VertexWork,
 };
 
 use crate::error::GlError;
@@ -31,8 +32,12 @@ use crate::fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSite};
 use crate::plan_cache::{corners_hash, PlanCache, PlanCacheStats, PlanKey};
 use crate::pool::WorkerPool;
 use crate::raster::{
-    execute_plan, panic_message, quantize_rgba8, rasterize_quad_rows_into, texcoord_corners,
-    DrawPlan, RasterTarget, VaryingCorners,
+    execute_plan, execute_plan_rect, panic_message, quantize_rgba8, rasterize_quad_rows_into,
+    texcoord_corners, DrawPlan, RasterTarget, VaryingCorners,
+};
+use crate::tile_skip::{
+    blit_tile, content_hash, extract_tile, region_hash, sample_footprint, tile_signature, TexSig,
+    TileKey, TileSigCache, TileSkipStats, SIG_BYTES_PER_SLOT_COLUMN, SIG_DESCRIPTOR_BYTES,
 };
 use crate::types::{
     BufferId, BufferUsage, FramebufferId, ProgramId, TextureFilter, TextureFormat, TextureId,
@@ -63,6 +68,31 @@ struct Texture {
     allocated: bool,
     /// Storage allocated and not yet rendered into / copied into.
     storage_fresh: bool,
+    /// Bumped on every content mutation (upload, copy, draw write-back,
+    /// clear, injected corruption) so the whole-texture content digest can
+    /// be memoised per version for the tile-signature cache.
+    version: u64,
+    /// `(version, digest)` memo for [`Texture::content_crc`].
+    crc_memo: Option<(u64, u64)>,
+}
+
+impl Texture {
+    /// Marks the texture's contents changed.
+    fn touch(&mut self) {
+        self.version = self.version.wrapping_add(1);
+    }
+
+    /// Whole-texture content digest, memoised per content version.
+    fn content_crc(&mut self) -> u64 {
+        if let Some((v, crc)) = self.crc_memo {
+            if v == self.version {
+                return crc;
+            }
+        }
+        let crc = content_hash(&self.data);
+        self.crc_memo = Some((self.version, crc));
+        crc
+    }
 }
 
 #[derive(Debug)]
@@ -159,6 +189,46 @@ impl DrawQuad {
     pub fn row_band(&self) -> Option<(u32, u32)> {
         self.rows
     }
+}
+
+/// What one sampled texture contributes to a tile's input signature:
+/// the exact sampled-texel region digest when the kernel's fetches are all
+/// streaming (footprint resolved from the plan's varying hull), else the
+/// memoised whole-texture digest.
+fn tile_texture_sigs(
+    plan: &DrawPlan,
+    r: &TileRect,
+    height: u32,
+    streaming_only: bool,
+    views: &[TexView<'_>],
+    whole_crcs: &[u64],
+) -> Vec<TexSig> {
+    let hull = if streaming_only {
+        plan.varying_hull(r.x0, r.x1, r.y0, r.y1, height)
+    } else {
+        None
+    };
+    views
+        .iter()
+        .zip(whole_crcs)
+        .map(|(v, &whole)| {
+            let (region, crc) = match hull {
+                Some((lo, hi)) => {
+                    let fp = sample_footprint(lo, hi, v.width, v.height);
+                    (Some(fp), region_hash(v.data, v.width, v.channels, fp))
+                }
+                None => (None, whole),
+            };
+            TexSig {
+                width: v.width,
+                height: v.height,
+                channels: v.channels,
+                linear: v.filter == TextureFilter::Linear,
+                region,
+                crc,
+            }
+        })
+        .collect()
 }
 
 /// Filtering view over texture bytes (nearest or bilinear, clamp-to-edge).
@@ -350,6 +420,10 @@ pub struct Gl {
     /// When the plan cache is disabled, the last draw's plan is parked
     /// here so the next build can recycle its allocations.
     scratch_plan: Option<DrawPlan>,
+    /// Per-context tile-signature cache for redundancy elimination
+    /// (`MGPU_TILE_SKIP=on`; flushed on context loss and engine/spec
+    /// reconfiguration).
+    tile_cache: TileSigCache,
 }
 
 impl Gl {
@@ -420,6 +494,7 @@ impl Gl {
             pool: None,
             plan_cache: PlanCache::new(plan_cache_default()),
             scratch_plan: None,
+            tile_cache: TileSigCache::new(),
         })
     }
 
@@ -449,6 +524,15 @@ impl Gl {
     pub fn set_exec_config(&mut self, exec: ExecConfig) {
         if exec.threads() != self.exec.threads() {
             self.pool = None;
+        }
+        // Cached tile signatures embed the engine/spec identity; an
+        // engine or spec switch can never hit them again, and turning
+        // skipping off must not pin stale tile bytes alive.
+        if exec.engine() != self.exec.engine()
+            || exec.specialization() != self.exec.specialization()
+            || !exec.tile_skip()
+        {
+            self.tile_cache.flush();
         }
         self.exec = exec;
     }
@@ -481,6 +565,13 @@ impl Gl {
     #[must_use]
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.plan_cache.stats()
+    }
+
+    /// Hit/miss/invalidation/replay counters of the tile-signature cache
+    /// (`MGPU_TILE_SKIP`). All zero while skipping is off.
+    #[must_use]
+    pub fn tile_skip_stats(&self) -> TileSkipStats {
+        self.tile_cache.stats()
     }
 
     // ---- fault injection & context lifecycle --------------------------
@@ -550,6 +641,9 @@ impl Gl {
         // not pay a thread-respawn tax on top of object recreation.
         self.plan_cache.clear();
         self.scratch_plan = None;
+        // Cached tile bytes likewise belong to dead objects; recovered
+        // runs must re-shade (and re-sign) from scratch.
+        self.tile_cache.flush();
     }
 
     /// Marks the context lost: pending (unsubmitted) work dies with it.
@@ -560,6 +654,7 @@ impl Gl {
         self.pending_cpu_extra = SimTime::ZERO;
         self.plan_cache.clear();
         self.scratch_plan = None;
+        self.tile_cache.flush();
     }
 
     /// Fails with [`GlError::ContextLost`] while the context is lost.
@@ -615,6 +710,8 @@ impl Gl {
                 data: Vec::new(),
                 allocated: false,
                 storage_fresh: false,
+                version: 0,
+                crc_memo: None,
             },
         );
         TextureId(h)
@@ -684,6 +781,7 @@ impl Gl {
         } else {
             Vec::new()
         };
+        t.touch();
         self.pending_uploads.push(Upload {
             resource: storage,
             alloc_bytes: expected as u64,
@@ -725,6 +823,7 @@ impl Gl {
             t.data.clear();
             t.data.extend_from_slice(data);
         }
+        t.touch();
         self.pending_uploads
             .push(Upload::reuse(t.storage, data.len() as u64));
         Ok(())
@@ -1098,6 +1197,7 @@ impl Gl {
                         for chunk in t.data.chunks_exact_mut(ch) {
                             chunk.copy_from_slice(&px[..ch]);
                         }
+                        t.touch();
                     }
                 }
             }
@@ -1287,6 +1387,10 @@ impl Gl {
                     height: band_h,
                     profile,
                     cleared: cleared_peek,
+                    // The watchdog prices the draw as if fully shaded:
+                    // kill decisions must not depend on cache warmth, or
+                    // skip-on and skip-off runs would fault differently.
+                    skip: SkipWork::default(),
                 },
                 target: probe_target,
                 reads: Vec::new(),
@@ -1302,8 +1406,12 @@ impl Gl {
             }
         }
 
-        // Functional rasterisation of the selected band.
-        if self.functional {
+        // Functional rasterisation of the selected band. When tile
+        // skipping is on, the rasteriser reports which tiles it replayed
+        // from signature-matched cache entries; the timing model then
+        // charges those tiles signature-comparison traffic instead of
+        // shading. Timing-only contexts never shade, so they never skip.
+        let skip = if self.functional {
             self.rasterize(
                 prog_id,
                 quad,
@@ -1313,8 +1421,10 @@ impl Gl {
                 target_format,
                 y0,
                 y1,
-            )?;
-        }
+            )?
+        } else {
+            SkipWork::default()
+        };
 
         // Fault injection: flip seeded bits in the freshly written target —
         // a model of transient memory corruption. Functional contents only;
@@ -1348,6 +1458,16 @@ impl Gl {
                 for (offset, mask) in flips {
                     if let Some(byte) = data.get_mut(offset) {
                         *byte ^= mask;
+                    }
+                }
+                // Corrupted texture contents must never serve a stale
+                // tile signature: bump the content version.
+                if let TargetKey::Storage(_) = target_key {
+                    if let Some(t) = self
+                        .attachment_texture()
+                        .and_then(|tex| self.textures.get_mut(&tex.0))
+                    {
+                        t.touch();
                     }
                 }
             }
@@ -1405,6 +1525,7 @@ impl Gl {
                 height: band_h,
                 profile,
                 cleared,
+                skip,
             },
             target,
             reads,
@@ -1425,7 +1546,7 @@ impl Gl {
         target_format: TextureFormat,
         y0: u32,
         y1: u32,
-    ) -> Result<(), GlError> {
+    ) -> Result<SkipWork, GlError> {
         let program = self
             .programs
             .get(&prog_id.0)
@@ -1476,6 +1597,28 @@ impl Gl {
             sampler_texs.push(tex);
         }
 
+        // Tile-redundancy elimination (`MGPU_TILE_SKIP=on`): classify the
+        // kernel's fetches and pre-compute the memoised whole-texture
+        // digests while the texture table is still mutably reachable.
+        // Streaming-only kernels get exact per-tile sampling footprints
+        // later; any dependent fetch makes the footprint unresolvable and
+        // the tile signatures fall back to these whole-texture digests.
+        let skip_on = self.exec.tile_skip();
+        let mut streaming_only = false;
+        let mut whole_crcs: Vec<u64> = Vec::new();
+        if skip_on {
+            streaming_only = !cost::analyze(&program.shader)
+                .fetches
+                .iter()
+                .any(|f| f.dependent);
+            for tex in &sampler_texs {
+                let t = self.textures.get_mut(&tex.0).ok_or_else(|| {
+                    GlError::Internal(format!("{tex} vanished during rasterisation"))
+                })?;
+                whole_crcs.push(t.content_crc());
+            }
+        }
+
         // Pull the target texture out so sampler views can borrow the rest.
         let mut taken: Option<(TextureId, Vec<u8>)> = None;
         if let TargetKey::Storage(_) = target_key {
@@ -1491,12 +1634,14 @@ impl Gl {
 
         let ch = target_format.channels();
         let exec = self.exec;
-        let outcome: Result<(), GlError> = {
+        let outcome: Result<SkipWork, GlError> = {
             let textures = &self.textures;
             let surfaces = &mut self.surfaces;
             let pool = &mut self.pool;
             let plan_cache = &mut self.plan_cache;
             let scratch_plan = &mut self.scratch_plan;
+            let tile_cache = &mut self.tile_cache;
+            let platform = &self.platform;
             let taken = &mut taken;
             // No `?` inside this closure escapes past the restore below:
             // a failed draw must leave the context valid and report a
@@ -1528,7 +1673,7 @@ impl Gl {
                     }
                 };
 
-                if !exec.pool_enabled() {
+                if !exec.pool_enabled() && !skip_on {
                     // Legacy dispatch: per-draw `thread::scope` spawning
                     // with round-robin chunk dealing and no plan caching —
                     // kept code-path-for-code-path as the pre-pool driver.
@@ -1551,7 +1696,7 @@ impl Gl {
                         )
                     }));
                     return match raster {
-                        Ok(r) => r.map_err(|e| {
+                        Ok(r) => r.map(|()| SkipWork::default()).map_err(|e| {
                             GlError::InvalidOperation(format!("kernel execution failed: {e}"))
                         }),
                         Err(p) => Err(GlError::InvalidOperation(format!(
@@ -1561,10 +1706,12 @@ impl Gl {
                     };
                 }
 
-                // Pooled dispatch: take (or build) the draw plan, execute
-                // it over the persistent pool with work-stealing chunk
-                // claiming. Sampler views are always fresh — texture
-                // contents are never part of a plan.
+                // Plan-based dispatch: pooled draws always take this path;
+                // pool-off draws join it when tile skipping is on, because
+                // signatures need the plan's hoisted column table (the
+                // actual full-band shade below still uses the pre-pool
+                // dispatcher in that case). Sampler views are always
+                // fresh — texture contents are never part of a plan.
                 let key = PlanKey {
                     program: prog_id.0,
                     shader_hash: program.shader_hash,
@@ -1576,49 +1723,177 @@ impl Gl {
                     channels: ch,
                     corners_hash: corners_hash(&corners),
                 };
-                let mut plan = match plan_cache.take(&key) {
-                    Some(plan) => plan,
-                    None => DrawPlan::build(
+                let build = |recycled: Option<DrawPlan>| {
+                    DrawPlan::build(
                         &program.shader,
                         &program.uniforms,
                         exec.engine(),
                         exec.specialization(),
                         &corners,
                         width,
+                        recycled,
+                    )
+                    .map_err(|e| GlError::InvalidOperation(format!("kernel execution failed: {e}")))
+                };
+                let mut plan = if exec.pool_enabled() {
+                    match plan_cache.take(&key) {
+                        Some(plan) => plan,
                         // Populated only while the cache is disabled, so
                         // recycling can never cannibalise a cached plan.
-                        scratch_plan.take(),
-                    )
-                    .map_err(|e| {
-                        GlError::InvalidOperation(format!("kernel execution failed: {e}"))
-                    })?,
+                        None => build(scratch_plan.take())?,
+                    }
+                } else {
+                    // The plan cache is a pooled-path feature; pool-off
+                    // skipping recycles through the scratch slot only.
+                    build(scratch_plan.take())?
                 };
-                let raster = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    execute_plan(
-                        &mut plan,
-                        &sampler_refs,
-                        RasterTarget {
-                            width,
+
+                // Tile-redundancy elimination: consult the signature cache
+                // per band-intersecting tile. Hits replay cached bytes
+                // (byte-identical by construction); misses shade below.
+                let mut skip = SkipWork::default();
+                let mut misses: Vec<(TileRect, (u64, u64))> = Vec::new();
+                if skip_on {
+                    for r in platform.tile_rects_in_band(width, height, y0, y1) {
+                        let texes = tile_texture_sigs(
+                            &plan,
+                            &r,
                             height,
-                            channels: ch,
-                            data: out,
-                        },
-                        y0,
-                        y1,
-                        exec.threads(),
-                        pool,
-                    )
+                            streaming_only,
+                            &views,
+                            &whole_crcs,
+                        );
+                        let col = plan.column_slice_hash(r.x0, r.x1);
+                        let sig = tile_signature(col, height, &r, &texes);
+                        match tile_cache.lookup(&TileKey::new(key, &r), sig) {
+                            Some(bytes) => {
+                                blit_tile(bytes, &r, width, ch, out);
+                                skip.skipped_fragments += r.pixels();
+                                skip.skipped_tiles += 1;
+                                skip.signature_bytes += SIG_DESCRIPTOR_BYTES
+                                    + plan.slot_count() as u64
+                                        * u64::from(r.width())
+                                        * SIG_BYTES_PER_SLOT_COLUMN;
+                            }
+                            None => misses.push((r, sig)),
+                        }
+                    }
+                    if misses.is_empty() {
+                        // Every tile replayed: nothing to shade. The plan
+                        // is retained exactly as a shaded draw would.
+                        if exec.pool_enabled() && plan_cache.enabled() {
+                            plan_cache.insert(key, plan);
+                        } else {
+                            *scratch_plan = Some(plan);
+                        }
+                        return Ok(skip);
+                    }
+                    if skip.skipped_tiles > 0 {
+                        // Partial hit: shade only the missing tiles, on
+                        // seat 0 tile by tile. Wall-clock only — rect
+                        // draws are byte-identical to full draws on every
+                        // engine tier.
+                        for (r, sig) in &misses {
+                            let mut bytes = vec![0u8; r.pixels() as usize * ch];
+                            let raster =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    execute_plan_rect(
+                                        &mut plan,
+                                        &sampler_refs,
+                                        height,
+                                        r.x0,
+                                        r.x1,
+                                        r.y0,
+                                        r.y1,
+                                        ch,
+                                        &mut bytes,
+                                    )
+                                }));
+                            match raster {
+                                Ok(Ok(())) => {}
+                                Ok(Err(e)) => {
+                                    return Err(GlError::InvalidOperation(format!(
+                                        "kernel execution failed: {e}"
+                                    )))
+                                }
+                                Err(p) => {
+                                    return Err(GlError::InvalidOperation(format!(
+                                        "kernel execution panicked: {}",
+                                        panic_message(&*p)
+                                    )))
+                                }
+                            }
+                            blit_tile(&bytes, r, width, ch, out);
+                            tile_cache.insert(TileKey::new(key, r), *sig, bytes);
+                        }
+                        if exec.pool_enabled() && plan_cache.enabled() {
+                            plan_cache.insert(key, plan);
+                        } else {
+                            *scratch_plan = Some(plan);
+                        }
+                        return Ok(skip);
+                    }
+                    // All tiles missed: fall through to the full-band
+                    // shade at full dispatch parallelism, then harvest.
+                }
+
+                let raster = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if exec.pool_enabled() {
+                        execute_plan(
+                            &mut plan,
+                            &sampler_refs,
+                            RasterTarget {
+                                width,
+                                height,
+                                channels: ch,
+                                data: out,
+                            },
+                            y0,
+                            y1,
+                            exec.threads(),
+                            pool,
+                        )
+                    } else {
+                        // Skip-on with the pool off shades exactly as the
+                        // pre-pool dispatcher would.
+                        rasterize_quad_rows_into(
+                            &program.shader,
+                            &program.uniforms,
+                            &sampler_refs,
+                            &corners,
+                            RasterTarget {
+                                width,
+                                height,
+                                channels: ch,
+                                data: out,
+                            },
+                            y0,
+                            y1,
+                            &exec,
+                        )
+                    }
                 }));
                 match raster {
                     // Plans are retained only after a fully successful
                     // draw; failed or panicked draws drop theirs.
                     Ok(Ok(())) => {
-                        if plan_cache.enabled() {
+                        if skip_on {
+                            // Harvest every shaded tile's bytes under its
+                            // signature for the next pass.
+                            for (r, sig) in misses {
+                                tile_cache.insert(
+                                    TileKey::new(key, &r),
+                                    sig,
+                                    extract_tile(out, &r, width, ch),
+                                );
+                            }
+                        }
+                        if exec.pool_enabled() && plan_cache.enabled() {
                             plan_cache.insert(key, plan);
                         } else {
                             *scratch_plan = Some(plan);
                         }
-                        Ok(())
+                        Ok(skip)
                     }
                     Ok(Err(e)) => Err(GlError::InvalidOperation(format!(
                         "kernel execution failed: {e}"
@@ -1634,6 +1909,9 @@ impl Gl {
         if let Some((tex, data)) = taken {
             if let Some(slot) = self.textures.get_mut(&tex.0) {
                 slot.data = data;
+                // The draw (or a failed draw's partial writes) rendered
+                // into this texture: its content version moves on.
+                slot.touch();
             }
         }
         outcome
@@ -1751,6 +2029,7 @@ impl Gl {
                     }
                 }
                 t.data = data;
+                t.touch();
             } else if functional {
                 // Shouldn't happen (functional implies src_pixels).
             }
@@ -1779,6 +2058,7 @@ impl Gl {
                 height: 0,
                 profile: FragmentProfile::default(),
                 cleared: true,
+                skip: SkipWork::default(),
             },
             target: match target_key {
                 TargetKey::Surface(s) => RenderTarget::Framebuffer { surface: s },

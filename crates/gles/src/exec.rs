@@ -17,7 +17,8 @@
 //! serial path exactly.
 //!
 //! **Every** `MGPU_*` knob (`MGPU_ENGINE`, `MGPU_POOL`, `MGPU_PLAN_CACHE`,
-//! `MGPU_SPEC`, `MGPU_THREADS`, `MGPU_FAULTS`) is resolved **once per
+//! `MGPU_SPEC`, `MGPU_TILE_SKIP`, `MGPU_THREADS`, `MGPU_FAULTS`) is
+//! resolved **once per
 //! process** into a single cached snapshot: mutating the environment
 //! mid-run can never flip the engine, pool, plan cache, thread default or
 //! fault plan between draws or desynchronise two configs built at
@@ -61,6 +62,16 @@ pub const POOL_ENV: &str = "MGPU_POOL";
 /// (`off`/`0`/`false`/`no`) while keeping the worker pool: every draw
 /// then rebuilds its specialised shader, column table and engine seats.
 pub const PLAN_CACHE_ENV: &str = "MGPU_PLAN_CACHE";
+
+/// Environment variable enabling tile-level redundancy elimination
+/// (`on`/`1`/`true`/`yes`; **default off**, unlike the other switches):
+/// draws then consult the per-context tile-signature cache and replay the
+/// cached bytes of any tile whose inputs are provably unchanged instead of
+/// shading it, and the timing simulation charges skipped tiles their
+/// signature reads instead of fragment shading. Outputs are byte-identical
+/// either way (the conformance lattice holds skip-on against skip-off);
+/// simulated timing legitimately improves.
+pub const TILE_SKIP_ENV: &str = "MGPU_TILE_SKIP";
 
 /// Environment variable disabling bind-time uniform specialisation
 /// (`off`/`0`/`false`/`no`): the batched engine then interprets the
@@ -145,6 +156,10 @@ struct EnvKnobs {
     pool: bool,
     plan_cache: bool,
     spec: bool,
+    /// `MGPU_TILE_SKIP` — the only switch that defaults **off**: tile
+    /// skipping changes simulated timing (that is its point), so it must
+    /// be asked for.
+    tile_skip: bool,
     /// `MGPU_THREADS`, when set (explicit configs still override it).
     threads: Option<usize>,
     /// `MGPU_FAULTS`, when set and non-empty.
@@ -180,6 +195,7 @@ impl EnvKnobs {
             pool: resolve_switch(&get, POOL_ENV)?,
             plan_cache: resolve_switch(&get, PLAN_CACHE_ENV)?,
             spec: resolve_switch(&get, SPEC_ENV)?,
+            tile_skip: resolve_switch_or(&get, TILE_SKIP_ENV, false)?,
             threads,
             faults,
         })
@@ -225,9 +241,17 @@ fn resolve_switch(
     get: &impl Fn(&'static str) -> Option<String>,
     var: &'static str,
 ) -> Result<bool, EnvKnobError> {
+    resolve_switch_or(get, var, true)
+}
+
+fn resolve_switch_or(
+    get: &impl Fn(&'static str) -> Option<String>,
+    var: &'static str,
+    default: bool,
+) -> Result<bool, EnvKnobError> {
     match get(var) {
         Some(s) => parse_switch(&s).ok_or_else(|| EnvKnobError::new(var, &s, SWITCH_GRAMMAR)),
-        None => Ok(true),
+        None => Ok(default),
     }
 }
 
@@ -296,6 +320,7 @@ pub struct ExecConfig {
     engine: Engine,
     pool: bool,
     spec: bool,
+    tile_skip: bool,
 }
 
 impl ExecConfig {
@@ -308,6 +333,7 @@ impl ExecConfig {
             engine: Engine::Scalar,
             pool: false,
             spec: false,
+            tile_skip: false,
         }
     }
 
@@ -327,6 +353,7 @@ impl ExecConfig {
             engine: knobs.engine,
             pool: knobs.pool,
             spec: knobs.spec,
+            tile_skip: knobs.tile_skip,
         }
     }
 
@@ -353,6 +380,7 @@ impl ExecConfig {
             engine: knobs.engine,
             pool: knobs.pool,
             spec: knobs.spec,
+            tile_skip: knobs.tile_skip,
         })
     }
 
@@ -409,6 +437,17 @@ impl ExecConfig {
         self
     }
 
+    /// This configuration with tile-level redundancy elimination switched
+    /// on or off. Unlike the other knobs this is **not** purely a
+    /// wall-clock switch: skipped tiles legitimately change the simulated
+    /// timing (signature reads instead of fragment shading) — the promise
+    /// is byte-identical *outputs*, held by the conformance lattice.
+    #[must_use]
+    pub const fn with_tile_skip(mut self, tile_skip: bool) -> Self {
+        self.tile_skip = tile_skip;
+        self
+    }
+
     /// The configured worker-thread count (≥ 1).
     #[must_use]
     pub fn threads(&self) -> usize {
@@ -433,6 +472,13 @@ impl ExecConfig {
     #[must_use]
     pub fn specialization(&self) -> bool {
         self.spec
+    }
+
+    /// Whether draws consult the per-context tile-signature cache and
+    /// replay provably-unchanged tiles instead of shading them.
+    #[must_use]
+    pub fn tile_skip(&self) -> bool {
+        self.tile_skip
     }
 
     /// Whether this configuration takes the serial path.
@@ -499,6 +545,17 @@ mod tests {
     }
 
     #[test]
+    fn tile_skip_builder_round_trips() {
+        assert!(!ExecConfig::serial().tile_skip());
+        let cfg = ExecConfig::with_threads(4).with_tile_skip(true);
+        assert!(cfg.tile_skip());
+        assert!(!cfg.with_tile_skip(false).tile_skip());
+        // Toggling tile skipping leaves the other knobs alone.
+        assert_eq!(cfg.threads(), 4);
+        assert_eq!(cfg.engine(), ExecConfig::with_threads(4).engine());
+    }
+
+    #[test]
     fn specialization_builder_round_trips() {
         assert!(!ExecConfig::serial().specialization());
         let cfg = ExecConfig::with_threads(4).with_specialization(false);
@@ -555,12 +612,13 @@ mod tests {
         ] {
             for s in spellings(token) {
                 assert_eq!(parse_switch(&s), Some(on), "switch `{s}`");
-                for var in [POOL_ENV, PLAN_CACHE_ENV, SPEC_ENV] {
+                for var in [POOL_ENV, PLAN_CACHE_ENV, SPEC_ENV, TILE_SKIP_ENV] {
                     let knobs = resolve_one(var, &s).unwrap();
                     let got = match var {
                         POOL_ENV => knobs.pool,
                         PLAN_CACHE_ENV => knobs.plan_cache,
-                        _ => knobs.spec,
+                        SPEC_ENV => knobs.spec,
+                        _ => knobs.tile_skip,
                     };
                     assert_eq!(got, on, "{var}=`{s}`");
                 }
@@ -578,6 +636,7 @@ mod tests {
         let defaults = EnvKnobs::resolve(|_| None).unwrap();
         assert_eq!(defaults.engine, Engine::Batched);
         assert!(defaults.pool && defaults.plan_cache && defaults.spec);
+        assert!(!defaults.tile_skip, "tile skipping must default off");
         assert_eq!(defaults.threads, None);
         assert_eq!(defaults.faults, None);
     }
@@ -597,7 +656,7 @@ mod tests {
         let switch_bad = ["offf", "enabled", "2", "-1", "o n", ""];
         for v in switch_bad {
             assert_eq!(parse_switch(v), None, "switch `{v}`");
-            for var in [POOL_ENV, PLAN_CACHE_ENV, SPEC_ENV] {
+            for var in [POOL_ENV, PLAN_CACHE_ENV, SPEC_ENV, TILE_SKIP_ENV] {
                 let err = resolve_one(var, v).unwrap_err();
                 assert_eq!((err.var, err.value.as_str()), (var, v));
             }
@@ -626,6 +685,7 @@ mod tests {
                 POOL_ENV => "on",
                 PLAN_CACHE_ENV => "off",
                 SPEC_ENV => "no",
+                TILE_SKIP_ENV => "yes",
                 FAULTS_ENV => "seed=4",
                 _ => return None,
             };
@@ -635,6 +695,7 @@ mod tests {
         assert_eq!(knobs.engine, Engine::Compiled);
         assert_eq!(knobs.threads, Some(3));
         assert!(knobs.pool && !knobs.plan_cache && !knobs.spec);
+        assert!(knobs.tile_skip);
         assert_eq!(knobs.faults, Some(FaultPlan::seeded(4)));
 
         let err = EnvKnobs::resolve(|var| match var {

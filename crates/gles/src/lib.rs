@@ -56,6 +56,7 @@ pub mod fault;
 mod plan_cache;
 mod pool;
 pub mod raster;
+mod tile_skip;
 mod types;
 
 pub use context::{DrawQuad, Gl};
@@ -63,6 +64,7 @@ pub use error::GlError;
 pub use exec::{Engine, EnvKnobError, ExecConfig};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSite, FaultSpecError};
 pub use plan_cache::PlanCacheStats;
+pub use tile_skip::TileSkipStats;
 pub use types::{
     BufferId, BufferUsage, FramebufferId, ProgramId, TextureFilter, TextureFormat, TextureId,
     VertexSource,

@@ -658,17 +658,51 @@ fn run_seat_rows(
     out: &mut [u8],
 ) -> Result<(), ExecError> {
     let width = table.width;
-    let mut emit = |x: u32, y: u32, rgba: [f32; 4]| {
-        let px = quantize_rgba8(rgba);
-        let idx = ((y - y0) as usize * width + x as usize) * channels;
-        out[idx..idx + channels].copy_from_slice(&px[..channels]);
-    };
+    run_seat_span(
+        seat,
+        shader,
+        samplers,
+        table,
+        height,
+        0,
+        width as u32,
+        y0,
+        y1,
+        |x, y, rgba| {
+            let px = quantize_rgba8(rgba);
+            let idx = ((y - y0) as usize * width + x as usize) * channels;
+            out[idx..idx + channels].copy_from_slice(&px[..channels]);
+        },
+    )
+}
+
+/// Runs a seat over the fragment rectangle `x0..x1` × `y0..y1`, calling
+/// `emit` with each fragment's global position and raw colour.
+///
+/// Every fragment is a pure function of its own `(x, y)` — lanes of a
+/// batch never exchange data — so restricting a row to a column span
+/// produces the same bytes those columns get from a full-row run, whatever
+/// batch boundaries the span induces. This is the primitive that lets
+/// tile-level redundancy elimination re-shade a single stale tile.
+#[allow(clippy::too_many_arguments)]
+fn run_seat_span(
+    seat: &mut FragSeat,
+    shader: &Shader,
+    samplers: &[&dyn Sampler],
+    table: &ColumnTable,
+    height: u32,
+    x0: u32,
+    x1: u32,
+    y0: u32,
+    y1: u32,
+    mut emit: impl FnMut(u32, u32, [f32; 4]),
+) -> Result<(), ExecError> {
     match seat {
         FragSeat::Scalar(core) => {
             let mut varying_values = vec![[0.0f32; 4]; table.slots];
             for y in y0..y1 {
                 let v = (y as f32 + 0.5) / height as f32;
-                for x in 0..width as u32 {
+                for x in x0..x1 {
                     for (slot, val) in varying_values.iter_mut().enumerate() {
                         *val = table.value(slot, x as usize, v);
                     }
@@ -677,23 +711,22 @@ fn run_seat_rows(
             }
         }
         FragSeat::Batched(st) => {
-            let width = width as u32;
             for y in y0..y1 {
                 let v = (y as f32 + 0.5) / height as f32;
-                let mut x0 = 0u32;
-                while x0 < width {
-                    let n = (width - x0).min(LANES as u32) as usize;
+                let mut xb = x0;
+                while xb < x1 {
+                    let n = (x1 - xb).min(LANES as u32) as usize;
                     for slot in 0..table.slots {
                         for l in 0..n {
-                            st.varyings[slot * LANES + l] = table.value(slot, x0 as usize + l, v);
+                            st.varyings[slot * LANES + l] = table.value(slot, xb as usize + l, v);
                         }
                     }
                     st.core
                         .run(shader, &st.varyings, n, samplers, &mut st.colors)?;
                     for (l, &color) in st.colors[..n].iter().enumerate() {
-                        emit(x0 + l as u32, y, color);
+                        emit(xb + l as u32, y, color);
                     }
-                    x0 += n as u32;
+                    xb += n as u32;
                 }
             }
         }
@@ -704,22 +737,21 @@ fn run_seat_rows(
                 varyings,
                 colors,
             } = &mut **st;
-            let width = width as u32;
             for y in y0..y1 {
                 let v = (y as f32 + 0.5) / height as f32;
-                let mut x0 = 0u32;
-                while x0 < width {
-                    let n = (width - x0).min(LANES as u32) as usize;
+                let mut xb = x0;
+                while xb < x1 {
+                    let n = (x1 - xb).min(LANES as u32) as usize;
                     for slot in 0..table.slots {
                         for l in 0..n {
-                            varyings[slot * LANES + l] = table.value(slot, x0 as usize + l, v);
+                            varyings[slot * LANES + l] = table.value(slot, xb as usize + l, v);
                         }
                     }
                     program.run(core, varyings, n, samplers, colors)?;
                     for (l, &color) in colors[..n].iter().enumerate() {
-                        emit(x0 + l as u32, y, color);
+                        emit(xb + l as u32, y, color);
                     }
-                    x0 += n as u32;
+                    xb += n as u32;
                 }
             }
         }
@@ -839,6 +871,76 @@ impl DrawPlan {
             )?);
         }
         Ok(())
+    }
+
+    /// Content hash of the column-table slice covering columns `x0..x1` —
+    /// the horizontal half of every varying this plan interpolates over
+    /// those columns, by exact f32 bit pattern. Together with the rows and
+    /// target height (which pin the vertical lerp), this is the tile's
+    /// complete varying input, which is why the tile-signature cache folds
+    /// it into each tile's signature.
+    pub(crate) fn column_slice_hash(&self, x0: u32, x1: u32) -> u64 {
+        let mut h = mgpu_shader::hash::Fnv64::new();
+        h.write_u64(self.slots as u64);
+        h.write_u32(x0);
+        h.write_u32(x1);
+        for slot in 0..self.slots {
+            for x in x0 as usize..(x1 as usize).min(self.width as usize) {
+                let (top, bottom) = &self.table.cols[slot * self.table.width + x];
+                for c in 0..4 {
+                    h.write_f32(top[c]);
+                    h.write_f32(bottom[c]);
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Varying slot count (used to model per-tile signature traffic).
+    pub(crate) fn slot_count(&self) -> usize {
+        self.slots
+    }
+
+    /// Conservative bounds of every varying's first two components over
+    /// the tile rect `x0..x1` × `y0..y1` of a `height`-row target:
+    /// the smallest `[min_u, min_v]..[max_u, max_v]` box containing every
+    /// value any fragment in the rect can observe. The row interpolation
+    /// factor `(y + 0.5) / height` is monotonic in `y`, so evaluating the
+    /// exact per-row lerp at the band's first and last rows bounds every
+    /// interior row. Returns `None` when the plan has no varyings or any
+    /// bound is non-finite (the caller falls back to whole-texture
+    /// signatures).
+    pub(crate) fn varying_hull(
+        &self,
+        x0: u32,
+        x1: u32,
+        y0: u32,
+        y1: u32,
+        height: u32,
+    ) -> Option<([f32; 2], [f32; 2])> {
+        if self.slots == 0 || y0 >= y1 || height == 0 {
+            return None;
+        }
+        let v_lo = (y0 as f32 + 0.5) / height as f32;
+        let v_hi = (y1 as f32 - 0.5) / height as f32;
+        let mut lo = [f32::INFINITY; 2];
+        let mut hi = [f32::NEG_INFINITY; 2];
+        for slot in 0..self.slots {
+            for x in x0 as usize..(x1 as usize).min(self.width as usize) {
+                let (top, bottom) = &self.table.cols[slot * self.table.width + x];
+                for c in 0..2 {
+                    for v in [v_lo, v_hi] {
+                        let val = top[c] * (1.0 - v) + bottom[c] * v;
+                        lo[c] = lo[c].min(val);
+                        hi[c] = hi[c].max(val);
+                    }
+                }
+            }
+        }
+        lo.iter()
+            .chain(hi.iter())
+            .all(|f| f.is_finite())
+            .then_some((lo, hi))
     }
 }
 
@@ -1019,6 +1121,74 @@ pub(crate) fn execute_plan(
         None => Ok(()),
         Some((_, e)) => Err(e),
     }
+}
+
+/// Shades the fragment rectangle `x0..x1` × `y0..y1` of a
+/// `plan.width`×`height` target serially on seat 0, quantising into the
+/// tile-local buffer `out` (row stride `(x1 - x0) * channels`).
+///
+/// Fragment positions stay global — pixel `(x, y)` of a rect draw is
+/// bit-identical to pixel `(x, y)` of a full draw (see [`run_seat_span`])
+/// — so tile-level redundancy elimination can re-shade exactly the tiles
+/// whose signatures went stale and splice the bytes into the target.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] when the rect exceeds the plan width or target
+/// height, the buffer is too small, or the kernel fails on any fragment.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_plan_rect(
+    plan: &mut DrawPlan,
+    samplers: &[&dyn Sampler],
+    height: u32,
+    x0: u32,
+    x1: u32,
+    y0: u32,
+    y1: u32,
+    channels: usize,
+    out: &mut [u8],
+) -> Result<(), ExecError> {
+    if x0 > x1 || x1 > plan.width || y0 > y1 || y1 > height {
+        return Err(ExecError::new(format!(
+            "tile rect {x0}..{x1} x {y0}..{y1} outside {}x{height} target",
+            plan.width
+        )));
+    }
+    let tile_w = (x1 - x0) as usize;
+    let needed = tile_w * (y1 - y0) as usize * channels;
+    if out.len() < needed {
+        return Err(ExecError::new(format!(
+            "tile buffer holds {} bytes, rect needs {needed}",
+            out.len()
+        )));
+    }
+    if needed == 0 {
+        return Ok(());
+    }
+    plan.ensure_seats(1)?;
+    let DrawPlan {
+        shader,
+        table,
+        seats,
+        ..
+    } = plan;
+    let shader: &Shader = shader;
+    run_seat_span(
+        &mut seats[0],
+        shader,
+        samplers,
+        table,
+        height,
+        x0,
+        x1,
+        y0,
+        y1,
+        |x, y, rgba| {
+            let px = quantize_rgba8(rgba);
+            let idx = ((y - y0) as usize * tile_w + (x - x0) as usize) * channels;
+            out[idx..idx + channels].copy_from_slice(&px[..channels]);
+        },
+    )
 }
 
 /// Converts a raw fragment colour to RGBA8 exactly as the fixed-function
@@ -1436,6 +1606,118 @@ mod tests {
             .unwrap();
         }
         assert_eq!(data, full);
+    }
+
+    #[test]
+    fn rect_draws_are_byte_identical_to_full_draws() {
+        // Shading a tile rect in isolation induces different batch
+        // boundaries than a full row, so this pins the lane-independence
+        // property tile skipping rests on — for every engine, on
+        // non-divisible tile grids.
+        let sh = compile(
+            "uniform float scale;\nvarying vec2 v;\n\
+             void main() {\n\
+               float a = v.x * scale + v.y;\n\
+               if (a < 1.0) { a = sqrt(a + 1.0); } else { a = a * 0.25; }\n\
+               gl_FragColor = vec4(a, fract(a * 9.0), v.x * v.y, 1.0);\n\
+             }",
+        )
+        .unwrap();
+        let mut uniforms = UniformValues::new();
+        uniforms.set_scalar("scale", 3.7);
+        let shader = Arc::new(sh);
+        let (w, h) = (100u32, 70u32);
+        for engine in [Engine::Scalar, Engine::Batched, Engine::Compiled] {
+            let mut plan = DrawPlan::build(
+                &shader,
+                &uniforms,
+                engine,
+                engine != Engine::Scalar,
+                &[texcoord_corners()],
+                w,
+                None,
+            )
+            .unwrap();
+            let mut full = vec![0u8; w as usize * h as usize * 4];
+            let mut pool = None;
+            execute_plan(
+                &mut plan,
+                &[],
+                RasterTarget {
+                    width: w,
+                    height: h,
+                    channels: 4,
+                    data: &mut full,
+                },
+                0,
+                h,
+                4,
+                &mut pool,
+            )
+            .unwrap();
+            // 16- and 64-pixel tiles, both non-divisible into 100×70.
+            for tile in [16u32, 64] {
+                let mut assembled = vec![0u8; full.len()];
+                let mut ty = 0;
+                while ty < h {
+                    let y1 = (ty + tile).min(h);
+                    let mut tx = 0;
+                    while tx < w {
+                        let x1 = (tx + tile).min(w);
+                        let tw = (x1 - tx) as usize;
+                        let mut bytes = vec![0u8; tw * (y1 - ty) as usize * 4];
+                        execute_plan_rect(&mut plan, &[], h, tx, x1, ty, y1, 4, &mut bytes)
+                            .unwrap();
+                        for (row, chunk) in bytes.chunks(tw * 4).enumerate() {
+                            let y = ty as usize + row;
+                            let at = (y * w as usize + tx as usize) * 4;
+                            assembled[at..at + tw * 4].copy_from_slice(chunk);
+                        }
+                        tx = x1;
+                    }
+                    ty = y1;
+                }
+                assert_eq!(assembled, full, "{engine:?} tiles of {tile}");
+            }
+        }
+    }
+
+    #[test]
+    fn column_slice_hash_sees_columns_and_content() {
+        let sh =
+            compile("varying vec2 v; void main() { gl_FragColor = vec4(v, 0.0, 1.0); }").unwrap();
+        let shader = Arc::new(sh);
+        let plan = DrawPlan::build(
+            &shader,
+            &UniformValues::new(),
+            Engine::Scalar,
+            false,
+            &[texcoord_corners()],
+            64,
+            None,
+        )
+        .unwrap();
+        assert_ne!(
+            plan.column_slice_hash(0, 16),
+            plan.column_slice_hash(16, 32)
+        );
+        assert_eq!(plan.column_slice_hash(0, 16), plan.column_slice_hash(0, 16));
+        let mut other = texcoord_corners();
+        other[1][0] = 0.25;
+        let shifted = DrawPlan::build(
+            &shader,
+            &UniformValues::new(),
+            Engine::Scalar,
+            false,
+            &[other],
+            64,
+            None,
+        )
+        .unwrap();
+        assert_ne!(
+            plan.column_slice_hash(0, 16),
+            shifted.column_slice_hash(0, 16)
+        );
     }
 
     #[test]

@@ -86,6 +86,12 @@ pub struct OptConfig {
     /// `threads`, purely a wall-clock knob: spec-on and spec-off are
     /// bit-exact.
     pub spec: Option<bool>,
+    /// Tile-signature redundancy elimination (`None` keeps the context's
+    /// setting — `MGPU_TILE_SKIP` or off by default). Bit-exact like the
+    /// other execution knobs, but **not** timing-neutral: skipped tiles
+    /// trade fragment shading for signature traffic in the simulated
+    /// cost model, so steady-state multi-pass loops get faster.
+    pub tile_skip: Option<bool>,
 }
 
 impl OptConfig {
@@ -106,6 +112,7 @@ impl OptConfig {
             engine: None,
             pool: None,
             spec: None,
+            tile_skip: None,
         }
     }
 
@@ -200,6 +207,15 @@ impl OptConfig {
     #[must_use]
     pub fn with_specialization(mut self, spec: bool) -> Self {
         self.spec = Some(spec);
+        self
+    }
+
+    /// Pins tile-signature redundancy elimination on (`true`) or off
+    /// (`false`). Outputs stay byte-identical either way; simulated time
+    /// improves when multi-pass loops re-shade unchanged tiles.
+    #[must_use]
+    pub fn with_tile_skip(mut self, tile_skip: bool) -> Self {
+        self.tile_skip = Some(tile_skip);
         self
     }
 }

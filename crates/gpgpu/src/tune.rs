@@ -225,8 +225,13 @@ pub fn tune_sum_with_exec(
     exec: &ExecConfig,
 ) -> Result<TuneResult, GpgpuError> {
     let engine = exec.engine();
+    let tile_skip = exec.tile_skip();
     let points = measure_candidates(streaming_candidates(), exec.threads(), |(name, cfg)| {
-        let cfg = cfg.with_engine(engine);
+        // Stamp the execution knobs so callers that run the winner
+        // functionally keep the tuned-for engine and skip setting. Tuning
+        // itself is timing-only, so neither knob affects the ranking —
+        // tile skipping only fires on functional runs.
+        let cfg = cfg.with_engine(engine).with_tile_skip(tile_skip);
         let mut gl = Gl::new(platform.clone(), n, n);
         gl.set_functional(false);
         let mut sum = Sum::builder(n).build(&mut gl, &cfg, a, b)?;
@@ -329,13 +334,15 @@ pub fn tune_sgemm_with_exec(
         }
     }
     let engine = exec.engine();
+    let tile_skip = exec.tile_skip();
     let points = measure_candidates(
         candidates,
         exec.threads(),
         |(block, target_name, target)| {
             let mut cfg = OptConfig::baseline()
                 .with_swap_interval_0()
-                .with_engine(engine);
+                .with_engine(engine)
+                .with_tile_skip(tile_skip);
             cfg.target = target;
             let mut gl = Gl::new(platform.clone(), n, n);
             gl.set_functional(false);
@@ -475,6 +482,36 @@ mod tests {
             .ranked
             .iter()
             .all(|pt| pt.config.engine == Some(Engine::Batched)));
+    }
+
+    #[test]
+    fn tuning_is_tile_skip_invariant() {
+        // Tuning is timing-only (`set_functional(false)`), so the tile
+        // cache never warms and the skip knob cannot bias the ranking —
+        // it is only *stamped* into the winner configs.
+        let (a, b) = inputs(64);
+        let p = Platform::videocore_iv();
+        let strip = |r: &TuneResult| -> Vec<(String, u32, mgpu_tbdr::SimTime)> {
+            r.ranked
+                .iter()
+                .map(|pt| (pt.name.clone(), pt.block, pt.period))
+                .collect()
+        };
+        let off = ExecConfig::serial();
+        let on = ExecConfig::serial().with_tile_skip(true);
+        assert_eq!(
+            strip(&tune_sum_with_exec(&p, 64, &a, &b, 2, 8, &off).unwrap()),
+            strip(&tune_sum_with_exec(&p, 64, &a, &b, 2, 8, &on).unwrap()),
+        );
+        assert_eq!(
+            strip(&tune_sgemm_with_exec(&p, 64, &a, &b, &[1, 4], 1, 3, &off).unwrap()),
+            strip(&tune_sgemm_with_exec(&p, 64, &a, &b, &[1, 4], 1, 3, &on).unwrap()),
+        );
+        let tuned = tune_sum_with_exec(&p, 64, &a, &b, 2, 8, &on).unwrap();
+        assert!(tuned
+            .ranked
+            .iter()
+            .all(|pt| pt.config.tile_skip == Some(true)));
     }
 
     #[test]

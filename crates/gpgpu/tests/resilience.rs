@@ -152,6 +152,58 @@ fn three_pass_pipeline_recovers_from_context_loss() {
 }
 
 #[test]
+fn tile_skip_survives_context_loss_byte_identical() {
+    let (a, b) = inputs();
+    // Reference: fault-free with skipping OFF.
+    let mut plain = SumJob::new(&cfg(), N, &a, &b, 3).dependent(true);
+    let want = clean_run(&mut plain);
+
+    // Faulted run with `MGPU_TILE_SKIP=on`: the loss lands on draw 2,
+    // after the ping-pong chain has already warmed the signature cache.
+    // Context loss must flush it, so post-recovery replays cannot
+    // resurrect pre-loss tile bytes — the recovered output has to match
+    // the skip-off reference exactly.
+    let skip_cfg = cfg().with_tile_skip(true);
+    let mut job = SumJob::new(&skip_cfg, N, &a, &b, 3).dependent(true);
+    let mut gl = gl();
+    gl.install_faults(FaultPlan::seeded(21).ctx_loss_at_draw(2));
+    let mut runner = ResilientRunner::new(ResilienceConfig::default());
+    let got = runner.run(&mut gl, &mut job).unwrap();
+    assert_eq!(got, want, "skip-on recovery diverged from skip-off run");
+    assert!(runner
+        .events()
+        .iter()
+        .any(|e| matches!(e, RecoveryEvent::ContextRecreated { .. })));
+    assert!(
+        gl.tile_skip_stats().invalidations > 0,
+        "the loss should have flushed live signature entries"
+    );
+}
+
+#[test]
+fn tile_skip_checksummed_corruption_heals_to_skip_off_bytes() {
+    let (a, b) = inputs();
+    let mut plain = SumJob::new(&cfg(), N, &a, &b, 2).dependent(true);
+    let want = clean_run(&mut plain);
+
+    // Corrupt a draw under verification with skipping on: the checksum
+    // catches it, the retry re-shades (corruption taints the stored
+    // bytes' signature path deterministically), and the healed output
+    // matches the fault-free skip-off run.
+    let skip_cfg = cfg().with_tile_skip(true);
+    let mut job = SumJob::new(&skip_cfg, N, &a, &b, 2).dependent(true);
+    let mut gl = gl();
+    gl.install_faults(FaultPlan::seeded(22).corrupt_at_draw(1));
+    let verify = ResilienceConfig {
+        verify_checksums: true,
+        ..ResilienceConfig::default()
+    };
+    let mut runner = ResilientRunner::new(verify);
+    let got = runner.run(&mut gl, &mut job).unwrap();
+    assert_eq!(got, want, "healed skip-on run diverged from skip-off run");
+}
+
+#[test]
 fn corruption_is_silent_without_checksums() {
     let (a, b) = inputs();
     let mut job = SumJob::new(&cfg(), N, &a, &b, 1);

@@ -64,12 +64,12 @@ mod work;
 
 pub use chrome::chrome_trace;
 pub use energy::{EnergyEstimate, EnergyModel};
-pub use platform::{CopyEngine, Platform, PlatformBuilder, ShaderLimits};
+pub use platform::{CopyEngine, Platform, PlatformBuilder, ShaderLimits, TileRect};
 pub use sched::{steady_state_period, PipelineSim};
 pub use stats::{FrameTiming, PeriodStats, SimReport, Traffic, UnitBusy};
 pub use time::{Bandwidth, Clock, SimTime};
 pub use trace::{annotate_frame, MemOp, TraceEvent};
 pub use work::{
-    AllocKind, CopyOut, FragmentProfile, FragmentWork, FrameWork, RenderTarget, ResourceId, SyncOp,
-    Upload, VertexWork,
+    AllocKind, CopyOut, FragmentProfile, FragmentWork, FrameWork, RenderTarget, ResourceId,
+    SkipWork, SyncOp, Upload, VertexWork,
 };

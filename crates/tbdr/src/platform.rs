@@ -296,18 +296,105 @@ impl Platform {
         }
     }
 
+    /// Tile-grid dimensions (columns, rows) covering a `width`×`height`
+    /// render target — the single source of the tile ↔ pixel-rect math
+    /// shared by the scheduler's tile counts and the driver's per-tile
+    /// redundancy elimination.
+    #[must_use]
+    pub fn tile_grid(&self, width: u32, height: u32) -> (u32, u32) {
+        let tw = self.tile_width.max(1);
+        let th = self.tile_height.max(1);
+        (width.div_ceil(tw), height.div_ceil(th))
+    }
+
     /// Number of tiles covering a `width`×`height` render target.
     #[must_use]
     pub fn tiles_for(&self, width: u32, height: u32) -> u64 {
-        let tx = width.div_ceil(self.tile_width) as u64;
-        let ty = height.div_ceil(self.tile_height) as u64;
-        tx * ty
+        let (cols, rows) = self.tile_grid(width, height);
+        u64::from(cols) * u64::from(rows)
+    }
+
+    /// Iterates the tile rectangles covering a `width`×`height` render
+    /// target in row-major order. Edge tiles are clipped to the target, so
+    /// non-divisible sizes produce partial rects rather than overhang.
+    pub fn tile_rects(&self, width: u32, height: u32) -> impl Iterator<Item = TileRect> {
+        self.tile_rects_in_band(width, height, 0, height)
+    }
+
+    /// Like [`Platform::tile_rects`], but additionally clips every rect to
+    /// the row band `band_y0..band_y1` (the driver's row-band sub-draws),
+    /// skipping tiles the band misses entirely.
+    pub fn tile_rects_in_band(
+        &self,
+        width: u32,
+        height: u32,
+        band_y0: u32,
+        band_y1: u32,
+    ) -> impl Iterator<Item = TileRect> {
+        let tw = self.tile_width.max(1);
+        let th = self.tile_height.max(1);
+        let (cols, rows) = self.tile_grid(width, height);
+        let y_lo = band_y0.min(height);
+        let y_hi = band_y1.min(height);
+        (0..rows).flat_map(move |row| {
+            (0..cols).filter_map(move |col| {
+                let rect = TileRect {
+                    col,
+                    row,
+                    x0: col * tw,
+                    x1: (col * tw + tw).min(width),
+                    y0: (row * th).max(y_lo),
+                    y1: (row * th + th).min(y_hi),
+                };
+                (rect.y0 < rect.y1 && rect.x0 < rect.x1).then_some(rect)
+            })
+        })
     }
 
     /// Bytes of on-chip tile memory (RGBA8).
     #[must_use]
     pub fn tile_bytes(&self) -> u64 {
         u64::from(self.tile_width) * u64::from(self.tile_height) * 4
+    }
+}
+
+/// One tile's pixel rectangle within a render target, as produced by
+/// [`Platform::tile_rects`]. Both axes are half-open: the rect covers
+/// pixels `x0..x1` × `y0..y1`, already clipped to the target (and, for
+/// [`Platform::tile_rects_in_band`], to the row band).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileRect {
+    /// Tile column index in the grid.
+    pub col: u32,
+    /// Tile row index in the grid.
+    pub row: u32,
+    /// First covered pixel column.
+    pub x0: u32,
+    /// One past the last covered pixel column.
+    pub x1: u32,
+    /// First covered pixel row.
+    pub y0: u32,
+    /// One past the last covered pixel row.
+    pub y1: u32,
+}
+
+impl TileRect {
+    /// Covered width in pixels.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.x1 - self.x0
+    }
+
+    /// Covered height in pixels.
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.y1 - self.y0
+    }
+
+    /// Covered pixel count.
+    #[must_use]
+    pub fn pixels(&self) -> u64 {
+        u64::from(self.width()) * u64::from(self.height())
     }
 }
 
@@ -450,6 +537,63 @@ mod tests {
         assert_eq!(vc.tiles_for(65, 1), 2);
         let sgx = Platform::sgx_545();
         assert_eq!(sgx.tiles_for(1024, 1024), 64 * 64);
+    }
+
+    #[test]
+    fn tile_rects_partition_non_divisible_targets() {
+        // 100×100 on 64×64 tiles: 2×2 grid with 36-pixel edge remainders.
+        let vc = Platform::videocore_iv();
+        let rects: Vec<TileRect> = vc.tile_rects(100, 100).collect();
+        assert_eq!(rects.len() as u64, vc.tiles_for(100, 100));
+        assert_eq!(rects.len(), 4);
+        assert_eq!(rects[0].width(), 64);
+        assert_eq!(rects[1].width(), 36);
+        assert_eq!(
+            rects[3],
+            TileRect {
+                col: 1,
+                row: 1,
+                x0: 64,
+                x1: 100,
+                y0: 64,
+                y1: 100
+            }
+        );
+        assert_eq!(rects.iter().map(TileRect::pixels).sum::<u64>(), 100 * 100);
+
+        // 100×100 on 16×16 tiles: 7×7 grid with 4-pixel edge remainders.
+        let sgx = Platform::sgx_545();
+        let rects: Vec<TileRect> = sgx.tile_rects(100, 100).collect();
+        assert_eq!(rects.len() as u64, sgx.tiles_for(100, 100));
+        assert_eq!(rects.len(), 49);
+        assert!(rects.iter().all(|r| r.width() == 16 || r.width() == 4));
+        assert!(rects.iter().all(|r| r.x1 <= 100 && r.y1 <= 100));
+        assert_eq!(rects.iter().map(TileRect::pixels).sum::<u64>(), 100 * 100);
+
+        // Row-major order, no overlaps: each rect starts where its
+        // predecessor ended (within a row) or at a fresh row.
+        for w in rects.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            assert!(b.row > a.row || (b.row == a.row && b.x0 == a.x1));
+        }
+    }
+
+    #[test]
+    fn tile_rects_in_band_clip_rows_to_the_band() {
+        let sgx = Platform::sgx_545();
+        // A band covering rows 10..30 of a 100×100 target touches tile rows
+        // 0 and 1 only, clipped to the band on both sides.
+        let rects: Vec<TileRect> = sgx.tile_rects_in_band(100, 100, 10, 30).collect();
+        assert!(rects.iter().all(|r| r.y0 >= 10 && r.y1 <= 30));
+        assert!(rects.iter().all(|r| r.row <= 1));
+        assert_eq!(
+            rects.iter().map(TileRect::pixels).sum::<u64>(),
+            100 * (30 - 10)
+        );
+        // An empty band yields nothing; a full band matches tile_rects.
+        assert_eq!(sgx.tile_rects_in_band(100, 100, 40, 40).count(), 0);
+        let full: Vec<TileRect> = sgx.tile_rects_in_band(100, 100, 0, 100).collect();
+        assert_eq!(full, sgx.tile_rects(100, 100).collect::<Vec<_>>());
     }
 
     #[test]

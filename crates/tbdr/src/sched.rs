@@ -146,7 +146,12 @@ impl PipelineSim {
     pub fn fragment_time(&self, work: &FragmentWork, reused_target: bool) -> SimTime {
         let p = &self.platform;
         let prof = &work.profile;
-        let frags = work.fragments as f64;
+        // Tiles elided by redundancy elimination shade no fragments and pay
+        // no per-tile scheduling overhead; instead their input signatures
+        // travel the memory bus (charged below). With `work.skip` zero this
+        // reduces bit-identically to the pre-skip model.
+        let skip = work.skip;
+        let frags = work.fragments.saturating_sub(skip.skipped_fragments) as f64;
 
         // Latency-bound serial cycles: dependent fetches whose misses cannot
         // be hidden by multithreading on this platform.
@@ -161,7 +166,10 @@ impl PipelineSim {
             frags * (serial_per_frag + parallel_per_frag) / par
         } else {
             frags * (serial_per_frag + parallel_per_frag / par)
-        } + p.tiles_for(work.width, work.height) as f64 * p.tile_overhead_cycles;
+        } + p
+            .tiles_for(work.width, work.height)
+            .saturating_sub(skip.skipped_tiles) as f64
+            * p.tile_overhead_cycles;
         let compute = p.fragment_clock.time_for_cycles_f64(cycles);
 
         let writeback = (frags * prof.output_bytes) as u64;
@@ -170,9 +178,10 @@ impl PipelineSim {
         } else {
             u64::from(work.width) * u64::from(work.height) * 4
         };
-        // Writeback streams behind shading; the preserve-reload sits on the
-        // critical path at the start of each tile.
-        let mem = p.mem_bandwidth.time_for(writeback);
+        // Writeback streams behind shading (and signature reads stream with
+        // it); the preserve-reload sits on the critical path at the start of
+        // each tile.
+        let mem = p.mem_bandwidth.time_for(writeback + skip.signature_bytes);
         let base = compute.max(mem) + p.mem_bandwidth.time_for(reload);
         if reused_target && p.rtt_reuse_sync_frac > 0.0 {
             base + SimTime::from_secs_f64(base.as_secs_f64() * p.rtt_reuse_sync_frac)
@@ -338,9 +347,13 @@ impl PipelineSim {
         self.prev_frag_end = frag_end;
         self.busy.fragment += frag_end - frag_start;
 
-        let out_bytes =
-            (frame.fragment.fragments as f64 * frame.fragment.profile.output_bytes) as u64;
+        let shaded = frame
+            .fragment
+            .fragments
+            .saturating_sub(frame.fragment.skip.skipped_fragments);
+        let out_bytes = (shaded as f64 * frame.fragment.profile.output_bytes) as u64;
         self.traffic.writeback_bytes += out_bytes;
+        self.traffic.signature_bytes += frame.fragment.skip.signature_bytes;
         if !frame.fragment.cleared {
             self.traffic.reload_bytes +=
                 u64::from(frame.fragment.width) * u64::from(frame.fragment.height) * 4;
@@ -800,6 +813,58 @@ mod tests {
         let a = period.as_secs_f64();
         let b = period2.as_secs_f64();
         assert!((a - b).abs() / b < 0.01, "{a} vs {b}");
+    }
+
+    #[test]
+    fn skipped_tiles_cost_less_than_shading_them() {
+        use crate::work::SkipWork;
+        for p in [Platform::videocore_iv(), Platform::sgx_545()] {
+            let sim = PipelineSim::new(p.clone());
+            let base = FrameWork::simple(256, 256, quick_profile()).fragment;
+            let full = sim.fragment_time(&base, false);
+
+            // Explicitly-zero skip is the same expression, bit for bit.
+            let mut zero = base;
+            zero.skip = SkipWork::default();
+            assert_eq!(sim.fragment_time(&zero, false), full);
+
+            // Skipping every tile trades all shading for signature reads.
+            let mut skipped = base;
+            skipped.skip = SkipWork {
+                skipped_fragments: base.fragments,
+                skipped_tiles: p.tiles_for(base.width, base.height),
+                signature_bytes: p.tiles_for(base.width, base.height) * 128,
+            };
+            assert!(sim.fragment_time(&skipped, false) < full);
+
+            // Half the tiles skipped lands strictly in between.
+            let mut half = base;
+            half.skip = SkipWork {
+                skipped_fragments: base.fragments / 2,
+                skipped_tiles: p.tiles_for(base.width, base.height) / 2,
+                signature_bytes: p.tiles_for(base.width, base.height) / 2 * 128,
+            };
+            let half_t = sim.fragment_time(&half, false);
+            assert!(half_t < full);
+            assert!(half_t > sim.fragment_time(&skipped, false));
+        }
+    }
+
+    #[test]
+    fn skip_traffic_moves_writeback_to_signatures() {
+        use crate::work::SkipWork;
+        let mut f = frame(SyncOp::None);
+        f.fragment.skip = SkipWork {
+            skipped_fragments: 64 * 64,
+            skipped_tiles: 1,
+            signature_bytes: 640,
+        };
+        let mut sim = PipelineSim::new(Platform::videocore_iv());
+        sim.submit(&f);
+        let report = sim.finish();
+        // Skipped fragments write nothing back; their signatures are billed.
+        assert_eq!(report.traffic.writeback_bytes, (256 * 256 - 64 * 64) * 4);
+        assert_eq!(report.traffic.signature_bytes, 640);
     }
 
     #[test]

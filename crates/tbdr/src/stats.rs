@@ -58,13 +58,21 @@ pub struct Traffic {
     pub reload_bytes: u64,
     /// Framebuffer→texture copy payload (step 4).
     pub copy_bytes: u64,
+    /// Per-tile input signatures fetched and compared for tiles whose
+    /// shading was elided by tile-level redundancy elimination. Zero unless
+    /// `MGPU_TILE_SKIP=on` produced actual skips.
+    pub signature_bytes: u64,
 }
 
 impl Traffic {
     /// Total bytes moved.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.upload_bytes + self.writeback_bytes + self.reload_bytes + self.copy_bytes
+        self.upload_bytes
+            + self.writeback_bytes
+            + self.reload_bytes
+            + self.copy_bytes
+            + self.signature_bytes
     }
 }
 
@@ -269,8 +277,9 @@ mod tests {
             writeback_bytes: 2,
             reload_bytes: 3,
             copy_bytes: 4,
+            signature_bytes: 5,
         };
-        assert_eq!(t.total(), 10);
+        assert_eq!(t.total(), 15);
     }
 
     #[test]

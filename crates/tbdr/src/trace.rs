@@ -27,6 +27,10 @@ pub enum MemOp {
     TileToTexture,
     /// Step 6: previous framebuffer contents reloaded into the tile.
     FramebufferReload,
+    /// Extension beyond the paper's six steps: per-tile input signatures
+    /// fetched and compared for tiles elided by redundancy elimination
+    /// (*Rendering Elimination*-style tile skipping, `MGPU_TILE_SKIP=on`).
+    TileSignatureRead,
 }
 
 impl MemOp {
@@ -40,6 +44,7 @@ impl MemOp {
             MemOp::CopyFramebufferToTexture => 4,
             MemOp::TileToTexture => 5,
             MemOp::FramebufferReload => 6,
+            MemOp::TileSignatureRead => 7,
         }
     }
 }
@@ -53,6 +58,7 @@ impl fmt::Display for MemOp {
             MemOp::CopyFramebufferToTexture => "framebuffer -> texture memory",
             MemOp::TileToTexture => "tiles -> texture memory (FBO)",
             MemOp::FramebufferReload => "framebuffer memory -> tiles (preserve)",
+            MemOp::TileSignatureRead => "tile signatures -> comparator (skip)",
         };
         write!(f, "step {}: {}", self.paper_step(), name)
     }
@@ -107,7 +113,20 @@ pub fn annotate_frame(work: &FrameWork, timing: &FrameTiming) -> Vec<TraceEvent>
         });
     }
 
-    let out_bytes = (work.fragment.fragments as f64 * work.fragment.profile.output_bytes) as u64;
+    if work.fragment.skip.signature_bytes > 0 {
+        events.push(TraceEvent {
+            op: MemOp::TileSignatureRead,
+            bytes: work.fragment.skip.signature_bytes,
+            at: timing.frag_start,
+            fresh_alloc: false,
+        });
+    }
+
+    let shaded = work
+        .fragment
+        .fragments
+        .saturating_sub(work.fragment.skip.skipped_fragments);
+    let out_bytes = (shaded as f64 * work.fragment.profile.output_bytes) as u64;
     match work.target {
         RenderTarget::Framebuffer { .. } => {
             events.push(TraceEvent {
@@ -234,8 +253,40 @@ mod tests {
             (MemOp::CopyFramebufferToTexture, 4),
             (MemOp::TileToTexture, 5),
             (MemOp::FramebufferReload, 6),
+            (MemOp::TileSignatureRead, 7),
         ] {
             assert_eq!(op.paper_step(), n);
         }
+    }
+
+    #[test]
+    fn skipped_frame_reports_signature_reads_and_smaller_writeback() {
+        use crate::work::SkipWork;
+        let mut f = base_frame();
+        f.fragment.skip = SkipWork {
+            skipped_fragments: 32 * 64,
+            skipped_tiles: 2,
+            signature_bytes: 256,
+        };
+        let mut sim = PipelineSim::new(Platform::videocore_iv());
+        let t = sim.submit(&f);
+        let events = annotate_frame(&f, &t);
+        let sig = events
+            .iter()
+            .find(|e| e.op == MemOp::TileSignatureRead)
+            .expect("signature event");
+        assert_eq!(sig.bytes, 256);
+        let wb = events
+            .iter()
+            .find(|e| e.op == MemOp::FramebufferWriteback)
+            .expect("writeback event");
+        assert_eq!(wb.bytes, (64 * 64 - 32 * 64) * 4);
+        // A frame without skips emits no signature event at all.
+        let clean = base_frame();
+        let mut sim2 = PipelineSim::new(Platform::videocore_iv());
+        let t2 = sim2.submit(&clean);
+        assert!(annotate_frame(&clean, &t2)
+            .iter()
+            .all(|e| e.op != MemOp::TileSignatureRead));
     }
 }

@@ -117,10 +117,33 @@ pub struct FragmentProfile {
     pub output_bytes: f64,
 }
 
+/// Tile-redundancy-elimination outcome of one frame's fragment stage.
+///
+/// When the driver's per-tile signature cache proves a tile's inputs are
+/// unchanged since it was last shaded (see *Rendering Elimination*), the
+/// tile's fragments are not executed: the hardware instead reads the tile's
+/// input signature over the bus and compares it. The zero value means "no
+/// tiles skipped" and leaves every cost expression bit-identical to the
+/// pre-skip model, which is what keeps the `MGPU_TILE_SKIP=off` timings
+/// byte-stable across this feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SkipWork {
+    /// Fragments whose shading was elided (their tile was replayed from the
+    /// signature cache instead of shaded).
+    pub skipped_fragments: u64,
+    /// Tiles replayed instead of shaded (each also skips its per-tile
+    /// scheduling overhead).
+    pub skipped_tiles: u64,
+    /// Bytes read over the memory bus to fetch and compare the per-tile
+    /// input signatures of the skipped tiles.
+    pub signature_bytes: u64,
+}
+
 /// The fragment-stage workload of one frame.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FragmentWork {
-    /// Number of fragments shaded (render-target coverage).
+    /// Number of fragments covered by the draw (render-target coverage,
+    /// *including* any fragments later elided by tile skipping).
     pub fragments: u64,
     /// Render-target width in pixels (for tile coverage).
     pub width: u32,
@@ -131,6 +154,8 @@ pub struct FragmentWork {
     /// Whether the frame began by clearing/invalidating the target, skipping
     /// the expensive reload of previous contents (step 6 of Fig. 1).
     pub cleared: bool,
+    /// Work elided by tile-level redundancy elimination.
+    pub skip: SkipWork,
 }
 
 /// The vertex-stage workload of one frame.
@@ -229,6 +254,7 @@ impl FrameWork {
                 height,
                 profile,
                 cleared: true,
+                skip: SkipWork::default(),
             },
             target: RenderTarget::Framebuffer { surface: 0 },
             reads: Vec::new(),
@@ -278,5 +304,19 @@ mod tests {
     #[test]
     fn sync_default_is_none() {
         assert_eq!(SyncOp::default(), SyncOp::None);
+    }
+
+    #[test]
+    fn skip_defaults_to_nothing_skipped() {
+        let s = SkipWork::default();
+        assert_eq!(s.skipped_fragments, 0);
+        assert_eq!(s.skipped_tiles, 0);
+        assert_eq!(s.signature_bytes, 0);
+        assert_eq!(
+            FrameWork::simple(8, 8, FragmentProfile::default())
+                .fragment
+                .skip,
+            s
+        );
     }
 }

@@ -131,6 +131,45 @@ fn chaos_recovers_byte_identical_or_errors_typed() {
     });
 }
 
+/// Tile-signature skipping under chaos: a faulted run with
+/// `MGPU_TILE_SKIP=on` either recovers to the exact bytes of a
+/// fault-free skip-OFF run or errors typed. Context loss flushes the
+/// signature cache, so replays can never resurrect pre-loss tiles, and
+/// corrupted draws taint their stored bytes the same way they taint the
+/// framebuffer — checksummed retries re-shade both.
+#[test]
+fn chaos_tile_skip_recovers_to_skip_off_bytes() {
+    run_cases(32, |rng| {
+        let platform = gen_platform(rng);
+        let (a, b) = gen_inputs(rng);
+        let plan = gen_plan(rng);
+
+        let mut job = gen_job(rng, &a, &b);
+        let mut clean_gl = Gl::new(platform.clone(), N, N);
+        let want = ResilientRunner::new(resilience())
+            .run(&mut clean_gl, job.as_mut())
+            .expect("fault-free skip-off run succeeds");
+
+        let mut gl = Gl::new(platform, N, N);
+        gl.set_exec_config(gl.exec_config().with_tile_skip(true));
+        gl.install_faults(plan.clone());
+        let mut runner = ResilientRunner::new(resilience());
+        match runner.run(&mut gl, job.as_mut()) {
+            Ok(bytes) => assert_eq!(
+                bytes, want,
+                "skip-on recovery diverged from skip-off under plan {plan:?}"
+            ),
+            Err(GpgpuError::Exhausted(e)) => {
+                assert!(
+                    !e.fault_trail.is_empty(),
+                    "give-up without any injected fault under plan {plan:?}"
+                );
+            }
+            Err(other) => panic!("untyped/unexpected failure {other} under plan {plan:?}"),
+        }
+    });
+}
+
 /// The same seed reproduces the same fault trail, recovery path and
 /// outcome — fault injection is replayable end to end.
 #[test]

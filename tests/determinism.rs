@@ -171,6 +171,52 @@ fn pooled_dispatch_matches_the_legacy_path_exactly() {
     }
 }
 
+/// Tile-signature skipping (`MGPU_TILE_SKIP`) is byte-exact but — alone
+/// among the execution knobs — not timing-neutral: skipped tiles trade
+/// shading for signature traffic in the cost model. So the matrix splits
+/// in two: skip-on pixels and result bits must match the serial skip-off
+/// golden everywhere, while the skip-on *report*, which legitimately
+/// differs from skip-off, must itself be one golden across every
+/// dispatcher, engine tier and thread count — the skip decision is
+/// execution-invariant.
+#[test]
+fn tile_skip_is_byte_identical_and_its_report_is_execution_invariant() {
+    for platform in [Platform::videocore_iv(), Platform::sgx_545()] {
+        let golden_sum = run_sum(&platform, ExecConfig::serial());
+        let golden_sgemm = run_sgemm(&platform, ExecConfig::serial());
+        let skip = ExecConfig::serial().with_tile_skip(true);
+        let skip_sum = run_sum(&platform, skip);
+        let skip_sgemm = run_sgemm(&platform, skip);
+        assert_eq!(skip_sum.pixels, golden_sum.pixels);
+        assert_eq!(skip_sum.result_bits, golden_sum.result_bits);
+        assert_eq!(skip_sgemm.pixels, golden_sgemm.pixels);
+        assert_eq!(skip_sgemm.result_bits, golden_sgemm.result_bits);
+
+        for threads in [1, 4] {
+            for engine in [Engine::Scalar, Engine::Batched, Engine::Compiled] {
+                for pool in [false, true] {
+                    let exec = ExecConfig::with_threads(threads)
+                        .with_engine(engine)
+                        .with_pool(pool)
+                        .with_tile_skip(true);
+                    assert_eq!(
+                        run_sum(&platform, exec),
+                        skip_sum,
+                        "skip-on sum diverged (pool={pool}, {engine:?}, {threads} threads) on {}",
+                        platform.name
+                    );
+                    assert_eq!(
+                        run_sgemm(&platform, exec),
+                        skip_sgemm,
+                        "skip-on sgemm diverged (pool={pool}, {engine:?}, {threads} threads) on {}",
+                        platform.name
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The `OptConfig::with_threads` knob routes through operator setup to
 /// the context, and `MGPU_THREADS`-style explicit configs round-trip.
 #[test]
