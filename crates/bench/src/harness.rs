@@ -22,6 +22,9 @@ pub struct Stats {
     pub median: Duration,
     /// 95th percentile per iteration (nearest-rank).
     pub p95: Duration,
+    /// 99th percentile per iteration (nearest-rank) — the tail-latency
+    /// figure service-level gates compare.
+    pub p99: Duration,
     /// Fastest sample.
     pub min: Duration,
     /// Slowest sample.
@@ -39,6 +42,7 @@ impl Stats {
                 mean: Duration::ZERO,
                 median: Duration::ZERO,
                 p95: Duration::ZERO,
+                p99: Duration::ZERO,
                 min: Duration::ZERO,
                 max: Duration::ZERO,
                 samples: 0,
@@ -57,10 +61,23 @@ impl Stats {
             mean: total / n as u32,
             median: rank(0.50),
             p95: rank(0.95),
+            p99: rank(0.99),
             min: sorted[0],
             max: sorted[n - 1],
             samples: n,
         }
+    }
+
+    /// Computes summary statistics from nanosecond samples — the form
+    /// per-job **simulated** latencies arrive in (service records carry
+    /// `SimTime`, not wall-clock `Duration`).
+    #[must_use]
+    pub fn from_nanos(samples_ns: &[u64]) -> Self {
+        let samples: Vec<Duration> = samples_ns
+            .iter()
+            .map(|&ns| Duration::from_nanos(ns))
+            .collect();
+        Stats::from_samples(&samples)
     }
 }
 
@@ -85,13 +102,14 @@ fn json_escape(s: &str) -> String {
 pub fn bench_json_line(group: &str, id: &str, stats: &Stats) -> String {
     let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
     format!(
-        "BENCH {{\"group\":\"{}\",\"id\":\"{}\",\"samples\":{},\"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+        "BENCH {{\"group\":\"{}\",\"id\":\"{}\",\"samples\":{},\"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
         json_escape(group),
         json_escape(id),
         stats.samples,
         ns(stats.mean),
         ns(stats.median),
         ns(stats.p95),
+        ns(stats.p99),
         ns(stats.min),
         ns(stats.max),
     )
@@ -103,8 +121,8 @@ pub fn bench_json_line(group: &str, id: &str, stats: &Stats) -> String {
 /// by the same tooling.
 pub fn emit_bench_json(group: &str, id: &str, stats: &Stats) {
     println!(
-        "  {group}/{id}: mean {:?} median {:?} p95 {:?} min {:?} max {:?} ({} samples)",
-        stats.mean, stats.median, stats.p95, stats.min, stats.max, stats.samples
+        "  {group}/{id}: mean {:?} median {:?} p95 {:?} p99 {:?} min {:?} max {:?} ({} samples)",
+        stats.mean, stats.median, stats.p95, stats.p99, stats.min, stats.max, stats.samples
     );
     println!("{}", bench_json_line(group, id, stats));
 }
@@ -188,7 +206,40 @@ mod tests {
         assert_eq!(s.max, ms(10));
         assert_eq!(s.median, ms(5)); // nearest-rank: ceil(0.5 * 10) = 5
         assert_eq!(s.p95, ms(10)); // ceil(0.95 * 10) = 10
+        assert_eq!(s.p99, ms(10)); // ceil(0.99 * 10) = 10
         assert_eq!(s.mean, Duration::from_micros(5500));
+    }
+
+    /// Percentiles against hand-computed nearest-rank values on a sample
+    /// set large enough to split p95 from p99 from max.
+    #[test]
+    fn percentiles_match_hand_computed_ranks() {
+        // 200 samples: 1ns..=200ns. Nearest-rank: p50 = sample #100,
+        // p95 = #190, p99 = #198 (ceil(0.99 * 200)).
+        let ns: Vec<u64> = (1..=200).collect();
+        let s = Stats::from_nanos(&ns);
+        assert_eq!(s.samples, 200);
+        assert_eq!(s.median, Duration::from_nanos(100));
+        assert_eq!(s.p95, Duration::from_nanos(190));
+        assert_eq!(s.p99, Duration::from_nanos(198));
+        assert_eq!(s.max, Duration::from_nanos(200));
+        // Order must not matter.
+        let mut shuffled = ns.clone();
+        shuffled.reverse();
+        shuffled.swap(3, 170);
+        assert_eq!(Stats::from_nanos(&shuffled), s);
+        // A skewed tail: 99 fast samples and one slow one — p95 already
+        // sits in the fast cluster, p99 lands on the outlier.
+        let mut tail = vec![10u64; 99];
+        tail.push(1_000_000);
+        let t = Stats::from_nanos(&tail);
+        assert_eq!(t.p95, Duration::from_nanos(10));
+        assert_eq!(t.p99, Duration::from_nanos(10)); // ceil(0.99*100) = 99
+        assert_eq!(t.max, Duration::from_micros(1000));
+        let mut tail2 = vec![10u64; 98];
+        tail2.extend([500_000, 1_000_000]);
+        let t2 = Stats::from_nanos(&tail2);
+        assert_eq!(t2.p99, Duration::from_nanos(500_000)); // rank 99 of 100
     }
 
     #[test]

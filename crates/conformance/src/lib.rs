@@ -18,6 +18,9 @@
 //!   differentially tested exactly like pixel paths) plus the
 //!   [`SimReport`](mgpu_tbdr::SimReport);
 //! * [`check_case`] / [`check_fault_recovery`] are the oracles;
+//! * [`check_fleet_isolation`] lifts the promise to the multi-tenant
+//!   service layer: a seeded fleet scenario must replay exactly and every
+//!   tenant's bytes must match a solo fault-free re-run;
 //! * [`shrink_case`] greedily minimises a failing case — deleting script
 //!   steps, deleting AST statements and globals, and collapsing
 //!   expressions — while [`shrink_point`] bisects the configuration
@@ -32,12 +35,14 @@
 #![warn(clippy::all)]
 
 pub mod case;
+pub mod fleet;
 pub mod lattice;
 pub mod oracle;
 pub mod run;
 pub mod shrink;
 
 pub use case::{format_case, parse_case, CaseFile};
+pub use fleet::{check_fleet_isolation, fleet_scenario, FleetScenario};
 pub use lattice::{lattice, ExecPoint};
 pub use oracle::{check_case, check_fault_recovery, random_recovery_plan, Divergence};
 pub use run::{normalize_error, run_case, spec_from_source, RunOutcome, StepOutcome};

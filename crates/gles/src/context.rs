@@ -30,7 +30,7 @@ use crate::error::GlError;
 use crate::exec::{plan_cache_default, ExecConfig};
 use crate::fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSite};
 use crate::plan_cache::{corners_hash, PlanCache, PlanCacheStats, PlanKey};
-use crate::pool::WorkerPool;
+use crate::pool::Executor;
 use crate::raster::{
     execute_plan, execute_plan_rect, panic_message, quantize_rgba8, rasterize_quad_rows_into,
     texcoord_corners, DrawPlan, RasterTarget, VaryingCorners,
@@ -410,11 +410,17 @@ pub struct Gl {
     /// [`GlError::ContextLost`] until [`Gl::recreate`].
     context_lost: bool,
 
-    /// Persistent rasteriser workers, spawned lazily on the first draw
-    /// that dispatches in parallel with the pool enabled. Deliberately
-    /// survives [`Gl::recreate`]: context loss destroys GPU objects, not
-    /// host threads.
-    pool: Option<WorkerPool>,
+    /// Persistent rasteriser executor, spawned lazily on the first draw
+    /// that dispatches in parallel with the pool enabled — or installed
+    /// from outside via [`Gl::install_executor`] to share one set of host
+    /// threads across many contexts. Deliberately survives
+    /// [`Gl::recreate`]: context loss destroys GPU objects, not host
+    /// threads.
+    executor: Option<Executor>,
+    /// Whether `executor` was installed from outside. Installed executors
+    /// are pinned: a thread-count change must not retire a pool other
+    /// contexts still share (dispatch clamps participation instead).
+    executor_installed: bool,
     /// Per-context draw-plan cache (cleared on context loss/recreation).
     plan_cache: PlanCache,
     /// When the plan cache is disabled, the last draw's plan is parked
@@ -491,7 +497,8 @@ impl Gl {
             recorded: Vec::new(),
             injector: env_faults.map(FaultInjector::new),
             context_lost: false,
-            pool: None,
+            executor: None,
+            executor_installed: false,
             plan_cache: PlanCache::new(plan_cache_default()),
             scratch_plan: None,
             tile_cache: TileSigCache::new(),
@@ -516,14 +523,16 @@ impl Gl {
     /// Purely a wall-clock knob: outputs and simulated timing are
     /// identical for every setting.
     ///
-    /// Changing the thread count retires the persistent worker pool; a
+    /// Changing the thread count retires a privately created executor; a
     /// correctly sized one is spawned lazily by the next parallel draw
     /// (never here — timing-only contexts must not pay for threads they
-    /// will not use). Cached draw plans stay valid: they grow seats on
-    /// demand.
+    /// will not use). An executor installed via [`Gl::install_executor`]
+    /// is pinned and survives: other contexts share its threads, and
+    /// dispatch clamps participation to the seats that exist. Cached draw
+    /// plans stay valid: they grow seats on demand.
     pub fn set_exec_config(&mut self, exec: ExecConfig) {
-        if exec.threads() != self.exec.threads() {
-            self.pool = None;
+        if exec.threads() != self.exec.threads() && !self.executor_installed {
+            self.executor = None;
         }
         // Cached tile signatures embed the engine/spec identity; an
         // engine or spec switch can never hit them again, and turning
@@ -541,6 +550,30 @@ impl Gl {
     #[must_use]
     pub fn exec_config(&self) -> ExecConfig {
         self.exec
+    }
+
+    /// The executor backing this context's parallel draws, spawning one
+    /// sized for the current thread count if none exists yet. Clone the
+    /// returned handle into [`Gl::install_executor`] on other contexts to
+    /// multiplex a whole fleet of simulated devices over one set of host
+    /// threads.
+    pub fn executor(&mut self) -> Executor {
+        let threads = self.exec.threads();
+        self.executor
+            .get_or_insert_with(|| Executor::new(threads.saturating_sub(1)))
+            .clone()
+    }
+
+    /// Installs a shared executor: this context's parallel draws dispatch
+    /// through `executor`'s workers instead of spawning a private pool.
+    /// Installed executors are pinned — they survive thread-count changes
+    /// in [`Gl::set_exec_config`] (participation is clamped to the
+    /// executor's seats) and, like private pools, survive
+    /// [`Gl::recreate`]. Purely a wall-clock knob: outputs and simulated
+    /// timing are identical however draws are dispatched.
+    pub fn install_executor(&mut self, executor: Executor) {
+        self.executor = Some(executor);
+        self.executor_installed = true;
     }
 
     /// Whether functional pixel execution is on.
@@ -1637,7 +1670,7 @@ impl Gl {
         let outcome: Result<SkipWork, GlError> = {
             let textures = &self.textures;
             let surfaces = &mut self.surfaces;
-            let pool = &mut self.pool;
+            let pool = &mut self.executor;
             let plan_cache = &mut self.plan_cache;
             let scratch_plan = &mut self.scratch_plan;
             let tile_cache = &mut self.tile_cache;

@@ -64,6 +64,7 @@ pub use error::GlError;
 pub use exec::{Engine, EnvKnobError, ExecConfig};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSite, FaultSpecError};
 pub use plan_cache::PlanCacheStats;
+pub use pool::Executor;
 pub use tile_skip::TileSkipStats;
 pub use types::{
     BufferId, BufferUsage, FramebufferId, ProgramId, TextureFilter, TextureFormat, TextureId,

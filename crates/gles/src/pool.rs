@@ -195,6 +195,81 @@ impl WorkerPool {
     }
 }
 
+/// A cloneable handle to a shared [`WorkerPool`]: the executor that
+/// multiplexes rasterisation work from any number of `Gl` contexts over
+/// one set of host threads.
+///
+/// Historically every `Gl` context owned its own pool, so a fleet of N
+/// simulated devices cost N × threads parked OS threads. An `Executor` is
+/// an `Arc` around one pool plus a dispatch lock: clone the handle from
+/// one context ([`Gl::executor`](crate::Gl::executor)) and install it on
+/// the others ([`Gl::install_executor`](crate::Gl::install_executor)) and
+/// they all draw through the same workers. Concurrent dispatches from
+/// different contexts serialise on the lock — `WorkerPool::run` supports
+/// one job in flight at a time — so sharing is safe from any thread,
+/// and byte-determinism is unaffected because chunk→bytes assignment is
+/// index-based regardless of which seat executes a chunk.
+#[derive(Clone)]
+pub struct Executor {
+    inner: Arc<ExecutorInner>,
+}
+
+struct ExecutorInner {
+    /// Serialises dispatches: the pool supports one job in flight.
+    dispatch: Mutex<()>,
+    pool: WorkerPool,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.workers())
+            .field("handles", &Arc::strong_count(&self.inner))
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Spawns an executor backed by `workers` parked worker threads (the
+    /// dispatching caller always participates as seat 0, so `workers = 0`
+    /// is a valid, caller-only executor).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Executor {
+            inner: Arc::new(ExecutorInner {
+                dispatch: Mutex::new(()),
+                pool: WorkerPool::new(workers),
+            }),
+        }
+    }
+
+    /// Worker threads backing this executor (may be fewer than requested
+    /// if spawning failed; dispatch clamps participation accordingly).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.inner.pool.handles.len()
+    }
+
+    /// Live handles to this executor, this one included — i.e. how many
+    /// contexts (or other owners) currently share the pool.
+    #[must_use]
+    pub fn handles(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+
+    /// Dispatches `job` across `participants` seats; see
+    /// [`WorkerPool::run`]. Takes the dispatch lock so overlapping calls
+    /// from different contexts serialise instead of corrupting the
+    /// in-flight job slot.
+    pub(crate) fn run(&self, participants: usize, job: &(dyn Fn(usize) + Sync)) -> bool {
+        let _guard = match self.inner.dispatch.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        self.inner.pool.run(participants, job)
+    }
+}
+
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
@@ -350,6 +425,42 @@ mod tests {
         // caught so the completion barrier always executes.
         assert_eq!(result.ok(), Some(true));
         assert!(!pool.run(2, &|_| {}));
+    }
+
+    #[test]
+    fn executor_counts_workers_and_handles() {
+        let exec = Executor::new(2);
+        assert_eq!(exec.workers(), 2);
+        assert_eq!(exec.handles(), 1);
+        let clone = exec.clone();
+        assert_eq!(exec.handles(), 2);
+        assert_eq!(clone.workers(), 2);
+        drop(clone);
+        assert_eq!(exec.handles(), 1);
+    }
+
+    #[test]
+    fn executor_serialises_concurrent_dispatches() {
+        // Two threads dispatching through the same executor at once must
+        // not corrupt each other's job slot: every dispatch still runs
+        // once per seat.
+        let exec = Executor::new(3);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let exec = exec.clone();
+                let total = &total;
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let panicked = exec.run(4, &|_seat| {
+                            total.fetch_add(1, Ordering::SeqCst);
+                        });
+                        assert!(!panicked);
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 2 * 50 * 4);
     }
 
     #[test]

@@ -46,7 +46,7 @@ use mgpu_shader::{
 };
 
 use crate::exec::{Engine, ExecConfig, CHUNK_ROWS};
-use crate::pool::WorkerPool;
+use crate::pool::Executor as PoolExecutor;
 
 /// Corner values for one varying, in the order: (0,0), (1,0), (0,1), (1,1)
 /// of the unit quad (v increasing downward in texture space).
@@ -969,6 +969,8 @@ fn take_slot<'a, T: ?Sized>(slot: &Mutex<Option<&'a mut T>>) -> Option<&'a mut T
 ///
 /// `pool` is spawned lazily on the first dispatch that actually needs
 /// workers, sized one less than `threads` (the caller occupies seat 0).
+/// A shared executor installed by [`crate::Gl::install_executor`] arrives
+/// here the same way; participation is clamped to its seats.
 ///
 /// # Errors
 ///
@@ -983,7 +985,7 @@ pub(crate) fn execute_plan(
     y0: u32,
     y1: u32,
     threads: usize,
-    pool: &mut Option<WorkerPool>,
+    pool: &mut Option<PoolExecutor>,
 ) -> Result<(), ExecError> {
     let RasterTarget {
         width,
@@ -1040,7 +1042,7 @@ pub(crate) fn execute_plan(
     }
 
     plan.ensure_seats(threads)?;
-    let pool = pool.get_or_insert_with(|| WorkerPool::new(threads - 1));
+    let pool = pool.get_or_insert_with(|| PoolExecutor::new(threads - 1));
 
     let chunk_bytes = CHUNK_ROWS as usize * width as usize * channels;
     let chunk_slots: Vec<Mutex<Option<&mut [u8]>>> = data
@@ -1472,7 +1474,7 @@ mod tests {
         ch: usize,
         engine: Engine,
         threads: usize,
-        pool: &mut Option<WorkerPool>,
+        pool: &mut Option<PoolExecutor>,
         plan: &mut Option<DrawPlan>,
     ) -> Vec<u8> {
         let shader = Arc::new(sh.clone());

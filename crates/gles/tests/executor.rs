@@ -1,0 +1,77 @@
+//! Shared-executor semantics: many `Gl` contexts multiplexed over one
+//! worker pool must render byte-identically to contexts with private
+//! pools, and an installed executor must survive reconfiguration.
+
+use mgpu_gles::{DrawQuad, Executor, Gl, TextureFormat};
+use mgpu_tbdr::Platform;
+
+const COPY_PROG: &str = "
+    uniform sampler2D u_src;
+    varying vec2 v_coord;
+    void main() { gl_FragColor = texture2D(u_src, v_coord); }
+";
+
+/// Renders a texture copy and returns the surface bytes.
+fn draw_copy(gl: &mut Gl) -> Vec<u8> {
+    let prog = gl.create_program(COPY_PROG).unwrap();
+    let src = gl.create_texture();
+    let data: Vec<u8> = (0..32 * 32 * 4).map(|i| (i % 239) as u8).collect();
+    gl.tex_image_2d(src, 32, 32, TextureFormat::Rgba8, Some(&data))
+        .unwrap();
+    gl.bind_texture(0, Some(src)).unwrap();
+    gl.use_program(Some(prog)).unwrap();
+    gl.clear([0.0; 4]).unwrap();
+    gl.draw_quad(&DrawQuad::fullscreen()).unwrap();
+    gl.read_pixels().unwrap()
+}
+
+#[test]
+fn shared_executor_matches_private_pools_bytewise() {
+    let exec = Executor::new(3);
+    for platform in Platform::paper_pair() {
+        let mut private = Gl::new(platform.clone(), 32, 32);
+        let mut shared = Gl::new(platform, 32, 32);
+        shared.install_executor(exec.clone());
+        assert_eq!(draw_copy(&mut shared), draw_copy(&mut private));
+        assert_eq!(
+            shared.report().total_time,
+            private.report().total_time,
+            "sharing an executor must not perturb simulated timing"
+        );
+    }
+}
+
+#[test]
+fn installed_executor_survives_thread_count_changes() {
+    let mut gl = Gl::new(Platform::videocore_iv(), 32, 32);
+    let exec = Executor::new(2);
+    gl.install_executor(exec.clone());
+    // 1 (the installing context) + 1 (our handle).
+    assert_eq!(exec.handles(), 2);
+
+    let cfg = gl.exec_config().with_thread_count(7);
+    gl.set_exec_config(cfg);
+    assert_eq!(
+        exec.handles(),
+        2,
+        "a pinned executor must not be retired by a thread-count change"
+    );
+    // Draws still work and stay correct with participation clamped.
+    let bytes = draw_copy(&mut gl);
+    let mut reference = Gl::new(Platform::videocore_iv(), 32, 32);
+    assert_eq!(bytes, draw_copy(&mut reference));
+}
+
+#[test]
+fn executor_accessor_creates_then_shares() {
+    let mut a = Gl::new(Platform::videocore_iv(), 16, 16);
+    let handle = a.executor();
+    // Cloning the handle into a second context shares the same pool.
+    let mut b = Gl::new(Platform::sgx_545(), 16, 16);
+    b.install_executor(handle.clone());
+    assert!(handle.handles() >= 3, "a + b + local handle");
+    assert_eq!(draw_copy(&mut b), {
+        let mut reference = Gl::new(Platform::sgx_545(), 16, 16);
+        draw_copy(&mut reference)
+    });
+}

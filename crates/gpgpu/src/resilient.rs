@@ -63,9 +63,14 @@ pub fn crc32(data: &[u8]) -> u32 {
 pub struct RetryPolicy {
     /// Attempts per stage (first try included) before giving up.
     pub max_attempts: u32,
-    /// Backoff before retry `k` is `base_backoff * 2^(k-1)`, charged as
-    /// simulated CPU time via [`Gl::add_cpu_work`].
+    /// Backoff before retry `k` is `base_backoff * 2^(k-1)`, saturated at
+    /// [`RetryPolicy::max_backoff`] and charged as simulated CPU time via
+    /// [`Gl::add_cpu_work`].
     pub base_backoff: SimTime,
+    /// Ceiling on a single backoff interval: exponential growth saturates
+    /// here instead of overflowing, so arbitrarily large attempt counts
+    /// stay finite and monotone.
+    pub max_backoff: SimTime,
     /// Context recreations allowed per [`ResilientRunner::run`] call.
     pub max_context_recreates: u32,
 }
@@ -75,17 +80,28 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_attempts: 6,
             base_backoff: SimTime::from_micros(20),
+            max_backoff: SimTime::from_millis(5),
             max_context_recreates: 8,
         }
     }
 }
 
 impl RetryPolicy {
-    /// The simulated backoff before retry `attempt` (1-based).
+    /// The simulated backoff before retry `attempt` (1-based): truncated
+    /// binary exponential growth, saturating at
+    /// [`RetryPolicy::max_backoff`]. Total (not per-interval) for any
+    /// attempt count, including attempt numbers far beyond
+    /// [`RetryPolicy::max_attempts`], the result is finite, monotone
+    /// non-decreasing, and never overflows.
     #[must_use]
     pub fn backoff_for(&self, attempt: u32) -> SimTime {
-        let shift = attempt.saturating_sub(1).min(20);
-        SimTime::from_nanos(self.base_backoff.as_nanos().saturating_mul(1u64 << shift))
+        // A shift of 63 already exceeds any representable SimTime, so
+        // clamping there makes the shift itself well-defined; the multiply
+        // saturates and the cap bounds the result.
+        let shift = attempt.saturating_sub(1).min(63);
+        let factor = 1u64 << shift;
+        SimTime::from_nanos(self.base_backoff.as_nanos().saturating_mul(factor))
+            .min(self.max_backoff)
     }
 }
 
@@ -885,6 +901,52 @@ mod tests {
         assert_eq!(p.backoff_for(3), SimTime::from_micros(40));
         // Large attempt counts must not overflow.
         let _ = p.backoff_for(u32::MAX);
+    }
+
+    /// Property: over attempt ∈ [1, 10_000] the backoff is exact truncated
+    /// binary exponential growth below the cap, saturates at the cap, is
+    /// monotone non-decreasing, and never overflows — for the default
+    /// policy and for adversarial base/cap combinations.
+    #[test]
+    fn backoff_property_bounded_monotone() {
+        let policies = [
+            RetryPolicy::default(),
+            RetryPolicy {
+                base_backoff: SimTime::from_nanos(1),
+                max_backoff: SimTime::from_secs_f64(1.0),
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                base_backoff: SimTime::from_millis(7),
+                max_backoff: SimTime::from_millis(3),
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                base_backoff: SimTime::MAX,
+                max_backoff: SimTime::MAX,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                base_backoff: SimTime::ZERO,
+                ..RetryPolicy::default()
+            },
+        ];
+        for p in policies {
+            let mut prev = SimTime::ZERO;
+            for attempt in 1u32..=10_000 {
+                let b = p.backoff_for(attempt);
+                assert!(b <= p.max_backoff, "attempt {attempt}: {b:?} above cap");
+                assert!(b >= prev, "attempt {attempt}: backoff not monotone");
+                let shift = attempt - 1;
+                if shift < 63 {
+                    let exact = p.base_backoff.as_nanos().saturating_mul(1u64 << shift);
+                    assert_eq!(b, SimTime::from_nanos(exact).min(p.max_backoff));
+                }
+                prev = b;
+            }
+            // Beyond the sampled range the cap still holds.
+            assert!(p.backoff_for(u32::MAX) <= p.max_backoff);
+        }
     }
 
     #[test]

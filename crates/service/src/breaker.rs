@@ -1,0 +1,249 @@
+//! Per-device circuit breaker.
+//!
+//! A device that keeps exhausting the resilient runner is a liability:
+//! every job charged to it burns retries, backoff and recreation time
+//! before failing. The breaker watches for K *consecutive*
+//! [`Exhausted`](mgpu_gpgpu::GpgpuError::Exhausted) outcomes, then opens
+//! — the scheduler drains the device's queue to healthy peers and stops
+//! routing to it. After a cooldown the breaker half-opens and admits
+//! exactly one probe job: success closes it again (full reset), failure
+//! re-opens it with a doubled cooldown (capped), the classic
+//! exponential-backoff probe ladder. All transitions happen in simulated
+//! time, so a seeded run replays its quarantine history exactly.
+
+use mgpu_tbdr::SimTime;
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive `Exhausted` outcomes that open the breaker.
+    pub threshold: u32,
+    /// Initial quarantine cooldown.
+    pub cooldown: SimTime,
+    /// Cap on cooldown doubling, as a multiple of `cooldown`.
+    pub max_cooldown_factor: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            cooldown: SimTime::from_millis(2),
+            max_cooldown_factor: 8,
+        }
+    }
+}
+
+/// Breaker state, in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: jobs flow normally.
+    Closed,
+    /// Quarantined until the embedded instant; no jobs are routed here.
+    Open {
+        /// When the cooldown elapses and the breaker half-opens.
+        until: SimTime,
+    },
+    /// Cooldown elapsed: exactly one probe job may run.
+    HalfOpen,
+}
+
+/// A per-device circuit breaker; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_exhausted: u32,
+    /// Next quarantine duration (doubles per consecutive trip).
+    next_cooldown: SimTime,
+    trips: u64,
+    probes: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with `cfg` tuning (threshold is clamped to >= 1).
+    #[must_use]
+    pub fn new(cfg: BreakerConfig) -> Self {
+        let cfg = BreakerConfig {
+            threshold: cfg.threshold.max(1),
+            max_cooldown_factor: cfg.max_cooldown_factor.max(1),
+            ..cfg
+        };
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_exhausted: 0,
+            next_cooldown: cfg.cooldown,
+            trips: 0,
+            probes: 0,
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has opened.
+    #[must_use]
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Probe jobs admitted after cooldowns.
+    #[must_use]
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Whether the device may be routed a job right now. A half-open
+    /// breaker accepts (the single probe); an open one does not.
+    #[must_use]
+    pub fn accepts(&self) -> bool {
+        !matches!(self.state, BreakerState::Open { .. })
+    }
+
+    /// When an open breaker half-opens, if open.
+    #[must_use]
+    pub fn open_until(&self) -> Option<SimTime> {
+        match self.state {
+            BreakerState::Open { until } => Some(until),
+            _ => None,
+        }
+    }
+
+    /// Records a successful job. Closes a half-open breaker and resets
+    /// the failure streak and the cooldown ladder.
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_exhausted = 0;
+        self.next_cooldown = self.cfg.cooldown;
+    }
+
+    /// Records an `Exhausted` outcome at simulated instant `now`.
+    /// Returns `true` when this outcome trips the breaker open (the
+    /// caller should then drain the device's queue). A failed half-open
+    /// probe re-trips immediately with a doubled cooldown.
+    pub fn on_exhausted(&mut self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Open { .. } => false,
+            BreakerState::HalfOpen => {
+                self.trip(now);
+                true
+            }
+            BreakerState::Closed => {
+                self.consecutive_exhausted += 1;
+                if self.consecutive_exhausted >= self.cfg.threshold {
+                    self.trip(now);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Half-opens the breaker if its cooldown has elapsed at `now`.
+    /// Returns `true` on the open→half-open transition (i.e. a probe
+    /// slot just became available).
+    pub fn release_due(&mut self, now: SimTime) -> bool {
+        if let BreakerState::Open { until } = self.state {
+            if now >= until {
+                self.state = BreakerState::HalfOpen;
+                self.probes += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn trip(&mut self, now: SimTime) {
+        self.state = BreakerState::Open {
+            until: now + self.next_cooldown,
+        };
+        self.trips += 1;
+        self.consecutive_exhausted = 0;
+        let cap = self.cfg.cooldown * u64::from(self.cfg.max_cooldown_factor);
+        self.next_cooldown = (self.next_cooldown * 2).min(cap.max(self.cfg.cooldown));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            threshold: 3,
+            cooldown: SimTime::from_millis(1),
+            max_cooldown_factor: 4,
+        }
+    }
+
+    #[test]
+    fn trips_after_k_consecutive_exhaustions_only() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t = SimTime::from_millis(10);
+        assert!(!b.on_exhausted(t));
+        assert!(!b.on_exhausted(t));
+        b.on_success(); // breaks the streak
+        assert!(!b.on_exhausted(t));
+        assert!(!b.on_exhausted(t));
+        assert!(b.on_exhausted(t), "third consecutive failure trips");
+        assert_eq!(
+            b.state(),
+            BreakerState::Open {
+                until: t + SimTime::from_millis(1)
+            }
+        );
+        assert_eq!(b.trips(), 1);
+        assert!(!b.accepts());
+    }
+
+    #[test]
+    fn cooldown_release_probes_then_success_closes() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t0 = SimTime::ZERO;
+        for _ in 0..3 {
+            b.on_exhausted(t0);
+        }
+        assert!(!b.release_due(SimTime::from_micros(999)));
+        assert!(b.release_due(SimTime::from_millis(1)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.accepts());
+        assert_eq!(b.probes(), 1);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        // The ladder reset: a fresh trip uses the base cooldown again.
+        for _ in 0..3 {
+            b.on_exhausted(SimTime::from_millis(2));
+        }
+        assert_eq!(b.open_until(), Some(SimTime::from_millis(3)));
+    }
+
+    #[test]
+    fn failed_probe_doubles_cooldown_up_to_cap() {
+        let mut b = CircuitBreaker::new(cfg());
+        let mut now = SimTime::ZERO;
+        for _ in 0..3 {
+            b.on_exhausted(now);
+        }
+        // Trip 1 used 1ms; successive failed probes use 2, 4, 4, 4 (cap).
+        for expected_ms in [2u64, 4, 4, 4] {
+            let until = match b.state() {
+                BreakerState::Open { until } => until,
+                s => panic!("expected open, got {s:?}"),
+            };
+            now = until;
+            assert!(b.release_due(now));
+            assert!(b.on_exhausted(now), "failed probe re-trips");
+            assert_eq!(
+                b.open_until(),
+                Some(now + SimTime::from_millis(expected_ms)),
+                "cooldown ladder mismatch"
+            );
+        }
+        assert_eq!(b.trips(), 5);
+    }
+}

@@ -1,0 +1,180 @@
+//! `MGPU_SERVICE_*` environment knobs, on the same strict contract as
+//! the `MGPU_*` execution knobs in `mgpu-gles`: the whole family is read
+//! and validated **once per process**, and an invalid value is a typed
+//! [`EnvKnobError`] at [`crate::ServiceConfig::from_env`] — never a
+//! silent fallback to defaults, and never a mid-process change of
+//! behaviour through `set_var`.
+
+use std::sync::OnceLock;
+
+use mgpu_gles::EnvKnobError;
+
+/// Environment variable overriding the fleet's device count.
+pub const DEVICES_ENV: &str = "MGPU_SERVICE_DEVICES";
+/// Environment variable overriding the per-tenant admission queue depth.
+pub const QUEUE_DEPTH_ENV: &str = "MGPU_SERVICE_QUEUE_DEPTH";
+/// Environment variable overriding the circuit-breaker trip threshold
+/// (consecutive exhausted recoveries).
+pub const BREAKER_ENV: &str = "MGPU_SERVICE_BREAKER";
+/// Environment variable overriding the service seed (device fault plans
+/// and per-job input seeds derive from it).
+pub const SEED_ENV: &str = "MGPU_SERVICE_SEED";
+
+const POSITIVE_GRAMMAR: &str = "expected a positive integer";
+const SEED_GRAMMAR: &str = "expected an unsigned 64-bit integer";
+
+/// Snapshot of every `MGPU_SERVICE_*` knob. `None` = not set (the
+/// config's programmatic value stands).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ServiceKnobs {
+    pub devices: Option<usize>,
+    pub queue_depth: Option<usize>,
+    pub breaker: Option<u32>,
+    pub seed: Option<u64>,
+}
+
+impl ServiceKnobs {
+    /// Resolves the knob snapshot through `get` (the environment in
+    /// production, a table in the grammar property tests).
+    pub(crate) fn resolve(
+        get: impl Fn(&'static str) -> Option<String>,
+    ) -> Result<ServiceKnobs, EnvKnobError> {
+        Ok(ServiceKnobs {
+            devices: resolve_positive(&get, DEVICES_ENV)?,
+            queue_depth: resolve_positive(&get, QUEUE_DEPTH_ENV)?,
+            breaker: match resolve_positive(&get, BREAKER_ENV)? {
+                Some(n) => Some(u32::try_from(n).map_err(|_| EnvKnobError {
+                    var: BREAKER_ENV,
+                    value: n.to_string(),
+                    reason: POSITIVE_GRAMMAR.to_owned(),
+                })?),
+                None => None,
+            },
+            seed: match get(SEED_ENV) {
+                Some(s) => Some(s.trim().parse::<u64>().map_err(|_| EnvKnobError {
+                    var: SEED_ENV,
+                    value: s.clone(),
+                    reason: SEED_GRAMMAR.to_owned(),
+                })?),
+                None => None,
+            },
+        })
+    }
+}
+
+/// A positive integer, trimmed. Zero is a grammar error: a fleet of zero
+/// devices or a queue bound of zero is meaningless, and silently
+/// clamping would mask the typo.
+fn resolve_positive(
+    get: &impl Fn(&'static str) -> Option<String>,
+    var: &'static str,
+) -> Result<Option<usize>, EnvKnobError> {
+    match get(var) {
+        Some(s) => s
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .map(Some)
+            .ok_or_else(|| EnvKnobError {
+                var,
+                value: s.clone(),
+                reason: POSITIVE_GRAMMAR.to_owned(),
+            }),
+        None => Ok(None),
+    }
+}
+
+/// The once-per-process `MGPU_SERVICE_*` snapshot (or the first
+/// validation error).
+pub(crate) fn service_knobs() -> &'static Result<ServiceKnobs, EnvKnobError> {
+    static KNOBS: OnceLock<Result<ServiceKnobs, EnvKnobError>> = OnceLock::new();
+    KNOBS.get_or_init(|| ServiceKnobs::resolve(|var| std::env::var(var).ok()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_prop::run_cases;
+
+    fn resolve_one(var: &'static str, value: &str) -> Result<ServiceKnobs, EnvKnobError> {
+        let value = value.to_owned();
+        ServiceKnobs::resolve(move |v| (v == var).then(|| value.clone()))
+    }
+
+    #[test]
+    fn unset_family_resolves_to_all_none() {
+        let knobs = ServiceKnobs::resolve(|_| None).unwrap();
+        assert_eq!(
+            knobs,
+            ServiceKnobs {
+                devices: None,
+                queue_depth: None,
+                breaker: None,
+                seed: None
+            }
+        );
+    }
+
+    #[test]
+    fn valid_spellings_parse_with_whitespace() {
+        for var in [DEVICES_ENV, QUEUE_DEPTH_ENV, BREAKER_ENV, SEED_ENV] {
+            for value in ["1", " 4 ", "16", "\t9\n"] {
+                let knobs = resolve_one(var, value)
+                    .unwrap_or_else(|e| panic!("{var}={value:?} rejected: {e}"));
+                let got = match var {
+                    DEVICES_ENV => knobs.devices.map(|n| n as u64),
+                    QUEUE_DEPTH_ENV => knobs.queue_depth.map(|n| n as u64),
+                    BREAKER_ENV => knobs.breaker.map(u64::from),
+                    _ => knobs.seed,
+                };
+                assert_eq!(got, value.trim().parse::<u64>().ok(), "{var}={value:?}");
+            }
+        }
+        // The seed alone accepts zero.
+        assert_eq!(resolve_one(SEED_ENV, "0").unwrap().seed, Some(0));
+    }
+
+    #[test]
+    fn invalid_values_are_typed_errors_naming_the_var() {
+        let rejects: &[(&'static str, &str)] = &[
+            (DEVICES_ENV, "0"),
+            (DEVICES_ENV, "four"),
+            (DEVICES_ENV, "-2"),
+            (DEVICES_ENV, "3.5"),
+            (QUEUE_DEPTH_ENV, "0"),
+            (QUEUE_DEPTH_ENV, ""),
+            (BREAKER_ENV, "0"),
+            (BREAKER_ENV, "1e3"),
+            (SEED_ENV, "0x10"),
+            (SEED_ENV, "seedy"),
+        ];
+        for &(var, value) in rejects {
+            let err =
+                resolve_one(var, value).expect_err(&format!("{var}={value:?} should be rejected"));
+            assert_eq!(err.var, var);
+            assert_eq!(err.value, value);
+            assert!(!err.reason.is_empty());
+        }
+    }
+
+    /// Grammar property: random strings either parse as an in-range
+    /// integer (and then resolve to exactly that value) or reject with a
+    /// typed error — never a silent default, never a panic.
+    #[test]
+    fn random_strings_parse_or_reject_typed() {
+        run_cases(300, |rng| {
+            let len = rng.usize_in(0, 6);
+            let value: String = (0..len)
+                .map(|_| *rng.pick(&['0', '1', '7', '9', ' ', '-', 'x', 'e']))
+                .collect();
+            let expect = value.trim().parse::<usize>().ok().filter(|&n| n >= 1);
+            match (resolve_one(DEVICES_ENV, &value), expect) {
+                (Ok(knobs), Some(n)) => assert_eq!(knobs.devices, Some(n)),
+                (Err(e), None) => assert_eq!(e.var, DEVICES_ENV),
+                (Ok(knobs), None) => panic!("{value:?} parsed as {:?}", knobs.devices),
+                (Err(e), Some(n)) => panic!("{value:?} (= {n}) rejected: {e}"),
+            }
+        });
+    }
+}

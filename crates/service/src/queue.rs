@@ -1,0 +1,81 @@
+//! Per-tenant bounded queues and the deficit-round-robin ledger.
+//!
+//! Each tenant owns a FIFO of admitted jobs plus a *deficit* counter in
+//! pass units. The scheduler refills deficits in proportion to QoS weight
+//! and lets a tenant dispatch its queue head only while the head's cost
+//! fits the deficit — the classic DRR guarantee: over any long window,
+//! tenants that stay backlogged complete work in the ratio of their
+//! weights, and every non-empty queue is visited every round, so no
+//! admitted tenant starves.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use mgpu_tbdr::SimTime;
+
+use crate::spec::JobSpec;
+
+/// Identifies a tenant within one [`crate::FleetService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifies a submission (unique per service, in submission order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job #{}", self.0)
+    }
+}
+
+/// An admitted job waiting in a tenant (or device) queue.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct QueuedJob {
+    pub id: JobId,
+    pub tenant: TenantId,
+    pub spec: JobSpec,
+    /// Seed the job's inputs derive from (kept so the isolation oracle
+    /// can rebuild the identical job later).
+    pub input_seed: u64,
+    pub submitted: SimTime,
+    /// Absolute simulated-time deadline, if any.
+    pub deadline: Option<SimTime>,
+    /// Scheduling cost in passes (`spec.passes()`, cached).
+    pub cost: u64,
+}
+
+/// One tenant's queue, weight and work ledger.
+#[derive(Debug)]
+pub(crate) struct Tenant {
+    /// QoS weight (>= 1): deficit refills are proportional to it.
+    pub weight: u32,
+    /// Unspent dispatch credit, in passes.
+    pub deficit: u64,
+    pub queue: VecDeque<QueuedJob>,
+    pub submitted: u64,
+    pub rejected: u64,
+    pub completed_ok: u64,
+    /// Passes of successfully completed work (the fairness metric).
+    pub work_done: u64,
+}
+
+impl Tenant {
+    pub fn new(weight: u32) -> Self {
+        Tenant {
+            weight: weight.max(1),
+            deficit: 0,
+            queue: VecDeque::new(),
+            submitted: 0,
+            rejected: 0,
+            completed_ok: 0,
+            work_done: 0,
+        }
+    }
+}

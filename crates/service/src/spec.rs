@@ -1,0 +1,165 @@
+//! Job specifications: the small, value-typed description a tenant
+//! submits. The service turns a spec into a concrete
+//! [`RecoverableJob`] at dispatch time, with inputs generated
+//! deterministically from the job's seed — which is also what lets the
+//! isolation oracle rebuild the *same* job later on a clean device.
+
+use mgpu_gpgpu::{OptConfig, RecoverableJob, SgemmJob, SumJob};
+use mgpu_prop::Rng;
+
+use crate::error::ServiceError;
+
+/// A tenant-submitted job shape. Costs (for fair scheduling) and inputs
+/// (for execution and for the isolation re-run) both derive from the
+/// spec plus a seed — a spec is pure data and can be replayed anywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobSpec {
+    /// Element-wise sum of two `n`×`n` matrices, iterated.
+    Sum {
+        /// Matrix edge (the job uploads two `n`×`n` inputs).
+        n: u32,
+        /// Kernel iterations (= scheduling cost in passes).
+        iterations: u32,
+    },
+    /// Blocked matrix multiplication of two `n`×`n` matrices.
+    Sgemm {
+        /// Matrix edge.
+        n: u32,
+        /// Accumulation block size; the multiply runs `n / block` passes.
+        block: u32,
+    },
+}
+
+impl JobSpec {
+    /// The job's scheduling cost: its pass count. Deficit-round-robin
+    /// spends tenant deficit in these units, so "work" means device
+    /// passes, not job count — a tenant of many small jobs and a tenant
+    /// of few large ones are weighed on the same scale.
+    #[must_use]
+    pub fn passes(&self) -> u64 {
+        match *self {
+            JobSpec::Sum { iterations, .. } => u64::from(iterations.max(1)),
+            JobSpec::Sgemm { n, block } => {
+                let b = block.max(1);
+                u64::from(n / b.min(n).max(1)).max(1)
+            }
+        }
+    }
+
+    /// Human-readable label matching the built job's.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            JobSpec::Sum { n, iterations } => format!("sum {n}x{n} x{iterations}"),
+            JobSpec::Sgemm { n, block } => format!("sgemm {n}x{n} b{block}"),
+        }
+    }
+
+    /// Validates the shape at admission time, so a nonsensical spec is a
+    /// typed [`ServiceError::Config`] at `submit` instead of a runtime
+    /// failure charged to a device.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Config`] for zero sizes or a block that does not
+    /// divide `n`.
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        match *self {
+            JobSpec::Sum { n, iterations } => {
+                if n == 0 || iterations == 0 {
+                    return Err(ServiceError::Config(format!(
+                        "sum spec needs n >= 1 and iterations >= 1, got n={n} x{iterations}"
+                    )));
+                }
+            }
+            JobSpec::Sgemm { n, block } => {
+                if n == 0 || block == 0 || n % block != 0 {
+                    return Err(ServiceError::Config(format!(
+                        "sgemm spec needs block >= 1 dividing n, got n={n} b{block}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialises the spec into a runnable job, generating its inputs
+    /// from `input_seed`. The same `(spec, input_seed, cfg)` triple always
+    /// builds a byte-identical job — the foundation of the fleet
+    /// isolation check.
+    #[must_use]
+    pub fn build(&self, cfg: &OptConfig, input_seed: u64) -> Box<dyn RecoverableJob> {
+        let mut rng = Rng::new(input_seed);
+        match *self {
+            JobSpec::Sum { n, iterations } => {
+                let len = n as usize * n as usize;
+                let a = random_inputs(&mut rng, len);
+                let b = random_inputs(&mut rng, len);
+                Box::new(SumJob::new(cfg, n, &a, &b, iterations as usize))
+            }
+            JobSpec::Sgemm { n, block } => {
+                let len = n as usize * n as usize;
+                let a = random_inputs(&mut rng, len);
+                let b = random_inputs(&mut rng, len);
+                Box::new(SgemmJob::new(cfg, n, block, &a, &b))
+            }
+        }
+    }
+}
+
+/// Inputs in `[0, 1)`: inside both operators' default input range, and
+/// with sums/products that stay inside their default output ranges.
+fn random_inputs(rng: &mut Rng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.f32(0.0, 1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_match_job_shapes() {
+        assert_eq!(
+            JobSpec::Sum {
+                n: 8,
+                iterations: 3
+            }
+            .passes(),
+            3
+        );
+        assert_eq!(JobSpec::Sgemm { n: 8, block: 2 }.passes(), 4);
+        assert_eq!(JobSpec::Sgemm { n: 8, block: 8 }.passes(), 1);
+    }
+
+    #[test]
+    fn validate_rejects_bad_shapes() {
+        assert!(JobSpec::Sum {
+            n: 0,
+            iterations: 1
+        }
+        .validate()
+        .is_err());
+        assert!(JobSpec::Sum {
+            n: 8,
+            iterations: 0
+        }
+        .validate()
+        .is_err());
+        assert!(JobSpec::Sgemm { n: 8, block: 3 }.validate().is_err());
+        assert!(JobSpec::Sgemm { n: 8, block: 0 }.validate().is_err());
+        assert!(JobSpec::Sgemm { n: 8, block: 4 }.validate().is_ok());
+    }
+
+    #[test]
+    fn build_is_deterministic_in_the_seed() {
+        let cfg = OptConfig::baseline().without_swap();
+        let spec = JobSpec::Sum {
+            n: 4,
+            iterations: 2,
+        };
+        let a = spec.build(&cfg, 99).label();
+        let b = spec.build(&cfg, 99).label();
+        assert_eq!(a, b);
+        assert_eq!(spec.label(), a);
+    }
+}

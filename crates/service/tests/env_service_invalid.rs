@@ -1,0 +1,22 @@
+//! An invalid `MGPU_SERVICE_*` value must surface as a typed
+//! [`ServiceError::Env`] at `ServiceConfig::from_env` — never a silent
+//! fallback to defaults. Own binary: the knob snapshot is
+//! process-global.
+
+use mgpu_service::{ServiceConfig, ServiceError, DEVICES_ENV};
+
+#[test]
+fn zero_devices_fails_from_env_typed() {
+    std::env::set_var(DEVICES_ENV, "0");
+    let err = match ServiceConfig::from_env() {
+        Err(e) => e,
+        Ok(_) => panic!("MGPU_SERVICE_DEVICES=0 must not resolve"),
+    };
+    std::env::remove_var(DEVICES_ENV);
+    let ServiceError::Env(e) = &err else {
+        panic!("expected ServiceError::Env, got {err}");
+    };
+    assert_eq!(e.var, DEVICES_ENV);
+    assert_eq!(e.value, "0");
+    assert!(err.to_string().contains("positive"), "{err}");
+}

@@ -1,0 +1,29 @@
+//! `MGPU_SERVICE_*` knobs land in `ServiceConfig::from_env` through the
+//! once-per-process snapshot. Own binary: the snapshot is process-global
+//! and resolves at first use.
+
+use mgpu_service::{ServiceConfig, BREAKER_ENV, DEVICES_ENV, QUEUE_DEPTH_ENV, SEED_ENV};
+
+#[test]
+fn env_overrides_apply_and_stick() {
+    std::env::set_var(DEVICES_ENV, "6");
+    std::env::set_var(QUEUE_DEPTH_ENV, "11");
+    std::env::set_var(BREAKER_ENV, "5");
+    std::env::set_var(SEED_ENV, "12345");
+    let cfg = ServiceConfig::from_env().unwrap();
+    std::env::remove_var(DEVICES_ENV);
+    std::env::remove_var(QUEUE_DEPTH_ENV);
+    std::env::remove_var(BREAKER_ENV);
+    std::env::remove_var(SEED_ENV);
+
+    assert_eq!(cfg.devices, 6);
+    assert_eq!(cfg.queue_depth, 11);
+    assert_eq!(cfg.breaker.threshold, 5);
+    assert_eq!(cfg.seed, 12345);
+
+    // The snapshot is sticky: clearing the variables afterwards does not
+    // resurrect the defaults mid-process.
+    let again = ServiceConfig::from_env().unwrap();
+    assert_eq!(again.devices, 6);
+    assert_eq!(again.seed, 12345);
+}

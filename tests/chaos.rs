@@ -241,6 +241,7 @@ fn chaos_never_panics_even_when_give_up_is_fast() {
                 max_attempts: 2,
                 max_context_recreates: 1,
                 base_backoff: SimTime::from_nanos(10),
+                ..RetryPolicy::default()
             },
             verify_checksums: rng.bool(),
             ..ResilienceConfig::default()
