@@ -86,6 +86,38 @@ pub fn fleet_scenario(seed: u64) -> FleetScenario {
     }
 }
 
+/// Expands `seed` into a scenario whose submissions mix the three GPU
+/// workload families (pyramid, Jacobi, training) with sum/SGEMM
+/// tenants — the isolation promise must hold for multi-pass pipeline
+/// jobs with retained state exactly as it does for the flat operators.
+#[must_use]
+pub fn workload_fleet_scenario(seed: u64) -> FleetScenario {
+    let mut scenario = fleet_scenario(seed ^ 0x3B0A_D10A_D5CA_1E00);
+    let mut rng = Rng::new(seed ^ 0xD00D_FA11_0F1E_E75C);
+    // Replace a deterministic half of the submissions with workload jobs
+    // (the surface the devices allocate already fits n = 8).
+    for (i, (_, spec, _)) in scenario.submissions.iter_mut().enumerate() {
+        if i % 2 == 0 {
+            *spec = match rng.u32_in(0, 3) {
+                0 => JobSpec::Pyramid {
+                    n: 8,
+                    levels: rng.u32_in(1, 4),
+                },
+                1 => JobSpec::Jacobi {
+                    n: 8,
+                    iterations: rng.u32_in(1, 6),
+                },
+                _ => JobSpec::Train {
+                    n: 8,
+                    block: *rng.pick(&[2u32, 4, 8]),
+                    steps: rng.u32_in(1, 3),
+                },
+            };
+        }
+    }
+    scenario
+}
+
 fn run_scenario(scenario: &FleetScenario) -> FleetService {
     #[allow(clippy::expect_used)] // a seeded scenario is valid by construction
     let mut service =
@@ -116,9 +148,21 @@ fn run_scenario(scenario: &FleetScenario) -> FleetService {
 /// Empty result = the seed's scenario conforms.
 #[must_use]
 pub fn check_fleet_isolation(seed: u64) -> Vec<Divergence> {
-    let scenario = fleet_scenario(seed);
-    let first = run_scenario(&scenario);
-    let second = run_scenario(&scenario);
+    check_scenario(&fleet_scenario(seed))
+}
+
+/// [`check_fleet_isolation`] over a [`workload_fleet_scenario`]: the
+/// seeded workload-mixing fleet must replay exactly and every tenant's
+/// bytes must match a solo fault-free re-run.
+#[must_use]
+pub fn check_workload_fleet_isolation(seed: u64) -> Vec<Divergence> {
+    check_scenario(&workload_fleet_scenario(seed))
+}
+
+fn check_scenario(scenario: &FleetScenario) -> Vec<Divergence> {
+    let seed = scenario.seed;
+    let first = run_scenario(scenario);
+    let second = run_scenario(scenario);
     let point = format!(
         "fleet seed={seed} ({} devices, {} tenants, {} submissions)",
         scenario.cfg.devices,
@@ -177,6 +221,44 @@ mod tests {
         // guarantee seed-by-seed, but these two must not collide).
         let c = fleet_scenario(10);
         assert_ne!(a.submissions, c.submissions);
+    }
+
+    #[test]
+    fn workload_scenarios_mix_families_deterministically() {
+        let a = workload_fleet_scenario(3);
+        let b = workload_fleet_scenario(3);
+        assert_eq!(a.submissions, b.submissions);
+        let workload_jobs = a
+            .submissions
+            .iter()
+            .filter(|(_, spec, _)| {
+                matches!(
+                    spec,
+                    JobSpec::Pyramid { .. } | JobSpec::Jacobi { .. } | JobSpec::Train { .. }
+                )
+            })
+            .count();
+        assert!(workload_jobs > 0, "scenario has no workload jobs");
+        assert!(
+            workload_jobs < a.submissions.len(),
+            "scenario lost its sum/sgemm tenants"
+        );
+    }
+
+    #[test]
+    fn seeded_workload_fleet_scenarios_conform() {
+        for seed in 0..3 {
+            let divergences = check_workload_fleet_isolation(seed);
+            assert!(
+                divergences.is_empty(),
+                "workload fleet seed {seed} diverged:\n{}",
+                divergences
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
     }
 
     #[test]

@@ -40,10 +40,15 @@ pub mod lattice;
 pub mod oracle;
 pub mod run;
 pub mod shrink;
+pub mod workloads;
 
 pub use case::{format_case, parse_case, CaseFile};
-pub use fleet::{check_fleet_isolation, fleet_scenario, FleetScenario};
+pub use fleet::{
+    check_fleet_isolation, check_workload_fleet_isolation, fleet_scenario, workload_fleet_scenario,
+    FleetScenario,
+};
 pub use lattice::{lattice, ExecPoint};
 pub use oracle::{check_case, check_fault_recovery, random_recovery_plan, Divergence};
 pub use run::{normalize_error, run_case, spec_from_source, RunOutcome, StepOutcome};
 pub use shrink::{ast_nodes, shrink_case, shrink_point};
+pub use workloads::workload_cases;

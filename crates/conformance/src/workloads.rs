@@ -1,0 +1,289 @@
+//! Representative conformance cases for the GPU workload families.
+//!
+//! One [`ConfCase`] per family — image pyramid, Jacobi stencil, dense
+//! training — built from the *real* generated kernel sources the
+//! pipelines run, scripted into a short multi-pass draw sequence. Each
+//! case goes through the full execution-configuration lattice like any
+//! fuzzer-found case, and its serialisation is checked into `corpus/` as
+//! a golden, so a change to a workload kernel generator that alters
+//! bytes (or breaks engine invariance) fails CI loudly.
+
+use mgpu_gpgpu::{kernels, Encoding, Range};
+use mgpu_prop::shadergen::{ConfCase, Step, TexFormat, TextureSpec};
+use mgpu_workloads::pipelines::{blur3_kernel, forward_chunk_kernel, softsign_kernel};
+
+use crate::case::CaseFile;
+use crate::run::spec_from_source;
+
+/// Edge of every workload conformance case (surface and textures).
+const N: u32 = 8;
+
+fn case_file(case: ConfCase) -> CaseFile {
+    CaseFile {
+        case,
+        faults: None,
+        recover: false,
+        point: None,
+    }
+}
+
+/// Level-0 of the Gaussian pyramid: the horizontal blur into a scratch
+/// texture, then the vertical blur over it to the surface — the two-pass
+/// separable structure every pyramid level runs.
+fn pyramid_case() -> CaseFile {
+    let horizontal = blur3_kernel(N, 1, true);
+    let vertical = blur3_kernel(N, 1, false);
+    case_file(ConfCase {
+        width: N,
+        height: N,
+        shaders: vec![spec_from_source(&horizontal), spec_from_source(&vertical)],
+        textures: vec![
+            TextureSpec {
+                format: TexFormat::Rgba8,
+                seed: 0x9A11_0001,
+            },
+            TextureSpec {
+                format: TexFormat::Rgba8,
+                seed: 0x9A11_0002,
+            },
+        ],
+        overrides: Vec::new(),
+        steps: vec![
+            Step::Upload {
+                slot: 0,
+                seed: 0x9A11_0001,
+                sub: false,
+            },
+            Step::SetSampler {
+                shader: 0,
+                name: "u_img".to_owned(),
+                unit: 0,
+            },
+            Step::SetSampler {
+                shader: 1,
+                name: "u_img".to_owned(),
+                unit: 1,
+            },
+            Step::BindTexture { unit: 0, slot: 0 },
+            Step::BindTexture { unit: 1, slot: 1 },
+            Step::UseProgram { shader: 0 },
+            Step::Target { slot: Some(1) },
+            Step::Draw { band: None },
+            Step::UseProgram { shader: 1 },
+            Step::Target { slot: None },
+            Step::Draw { band: None },
+            Step::ReadPixels,
+            Step::ReadTexture { slot: 1 },
+        ],
+    })
+}
+
+/// Two weighted-Jacobi relaxation sweeps of the inpainting solver: the
+/// stencil kernel ping-pongs from the seeded `u` texture through a
+/// scratch target and back to the surface.
+fn jacobi_case() -> CaseFile {
+    let kernel = kernels::jacobi_kernel(
+        Encoding::Fp32,
+        &Range::new(-1.0, 1.0),
+        &Range::new(-0.05, 0.05),
+        0.8,
+    );
+    case_file(ConfCase {
+        width: N,
+        height: N,
+        shaders: vec![spec_from_source(&kernel)],
+        textures: vec![
+            TextureSpec {
+                format: TexFormat::Rgba8,
+                seed: 0x1AC0_0001,
+            },
+            TextureSpec {
+                format: TexFormat::Rgba8,
+                seed: 0x1AC0_0002,
+            },
+            TextureSpec {
+                format: TexFormat::Rgba8,
+                seed: 0x1AC0_0003,
+            },
+        ],
+        overrides: Vec::new(),
+        steps: vec![
+            Step::Upload {
+                slot: 0,
+                seed: 0x1AC0_0001,
+                sub: false,
+            },
+            Step::Upload {
+                slot: 1,
+                seed: 0x1AC0_0002,
+                sub: false,
+            },
+            Step::SetSampler {
+                shader: 0,
+                name: "u_u".to_owned(),
+                unit: 0,
+            },
+            Step::SetSampler {
+                shader: 0,
+                name: "u_f".to_owned(),
+                unit: 1,
+            },
+            Step::SetUniform {
+                shader: 0,
+                name: "u_texel".to_owned(),
+                value: [1.0 / N as f32, 0.0, 0.0, 0.0],
+            },
+            Step::BindTexture { unit: 0, slot: 0 },
+            Step::BindTexture { unit: 1, slot: 1 },
+            Step::UseProgram { shader: 0 },
+            Step::Target { slot: Some(2) },
+            Step::Draw { band: None },
+            // Second sweep: the scratch result becomes `u`.
+            Step::BindTexture { unit: 0, slot: 2 },
+            Step::Target { slot: None },
+            Step::Draw { band: None },
+            Step::ReadPixels,
+            Step::ReadTexture { slot: 2 },
+        ],
+    })
+}
+
+/// The front of the training step: one forward-matmul chunk (weights ×
+/// batch plus bias intermediate) into a scratch texture, then the
+/// softsign activation over it to the surface.
+fn training_case() -> CaseFile {
+    let range_w = Range::new(-2.0, 2.0);
+    let range_x = Range::new(0.0, 1.0);
+    let range_b = Range::new(-0.5, 0.5);
+    let range_z = Range::new(-17.0, 17.0);
+    let range_h = Range::new(-1.0, 1.0);
+    let forward = forward_chunk_kernel(
+        Encoding::Fp32,
+        N,
+        4,
+        0,
+        &range_w,
+        &range_x,
+        &range_b,
+        &range_z,
+    );
+    let softsign = softsign_kernel(Encoding::Fp32, &range_z, &range_h);
+    case_file(ConfCase {
+        width: N,
+        height: N,
+        shaders: vec![spec_from_source(&forward), spec_from_source(&softsign)],
+        textures: vec![
+            TextureSpec {
+                format: TexFormat::Rgba8,
+                seed: 0x7EA1_0001,
+            },
+            TextureSpec {
+                format: TexFormat::Rgba8,
+                seed: 0x7EA1_0002,
+            },
+            TextureSpec {
+                format: TexFormat::Rgba8,
+                seed: 0x7EA1_0003,
+            },
+            TextureSpec {
+                format: TexFormat::Rgba8,
+                seed: 0x7EA1_0004,
+            },
+        ],
+        overrides: Vec::new(),
+        steps: vec![
+            Step::Upload {
+                slot: 0,
+                seed: 0x7EA1_0001,
+                sub: false,
+            },
+            Step::Upload {
+                slot: 1,
+                seed: 0x7EA1_0002,
+                sub: false,
+            },
+            Step::Upload {
+                slot: 2,
+                seed: 0x7EA1_0003,
+                sub: false,
+            },
+            Step::SetSampler {
+                shader: 0,
+                name: "u_w".to_owned(),
+                unit: 0,
+            },
+            Step::SetSampler {
+                shader: 0,
+                name: "u_x".to_owned(),
+                unit: 1,
+            },
+            Step::SetSampler {
+                shader: 0,
+                name: "u_interm".to_owned(),
+                unit: 2,
+            },
+            Step::SetSampler {
+                shader: 1,
+                name: "u_z".to_owned(),
+                unit: 3,
+            },
+            Step::BindTexture { unit: 0, slot: 0 },
+            Step::BindTexture { unit: 1, slot: 1 },
+            Step::BindTexture { unit: 2, slot: 2 },
+            Step::BindTexture { unit: 3, slot: 3 },
+            Step::UseProgram { shader: 0 },
+            Step::Target { slot: Some(3) },
+            Step::Draw { band: None },
+            Step::UseProgram { shader: 1 },
+            Step::Target { slot: None },
+            Step::Draw { band: None },
+            Step::ReadPixels,
+            Step::ReadTexture { slot: 3 },
+        ],
+    })
+}
+
+/// The three family cases, named; order matches their corpus numbering
+/// (`corpus-013` pyramid, `corpus-014` jacobi, `corpus-015` training).
+#[must_use]
+pub fn workload_cases() -> Vec<(&'static str, CaseFile)> {
+    vec![
+        ("corpus-013", pyramid_case()),
+        ("corpus-014", jacobi_case()),
+        ("corpus-015", training_case()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::format_case;
+    use crate::oracle::check_case;
+
+    /// The family cases conform across the whole lattice, and their
+    /// serialisations match the checked-in corpus goldens byte for byte.
+    /// Run with `MGPU_REGEN_CORPUS=1` to rewrite the goldens after a
+    /// deliberate kernel change.
+    #[test]
+    fn workload_cases_conform_and_match_their_goldens() {
+        for (name, file) in workload_cases() {
+            if let Some(divergence) = check_case(&file.case) {
+                panic!("{name}: lattice divergence: {divergence}");
+            }
+            let text = format_case(&file);
+            let path = format!("{}/corpus/{name}.case", env!("CARGO_MANIFEST_DIR"));
+            if std::env::var_os("MGPU_REGEN_CORPUS").is_some() {
+                std::fs::write(&path, &text).expect("corpus dir is writable");
+                continue;
+            }
+            let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!("{name}: missing golden {path} ({e}); run with MGPU_REGEN_CORPUS=1")
+            });
+            assert_eq!(
+                golden, text,
+                "{name}: golden drifted from the generated case; \
+                 rerun with MGPU_REGEN_CORPUS=1 if the change is deliberate"
+            );
+        }
+    }
+}

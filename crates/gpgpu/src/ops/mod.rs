@@ -200,6 +200,21 @@ impl OutputChain {
         cfg: &OptConfig,
         draw: impl FnOnce(&mut Gl) -> Result<(), GlError>,
     ) -> Result<(), GpgpuError> {
+        self.render_pass_with_copy(gl, cfg, None, draw)
+    }
+
+    /// [`OutputChain::render_pass`] that additionally copies the pass's
+    /// freshly produced output into `copy_out` (when given) *before* the
+    /// end-of-pass swap/flush — the retained-output hook deep pipelines
+    /// use so a later pass can sample an intermediate result that the
+    /// double-buffered chain would otherwise overwrite.
+    pub(crate) fn render_pass_with_copy(
+        &mut self,
+        gl: &mut Gl,
+        cfg: &OptConfig,
+        copy_out: Option<TextureId>,
+        draw: impl FnOnce(&mut Gl) -> Result<(), GlError>,
+    ) -> Result<(), GpgpuError> {
         let next = 1 - self.idx;
         match cfg.target {
             RenderStrategy::Texture => {
@@ -214,6 +229,11 @@ impl OutputChain {
                     gl.discard_framebuffer()?;
                 }
                 draw(gl)?;
+                // The FBO still targets the just-written texture, so the
+                // retained copy reads straight from the render target.
+                if let Some(keep) = copy_out {
+                    gl.copy_tex_image_2d(keep, self.format)?;
+                }
             }
             RenderStrategy::Framebuffer => {
                 gl.bind_framebuffer(None)?;
@@ -226,6 +246,10 @@ impl OutputChain {
                 } else {
                     gl.copy_tex_image_2d(self.textures[next], self.format)?;
                     self.allocated[next] = true;
+                }
+                // Copy before the swap rotates the surface away.
+                if let Some(keep) = copy_out {
+                    gl.copy_tex_image_2d(keep, self.format)?;
                 }
             }
         }

@@ -14,11 +14,11 @@
 //! [`Encoding::encode_fn_source`](crate::Encoding::encode_fn_source) for
 //! the float↔RGBA8 conversions.
 
-use mgpu_gles::{Gl, ProgramId, TextureId};
+use mgpu_gles::{Gl, ProgramId, TextureFormat, TextureId};
 use mgpu_shader::OptOptions;
 
 use crate::config::OptConfig;
-use crate::encoding::Range;
+use crate::encoding::{Encoding, Range};
 use crate::error::GpgpuError;
 use crate::ops::{apply_setup, convert_cost, draw_banded, quad_for, vbo_for, OutputChain};
 
@@ -30,6 +30,13 @@ pub enum Source {
     Input(String),
     /// The output of the previous pass (the double-buffered chain).
     Previous,
+    /// The *retained* output of an earlier pass of the current repeat
+    /// (0-based pass index, strictly before the reading pass). The
+    /// referenced pass's output is copied into a dedicated texture right
+    /// after its draw, so deep chains — e.g. a training step whose
+    /// backward passes sample forward activations — can reach past the
+    /// double-buffered chain without breaking the ES 2 no-feedback rule.
+    Pass(usize),
 }
 
 /// One pass under construction.
@@ -46,8 +53,10 @@ struct PassSpec {
 pub struct PipelineBuilder {
     n: u32,
     inputs: Vec<(String, Vec<f32>, Range)>,
+    raw_inputs: Vec<(String, Vec<u8>)>,
     seed: Option<(Vec<f32>, Range)>,
     passes: Vec<PassSpec>,
+    repeats: usize,
 }
 
 impl PipelineBuilder {
@@ -55,6 +64,27 @@ impl PipelineBuilder {
     #[must_use]
     pub fn input(mut self, name: &str, data: &[f32], range: Range) -> Self {
         self.inputs.push((name.to_owned(), data.to_vec(), range));
+        self
+    }
+
+    /// Registers a named raw RGBA8 `n`×`n` input — an unencoded image for
+    /// computer-vision pipelines (`bytes.len()` must be `n * n * 4`;
+    /// validated at build). Raw-image pipelines require the default
+    /// [`Encoding::Fp32`] (RGBA8) chain format.
+    #[must_use]
+    pub fn input_raw(mut self, name: &str, bytes: &[u8]) -> Self {
+        self.raw_inputs.push((name.to_owned(), bytes.to_vec()));
+        self
+    }
+
+    /// Repeats the whole pass chain `repeats` times per run (at least
+    /// once): pass programs are compiled once and re-issued, giving
+    /// iterative solvers and training loops pass-granular checkpoints
+    /// without per-iteration compilation. [`Source::Pass`] indices refer
+    /// to passes *within the current repeat*.
+    #[must_use]
+    pub fn repeats(mut self, repeats: usize) -> Self {
+        self.repeats = repeats.max(1);
         self
     }
 
@@ -67,10 +97,11 @@ impl PipelineBuilder {
         self
     }
 
-    /// Number of passes added so far.
+    /// Number of passes one run executes: passes added so far times the
+    /// configured repeat count.
     #[must_use]
     pub fn pass_count(&self) -> usize {
-        self.passes.len()
+        self.passes.len() * self.repeats.max(1)
     }
 
     /// Appends a pass: `kernel_source` with each sampler bound per
@@ -102,14 +133,20 @@ impl PipelineBuilder {
     /// # Errors
     ///
     /// [`GpgpuError::Config`] for unknown input names, samplers without a
-    /// binding, size mismatches, or an empty pipeline;
-    /// [`GpgpuError::Gl`] for compilation failures (including shader
-    /// limits).
+    /// binding, size mismatches, forward or self [`Source::Pass`]
+    /// references, raw-image inputs under a non-RGBA8 encoding, or an
+    /// empty pipeline; [`GpgpuError::Gl`] for compilation failures
+    /// (including shader limits).
     pub fn build(self, gl: &mut Gl, cfg: &OptConfig) -> Result<Pipeline, GpgpuError> {
         if self.passes.is_empty() {
             return Err(GpgpuError::Config("pipeline has no passes".to_owned()));
         }
         let enc = cfg.encoding;
+        if !self.raw_inputs.is_empty() && enc != Encoding::Fp32 {
+            return Err(GpgpuError::Config(
+                "raw RGBA8 image inputs require the Fp32 (RGBA8) chain format".to_owned(),
+            ));
+        }
         apply_setup(gl, cfg);
 
         // Upload inputs.
@@ -128,6 +165,50 @@ impl PipelineBuilder {
             gl.tex_image_2d(tex, self.n, self.n, enc.texture_format(), Some(&encoded))?;
             inputs.push((name.clone(), tex));
         }
+        for (name, bytes) in &self.raw_inputs {
+            if bytes.len() != (self.n as usize) * (self.n as usize) * 4 {
+                return Err(GpgpuError::Config(format!(
+                    "raw input `{name}` has {} bytes, expected {n}x{n}x4",
+                    bytes.len(),
+                    n = self.n
+                )));
+            }
+            let tex = gl.create_texture();
+            gl.tex_image_2d(tex, self.n, self.n, TextureFormat::Rgba8, Some(bytes))?;
+            inputs.push((name.clone(), tex));
+        }
+
+        // Which passes must retain their output for a later Source::Pass
+        // reader. References must point strictly backwards.
+        let mut retained_set = vec![false; self.passes.len()];
+        for (pass_idx, spec) in self.passes.iter().enumerate() {
+            for (sampler, source) in &spec.bindings {
+                if let Source::Pass(i) = source {
+                    if *i >= pass_idx {
+                        return Err(GpgpuError::Config(format!(
+                            "pass {pass_idx} binds sampler `{sampler}` to Pass({i}): \
+                             retained references must point to an earlier pass"
+                        )));
+                    }
+                    retained_set[*i] = true;
+                }
+            }
+        }
+        let format = enc.texture_format();
+        let texel_bytes = format.bytes_per_texel() as usize;
+        let zeroed = vec![0u8; (self.n as usize) * (self.n as usize) * texel_bytes];
+        let mut retained: Vec<Option<TextureId>> = Vec::with_capacity(self.passes.len());
+        for keep in &retained_set {
+            retained.push(if *keep {
+                let tex = gl.create_texture();
+                // Zero-filled so snapshots taken before the producing pass
+                // has run this attempt are still well-defined.
+                gl.tex_image_2d(tex, self.n, self.n, format, Some(&zeroed))?;
+                Some(tex)
+            } else {
+                None
+            });
+        }
 
         // Compile passes and resolve bindings.
         let opt = if cfg.mad_fusion {
@@ -143,9 +224,10 @@ impl PipelineBuilder {
             // by set_sampler below (unknown names error out).
             for (unit, (sampler, source)) in spec.bindings.iter().enumerate() {
                 gl.set_sampler(prog, sampler, unit as u32)?;
-                let tex_source = match source {
-                    Source::Previous => None,
-                    Source::Input(name) => Some(
+                let binding = match source {
+                    Source::Previous => Binding::Chain,
+                    Source::Pass(i) => Binding::Retained(*i),
+                    Source::Input(name) => Binding::Tex(
                         inputs
                             .iter()
                             .find(|(n, _)| n == name)
@@ -157,7 +239,7 @@ impl PipelineBuilder {
                             })?,
                     ),
                 };
-                resolved.push(tex_source);
+                resolved.push(binding);
             }
             for (name, value) in &spec.uniforms {
                 gl.set_uniform_scalar(prog, name, *value)?;
@@ -169,7 +251,7 @@ impl PipelineBuilder {
             });
         }
 
-        let mut chain = OutputChain::new(gl, self.n, enc.texture_format());
+        let mut chain = OutputChain::new(gl, self.n, format);
         let mut seed_bytes = None;
         if let Some((data, range)) = &self.seed {
             if data.len() != (self.n as usize) * (self.n as usize) {
@@ -189,7 +271,10 @@ impl PipelineBuilder {
             cfg: *cfg,
             n: self.n,
             passes,
+            repeats: self.repeats.max(1),
             chain,
+            retained,
+            format,
             vbo,
             seed_bytes,
             run_count: 0,
@@ -197,12 +282,22 @@ impl PipelineBuilder {
     }
 }
 
+/// What a compiled pass's sampler unit reads.
+#[derive(Debug, Clone, Copy)]
+enum Binding {
+    /// An external input texture.
+    Tex(TextureId),
+    /// The double-buffered chain's latest output.
+    Chain,
+    /// The retained output of pass `i` (spec index).
+    Retained(usize),
+}
+
 #[derive(Debug)]
 struct Pass {
     prog: ProgramId,
-    /// One entry per sampler unit: `Some(tex)` = external input,
-    /// `None` = previous pass's output.
-    bindings: Vec<Option<TextureId>>,
+    /// One entry per sampler unit.
+    bindings: Vec<Binding>,
     label: String,
 }
 
@@ -253,7 +348,13 @@ pub struct Pipeline {
     cfg: OptConfig,
     n: u32,
     passes: Vec<Pass>,
+    /// How many times one run re-issues the whole pass chain.
+    repeats: usize,
     chain: OutputChain,
+    /// Per-spec retained-output textures (only specs some later
+    /// [`Source::Pass`] reads get one).
+    retained: Vec<Option<TextureId>>,
+    format: TextureFormat,
     vbo: Option<mgpu_gles::BufferId>,
     /// Encoded seed data, kept so a replayed run can restore the chain's
     /// initial contents.
@@ -268,18 +369,20 @@ impl Pipeline {
         PipelineBuilder {
             n,
             inputs: Vec::new(),
+            raw_inputs: Vec::new(),
             seed: None,
             passes: Vec::new(),
+            repeats: 1,
         }
     }
 
-    /// Number of passes.
+    /// Number of passes one run executes (specs × repeats).
     #[must_use]
     pub fn passes(&self) -> usize {
-        self.passes.len()
+        self.passes.len() * self.repeats
     }
 
-    /// Executes every pass once, in order.
+    /// Executes every pass once, in order (all repeats).
     ///
     /// # Errors
     ///
@@ -287,7 +390,7 @@ impl Pipeline {
     /// pass has produced output yet; GL failures otherwise.
     pub fn run_once(&mut self, gl: &mut Gl) -> Result<(), GpgpuError> {
         self.run_count += 1;
-        for i in 0..self.passes.len() {
+        for i in 0..self.passes.len() * self.repeats {
             self.run_pass(gl, i, 1)?;
         }
         Ok(())
@@ -314,8 +417,11 @@ impl Pipeline {
         Ok(())
     }
 
-    /// Executes pass `i` of the current run, issuing the draw as `bands`
-    /// row-band sub-draws (`bands <= 1` = one full draw).
+    /// Executes pass `i` of the current run (a *logical* index over
+    /// specs × repeats; the spec is `i % spec_count`), issuing the draw as
+    /// `bands` row-band sub-draws (`bands <= 1` = one full draw). When the
+    /// pass's output is retained for a later [`Source::Pass`] reader, the
+    /// copy-out happens inside the same pass.
     ///
     /// # Errors
     ///
@@ -323,16 +429,21 @@ impl Pipeline {
     /// binds [`Source::Previous`] before any output exists; GL failures
     /// otherwise.
     pub fn run_pass(&mut self, gl: &mut Gl, i: usize, bands: u32) -> Result<(), GpgpuError> {
-        let pass = self.passes.get(i).ok_or_else(|| {
-            GpgpuError::Config(format!(
-                "pass index {i} out of range ({} passes)",
-                self.passes.len()
-            ))
-        })?;
+        let total = self.passes.len() * self.repeats;
+        if i >= total {
+            return Err(GpgpuError::Config(format!(
+                "pass index {i} out of range ({total} passes)"
+            )));
+        }
+        let spec_idx = i % self.passes.len();
+        let pass = &self.passes[spec_idx];
         for (unit, binding) in pass.bindings.iter().enumerate() {
             let tex = match binding {
-                Some(t) => *t,
-                None => {
+                Binding::Tex(t) => *t,
+                Binding::Retained(j) => self.retained[*j].ok_or_else(|| {
+                    GpgpuError::Config(format!("pass {spec_idx} reads unretained Pass({j})"))
+                })?,
+                Binding::Chain => {
                     if self.run_count <= 1 && i == 0 && self.seed_bytes.is_none() {
                         return Err(GpgpuError::Config(
                             "the first pass of the first run cannot read Previous: seed the pipeline or bind an input"
@@ -349,28 +460,70 @@ impl Pipeline {
         let quad = quad_for(&self.cfg, self.vbo, &label);
         let cfg = self.cfg;
         let n = self.n;
+        let keep = self.retained[spec_idx];
         self.chain
-            .render_pass(gl, &cfg, |gl| draw_banded(gl, &quad, bands, n))?;
+            .render_pass_with_copy(gl, &cfg, keep, |gl| draw_banded(gl, &quad, bands, n))?;
         Ok(())
     }
 
-    /// Reads back the latest output's raw encoded bytes (a pass-granular
-    /// checkpoint for the resilient runner).
+    /// Reads back the raw encoded bytes of the latest output *plus* every
+    /// retained pass texture, concatenated in spec order — a pass-granular
+    /// checkpoint for the resilient runner that fully captures the state a
+    /// later pass can sample. All chunks are `n * n * bytes_per_texel`, so
+    /// no framing is needed.
     ///
     /// # Errors
     ///
     /// Propagates GL failures.
     pub fn snapshot_bytes(&mut self, gl: &mut Gl) -> Result<Vec<u8>, GpgpuError> {
-        Ok(self.chain.read_latest(gl)?)
+        let mut bytes = self.chain.read_latest(gl)?;
+        for tex in self.retained.iter().flatten() {
+            bytes.extend_from_slice(&gl.read_texture(*tex)?);
+        }
+        Ok(bytes)
     }
 
-    /// Uploads previously snapshotted bytes into the latest-result slot.
+    /// Reads back only the latest output's raw encoded bytes — the
+    /// pipeline's *result*, excluding retained-pass checkpoint payload.
     ///
     /// # Errors
     ///
-    /// Propagates GL failures (e.g. a size mismatch).
+    /// Propagates GL failures.
+    pub fn output_bytes(&mut self, gl: &mut Gl) -> Result<Vec<u8>, GpgpuError> {
+        Ok(self.chain.read_latest(gl)?)
+    }
+
+    /// Uploads previously snapshotted bytes back into the latest-result
+    /// slot and every retained pass texture (inverse of
+    /// [`Pipeline::snapshot_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// [`GpgpuError::Config`] when the blob's length does not match this
+    /// pipeline's snapshot shape; GL failures otherwise.
     pub fn restore_bytes(&mut self, gl: &mut Gl, bytes: &[u8]) -> Result<(), GpgpuError> {
-        Ok(self.chain.seed(gl, bytes)?)
+        let chunk = (self.n as usize) * (self.n as usize) * self.format.bytes_per_texel() as usize;
+        let retained_count = self.retained.iter().flatten().count();
+        let want = chunk * (1 + retained_count);
+        if bytes.len() != want {
+            return Err(GpgpuError::Config(format!(
+                "snapshot blob has {} bytes, expected {want} (1 chain + {retained_count} retained chunks of {chunk})",
+                bytes.len()
+            )));
+        }
+        self.chain.seed(gl, &bytes[..chunk])?;
+        let mut off = chunk;
+        for tex in self.retained.iter().flatten() {
+            gl.tex_image_2d(
+                *tex,
+                self.n,
+                self.n,
+                self.format,
+                Some(&bytes[off..off + chunk]),
+            )?;
+            off += chunk;
+        }
+        Ok(())
     }
 
     /// Updates a scalar uniform of pass `pass_index` (e.g. a per-run block

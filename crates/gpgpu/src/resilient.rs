@@ -876,7 +876,9 @@ impl RecoverableJob for PipelineJob {
     }
 
     fn result_bytes(&mut self, gl: &mut Gl) -> Result<Vec<u8>, GpgpuError> {
-        self.op_mut()?.snapshot_bytes(gl)
+        // Not snapshot_bytes: the result is the chain's latest output
+        // alone, without the retained-pass checkpoint payload.
+        self.op_mut()?.output_bytes(gl)
     }
 }
 

@@ -275,3 +275,170 @@ fn seeded_pipeline_first_pass_may_read_previous() {
     p.run_once(&mut gl).unwrap();
     assert!((p.output(&mut gl, &Range::unit()).unwrap()[0] - 0.125).abs() < 1e-4);
 }
+
+#[test]
+fn retained_pass_outputs_reach_past_the_chain() {
+    // Pass 0 scales x by 0.5 (retained), pass 1 scales that by 0.5, and
+    // pass 2 averages Previous with Pass(0)'s retained output — a value
+    // the double-buffered chain alone could no longer supply.
+    let n = 4u32;
+    let data = vec![0.8f32; 16];
+    let avg = format!(
+        "uniform sampler2D u_a;\nuniform sampler2D u_b;\nvarying vec2 v_coord;\n{}{}\
+         void main() {{\n  float a = unpack(texture2D(u_a, v_coord));\n  float b = unpack(texture2D(u_b, v_coord));\n  gl_FragColor = pack((a + b) * 0.5);\n}}\n",
+        enc().decode_fn_source(),
+        enc().encode_fn_source()
+    );
+    for cfg in [
+        OptConfig::baseline().without_swap(),
+        OptConfig::baseline()
+            .with_swap_interval_0()
+            .with_framebuffer_rendering(),
+    ] {
+        let mut gl = Gl::new(Platform::videocore_iv(), n, n);
+        let mut p = Pipeline::builder(n)
+            .input("x", &data, Range::unit())
+            .pass(
+                &scale_kernel(0.5),
+                &[("u_x", Source::Input("x".into()))],
+                &[],
+            )
+            .pass(&scale_kernel(0.5), &[("u_x", Source::Previous)], &[])
+            .pass(
+                &avg,
+                &[("u_a", Source::Previous), ("u_b", Source::Pass(0))],
+                &[],
+            )
+            .build(&mut gl, &cfg)
+            .unwrap();
+        p.run_once(&mut gl).unwrap();
+        let out = p.output(&mut gl, &Range::unit()).unwrap();
+        // (0.8*0.25 + 0.8*0.5) / 2 = 0.3
+        assert!((out[0] - 0.3).abs() < 1e-3, "{}", out[0]);
+    }
+}
+
+#[test]
+fn forward_or_self_pass_references_fail_at_build() {
+    let n = 4u32;
+    let data = vec![0.1f32; 16];
+    let mut gl = Gl::new(Platform::sgx_545(), n, n);
+    let err = Pipeline::builder(n)
+        .input("x", &data, Range::unit())
+        .pass(&scale_kernel(1.0), &[("u_x", Source::Pass(0))], &[])
+        .build(&mut gl, &OptConfig::baseline())
+        .unwrap_err();
+    assert!(err.to_string().contains("earlier pass"), "{err}");
+}
+
+#[test]
+fn repeats_reissue_the_whole_chain() {
+    // One halving pass repeated 3 times == three explicit passes.
+    let n = 4u32;
+    let seed = vec![0.8f32; 16];
+    let mut gl = Gl::new(Platform::videocore_iv(), n, n);
+    let mut p = Pipeline::builder(n)
+        .seed(&seed, Range::unit())
+        .pass(&scale_kernel(0.5), &[("u_x", Source::Previous)], &[])
+        .repeats(3)
+        .build(&mut gl, &OptConfig::baseline().without_swap())
+        .unwrap();
+    assert_eq!(p.passes(), 3);
+    p.run_once(&mut gl).unwrap();
+    assert!((p.output(&mut gl, &Range::unit()).unwrap()[0] - 0.1).abs() < 1e-3);
+}
+
+#[test]
+fn raw_rgba8_inputs_pass_through_untouched() {
+    // An identity kernel over a raw RGBA8 image: output bytes == input
+    // bytes (no encode/decode in the way).
+    let n = 4u32;
+    let bytes: Vec<u8> = (0..n * n * 4).map(|i| (i * 7 % 251) as u8).collect();
+    let copy = "uniform sampler2D u_img;\nvarying vec2 v_coord;\n\
+                void main() {\n  gl_FragColor = texture2D(u_img, v_coord);\n}\n";
+    let mut gl = Gl::new(Platform::videocore_iv(), n, n);
+    let mut p = Pipeline::builder(n)
+        .input_raw("img", &bytes)
+        .pass(copy, &[("u_img", Source::Input("img".into()))], &[])
+        .build(&mut gl, &OptConfig::baseline().without_swap())
+        .unwrap();
+    p.run_once(&mut gl).unwrap();
+    assert_eq!(p.output_bytes(&mut gl).unwrap(), bytes);
+
+    // Wrong byte count errors at build.
+    let mut gl2 = Gl::new(Platform::videocore_iv(), n, n);
+    let err = Pipeline::builder(n)
+        .input_raw("img", &bytes[..7])
+        .pass(copy, &[("u_img", Source::Input("img".into()))], &[])
+        .build(&mut gl2, &OptConfig::baseline())
+        .unwrap_err();
+    assert!(matches!(err, GpgpuError::Config(_)));
+
+    // Raw inputs demand the Fp32/RGBA8 chain format.
+    let mut gl3 = Gl::new(Platform::videocore_iv(), n, n);
+    let err = Pipeline::builder(n)
+        .input_raw("img", &bytes)
+        .pass(copy, &[("u_img", Source::Input("img".into()))], &[])
+        .build(&mut gl3, &OptConfig::baseline().with_fp24())
+        .unwrap_err();
+    assert!(err.to_string().contains("Fp32"), "{err}");
+}
+
+#[test]
+fn snapshot_roundtrips_retained_state() {
+    // snapshot/restore must capture retained textures too: after
+    // restoring into a *fresh* pipeline, re-running only the last pass
+    // (which samples Pass(0)) reproduces the original bytes.
+    let n = 4u32;
+    let data = vec![0.6f32; 16];
+    let avg = format!(
+        "uniform sampler2D u_a;\nuniform sampler2D u_b;\nvarying vec2 v_coord;\n{}{}\
+         void main() {{\n  float a = unpack(texture2D(u_a, v_coord));\n  float b = unpack(texture2D(u_b, v_coord));\n  gl_FragColor = pack((a + b) * 0.5);\n}}\n",
+        enc().decode_fn_source(),
+        enc().encode_fn_source()
+    );
+    let builder = || {
+        Pipeline::builder(n)
+            .input("x", &data, Range::unit())
+            .pass(
+                &scale_kernel(0.5),
+                &[("u_x", Source::Input("x".into()))],
+                &[],
+            )
+            .pass(&scale_kernel(0.5), &[("u_x", Source::Previous)], &[])
+            .pass(
+                &avg,
+                &[("u_a", Source::Previous), ("u_b", Source::Pass(0))],
+                &[],
+            )
+    };
+    let cfg = OptConfig::baseline().without_swap();
+
+    let mut gl = Gl::new(Platform::videocore_iv(), n, n);
+    let mut p = gl_build(&mut gl, builder(), &cfg);
+    p.begin_run(&mut gl).unwrap();
+    p.run_pass(&mut gl, 0, 1).unwrap();
+    p.run_pass(&mut gl, 1, 1).unwrap();
+    let snap = p.snapshot_bytes(&mut gl).unwrap();
+    // 1 chain chunk + 1 retained chunk of n*n*4 bytes each.
+    assert_eq!(snap.len(), 2 * (n * n * 4) as usize);
+    p.run_pass(&mut gl, 2, 1).unwrap();
+    let want = p.output_bytes(&mut gl).unwrap();
+
+    let mut gl2 = Gl::new(Platform::videocore_iv(), n, n);
+    let mut q = gl_build(&mut gl2, builder(), &cfg);
+    q.restore_bytes(&mut gl2, &snap).unwrap();
+    q.run_pass(&mut gl2, 2, 1).unwrap();
+    assert_eq!(q.output_bytes(&mut gl2).unwrap(), want);
+
+    // A truncated blob is rejected with a typed error.
+    assert!(matches!(
+        q.restore_bytes(&mut gl2, &snap[..snap.len() - 1])
+            .unwrap_err(),
+        GpgpuError::Config(_)
+    ));
+}
+
+fn gl_build(gl: &mut Gl, b: mgpu_gpgpu::PipelineBuilder, cfg: &OptConfig) -> Pipeline {
+    b.build(gl, cfg).unwrap()
+}

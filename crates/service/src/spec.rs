@@ -6,6 +6,7 @@
 
 use mgpu_gpgpu::{OptConfig, RecoverableJob, SgemmJob, SumJob};
 use mgpu_prop::Rng;
+use mgpu_workloads::{DenseTraining, GaussianPyramid, JacobiInpaint, WorkloadJob};
 
 use crate::error::ServiceError;
 
@@ -28,6 +29,31 @@ pub enum JobSpec {
         /// Accumulation block size; the multiply runs `n / block` passes.
         block: u32,
     },
+    /// Separable-Gaussian image pyramid over a seeded `n`×`n` RGBA8
+    /// image — two blur passes per level.
+    Pyramid {
+        /// Image edge.
+        n: u32,
+        /// Pyramid depth; the dilation of the deepest level
+        /// (`2^(levels-1)`) must stay below `n`.
+        levels: u32,
+    },
+    /// Fixed-count weighted-Jacobi stencil solve on an `n`×`n` grid.
+    Jacobi {
+        /// Grid edge.
+        n: u32,
+        /// Iteration count (one pass each).
+        iterations: u32,
+    },
+    /// Dense-layer SGD training loop on `n`×`n` encoded matrices.
+    Train {
+        /// Layer dimension.
+        n: u32,
+        /// Matmul chunk size (must divide `n`).
+        block: u32,
+        /// SGD step count; each step is `2·(n/block) + 4` passes.
+        steps: u32,
+    },
 }
 
 impl JobSpec {
@@ -43,6 +69,12 @@ impl JobSpec {
                 let b = block.max(1);
                 u64::from(n / b.min(n).max(1)).max(1)
             }
+            JobSpec::Pyramid { levels, .. } => u64::from(levels.max(1)) * 2,
+            JobSpec::Jacobi { iterations, .. } => u64::from(iterations.max(1)),
+            JobSpec::Train { n, block, steps } => {
+                let chunks = u64::from(n / block.min(n).max(1)).max(1);
+                (2 * chunks + 4) * u64::from(steps.max(1))
+            }
         }
     }
 
@@ -52,6 +84,11 @@ impl JobSpec {
         match *self {
             JobSpec::Sum { n, iterations } => format!("sum {n}x{n} x{iterations}"),
             JobSpec::Sgemm { n, block } => format!("sgemm {n}x{n} b{block}"),
+            // The workload labels match `Workload::name`, which is what
+            // `WorkloadJob::label` reports.
+            JobSpec::Pyramid { n, levels } => format!("pyramid n{n} l{levels}"),
+            JobSpec::Jacobi { n, iterations } => format!("jacobi n{n} i{iterations}"),
+            JobSpec::Train { n, block, steps } => format!("train n{n} b{block} s{steps}"),
         }
     }
 
@@ -79,6 +116,29 @@ impl JobSpec {
                     )));
                 }
             }
+            JobSpec::Pyramid { n, levels } => {
+                if levels == 0 || levels > 31 || (1u32 << (levels - 1)) >= n {
+                    return Err(ServiceError::Config(format!(
+                        "pyramid spec needs levels >= 1 with 2^(levels-1) < n, \
+                         got n={n} l{levels}"
+                    )));
+                }
+            }
+            JobSpec::Jacobi { n, iterations } => {
+                if n == 0 || iterations == 0 {
+                    return Err(ServiceError::Config(format!(
+                        "jacobi spec needs n >= 1 and iterations >= 1, got n={n} i{iterations}"
+                    )));
+                }
+            }
+            JobSpec::Train { n, block, steps } => {
+                if n == 0 || block == 0 || n % block != 0 || steps == 0 {
+                    return Err(ServiceError::Config(format!(
+                        "train spec needs steps >= 1 and block >= 1 dividing n, \
+                         got n={n} b{block} s{steps}"
+                    )));
+                }
+            }
         }
         Ok(())
     }
@@ -89,20 +149,35 @@ impl JobSpec {
     /// isolation check.
     #[must_use]
     pub fn build(&self, cfg: &OptConfig, input_seed: u64) -> Box<dyn RecoverableJob> {
-        let mut rng = Rng::new(input_seed);
         match *self {
             JobSpec::Sum { n, iterations } => {
+                let mut rng = Rng::new(input_seed);
                 let len = n as usize * n as usize;
                 let a = random_inputs(&mut rng, len);
                 let b = random_inputs(&mut rng, len);
                 Box::new(SumJob::new(cfg, n, &a, &b, iterations as usize))
             }
             JobSpec::Sgemm { n, block } => {
+                let mut rng = Rng::new(input_seed);
                 let len = n as usize * n as usize;
                 let a = random_inputs(&mut rng, len);
                 let b = random_inputs(&mut rng, len);
                 Box::new(SgemmJob::new(cfg, n, block, &a, &b))
             }
+            // The workload families generate their own inputs from the
+            // seed, so the spec hands it straight through.
+            JobSpec::Pyramid { n, levels } => Box::new(WorkloadJob::new(
+                cfg,
+                &GaussianPyramid::new(n, levels, input_seed),
+            )),
+            JobSpec::Jacobi { n, iterations } => Box::new(WorkloadJob::new(
+                cfg,
+                &JacobiInpaint::new(n, iterations, input_seed),
+            )),
+            JobSpec::Train { n, block, steps } => Box::new(WorkloadJob::new(
+                cfg,
+                &DenseTraining::new(n, block, steps, input_seed),
+            )),
         }
     }
 }
@@ -129,6 +204,26 @@ mod tests {
         );
         assert_eq!(JobSpec::Sgemm { n: 8, block: 2 }.passes(), 4);
         assert_eq!(JobSpec::Sgemm { n: 8, block: 8 }.passes(), 1);
+        // Two blur passes per level.
+        assert_eq!(JobSpec::Pyramid { n: 8, levels: 3 }.passes(), 6);
+        assert_eq!(
+            JobSpec::Jacobi {
+                n: 8,
+                iterations: 7
+            }
+            .passes(),
+            7
+        );
+        // (2·(n/block) + 4) passes per step.
+        assert_eq!(
+            JobSpec::Train {
+                n: 8,
+                block: 4,
+                steps: 3
+            }
+            .passes(),
+            24
+        );
     }
 
     #[test]
@@ -148,6 +243,63 @@ mod tests {
         assert!(JobSpec::Sgemm { n: 8, block: 3 }.validate().is_err());
         assert!(JobSpec::Sgemm { n: 8, block: 0 }.validate().is_err());
         assert!(JobSpec::Sgemm { n: 8, block: 4 }.validate().is_ok());
+        // Deepest level's dilation (2^(levels-1)) must stay inside the image.
+        assert!(JobSpec::Pyramid { n: 8, levels: 0 }.validate().is_err());
+        assert!(JobSpec::Pyramid { n: 8, levels: 4 }.validate().is_err());
+        assert!(JobSpec::Pyramid { n: 8, levels: 3 }.validate().is_ok());
+        assert!(JobSpec::Jacobi {
+            n: 8,
+            iterations: 0
+        }
+        .validate()
+        .is_err());
+        assert!(JobSpec::Jacobi {
+            n: 8,
+            iterations: 4
+        }
+        .validate()
+        .is_ok());
+        assert!(JobSpec::Train {
+            n: 8,
+            block: 3,
+            steps: 1
+        }
+        .validate()
+        .is_err());
+        assert!(JobSpec::Train {
+            n: 8,
+            block: 2,
+            steps: 0
+        }
+        .validate()
+        .is_err());
+        assert!(JobSpec::Train {
+            n: 8,
+            block: 2,
+            steps: 2
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn workload_spec_labels_match_built_jobs() {
+        let cfg = OptConfig::baseline().without_swap();
+        for spec in [
+            JobSpec::Pyramid { n: 8, levels: 2 },
+            JobSpec::Jacobi {
+                n: 8,
+                iterations: 3,
+            },
+            JobSpec::Train {
+                n: 8,
+                block: 4,
+                steps: 1,
+            },
+        ] {
+            spec.validate().expect("valid spec");
+            assert_eq!(spec.label(), spec.build(&cfg, 5).label());
+        }
     }
 
     #[test]

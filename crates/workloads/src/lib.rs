@@ -1,20 +1,29 @@
-//! # mgpu-workloads — inputs, CPU references and error metrics
+//! # mgpu-workloads — inputs, CPU references, error metrics and GPU
+//! workload pipelines
 //!
 //! Deterministic workload generators (seeded random matrices like the
 //! paper's "random 1024×1024 matrix inputs"), plain-Rust reference
-//! implementations of every operator in the suite, and the error metrics
-//! used to validate the quantised GPU results against them.
+//! implementations of every operator in the suite, the error metrics
+//! used to validate the quantised GPU results against them — and the
+//! [`pipelines`] module: three GPU workload families (image pyramid,
+//! Jacobi stencil solver, dense-layer training loop) validated against
+//! those references under explicit per-family error policies.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod gen;
 pub mod metrics;
+pub mod pipelines;
 pub mod reference;
 
 pub use gen::{random_image_rgba8, random_matrix, Matrix};
 pub use metrics::{max_abs_error, rms_error, ErrorStats};
+pub use pipelines::{
+    default_candidates, run_workload, tune_workload, verify_output, DenseTraining, ErrorPolicy,
+    Expected, GaussianPyramid, JacobiInpaint, Workload, WorkloadJob,
+};
 pub use reference::{
-    conv3x3_ref, dot_ref, jacobi_step_ref, reduce_sum_ref, saxpy_ref, sgemm_blocked_ref, sgemm_ref,
-    sum_ref, transpose_ref,
+    conv3x3_ref, dot_ref, jacobi_step_ref, reduce_sum_ref, saxpy_ref, sep_blur3_ref,
+    sgemm_blocked_ref, sgemm_ref, sum_ref, transpose_ref,
 };

@@ -1,0 +1,261 @@
+//! Kernel source generators for the workload pipelines.
+//!
+//! Like `mgpu_gpgpu::kernels`, sources are generated rather than
+//! hand-written: they bake in operand value ranges, texel sizes, tap
+//! dilations and chunk offsets, so every pass is a closed fragment
+//! program with no per-draw uniform traffic beyond what genuinely varies.
+
+use mgpu_gpgpu::{Encoding, Range};
+
+/// Formats an f32 so the kernel lexer reparses it exactly.
+fn lit(x: f32) -> String {
+    let s = format!("{x:?}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// `unpack(texture2D(sampler, coord)) * span + lo` — decode to application
+/// values.
+fn decode_expr(sampler: &str, coord: &str, range: &Range) -> String {
+    format!(
+        "unpack(texture2D({sampler}, {coord})) * {} + {}",
+        lit(range.span()),
+        lit(range.lo)
+    )
+}
+
+/// `pack((value - lo) * inv_span)` — encode an application value.
+fn encode_stmt(value_expr: &str, range: &Range) -> String {
+    format!(
+        "gl_FragColor = pack(({value_expr} - {}) * {});",
+        lit(range.lo),
+        lit(1.0 / range.span())
+    )
+}
+
+/// A separable 3-tap Gaussian blur pass (`[¼, ½, ¼]`) over a raw RGBA8
+/// image, along x (`horizontal`) or y, with the outer taps `dilation`
+/// texels from the centre (the à-trous footprint-growth scheme).
+/// Clamp-to-edge sampling handles the borders; alpha is forced opaque.
+/// Taps accumulate in (−d, 0, +d) order to match
+/// [`sep_blur3_ref`](crate::reference::sep_blur3_ref) byte-for-byte.
+#[must_use]
+pub fn blur3_kernel(n: u32, dilation: u32, horizontal: bool) -> String {
+    let off = dilation as f32 / n as f32;
+    let mut taps = String::new();
+    for (tap, w) in [(-off, 0.25f32), (0.0, 0.5), (off, 0.25)] {
+        let coord = if tap == 0.0 {
+            "v_coord".to_owned()
+        } else if horizontal {
+            format!("v_coord + vec2({}, 0.0)", lit(tap))
+        } else {
+            format!("v_coord + vec2(0.0, {})", lit(tap))
+        };
+        taps.push_str(&format!(
+            "    acc = acc + texture2D(u_img, {coord}).xyz * {};\n",
+            lit(w)
+        ));
+    }
+    format!(
+        "uniform sampler2D u_img;\n\
+         varying vec2 v_coord;\n\
+         void main() {{\n\
+         \x20   vec3 acc = vec3(0.0, 0.0, 0.0);\n\
+         {taps}\
+         \x20   gl_FragColor = vec4(clamp(acc, 0.0, 1.0), 1.0);\n\
+         }}\n"
+    )
+}
+
+/// A raw texel move: `out = src`. No unpack/pack — encoded values survive
+/// bit-exactly, which is what lets the training loop park the current
+/// weights in a retained texture at the top of every step.
+#[must_use]
+pub fn copy_kernel() -> String {
+    "uniform sampler2D u_src;\n\
+     varying vec2 v_coord;\n\
+     void main() {\n\
+         gl_FragColor = texture2D(u_src, v_coord);\n\
+     }\n"
+    .to_owned()
+}
+
+/// One forward-matmul chunk of the training step: accumulates `block`
+/// products `w[r,k]·x[k,c]` for `k` in `[k0, k0+block)` and adds the
+/// running intermediate (the bias on the first chunk, the previous
+/// chunk's output after). Taps are unrolled with baked coordinates;
+/// `range_interm` is the bias range on chunk 0 and `range_out` later.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // one Range per sampled/produced texture
+pub fn forward_chunk_kernel(
+    enc: Encoding,
+    n: u32,
+    block: u32,
+    k0: u32,
+    range_w: &Range,
+    range_x: &Range,
+    range_interm: &Range,
+    range_out: &Range,
+) -> String {
+    let mut taps = String::new();
+    for k in k0..k0 + block {
+        let kc = lit((k as f32 + 0.5) / n as f32);
+        taps.push_str(&format!(
+            "    acc = acc + ({w}) * ({x});\n",
+            w = decode_expr("u_w", &format!("vec2({kc}, v_coord.y)"), range_w),
+            x = decode_expr("u_x", &format!("vec2(v_coord.x, {kc})"), range_x),
+        ));
+    }
+    format!(
+        "uniform sampler2D u_w;\n\
+         uniform sampler2D u_x;\n\
+         uniform sampler2D u_interm;\n\
+         varying vec2 v_coord;\n\
+         {unpack}{pack}\
+         void main() {{\n\
+         \x20   float acc = 0.0;\n\
+         {taps}\
+         \x20   float interm = {interm};\n\
+         \x20   {out}\n\
+         }}\n",
+        unpack = enc.decode_fn_source(),
+        pack = enc.encode_fn_source(),
+        interm = decode_expr("u_interm", "v_coord", range_interm),
+        out = encode_stmt("(acc + interm)", range_out),
+    )
+}
+
+/// The softsign activation pass: `h = z / (1 + |z|)` — smooth, bounded in
+/// (−1, 1), and expressible with the kernel language's native divide so
+/// the CPU reference matches its rounding exactly.
+#[must_use]
+pub fn softsign_kernel(enc: Encoding, range_z: &Range, range_h: &Range) -> String {
+    format!(
+        "uniform sampler2D u_z;\n\
+         varying vec2 v_coord;\n\
+         {unpack}{pack}\
+         void main() {{\n\
+         \x20   float z = {z};\n\
+         \x20   float h = z / (1.0 + abs(z));\n\
+         \x20   {out}\n\
+         }}\n",
+        unpack = enc.decode_fn_source(),
+        pack = enc.encode_fn_source(),
+        z = decode_expr("u_z", "v_coord", range_z),
+        out = encode_stmt("h", range_h),
+    )
+}
+
+/// The output-delta pass of the backward sweep:
+/// `delta = (h − y) · (1 / (1 + |z|))²` — the loss gradient `h − y`
+/// (squared error) times the softsign derivative, recomputed from the
+/// retained pre-activation `z`.
+#[must_use]
+pub fn delta_kernel(
+    enc: Encoding,
+    range_h: &Range,
+    range_z: &Range,
+    range_y: &Range,
+    range_d: &Range,
+) -> String {
+    format!(
+        "uniform sampler2D u_h;\n\
+         uniform sampler2D u_z;\n\
+         uniform sampler2D u_y;\n\
+         varying vec2 v_coord;\n\
+         {unpack}{pack}\
+         void main() {{\n\
+         \x20   float h = {h};\n\
+         \x20   float z = {z};\n\
+         \x20   float y = {y};\n\
+         \x20   float g = 1.0 / (1.0 + abs(z));\n\
+         \x20   float delta = (h - y) * (g * g);\n\
+         \x20   {out}\n\
+         }}\n",
+        unpack = enc.decode_fn_source(),
+        pack = enc.encode_fn_source(),
+        h = decode_expr("u_h", "v_coord", range_h),
+        z = decode_expr("u_z", "v_coord", range_z),
+        y = decode_expr("u_y", "v_coord", range_y),
+        out = encode_stmt("delta", range_d),
+    )
+}
+
+/// One gradient chunk of the backward sweep: `g[r,c] += Σ delta[r,k] ·
+/// x[c,k]` for `k` in `[k0, k0+block)` — the `delta · Xᵀ` product, with
+/// the transpose realised by swapping the sampling coordinates of `x`
+/// (row `c` is this fragment's *column* varying). Chunk 0 bakes a zero
+/// intermediate; later chunks add the previous chunk's output.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn grad_chunk_kernel(
+    enc: Encoding,
+    n: u32,
+    block: u32,
+    k0: u32,
+    first: bool,
+    range_d: &Range,
+    range_x: &Range,
+    range_g: &Range,
+) -> String {
+    let mut taps = String::new();
+    for k in k0..k0 + block {
+        let kc = lit((k as f32 + 0.5) / n as f32);
+        taps.push_str(&format!(
+            "    acc = acc + ({d}) * ({x});\n",
+            d = decode_expr("u_d", &format!("vec2({kc}, v_coord.y)"), range_d),
+            x = decode_expr("u_x", &format!("vec2({kc}, v_coord.x)"), range_x),
+        ));
+    }
+    let (interm_decl, interm) = if first {
+        (String::new(), "0.0".to_owned())
+    } else {
+        (
+            "uniform sampler2D u_interm;\n".to_owned(),
+            decode_expr("u_interm", "v_coord", range_g),
+        )
+    };
+    format!(
+        "uniform sampler2D u_d;\n\
+         uniform sampler2D u_x;\n\
+         {interm_decl}\
+         varying vec2 v_coord;\n\
+         {unpack}{pack}\
+         void main() {{\n\
+         \x20   float acc = 0.0;\n\
+         {taps}\
+         \x20   float interm = {interm};\n\
+         \x20   {out}\n\
+         }}\n",
+        unpack = enc.decode_fn_source(),
+        pack = enc.encode_fn_source(),
+        out = encode_stmt("(acc + interm)", range_g),
+    )
+}
+
+/// The SGD weight-update pass: `w' = w − lr·g`, reading the step's
+/// retained weight copy and the accumulated gradient.
+#[must_use]
+pub fn update_kernel(enc: Encoding, lr: f32, range_w: &Range, range_g: &Range) -> String {
+    format!(
+        "uniform sampler2D u_w;\n\
+         uniform sampler2D u_g;\n\
+         varying vec2 v_coord;\n\
+         {unpack}{pack}\
+         void main() {{\n\
+         \x20   float w = {w};\n\
+         \x20   float g = {g};\n\
+         \x20   float next = w - g * {lr};\n\
+         \x20   {out}\n\
+         }}\n",
+        unpack = enc.decode_fn_source(),
+        pack = enc.encode_fn_source(),
+        w = decode_expr("u_w", "v_coord", range_w),
+        g = decode_expr("u_g", "v_coord", range_g),
+        lr = lit(lr),
+        out = encode_stmt("next", range_w),
+    )
+}

@@ -1,0 +1,100 @@
+//! The separable-blur image pyramid — a computer-vision pipeline in the
+//! style of mobile OpenCL vision accelerators: each level applies a
+//! horizontal then a vertical 3-tap Gaussian pass, with the tap spacing
+//! doubling per level (à trous) so deeper levels see a wider footprint
+//! without resampling the `n`×`n` surface.
+
+use mgpu_gpgpu::{PipelineBuilder, Source};
+
+use super::kernels::blur3_kernel;
+use super::{ErrorPolicy, Expected, Workload};
+use crate::gen::random_image_rgba8;
+use crate::reference::sep_blur3_ref;
+use mgpu_gpgpu::Pipeline;
+
+/// A `levels`-deep Gaussian image pyramid over a seeded random `n`×`n`
+/// RGBA8 image (two blur passes per level).
+///
+/// Every pass works on raw RGBA8 with the same tap order and quantisation
+/// as [`sep_blur3_ref`], so the declared policy is byte identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaussianPyramid {
+    /// Image dimension.
+    pub n: u32,
+    /// Pyramid depth (pass count is `2 * levels`).
+    pub levels: u32,
+    /// Input-image seed.
+    pub seed: u64,
+}
+
+impl GaussianPyramid {
+    /// Creates the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0` or the dilation of the deepest level
+    /// (`2^(levels-1)`) reaches the image dimension.
+    #[must_use]
+    pub fn new(n: u32, levels: u32, seed: u64) -> Self {
+        assert!(levels > 0, "pyramid needs at least one level");
+        assert!(
+            1u32 << (levels - 1) < n,
+            "deepest dilation must stay below the image size"
+        );
+        GaussianPyramid { n, levels, seed }
+    }
+
+    /// The input image this workload blurs.
+    #[must_use]
+    pub fn image(&self) -> Vec<u8> {
+        random_image_rgba8(self.n, self.n, self.seed)
+    }
+}
+
+impl Workload for GaussianPyramid {
+    fn name(&self) -> String {
+        format!("pyramid n{} l{}", self.n, self.levels)
+    }
+
+    fn n(&self) -> u32 {
+        self.n
+    }
+
+    fn builder(&self) -> PipelineBuilder {
+        let mut b = Pipeline::builder(self.n).input_raw("img", &self.image());
+        for level in 0..self.levels {
+            let dilation = 1u32 << level;
+            let first = if level == 0 {
+                Source::Input("img".into())
+            } else {
+                Source::Previous
+            };
+            b = b
+                .pass(
+                    &blur3_kernel(self.n, dilation, true),
+                    &[("u_img", first)],
+                    &[],
+                )
+                .pass(
+                    &blur3_kernel(self.n, dilation, false),
+                    &[("u_img", Source::Previous)],
+                    &[],
+                );
+        }
+        b
+    }
+
+    fn expected(&self) -> Expected {
+        let mut img = self.image();
+        for level in 0..self.levels {
+            let dilation = 1u32 << level;
+            img = sep_blur3_ref(&img, self.n, self.n, dilation, true);
+            img = sep_blur3_ref(&img, self.n, self.n, dilation, false);
+        }
+        Expected::Bytes(img)
+    }
+
+    fn policy(&self) -> ErrorPolicy {
+        ErrorPolicy::ByteIdentity
+    }
+}

@@ -1,0 +1,113 @@
+//! The inpainting-style Jacobi stencil solver: the weighted-Jacobi kernel
+//! of `mgpu_gpgpu::kernels` iterated to a fixed count through the
+//! pipeline's repeat mechanism — one compiled program, `iterations`
+//! passes, the steady-state loop shape of the paper's 10 000-iteration
+//! runs.
+
+use mgpu_gpgpu::{kernels, Encoding, Pipeline, PipelineBuilder, Range, Source};
+
+use super::{ErrorPolicy, Expected, Workload};
+use crate::gen::{random_matrix, Matrix};
+use crate::reference::jacobi_step_ref;
+
+/// Relaxation factor — standard damped Jacobi.
+const OMEGA: f32 = 0.8;
+/// Source-term magnitude: small enough that the solution stays well
+/// inside [`JacobiInpaint::range_u`] and encode clamping never fires.
+const F_LO: f32 = -0.05;
+const F_HI: f32 = 0.05;
+
+/// A fixed-count weighted-Jacobi solve of `∇²u = -f` over a seeded random
+/// source term, from `u₀ = 0`, with clamp-to-edge (zero-flux) boundaries.
+///
+/// Per-iteration RGBA8 re-encoding rounds differently from the CPU
+/// reference's straight-through f32, so the declared policy is a
+/// tolerance; cross-engine byte identity still holds exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JacobiInpaint {
+    /// Grid dimension.
+    pub n: u32,
+    /// Iteration count (one pass each).
+    pub iterations: u32,
+    /// Source-term seed.
+    pub seed: u64,
+}
+
+impl JacobiInpaint {
+    /// Creates the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations == 0`.
+    #[must_use]
+    pub fn new(n: u32, iterations: u32, seed: u64) -> Self {
+        assert!(iterations > 0, "solver needs at least one iteration");
+        JacobiInpaint {
+            n,
+            iterations,
+            seed,
+        }
+    }
+
+    /// The encoding range of `u` (and the final output).
+    #[must_use]
+    pub fn range_u(&self) -> Range {
+        Range::new(-1.0, 1.0)
+    }
+
+    fn range_f(&self) -> Range {
+        Range::new(F_LO, F_HI)
+    }
+
+    fn f(&self) -> Matrix {
+        random_matrix(self.n as usize, self.seed, F_LO, F_HI)
+    }
+}
+
+impl Workload for JacobiInpaint {
+    fn name(&self) -> String {
+        format!("jacobi n{} i{}", self.n, self.iterations)
+    }
+
+    fn n(&self) -> u32 {
+        self.n
+    }
+
+    fn builder(&self) -> PipelineBuilder {
+        let src = kernels::jacobi_kernel(Encoding::Fp32, &self.range_u(), &self.range_f(), OMEGA);
+        let zeros = vec![0.0f32; (self.n * self.n) as usize];
+        Pipeline::builder(self.n)
+            .input("f", self.f().data(), self.range_f())
+            .seed(&zeros, self.range_u())
+            .pass(
+                &src,
+                &[
+                    ("u_u", Source::Previous),
+                    ("u_f", Source::Input("f".into())),
+                ],
+                &[("u_texel", 1.0 / self.n as f32)],
+            )
+            .repeats(self.iterations as usize)
+    }
+
+    fn expected(&self) -> Expected {
+        let f = self.f();
+        let mut u = Matrix::filled(self.n as usize, 0.0);
+        for _ in 0..self.iterations {
+            u = jacobi_step_ref(&u, &f, OMEGA);
+        }
+        Expected::Values {
+            want: u.data().to_vec(),
+            range: self.range_u(),
+        }
+    }
+
+    fn policy(&self) -> ErrorPolicy {
+        // Calibrated in tests/differential.rs: observed max_abs stays an
+        // order of magnitude under these bounds at every matrix point.
+        ErrorPolicy::Tolerance {
+            max_abs: 1e-4,
+            rms: 5e-5,
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! The on-device dense-layer training loop, in the style of
+//! smartphone-GPU training: each step runs a blocked forward matmul with
+//! bias and softsign activation, a backward sweep (output delta, then a
+//! blocked `delta · Xᵀ` gradient), and an SGD weight update — every
+//! intermediate living in float↔RGBA8-encoded textures.
+//!
+//! One step is `2·(n/block) + 4` passes; the whole loop is the step chain
+//! under [`PipelineBuilder::repeats`], with the weights riding the
+//! double-buffered chain between steps and three retained textures
+//! (weight copy, pre-activation, delta) reaching past it within a step.
+
+use mgpu_gpgpu::{Pipeline, PipelineBuilder, Range, Source};
+use mgpu_prop::Rng;
+
+use super::kernels::{
+    copy_kernel, delta_kernel, forward_chunk_kernel, grad_chunk_kernel, softsign_kernel,
+    update_kernel,
+};
+use super::{ErrorPolicy, Expected, Workload};
+use crate::gen::{random_matrix, Matrix};
+
+const ENC: mgpu_gpgpu::Encoding = mgpu_gpgpu::Encoding::Fp32;
+
+/// A `steps`-step SGD training loop of one dense `n`×`n` layer on a
+/// seeded random batch (`X` of `n` samples as columns, targets `Y`,
+/// per-row bias, initial weights `W₀`).
+///
+/// `block` is the matmul chunk size — the genuine tunable, trading
+/// fetches per fragment against pass count exactly like the paper's
+/// sgemm. Per-pass RGBA8 re-encoding rounds differently from the CPU
+/// reference's f32, so the declared policy is a tolerance; cross-engine
+/// byte identity still holds exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseTraining {
+    /// Layer dimension.
+    pub n: u32,
+    /// Matmul chunk size (must divide `n`).
+    pub block: u32,
+    /// SGD step count.
+    pub steps: u32,
+    /// Input seed (batch, targets, bias and initial weights).
+    pub seed: u64,
+}
+
+impl DenseTraining {
+    /// Creates the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0`, `block == 0` or `block` does not divide
+    /// `n`.
+    #[must_use]
+    pub fn new(n: u32, block: u32, steps: u32, seed: u64) -> Self {
+        assert!(steps > 0, "training needs at least one step");
+        assert!(block > 0 && n.is_multiple_of(block), "block must divide n");
+        DenseTraining {
+            n,
+            block,
+            steps,
+            seed,
+        }
+    }
+
+    /// The learning rate — scaled by `1/n` so `steps` updates keep the
+    /// weights comfortably inside [`DenseTraining::range_w`].
+    #[must_use]
+    pub fn lr(&self) -> f32 {
+        0.1 / self.n as f32
+    }
+
+    /// The encoding range of the weights (and the final output).
+    #[must_use]
+    pub fn range_w(&self) -> Range {
+        Range::new(-2.0, 2.0)
+    }
+
+    fn range_x(&self) -> Range {
+        Range::new(0.0, 1.0)
+    }
+
+    fn range_y(&self) -> Range {
+        Range::new(-1.0, 1.0)
+    }
+
+    fn range_b(&self) -> Range {
+        Range::new(-0.5, 0.5)
+    }
+
+    fn range_z(&self) -> Range {
+        let hi = 2.0 * self.n as f32 + 1.0;
+        Range::new(-hi, hi)
+    }
+
+    fn range_h(&self) -> Range {
+        Range::new(-1.0, 1.0)
+    }
+
+    fn range_d(&self) -> Range {
+        Range::new(-2.0, 2.0)
+    }
+
+    fn range_g(&self) -> Range {
+        let hi = 2.0 * self.n as f32;
+        Range::new(-hi, hi)
+    }
+
+    fn x(&self) -> Matrix {
+        random_matrix(self.n as usize, self.seed, 0.0, 1.0)
+    }
+
+    fn y(&self) -> Matrix {
+        random_matrix(self.n as usize, self.seed ^ 0x59, -0.9, 0.9)
+    }
+
+    fn w0(&self) -> Matrix {
+        random_matrix(self.n as usize, self.seed ^ 0x57A7, -0.5, 0.5)
+    }
+
+    /// Per-row bias broadcast across columns.
+    fn bias(&self) -> Matrix {
+        let n = self.n as usize;
+        let mut rng = Rng::new(self.seed ^ 0xB1A5);
+        let rows: Vec<f32> = (0..n).map(|_| rng.f32(-0.5, 0.5)).collect();
+        let mut m = Matrix::filled(n, 0.0);
+        for (r, v) in rows.iter().enumerate() {
+            for c in 0..n {
+                m.set(r, c, *v);
+            }
+        }
+        m
+    }
+}
+
+impl Workload for DenseTraining {
+    fn name(&self) -> String {
+        format!("train n{} b{} s{}", self.n, self.block, self.steps)
+    }
+
+    fn n(&self) -> u32 {
+        self.n
+    }
+
+    fn builder(&self) -> PipelineBuilder {
+        let nb = self.n / self.block;
+        let mut b = Pipeline::builder(self.n)
+            .input("x", self.x().data(), self.range_x())
+            .input("y", self.y().data(), self.range_y())
+            .input("bias", self.bias().data(), self.range_b())
+            .seed(self.w0().data(), self.range_w());
+
+        // Pass 0: park the step's weights in a retained texture.
+        b = b.pass(&copy_kernel(), &[("u_src", Source::Previous)], &[]);
+
+        // Passes 1..=nb: forward chunks, bias as the first intermediate.
+        for j in 0..nb {
+            let interm_src = if j == 0 {
+                Source::Input("bias".into())
+            } else {
+                Source::Previous
+            };
+            let interm_range = if j == 0 {
+                self.range_b()
+            } else {
+                self.range_z()
+            };
+            b = b.pass(
+                &forward_chunk_kernel(
+                    ENC,
+                    self.n,
+                    self.block,
+                    j * self.block,
+                    &self.range_w(),
+                    &self.range_x(),
+                    &interm_range,
+                    &self.range_z(),
+                ),
+                &[
+                    ("u_w", Source::Pass(0)),
+                    ("u_x", Source::Input("x".into())),
+                    ("u_interm", interm_src),
+                ],
+                &[],
+            );
+        }
+
+        // Pass nb+1: activation.
+        b = b.pass(
+            &softsign_kernel(ENC, &self.range_z(), &self.range_h()),
+            &[("u_z", Source::Previous)],
+            &[],
+        );
+
+        // Pass nb+2: output delta, reading the retained pre-activation.
+        b = b.pass(
+            &delta_kernel(
+                ENC,
+                &self.range_h(),
+                &self.range_z(),
+                &self.range_y(),
+                &self.range_d(),
+            ),
+            &[
+                ("u_h", Source::Previous),
+                ("u_z", Source::Pass(nb as usize)),
+                ("u_y", Source::Input("y".into())),
+            ],
+            &[],
+        );
+
+        // Passes nb+3 .. 2nb+2: gradient chunks.
+        for j in 0..nb {
+            let mut bindings = vec![
+                ("u_d", Source::Pass(nb as usize + 2)),
+                ("u_x", Source::Input("x".into())),
+            ];
+            if j > 0 {
+                bindings.push(("u_interm", Source::Previous));
+            }
+            b = b.pass(
+                &grad_chunk_kernel(
+                    ENC,
+                    self.n,
+                    self.block,
+                    j * self.block,
+                    j == 0,
+                    &self.range_d(),
+                    &self.range_x(),
+                    &self.range_g(),
+                ),
+                &bindings,
+                &[],
+            );
+        }
+
+        // Pass 2nb+3: SGD update — the chain output the next step copies.
+        b = b.pass(
+            &update_kernel(ENC, self.lr(), &self.range_w(), &self.range_g()),
+            &[("u_w", Source::Pass(0)), ("u_g", Source::Previous)],
+            &[],
+        );
+
+        b.repeats(self.steps as usize)
+    }
+
+    fn expected(&self) -> Expected {
+        Expected::Values {
+            want: self.reference_weights().data().to_vec(),
+            range: self.range_w(),
+        }
+    }
+
+    fn policy(&self) -> ErrorPolicy {
+        // Calibrated in tests/differential.rs: observed max_abs stays an
+        // order of magnitude under these bounds at every matrix point.
+        ErrorPolicy::Tolerance {
+            max_abs: 2e-4,
+            rms: 1e-4,
+        }
+    }
+}
+
+impl DenseTraining {
+    /// The CPU reference: the same chunked accumulation order as the GPU
+    /// passes, in straight f32.
+    #[must_use]
+    pub fn reference_weights(&self) -> Matrix {
+        let n = self.n as usize;
+        let nb = (self.n / self.block) as usize;
+        let block = self.block as usize;
+        let x = self.x();
+        let y = self.y();
+        let bias = self.bias();
+        let mut w = self.w0();
+        let lr = self.lr();
+        for _ in 0..self.steps {
+            // Forward: Z = W·X + B, accumulated chunk by chunk.
+            let mut z = bias.clone();
+            for j in 0..nb {
+                for r in 0..n {
+                    for c in 0..n {
+                        let mut acc = 0.0f32;
+                        for k in j * block..(j + 1) * block {
+                            acc += w.get(r, k) * x.get(k, c);
+                        }
+                        z.set(r, c, acc + z.get(r, c));
+                    }
+                }
+            }
+            // Activation and output delta.
+            let mut h = Matrix::filled(n, 0.0);
+            let mut d = Matrix::filled(n, 0.0);
+            for r in 0..n {
+                for c in 0..n {
+                    let zv = z.get(r, c);
+                    let hv = zv / (1.0 + zv.abs());
+                    h.set(r, c, hv);
+                    let g = 1.0 / (1.0 + zv.abs());
+                    d.set(r, c, (hv - y.get(r, c)) * (g * g));
+                }
+            }
+            // Gradient: G = delta · Xᵀ, same chunk order.
+            let mut grad = Matrix::filled(n, 0.0);
+            for j in 0..nb {
+                for r in 0..n {
+                    for c in 0..n {
+                        let mut acc = 0.0f32;
+                        for k in j * block..(j + 1) * block {
+                            acc += d.get(r, k) * x.get(c, k);
+                        }
+                        grad.set(r, c, acc + grad.get(r, c));
+                    }
+                }
+            }
+            // Update.
+            for r in 0..n {
+                for c in 0..n {
+                    w.set(r, c, w.get(r, c) - grad.get(r, c) * lr);
+                }
+            }
+        }
+        w
+    }
+}

@@ -202,6 +202,60 @@ pub fn conv3x3_ref(image: &[u8], width: u32, height: u32, weights: &[f32; 9]) ->
     out
 }
 
+/// One separable 3-tap Gaussian blur pass (`[¼, ½, ¼]`) over an RGBA8
+/// image with clamp-to-edge addressing, along the given `axis`
+/// (`horizontal = true` blurs along x). `dilation` spaces the outer taps
+/// `dilation` texels from the centre — the à-trous scheme image pyramids
+/// use to grow the effective filter footprint per level without resampling.
+///
+/// Taps accumulate in kernel order (−d, 0, +d) so the result is
+/// byte-identical to the GPU pass; the alpha channel is forced opaque.
+///
+/// # Panics
+///
+/// Panics if `image.len() != width * height * 4` or `dilation == 0`.
+#[must_use]
+pub fn sep_blur3_ref(
+    image: &[u8],
+    width: u32,
+    height: u32,
+    dilation: u32,
+    horizontal: bool,
+) -> Vec<u8> {
+    assert_eq!(
+        image.len(),
+        width as usize * height as usize * 4,
+        "image size mismatch"
+    );
+    assert!(dilation > 0, "dilation must be positive");
+    let w = width as i64;
+    let h = height as i64;
+    let d = dilation as i64;
+    let mut out = vec![0u8; image.len()];
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = [0.0f32; 3];
+            for (tap, wt) in [(-d, 0.25f32), (0, 0.5), (d, 0.25)] {
+                let (sx, sy) = if horizontal {
+                    ((x + tap).clamp(0, w - 1), y)
+                } else {
+                    (x, (y + tap).clamp(0, h - 1))
+                };
+                let idx = (sy as usize * w as usize + sx as usize) * 4;
+                for c in 0..3 {
+                    acc[c] += f32::from(image[idx + c]) / 255.0 * wt;
+                }
+            }
+            let o = (y as usize * w as usize + x as usize) * 4;
+            for c in 0..3 {
+                out[o + c] = (acc[c].clamp(0.0, 1.0) * 255.0 + 0.5).floor() as u8;
+            }
+            out[o + 3] = 255;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,193 @@
+//! Property tests for the generators and the CPU references' edge
+//! handling: seed determinism, dimension edges, border-clamp semantics
+//! and blocked-vs-naive equivalences.
+
+use mgpu_prop::run_cases;
+use mgpu_workloads::{
+    conv3x3_ref, jacobi_step_ref, random_image_rgba8, random_matrix, sep_blur3_ref,
+    sgemm_blocked_ref, sgemm_ref, Matrix,
+};
+
+#[test]
+fn same_seed_same_matrix_bytes() {
+    run_cases(32, |rng| {
+        let n = rng.usize_in(1, 33);
+        let seed = rng.next_u64();
+        let lo = rng.f32(-4.0, 0.0);
+        let hi = lo + rng.f32(0.1, 4.0);
+        let a = random_matrix(n, seed, lo, hi);
+        let b = random_matrix(n, seed, lo, hi);
+        assert_eq!(a, b);
+        // And f32s are bitwise equal, not just PartialEq-equal.
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert!(a.data().iter().all(|v| (lo..hi).contains(v)));
+    });
+}
+
+#[test]
+fn same_seed_same_image_bytes() {
+    run_cases(32, |rng| {
+        let w = rng.usize_in(1, 48) as u32;
+        let h = rng.usize_in(1, 48) as u32;
+        let seed = rng.next_u64();
+        assert_eq!(
+            random_image_rgba8(w, h, seed),
+            random_image_rgba8(w, h, seed)
+        );
+        assert_eq!(random_image_rgba8(w, h, seed).len(), (w * h * 4) as usize);
+    });
+}
+
+#[test]
+fn dimension_edge_cases_hold() {
+    // 1×1 everything: references degenerate to scalars without panicking.
+    let m = random_matrix(1, 7, 0.0, 1.0);
+    assert_eq!(sgemm_ref(&m, &m).size(), 1);
+    assert_eq!(sgemm_blocked_ref(&m, &m, 1).size(), 1);
+    let u = Matrix::filled(1, 0.5);
+    let f = Matrix::filled(1, 0.1);
+    // With one cell, all four clamped neighbours are the centre itself.
+    let next = jacobi_step_ref(&u, &f, 0.8);
+    let relaxed = (0.5f32 + 0.5 + 0.5 + 0.5 + 0.1) * 0.25;
+    assert!((next.get(0, 0) - (0.5 * 0.2 + relaxed * 0.8)).abs() < 1e-6);
+
+    let img = random_image_rgba8(1, 1, 3);
+    let mut id = [0.0f32; 9];
+    id[4] = 1.0;
+    let out = conv3x3_ref(&img, 1, 1, &id);
+    assert_eq!(&out[..3], &img[..3]);
+    assert_eq!(out[3], 255);
+
+    // Zero-sized images are legal no-ops.
+    assert!(conv3x3_ref(&[], 0, 0, &id).is_empty());
+    assert!(sep_blur3_ref(&[], 0, 4, 1, true).is_empty());
+}
+
+/// A padded-image reference: materialise the clamped border explicitly,
+/// convolve the interior with no clamping, and compare.
+fn conv3x3_padded_ref(image: &[u8], w: usize, h: usize, weights: &[f32; 9]) -> Vec<u8> {
+    let pw = w + 2;
+    let ph = h + 2;
+    let mut padded = vec![0u8; pw * ph * 4];
+    for y in 0..ph {
+        for x in 0..pw {
+            let sx = (x as i64 - 1).clamp(0, w as i64 - 1) as usize;
+            let sy = (y as i64 - 1).clamp(0, h as i64 - 1) as usize;
+            padded[(y * pw + x) * 4..(y * pw + x) * 4 + 4]
+                .copy_from_slice(&image[(sy * w + sx) * 4..(sy * w + sx) * 4 + 4]);
+        }
+    }
+    let mut out = vec![0u8; image.len()];
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = [0.0f32; 3];
+            for (k, wt) in weights.iter().enumerate() {
+                let sx = x + k % 3;
+                let sy = y + k / 3;
+                let idx = (sy * pw + sx) * 4;
+                for c in 0..3 {
+                    acc[c] += f32::from(padded[idx + c]) / 255.0 * wt;
+                }
+            }
+            let o = (y * w + x) * 4;
+            for c in 0..3 {
+                out[o + c] = (acc[c].clamp(0.0, 1.0) * 255.0 + 0.5).floor() as u8;
+            }
+            out[o + 3] = 255;
+        }
+    }
+    out
+}
+
+#[test]
+fn conv_border_clamp_matches_naive_padded_reference() {
+    run_cases(24, |rng| {
+        let w = rng.usize_in(1, 12);
+        let h = rng.usize_in(1, 12);
+        let img = random_image_rgba8(w as u32, h as u32, rng.next_u64());
+        let mut weights = [0.0f32; 9];
+        for wt in &mut weights {
+            *wt = rng.f32(0.0, 0.2);
+        }
+        assert_eq!(
+            conv3x3_ref(&img, w as u32, h as u32, &weights),
+            conv3x3_padded_ref(&img, w, h, &weights)
+        );
+    });
+}
+
+/// Jacobi over an explicitly padded grid (clamped border rows/columns
+/// materialised), no clamping in the stencil loop.
+fn jacobi_step_padded_ref(u: &Matrix, f: &Matrix, omega: f32) -> Matrix {
+    let n = u.size();
+    let p = n + 2;
+    let mut padded = vec![0.0f32; p * p];
+    for y in 0..p {
+        for x in 0..p {
+            let sx = (x as i64 - 1).clamp(0, n as i64 - 1) as usize;
+            let sy = (y as i64 - 1).clamp(0, n as i64 - 1) as usize;
+            padded[y * p + x] = u.get(sy, sx);
+        }
+    }
+    let mut out = Matrix::filled(n, 0.0);
+    for i in 0..n {
+        for j in 0..n {
+            let (pi, pj) = (i + 1, j + 1);
+            let relaxed = (padded[(pi - 1) * p + pj]
+                + padded[(pi + 1) * p + pj]
+                + padded[pi * p + pj - 1]
+                + padded[pi * p + pj + 1]
+                + f.get(i, j))
+                * 0.25;
+            out.set(i, j, u.get(i, j) * (1.0 - omega) + relaxed * omega);
+        }
+    }
+    out
+}
+
+#[test]
+fn jacobi_boundary_rows_match_padded_reference() {
+    run_cases(24, |rng| {
+        let n = rng.usize_in(1, 16);
+        let u = random_matrix(n, rng.next_u64(), -1.0, 1.0);
+        let f = random_matrix(n, rng.next_u64(), -0.25, 0.25);
+        let omega = rng.f32(0.1, 1.0);
+        let a = jacobi_step_ref(&u, &f, omega);
+        let b = jacobi_step_padded_ref(&u, &f, omega);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    });
+}
+
+#[test]
+fn blocked_sgemm_with_full_block_is_naive_sgemm() {
+    run_cases(16, |rng| {
+        let n = *rng.pick(&[1usize, 2, 4, 8, 16]);
+        let a = random_matrix(n, rng.next_u64(), 0.0, 1.0);
+        let b = random_matrix(n, rng.next_u64(), 0.0, 1.0);
+        let naive = sgemm_ref(&a, &b);
+        let blocked = sgemm_blocked_ref(&a, &b, n);
+        // block == n is a single chunk: same k-order, add of a zero
+        // initial accumulator — bitwise equal on [0, 1) inputs.
+        for (x, y) in naive.data().iter().zip(blocked.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    });
+}
+
+#[test]
+fn blur_is_separably_consistent() {
+    run_cases(16, |rng| {
+        let n = rng.usize_in(2, 24) as u32;
+        let img = random_image_rgba8(n, n, rng.next_u64());
+        // A uniform image is a fixed point of the blur (weights sum to 1).
+        let flat: Vec<u8> = img.chunks(4).flat_map(|_| [128u8, 64, 32, 255]).collect();
+        let h = sep_blur3_ref(&flat, n, n, 1, true);
+        assert_eq!(h, sep_blur3_ref(&h, n, n, 1, false));
+        // Dilation beyond the clamp distance still terminates and clamps.
+        let _ = sep_blur3_ref(&img, n, n, n * 2, true);
+    });
+}

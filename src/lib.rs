@@ -12,7 +12,9 @@
 //! * [`gles`] — the software OpenGL ES 2.0 + EGL driver;
 //! * [`gpgpu`] — the paper's contribution: the float↔RGBA8 encoding, the
 //!   optimisation-configuration space and the benchmark operators;
-//! * [`workloads`] — input generators, CPU references and error metrics.
+//! * [`workloads`] — input generators, CPU references, error metrics and
+//!   the GPU workload families (image pyramid, Jacobi stencil solver,
+//!   dense-layer training loop).
 //!
 //! The most commonly used items are re-exported at the crate root.
 //!
@@ -51,3 +53,4 @@ pub use mgpu_gpgpu::{
     SgemmJob, Sum, SumJob, SyncStrategy,
 };
 pub use mgpu_tbdr::{Platform, SimTime};
+pub use mgpu_workloads::{DenseTraining, GaussianPyramid, JacobiInpaint, Workload, WorkloadJob};

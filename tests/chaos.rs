@@ -9,6 +9,9 @@
 //! * an installed-but-empty plan perturbs neither bytes nor timing.
 
 use mgpu::gpgpu::{Pipeline, Source};
+use mgpu::workloads::{
+    verify_output, DenseTraining, GaussianPyramid, JacobiInpaint, Workload, WorkloadJob,
+};
 use mgpu::{
     Encoding, FaultPlan, Gl, GpgpuError, OptConfig, PipelineJob, Platform, Range, RecoverableJob,
     ResilienceConfig, ResilientRunner, RetryPolicy, SgemmJob, SimTime, Sum, SumJob,
@@ -69,10 +72,25 @@ fn scale_kernel(factor: f32) -> String {
     )
 }
 
-fn gen_job(rng: &mut Rng, a: &[f32], b: &[f32]) -> Box<dyn RecoverableJob> {
+fn gen_workload(rng: &mut Rng) -> Box<dyn Workload> {
+    let seed = rng.next_u64();
     match rng.u32_in(0, 3) {
+        0 => Box::new(GaussianPyramid::new(N, *rng.pick(&[1u32, 2, 3]), seed)),
+        1 => Box::new(JacobiInpaint::new(N, rng.u32_in(1, 9), seed)),
+        _ => Box::new(DenseTraining::new(
+            N,
+            *rng.pick(&[1u32, 2, 4, 8]),
+            rng.u32_in(1, 4),
+            seed,
+        )),
+    }
+}
+
+fn gen_job(rng: &mut Rng, a: &[f32], b: &[f32]) -> Box<dyn RecoverableJob> {
+    match rng.u32_in(0, 6) {
         0 => Box::new(SumJob::new(&cfg(), N, a, b, 3).dependent(rng.bool())),
         1 => Box::new(SgemmJob::new(&cfg(), N, *rng.pick(&[1, 2, 4]), a, b)),
+        2..=4 => Box::new(WorkloadJob::new(&cfg(), gen_workload(rng).as_ref())),
         _ => {
             let builder = Pipeline::builder(N)
                 .input("x", a, Range::unit())
@@ -222,6 +240,64 @@ fn chaos_empty_plan_is_bitwise_noop() {
         let (bytes_none, t_none) = run(false);
         assert_eq!(bytes_plan, bytes_none);
         assert_eq!(t_plan, t_none, "empty plan must not perturb SimTime");
+    });
+}
+
+/// The three GPU workload families (image pyramid, Jacobi stencil,
+/// dense-layer training) under seeded fault plans: a recovered run is
+/// byte-identical to the fault-free run AND still satisfies the family's
+/// declared error policy against the CPU reference; an exhausted run
+/// carries its fault trail; the same seed reproduces the same trail.
+#[test]
+fn chaos_workload_families_recover_byte_identical() {
+    run_cases(24, |rng| {
+        let platform = gen_platform(rng);
+        let plan = gen_plan(rng);
+        let workload = gen_workload(rng);
+
+        let mut clean_job = WorkloadJob::new(&cfg(), workload.as_ref());
+        let mut clean_gl = Gl::new(platform.clone(), N, N);
+        let want = ResilientRunner::new(resilience())
+            .run(&mut clean_gl, &mut clean_job)
+            .expect("fault-free workload run succeeds");
+        verify_output(workload.as_ref(), &want).expect("fault-free run meets its policy");
+
+        let faulted = |p: &FaultPlan| {
+            let mut job = WorkloadJob::new(&cfg(), workload.as_ref());
+            let mut gl = Gl::new(platform.clone(), N, N);
+            gl.install_faults(p.clone());
+            let out = ResilientRunner::new(resilience()).run(&mut gl, &mut job);
+            (out, gl.fault_trail().to_vec())
+        };
+
+        let (out, trail) = faulted(&plan);
+        match out {
+            Ok(bytes) => {
+                assert_eq!(
+                    bytes,
+                    want,
+                    "{}: recovered bytes diverged under plan {plan:?}",
+                    workload.name()
+                );
+                verify_output(workload.as_ref(), &bytes)
+                    .unwrap_or_else(|e| panic!("recovered run broke its policy: {e}"));
+            }
+            Err(GpgpuError::Exhausted(e)) => {
+                assert!(
+                    !e.fault_trail.is_empty(),
+                    "{}: give-up without any injected fault under plan {plan:?}",
+                    workload.name()
+                );
+            }
+            Err(other) => panic!(
+                "{}: untyped/unexpected failure {other} under plan {plan:?}",
+                workload.name()
+            ),
+        }
+
+        // Replaying the identical plan reproduces the identical trail.
+        let (_, trail2) = faulted(&plan);
+        assert_eq!(trail, trail2, "fault trail not reproducible for same seed");
     });
 }
 
